@@ -1,0 +1,88 @@
+// Ablation: early decode termination (<eos>), an extension beyond the
+// paper's evaluation.
+//
+// The paper fixes decode lengths to the reference translation (§7.4), but
+// notes deployed systems decode until <eos> or a maximum length. Cellular
+// batching supports mid-request cancellation naturally (unscheduled cells
+// are simply dropped); graph batching cannot reclaim padded decode steps.
+// This bench quantifies the win: requests are unfolded to a maximum decode
+// length of src_len + 20 but actually terminate at the reference length.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace batchmaker;
+  using namespace batchmaker::bench;
+
+  Rng data_rng(42);
+  const WmtLengthSampler sampler;
+  const auto dataset = SampleSeq2SeqDataset(20000, sampler, &data_rng);
+
+  LoadGenOptions options;
+  options.horizon_seconds = 3.0;
+  options.seed = 23;
+  const std::vector<double> rates = {500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500};
+
+  // A ServingSystem wrapper that unfolds to the maximum decode length and
+  // (optionally) terminates at the true length.
+  class EosSystem : public ServingSystem {
+   public:
+    EosSystem(Seq2SeqScenario* scenario, bool terminate_early, std::string name)
+        : scenario_(scenario),
+          terminate_early_(terminate_early),
+          engine_(&scenario->registry, &scenario->cost, SimEngineOptions{}),
+          name_(std::move(name)) {}
+
+    void SubmitAt(double at, const WorkItem& item) override {
+      const int max_dec = item.src_len + 20;  // deployed max-length policy
+      const int true_dec = item.dec_len;
+      const int terminate_node =
+          terminate_early_ ? item.src_len + true_dec - 1 : -1;
+      engine_.SubmitAt(at, scenario_->model.Unfold(item.src_len, max_dec),
+                       terminate_node);
+      ++submitted_;
+    }
+    void Run(double deadline) override { engine_.Run(deadline); }
+    const MetricsCollector& metrics() const override { return engine_.metrics(); }
+    size_t NumUnfinished() const override {
+      return submitted_ - engine_.metrics().NumCompleted();
+    }
+    std::string Name() const override { return name_; }
+
+   private:
+    Seq2SeqScenario* scenario_;
+    bool terminate_early_;
+    SimEngine engine_;
+    std::string name_;
+    size_t submitted_ = 0;
+  };
+
+  Seq2SeqScenario scenario;
+  scenario.registry.SetMaxBatch(scenario.model.encoder_type(), 512);
+  scenario.registry.SetMaxBatch(scenario.model.decoder_type(), 256);
+
+  const auto with_eos = SweepAndPrint(
+      "Ablation: decode to max length, terminate at <eos> (cellular batching)",
+      [&]() -> std::unique_ptr<ServingSystem> {
+        return std::make_unique<EosSystem>(&scenario, true, "BatchMaker+eos");
+      },
+      dataset, rates, options);
+  const auto without_eos = SweepAndPrint(
+      "Ablation: decode the full max length every time (no termination)",
+      [&]() -> std::unique_ptr<ServingSystem> {
+        return std::make_unique<EosSystem>(&scenario, false, "BatchMaker-full");
+      },
+      dataset, rates, options);
+
+  PrintHeader("Early-termination summary");
+  std::printf("peak: with <eos> = %.0f req/s, without = %.0f req/s (+%.0f%%)\n",
+              PeakThroughput(with_eos), PeakThroughput(without_eos),
+              100.0 * (PeakThroughput(with_eos) / PeakThroughput(without_eos) - 1.0));
+  std::printf("low-load p90: %.1f ms vs %.1f ms\n", LowLoadP90Ms(with_eos),
+              LowLoadP90Ms(without_eos));
+  std::printf("expected: terminating at the reference length reclaims the ~20 wasted\n"
+              "decoder steps per request — higher peak and lower latency. Graph\n"
+              "batching cannot reclaim them: the merged graph runs to the longest\n"
+              "decode in the batch regardless.\n");
+  return 0;
+}

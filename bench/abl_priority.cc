@@ -1,0 +1,76 @@
+// Ablation: cell-type priority (paper §4.3: "one can achieve better
+// latency by preferentially executing DNN types that occur later in the
+// computation graph" — decoder over encoder, internal over leaf).
+//
+// The paper asserts this design choice without ablating it; this harness
+// measures it. Reproduction finding: at the paper's own operating points
+// (Seq2Seq on >= 2 GPUs) priorities are *neutral* — criterion (b) of
+// Algorithm 1 (serve a type with no running tasks) already interleaves the
+// phases, and the priority tie-break is rarely reached. On a single GPU,
+// where encode and decode phases compete for one stream, the workload
+// convoys regardless of priority, and strict decoder-priority can even
+// lengthen the encoder convoys at higher load. TreeLSTM behaves similarly:
+// flat priorities batch leaf cells slightly better.
+
+#include "bench/bench_common.h"
+
+namespace batchmaker {
+namespace {
+
+void RunSeq2Seq(int gpus, double per_gpu_rate, bool prioritized) {
+  bench::Seq2SeqScenario scenario;
+  if (!prioritized) {
+    scenario.registry.SetPriority(scenario.model.decoder_type(), 0);
+  }
+  Rng data_rng(42);
+  const WmtLengthSampler sampler;
+  const auto dataset = SampleSeq2SeqDataset(10000, sampler, &data_rng);
+  LoadGenOptions options;
+  options.horizon_seconds = 3.0;
+  options.seed = 19;
+  auto system = scenario.BatchMakerFactory(512, 256, gpus)();
+  const LoadPoint point = RunOpenLoop(system.get(), dataset, per_gpu_rate * gpus, options);
+  std::printf("Seq2Seq %d GPU(s) @%5.0f req/s, %-20s p50=%8.2fms p90=%8.2fms p99=%8.2fms\n",
+              gpus, per_gpu_rate * gpus,
+              prioritized ? "decoder prioritized:" : "flat priorities:", point.p50_ms,
+              point.p90_ms, point.p99_ms);
+}
+
+void RunTree(bool prioritized) {
+  bench::TreeScenario scenario;
+  if (!prioritized) {
+    scenario.registry.SetPriority(scenario.model.internal_type(), 0);
+  }
+  Rng data_rng(42);
+  const auto dataset = SampleTreeDataset(10000, 64, &data_rng);
+  LoadGenOptions options;
+  options.horizon_seconds = 3.0;
+  options.seed = 20;
+  auto system = scenario.BatchMakerFactory()();
+  const LoadPoint point = RunOpenLoop(system.get(), dataset, 1500.0, options);
+  std::printf("TreeLSTM 1 GPU @ 1500 req/s, %-20s p50=%8.2fms p90=%8.2fms p99=%8.2fms\n",
+              prioritized ? "internal prioritized:" : "flat priorities:", point.p50_ms,
+              point.p90_ms, point.p99_ms);
+}
+
+}  // namespace
+}  // namespace batchmaker
+
+int main() {
+  batchmaker::bench::PrintHeader("Ablation: cell-type priorities (paper §4.3)");
+  // The paper's operating regime: Seq2Seq on multiple GPUs.
+  batchmaker::RunSeq2Seq(2, 1500.0, true);
+  batchmaker::RunSeq2Seq(2, 1500.0, false);
+  // Single-GPU stress: encode/decode phases share one stream.
+  batchmaker::RunSeq2Seq(1, 500.0, true);
+  batchmaker::RunSeq2Seq(1, 500.0, false);
+  batchmaker::RunSeq2Seq(1, 1500.0, true);
+  batchmaker::RunSeq2Seq(1, 1500.0, false);
+  batchmaker::RunTree(true);
+  batchmaker::RunTree(false);
+  std::printf("\nreproduction finding: at the paper's multi-GPU operating points the\n"
+              "priority knob is neutral (Algorithm 1's no-running-task criterion already\n"
+              "prevents starvation); on one GPU its effect is load-dependent and can go\n"
+              "either way. The paper asserts but never ablates this choice.\n");
+  return 0;
+}

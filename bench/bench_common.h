@@ -1,0 +1,192 @@
+// Shared scenario setup for the figure-reproduction benchmarks.
+//
+// Cell tensors are tiny (hidden size 4) because the simulated experiments
+// never execute tensor math: scheduling structure and the cost model (which
+// encodes the paper's h=1024 V100 timings) are what matter. The real-compute
+// path is exercised by the tests and examples instead.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/graph_merge_system.h"
+#include "src/baselines/ideal_system.h"
+#include "src/baselines/padding_system.h"
+#include "src/nn/lstm.h"
+#include "src/nn/seq2seq.h"
+#include "src/sim/batchmaker_system.h"
+#include "src/sim/loadgen.h"
+#include "src/util/string_util.h"
+#include "src/workload/datasets.h"
+
+namespace batchmaker {
+namespace bench {
+
+// ---------- LSTM (Figures 7, 8, 9, 11) ----------
+
+struct LstmScenario {
+  LstmScenario()
+      : rng(1), model(&registry, LstmSpec{.input_dim = 4, .hidden = 4}, &rng) {
+    cost.SetCurve(model.cell_type(), GpuLstmCurve());
+    cost.SetPerTaskOverheadMicros(kBatchMakerTaskOverheadMicros);
+    cost.SetPerItemOverheadMicros(kBatchMakerPerItemOverheadMicros);
+  }
+
+  SystemFactory BatchMakerFactory(int max_batch = 512, int num_workers = 1) {
+    registry.SetMaxBatch(model.cell_type(), max_batch);
+    return [this, num_workers] {
+      SimEngineOptions options;
+      options.num_workers = num_workers;
+      return std::make_unique<BatchMakerSystem>(
+          &registry, &cost,
+          [this](const WorkItem& item) { return model.Unfold(item.length); }, options,
+          "BatchMaker");
+    };
+  }
+
+  static SystemFactory PaddingFactory(const std::string& name, int bucket_width = 10,
+                                      int max_batch = 512, int num_workers = 1) {
+    return [name, bucket_width, max_batch, num_workers] {
+      PaddingSystemOptions options;
+      options.bucket_width = bucket_width;
+      options.max_batch = max_batch;
+      options.num_workers = num_workers;
+      return std::make_unique<PaddingSystem>(options, name);
+    };
+  }
+
+  CellRegistry registry;
+  Rng rng;
+  LstmModel model;
+  CostModel cost;
+};
+
+// ---------- Seq2Seq (Figure 13) ----------
+
+struct Seq2SeqScenario {
+  Seq2SeqScenario()
+      : rng(2),
+        model(&registry, Seq2SeqSpec{.vocab = 64, .embed_dim = 4, .hidden = 4}, &rng) {
+    cost.SetCurve(model.encoder_type(), GpuLstmCurve());
+    cost.SetCurve(model.decoder_type(), GpuDecoderCurve());
+    cost.SetPerTaskOverheadMicros(kBatchMakerTaskOverheadMicros);
+    cost.SetPerItemOverheadMicros(kBatchMakerPerItemOverheadMicros);
+  }
+
+  // BatchMaker-x,y: maximum batch x for the encoder, y for the decoder.
+  SystemFactory BatchMakerFactory(int enc_batch, int dec_batch, int num_workers) {
+    registry.SetMaxBatch(model.encoder_type(), enc_batch);
+    registry.SetMaxBatch(model.decoder_type(), dec_batch);
+    const std::string name =
+        "BatchMaker-" + std::to_string(enc_batch) + "," + std::to_string(dec_batch);
+    return [this, num_workers, name] {
+      SimEngineOptions options;
+      options.num_workers = num_workers;
+      return std::make_unique<BatchMakerSystem>(
+          &registry, &cost,
+          [this](const WorkItem& item) { return model.Unfold(item.src_len, item.dec_len); },
+          options, name);
+    };
+  }
+
+  // Graph batching requires one batch size for the whole graph; the paper
+  // uses 256 (decoder-optimal) for the baselines.
+  static SystemFactory PaddingFactory(const std::string& name, int num_workers,
+                                      int max_batch = 256) {
+    return [name, num_workers, max_batch] {
+      PaddingSystemOptions options;
+      options.max_batch = max_batch;
+      options.num_workers = num_workers;
+      return std::make_unique<PaddingSystem>(options, name);
+    };
+  }
+
+  CellRegistry registry;
+  Rng rng;
+  Seq2SeqModel model;
+  CostModel cost;
+};
+
+// ---------- TreeLSTM (Figures 14, 15) ----------
+
+struct TreeScenario {
+  TreeScenario()
+      : rng(3),
+        model(&registry, TreeLstmSpec{.vocab = 64, .embed_dim = 4, .hidden = 4}, &rng) {
+    cost.SetCurve(model.leaf_type(), GpuTreeCellCurve());
+    cost.SetCurve(model.internal_type(), GpuTreeCellCurve());
+    cost.SetPerTaskOverheadMicros(kBatchMakerTaskOverheadMicros);
+    cost.SetPerItemOverheadMicros(kBatchMakerPerItemOverheadMicros);
+    // "BatchMaker is also configured to limit the number of batched cells
+    // in a task to 64" (§7.5).
+    registry.SetMaxBatch(model.leaf_type(), 64);
+    registry.SetMaxBatch(model.internal_type(), 64);
+  }
+
+  SystemFactory BatchMakerFactory() {
+    return [this] {
+      return std::make_unique<BatchMakerSystem>(
+          &registry, &cost,
+          [this](const WorkItem& item) { return model.Unfold(item.tree); },
+          SimEngineOptions{}, "BatchMaker");
+    };
+  }
+
+  static SystemFactory FoldFactory() {
+    return [] {
+      return std::make_unique<GraphMergeSystem>(GraphMergeOptions::Fold(), "TF-Fold");
+    };
+  }
+
+  static SystemFactory DyNetFactory() {
+    return [] {
+      return std::make_unique<GraphMergeSystem>(GraphMergeOptions::DyNet(), "DyNet");
+    };
+  }
+
+  static SystemFactory IdealFactory(int num_leaves = 16) {
+    return [num_leaves] {
+      IdealSystemOptions options;
+      options.num_leaves = num_leaves;
+      return std::make_unique<IdealFixedGraphSystem>(options, "Ideal");
+    };
+  }
+
+  CellRegistry registry;
+  Rng rng;
+  TreeLstmModel model;
+  CostModel cost;
+};
+
+// ---------- Reporting ----------
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintSweep(const std::string& title, const std::vector<LoadPoint>& points) {
+  PrintHeader(title);
+  std::fputs(FormatLoadTable(points).c_str(), stdout);
+}
+
+// Runs one system factory over a rate sweep and prints the series.
+inline std::vector<LoadPoint> SweepAndPrint(const std::string& title,
+                                            const SystemFactory& factory,
+                                            const std::vector<WorkItem>& dataset,
+                                            const std::vector<double>& rates,
+                                            const LoadGenOptions& options = {}) {
+  const auto points = SweepLoad(factory, dataset, rates, options);
+  PrintSweep(title, points);
+  return points;
+}
+
+inline std::vector<double> Rates(std::initializer_list<double> rates) { return rates; }
+
+}  // namespace bench
+}  // namespace batchmaker
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,81 @@
+// Figure 3: latency vs. throughput for a single LSTM step at different
+// batch sizes, on CPU and GPU.
+//
+// The GPU rows replay the calibrated cost model (no GPU in this
+// environment; anchors derive from numbers printed in the paper). The CPU
+// rows are measured for real with this repository's tensor library at the
+// paper's configuration (hidden size 1024, one [b,2h]x[2h,4h] matmul plus
+// elementwise gates), scaled down in batch range to keep runtime sane on a
+// small machine.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/graph/executor.h"
+#include "src/nn/lstm.h"
+
+namespace batchmaker {
+namespace {
+
+void PrintCurveTable(const char* title, const CostCurve& curve, int max_batch) {
+  bench::PrintHeader(title);
+  std::printf("%8s %14s %20s\n", "batch", "time", "throughput(ops/s)");
+  for (int b = 2; b <= max_batch; b *= 2) {
+    std::printf("%8d %14s %20.0f\n", b, FormatMicros(curve.Micros(b)).c_str(),
+                curve.Throughput(b));
+  }
+}
+
+void MeasureCpuLstm() {
+  bench::PrintHeader(
+      "Figure 3 (top, measured): single LSTM step on this CPU, h=1024, bm_tensor backend");
+  Rng rng(7);
+  const LstmSpec spec{.input_dim = 1024, .hidden = 1024};
+  const auto def = BuildLstmCell(spec, &rng);
+  const CellExecutor exec(def.get());
+
+  std::printf("%8s %14s %20s\n", "batch", "time", "throughput(ops/s)");
+  for (int b = 1; b <= 64; b *= 2) {
+    const Tensor x = Tensor::RandomUniform(Shape{b, 1024}, 1.0f, &rng);
+    const Tensor h = Tensor::RandomUniform(Shape{b, 1024}, 1.0f, &rng);
+    const Tensor c = Tensor::RandomUniform(Shape{b, 1024}, 1.0f, &rng);
+    // Warmup.
+    exec.Execute({&x, &h, &c});
+    const int iters = b <= 4 ? 5 : 3;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      exec.Execute({&x, &h, &c});
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start).count() /
+        static_cast<double>(iters);
+    std::printf("%8d %14s %20.0f\n", b, FormatMicros(micros).c_str(), b / (micros * 1e-6));
+  }
+}
+
+}  // namespace
+}  // namespace batchmaker
+
+int main() {
+  using batchmaker::AutotuneMaxBatch;
+  using batchmaker::CpuLstmCurve;
+  using batchmaker::GpuDecoderCurve;
+  using batchmaker::GpuLstmCurve;
+
+  batchmaker::MeasureCpuLstm();
+  batchmaker::PrintCurveTable(
+      "Figure 3 (top, modeled): LSTM step on Xeon E5-2698v4 (paper's CPU cost model)",
+      CpuLstmCurve(), 4096);
+  batchmaker::PrintCurveTable(
+      "Figure 3 (bottom, modeled): LSTM step on Tesla V100 (paper's GPU cost model)",
+      GpuLstmCurve(), 4096);
+  batchmaker::PrintCurveTable("Seq2Seq decoder step (modeled, 30k-vocab projection)",
+                              GpuDecoderCurve(), 2048);
+
+  std::printf("\nautotuned max batch: LSTM=%d (paper: 512), decoder=%d (paper: 256)\n",
+              AutotuneMaxBatch(GpuLstmCurve(), 4096),
+              AutotuneMaxBatch(GpuDecoderCurve(), 2048));
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 10: CDF of sequence length in the (synthetic) WMT-15 Europarl
+// dataset, plus the statistics the paper states in §7.1: mean length 24,
+// maximum 330, ~99% of sentences shorter than 100.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace batchmaker;
+  using namespace batchmaker::bench;
+
+  Rng rng(42);
+  const WmtLengthSampler sampler;
+  SampleSet lengths;
+  for (int i = 0; i < 100000; ++i) {
+    lengths.Add(sampler.Sample(&rng));
+  }
+
+  PrintHeader("Figure 10: WMT-15 Europarl sequence-length CDF (synthetic reproduction)");
+  std::printf("%10s %12s\n", "length", "cumulative");
+  for (int len : {1, 5, 10, 15, 20, 25, 30, 40, 50, 75, 100, 150, 200, 250, 330}) {
+    std::printf("%10d %11.1f%%\n", len, lengths.CdfAt(len) * 100.0);
+  }
+
+  PrintHeader("Dataset statistics vs paper (§7.1)");
+  std::printf("mean length:      %6.1f   (paper: 24)\n", lengths.Mean());
+  std::printf("max length:       %6.0f   (paper: 330)\n", lengths.Max());
+  std::printf("P(len < 100):     %6.2f%%  (paper Figure 10: ~99%%)\n",
+              lengths.CdfAt(100.0) * 100.0);
+  std::printf("median length:    %6.1f\n", lengths.Percentile(50));
+  std::printf("p99 length:       %6.1f\n", lengths.Percentile(99));
+  return 0;
+}

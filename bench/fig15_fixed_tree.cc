@@ -1,0 +1,47 @@
+// Figure 15: TreeLSTM on a synthetic dataset where every request is the
+// identical complete binary tree with 16 leaves, including the "ideal"
+// baseline (a hardcoded TensorFlow graph whose every node runs one batched
+// kernel over up to 64 requests).
+//
+// Expected shape (paper §7.5): the ideal baseline's peak throughput is
+// ~1/0.7 that of BatchMaker (BatchMaker pays scheduling + gather), but its
+// latency is *higher* than BatchMaker's and DyNet's because a batch
+// executes 31 sequential kernels and completes as a whole, while
+// BatchMaker also batches cells of the same request's level together and
+// returns requests as they finish.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace batchmaker;
+  using namespace batchmaker::bench;
+
+  const auto dataset = FixedTreeDataset(64, /*num_leaves=*/16);
+
+  LoadGenOptions options;
+  options.horizon_seconds = 4.0;
+  options.seed = 17;
+  const std::vector<double> rates = {250,  500,  1000, 1500, 2000, 2500, 3000,
+                                     3500, 4000, 5000, 6000, 7000, 8000};
+
+  TreeScenario scenario;
+  const auto ideal = SweepAndPrint("Figure 15: Ideal (hardcoded fixed-tree graph)",
+                                   TreeScenario::IdealFactory(16), dataset, rates, options);
+  const auto bm = SweepAndPrint("Figure 15: BatchMaker", scenario.BatchMakerFactory(),
+                                dataset, rates, options);
+  const auto dynet = SweepAndPrint("Figure 15: DyNet", TreeScenario::DyNetFactory(),
+                                   dataset, rates, options);
+  const auto fold = SweepAndPrint("Figure 15: TensorFlow Fold", TreeScenario::FoldFactory(),
+                                  dataset, rates, options);
+
+  PrintHeader("Figure 15 summary");
+  std::printf("peak throughput: Ideal=%.0f  BatchMaker=%.0f  DyNet=%.0f  Fold=%.0f req/s\n",
+              PeakThroughput(ideal), PeakThroughput(bm), PeakThroughput(dynet),
+              PeakThroughput(fold));
+  std::printf("BatchMaker/Ideal = %.0f%% (paper: ~70%%)\n",
+              100.0 * PeakThroughput(bm) / PeakThroughput(ideal));
+  std::printf("low-load p90: Ideal=%.1fms vs BatchMaker=%.1fms vs DyNet=%.1fms\n"
+              "(paper: the ideal baseline's latency is HIGHER than BatchMaker's)\n",
+              LowLoadP90Ms(ideal), LowLoadP90Ms(bm), LowLoadP90Ms(dynet));
+  return 0;
+}

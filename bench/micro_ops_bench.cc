@@ -1,0 +1,92 @@
+// google-benchmark microbenchmarks for the tensor substrate and the
+// batch-assembly (gather/scatter) path — the real-compute analogue of the
+// paper's "scheduling and gathering overhead" discussion (§7.3).
+
+#include <benchmark/benchmark.h>
+
+#include "src/graph/executor.h"
+#include "src/nn/lstm.h"
+#include "src/tensor/gemm.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace batchmaker {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::RandomUniform(Shape{n, n}, 1.0f, &rng);
+  const Tensor b = Tensor::RandomUniform(Shape{n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_LstmStep(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(2);
+  const LstmSpec spec{.input_dim = 256, .hidden = 256};
+  const auto def = BuildLstmCell(spec, &rng);
+  const CellExecutor exec(def.get());
+  const Tensor x = Tensor::RandomUniform(Shape{batch, 256}, 1.0f, &rng);
+  const Tensor h = Tensor::RandomUniform(Shape{batch, 256}, 1.0f, &rng);
+  const Tensor c = Tensor::RandomUniform(Shape{batch, 256}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute({&x, &h, &c}));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmStep)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_GatherRows(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(3);
+  std::vector<Tensor> rows;
+  std::vector<const Tensor*> ptrs;
+  std::vector<int64_t> idx;
+  for (int64_t i = 0; i < batch; ++i) {
+    rows.push_back(Tensor::RandomUniform(Shape{1, 1024}, 1.0f, &rng));
+  }
+  for (const Tensor& t : rows) {
+    ptrs.push_back(&t);
+    idx.push_back(0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GatherRows(ptrs, idx));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_GatherRows)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Sigmoid(benchmark::State& state) {
+  Rng rng(4);
+  const Tensor a = Tensor::RandomUniform(Shape{64, 4096}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sigmoid(a));
+  }
+  state.SetItemsProcessed(state.iterations() * a.NumElements());
+}
+BENCHMARK(BM_Sigmoid);
+
+void BM_EmbeddingLookup(benchmark::State& state) {
+  Rng rng(5);
+  const Tensor table = Tensor::RandomUniform(Shape{30000, 512}, 1.0f, &rng);
+  std::vector<int32_t> ids;
+  for (int i = 0; i < 256; ++i) {
+    ids.push_back(static_cast<int32_t>(rng.NextBelow(30000)));
+  }
+  const Tensor id_tensor = Tensor::FromIntVector(Shape{256, 1}, std::move(ids));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmbeddingLookup(table, id_tensor));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_EmbeddingLookup);
+
+}  // namespace
+}  // namespace batchmaker
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Attention translation service: GNMT-style dot-product attention served
+// with cellular batching (an extension beyond the paper — see README).
+//
+// Attention over the source sentence is decomposed into a chain of
+// weightless online-softmax cells, so every source position of every
+// concurrent request batches into the same cell type. The decoder consumes
+// the resulting context vector alongside its recurrent state.
+//
+// Build & run:  ./build/examples/attention_translation
+
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "src/core/server.h"
+#include "src/nn/attention.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+int main() {
+  using namespace batchmaker;
+
+  CellRegistry registry;
+  Rng rng(31337);
+  const AttentionSeq2SeqSpec spec{.vocab = 48, .embed_dim = 24, .hidden = 24};
+  const AttentionSeq2SeqModel model(&registry, spec, &rng);
+  registry.SetMaxBatch(model.attn_step_type(), 128);  // hot type: batch wide
+  registry.SetMaxBatch(model.decoder_type(), 32);
+
+  Server server(&registry);
+  server.Start();
+
+  Rng data_rng(77);
+  constexpr int kRequests = 8;
+  std::vector<std::promise<std::vector<Tensor>>> promises(kRequests);
+  struct Pending {
+    int src_len, dec_len;
+    std::future<std::vector<Tensor>> future;
+  };
+  std::vector<Pending> pending;
+
+  for (int i = 0; i < kRequests; ++i) {
+    const int src_len = 3 + static_cast<int>(data_rng.NextBelow(6));
+    const int dec_len = 3 + static_cast<int>(data_rng.NextBelow(5));
+    const CellGraph graph = model.Unfold(src_len, dec_len);
+
+    std::vector<Tensor> ext;
+    for (int t = 0; t < src_len; ++t) {
+      ext.push_back(ExternalTokenTensor(
+          1 + static_cast<int32_t>(data_rng.NextBelow(spec.vocab - 1))));
+    }
+    ext.push_back(ExternalTokenTensor(0));                  // <go>
+    ext.push_back(ExternalZeroVecTensor(spec.hidden));      // h0
+    ext.push_back(ExternalZeroVecTensor(spec.hidden));      // c0
+    ext.push_back(Tensor::Full(Shape{1, 1}, -1e30f));       // m0
+    ext.push_back(Tensor::Zeros(Shape{1, 1}));              // s0
+    ext.push_back(ExternalZeroVecTensor(spec.hidden));      // acc0
+
+    std::vector<ValueRef> wanted;
+    for (int t = 0; t < dec_len; ++t) {
+      wanted.push_back(ValueRef::Output(model.DecoderNode(src_len, t), 2));
+    }
+    auto* promise = &promises[static_cast<size_t>(i)];
+    pending.push_back(Pending{src_len, dec_len, promise->get_future()});
+    server.Submit(CellGraph(graph), std::move(ext), std::move(wanted),
+                  [promise](RequestId, std::vector<Tensor> outputs) {
+                    promise->set_value(std::move(outputs));
+                  });
+  }
+
+  int total_cells = 0;
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const auto outputs = pending[i].future.get();
+    std::string tokens;
+    for (const Tensor& t : outputs) {
+      tokens += StrPrintf("%d ", t.IntAt(0, 0));
+    }
+    std::printf("req %zu  src=%d dec=%d  tokens: %s\n", i + 1, pending[i].src_len,
+                pending[i].dec_len, tokens.c_str());
+    total_cells += pending[i].src_len + pending[i].dec_len * (pending[i].src_len + 2);
+  }
+  server.Shutdown();
+  std::printf("\n%d cells (encoders + per-step attention chains + decoders) in %lld "
+              "batched tasks\n",
+              total_cells, static_cast<long long>(server.TasksExecuted()));
+  std::printf("the weightless attention cells of ALL requests share one cell type and\n"
+              "batch together regardless of source length or decode position.\n");
+  return 0;
+}

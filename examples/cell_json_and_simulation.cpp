@@ -1,0 +1,76 @@
+// Cell-definition JSON round trip + capacity planning with the simulator.
+//
+// Part 1 mirrors the paper's user interface (§4.1): a cell defined in a
+// training framework is exported as JSON and handed to BatchMaker, which
+// identifies its type by content (so re-loading the same JSON twice yields
+// one cell type, not two).
+//
+// Part 2 uses the virtual-time engine to answer a capacity question a
+// downstream user would actually ask: "at my traffic, what latency do I
+// get from cellular batching vs. padding, and where do they saturate?" —
+// without touching a GPU.
+//
+// Build & run:  ./build/examples/cell_json_and_simulation
+
+#include <cstdio>
+
+#include "src/baselines/padding_system.h"
+#include "src/graph/serialize.h"
+#include "src/nn/lstm.h"
+#include "src/sim/batchmaker_system.h"
+#include "src/sim/loadgen.h"
+
+int main() {
+  using namespace batchmaker;
+
+  // ---- Part 1: JSON round trip ----
+  Rng rng(11);
+  auto cell = BuildLstmCell(LstmSpec{.input_dim = 8, .hidden = 8}, &rng, "my_lstm");
+  const std::string json_text = CellDefToJsonText(*cell, /*pretty=*/false);
+  std::printf("exported cell '%s': %zu bytes of JSON, %d ops, %d inputs, %d outputs\n",
+              cell->name().c_str(), json_text.size(), cell->NumOps(), cell->NumInputs(),
+              cell->NumOutputs());
+
+  CellRegistry registry;
+  const CellTypeId original = registry.Register(std::move(cell));
+  const CellTypeId reloaded = registry.Register(CellDefFromJsonText(json_text));
+  std::printf("registered original as type %d; reloaded JSON deduplicated to type %d "
+              "(same weights => same cell type)\n\n",
+              original, reloaded);
+
+  // ---- Part 2: capacity planning in simulation ----
+  // Attach the paper's V100 LSTM cost curve to the cell type and compare
+  // serving policies at a few traffic levels.
+  CellRegistry sim_registry;
+  Rng sim_rng(12);
+  const LstmModel model(&sim_registry, LstmSpec{.input_dim = 8, .hidden = 8}, &sim_rng);
+  sim_registry.SetMaxBatch(model.cell_type(), 512);
+  CostModel cost;
+  cost.SetCurve(model.cell_type(), GpuLstmCurve());
+  cost.SetPerTaskOverheadMicros(kBatchMakerTaskOverheadMicros);
+  cost.SetPerItemOverheadMicros(kBatchMakerPerItemOverheadMicros);
+
+  Rng data_rng(13);
+  const WmtLengthSampler sampler;
+  const auto dataset = SampleChainDataset(5000, sampler, &data_rng);
+  LoadGenOptions options;
+  options.horizon_seconds = 2.0;
+
+  std::printf("capacity planning on one simulated V100 (h=1024 LSTM):\n");
+  std::printf("%10s | %-28s | %-28s\n", "load", "BatchMaker p50/p90 (ms)",
+              "padding bw10 p50/p90 (ms)");
+  for (double rate : {2000.0, 6000.0, 12000.0, 18000.0}) {
+    BatchMakerSystem bm(
+        &sim_registry, &cost,
+        [&model](const WorkItem& item) { return model.Unfold(item.length); });
+    PaddingSystemOptions pad_options;
+    PaddingSystem pad(pad_options);
+    const LoadPoint bm_point = RunOpenLoop(&bm, dataset, rate, options);
+    const LoadPoint pad_point = RunOpenLoop(&pad, dataset, rate, options);
+    std::printf("%7.0f/s | %10.1f / %-10.1f %s | %10.1f / %-10.1f %s\n", rate,
+                bm_point.p50_ms, bm_point.p90_ms, bm_point.saturated ? "(sat)" : "     ",
+                pad_point.p50_ms, pad_point.p90_ms, pad_point.saturated ? "(sat)" : "     ");
+  }
+  std::printf("\ncellular batching keeps latency flat until much closer to device peak.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Quickstart: serve a chain LSTM with cellular batching.
+//
+// This walks the paper's user workflow end to end:
+//   1. build a cell (an LSTM) with embedded weights,
+//   2. register it with the cell registry,
+//   3. start the BatchMaker server (manager + worker threads),
+//   4. submit requests of different lengths concurrently,
+//   5. observe that they execute cell-by-cell, batched across requests,
+//      and that each request returns as soon as its own last cell is done.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "src/core/server.h"
+#include "src/nn/lstm.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+int main() {
+  using namespace batchmaker;
+
+  // 1-2. Build and register the cell. All unfolded steps of every request
+  // share these weights, which is what makes cross-request batching legal.
+  CellRegistry registry;
+  Rng rng(42);
+  const LstmSpec spec{.input_dim = 64, .hidden = 64};
+  const LstmModel model(&registry, spec, &rng);
+  registry.SetMaxBatch(model.cell_type(), 64);
+
+  // 3. Start the server: one manager thread, one worker ("GPU") thread.
+  Server server(&registry);
+  server.Start();
+
+  // 4. Submit eight requests with lengths 2..9 at once. Each request
+  // provides per-step input vectors plus the initial hidden/cell state.
+  std::printf("submitting 8 LSTM requests, lengths 2..9\n");
+  Rng data_rng(7);
+  std::vector<std::promise<std::vector<Tensor>>> promises(8);
+  std::vector<std::future<std::vector<Tensor>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    const int len = 2 + i;
+    std::vector<Tensor> externals;
+    for (int t = 0; t < len; ++t) {
+      std::vector<float> x(64);
+      for (auto& v : x) {
+        v = static_cast<float>(data_rng.NextUniform(-1, 1));
+      }
+      externals.push_back(ExternalVecTensor(x));
+    }
+    externals.push_back(ExternalZeroVecTensor(64));  // h0
+    externals.push_back(ExternalZeroVecTensor(64));  // c0
+
+    futures.push_back(promises[static_cast<size_t>(i)].get_future());
+    auto* promise = &promises[static_cast<size_t>(i)];
+    server.Submit(model.Unfold(len), std::move(externals),
+                  {ValueRef::Output(len - 1, 0)},  // final hidden state
+                  [promise](RequestId, std::vector<Tensor> outputs) {
+                    promise->set_value(std::move(outputs));
+                  });
+  }
+
+  // 5. Collect results.
+  for (int i = 0; i < 8; ++i) {
+    const auto outputs = futures[static_cast<size_t>(i)].get();
+    std::printf("request %d (length %d): final h = %s\n", i + 1, 2 + i,
+                outputs[0].DebugString(4).c_str());
+  }
+  server.Shutdown();
+
+  const int64_t total_cells = 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9;
+  std::printf("\ncellular batching at work: %lld cells executed in %lld batched tasks\n",
+              static_cast<long long>(total_cells),
+              static_cast<long long>(server.TasksExecuted()));
+  std::printf("(unbatched execution would have run %lld tasks)\n",
+              static_cast<long long>(total_cells));
+  for (const auto& r : server.metrics().records()) {
+    std::printf("request %llu: latency %s\n", static_cast<unsigned long long>(r.id),
+                FormatMicros(r.LatencyMicros()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Stacked-LSTM language-model scoring service.
+//
+// A two-layer LSTM language model serves "perplexity scoring" requests:
+// each request runs its token-embedding sequence through both layers and
+// returns the top layer's final hidden state, from which the host computes
+// a score. Each layer is its own cell type with its own weights; the
+// scheduler batches every layer across concurrent requests and (per the
+// paper's §4.3 priority rule) prefers deeper layers, which sit later in
+// the dataflow.
+//
+// Build & run:  ./build/examples/stacked_lm_scoring
+
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "src/core/server.h"
+#include "src/nn/stacked_lstm.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+int main() {
+  using namespace batchmaker;
+
+  CellRegistry registry;
+  Rng rng(123);
+  const StackedLstmSpec spec{.input_dim = 32, .hidden = 32, .num_layers = 2};
+  const StackedLstmModel model(&registry, spec, &rng);
+  for (int l = 0; l < spec.num_layers; ++l) {
+    registry.SetMaxBatch(model.layer_type(l), 64);
+  }
+
+  Server server(&registry);
+  server.Start();
+
+  Rng data_rng(321);
+  constexpr int kRequests = 10;
+  std::vector<std::promise<std::vector<Tensor>>> promises(kRequests);
+  std::vector<std::future<std::vector<Tensor>>> futures;
+  std::vector<int> lengths;
+
+  for (int i = 0; i < kRequests; ++i) {
+    const int len = 3 + static_cast<int>(data_rng.NextBelow(10));
+    lengths.push_back(len);
+    std::vector<Tensor> externals;
+    for (int t = 0; t < len; ++t) {
+      std::vector<float> x(32);
+      for (auto& v : x) {
+        v = static_cast<float>(data_rng.NextUniform(-1, 1));
+      }
+      externals.push_back(ExternalVecTensor(x));
+    }
+    for (int l = 0; l < spec.num_layers; ++l) {
+      externals.push_back(ExternalZeroVecTensor(32));  // h0 of layer l
+      externals.push_back(ExternalZeroVecTensor(32));  // c0 of layer l
+    }
+    const int top_last = StackedLstmModel::NodeId(len, spec.num_layers - 1, len - 1);
+    futures.push_back(promises[static_cast<size_t>(i)].get_future());
+    auto* promise = &promises[static_cast<size_t>(i)];
+    server.Submit(model.Unfold(len), std::move(externals),
+                  {ValueRef::Output(top_last, 0)},
+                  [promise](RequestId, std::vector<Tensor> outputs) {
+                    promise->set_value(std::move(outputs));
+                  });
+  }
+
+  for (int i = 0; i < kRequests; ++i) {
+    const auto outputs = futures[static_cast<size_t>(i)].get();
+    // Toy "log-likelihood" readout: mean of the top layer's final h.
+    float score = 0.0f;
+    for (int d = 0; d < 32; ++d) {
+      score += outputs[0].At(0, d);
+    }
+    score /= 32.0f;
+    std::printf("request %2d (len %2d): lm score %+.4f\n", i + 1,
+                lengths[static_cast<size_t>(i)], score);
+  }
+  server.Shutdown();
+
+  int total_cells = 0;
+  for (int len : lengths) {
+    total_cells += len * spec.num_layers;
+  }
+  std::printf("\n%d stacked-LSTM cells (2 layers x %d requests) in %lld batched tasks\n",
+              total_cells, kRequests, static_cast<long long>(server.TasksExecuted()));
+  return 0;
+}

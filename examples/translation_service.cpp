@@ -1,0 +1,119 @@
+// Translation service: a Seq2Seq (encoder/decoder) inference server with
+// greedy "feed previous" decoding — the paper's machine-translation
+// scenario (§7.4, Figure 12).
+//
+// A toy German->English model with random weights serves a burst of
+// concurrent "sentences". The decoder's token output feeds the next
+// decoder step inside the cell graph itself, so the whole decode loop runs
+// server-side; encoder steps of newly arriving requests batch with decoder
+// steps of older requests already in flight.
+//
+// Build & run:  ./build/examples/translation_service
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "src/core/server.h"
+#include "src/nn/seq2seq.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace {
+
+// A tiny demo vocabulary; id 0 is <go>.
+const char* kVocab[] = {"<go>", "the", "system", "research", "is",  "cool", "fast",
+                        "batch", "cells", "join",  "leave",   "gpu", "low",  "latency",
+                        "queue", "serve"};
+constexpr int kVocabSize = static_cast<int>(std::size(kVocab));
+
+std::string Detokenize(const std::vector<int32_t>& tokens) {
+  std::vector<std::string> words;
+  for (int32_t t : tokens) {
+    words.push_back(kVocab[t % kVocabSize]);
+  }
+  return batchmaker::StrJoin(words, " ");
+}
+
+}  // namespace
+
+int main() {
+  using namespace batchmaker;
+
+  CellRegistry registry;
+  Rng rng(2024);
+  const Seq2SeqSpec spec{.vocab = kVocabSize, .embed_dim = 32, .hidden = 32};
+  const Seq2SeqModel model(&registry, spec, &rng);
+  // Different maximum batch sizes per cell type — something graph batching
+  // cannot do (§7.4).
+  registry.SetMaxBatch(model.encoder_type(), 64);
+  registry.SetMaxBatch(model.decoder_type(), 32);
+
+  ServerOptions options;
+  options.num_workers = 2;
+  Server server(&registry, options);
+  server.Start();
+
+  // Submit 12 concurrent translation requests with varying lengths.
+  Rng data_rng(99);
+  struct PendingRequest {
+    int src_len;
+    int dec_len;
+    std::future<std::vector<Tensor>> future;
+    std::chrono::steady_clock::time_point t0;
+  };
+  std::vector<PendingRequest> pending;
+  std::vector<std::promise<std::vector<Tensor>>> promises(12);
+
+  for (int i = 0; i < 12; ++i) {
+    const int src_len = 3 + static_cast<int>(data_rng.NextBelow(8));
+    const int dec_len = 3 + static_cast<int>(data_rng.NextBelow(8));
+    const CellGraph graph = model.Unfold(src_len, dec_len);
+
+    std::vector<Tensor> externals;
+    for (int t = 0; t < src_len; ++t) {
+      externals.push_back(
+          ExternalTokenTensor(1 + static_cast<int32_t>(data_rng.NextBelow(kVocabSize - 1))));
+    }
+    externals.push_back(ExternalTokenTensor(0));  // <go>
+    externals.push_back(ExternalZeroVecTensor(32));
+    externals.push_back(ExternalZeroVecTensor(32));
+
+    // Fetch every decoder step's token output (output index 2).
+    std::vector<ValueRef> wanted;
+    for (int t = 0; t < dec_len; ++t) {
+      wanted.push_back(ValueRef::Output(src_len + t, 2));
+    }
+
+    auto* promise = &promises[static_cast<size_t>(i)];
+    PendingRequest req{src_len, dec_len, promise->get_future(),
+                       std::chrono::steady_clock::now()};
+    server.Submit(CellGraph(graph), std::move(externals), std::move(wanted),
+                  [promise](RequestId, std::vector<Tensor> outputs) {
+                    promise->set_value(std::move(outputs));
+                  });
+    pending.push_back(std::move(req));
+  }
+
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const auto outputs = pending[i].future.get();
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - pending[i].t0)
+                             .count();
+    std::vector<int32_t> tokens;
+    for (const Tensor& t : outputs) {
+      tokens.push_back(t.IntAt(0, 0));
+    }
+    std::printf("req %2zu  src_len=%2d dec_len=%2d  %-8s  \"%s\"\n", i + 1,
+                pending[i].src_len, pending[i].dec_len,
+                FormatMicros(static_cast<double>(elapsed)).c_str(),
+                Detokenize(tokens).c_str());
+  }
+  server.Shutdown();
+  std::printf("\nexecuted %lld batched tasks for %zu requests "
+              "(encoder and decoder cells batched independently)\n",
+              static_cast<long long>(server.TasksExecuted()), pending.size());
+  return 0;
+}

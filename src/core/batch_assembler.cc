@@ -1,0 +1,97 @@
+#include "src/core/batch_assembler.h"
+
+#include "src/tensor/ops.h"
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+BatchAssembler::BatchAssembler(const CellRegistry* registry) : registry_(registry) {
+  BM_CHECK(registry != nullptr);
+}
+
+void BatchAssembler::ExecuteTask(const BatchedTask& task, RequestProcessor* processor) const {
+  BM_CHECK(processor != nullptr);
+  std::vector<RequestState*> states;
+  states.reserve(task.entries.size());
+  for (const TaskEntry& entry : task.entries) {
+    RequestState* state = processor->FindRequest(entry.request);
+    BM_CHECK(state != nullptr) << "task entry for unknown request " << entry.request;
+    states.push_back(state);
+  }
+  ExecuteTask(task, states);
+}
+
+void BatchAssembler::ExecuteTask(const BatchedTask& task,
+                                 const std::vector<RequestState*>& states) const {
+  BM_CHECK_GT(task.BatchSize(), 0);
+  BM_CHECK_EQ(states.size(), task.entries.size());
+  const CellDef& def = registry_->def(task.type);
+  const CellExecutor& executor = registry_->executor(task.type);
+  const int batch = task.BatchSize();
+  for (RequestState* state : states) {
+    BM_CHECK(state != nullptr);
+    BM_CHECK(!state->externals.empty())
+        << "real-compute execution requires external input tensors";
+  }
+
+  // Gather: one contiguous [batch, row] tensor per cell input slot.
+  std::vector<Tensor> gathered;
+  gathered.reserve(static_cast<size_t>(def.NumInputs()));
+  for (int slot = 0; slot < def.NumInputs(); ++slot) {
+    std::vector<const Tensor*> sources;
+    std::vector<int64_t> rows;
+    sources.reserve(static_cast<size_t>(batch));
+    rows.reserve(static_cast<size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      const TaskEntry& entry = task.entries[static_cast<size_t>(i)];
+      RequestState* state = states[static_cast<size_t>(i)];
+      const CellNode& node = state->graph.node(entry.node);
+      const ValueRef& ref = node.inputs[static_cast<size_t>(slot)];
+      if (ref.is_external()) {
+        BM_CHECK_LT(static_cast<size_t>(ref.external), state->externals.size());
+        sources.push_back(&state->externals[static_cast<size_t>(ref.external)]);
+      } else {
+        const auto& producer_outputs = state->node_outputs[static_cast<size_t>(ref.node)];
+        BM_CHECK(!producer_outputs.empty())
+            << "node " << ref.node << " of request " << entry.request
+            << " consumed before it produced output (scheduling bug)";
+        sources.push_back(&producer_outputs[static_cast<size_t>(ref.output)]);
+      }
+      rows.push_back(0);  // per-request tensors are [1, ...]
+    }
+    gathered.push_back(GatherRows(sources, rows));
+  }
+
+  // Execute the whole batch in one cell invocation.
+  std::vector<const Tensor*> input_ptrs;
+  input_ptrs.reserve(gathered.size());
+  for (const Tensor& t : gathered) {
+    input_ptrs.push_back(&t);
+  }
+  std::vector<Tensor> outputs = executor.Execute(input_ptrs);
+
+  // Scatter each output row back to its node.
+  for (int i = 0; i < batch; ++i) {
+    const TaskEntry& entry = task.entries[static_cast<size_t>(i)];
+    RequestState* state = states[static_cast<size_t>(i)];
+    auto& node_out = state->node_outputs[static_cast<size_t>(entry.node)];
+    node_out.clear();
+    node_out.reserve(outputs.size());
+    for (const Tensor& out : outputs) {
+      node_out.push_back(ExtractRow(out, i));
+    }
+  }
+}
+
+Tensor ExternalTokenTensor(int32_t token) {
+  return Tensor::FromIntVector(Shape{1, 1}, {token});
+}
+
+Tensor ExternalVecTensor(const std::vector<float>& values) {
+  const int64_t dim = static_cast<int64_t>(values.size());
+  return Tensor::FromVector(Shape{1, dim}, values);
+}
+
+Tensor ExternalZeroVecTensor(int64_t dim) { return Tensor::Zeros(Shape{1, dim}); }
+
+}  // namespace batchmaker

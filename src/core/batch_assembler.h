@@ -1,0 +1,44 @@
+// BatchAssembler: the real-compute execution path for a batched task.
+//
+// Implements the paper's "gather" step (§4.3: batched inputs must be laid
+// out in contiguous memory before execution): for each cell input slot, one
+// row per task entry is gathered from the producing node's output (or from
+// the request's external inputs) into a contiguous [batch, ...] tensor. The
+// cell executor runs once on the whole batch, and the outputs are scattered
+// back into per-node output tensors.
+
+#ifndef SRC_CORE_BATCH_ASSEMBLER_H_
+#define SRC_CORE_BATCH_ASSEMBLER_H_
+
+#include "src/core/request_processor.h"
+#include "src/graph/cell_registry.h"
+#include "src/runtime/task.h"
+
+namespace batchmaker {
+
+class BatchAssembler {
+ public:
+  explicit BatchAssembler(const CellRegistry* registry);
+
+  // Gathers, executes, and scatters one task. Every entry's request must
+  // still be active in `processor` and carry external tensors (real-compute
+  // mode). Thread-safe with respect to other tasks whose entries do not
+  // overlap, which the scheduler's pinning discipline guarantees.
+  void ExecuteTask(const BatchedTask& task, RequestProcessor* processor) const;
+
+  // Same, with request states pre-resolved (states[i] owns task.entries[i]).
+  // Used by the threaded server so workers never read the request map.
+  void ExecuteTask(const BatchedTask& task, const std::vector<RequestState*>& states) const;
+
+ private:
+  const CellRegistry* registry_;
+};
+
+// Helpers to build [1, ...]-shaped per-request external tensors.
+Tensor ExternalTokenTensor(int32_t token);
+Tensor ExternalVecTensor(const std::vector<float>& values);
+Tensor ExternalZeroVecTensor(int64_t dim);
+
+}  // namespace batchmaker
+
+#endif  // SRC_CORE_BATCH_ASSEMBLER_H_

@@ -1,0 +1,30 @@
+#include "src/core/metrics.h"
+
+namespace batchmaker {
+
+SampleSet MetricsCollector::Latencies(double from, double to) const {
+  return Collect(from, to, [](const RequestRecord& r) { return r.LatencyMicros(); });
+}
+
+SampleSet MetricsCollector::QueueingTimes(double from, double to) const {
+  return Collect(from, to, [](const RequestRecord& r) { return r.QueueingMicros(); });
+}
+
+SampleSet MetricsCollector::ComputeTimes(double from, double to) const {
+  return Collect(from, to, [](const RequestRecord& r) { return r.ComputeMicros(); });
+}
+
+double MetricsCollector::ThroughputRps(double from, double to) const {
+  if (to <= from) {
+    return 0.0;
+  }
+  size_t completed = 0;
+  for (const RequestRecord& r : records_) {
+    if (r.completion_micros >= from && r.completion_micros < to) {
+      ++completed;
+    }
+  }
+  return static_cast<double>(completed) / ((to - from) * 1e-6);
+}
+
+}  // namespace batchmaker

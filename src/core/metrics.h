@@ -1,0 +1,68 @@
+// Per-request serving metrics: queueing time (arrival -> start of first
+// task), computation time (start -> completion) and total latency, matching
+// the paper's measurement methodology (§7.3, Figure 9).
+
+#ifndef SRC_CORE_METRICS_H_
+#define SRC_CORE_METRICS_H_
+
+#include <vector>
+
+#include "src/runtime/task.h"
+#include "src/util/stats.h"
+
+namespace batchmaker {
+
+struct RequestRecord {
+  RequestId id = 0;
+  double arrival_micros = 0.0;
+  double exec_start_micros = -1.0;
+  double completion_micros = -1.0;
+  int num_nodes = 0;
+
+  double LatencyMicros() const { return completion_micros - arrival_micros; }
+  double QueueingMicros() const { return exec_start_micros - arrival_micros; }
+  double ComputeMicros() const { return completion_micros - exec_start_micros; }
+};
+
+class MetricsCollector {
+ public:
+  void Record(RequestRecord record) { records_.push_back(record); }
+  // Counts a request shed before execution (queue timeout); dropped
+  // requests never enter the latency/throughput samples.
+  void RecordDropped() { ++dropped_; }
+  void Clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
+
+  const std::vector<RequestRecord>& records() const { return records_; }
+  size_t NumCompleted() const { return records_.size(); }
+  size_t NumDropped() const { return dropped_; }
+
+  // Sample sets over requests whose arrival falls in [from, to) micros.
+  SampleSet Latencies(double from = 0.0, double to = 1e300) const;
+  SampleSet QueueingTimes(double from = 0.0, double to = 1e300) const;
+  SampleSet ComputeTimes(double from = 0.0, double to = 1e300) const;
+
+  // Completed requests per second over completions in [from, to) micros.
+  double ThroughputRps(double from, double to) const;
+
+ private:
+  template <typename F>
+  SampleSet Collect(double from, double to, F f) const {
+    SampleSet out;
+    for (const RequestRecord& r : records_) {
+      if (r.arrival_micros >= from && r.arrival_micros < to) {
+        out.Add(f(r));
+      }
+    }
+    return out;
+  }
+
+  std::vector<RequestRecord> records_;
+  size_t dropped_ = 0;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_CORE_METRICS_H_

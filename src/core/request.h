@@ -1,0 +1,103 @@
+// Request lifecycle state for cellular batching.
+//
+// Each request is unfolded into a CellGraph (paper §4.2) and partitioned
+// into same-type connected subgraphs (§4.3). The per-node dependency
+// machinery distinguishes two kinds of predecessor edges:
+//   * internal (same subgraph): satisfied when the predecessor has been
+//     *scheduled* — tasks touching one subgraph are pinned to one worker,
+//     whose FIFO stream guarantees execution order (§4.3, §5);
+//   * external (across subgraphs): satisfied only when the predecessor has
+//     *completed*, since the consumer subgraph may run on another worker.
+// A subgraph is passed to the scheduler once all of its external
+// dependencies are satisfied.
+
+#ifndef SRC_CORE_REQUEST_H_
+#define SRC_CORE_REQUEST_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "src/graph/cell_graph.h"
+#include "src/runtime/task.h"
+#include "src/tensor/tensor.h"
+
+namespace batchmaker {
+
+struct RequestState;
+
+// One same-type connected subgraph of a request's cell graph.
+struct Subgraph {
+  RequestState* owner = nullptr;
+  int id = 0;  // index within owner->subgraphs
+  CellTypeId type = kInvalidCellType;
+  std::vector<int> nodes;  // cell-graph node ids, ascending
+
+  // Nodes whose dependencies allow scheduling now (internal preds
+  // scheduled; the subgraph itself released).
+  std::vector<int> ready;
+  // Nodes not yet put into a task.
+  int unscheduled = 0;
+  // Outstanding external predecessor completions before release.
+  int unmet_external = 0;
+  bool released = false;
+  // All remaining nodes cancelled; the subgraph will never release or
+  // schedule again.
+  bool cancelled = false;
+
+  // Scheduling state (managed by the Scheduler).
+  int pinned_worker = -1;  // -1 = unpinned (Algorithm 1: pinned == None)
+  // Worker that executed this subgraph's most recent task; scheduling the
+  // next task on a different worker is a migration (state copy).
+  int last_worker = -1;
+  int inflight_tasks = 0;  // batched tasks containing nodes of this subgraph
+  bool in_queue = false;   // present in the scheduler's per-type queue
+  // Position in that queue, valid iff in_queue (O(1) removal handle).
+  std::list<Subgraph*>::iterator queue_pos;
+};
+
+enum class NodeStage : uint8_t {
+  kPending = 0,  // dependencies unmet
+  kReady,        // schedulable
+  kScheduled,    // inside a submitted task
+  kCompleted,
+  kCancelled,    // early termination (e.g. <eos> emitted): never executes
+};
+
+struct NodeState {
+  NodeStage stage = NodeStage::kPending;
+  int subgraph = -1;        // owning subgraph id
+  int unmet_internal = 0;   // same-subgraph predecessors not yet scheduled
+  int unmet_external = 0;   // cross-subgraph predecessors not yet completed
+};
+
+struct RequestState {
+  RequestId id = 0;
+  CellGraph graph;
+  double arrival_micros = 0.0;
+
+  // Real-compute mode only: external input tensors (indexed by the
+  // ValueRef::External indices the unfold function used) and per-node
+  // output tensors, filled in as cells execute.
+  std::vector<Tensor> externals;
+  std::vector<std::vector<Tensor>> node_outputs;
+
+  std::vector<NodeState> nodes;
+  std::vector<std::unique_ptr<Subgraph>> subgraphs;
+  int remaining_nodes = 0;
+  int cancelled_nodes = 0;
+
+  // Metrics (virtual or real micros, depending on the engine).
+  double exec_start_micros = -1.0;  // first task containing this request started
+  double completion_micros = -1.0;
+  // Load shedding: the request was cancelled before execution started
+  // (queue timeout); it must not count toward served-latency statistics.
+  bool dropped = false;
+
+  bool Completed() const { return remaining_nodes == 0; }
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_CORE_REQUEST_H_

@@ -1,0 +1,79 @@
+// RequestProcessor: tracks per-request execution progress (paper §4.2:
+// "The request processor tracks the progress of execution for each request"
+// and §4.3: analyzes the cell graph of a request to find subgraphs to pass
+// to the scheduler).
+
+#ifndef SRC_CORE_REQUEST_PROCESSOR_H_
+#define SRC_CORE_REQUEST_PROCESSOR_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/request.h"
+#include "src/graph/cell_registry.h"
+#include "src/runtime/task.h"
+
+namespace batchmaker {
+
+class RequestProcessor {
+ public:
+  // `on_subgraph_ready` fires when a subgraph's external dependencies are
+  // all satisfied (it should enqueue the subgraph with the scheduler).
+  // `on_request_complete` fires when a request's last node completes; the
+  // state remains valid during the callback and is destroyed afterwards.
+  using SubgraphReadyFn = std::function<void(Subgraph*)>;
+  using RequestCompleteFn = std::function<void(RequestState*)>;
+
+  RequestProcessor(const CellRegistry* registry, SubgraphReadyFn on_subgraph_ready,
+                   RequestCompleteFn on_request_complete);
+
+  // Admits a request: validates and partitions its cell graph, then
+  // releases dependency-free subgraphs via on_subgraph_ready. `externals`
+  // may be empty in simulation mode. Returns the request state.
+  RequestState* AddRequest(RequestId id, CellGraph graph, double arrival_micros,
+                           std::vector<Tensor> externals = {});
+
+  // Marks the nodes of a just-submitted task as scheduled and unlocks their
+  // same-subgraph successors (Algorithm 1, UpdateNodesDependency). All
+  // entries must belong to `sg`. Returns the number of nodes that became
+  // ready (they are appended to sg->ready).
+  int MarkScheduled(Subgraph* sg, const std::vector<int>& nodes);
+
+  // Marks the nodes of a completed task as completed, propagates external
+  // dependencies (possibly releasing subgraphs), and finalizes requests
+  // whose last node completed.
+  void MarkCompleted(const BatchedTask& task);
+
+  // Early termination support (e.g. the decoder emitted <eos>): cancels all
+  // nodes of `sg` that are not yet scheduled or completed. Already
+  // in-flight nodes still execute; their completions no longer unlock
+  // anything in this subgraph. Clears sg->ready (the caller must adjust its
+  // own ready-node accounting *before* calling). Returns the number of
+  // nodes cancelled.
+  int CancelSubgraphRemainder(Subgraph* sg);
+
+  // Finalizes `state` if all of its nodes are completed or cancelled and
+  // none are in flight. Used after cancellation, which can leave a request
+  // with no outstanding work outside the normal completion path. Returns
+  // true if the request was finalized (and destroyed).
+  bool FinalizeIfDone(RequestState* state);
+
+  RequestState* FindRequest(RequestId id);
+  size_t NumActiveRequests() const { return requests_.size(); }
+  const CellRegistry& registry() const { return *registry_; }
+
+ private:
+  void Partition(RequestState* state);
+  void ReleaseSubgraph(Subgraph* sg);
+
+  const CellRegistry* registry_;
+  SubgraphReadyFn on_subgraph_ready_;
+  RequestCompleteFn on_request_complete_;
+  std::unordered_map<RequestId, std::unique_ptr<RequestState>> requests_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_CORE_REQUEST_PROCESSOR_H_

@@ -1,0 +1,224 @@
+#include "src/core/scheduler.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+Scheduler::Scheduler(const CellRegistry* registry, RequestProcessor* processor,
+                     SchedulerOptions options)
+    : registry_(registry), processor_(processor), options_(options) {
+  BM_CHECK(registry != nullptr);
+  BM_CHECK(processor != nullptr);
+  BM_CHECK_GT(options_.max_tasks_to_submit, 0);
+  types_.resize(static_cast<size_t>(registry_->NumTypes()));
+}
+
+void Scheduler::EnqueueSubgraph(Subgraph* sg) {
+  BM_CHECK(sg != nullptr);
+  BM_CHECK(sg->released);
+  BM_CHECK(!sg->in_queue);
+  BM_CHECK_GE(sg->type, 0);
+  BM_CHECK_LT(sg->type, static_cast<CellTypeId>(types_.size()));
+  TypeState& ts = types_[static_cast<size_t>(sg->type)];
+  sg->in_queue = true;
+  sg->queue_pos = ts.queue.insert(ts.queue.end(), sg);
+  ts.ready_nodes += static_cast<int>(sg->ready.size());
+}
+
+std::vector<BatchedTask> Scheduler::Schedule(int worker) {
+  // Criterion (a): a full batch is available.
+  std::vector<CellTypeId> candidates;
+  for (CellTypeId ct = 0; ct < static_cast<CellTypeId>(types_.size()); ++ct) {
+    if (types_[static_cast<size_t>(ct)].ready_nodes >= registry_->info(ct).max_batch) {
+      candidates.push_back(ct);
+    }
+  }
+  // Criterion (b): ready work for a type with nothing running (avoids
+  // starving a type entirely).
+  if (candidates.empty()) {
+    for (CellTypeId ct = 0; ct < static_cast<CellTypeId>(types_.size()); ++ct) {
+      const TypeState& ts = types_[static_cast<size_t>(ct)];
+      if (ts.running_tasks == 0 && ts.ready_nodes > 0) {
+        candidates.push_back(ct);
+      }
+    }
+  }
+  // Criterion (c): any ready work.
+  if (candidates.empty()) {
+    for (CellTypeId ct = 0; ct < static_cast<CellTypeId>(types_.size()); ++ct) {
+      if (types_[static_cast<size_t>(ct)].ready_nodes > 0) {
+        candidates.push_back(ct);
+      }
+    }
+  }
+  if (candidates.empty()) {
+    return {};
+  }
+
+  CellTypeId best = candidates[0];
+  for (CellTypeId ct : candidates) {
+    if (registry_->info(ct).priority > registry_->info(best).priority) {
+      best = ct;
+    }
+  }
+
+  std::vector<BatchedTask> out;
+  Batch(best, worker, &out);
+  return out;
+}
+
+void Scheduler::Batch(CellTypeId type, int worker, std::vector<BatchedTask>* out) {
+  TypeState& ts = types_[static_cast<size_t>(type)];
+  const CellTypeInfo& info = registry_->info(type);
+  int num_tasks = 0;
+  while (num_tasks < options_.max_tasks_to_submit) {
+    std::vector<std::pair<Subgraph*, std::vector<int>>> by_subgraph;
+    BatchedTask task = FormBatchedTask(type, worker, &by_subgraph);
+    if (task.entries.empty()) {
+      break;
+    }
+    // Algorithm 1 line 16: always submit the first task; subsequent tasks
+    // only if they meet the minimum batch size.
+    if (task.BatchSize() < info.min_batch && num_tasks > 0) {
+      break;
+    }
+
+    task.id = next_task_id_++;
+    task.type = type;
+    task.worker = worker;
+
+    // UpdateNodesDependency + pinning (Algorithm 1 lines 18-21).
+    std::vector<Subgraph*> touched;
+    touched.reserve(by_subgraph.size());
+    for (auto& [sg, nodes] : by_subgraph) {
+      const int newly_ready = processor_->MarkScheduled(sg, nodes);
+      ts.ready_nodes += newly_ready - static_cast<int>(nodes.size());
+      BM_CHECK(sg->pinned_worker == -1 || sg->pinned_worker == worker);
+      sg->pinned_worker = worker;
+      if (sg->last_worker != -1 && sg->last_worker != worker) {
+        task.migrated_subgraphs++;  // state copy from the previous device
+        ++total_migrations_;
+      }
+      sg->last_worker = worker;
+      sg->inflight_tasks++;
+      touched.push_back(sg);
+      RemoveFromQueueIfDone(&ts, sg);
+    }
+    BM_CHECK_GE(ts.ready_nodes, 0);
+    inflight_subgraphs_.emplace(task.id, std::move(touched));
+    ts.running_tasks++;
+    out->push_back(std::move(task));
+    num_tasks++;
+  }
+}
+
+BatchedTask Scheduler::FormBatchedTask(
+    CellTypeId type, int worker,
+    std::vector<std::pair<Subgraph*, std::vector<int>>>* by_subgraph) {
+  TypeState& ts = types_[static_cast<size_t>(type)];
+  const int max_batch = registry_->info(type).max_batch;
+  BatchedTask task;
+  for (Subgraph* sg : ts.queue) {
+    if (sg->pinned_worker != -1 && sg->pinned_worker != worker) {
+      continue;  // pinned to another worker
+    }
+    if (sg->ready.empty()) {
+      continue;
+    }
+    std::vector<int> picked;
+    for (int node : sg->ready) {
+      task.entries.push_back(TaskEntry{sg->owner->id, node});
+      picked.push_back(node);
+      if (task.BatchSize() == max_batch) {
+        break;
+      }
+    }
+    by_subgraph->emplace_back(sg, std::move(picked));
+    if (task.BatchSize() == max_batch) {
+      break;
+    }
+  }
+  return task;
+}
+
+void Scheduler::RemoveFromQueueIfDone(TypeState* ts, Subgraph* sg) {
+  if (sg->unscheduled > 0) {
+    return;
+  }
+  // Fully scheduled: nothing left to batch from this subgraph. Remove it
+  // from the queue eagerly so no dangling pointer survives the request's
+  // completion. The stored iterator makes this O(1).
+  BM_CHECK(sg->ready.empty());
+  BM_CHECK(sg->in_queue);
+  sg->in_queue = false;
+  ts->queue.erase(sg->queue_pos);
+}
+
+void Scheduler::OnTaskCompleted(const BatchedTask& task) {
+  TypeState& ts = types_[static_cast<size_t>(task.type)];
+  BM_CHECK_GT(ts.running_tasks, 0);
+  ts.running_tasks--;
+
+  const auto it = inflight_subgraphs_.find(task.id);
+  BM_CHECK(it != inflight_subgraphs_.end()) << "completion for unknown task " << task.id;
+  for (Subgraph* sg : it->second) {
+    BM_CHECK_GT(sg->inflight_tasks, 0);
+    if (--sg->inflight_tasks == 0) {
+      sg->pinned_worker = -1;  // unpin (Algorithm 1's counter reaching zero)
+    }
+  }
+  inflight_subgraphs_.erase(it);
+
+  // Propagate completion last: this may destroy finished requests and
+  // their subgraphs, and may enqueue newly released subgraphs.
+  processor_->MarkCompleted(task);
+}
+
+int Scheduler::CancelRequest(RequestId id) {
+  RequestState* state = processor_->FindRequest(id);
+  if (state == nullptr) {
+    return 0;
+  }
+  int total_cancelled = 0;
+  for (const auto& sg_ptr : state->subgraphs) {
+    Subgraph* sg = sg_ptr.get();
+    TypeState& ts = types_[static_cast<size_t>(sg->type)];
+    if (sg->in_queue) {
+      ts.ready_nodes -= static_cast<int>(sg->ready.size());
+      BM_CHECK_GE(ts.ready_nodes, 0);
+    }
+    total_cancelled += processor_->CancelSubgraphRemainder(sg);
+    if (sg->in_queue) {
+      RemoveFromQueueIfDone(&ts, sg);
+    }
+  }
+  // If nothing is in flight, the request is done now; otherwise the last
+  // in-flight completion finalizes it via MarkCompleted.
+  processor_->FinalizeIfDone(state);
+  return total_cancelled;
+}
+
+int Scheduler::NumReadyNodes(CellTypeId type) const {
+  BM_CHECK_GE(type, 0);
+  BM_CHECK_LT(type, static_cast<CellTypeId>(types_.size()));
+  return types_[static_cast<size_t>(type)].ready_nodes;
+}
+
+int Scheduler::NumRunningTasks(CellTypeId type) const {
+  BM_CHECK_GE(type, 0);
+  BM_CHECK_LT(type, static_cast<CellTypeId>(types_.size()));
+  return types_[static_cast<size_t>(type)].running_tasks;
+}
+
+bool Scheduler::HasReadyWork() const {
+  for (const TypeState& ts : types_) {
+    if (ts.ready_nodes > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace batchmaker

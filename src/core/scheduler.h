@@ -1,0 +1,102 @@
+// Scheduler: a faithful implementation of the paper's Algorithm 1
+// ("Scheduling and Batching Algorithm", §4.3).
+//
+// For each cell type the scheduler keeps a queue of released subgraphs.
+// Schedule(worker) picks a cell type by three criteria in order —
+//   (a) types whose ready-node count reaches the type's maximum batch size,
+//   (b) types with ready nodes but no running tasks,
+//   (c) any type with ready nodes,
+// breaking ties by cell priority — then forms up to MaxTasksToSubmit
+// batched tasks from that type's subgraphs. Subgraphs touched by a task are
+// pinned to the worker until all their in-flight tasks complete, which (with
+// FIFO worker streams) guarantees cross-task data dependencies and
+// preserves locality.
+
+#ifndef SRC_CORE_SCHEDULER_H_
+#define SRC_CORE_SCHEDULER_H_
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/request.h"
+#include "src/core/request_processor.h"
+#include "src/graph/cell_registry.h"
+#include "src/runtime/task.h"
+
+namespace batchmaker {
+
+struct SchedulerOptions {
+  // Algorithm 1's MaxTasksToSubmit: how many tasks one Schedule() call may
+  // submit to a worker. Small values let new requests join sooner; larger
+  // values reduce scheduling overhead (paper default: 5).
+  int max_tasks_to_submit = 5;
+};
+
+class Scheduler {
+ public:
+  Scheduler(const CellRegistry* registry, RequestProcessor* processor,
+            SchedulerOptions options = {});
+
+  // Adds a released subgraph to its cell type's queue. Typically wired as
+  // the RequestProcessor's on_subgraph_ready callback.
+  void EnqueueSubgraph(Subgraph* sg);
+
+  // Algorithm 1, Schedule(worker): forms batched tasks for an idle worker.
+  // Returned tasks must be submitted to that worker's FIFO stream in order.
+  // Empty result means there is nothing to run.
+  std::vector<BatchedTask> Schedule(int worker);
+
+  // Must be called when a task finishes: updates pins and per-type running
+  // counts, then propagates completion through the RequestProcessor (which
+  // may release new subgraphs back into the scheduler).
+  void OnTaskCompleted(const BatchedTask& task);
+
+  // Early termination: cancels every not-yet-scheduled node of the request
+  // (keeping queue and ready-node accounting consistent) and finalizes the
+  // request if it has no in-flight work left. Safe to call for unknown or
+  // already-finished ids (no-op). Returns the number of cancelled nodes.
+  int CancelRequest(RequestId id);
+
+  // Introspection (tests, metrics).
+  int NumReadyNodes(CellTypeId type) const;
+  int NumRunningTasks(CellTypeId type) const;
+  bool HasReadyWork() const;
+  int64_t TotalTasksFormed() const { return next_task_id_; }
+  // Subgraphs whose consecutive tasks ran on different workers (each such
+  // occurrence implies a cross-device state copy).
+  int64_t TotalMigrations() const { return total_migrations_; }
+
+ private:
+  struct TypeState {
+    // FIFO of released subgraphs; each subgraph holds its own iterator so
+    // removal on full scheduling is O(1).
+    std::list<Subgraph*> queue;
+    int ready_nodes = 0;
+    int running_tasks = 0;
+  };
+
+  // Algorithm 1, Batch(ct, worker). Appends formed tasks to `out`.
+  void Batch(CellTypeId type, int worker, std::vector<BatchedTask>* out);
+
+  // Algorithm 1, FormBatchedTask(ct, worker): gathers ready nodes from
+  // subgraphs pinned to {None, worker}, up to the type's max batch.
+  // The per-subgraph breakdown is returned through `by_subgraph`.
+  BatchedTask FormBatchedTask(CellTypeId type, int worker,
+                              std::vector<std::pair<Subgraph*, std::vector<int>>>* by_subgraph);
+
+  void RemoveFromQueueIfDone(TypeState* ts, Subgraph* sg);
+
+  const CellRegistry* registry_;
+  RequestProcessor* processor_;
+  SchedulerOptions options_;
+  std::vector<TypeState> types_;
+  uint64_t next_task_id_ = 0;
+  int64_t total_migrations_ = 0;
+  // Subgraphs touched by each in-flight task, for unpinning on completion.
+  std::unordered_map<uint64_t, std::vector<Subgraph*>> inflight_subgraphs_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_CORE_SCHEDULER_H_

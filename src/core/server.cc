@@ -1,0 +1,229 @@
+#include "src/core/server.h"
+
+#include <future>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+Server::Server(const CellRegistry* registry, ServerOptions options)
+    : registry_(registry), options_(options), assembler_(registry) {
+  BM_CHECK(registry != nullptr);
+  BM_CHECK_GT(options_.num_workers, 0);
+
+  processor_ = std::make_unique<RequestProcessor>(
+      registry,
+      /*on_subgraph_ready=*/[this](Subgraph* sg) { scheduler_->EnqueueSubgraph(sg); },
+      /*on_request_complete=*/
+      [this](RequestState* state) {
+        // Record metrics.
+        RequestRecord record;
+        record.id = state->id;
+        record.arrival_micros = state->arrival_micros;
+        record.exec_start_micros = state->exec_start_micros;
+        record.completion_micros = NowMicros();
+        record.num_nodes = state->graph.NumNodes();
+        metrics_.Record(record);
+
+        // Collect wanted outputs and fire the callback.
+        const auto wanted_it = outputs_wanted_.find(state->id);
+        BM_CHECK(wanted_it != outputs_wanted_.end());
+        std::vector<Tensor> outputs;
+        outputs.reserve(wanted_it->second.size());
+        for (const ValueRef& ref : wanted_it->second) {
+          if (state->nodes[static_cast<size_t>(ref.node)].stage == NodeStage::kCancelled) {
+            continue;  // early termination cancelled this producer
+          }
+          const auto& node_out = state->node_outputs[static_cast<size_t>(ref.node)];
+          BM_CHECK_LT(static_cast<size_t>(ref.output), node_out.size());
+          outputs.push_back(node_out[static_cast<size_t>(ref.output)]);
+        }
+        outputs_wanted_.erase(wanted_it);
+        terminations_.erase(state->id);
+
+        const auto cb_it = callbacks_.find(state->id);
+        BM_CHECK(cb_it != callbacks_.end());
+        ResponseFn callback = std::move(cb_it->second);
+        callbacks_.erase(cb_it);
+        if (callback) {
+          callback(state->id, std::move(outputs));
+        }
+        unfinished_requests_.fetch_sub(1);
+      });
+  scheduler_ = std::make_unique<Scheduler>(registry, processor_.get(), options_.scheduler);
+  outstanding_.assign(static_cast<size_t>(options_.num_workers), 0);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    task_queues_.push_back(std::make_unique<BlockingQueue<WorkerTask>>());
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Start() {
+  BM_CHECK(!started_.exchange(true)) << "Start() called twice";
+  start_time_ = std::chrono::steady_clock::now();
+  manager_thread_ = std::thread([this] { ManagerLoop(); });
+  for (int i = 0; i < options_.num_workers; ++i) {
+    worker_threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+double Server::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_time_)
+             .count() /
+         1000.0;
+}
+
+RequestId Server::Submit(CellGraph graph, std::vector<Tensor> externals,
+                         std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
+                         TerminationFn terminate) {
+  BM_CHECK(started_.load()) << "Submit before Start";
+  BM_CHECK(!shutdown_.load()) << "Submit after Shutdown";
+  BM_CHECK(!externals.empty()) << "the real-compute server requires external tensors";
+  const RequestId id = next_request_id_.fetch_add(1);
+  unfinished_requests_.fetch_add(1);
+  ArrivalMsg msg;
+  msg.id = id;
+  msg.graph = std::move(graph);
+  msg.externals = std::move(externals);
+  msg.outputs_wanted = std::move(outputs_wanted);
+  msg.on_response = std::move(on_response);
+  msg.terminate = std::move(terminate);
+  msg.arrival_micros = NowMicros();
+  inbox_.Push(ManagerMsg{std::move(msg)});
+  return id;
+}
+
+std::vector<Tensor> Server::SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
+                                          std::vector<ValueRef> outputs_wanted) {
+  std::promise<std::vector<Tensor>> promise;
+  std::future<std::vector<Tensor>> future = promise.get_future();
+  Submit(std::move(graph), std::move(externals), std::move(outputs_wanted),
+         [&promise](RequestId, std::vector<Tensor> outputs) {
+           promise.set_value(std::move(outputs));
+         });
+  return future.get();
+}
+
+void Server::Shutdown() {
+  if (!started_.load() || shutdown_.exchange(true)) {
+    return;
+  }
+  // Drain: all submitted requests must finish before we stop the threads.
+  while (unfinished_requests_.load() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  inbox_.Close();
+  manager_thread_.join();
+  for (auto& queue : task_queues_) {
+    queue->Close();
+  }
+  for (std::thread& t : worker_threads_) {
+    t.join();
+  }
+}
+
+void Server::ManagerLoop() {
+  while (auto msg = inbox_.Pop()) {
+    if (std::holds_alternative<ArrivalMsg>(*msg)) {
+      HandleArrival(std::move(std::get<ArrivalMsg>(*msg)));
+      // Admit any arrivals that queued up behind this one before
+      // scheduling, so near-simultaneous requests batch together.
+      while (auto more = inbox_.TryPop()) {
+        if (std::holds_alternative<ArrivalMsg>(*more)) {
+          HandleArrival(std::move(std::get<ArrivalMsg>(*more)));
+        } else {
+          HandleCompletion(std::move(std::get<CompletionMsg>(*more)));
+        }
+      }
+    } else {
+      HandleCompletion(std::move(std::get<CompletionMsg>(*msg)));
+    }
+    TryScheduleIdleWorkers();
+  }
+}
+
+void Server::HandleArrival(ArrivalMsg msg) {
+  outputs_wanted_.emplace(msg.id, std::move(msg.outputs_wanted));
+  callbacks_.emplace(msg.id, std::move(msg.on_response));
+  if (msg.terminate) {
+    terminations_.emplace(msg.id, std::move(msg.terminate));
+  }
+  processor_->AddRequest(msg.id, std::move(msg.graph), msg.arrival_micros,
+                         std::move(msg.externals));
+}
+
+void Server::HandleCompletion(CompletionMsg msg) {
+  const int worker = msg.task.worker;
+  BM_CHECK_GE(worker, 0);
+  outstanding_[static_cast<size_t>(worker)]--;
+  BM_CHECK_GE(outstanding_[static_cast<size_t>(worker)], 0);
+  // First-execution timestamps for queueing-time metrics.
+  for (const TaskEntry& entry : msg.task.entries) {
+    RequestState* state = processor_->FindRequest(entry.request);
+    if (state != nullptr && state->exec_start_micros < 0.0) {
+      state->exec_start_micros = msg.exec_start_micros;
+    }
+  }
+  scheduler_->OnTaskCompleted(msg.task);
+  // Early-termination predicates (the request may already be finalized, in
+  // which case FindRequest returns null and nothing happens).
+  for (const TaskEntry& entry : msg.task.entries) {
+    const auto term_it = terminations_.find(entry.request);
+    if (term_it == terminations_.end()) {
+      continue;
+    }
+    RequestState* state = processor_->FindRequest(entry.request);
+    if (state == nullptr) {
+      continue;
+    }
+    if (term_it->second(*state, entry.node)) {
+      terminations_.erase(term_it);
+      scheduler_->CancelRequest(entry.request);
+    }
+  }
+}
+
+void Server::TrySchedule(int worker) {
+  std::vector<BatchedTask> tasks = scheduler_->Schedule(worker);
+  for (BatchedTask& task : tasks) {
+    WorkerTask wt;
+    wt.states.reserve(task.entries.size());
+    for (const TaskEntry& entry : task.entries) {
+      RequestState* state = processor_->FindRequest(entry.request);
+      BM_CHECK(state != nullptr);
+      wt.states.push_back(state);
+    }
+    wt.task = std::move(task);
+    outstanding_[static_cast<size_t>(worker)]++;
+    task_queues_[static_cast<size_t>(worker)]->Push(std::move(wt));
+  }
+}
+
+void Server::TryScheduleIdleWorkers() {
+  for (int w = 0; w < options_.num_workers; ++w) {
+    if (outstanding_[static_cast<size_t>(w)] == 0) {
+      TrySchedule(w);
+      if (!scheduler_->HasReadyWork()) {
+        break;
+      }
+    }
+  }
+}
+
+void Server::WorkerLoop(int worker) {
+  auto& queue = *task_queues_[static_cast<size_t>(worker)];
+  while (auto wt = queue.Pop()) {
+    const double exec_start = NowMicros();
+    assembler_.ExecuteTask(wt->task, wt->states);
+    tasks_executed_.fetch_add(1);
+    CompletionMsg msg;
+    msg.task = std::move(wt->task);
+    msg.exec_start_micros = exec_start;
+    inbox_.Push(ManagerMsg{std::move(msg)});
+  }
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,149 @@
+// Server: the real-time, multi-threaded BatchMaker serving engine (paper
+// Figure 6).
+//
+// A manager thread owns the RequestProcessor and Scheduler; worker threads
+// (one per configured worker, standing in for the paper's per-GPU workers)
+// pop batched tasks from their FIFO task queues and execute them on the CPU
+// via the BatchAssembler (gather -> batched cell execution -> scatter).
+// Completed tasks flow back to the manager through its inbox; the manager
+// updates dependencies, schedules follow-up tasks, and fires the request
+// callback when a request's last cell finishes — so a short request
+// returns immediately even when batched with longer ones.
+//
+// Thread-safety contract: a request's tensors are only touched by the
+// worker executing a task containing the request's nodes. The scheduler
+// pins a subgraph to one worker while it has in-flight tasks, and
+// cross-subgraph consumers are only scheduled after the producer's
+// completion has passed through the manager — so no two threads ever race
+// on the same tensor. Request states are resolved on the manager thread
+// and passed to workers by pointer, so workers never read the manager's
+// request map.
+
+#ifndef SRC_CORE_SERVER_H_
+#define SRC_CORE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "src/core/batch_assembler.h"
+#include "src/core/metrics.h"
+#include "src/core/request_processor.h"
+#include "src/core/scheduler.h"
+#include "src/graph/cell_registry.h"
+#include "src/util/queue.h"
+
+namespace batchmaker {
+
+struct ServerOptions {
+  int num_workers = 1;
+  SchedulerOptions scheduler;
+};
+
+class Server {
+ public:
+  // Called on the manager thread when a request completes. Receives the
+  // tensors requested at submission (in `outputs_wanted` order). Outputs
+  // whose producing node was cancelled by early termination are skipped.
+  using ResponseFn = std::function<void(RequestId, std::vector<Tensor>)>;
+
+  // Early-termination predicate, evaluated on the manager thread after each
+  // of the request's nodes completes. Returning true cancels all of the
+  // request's not-yet-scheduled nodes (e.g. stop decoding once the token
+  // output of `completed_node` is <eos>).
+  using TerminationFn = std::function<bool(const RequestState&, int completed_node)>;
+
+  Server(const CellRegistry* registry, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Starts manager and worker threads. Must be called exactly once.
+  void Start();
+
+  // Submits a request; thread-safe. `outputs_wanted` name node outputs of
+  // `graph` to return. Returns the request id.
+  RequestId Submit(CellGraph graph, std::vector<Tensor> externals,
+                   std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
+                   TerminationFn terminate = nullptr);
+
+  // Convenience: submit and block until the response arrives.
+  std::vector<Tensor> SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
+                                    std::vector<ValueRef> outputs_wanted);
+
+  // Waits for all in-flight work to finish, then stops the threads. Safe
+  // to call more than once; the destructor calls it too.
+  void Shutdown();
+
+  // Completed-request metrics (real microseconds since Start). Only safe to
+  // read after Shutdown.
+  const MetricsCollector& metrics() const { return metrics_; }
+  int64_t TasksExecuted() const { return tasks_executed_.load(); }
+
+ private:
+  struct ArrivalMsg {
+    RequestId id;
+    CellGraph graph;
+    std::vector<Tensor> externals;
+    std::vector<ValueRef> outputs_wanted;
+    ResponseFn on_response;
+    TerminationFn terminate;
+    double arrival_micros;
+  };
+  struct CompletionMsg {
+    BatchedTask task;
+    double exec_start_micros;
+  };
+  using ManagerMsg = std::variant<ArrivalMsg, CompletionMsg>;
+
+  // A task plus the request states it touches, resolved by the manager so
+  // workers never read the request map.
+  struct WorkerTask {
+    BatchedTask task;
+    std::vector<RequestState*> states;
+  };
+
+  void ManagerLoop();
+  void WorkerLoop(int worker);
+  void HandleArrival(ArrivalMsg msg);
+  void HandleCompletion(CompletionMsg msg);
+  void TrySchedule(int worker);
+  void TryScheduleIdleWorkers();
+  double NowMicros() const;
+
+  const CellRegistry* registry_;
+  ServerOptions options_;
+  BatchAssembler assembler_;
+
+  // Manager-owned state (only the manager thread touches these after
+  // Start).
+  std::unique_ptr<RequestProcessor> processor_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unordered_map<RequestId, std::vector<ValueRef>> outputs_wanted_;
+  std::unordered_map<RequestId, ResponseFn> callbacks_;
+  std::unordered_map<RequestId, TerminationFn> terminations_;
+  std::vector<int> outstanding_;  // tasks submitted minus completed, per worker
+  MetricsCollector metrics_;
+
+  BlockingQueue<ManagerMsg> inbox_;
+  std::vector<std::unique_ptr<BlockingQueue<WorkerTask>>> task_queues_;
+
+  std::thread manager_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::atomic<RequestId> next_request_id_{1};
+  std::atomic<int64_t> tasks_executed_{0};
+  std::atomic<size_t> unfinished_requests_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> shutdown_{false};
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_CORE_SERVER_H_

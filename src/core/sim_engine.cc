@@ -1,0 +1,115 @@
+#include "src/core/sim_engine.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
+                     SimEngineOptions options)
+    : registry_(registry), queue_timeout_micros_(options.queue_timeout_micros) {
+  BM_CHECK(registry != nullptr);
+  BM_CHECK(cost_model != nullptr);
+
+  processor_ = std::make_unique<RequestProcessor>(
+      registry,
+      /*on_subgraph_ready=*/[this](Subgraph* sg) { scheduler_->EnqueueSubgraph(sg); },
+      /*on_request_complete=*/
+      [this](RequestState* state) {
+        if (state->dropped) {
+          metrics_.RecordDropped();
+          return;
+        }
+        RequestRecord record;
+        record.id = state->id;
+        record.arrival_micros = state->arrival_micros;
+        record.exec_start_micros = state->exec_start_micros;
+        record.completion_micros = events_.Now();
+        record.num_nodes = state->graph.NumNodes();
+        metrics_.Record(record);
+      });
+  scheduler_ = std::make_unique<Scheduler>(registry, processor_.get(), options.scheduler);
+  pool_ = std::make_unique<SimWorkerPool>(options.num_workers, &events_, cost_model);
+
+  pool_->set_on_task_start([this](const BatchedTask& task) {
+    for (const TaskEntry& entry : task.entries) {
+      RequestState* state = processor_->FindRequest(entry.request);
+      if (state != nullptr && state->exec_start_micros < 0.0) {
+        state->exec_start_micros = events_.Now();
+      }
+    }
+  });
+  pool_->set_on_task_done([this](const BatchedTask& task) {
+    scheduler_->OnTaskCompleted(task);
+    // Early termination: if a terminating node just completed, cancel the
+    // request's remaining cells (no-op if the request already finished).
+    for (const TaskEntry& entry : task.entries) {
+      const auto it = terminate_after_.find(entry.request);
+      if (it != terminate_after_.end() && it->second == entry.node) {
+        scheduler_->CancelRequest(entry.request);
+        terminate_after_.erase(it);
+      }
+    }
+    // Completion may have released follow-up subgraphs; if other workers
+    // sit idle they should pick that work up now rather than wait for
+    // their own idle events.
+    TryScheduleIdleWorkers();
+  });
+  pool_->set_on_idle([this](int worker) { TrySchedule(worker); });
+}
+
+RequestId SimEngine::SubmitAt(double at_micros, CellGraph graph, int terminate_after_node) {
+  const RequestId id = next_request_id_++;
+  if (terminate_after_node >= 0) {
+    BM_CHECK_LT(terminate_after_node, graph.NumNodes());
+    terminate_after_.emplace(id, terminate_after_node);
+  }
+  // CellGraph is moved into the closure; the arrival event admits it.
+  auto shared_graph = std::make_shared<CellGraph>(std::move(graph));
+  events_.ScheduleAt(at_micros, [this, id, at_micros, shared_graph] {
+    processor_->AddRequest(id, std::move(*shared_graph), at_micros);
+    // Kick scheduling in a separate same-time event so that all arrivals
+    // with identical timestamps are admitted before any task is formed —
+    // the real server likewise drains its arrival queue before scheduling.
+    events_.ScheduleAt(at_micros, [this] { TryScheduleIdleWorkers(); });
+    if (queue_timeout_micros_ > 0.0) {
+      events_.ScheduleAfter(queue_timeout_micros_, [this, id] {
+        RequestState* state = processor_->FindRequest(id);
+        if (state != nullptr && state->exec_start_micros < 0.0) {
+          state->dropped = true;  // shed before any cell started executing
+          scheduler_->CancelRequest(id);
+        }
+      });
+    }
+  });
+  return id;
+}
+
+void SimEngine::Run(double deadline_micros) {
+  if (deadline_micros == std::numeric_limits<double>::infinity()) {
+    events_.RunAll();
+  } else {
+    events_.RunUntil(deadline_micros);
+  }
+}
+
+void SimEngine::TryScheduleIdleWorkers() {
+  for (int w = 0; w < pool_->NumWorkers(); ++w) {
+    if (pool_->IsIdle(w)) {
+      TrySchedule(w);
+      if (!scheduler_->HasReadyWork()) {
+        break;
+      }
+    }
+  }
+}
+
+void SimEngine::TrySchedule(int worker) {
+  std::vector<BatchedTask> tasks = scheduler_->Schedule(worker);
+  for (BatchedTask& task : tasks) {
+    pool_->Submit(worker, std::move(task));
+  }
+}
+
+}  // namespace batchmaker

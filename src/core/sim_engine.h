@@ -1,0 +1,79 @@
+// SimEngine: BatchMaker running against the virtual-time device model.
+//
+// This binds the real RequestProcessor + Scheduler (Algorithm 1) to a
+// SimWorkerPool whose task durations come from a CostModel. It is the
+// engine behind every throughput/latency experiment in EXPERIMENTS.md: the
+// scheduling decisions are made by exactly the same code as the
+// real-compute server, only "kernel execution" is simulated.
+
+#ifndef SRC_CORE_SIM_ENGINE_H_
+#define SRC_CORE_SIM_ENGINE_H_
+
+#include <limits>
+#include <memory>
+#include <unordered_map>
+
+#include "src/core/metrics.h"
+#include "src/core/request_processor.h"
+#include "src/core/scheduler.h"
+#include "src/graph/cell_registry.h"
+#include "src/runtime/cost_model.h"
+#include "src/runtime/event_queue.h"
+#include "src/runtime/sim_worker.h"
+
+namespace batchmaker {
+
+struct SimEngineOptions {
+  int num_workers = 1;
+  SchedulerOptions scheduler;
+  // Load shedding (0 = disabled): a request whose execution has not
+  // started within this many micros of arrival is dropped — its cells are
+  // cancelled and it counts as NumDropped rather than completing. Under
+  // overload this converts unbounded queueing into bounded-latency
+  // goodput; see bench/abl_load_shedding.
+  double queue_timeout_micros = 0.0;
+};
+
+class SimEngine {
+ public:
+  SimEngine(const CellRegistry* registry, const CostModel* cost_model,
+            SimEngineOptions options = {});
+
+  // Schedules a request arrival at virtual time `at_micros` (>= current
+  // virtual time). Returns the request id.
+  //
+  // `terminate_after_node` >= 0 models early termination (e.g. the decoder
+  // emitting <eos>): once that node completes, every not-yet-scheduled
+  // node of the request is cancelled and the request returns. The sim has
+  // no token values, so the terminating node is declared up front.
+  RequestId SubmitAt(double at_micros, CellGraph graph, int terminate_after_node = -1);
+
+  // Runs the simulation until all events are processed, or until virtual
+  // time reaches `deadline_micros`.
+  void Run(double deadline_micros = std::numeric_limits<double>::infinity());
+
+  EventQueue& events() { return events_; }
+  const MetricsCollector& metrics() const { return metrics_; }
+  const SimWorkerPool& workers() const { return *pool_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
+  size_t NumActiveRequests() const { return processor_->NumActiveRequests(); }
+
+ private:
+  void TryScheduleIdleWorkers();
+  void TrySchedule(int worker);
+
+  const CellRegistry* registry_;
+  double queue_timeout_micros_ = 0.0;
+  EventQueue events_;
+  MetricsCollector metrics_;
+  std::unique_ptr<RequestProcessor> processor_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<SimWorkerPool> pool_;
+  RequestId next_request_id_ = 1;
+  // request id -> node whose completion triggers cancellation.
+  std::unordered_map<RequestId, int> terminate_after_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_CORE_SIM_ENGINE_H_

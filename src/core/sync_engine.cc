@@ -1,0 +1,74 @@
+#include "src/core/sync_engine.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+SyncEngine::SyncEngine(const CellRegistry* registry, SchedulerOptions options)
+    : registry_(registry), assembler_(registry) {
+  BM_CHECK(registry != nullptr);
+  processor_ = std::make_unique<RequestProcessor>(
+      registry,
+      /*on_subgraph_ready=*/[this](Subgraph* sg) { scheduler_->EnqueueSubgraph(sg); },
+      /*on_request_complete=*/
+      [this](RequestState* state) {
+        const auto it = outputs_wanted_.find(state->id);
+        BM_CHECK(it != outputs_wanted_.end());
+        std::vector<Tensor> outputs;
+        outputs.reserve(it->second.size());
+        for (const ValueRef& ref : it->second) {
+          BM_CHECK(!ref.is_external()) << "outputs must reference node outputs";
+          const auto& node_out = state->node_outputs[static_cast<size_t>(ref.node)];
+          BM_CHECK_LT(static_cast<size_t>(ref.output), node_out.size());
+          outputs.push_back(node_out[static_cast<size_t>(ref.output)]);
+        }
+        completed_outputs_.emplace(state->id, std::move(outputs));
+        outputs_wanted_.erase(it);
+      });
+  scheduler_ = std::make_unique<Scheduler>(registry, processor_.get(), options);
+}
+
+RequestId SyncEngine::Submit(CellGraph graph, std::vector<Tensor> externals,
+                             std::vector<ValueRef> outputs_wanted) {
+  BM_CHECK(!externals.empty()) << "SyncEngine runs in real-compute mode";
+  const RequestId id = next_request_id_++;
+  for (const ValueRef& ref : outputs_wanted) {
+    BM_CHECK(!ref.is_external());
+    BM_CHECK_LT(ref.node, graph.NumNodes());
+  }
+  outputs_wanted_.emplace(id, std::move(outputs_wanted));
+  processor_->AddRequest(id, std::move(graph), /*arrival_micros=*/0.0,
+                         std::move(externals));
+  return id;
+}
+
+void SyncEngine::RunToCompletion() {
+  // Single synthetic worker 0; tasks execute inline so the worker is
+  // "idle" again immediately after each Schedule round.
+  for (;;) {
+    std::vector<BatchedTask> tasks = scheduler_->Schedule(/*worker=*/0);
+    if (tasks.empty()) {
+      BM_CHECK_EQ(processor_->NumActiveRequests(), 0u)
+          << "scheduler stalled with active requests";
+      return;
+    }
+    for (BatchedTask& task : tasks) {
+      assembler_.ExecuteTask(task, processor_.get());
+      ++tasks_executed_;
+      task_batch_sizes_.push_back(task.BatchSize());
+      scheduler_->OnTaskCompleted(task);
+    }
+  }
+}
+
+std::vector<Tensor> SyncEngine::TakeOutputs(RequestId id) {
+  const auto it = completed_outputs_.find(id);
+  BM_CHECK(it != completed_outputs_.end()) << "request " << id << " has not completed";
+  std::vector<Tensor> out = std::move(it->second);
+  completed_outputs_.erase(it);
+  return out;
+}
+
+}  // namespace batchmaker

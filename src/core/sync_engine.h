@@ -1,0 +1,59 @@
+// SyncEngine: single-threaded real-compute engine.
+//
+// Drives the same RequestProcessor/Scheduler/BatchAssembler code path as
+// the threaded server, but executes tasks inline on the calling thread.
+// Useful for deterministic numerical tests and simple batch-oriented
+// applications; requests submitted together are batched cell-by-cell
+// exactly as the scheduler dictates.
+
+#ifndef SRC_CORE_SYNC_ENGINE_H_
+#define SRC_CORE_SYNC_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/batch_assembler.h"
+#include "src/core/request_processor.h"
+#include "src/core/scheduler.h"
+#include "src/graph/cell_registry.h"
+
+namespace batchmaker {
+
+class SyncEngine {
+ public:
+  explicit SyncEngine(const CellRegistry* registry, SchedulerOptions options = {});
+
+  // Admits a request. `outputs_wanted` name the values to return on
+  // completion (each must reference a node output of `graph`). Returns the
+  // request id.
+  RequestId Submit(CellGraph graph, std::vector<Tensor> externals,
+                   std::vector<ValueRef> outputs_wanted);
+
+  // Runs scheduling + execution until all admitted requests complete.
+  void RunToCompletion();
+
+  // Fetches (and removes) the completed outputs of a request. Aborts if the
+  // request has not completed.
+  std::vector<Tensor> TakeOutputs(RequestId id);
+
+  // Tasks executed so far (to observe batching behaviour in tests).
+  int64_t TasksExecuted() const { return tasks_executed_; }
+  // Batch size of every executed task, in execution order.
+  const std::vector<int>& TaskBatchSizes() const { return task_batch_sizes_; }
+
+ private:
+  const CellRegistry* registry_;
+  std::unique_ptr<RequestProcessor> processor_;
+  std::unique_ptr<Scheduler> scheduler_;
+  BatchAssembler assembler_;
+  RequestId next_request_id_ = 1;
+  int64_t tasks_executed_ = 0;
+  std::vector<int> task_batch_sizes_;
+  std::unordered_map<RequestId, std::vector<ValueRef>> outputs_wanted_;
+  std::unordered_map<RequestId, std::vector<Tensor>> completed_outputs_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_CORE_SYNC_ENGINE_H_

@@ -1,0 +1,398 @@
+#include "src/graph/cell_def.h"
+
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+CellDef::CellDef(std::string name) : name_(std::move(name)) {}
+
+int CellDef::AddInput(const std::string& name, Shape row_shape, DType dtype) {
+  BM_CHECK(!finalized_);
+  OpNode node;
+  node.kind = OpKind::kInput;
+  node.name = name;
+  node.i0 = static_cast<int64_t>(inputs_.size());
+  inputs_.push_back(CellInputSpec{name, row_shape, dtype});
+  ops_.push_back(std::move(node));
+  return static_cast<int>(ops_.size()) - 1;
+}
+
+int CellDef::AddParam(const std::string& name, Tensor weight) {
+  BM_CHECK(!finalized_);
+  OpNode node;
+  node.kind = OpKind::kParam;
+  node.name = name;
+  node.weight = std::move(weight);
+  ops_.push_back(std::move(node));
+  return static_cast<int>(ops_.size()) - 1;
+}
+
+int CellDef::AddOp(OpKind kind, const std::string& name, std::vector<int> inputs, int64_t i0,
+                   int64_t i1) {
+  BM_CHECK(!finalized_);
+  BM_CHECK(kind != OpKind::kInput && kind != OpKind::kParam)
+      << "use AddInput/AddParam for " << OpKindName(kind);
+  const int next_id = static_cast<int>(ops_.size());
+  for (int in : inputs) {
+    BM_CHECK_GE(in, 0);
+    BM_CHECK_LT(in, next_id) << "op inputs must reference earlier nodes (DAG by construction)";
+  }
+  OpNode node;
+  node.kind = kind;
+  node.name = name;
+  node.inputs = std::move(inputs);
+  node.i0 = i0;
+  node.i1 = i1;
+  ops_.push_back(std::move(node));
+  return next_id;
+}
+
+void CellDef::MarkOutput(int op_id) {
+  BM_CHECK(!finalized_);
+  BM_CHECK_GE(op_id, 0);
+  BM_CHECK_LT(op_id, static_cast<int>(ops_.size()));
+  outputs_.push_back(op_id);
+}
+
+void CellDef::Finalize() {
+  BM_CHECK(!finalized_);
+  BM_CHECK(!outputs_.empty()) << "cell " << name_ << " declares no outputs";
+  InferShapes();
+  topo_.resize(ops_.size());
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    topo_[i] = static_cast<int>(i);
+  }
+  for (int out : outputs_) {
+    BM_CHECK(types_[static_cast<size_t>(out)].batched)
+        << "cell outputs must be batched values";
+  }
+  finalized_ = true;
+}
+
+const OpNode& CellDef::op(int id) const {
+  BM_CHECK_GE(id, 0);
+  BM_CHECK_LT(id, NumOps());
+  return ops_[static_cast<size_t>(id)];
+}
+
+const CellInputSpec& CellDef::input_spec(int i) const {
+  BM_CHECK_GE(i, 0);
+  BM_CHECK_LT(i, NumInputs());
+  return inputs_[static_cast<size_t>(i)];
+}
+
+int CellDef::output_op(int i) const {
+  BM_CHECK_GE(i, 0);
+  BM_CHECK_LT(i, NumOutputs());
+  return outputs_[static_cast<size_t>(i)];
+}
+
+const ValueType& CellDef::output_type(int i) const { return value_type(output_op(i)); }
+
+const ValueType& CellDef::value_type(int op_id) const {
+  BM_CHECK(finalized_);
+  BM_CHECK_GE(op_id, 0);
+  BM_CHECK_LT(op_id, NumOps());
+  return types_[static_cast<size_t>(op_id)];
+}
+
+const std::vector<int>& CellDef::TopoOrder() const {
+  BM_CHECK(finalized_);
+  return topo_;
+}
+
+namespace {
+
+void CheckArity(const OpNode& node, size_t arity) {
+  BM_CHECK_EQ(node.inputs.size(), arity)
+      << OpKindName(node.kind) << " '" << node.name << "' expects " << arity << " inputs";
+}
+
+}  // namespace
+
+void CellDef::InferShapes() {
+  types_.clear();
+  types_.reserve(ops_.size());
+  for (size_t id = 0; id < ops_.size(); ++id) {
+    const OpNode& node = ops_[id];
+    auto in_type = [&](size_t i) -> const ValueType& {
+      return types_[static_cast<size_t>(node.inputs[i])];
+    };
+    ValueType t;
+    switch (node.kind) {
+      case OpKind::kInput: {
+        const CellInputSpec& spec = inputs_[static_cast<size_t>(node.i0)];
+        t = ValueType{true, spec.row_shape, spec.dtype};
+        break;
+      }
+      case OpKind::kParam:
+        t = ValueType{false, node.weight.shape(), node.weight.dtype()};
+        break;
+      case OpKind::kMatMul: {
+        CheckArity(node, 2);
+        const ValueType& a = in_type(0);
+        const ValueType& b = in_type(1);
+        BM_CHECK(a.batched && !b.batched)
+            << "matmul expects batched lhs and parameter rhs in '" << node.name << "'";
+        BM_CHECK(a.dtype == DType::kF32 && b.dtype == DType::kF32);
+        BM_CHECK_EQ(a.shape.Rank(), 1) << "matmul lhs rows must be vectors";
+        BM_CHECK_EQ(b.shape.Rank(), 2);
+        BM_CHECK_EQ(a.shape.Dim(0), b.shape.Dim(0))
+            << "matmul dimension mismatch in '" << node.name << "'";
+        t = ValueType{true, Shape{b.shape.Dim(1)}, DType::kF32};
+        break;
+      }
+      case OpKind::kAdd:
+      case OpKind::kSub:
+      case OpKind::kMul: {
+        CheckArity(node, 2);
+        const ValueType& a = in_type(0);
+        const ValueType& b = in_type(1);
+        BM_CHECK(a == b) << OpKindName(node.kind) << " operand type mismatch in '" << node.name
+                         << "': " << a.ToString() << " vs " << b.ToString();
+        BM_CHECK(a.dtype == DType::kF32);
+        t = a;
+        break;
+      }
+      case OpKind::kAddBias: {
+        CheckArity(node, 2);
+        const ValueType& a = in_type(0);
+        const ValueType& bias = in_type(1);
+        BM_CHECK(a.batched && !bias.batched);
+        BM_CHECK_EQ(a.shape.Rank(), 1);
+        BM_CHECK_EQ(bias.shape.NumElements(), a.shape.Dim(0))
+            << "bias size mismatch in '" << node.name << "'";
+        t = a;
+        break;
+      }
+      case OpKind::kSigmoid:
+      case OpKind::kTanh:
+      case OpKind::kRelu:
+      case OpKind::kSoftmax: {
+        CheckArity(node, 1);
+        const ValueType& a = in_type(0);
+        BM_CHECK(a.batched && a.dtype == DType::kF32);
+        t = a;
+        break;
+      }
+      case OpKind::kConcat: {
+        BM_CHECK_GE(node.inputs.size(), 1u);
+        int64_t total = 0;
+        for (size_t i = 0; i < node.inputs.size(); ++i) {
+          const ValueType& a = in_type(i);
+          BM_CHECK(a.batched && a.dtype == DType::kF32);
+          BM_CHECK_EQ(a.shape.Rank(), 1);
+          total += a.shape.Dim(0);
+        }
+        t = ValueType{true, Shape{total}, DType::kF32};
+        break;
+      }
+      case OpKind::kSlice: {
+        CheckArity(node, 1);
+        const ValueType& a = in_type(0);
+        BM_CHECK(a.batched && a.dtype == DType::kF32);
+        BM_CHECK_EQ(a.shape.Rank(), 1);
+        BM_CHECK_GE(node.i0, 0);
+        BM_CHECK_LT(node.i0, node.i1);
+        BM_CHECK_LE(node.i1, a.shape.Dim(0)) << "slice out of range in '" << node.name << "'";
+        t = ValueType{true, Shape{node.i1 - node.i0}, DType::kF32};
+        break;
+      }
+      case OpKind::kEmbedLookup: {
+        CheckArity(node, 2);
+        const ValueType& table = in_type(0);
+        const ValueType& ids = in_type(1);
+        BM_CHECK(!table.batched && table.dtype == DType::kF32);
+        BM_CHECK_EQ(table.shape.Rank(), 2);
+        BM_CHECK(ids.batched && ids.dtype == DType::kI32);
+        BM_CHECK(ids.shape == Shape{1}) << "embedding ids must be [b,1] i32";
+        t = ValueType{true, Shape{table.shape.Dim(1)}, DType::kF32};
+        break;
+      }
+      case OpKind::kArgmax: {
+        CheckArity(node, 1);
+        const ValueType& a = in_type(0);
+        BM_CHECK(a.batched && a.dtype == DType::kF32);
+        BM_CHECK_EQ(a.shape.Rank(), 1);
+        t = ValueType{true, Shape{1}, DType::kI32};
+        break;
+      }
+      case OpKind::kReduceSum: {
+        CheckArity(node, 1);
+        const ValueType& a = in_type(0);
+        BM_CHECK(a.batched && a.dtype == DType::kF32);
+        BM_CHECK_EQ(a.shape.Rank(), 1);
+        t = ValueType{true, Shape{1}, DType::kF32};
+        break;
+      }
+      case OpKind::kMax: {
+        CheckArity(node, 2);
+        const ValueType& a = in_type(0);
+        const ValueType& b = in_type(1);
+        BM_CHECK(a == b) << "max operand type mismatch in '" << node.name << "'";
+        BM_CHECK(a.dtype == DType::kF32);
+        t = a;
+        break;
+      }
+      case OpKind::kExp:
+      case OpKind::kRecip: {
+        CheckArity(node, 1);
+        const ValueType& a = in_type(0);
+        BM_CHECK(a.batched && a.dtype == DType::kF32);
+        t = a;
+        break;
+      }
+      case OpKind::kScaleRows: {
+        CheckArity(node, 2);
+        const ValueType& a = in_type(0);
+        const ValueType& scale = in_type(1);
+        BM_CHECK(a.batched && scale.batched);
+        BM_CHECK(a.dtype == DType::kF32 && scale.dtype == DType::kF32);
+        BM_CHECK_EQ(a.shape.Rank(), 1);
+        BM_CHECK(scale.shape == Shape{1}) << "scale_rows wants a per-row scalar";
+        t = a;
+        break;
+      }
+    }
+    types_.push_back(std::move(t));
+  }
+}
+
+uint64_t CellDef::ContentHash() const {
+  BM_CHECK(finalized_);
+  if (hash_valid_) {
+    return hash_;
+  }
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<uint64_t>(ops_.size()));
+  for (const OpNode& node : ops_) {
+    mix(static_cast<uint64_t>(node.kind));
+    mix(static_cast<uint64_t>(node.inputs.size()));
+    for (int in : node.inputs) {
+      mix(static_cast<uint64_t>(in));
+    }
+    mix(static_cast<uint64_t>(node.i0));
+    mix(static_cast<uint64_t>(node.i1));
+    if (node.kind == OpKind::kParam) {
+      mix(node.weight.ContentHash());
+    }
+  }
+  mix(static_cast<uint64_t>(inputs_.size()));
+  for (const CellInputSpec& spec : inputs_) {
+    mix(static_cast<uint64_t>(spec.dtype));
+    for (int64_t d : spec.row_shape.dims()) {
+      mix(static_cast<uint64_t>(d));
+    }
+  }
+  for (int out : outputs_) {
+    mix(static_cast<uint64_t>(out));
+  }
+  hash_ = h;
+  hash_valid_ = true;
+  return h;
+}
+
+bool CellDef::ContentEquals(const CellDef& other) const {
+  BM_CHECK(finalized_ && other.finalized_);
+  if (ops_.size() != other.ops_.size() || inputs_.size() != other.inputs_.size() ||
+      outputs_ != other.outputs_) {
+    return false;
+  }
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    const CellInputSpec& a = inputs_[i];
+    const CellInputSpec& b = other.inputs_[i];
+    if (!(a.row_shape == b.row_shape) || a.dtype != b.dtype) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const OpNode& a = ops_[i];
+    const OpNode& b = other.ops_[i];
+    if (a.kind != b.kind || a.inputs != b.inputs || a.i0 != b.i0 || a.i1 != b.i1) {
+      return false;
+    }
+    if (a.kind == OpKind::kParam && !a.weight.ElementsEqual(b.weight)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t CellDef::FlopsPerRow() const {
+  BM_CHECK(finalized_);
+  int64_t flops = 0;
+  for (size_t id = 0; id < ops_.size(); ++id) {
+    const OpNode& node = ops_[id];
+    const ValueType& out = types_[id];
+    switch (node.kind) {
+      case OpKind::kMatMul: {
+        const ValueType& a = types_[static_cast<size_t>(node.inputs[0])];
+        flops += 2 * a.shape.Dim(0) * out.shape.Dim(0);
+        break;
+      }
+      case OpKind::kAdd:
+      case OpKind::kSub:
+      case OpKind::kMul:
+      case OpKind::kAddBias:
+        flops += out.shape.NumElements();
+        break;
+      case OpKind::kSigmoid:
+      case OpKind::kTanh:
+      case OpKind::kRelu:
+        flops += 4 * out.shape.NumElements();
+        break;
+      case OpKind::kSoftmax: {
+        const ValueType& a = types_[static_cast<size_t>(node.inputs[0])];
+        flops += 6 * a.shape.NumElements();
+        break;
+      }
+      case OpKind::kArgmax:
+      case OpKind::kReduceSum: {
+        const ValueType& a = types_[static_cast<size_t>(node.inputs[0])];
+        flops += a.shape.NumElements();
+        break;
+      }
+      case OpKind::kMax:
+      case OpKind::kScaleRows:
+        flops += out.shape.NumElements();
+        break;
+      case OpKind::kExp:
+      case OpKind::kRecip:
+        flops += 4 * out.shape.NumElements();
+        break;
+      default:
+        break;
+    }
+  }
+  return flops;
+}
+
+std::string CellDef::DebugString() const {
+  std::ostringstream os;
+  os << "cell '" << name_ << "' (" << ops_.size() << " ops, " << inputs_.size() << " inputs, "
+     << outputs_.size() << " outputs)";
+  if (finalized_) {
+    for (size_t id = 0; id < ops_.size(); ++id) {
+      const OpNode& node = ops_[id];
+      os << "\n  %" << id << " = " << OpKindName(node.kind) << "(";
+      for (size_t i = 0; i < node.inputs.size(); ++i) {
+        os << (i > 0 ? ", " : "") << "%" << node.inputs[i];
+      }
+      os << ") : " << types_[id].ToString();
+      if (!node.name.empty()) {
+        os << "  # " << node.name;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,98 @@
+// CellDef: the definition of one RNN cell — a dataflow graph of OpNodes with
+// embedded weights, declared input slots and output values.
+//
+// A CellDef is immutable after Finalize(); at that point shape inference has
+// validated the whole graph and assigned a ValueType to every node. Cells
+// are compared/deduplicated by content (structure + weights + input shapes),
+// mirroring the paper's definition of cell type (§3.1: "Two cells are of the
+// same type if they have identical sub-graphs, share the same parameter
+// weights, and expect the same number of identically-shaped input tensors").
+
+#ifndef SRC_GRAPH_CELL_DEF_H_
+#define SRC_GRAPH_CELL_DEF_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/op.h"
+
+namespace batchmaker {
+
+class CellDef {
+ public:
+  explicit CellDef(std::string name);
+
+  // --- Construction (before Finalize) ---
+
+  // Declares the next input slot; returns the op id of the kInput node.
+  int AddInput(const std::string& name, Shape row_shape, DType dtype = DType::kF32);
+
+  // Adds an embedded weight; returns the op id.
+  int AddParam(const std::string& name, Tensor weight);
+
+  // Adds a compute node. `inputs` are op ids of already-added nodes.
+  int AddOp(OpKind kind, const std::string& name, std::vector<int> inputs, int64_t i0 = 0,
+            int64_t i1 = 0);
+
+  // Declares an output value of the cell (in order).
+  void MarkOutput(int op_id);
+
+  // Runs shape inference and freezes the definition. Aborts on invalid
+  // graphs (bad arity, shape mismatches, non-batched outputs).
+  void Finalize();
+
+  // --- Accessors (after construction; most require finalized) ---
+
+  const std::string& name() const { return name_; }
+  bool finalized() const { return finalized_; }
+
+  int NumOps() const { return static_cast<int>(ops_.size()); }
+  const OpNode& op(int id) const;
+
+  int NumInputs() const { return static_cast<int>(inputs_.size()); }
+  const CellInputSpec& input_spec(int i) const;
+
+  int NumOutputs() const { return static_cast<int>(outputs_.size()); }
+  int output_op(int i) const;
+  // ValueType of the i-th declared output.
+  const ValueType& output_type(int i) const;
+
+  // Inferred type of any op's value. Requires finalized.
+  const ValueType& value_type(int op_id) const;
+
+  // Ops in a valid topological order (construction order is one, by
+  // contract: inputs must precede users).
+  const std::vector<int>& TopoOrder() const;
+
+  // Content hash covering structure, attributes, weights, and input specs.
+  // Requires finalized.
+  uint64_t ContentHash() const;
+
+  // Deep structural + weight equality. Requires both finalized.
+  bool ContentEquals(const CellDef& other) const;
+
+  // Rough FLOP count for one batch row; used to sanity-check cost-model
+  // anchors. Requires finalized.
+  int64_t FlopsPerRow() const;
+
+  std::string DebugString() const;
+
+ private:
+  void InferShapes();
+
+  std::string name_;
+  bool finalized_ = false;
+  std::vector<OpNode> ops_;
+  std::vector<CellInputSpec> inputs_;
+  std::vector<int> outputs_;
+  std::vector<ValueType> types_;  // parallel to ops_ once finalized
+  std::vector<int> topo_;
+  mutable uint64_t hash_ = 0;
+  mutable bool hash_valid_ = false;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_GRAPH_CELL_DEF_H_

@@ -1,0 +1,114 @@
+#include "src/graph/cell_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+int CellGraph::AddNode(CellTypeId type, std::vector<ValueRef> inputs) {
+  const int id = static_cast<int>(nodes_.size());
+  std::set<int> pred_nodes;
+  for (const ValueRef& ref : inputs) {
+    if (ref.is_external()) {
+      BM_CHECK_GE(ref.external, 0);
+    } else {
+      BM_CHECK_GE(ref.node, 0);
+      BM_CHECK_LT(ref.node, id) << "cell graph nodes must reference earlier nodes";
+      pred_nodes.insert(ref.node);
+    }
+  }
+  nodes_.push_back(CellNode{type, std::move(inputs)});
+  successors_.emplace_back();
+  num_node_preds_.push_back(static_cast<int>(pred_nodes.size()));
+  for (int pred : pred_nodes) {
+    successors_[static_cast<size_t>(pred)].push_back(id);
+  }
+  return id;
+}
+
+const CellNode& CellGraph::node(int id) const {
+  BM_CHECK_GE(id, 0);
+  BM_CHECK_LT(id, NumNodes());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+const std::vector<int>& CellGraph::Successors(int id) const {
+  BM_CHECK_GE(id, 0);
+  BM_CHECK_LT(id, NumNodes());
+  return successors_[static_cast<size_t>(id)];
+}
+
+int CellGraph::NumNodePredecessors(int id) const {
+  BM_CHECK_GE(id, 0);
+  BM_CHECK_LT(id, NumNodes());
+  return num_node_preds_[static_cast<size_t>(id)];
+}
+
+void CellGraph::Validate(const CellRegistry& registry, int num_externals) const {
+  for (int id = 0; id < NumNodes(); ++id) {
+    const CellNode& n = nodes_[static_cast<size_t>(id)];
+    BM_CHECK_GE(n.type, 0);
+    BM_CHECK_LT(n.type, registry.NumTypes()) << "unknown cell type in node " << id;
+    const CellDef& def = registry.def(n.type);
+    BM_CHECK_EQ(static_cast<int>(n.inputs.size()), def.NumInputs())
+        << "node " << id << " input arity mismatch for cell '" << def.name() << "'";
+    for (int i = 0; i < static_cast<int>(n.inputs.size()); ++i) {
+      const ValueRef& ref = n.inputs[static_cast<size_t>(i)];
+      const CellInputSpec& spec = def.input_spec(i);
+      if (ref.is_external()) {
+        BM_CHECK_LT(ref.external, num_externals)
+            << "node " << id << " references external input " << ref.external
+            << " but only " << num_externals << " are provided";
+        continue;
+      }
+      const CellNode& producer = nodes_[static_cast<size_t>(ref.node)];
+      const CellDef& producer_def = registry.def(producer.type);
+      BM_CHECK_GE(ref.output, 0);
+      BM_CHECK_LT(ref.output, producer_def.NumOutputs())
+          << "node " << id << " references missing output " << ref.output << " of node "
+          << ref.node;
+      const ValueType& produced = producer_def.output_type(ref.output);
+      BM_CHECK(produced.shape == spec.row_shape && produced.dtype == spec.dtype)
+          << "edge type mismatch into node " << id << " input " << i << ": produced "
+          << produced.ToString() << ", expected " << spec.row_shape.ToString() << " "
+          << DTypeName(spec.dtype);
+    }
+  }
+}
+
+int CellGraph::NumExternalsReferenced() const {
+  int max_ext = -1;
+  for (const CellNode& n : nodes_) {
+    for (const ValueRef& ref : n.inputs) {
+      if (ref.is_external()) {
+        max_ext = std::max(max_ext, ref.external);
+      }
+    }
+  }
+  return max_ext + 1;
+}
+
+std::string CellGraph::DebugString(const CellRegistry& registry) const {
+  std::ostringstream os;
+  os << "cell graph with " << NumNodes() << " nodes";
+  for (int id = 0; id < NumNodes(); ++id) {
+    const CellNode& n = nodes_[static_cast<size_t>(id)];
+    os << "\n  n" << id << " : " << registry.def(n.type).name() << "(";
+    for (size_t i = 0; i < n.inputs.size(); ++i) {
+      const ValueRef& ref = n.inputs[i];
+      os << (i > 0 ? ", " : "");
+      if (ref.is_external()) {
+        os << "ext" << ref.external;
+      } else {
+        os << "n" << ref.node << "." << ref.output;
+      }
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace batchmaker

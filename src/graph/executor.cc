@@ -1,0 +1,133 @@
+#include "src/graph/executor.h"
+
+#include "src/tensor/gemm.h"
+#include "src/tensor/ops.h"
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+CellExecutor::CellExecutor(const CellDef* def) : def_(def) {
+  BM_CHECK(def != nullptr);
+  BM_CHECK(def->finalized());
+}
+
+std::vector<Tensor> CellExecutor::Execute(const std::vector<const Tensor*>& inputs) const {
+  const CellDef& def = *def_;
+  BM_CHECK_EQ(static_cast<int>(inputs.size()), def.NumInputs());
+
+  // Validate inputs and determine the batch size.
+  int64_t batch = -1;
+  for (int i = 0; i < def.NumInputs(); ++i) {
+    const CellInputSpec& spec = def.input_spec(i);
+    const Tensor& t = *inputs[static_cast<size_t>(i)];
+    BM_CHECK(t.dtype() == spec.dtype) << "input " << i << " dtype mismatch";
+    BM_CHECK(t.shape().RowShape() == spec.row_shape)
+        << "input " << i << " row shape " << t.shape().RowShape().ToString() << " != "
+        << spec.row_shape.ToString();
+    if (batch < 0) {
+      batch = t.shape().Dim(0);
+    } else {
+      BM_CHECK_EQ(batch, t.shape().Dim(0)) << "inputs disagree on batch size";
+    }
+  }
+  BM_CHECK_GT(batch, 0);
+
+  // values[id] points at the tensor produced by op `id`. Computed values are
+  // owned by `computed`; inputs and params are referenced in place.
+  std::vector<const Tensor*> values(static_cast<size_t>(def.NumOps()), nullptr);
+  std::vector<Tensor> computed(static_cast<size_t>(def.NumOps()));
+
+  auto set_computed = [&](int id, Tensor t) {
+    computed[static_cast<size_t>(id)] = std::move(t);
+    values[static_cast<size_t>(id)] = &computed[static_cast<size_t>(id)];
+  };
+
+  for (int id : def.TopoOrder()) {
+    const OpNode& node = def.op(id);
+    auto in = [&](size_t i) -> const Tensor& {
+      const Tensor* t = values[static_cast<size_t>(node.inputs[i])];
+      BM_CHECK(t != nullptr);
+      return *t;
+    };
+    switch (node.kind) {
+      case OpKind::kInput:
+        values[static_cast<size_t>(id)] = inputs[static_cast<size_t>(node.i0)];
+        break;
+      case OpKind::kParam:
+        values[static_cast<size_t>(id)] = &node.weight;
+        break;
+      case OpKind::kMatMul:
+        set_computed(id, MatMul(in(0), in(1)));
+        break;
+      case OpKind::kAdd:
+        set_computed(id, Add(in(0), in(1)));
+        break;
+      case OpKind::kSub:
+        set_computed(id, Sub(in(0), in(1)));
+        break;
+      case OpKind::kMul:
+        set_computed(id, Mul(in(0), in(1)));
+        break;
+      case OpKind::kAddBias:
+        set_computed(id, AddBias(in(0), in(1)));
+        break;
+      case OpKind::kSigmoid:
+        set_computed(id, Sigmoid(in(0)));
+        break;
+      case OpKind::kTanh:
+        set_computed(id, Tanh(in(0)));
+        break;
+      case OpKind::kRelu:
+        set_computed(id, Relu(in(0)));
+        break;
+      case OpKind::kSoftmax:
+        set_computed(id, Softmax(in(0)));
+        break;
+      case OpKind::kConcat: {
+        std::vector<const Tensor*> parts;
+        parts.reserve(node.inputs.size());
+        for (size_t i = 0; i < node.inputs.size(); ++i) {
+          parts.push_back(&in(i));
+        }
+        set_computed(id, ConcatCols(parts));
+        break;
+      }
+      case OpKind::kSlice:
+        set_computed(id, SliceCols(in(0), node.i0, node.i1));
+        break;
+      case OpKind::kEmbedLookup:
+        set_computed(id, EmbeddingLookup(in(0), in(1)));
+        break;
+      case OpKind::kArgmax:
+        set_computed(id, ArgmaxRows(in(0)));
+        break;
+      case OpKind::kReduceSum:
+        set_computed(id, RowSum(in(0)));
+        break;
+      case OpKind::kMax:
+        set_computed(id, MaxElem(in(0), in(1)));
+        break;
+      case OpKind::kExp:
+        set_computed(id, Exp(in(0)));
+        break;
+      case OpKind::kRecip:
+        set_computed(id, Recip(in(0)));
+        break;
+      case OpKind::kScaleRows:
+        set_computed(id, ScaleRows(in(0), in(1)));
+        break;
+    }
+  }
+
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<size_t>(def.NumOutputs()));
+  for (int i = 0; i < def.NumOutputs(); ++i) {
+    const int op_id = def.output_op(i);
+    const Tensor* value = values[static_cast<size_t>(op_id)];
+    BM_CHECK(value != nullptr);
+    outputs.push_back(*value);  // copy: outputs outlive the executor call
+  }
+  return outputs;
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,36 @@
+// CellExecutor: interprets a finalized CellDef on batched input tensors.
+//
+// This is the CPU analogue of the paper's materialized GPU cells: a cell is
+// "executed" as one unit, with all of its internal operators run back to
+// back (the worker pushes all kernels of a task without waiting, §5).
+
+#ifndef SRC_GRAPH_EXECUTOR_H_
+#define SRC_GRAPH_EXECUTOR_H_
+
+#include <vector>
+
+#include "src/graph/cell_def.h"
+#include "src/tensor/tensor.h"
+
+namespace batchmaker {
+
+class CellExecutor {
+ public:
+  explicit CellExecutor(const CellDef* def);
+
+  const CellDef& def() const { return *def_; }
+
+  // Runs the cell on a batch. `inputs[i]` must have shape
+  // [batch] + input_spec(i).row_shape and the declared dtype; all inputs
+  // must agree on the batch size. Returns one tensor per declared output.
+  // (Pointer arguments only: a value-vector overload would be ambiguous
+  // with brace-initialized two-pointer argument lists.)
+  std::vector<Tensor> Execute(const std::vector<const Tensor*>& inputs) const;
+
+ private:
+  const CellDef* def_;  // not owned; must outlive the executor
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_GRAPH_EXECUTOR_H_

@@ -1,0 +1,57 @@
+#include "src/graph/op.h"
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+namespace {
+
+struct KindName {
+  OpKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {OpKind::kInput, "input"},     {OpKind::kParam, "param"},
+    {OpKind::kMatMul, "matmul"},   {OpKind::kAdd, "add"},
+    {OpKind::kSub, "sub"},         {OpKind::kMul, "mul"},
+    {OpKind::kAddBias, "addbias"}, {OpKind::kSigmoid, "sigmoid"},
+    {OpKind::kTanh, "tanh"},       {OpKind::kRelu, "relu"},
+    {OpKind::kSoftmax, "softmax"}, {OpKind::kConcat, "concat"},
+    {OpKind::kSlice, "slice"},     {OpKind::kEmbedLookup, "embed_lookup"},
+    {OpKind::kArgmax, "argmax"},   {OpKind::kReduceSum, "reduce_sum"},
+    {OpKind::kMax, "max"},         {OpKind::kExp, "exp"},
+    {OpKind::kRecip, "recip"},     {OpKind::kScaleRows, "scale_rows"},
+};
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  for (const auto& entry : kKindNames) {
+    if (entry.kind == kind) {
+      return entry.name;
+    }
+  }
+  BM_LOG(Fatal) << "unknown OpKind " << static_cast<int>(kind);
+  return "?";
+}
+
+OpKind OpKindFromName(const std::string& name) {
+  for (const auto& entry : kKindNames) {
+    if (name == entry.name) {
+      return entry.kind;
+    }
+  }
+  BM_LOG(Fatal) << "unknown op kind name: " << name;
+  return OpKind::kInput;
+}
+
+std::string ValueType::ToString() const {
+  std::string out = DTypeName(dtype);
+  out += batched ? "[B x " : "[";
+  const std::string dims = shape.ToString();
+  out += dims.substr(1);  // drop the leading '['
+  return out;
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,85 @@
+// Operator vocabulary for cell dataflow graphs.
+//
+// A cell (paper §3.1) is a small dataflow graph of these operators with its
+// parameter weights embedded (§4.2 "BatchMaker embeds the weights into cells
+// so that weights are part of the internal state as opposed to the inputs").
+// Every non-parameter value flowing through a cell carries a leading batch
+// dimension.
+
+#ifndef SRC_GRAPH_OP_H_
+#define SRC_GRAPH_OP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace batchmaker {
+
+enum class OpKind : int {
+  kInput = 0,     // cell input slot; attr i0 = input index
+  kParam,         // embedded weight tensor
+  kMatMul,        // batched [b,k] x param [k,n] -> [b,n]
+  kAdd,           // elementwise
+  kSub,           // elementwise
+  kMul,           // elementwise
+  kAddBias,       // [b,n] + [n]
+  kSigmoid,
+  kTanh,
+  kRelu,
+  kSoftmax,       // row-wise
+  kConcat,        // along columns
+  kSlice,         // columns [i0, i1)
+  kEmbedLookup,   // param table [v,d] indexed by batched i32 ids [b,1]
+  kArgmax,        // row-wise argmax -> i32 [b,1]
+  kReduceSum,     // [b,n] -> [b,1] row sum
+  kMax,           // elementwise max
+  kExp,           // elementwise exp
+  kRecip,         // elementwise reciprocal
+  kScaleRows,     // a[b,n] * s[b,1] broadcast across columns
+};
+
+const char* OpKindName(OpKind kind);
+// Inverse of OpKindName; aborts on unknown names.
+OpKind OpKindFromName(const std::string& name);
+
+// One node of a cell's dataflow graph. Plain data; owned by CellDef.
+struct OpNode {
+  OpKind kind = OpKind::kInput;
+  std::string name;           // diagnostic label, not an identity
+  std::vector<int> inputs;    // op ids within the same cell; must precede this node
+  int64_t i0 = 0;             // kind-specific attribute (input index / slice begin)
+  int64_t i1 = 0;             // kind-specific attribute (slice end)
+  Tensor weight;              // kParam only
+};
+
+// Declares one input slot of a cell: the per-row shape (without the batch
+// dimension) and element type.
+struct CellInputSpec {
+  std::string name;
+  Shape row_shape;
+  DType dtype = DType::kF32;
+
+  bool operator==(const CellInputSpec& other) const {
+    return name == other.name && row_shape == other.row_shape && dtype == other.dtype;
+  }
+};
+
+// The inferred type of a value inside a cell: either batched (leading batch
+// dim, `shape` holds the per-row dims) or unbatched (parameters; `shape`
+// holds the full dims).
+struct ValueType {
+  bool batched = true;
+  Shape shape;
+  DType dtype = DType::kF32;
+
+  bool operator==(const ValueType& other) const {
+    return batched == other.batched && shape == other.shape && dtype == other.dtype;
+  }
+  std::string ToString() const;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_GRAPH_OP_H_

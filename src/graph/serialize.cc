@@ -1,0 +1,178 @@
+#include "src/graph/serialize.h"
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+namespace {
+
+Json ShapeToJson(const Shape& shape) {
+  JsonArray dims;
+  for (int64_t d : shape.dims()) {
+    dims.emplace_back(d);
+  }
+  return Json(std::move(dims));
+}
+
+Shape ShapeFromJson(const Json& json) {
+  std::vector<int64_t> dims;
+  for (const Json& d : json.AsArray()) {
+    dims.push_back(d.AsInt());
+  }
+  return Shape(std::move(dims));
+}
+
+Json TensorToJson(const Tensor& t) {
+  JsonObject obj;
+  obj["dtype"] = DTypeName(t.dtype());
+  obj["shape"] = ShapeToJson(t.shape());
+  JsonArray data;
+  data.reserve(static_cast<size_t>(t.NumElements()));
+  if (t.dtype() == DType::kF32) {
+    const float* p = t.f32();
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+      data.emplace_back(static_cast<double>(p[i]));
+    }
+  } else {
+    const int32_t* p = t.i32();
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+      data.emplace_back(static_cast<int64_t>(p[i]));
+    }
+  }
+  obj["data"] = Json(std::move(data));
+  return Json(std::move(obj));
+}
+
+Tensor TensorFromJson(const Json& json) {
+  const std::string& dtype_name = json.Get("dtype").AsString();
+  const Shape shape = ShapeFromJson(json.Get("shape"));
+  const JsonArray& data = json.Get("data").AsArray();
+  BM_CHECK_EQ(static_cast<int64_t>(data.size()), shape.NumElements());
+  if (dtype_name == "f32") {
+    std::vector<float> values;
+    values.reserve(data.size());
+    for (const Json& v : data) {
+      values.push_back(static_cast<float>(v.AsDouble()));
+    }
+    return Tensor::FromVector(shape, std::move(values));
+  }
+  BM_CHECK(dtype_name == "i32") << "unknown dtype: " << dtype_name;
+  std::vector<int32_t> values;
+  values.reserve(data.size());
+  for (const Json& v : data) {
+    values.push_back(static_cast<int32_t>(v.AsInt()));
+  }
+  return Tensor::FromIntVector(shape, std::move(values));
+}
+
+}  // namespace
+
+Json CellDefToJson(const CellDef& def) {
+  BM_CHECK(def.finalized());
+  JsonObject root;
+  root["name"] = def.name();
+  root["format"] = "batchmaker-cell-v1";
+
+  JsonArray ops;
+  for (int id = 0; id < def.NumOps(); ++id) {
+    const OpNode& node = def.op(id);
+    JsonObject op;
+    op["kind"] = OpKindName(node.kind);
+    if (!node.name.empty()) {
+      op["name"] = node.name;
+    }
+    JsonArray inputs;
+    for (int in : node.inputs) {
+      inputs.emplace_back(in);
+    }
+    op["inputs"] = Json(std::move(inputs));
+    if (node.i0 != 0 || node.i1 != 0) {
+      op["i0"] = node.i0;
+      op["i1"] = node.i1;
+    }
+    if (node.kind == OpKind::kParam) {
+      op["weight"] = TensorToJson(node.weight);
+    }
+    ops.emplace_back(std::move(op));
+  }
+  root["ops"] = Json(std::move(ops));
+
+  JsonArray inputs;
+  for (int i = 0; i < def.NumInputs(); ++i) {
+    const CellInputSpec& spec = def.input_spec(i);
+    JsonObject in;
+    in["name"] = spec.name;
+    in["row_shape"] = ShapeToJson(spec.row_shape);
+    in["dtype"] = DTypeName(spec.dtype);
+    inputs.emplace_back(std::move(in));
+  }
+  root["inputs"] = Json(std::move(inputs));
+
+  JsonArray outputs;
+  for (int i = 0; i < def.NumOutputs(); ++i) {
+    outputs.emplace_back(def.output_op(i));
+  }
+  root["outputs"] = Json(std::move(outputs));
+  return Json(std::move(root));
+}
+
+std::string CellDefToJsonText(const CellDef& def, bool pretty) {
+  return CellDefToJson(def).Dump(pretty ? 2 : -1);
+}
+
+std::unique_ptr<CellDef> CellDefFromJson(const Json& json) {
+  const Json* format = json.Find("format");
+  BM_CHECK(format != nullptr && format->AsString() == "batchmaker-cell-v1")
+      << "not a batchmaker cell JSON";
+  auto def = std::make_unique<CellDef>(json.Get("name").AsString());
+
+  // Input specs are declared by kInput ops (in order), so parse the specs
+  // first and attach them while replaying ops.
+  const JsonArray& input_specs = json.Get("inputs").AsArray();
+  size_t next_input = 0;
+
+  for (const Json& op_json : json.Get("ops").AsArray()) {
+    const OpKind kind = OpKindFromName(op_json.Get("kind").AsString());
+    const Json* name_json = op_json.Find("name");
+    const std::string name = name_json != nullptr ? name_json->AsString() : "";
+    std::vector<int> inputs;
+    for (const Json& in : op_json.Get("inputs").AsArray()) {
+      inputs.push_back(static_cast<int>(in.AsInt()));
+    }
+    const Json* i0_json = op_json.Find("i0");
+    const Json* i1_json = op_json.Find("i1");
+    const int64_t i0 = i0_json != nullptr ? i0_json->AsInt() : 0;
+    const int64_t i1 = i1_json != nullptr ? i1_json->AsInt() : 0;
+
+    switch (kind) {
+      case OpKind::kInput: {
+        BM_CHECK_LT(next_input, input_specs.size()) << "more input ops than input specs";
+        const Json& spec = input_specs[next_input++];
+        const std::string& dtype_name = spec.Get("dtype").AsString();
+        const DType dtype = dtype_name == "i32" ? DType::kI32 : DType::kF32;
+        def->AddInput(spec.Get("name").AsString(), ShapeFromJson(spec.Get("row_shape")),
+                      dtype);
+        break;
+      }
+      case OpKind::kParam:
+        def->AddParam(name, TensorFromJson(op_json.Get("weight")));
+        break;
+      default:
+        def->AddOp(kind, name, std::move(inputs), i0, i1);
+        break;
+    }
+  }
+  BM_CHECK_EQ(next_input, input_specs.size()) << "fewer input ops than input specs";
+
+  for (const Json& out : json.Get("outputs").AsArray()) {
+    def->MarkOutput(static_cast<int>(out.AsInt()));
+  }
+  def->Finalize();
+  return def;
+}
+
+std::unique_ptr<CellDef> CellDefFromJsonText(const std::string& text) {
+  return CellDefFromJson(Json::Parse(text));
+}
+
+}  // namespace batchmaker

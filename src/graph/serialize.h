@@ -1,0 +1,30 @@
+// JSON (de)serialization of cell definitions.
+//
+// Mirrors the paper's user interface (§4.1): "users define each RNN cell
+// using MXNet/TensorFlow's Python interface and save the cell's dataflow
+// graph in a JSON file... The saved file is given to BatchMaker as the cell
+// definition." Weights are embedded in the JSON as flat float arrays.
+
+#ifndef SRC_GRAPH_SERIALIZE_H_
+#define SRC_GRAPH_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/graph/cell_def.h"
+#include "src/util/json.h"
+
+namespace batchmaker {
+
+// Serializes a finalized cell to JSON.
+Json CellDefToJson(const CellDef& def);
+std::string CellDefToJsonText(const CellDef& def, bool pretty = true);
+
+// Parses a cell from JSON and finalizes it. Aborts on malformed input; use
+// Json::TryParse first if the source is untrusted text.
+std::unique_ptr<CellDef> CellDefFromJson(const Json& json);
+std::unique_ptr<CellDef> CellDefFromJsonText(const std::string& text);
+
+}  // namespace batchmaker
+
+#endif  // SRC_GRAPH_SERIALIZE_H_

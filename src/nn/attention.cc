@@ -1,0 +1,169 @@
+#include "src/nn/attention.h"
+
+#include <cmath>
+
+#include "src/nn/lstm.h"
+#include "src/nn/seq2seq.h"
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+std::unique_ptr<CellDef> BuildAttnStepCell(int64_t hidden, const std::string& name) {
+  BM_CHECK_GT(hidden, 0);
+  auto def = std::make_unique<CellDef>(name);
+  const int q = def->AddInput("q", Shape{hidden});
+  const int k = def->AddInput("k", Shape{hidden});
+  const int v = def->AddInput("v", Shape{hidden});
+  const int m = def->AddInput("m", Shape{1});
+  const int s = def->AddInput("s", Shape{1});
+  const int acc = def->AddInput("acc", Shape{hidden});
+
+  const int e = def->AddOp(OpKind::kReduceSum, "e",
+                           {def->AddOp(OpKind::kMul, "q*k", {q, k})});
+  const int m_new = def->AddOp(OpKind::kMax, "m'", {m, e});
+  const int alpha = def->AddOp(OpKind::kExp, "alpha",
+                               {def->AddOp(OpKind::kSub, "m-m'", {m, m_new})});
+  const int beta = def->AddOp(OpKind::kExp, "beta",
+                              {def->AddOp(OpKind::kSub, "e-m'", {e, m_new})});
+  const int s_new =
+      def->AddOp(OpKind::kAdd, "s'",
+                 {def->AddOp(OpKind::kMul, "s*alpha", {s, alpha}), beta});
+  const int acc_new =
+      def->AddOp(OpKind::kAdd, "acc'",
+                 {def->AddOp(OpKind::kScaleRows, "acc*alpha", {acc, alpha}),
+                  def->AddOp(OpKind::kScaleRows, "v*beta", {v, beta})});
+
+  def->MarkOutput(m_new);
+  def->MarkOutput(s_new);
+  def->MarkOutput(acc_new);
+  def->Finalize();
+  return def;
+}
+
+std::unique_ptr<CellDef> BuildAttnContextCell(int64_t hidden, const std::string& name) {
+  BM_CHECK_GT(hidden, 0);
+  auto def = std::make_unique<CellDef>(name);
+  const int s = def->AddInput("s", Shape{1});
+  const int acc = def->AddInput("acc", Shape{hidden});
+  const int inv = def->AddOp(OpKind::kRecip, "1/s", {s});
+  def->MarkOutput(def->AddOp(OpKind::kScaleRows, "context", {acc, inv}));
+  def->Finalize();
+  return def;
+}
+
+std::unique_ptr<CellDef> BuildAttnDecoderCell(const AttentionSeq2SeqSpec& spec, Rng* rng,
+                                              const std::string& name) {
+  BM_CHECK(rng != nullptr);
+  auto def = std::make_unique<CellDef>(name);
+  const int token = def->AddInput("token", Shape{1}, DType::kI32);
+  const int h_prev = def->AddInput("h_prev", Shape{spec.hidden});
+  const int c_prev = def->AddInput("c_prev", Shape{spec.hidden});
+  const int context = def->AddInput("context", Shape{spec.hidden});
+
+  const float embed_limit = 1.0f / std::sqrt(static_cast<float>(spec.embed_dim));
+  const int table = def->AddParam(
+      "embedding", Tensor::RandomUniform(Shape{spec.vocab, spec.embed_dim}, embed_limit, rng));
+  const int x = def->AddOp(OpKind::kEmbedLookup, "embed", {table, token});
+
+  const int64_t in_dim = spec.embed_dim + 2 * spec.hidden;
+  const float limit = 1.0f / std::sqrt(static_cast<float>(in_dim));
+  const int weight =
+      def->AddParam("W", Tensor::RandomUniform(Shape{in_dim, 4 * spec.hidden}, limit, rng));
+  const int bias =
+      def->AddParam("b", Tensor::RandomUniform(Shape{4 * spec.hidden}, limit, rng));
+  const int xhc = def->AddOp(OpKind::kConcat, "xhc", {x, h_prev, context});
+  const LstmCoreOps core = AddLstmCoreOps(def.get(), xhc, c_prev, weight, bias, spec.hidden);
+
+  const float proj_limit = 1.0f / std::sqrt(static_cast<float>(spec.hidden));
+  const int proj_w = def->AddParam(
+      "W_proj", Tensor::RandomUniform(Shape{spec.hidden, spec.vocab}, proj_limit, rng));
+  const int proj_b =
+      def->AddParam("b_proj", Tensor::RandomUniform(Shape{spec.vocab}, proj_limit, rng));
+  const int logits = def->AddOp(
+      OpKind::kAddBias, "logits",
+      {def->AddOp(OpKind::kMatMul, "proj", {core.h, proj_w}), proj_b});
+  const int token_out = def->AddOp(OpKind::kArgmax, "token_out", {logits});
+
+  def->MarkOutput(core.h);
+  def->MarkOutput(core.c);
+  def->MarkOutput(token_out);
+  def->Finalize();
+  return def;
+}
+
+AttentionSeq2SeqModel::AttentionSeq2SeqModel(CellRegistry* registry,
+                                             const AttentionSeq2SeqSpec& spec, Rng* rng)
+    : registry_(registry), spec_(spec) {
+  BM_CHECK(registry != nullptr);
+  encoder_type_ = registry_->Register(
+      BuildEncoderCell(
+          Seq2SeqSpec{.vocab = spec.vocab, .embed_dim = spec.embed_dim, .hidden = spec.hidden},
+          rng, "attn_encoder"),
+      /*priority=*/0);
+  attn_step_type_ = registry_->Register(BuildAttnStepCell(spec.hidden), /*priority=*/1);
+  attn_context_type_ =
+      registry_->Register(BuildAttnContextCell(spec.hidden), /*priority=*/1);
+  decoder_type_ = registry_->Register(BuildAttnDecoderCell(spec, rng), /*priority=*/2);
+}
+
+CellGraph AttentionSeq2SeqModel::Unfold(int src_len, int dec_len) const {
+  BM_CHECK_GT(src_len, 0);
+  BM_CHECK_GT(dec_len, 0);
+  CellGraph graph;
+  // Encoder chain.
+  int prev_enc = -1;
+  for (int t = 0; t < src_len; ++t) {
+    std::vector<ValueRef> inputs;
+    inputs.push_back(ValueRef::External(ExternalSrcToken(t)));
+    if (prev_enc < 0) {
+      inputs.push_back(ValueRef::External(ExternalH0(src_len)));
+      inputs.push_back(ValueRef::External(ExternalC0(src_len)));
+    } else {
+      inputs.push_back(ValueRef::Output(prev_enc, 0));
+      inputs.push_back(ValueRef::Output(prev_enc, 1));
+    }
+    prev_enc = graph.AddNode(encoder_type_, std::move(inputs));
+  }
+
+  int prev_dec = -1;  // previous decoder node
+  for (int t = 0; t < dec_len; ++t) {
+    // Query: encoder final h for the first step, previous decoder h after.
+    const ValueRef q =
+        prev_dec < 0 ? ValueRef::Output(prev_enc, 0) : ValueRef::Output(prev_dec, 0);
+    // Online-softmax chain over the source positions.
+    int prev_attn = -1;
+    for (int i = 0; i < src_len; ++i) {
+      std::vector<ValueRef> inputs;
+      inputs.push_back(q);
+      inputs.push_back(ValueRef::Output(i, 0));  // k = encoder h_i
+      inputs.push_back(ValueRef::Output(i, 0));  // v = encoder h_i
+      if (prev_attn < 0) {
+        inputs.push_back(ValueRef::External(ExternalM0(src_len)));
+        inputs.push_back(ValueRef::External(ExternalS0(src_len)));
+        inputs.push_back(ValueRef::External(ExternalAcc0(src_len)));
+      } else {
+        inputs.push_back(ValueRef::Output(prev_attn, 0));
+        inputs.push_back(ValueRef::Output(prev_attn, 1));
+        inputs.push_back(ValueRef::Output(prev_attn, 2));
+      }
+      prev_attn = graph.AddNode(attn_step_type_, std::move(inputs));
+    }
+    const int context = graph.AddNode(
+        attn_context_type_,
+        {ValueRef::Output(prev_attn, 1), ValueRef::Output(prev_attn, 2)});
+
+    std::vector<ValueRef> dec_inputs;
+    dec_inputs.push_back(prev_dec < 0 ? ValueRef::External(ExternalGoToken(src_len))
+                                      : ValueRef::Output(prev_dec, 2));
+    dec_inputs.push_back(prev_dec < 0 ? ValueRef::Output(prev_enc, 0)
+                                      : ValueRef::Output(prev_dec, 0));
+    dec_inputs.push_back(prev_dec < 0 ? ValueRef::Output(prev_enc, 1)
+                                      : ValueRef::Output(prev_dec, 1));
+    dec_inputs.push_back(ValueRef::Output(context, 0));
+    prev_dec = graph.AddNode(decoder_type_, std::move(dec_inputs));
+    BM_CHECK_EQ(prev_dec, DecoderNode(src_len, t));
+  }
+  return graph;
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,90 @@
+// Attention-based Seq2Seq (GNMT-style dot-product attention) expressed in
+// fixed-arity cells — an extension beyond the paper.
+//
+// Classic attention cannot be one cell: it consumes ALL encoder states, so
+// its arity would vary with source length and every length would be a
+// distinct (unbatchable) cell type. The fix is the online-softmax
+// decomposition: attention over the source becomes a *chain* of identical
+// accumulate cells, one per source position, carrying running (max, sum,
+// weighted-accumulator) state:
+//
+//   attn_step(q, k, v, m, s, acc):
+//     e    = dot(q, k)
+//     m'   = max(m, e)
+//     s'   = s * exp(m - m') + exp(e - m')
+//     acc' = acc * exp(m - m') + v * exp(e - m')
+//   attn_context(s, acc):  context = acc / s
+//
+// attn_step has no weights and fixed input shapes, so every position of
+// every request batches into the same cell type — exactly the property
+// cellular batching needs. The decoder cell then consumes the context:
+//   dec(token, h_prev, c_prev, context) -> (h, c, token')
+
+#ifndef SRC_NN_ATTENTION_H_
+#define SRC_NN_ATTENTION_H_
+
+#include <memory>
+#include <string>
+
+#include "src/graph/cell_graph.h"
+#include "src/graph/cell_registry.h"
+#include "src/util/rng.h"
+
+namespace batchmaker {
+
+struct AttentionSeq2SeqSpec {
+  int64_t vocab = 30000;
+  int64_t embed_dim = 1024;
+  int64_t hidden = 1024;
+};
+
+// The weightless online-softmax accumulate cell (shared by all requests of
+// a given hidden size).
+std::unique_ptr<CellDef> BuildAttnStepCell(int64_t hidden,
+                                           const std::string& name = "attn_step");
+// The finisher: context = acc / s.
+std::unique_ptr<CellDef> BuildAttnContextCell(int64_t hidden,
+                                              const std::string& name = "attn_context");
+// Decoder with attention context input.
+std::unique_ptr<CellDef> BuildAttnDecoderCell(const AttentionSeq2SeqSpec& spec, Rng* rng,
+                                              const std::string& name = "attn_decoder");
+
+class AttentionSeq2SeqModel {
+ public:
+  AttentionSeq2SeqModel(CellRegistry* registry, const AttentionSeq2SeqSpec& spec, Rng* rng);
+
+  CellTypeId encoder_type() const { return encoder_type_; }
+  CellTypeId attn_step_type() const { return attn_step_type_; }
+  CellTypeId attn_context_type() const { return attn_context_type_; }
+  CellTypeId decoder_type() const { return decoder_type_; }
+  const AttentionSeq2SeqSpec& spec() const { return spec_; }
+
+  // Unfolds src_len encoder cells, then per decode step: src_len attn_step
+  // cells + 1 attn_context cell + 1 decoder cell.
+  // Node layout: encoders [0, L); decode step t occupies
+  //   [L + t*(L+2), L + (t+1)*(L+2)) as (steps..., context, decoder).
+  // External layout: ext[i] = source token i; then <go>, h0, c0,
+  // m0 (= -1e30), s0 (= 0), acc0 (= zeros[h]).
+  CellGraph Unfold(int src_len, int dec_len) const;
+
+  int DecoderNode(int src_len, int t) const { return src_len + (t + 1) * (src_len + 2) - 1; }
+  static int ExternalSrcToken(int t) { return t; }
+  static int ExternalGoToken(int src_len) { return src_len; }
+  static int ExternalH0(int src_len) { return src_len + 1; }
+  static int ExternalC0(int src_len) { return src_len + 2; }
+  static int ExternalM0(int src_len) { return src_len + 3; }
+  static int ExternalS0(int src_len) { return src_len + 4; }
+  static int ExternalAcc0(int src_len) { return src_len + 5; }
+
+ private:
+  CellRegistry* registry_;
+  AttentionSeq2SeqSpec spec_;
+  CellTypeId encoder_type_;
+  CellTypeId attn_step_type_;
+  CellTypeId attn_context_type_;
+  CellTypeId decoder_type_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_NN_ATTENTION_H_

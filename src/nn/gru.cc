@@ -1,0 +1,79 @@
+#include "src/nn/gru.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+std::unique_ptr<CellDef> BuildGruCell(const GruSpec& spec, Rng* rng,
+                                      const std::string& name) {
+  BM_CHECK(rng != nullptr);
+  BM_CHECK_GT(spec.input_dim, 0);
+  BM_CHECK_GT(spec.hidden, 0);
+  auto def = std::make_unique<CellDef>(name);
+  const int64_t h = spec.hidden;
+  const int x = def->AddInput("x", Shape{spec.input_dim});
+  const int h_prev = def->AddInput("h_prev", Shape{h});
+
+  const int64_t in_dim = spec.input_dim + h;
+  const float limit = 1.0f / std::sqrt(static_cast<float>(in_dim));
+  // Gates z and r computed from one fused [x,h] matmul.
+  const int w_gates =
+      def->AddParam("W_zr", Tensor::RandomUniform(Shape{in_dim, 2 * h}, limit, rng));
+  const int b_gates =
+      def->AddParam("b_zr", Tensor::RandomUniform(Shape{2 * h}, limit, rng));
+  // Candidate uses separate input and (reset-gated) hidden projections.
+  const int w_xn = def->AddParam(
+      "W_xn", Tensor::RandomUniform(Shape{spec.input_dim, h}, limit, rng));
+  const int w_hn = def->AddParam("W_hn", Tensor::RandomUniform(Shape{h, h}, limit, rng));
+  const int b_n = def->AddParam("b_n", Tensor::RandomUniform(Shape{h}, limit, rng));
+
+  const int xh = def->AddOp(OpKind::kConcat, "xh", {x, h_prev});
+  const int gates = def->AddOp(
+      OpKind::kAddBias, "gates",
+      {def->AddOp(OpKind::kMatMul, "gates_mm", {xh, w_gates}), b_gates});
+  const int z_gate =
+      def->AddOp(OpKind::kSigmoid, "z", {def->AddOp(OpKind::kSlice, "z_pre", {gates}, 0, h)});
+  const int r_gate = def->AddOp(OpKind::kSigmoid, "r",
+                                {def->AddOp(OpKind::kSlice, "r_pre", {gates}, h, 2 * h)});
+
+  const int rh = def->AddOp(OpKind::kMul, "r*h", {r_gate, h_prev});
+  const int n_lin =
+      def->AddOp(OpKind::kAdd, "n_lin",
+                 {def->AddOp(OpKind::kMatMul, "x@Wxn", {x, w_xn}),
+                  def->AddOp(OpKind::kMatMul, "rh@Whn", {rh, w_hn})});
+  const int n_cand =
+      def->AddOp(OpKind::kTanh, "n", {def->AddOp(OpKind::kAddBias, "n_pre", {n_lin, b_n})});
+
+  // h' = h + z*(n - h)  ==  (1-z)*h + z*n
+  const int n_minus_h = def->AddOp(OpKind::kSub, "n-h", {n_cand, h_prev});
+  const int delta = def->AddOp(OpKind::kMul, "z*(n-h)", {z_gate, n_minus_h});
+  const int h_new = def->AddOp(OpKind::kAdd, "h", {h_prev, delta});
+
+  def->MarkOutput(h_new);
+  def->Finalize();
+  return def;
+}
+
+GruModel::GruModel(CellRegistry* registry, const GruSpec& spec, Rng* rng)
+    : registry_(registry), spec_(spec) {
+  BM_CHECK(registry != nullptr);
+  cell_type_ = registry_->Register(BuildGruCell(spec, rng));
+}
+
+CellGraph GruModel::Unfold(int length) const {
+  BM_CHECK_GT(length, 0);
+  CellGraph graph;
+  int prev = -1;
+  for (int t = 0; t < length; ++t) {
+    std::vector<ValueRef> inputs;
+    inputs.push_back(ValueRef::External(ExternalX(t)));
+    inputs.push_back(prev < 0 ? ValueRef::External(ExternalH0(length))
+                              : ValueRef::Output(prev, 0));
+    prev = graph.AddNode(cell_type_, std::move(inputs));
+  }
+  return graph;
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,56 @@
+// The GRU cell (Cho et al.): the other workhorse recurrent cell. Included
+// to demonstrate that BatchMaker's cell abstraction is model-agnostic —
+// any weight-sharing subgraph with batched inputs can be a cell (§3.1: a
+// cell "can be as simple as a fully connected layer with an activation
+// function, or the more sophisticated LSTM cell").
+//
+// Formulation (reset-before-candidate):
+//   z = sigmoid([x,h] @ Wz + bz)        update gate
+//   r = sigmoid([x,h] @ Wr + br)        reset gate
+//   n = tanh(x @ Wxn + (r*h) @ Whn + bn) candidate
+//   h' = (1-z)*h + z*n
+// Inputs: x, h_prev; output: h.
+
+#ifndef SRC_NN_GRU_H_
+#define SRC_NN_GRU_H_
+
+#include <memory>
+#include <string>
+
+#include "src/graph/cell_graph.h"
+#include "src/graph/cell_registry.h"
+#include "src/util/rng.h"
+
+namespace batchmaker {
+
+struct GruSpec {
+  int64_t input_dim = 1024;
+  int64_t hidden = 1024;
+};
+
+std::unique_ptr<CellDef> BuildGruCell(const GruSpec& spec, Rng* rng,
+                                      const std::string& name = "gru");
+
+class GruModel {
+ public:
+  GruModel(CellRegistry* registry, const GruSpec& spec, Rng* rng);
+
+  CellTypeId cell_type() const { return cell_type_; }
+  const GruSpec& spec() const { return spec_; }
+
+  // Unfolds a chain of `length` steps. External layout: ext[t] = x_t,
+  // ext[length] = h0.
+  CellGraph Unfold(int length) const;
+
+  static int ExternalX(int t) { return t; }
+  static int ExternalH0(int length) { return length; }
+
+ private:
+  CellRegistry* registry_;
+  GruSpec spec_;
+  CellTypeId cell_type_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_NN_GRU_H_

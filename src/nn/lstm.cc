@@ -1,0 +1,83 @@
+#include "src/nn/lstm.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+LstmCoreOps AddLstmCoreOps(CellDef* def, int xh, int c_prev, int weight, int bias,
+                           int64_t hidden) {
+  const int linear = def->AddOp(OpKind::kMatMul, "gates_matmul", {xh, weight});
+  const int gates = def->AddOp(OpKind::kAddBias, "gates", {linear, bias});
+  const int i_gate =
+      def->AddOp(OpKind::kSigmoid, "i",
+                 {def->AddOp(OpKind::kSlice, "i_pre", {gates}, 0, hidden)});
+  const int f_gate =
+      def->AddOp(OpKind::kSigmoid, "f",
+                 {def->AddOp(OpKind::kSlice, "f_pre", {gates}, hidden, 2 * hidden)});
+  const int g_gate =
+      def->AddOp(OpKind::kTanh, "g",
+                 {def->AddOp(OpKind::kSlice, "g_pre", {gates}, 2 * hidden, 3 * hidden)});
+  const int o_gate =
+      def->AddOp(OpKind::kSigmoid, "o",
+                 {def->AddOp(OpKind::kSlice, "o_pre", {gates}, 3 * hidden, 4 * hidden)});
+  const int fc = def->AddOp(OpKind::kMul, "f*c", {f_gate, c_prev});
+  const int ig = def->AddOp(OpKind::kMul, "i*g", {i_gate, g_gate});
+  const int c_new = def->AddOp(OpKind::kAdd, "c", {fc, ig});
+  const int c_tanh = def->AddOp(OpKind::kTanh, "tanh(c)", {c_new});
+  const int h_new = def->AddOp(OpKind::kMul, "h", {o_gate, c_tanh});
+  return LstmCoreOps{h_new, c_new};
+}
+
+std::unique_ptr<CellDef> BuildLstmCell(const LstmSpec& spec, Rng* rng,
+                                       const std::string& name) {
+  BM_CHECK(rng != nullptr);
+  BM_CHECK_GT(spec.input_dim, 0);
+  BM_CHECK_GT(spec.hidden, 0);
+  auto def = std::make_unique<CellDef>(name);
+  const int x = def->AddInput("x", Shape{spec.input_dim});
+  const int h_prev = def->AddInput("h_prev", Shape{spec.hidden});
+  const int c_prev = def->AddInput("c_prev", Shape{spec.hidden});
+
+  const int64_t in_dim = spec.input_dim + spec.hidden;
+  const float limit = 1.0f / std::sqrt(static_cast<float>(in_dim));
+  const int weight =
+      def->AddParam("W", Tensor::RandomUniform(Shape{in_dim, 4 * spec.hidden}, limit, rng));
+  const int bias =
+      def->AddParam("b", Tensor::RandomUniform(Shape{4 * spec.hidden}, limit, rng));
+
+  const int xh = def->AddOp(OpKind::kConcat, "xh", {x, h_prev});
+  const LstmCoreOps core = AddLstmCoreOps(def.get(), xh, c_prev, weight, bias, spec.hidden);
+  def->MarkOutput(core.h);
+  def->MarkOutput(core.c);
+  def->Finalize();
+  return def;
+}
+
+LstmModel::LstmModel(CellRegistry* registry, const LstmSpec& spec, Rng* rng)
+    : registry_(registry), spec_(spec) {
+  BM_CHECK(registry != nullptr);
+  cell_type_ = registry_->Register(BuildLstmCell(spec, rng));
+}
+
+CellGraph LstmModel::Unfold(int length) const {
+  BM_CHECK_GT(length, 0);
+  CellGraph graph;
+  int prev = -1;
+  for (int t = 0; t < length; ++t) {
+    std::vector<ValueRef> inputs;
+    inputs.push_back(ValueRef::External(ExternalX(t)));
+    if (prev < 0) {
+      inputs.push_back(ValueRef::External(ExternalH0(length)));
+      inputs.push_back(ValueRef::External(ExternalC0(length)));
+    } else {
+      inputs.push_back(ValueRef::Output(prev, 0));  // h
+      inputs.push_back(ValueRef::Output(prev, 1));  // c
+    }
+    prev = graph.AddNode(cell_type_, std::move(inputs));
+  }
+  return graph;
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,70 @@
+// The LSTM cell (Hochreiter & Schmidhuber) and chain-structured unfolding.
+//
+// The cell follows the paper's microbenchmark formulation (§2.2 footnote 2):
+// one [b, input+hidden] x [input+hidden, 4*hidden] matrix multiplication
+// followed by elementwise gate operations. Inputs: x, h_prev, c_prev;
+// outputs: h, c.
+
+#ifndef SRC_NN_LSTM_H_
+#define SRC_NN_LSTM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/graph/cell_graph.h"
+#include "src/graph/cell_registry.h"
+#include "src/util/rng.h"
+
+namespace batchmaker {
+
+struct LstmSpec {
+  int64_t input_dim = 1024;
+  int64_t hidden = 1024;
+};
+
+// Builds a finalized LSTM cell definition with randomly initialized weights
+// (deterministic given the Rng).
+std::unique_ptr<CellDef> BuildLstmCell(const LstmSpec& spec, Rng* rng,
+                                       const std::string& name = "lstm");
+
+// Op ids of the hidden/cell state produced by AddLstmCoreOps.
+struct LstmCoreOps {
+  int h;
+  int c;
+};
+
+// Appends the LSTM gate computation (one matmul + gate elementwise ops) to a
+// cell under construction. `xh` is the op id of the concatenated [x, h_prev]
+// value, `weight` a [dim(xh), 4*hidden] parameter, `bias` a [4*hidden]
+// parameter. Shared by the plain LSTM and the Seq2Seq encoder/decoder cells.
+LstmCoreOps AddLstmCoreOps(CellDef* def, int xh, int c_prev, int weight, int bias,
+                           int64_t hidden);
+
+// A registered chain LSTM model.
+class LstmModel {
+ public:
+  // Registers the cell with the registry (priority 0).
+  LstmModel(CellRegistry* registry, const LstmSpec& spec, Rng* rng);
+
+  CellTypeId cell_type() const { return cell_type_; }
+  const LstmSpec& spec() const { return spec_; }
+
+  // Unfolds a request of `length` steps into a chain cell graph.
+  // External input layout: ext[t] = x_t for t in [0, length);
+  // ext[length] = h0, ext[length+1] = c0.
+  CellGraph Unfold(int length) const;
+
+  // Index helpers for the external layout above.
+  static int ExternalX(int t) { return t; }
+  static int ExternalH0(int length) { return length; }
+  static int ExternalC0(int length) { return length + 1; }
+
+ private:
+  CellRegistry* registry_;
+  LstmSpec spec_;
+  CellTypeId cell_type_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_NN_LSTM_H_

@@ -1,0 +1,50 @@
+#include "src/nn/mlp.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+std::unique_ptr<CellDef> BuildMlpCell(const MlpSpec& spec, Rng* rng,
+                                      const std::string& name) {
+  BM_CHECK(rng != nullptr);
+  BM_CHECK_GT(spec.input_dim, 0);
+  BM_CHECK(!spec.layer_dims.empty());
+  auto def = std::make_unique<CellDef>(name);
+  int value = def->AddInput("x", Shape{spec.input_dim});
+  int64_t in_dim = spec.input_dim;
+  for (size_t layer = 0; layer < spec.layer_dims.size(); ++layer) {
+    const int64_t out_dim = spec.layer_dims[layer];
+    BM_CHECK_GT(out_dim, 0);
+    const float limit = 1.0f / std::sqrt(static_cast<float>(in_dim));
+    const std::string suffix = std::to_string(layer);
+    const int w = def->AddParam(
+        "W" + suffix, Tensor::RandomUniform(Shape{in_dim, out_dim}, limit, rng));
+    const int b =
+        def->AddParam("b" + suffix, Tensor::RandomUniform(Shape{out_dim}, limit, rng));
+    value = def->AddOp(OpKind::kAddBias, "lin" + suffix,
+                       {def->AddOp(OpKind::kMatMul, "mm" + suffix, {value, w}), b});
+    if (layer + 1 < spec.layer_dims.size()) {
+      value = def->AddOp(OpKind::kRelu, "relu" + suffix, {value});
+    }
+    in_dim = out_dim;
+  }
+  def->MarkOutput(value);
+  def->Finalize();
+  return def;
+}
+
+MlpModel::MlpModel(CellRegistry* registry, const MlpSpec& spec, Rng* rng)
+    : registry_(registry), spec_(spec) {
+  BM_CHECK(registry != nullptr);
+  cell_type_ = registry_->Register(BuildMlpCell(spec, rng));
+}
+
+CellGraph MlpModel::Unfold() const {
+  CellGraph graph;
+  graph.AddNode(cell_type_, {ValueRef::External(0)});
+  return graph;
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,52 @@
+// A fixed-computation MLP "model": every request is a single cell
+// invocation (no recursion, no unfolding variance).
+//
+// This is the degenerate case the paper calls out in §9: "we hypothesize
+// that cellular batching would not improve inference for DNNs with fixed
+// inputs such as CNNs and MLPs" — with one cell per request, cellular
+// batching reduces to plain request batching. The MLP model exists to test
+// that hypothesis (bench/abl_fixed_graph) and to show that fixed-graph
+// models are served by the same machinery without special cases.
+
+#ifndef SRC_NN_MLP_H_
+#define SRC_NN_MLP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/cell_graph.h"
+#include "src/graph/cell_registry.h"
+#include "src/util/rng.h"
+
+namespace batchmaker {
+
+struct MlpSpec {
+  int64_t input_dim = 1024;
+  std::vector<int64_t> layer_dims = {1024, 1024, 10};
+};
+
+// Builds the whole MLP as ONE cell: dense layers with ReLU between them
+// (none after the last).
+std::unique_ptr<CellDef> BuildMlpCell(const MlpSpec& spec, Rng* rng,
+                                      const std::string& name = "mlp");
+
+class MlpModel {
+ public:
+  MlpModel(CellRegistry* registry, const MlpSpec& spec, Rng* rng);
+
+  CellTypeId cell_type() const { return cell_type_; }
+  const MlpSpec& spec() const { return spec_; }
+
+  // Every request is one node consuming external input 0.
+  CellGraph Unfold() const;
+
+ private:
+  CellRegistry* registry_;
+  MlpSpec spec_;
+  CellTypeId cell_type_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_NN_MLP_H_

@@ -1,0 +1,113 @@
+#include "src/nn/seq2seq.h"
+
+#include <cmath>
+
+#include "src/nn/lstm.h"
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+namespace {
+
+// Shared front half of both cells: token -> embedding -> concat with h_prev
+// -> LSTM core. Returns the {h, c} op ids.
+LstmCoreOps AddEmbedLstm(CellDef* def, const Seq2SeqSpec& spec, Rng* rng) {
+  const int token = def->AddInput("token", Shape{1}, DType::kI32);
+  const int h_prev = def->AddInput("h_prev", Shape{spec.hidden});
+  const int c_prev = def->AddInput("c_prev", Shape{spec.hidden});
+
+  const float embed_limit = 1.0f / std::sqrt(static_cast<float>(spec.embed_dim));
+  const int table = def->AddParam(
+      "embedding", Tensor::RandomUniform(Shape{spec.vocab, spec.embed_dim}, embed_limit, rng));
+  const int x = def->AddOp(OpKind::kEmbedLookup, "embed", {table, token});
+
+  const int64_t in_dim = spec.embed_dim + spec.hidden;
+  const float limit = 1.0f / std::sqrt(static_cast<float>(in_dim));
+  const int weight =
+      def->AddParam("W", Tensor::RandomUniform(Shape{in_dim, 4 * spec.hidden}, limit, rng));
+  const int bias =
+      def->AddParam("b", Tensor::RandomUniform(Shape{4 * spec.hidden}, limit, rng));
+  const int xh = def->AddOp(OpKind::kConcat, "xh", {x, h_prev});
+  return AddLstmCoreOps(def, xh, c_prev, weight, bias, spec.hidden);
+}
+
+}  // namespace
+
+std::unique_ptr<CellDef> BuildEncoderCell(const Seq2SeqSpec& spec, Rng* rng,
+                                          const std::string& name) {
+  BM_CHECK(rng != nullptr);
+  auto def = std::make_unique<CellDef>(name);
+  const LstmCoreOps core = AddEmbedLstm(def.get(), spec, rng);
+  def->MarkOutput(core.h);
+  def->MarkOutput(core.c);
+  def->Finalize();
+  return def;
+}
+
+std::unique_ptr<CellDef> BuildDecoderCell(const Seq2SeqSpec& spec, Rng* rng,
+                                          const std::string& name) {
+  BM_CHECK(rng != nullptr);
+  auto def = std::make_unique<CellDef>(name);
+  const LstmCoreOps core = AddEmbedLstm(def.get(), spec, rng);
+
+  // Output projection to the vocabulary followed by argmax; this large
+  // matmul is why decoding constitutes ~75% of Seq2Seq computation (§7.4).
+  const float limit = 1.0f / std::sqrt(static_cast<float>(spec.hidden));
+  const int proj_w = def->AddParam(
+      "W_proj", Tensor::RandomUniform(Shape{spec.hidden, spec.vocab}, limit, rng));
+  const int proj_b =
+      def->AddParam("b_proj", Tensor::RandomUniform(Shape{spec.vocab}, limit, rng));
+  const int logits_linear = def->AddOp(OpKind::kMatMul, "proj", {core.h, proj_w});
+  const int logits = def->AddOp(OpKind::kAddBias, "logits", {logits_linear, proj_b});
+  const int token_out = def->AddOp(OpKind::kArgmax, "token_out", {logits});
+
+  def->MarkOutput(core.h);
+  def->MarkOutput(core.c);
+  def->MarkOutput(token_out);
+  def->Finalize();
+  return def;
+}
+
+Seq2SeqModel::Seq2SeqModel(CellRegistry* registry, const Seq2SeqSpec& spec, Rng* rng)
+    : registry_(registry), spec_(spec) {
+  BM_CHECK(registry != nullptr);
+  encoder_type_ = registry_->Register(BuildEncoderCell(spec, rng), /*priority=*/0);
+  decoder_type_ = registry_->Register(BuildDecoderCell(spec, rng), /*priority=*/1);
+}
+
+CellGraph Seq2SeqModel::Unfold(int src_len, int dec_len) const {
+  BM_CHECK_GT(src_len, 0);
+  BM_CHECK_GT(dec_len, 0);
+  CellGraph graph;
+  int prev = -1;
+  for (int t = 0; t < src_len; ++t) {
+    std::vector<ValueRef> inputs;
+    inputs.push_back(ValueRef::External(ExternalSrcToken(t)));
+    if (prev < 0) {
+      inputs.push_back(ValueRef::External(ExternalH0(src_len)));
+      inputs.push_back(ValueRef::External(ExternalC0(src_len)));
+    } else {
+      inputs.push_back(ValueRef::Output(prev, 0));
+      inputs.push_back(ValueRef::Output(prev, 1));
+    }
+    prev = graph.AddNode(encoder_type_, std::move(inputs));
+  }
+  for (int t = 0; t < dec_len; ++t) {
+    std::vector<ValueRef> inputs;
+    if (t == 0) {
+      // First decoder step: <go> token, encoder final state.
+      inputs.push_back(ValueRef::External(ExternalGoToken(src_len)));
+      inputs.push_back(ValueRef::Output(prev, 0));
+      inputs.push_back(ValueRef::Output(prev, 1));
+    } else {
+      // Feed previous: token output (index 2) of the previous decoder step.
+      inputs.push_back(ValueRef::Output(prev, 2));
+      inputs.push_back(ValueRef::Output(prev, 0));
+      inputs.push_back(ValueRef::Output(prev, 1));
+    }
+    prev = graph.AddNode(decoder_type_, std::move(inputs));
+  }
+  return graph;
+}
+
+}  // namespace batchmaker

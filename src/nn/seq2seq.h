@@ -1,0 +1,71 @@
+// The Seq2Seq model (Sutskever et al.) with a "feed previous" decoder, as
+// evaluated in the paper (§7.4, Figure 12).
+//
+// Encoder cell:  token [1]i32, h_prev, c_prev -> embedding lookup -> LSTM
+//                outputs: h, c
+// Decoder cell:  token [1]i32, h_prev, c_prev -> embedding lookup -> LSTM
+//                -> vocab projection -> argmax
+//                outputs: h, c, token [1]i32
+//
+// The decoder's token output feeds the next decoder step ("feed previous"),
+// which is why decoding cannot be unrolled by padding: the chain is a data
+// dependency. Encoder and decoder do not share weights and are distinct
+// cell types; the paper gives decoder cells scheduling priority over
+// encoder cells.
+
+#ifndef SRC_NN_SEQ2SEQ_H_
+#define SRC_NN_SEQ2SEQ_H_
+
+#include <memory>
+#include <string>
+
+#include "src/graph/cell_graph.h"
+#include "src/graph/cell_registry.h"
+#include "src/util/rng.h"
+
+namespace batchmaker {
+
+struct Seq2SeqSpec {
+  int64_t vocab = 30000;
+  int64_t embed_dim = 1024;
+  int64_t hidden = 1024;
+};
+
+std::unique_ptr<CellDef> BuildEncoderCell(const Seq2SeqSpec& spec, Rng* rng,
+                                          const std::string& name = "encoder");
+std::unique_ptr<CellDef> BuildDecoderCell(const Seq2SeqSpec& spec, Rng* rng,
+                                          const std::string& name = "decoder");
+
+class Seq2SeqModel {
+ public:
+  // Registers both cells; the decoder gets higher priority (paper §4.3).
+  Seq2SeqModel(CellRegistry* registry, const Seq2SeqSpec& spec, Rng* rng);
+
+  CellTypeId encoder_type() const { return encoder_type_; }
+  CellTypeId decoder_type() const { return decoder_type_; }
+  const Seq2SeqSpec& spec() const { return spec_; }
+
+  // Unfolds a translation request: `src_len` encoder steps followed by
+  // `dec_len` decoder steps (the paper fixes the decode length to the
+  // reference translation length, §7.4). External input layout:
+  //   ext[t] = source token for t in [0, src_len)
+  //   ext[src_len]     = <go> token
+  //   ext[src_len + 1] = h0
+  //   ext[src_len + 2] = c0
+  CellGraph Unfold(int src_len, int dec_len) const;
+
+  static int ExternalSrcToken(int t) { return t; }
+  static int ExternalGoToken(int src_len) { return src_len; }
+  static int ExternalH0(int src_len) { return src_len + 1; }
+  static int ExternalC0(int src_len) { return src_len + 2; }
+
+ private:
+  CellRegistry* registry_;
+  Seq2SeqSpec spec_;
+  CellTypeId encoder_type_;
+  CellTypeId decoder_type_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_NN_SEQ2SEQ_H_

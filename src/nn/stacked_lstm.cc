@@ -1,0 +1,138 @@
+#include "src/nn/stacked_lstm.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+StackedLstmModel::StackedLstmModel(CellRegistry* registry, const StackedLstmSpec& spec,
+                                   Rng* rng)
+    : registry_(registry), spec_(spec) {
+  BM_CHECK(registry != nullptr);
+  BM_CHECK_GT(spec.num_layers, 0);
+  for (int layer = 0; layer < spec.num_layers; ++layer) {
+    const LstmSpec layer_spec{
+        .input_dim = layer == 0 ? spec.input_dim : spec.hidden,
+        .hidden = spec.hidden,
+    };
+    layer_types_.push_back(registry_->Register(
+        BuildLstmCell(layer_spec, rng, "lstm_l" + std::to_string(layer)),
+        // Deeper layers are later in the dataflow: give them priority
+        // (§4.3's "prefer cell types that occur later").
+        /*priority=*/layer));
+  }
+}
+
+CellTypeId StackedLstmModel::layer_type(int layer) const {
+  BM_CHECK_GE(layer, 0);
+  BM_CHECK_LT(layer, spec_.num_layers);
+  return layer_types_[static_cast<size_t>(layer)];
+}
+
+CellGraph StackedLstmModel::Unfold(int length) const {
+  BM_CHECK_GT(length, 0);
+  CellGraph graph;
+  // Layer-major node order; inputs must reference lower ids, and
+  // node(layer, t) depends on node(layer, t-1) and node(layer-1, t) — both
+  // have smaller ids in layer-major order.
+  for (int layer = 0; layer < spec_.num_layers; ++layer) {
+    for (int t = 0; t < length; ++t) {
+      std::vector<ValueRef> inputs;
+      if (layer == 0) {
+        inputs.push_back(ValueRef::External(ExternalX(t)));
+      } else {
+        inputs.push_back(ValueRef::Output(NodeId(length, layer - 1, t), 0));
+      }
+      if (t == 0) {
+        inputs.push_back(ValueRef::External(ExternalH0(length, layer)));
+        inputs.push_back(ValueRef::External(ExternalC0(length, layer)));
+      } else {
+        const int prev = NodeId(length, layer, t - 1);
+        inputs.push_back(ValueRef::Output(prev, 0));
+        inputs.push_back(ValueRef::Output(prev, 1));
+      }
+      const int id = graph.AddNode(layer_types_[static_cast<size_t>(layer)],
+                                   std::move(inputs));
+      BM_CHECK_EQ(id, NodeId(length, layer, t));
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+// Combiner cell: concat(h_fwd, h_bwd) @ W + b, tanh. One batched matmul.
+std::unique_ptr<CellDef> BuildCombineCell(int64_t hidden, Rng* rng) {
+  auto def = std::make_unique<CellDef>("bidi_combine");
+  const int h_fwd = def->AddInput("h_fwd", Shape{hidden});
+  const int h_bwd = def->AddInput("h_bwd", Shape{hidden});
+  const float limit = 1.0f / std::sqrt(static_cast<float>(2 * hidden));
+  const int w =
+      def->AddParam("W", Tensor::RandomUniform(Shape{2 * hidden, hidden}, limit, rng));
+  const int b = def->AddParam("b", Tensor::RandomUniform(Shape{hidden}, limit, rng));
+  const int cat = def->AddOp(OpKind::kConcat, "cat", {h_fwd, h_bwd});
+  const int lin = def->AddOp(OpKind::kAddBias, "lin",
+                             {def->AddOp(OpKind::kMatMul, "mm", {cat, w}), b});
+  def->MarkOutput(def->AddOp(OpKind::kTanh, "y", {lin}));
+  def->Finalize();
+  return def;
+}
+
+}  // namespace
+
+BidiLstmModel::BidiLstmModel(CellRegistry* registry, const BidiLstmSpec& spec, Rng* rng)
+    : registry_(registry), spec_(spec) {
+  BM_CHECK(registry != nullptr);
+  const LstmSpec chain_spec{.input_dim = spec.input_dim, .hidden = spec.hidden};
+  forward_type_ = registry_->Register(BuildLstmCell(chain_spec, rng, "bidi_fwd"));
+  backward_type_ = registry_->Register(BuildLstmCell(chain_spec, rng, "bidi_bwd"));
+  combine_type_ =
+      registry_->Register(BuildCombineCell(spec.hidden, rng), /*priority=*/1);
+}
+
+CellGraph BidiLstmModel::Unfold(int length) const {
+  BM_CHECK_GT(length, 0);
+  CellGraph graph;
+  // Forward chain: nodes 0..length-1.
+  int prev = -1;
+  for (int t = 0; t < length; ++t) {
+    std::vector<ValueRef> inputs;
+    inputs.push_back(ValueRef::External(ExternalX(t)));
+    if (prev < 0) {
+      inputs.push_back(ValueRef::External(ExternalFwdH0(length)));
+      inputs.push_back(ValueRef::External(ExternalFwdC0(length)));
+    } else {
+      inputs.push_back(ValueRef::Output(prev, 0));
+      inputs.push_back(ValueRef::Output(prev, 1));
+    }
+    prev = graph.AddNode(forward_type_, std::move(inputs));
+  }
+  // Backward chain: nodes length..2*length-1; node length+i encodes
+  // position length-1-i.
+  prev = -1;
+  for (int i = 0; i < length; ++i) {
+    std::vector<ValueRef> inputs;
+    inputs.push_back(ValueRef::External(ExternalX(length - 1 - i)));
+    if (prev < 0) {
+      inputs.push_back(ValueRef::External(ExternalBwdH0(length)));
+      inputs.push_back(ValueRef::External(ExternalBwdC0(length)));
+    } else {
+      inputs.push_back(ValueRef::Output(prev, 0));
+      inputs.push_back(ValueRef::Output(prev, 1));
+    }
+    prev = graph.AddNode(backward_type_, std::move(inputs));
+  }
+  // Combiners: node 2*length + t fuses forward node t with backward node
+  // length + (length-1-t) (both encode position t).
+  for (int t = 0; t < length; ++t) {
+    const int fwd = t;
+    const int bwd = length + (length - 1 - t);
+    const int id = graph.AddNode(
+        combine_type_, {ValueRef::Output(fwd, 0), ValueRef::Output(bwd, 0)});
+    BM_CHECK_EQ(id, CombinerNode(length, t));
+  }
+  return graph;
+}
+
+}  // namespace batchmaker

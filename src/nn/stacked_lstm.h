@@ -1,0 +1,96 @@
+// Multi-layer (stacked) LSTM and bidirectional LSTM encoders.
+//
+// Stacked LSTM: L layers, each layer its own cell type (own weights).
+// Layer l's step-t cell consumes layer l-1's step-t hidden output — so the
+// unfolded graph is a 2-D lattice. This is a scheduling-rich model: the
+// scheduler can pipeline layer l of step t with layer l-1 of step t+1 and
+// batch each layer across requests, which graph batching cannot express at
+// the operator level without lockstep padding.
+//
+// Bidirectional LSTM: a forward chain and a backward chain over the same
+// inputs (separate weights), plus a per-position combiner cell that
+// concatenates the two hidden states and projects them. The backward chain
+// means *no* prefix of the output is available until the whole input
+// arrived — a classic encoder for speech models.
+
+#ifndef SRC_NN_STACKED_LSTM_H_
+#define SRC_NN_STACKED_LSTM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/lstm.h"
+
+namespace batchmaker {
+
+struct StackedLstmSpec {
+  int64_t input_dim = 1024;
+  int64_t hidden = 1024;
+  int num_layers = 2;
+};
+
+class StackedLstmModel {
+ public:
+  StackedLstmModel(CellRegistry* registry, const StackedLstmSpec& spec, Rng* rng);
+
+  int num_layers() const { return spec_.num_layers; }
+  CellTypeId layer_type(int layer) const;
+  const StackedLstmSpec& spec() const { return spec_; }
+
+  // Unfolds `length` steps of all layers. Node ids are layer-major:
+  // node(layer, t) = layer * length + t; the top layer's h output of the
+  // last step is node (num_layers*length - 1), output 0.
+  // External layout: ext[t] = x_t for t in [0,length); ext[length + 2*l]
+  // and ext[length + 2*l + 1] are layer l's initial h and c.
+  CellGraph Unfold(int length) const;
+
+  static int ExternalX(int t) { return t; }
+  static int ExternalH0(int length, int layer) { return length + 2 * layer; }
+  static int ExternalC0(int length, int layer) { return length + 2 * layer + 1; }
+  static int NodeId(int length, int layer, int t) { return layer * length + t; }
+
+ private:
+  CellRegistry* registry_;
+  StackedLstmSpec spec_;
+  std::vector<CellTypeId> layer_types_;
+};
+
+struct BidiLstmSpec {
+  int64_t input_dim = 1024;
+  int64_t hidden = 1024;
+};
+
+class BidiLstmModel {
+ public:
+  BidiLstmModel(CellRegistry* registry, const BidiLstmSpec& spec, Rng* rng);
+
+  CellTypeId forward_type() const { return forward_type_; }
+  CellTypeId backward_type() const { return backward_type_; }
+  CellTypeId combine_type() const { return combine_type_; }
+
+  // Unfolds a bidirectional encoding of `length` positions. Node layout:
+  // nodes [0, length) forward chain, [length, 2*length) backward chain
+  // (backward node i encodes position length-1-i), [2*length, 3*length)
+  // combiners (combiner t fuses position t). External layout: ext[t] = x_t;
+  // then forward h0, c0, backward h0, c0.
+  CellGraph Unfold(int length) const;
+
+  static int ExternalX(int t) { return t; }
+  static int ExternalFwdH0(int length) { return length; }
+  static int ExternalFwdC0(int length) { return length + 1; }
+  static int ExternalBwdH0(int length) { return length + 2; }
+  static int ExternalBwdC0(int length) { return length + 3; }
+  static int CombinerNode(int length, int t) { return 2 * length + t; }
+
+ private:
+  CellRegistry* registry_;
+  BidiLstmSpec spec_;
+  CellTypeId forward_type_;
+  CellTypeId backward_type_;
+  CellTypeId combine_type_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_NN_STACKED_LSTM_H_

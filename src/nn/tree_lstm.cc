@@ -1,0 +1,233 @@
+#include "src/nn/tree_lstm.h"
+
+#include <cmath>
+#include <functional>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+int BinaryTree::NumLeaves() const {
+  int leaves = 0;
+  for (const Node& n : nodes) {
+    if (n.is_leaf()) {
+      ++leaves;
+    }
+  }
+  return leaves;
+}
+
+int BinaryTree::Depth() const {
+  BM_CHECK_GE(root, 0);
+  std::function<int(int)> depth_of = [&](int id) -> int {
+    const Node& n = nodes[static_cast<size_t>(id)];
+    if (n.is_leaf()) {
+      return 1;
+    }
+    return 1 + std::max(depth_of(n.left), depth_of(n.right));
+  };
+  return depth_of(root);
+}
+
+void BinaryTree::Validate() const {
+  BM_CHECK(!nodes.empty());
+  BM_CHECK_GE(root, 0);
+  BM_CHECK_LT(root, NumNodes());
+  std::vector<int> parent_count(nodes.size(), 0);
+  for (const Node& n : nodes) {
+    // A node has either two children or none.
+    BM_CHECK_EQ(n.left < 0, n.right < 0) << "binary tree nodes need 0 or 2 children";
+    if (!n.is_leaf()) {
+      BM_CHECK_GE(n.left, 0);
+      BM_CHECK_LT(n.left, NumNodes());
+      BM_CHECK_GE(n.right, 0);
+      BM_CHECK_LT(n.right, NumNodes());
+      BM_CHECK_NE(n.left, n.right);
+      ++parent_count[static_cast<size_t>(n.left)];
+      ++parent_count[static_cast<size_t>(n.right)];
+    }
+  }
+  for (int id = 0; id < NumNodes(); ++id) {
+    if (id == root) {
+      BM_CHECK_EQ(parent_count[static_cast<size_t>(id)], 0) << "root must have no parent";
+    } else {
+      BM_CHECK_EQ(parent_count[static_cast<size_t>(id)], 1)
+          << "non-root node " << id << " must have exactly one parent";
+    }
+  }
+}
+
+BinaryTree BinaryTree::Complete(int num_leaves) {
+  BM_CHECK_GT(num_leaves, 0);
+  BM_CHECK_EQ(num_leaves & (num_leaves - 1), 0) << "num_leaves must be a power of two";
+  BinaryTree tree;
+  // Level-by-level, leaves first.
+  std::vector<int> level;
+  for (int i = 0; i < num_leaves; ++i) {
+    tree.nodes.push_back(Node{});
+    level.push_back(i);
+  }
+  while (level.size() > 1) {
+    std::vector<int> next;
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      Node n;
+      n.left = level[i];
+      n.right = level[i + 1];
+      tree.nodes.push_back(n);
+      next.push_back(static_cast<int>(tree.nodes.size()) - 1);
+    }
+    level = std::move(next);
+  }
+  tree.root = level[0];
+  return tree;
+}
+
+BinaryTree BinaryTree::RandomParse(int num_leaves, int32_t vocab, Rng* rng) {
+  BM_CHECK_GT(num_leaves, 0);
+  BM_CHECK(rng != nullptr);
+  BinaryTree tree;
+  // Recursively split the range [lo, hi) of leaves; returns the node id.
+  std::function<int(int, int)> build = [&](int lo, int hi) -> int {
+    if (hi - lo == 1) {
+      Node leaf;
+      leaf.token = vocab > 0 ? static_cast<int32_t>(rng->NextBelow(static_cast<uint64_t>(vocab)))
+                             : 0;
+      tree.nodes.push_back(leaf);
+      return static_cast<int>(tree.nodes.size()) - 1;
+    }
+    const int split = lo + 1 + static_cast<int>(rng->NextBelow(static_cast<uint64_t>(hi - lo - 1)));
+    Node internal;
+    internal.left = build(lo, split);
+    internal.right = build(split, hi);
+    tree.nodes.push_back(internal);
+    return static_cast<int>(tree.nodes.size()) - 1;
+  };
+  tree.root = build(0, num_leaves);
+  return tree;
+}
+
+std::unique_ptr<CellDef> BuildTreeLeafCell(const TreeLstmSpec& spec, Rng* rng,
+                                           const std::string& name) {
+  BM_CHECK(rng != nullptr);
+  auto def = std::make_unique<CellDef>(name);
+  const int token = def->AddInput("token", Shape{1}, DType::kI32);
+
+  const float embed_limit = 1.0f / std::sqrt(static_cast<float>(spec.embed_dim));
+  const int table = def->AddParam(
+      "embedding", Tensor::RandomUniform(Shape{spec.vocab, spec.embed_dim}, embed_limit, rng));
+  const int x = def->AddOp(OpKind::kEmbedLookup, "embed", {table, token});
+
+  const float limit = 1.0f / std::sqrt(static_cast<float>(spec.embed_dim));
+  const int weight = def->AddParam(
+      "W", Tensor::RandomUniform(Shape{spec.embed_dim, 3 * spec.hidden}, limit, rng));
+  const int bias =
+      def->AddParam("b", Tensor::RandomUniform(Shape{3 * spec.hidden}, limit, rng));
+
+  const int linear = def->AddOp(OpKind::kMatMul, "gates_matmul", {x, weight});
+  const int gates = def->AddOp(OpKind::kAddBias, "gates", {linear, bias});
+  const int64_t h = spec.hidden;
+  const int i_gate =
+      def->AddOp(OpKind::kSigmoid, "i", {def->AddOp(OpKind::kSlice, "i_pre", {gates}, 0, h)});
+  const int o_gate = def->AddOp(OpKind::kSigmoid, "o",
+                                {def->AddOp(OpKind::kSlice, "o_pre", {gates}, h, 2 * h)});
+  const int u_gate = def->AddOp(OpKind::kTanh, "u",
+                                {def->AddOp(OpKind::kSlice, "u_pre", {gates}, 2 * h, 3 * h)});
+  const int c_new = def->AddOp(OpKind::kMul, "c", {i_gate, u_gate});
+  const int c_tanh = def->AddOp(OpKind::kTanh, "tanh(c)", {c_new});
+  const int h_new = def->AddOp(OpKind::kMul, "h", {o_gate, c_tanh});
+
+  def->MarkOutput(h_new);
+  def->MarkOutput(c_new);
+  def->Finalize();
+  return def;
+}
+
+std::unique_ptr<CellDef> BuildTreeInternalCell(const TreeLstmSpec& spec, Rng* rng,
+                                               const std::string& name) {
+  BM_CHECK(rng != nullptr);
+  auto def = std::make_unique<CellDef>(name);
+  const int h_l = def->AddInput("h_l", Shape{spec.hidden});
+  const int c_l = def->AddInput("c_l", Shape{spec.hidden});
+  const int h_r = def->AddInput("h_r", Shape{spec.hidden});
+  const int c_r = def->AddInput("c_r", Shape{spec.hidden});
+
+  const int64_t h = spec.hidden;
+  const float limit = 1.0f / std::sqrt(static_cast<float>(2 * h));
+  const int weight =
+      def->AddParam("W", Tensor::RandomUniform(Shape{2 * h, 5 * h}, limit, rng));
+  const int bias = def->AddParam("b", Tensor::RandomUniform(Shape{5 * h}, limit, rng));
+
+  const int hh = def->AddOp(OpKind::kConcat, "hh", {h_l, h_r});
+  const int linear = def->AddOp(OpKind::kMatMul, "gates_matmul", {hh, weight});
+  const int gates = def->AddOp(OpKind::kAddBias, "gates", {linear, bias});
+  const int i_gate =
+      def->AddOp(OpKind::kSigmoid, "i", {def->AddOp(OpKind::kSlice, "i_pre", {gates}, 0, h)});
+  const int fl_gate = def->AddOp(OpKind::kSigmoid, "f_l",
+                                 {def->AddOp(OpKind::kSlice, "fl_pre", {gates}, h, 2 * h)});
+  const int fr_gate = def->AddOp(OpKind::kSigmoid, "f_r",
+                                 {def->AddOp(OpKind::kSlice, "fr_pre", {gates}, 2 * h, 3 * h)});
+  const int o_gate = def->AddOp(OpKind::kSigmoid, "o",
+                                {def->AddOp(OpKind::kSlice, "o_pre", {gates}, 3 * h, 4 * h)});
+  const int u_gate = def->AddOp(OpKind::kTanh, "u",
+                                {def->AddOp(OpKind::kSlice, "u_pre", {gates}, 4 * h, 5 * h)});
+
+  const int iu = def->AddOp(OpKind::kMul, "i*u", {i_gate, u_gate});
+  const int flc = def->AddOp(OpKind::kMul, "f_l*c_l", {fl_gate, c_l});
+  const int frc = def->AddOp(OpKind::kMul, "f_r*c_r", {fr_gate, c_r});
+  const int c_partial = def->AddOp(OpKind::kAdd, "c_partial", {iu, flc});
+  const int c_new = def->AddOp(OpKind::kAdd, "c", {c_partial, frc});
+  const int c_tanh = def->AddOp(OpKind::kTanh, "tanh(c)", {c_new});
+  const int h_new = def->AddOp(OpKind::kMul, "h", {o_gate, c_tanh});
+
+  def->MarkOutput(h_new);
+  def->MarkOutput(c_new);
+  def->Finalize();
+  return def;
+}
+
+TreeLstmModel::TreeLstmModel(CellRegistry* registry, const TreeLstmSpec& spec, Rng* rng)
+    : registry_(registry), spec_(spec) {
+  BM_CHECK(registry != nullptr);
+  leaf_type_ = registry_->Register(BuildTreeLeafCell(spec, rng), /*priority=*/0);
+  internal_type_ = registry_->Register(BuildTreeInternalCell(spec, rng), /*priority=*/1);
+}
+
+CellGraph TreeLstmModel::Unfold(const BinaryTree& tree) const {
+  tree.Validate();
+  CellGraph graph;
+  // Map tree node index -> (graph node id). Build bottom-up: children must
+  // be added before parents, so process in an order where children precede
+  // parents. A post-order walk from the root guarantees that.
+  std::vector<int> graph_id(tree.nodes.size(), -1);
+  std::vector<int> leaf_external(tree.nodes.size(), -1);
+  int next_external = 0;
+  // Externals are assigned in nodes-array order for determinism.
+  for (int id = 0; id < tree.NumNodes(); ++id) {
+    if (tree.nodes[static_cast<size_t>(id)].is_leaf()) {
+      leaf_external[static_cast<size_t>(id)] = next_external++;
+    }
+  }
+  std::function<int(int)> build = [&](int id) -> int {
+    if (graph_id[static_cast<size_t>(id)] >= 0) {
+      return graph_id[static_cast<size_t>(id)];
+    }
+    const BinaryTree::Node& n = tree.nodes[static_cast<size_t>(id)];
+    int gid = -1;
+    if (n.is_leaf()) {
+      gid = graph.AddNode(
+          leaf_type_, {ValueRef::External(leaf_external[static_cast<size_t>(id)])});
+    } else {
+      const int left = build(n.left);
+      const int right = build(n.right);
+      gid = graph.AddNode(internal_type_,
+                          {ValueRef::Output(left, 0), ValueRef::Output(left, 1),
+                           ValueRef::Output(right, 0), ValueRef::Output(right, 1)});
+    }
+    graph_id[static_cast<size_t>(id)] = gid;
+    return gid;
+  };
+  build(tree.root);
+  return graph;
+}
+
+}  // namespace batchmaker

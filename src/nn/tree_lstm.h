@@ -1,0 +1,91 @@
+// Binary TreeLSTM (Tai, Socher & Manning) with distinct leaf and internal
+// cell types, as in the paper's Figure 2 and §7.5.
+//
+// Leaf cell:      token [1]i32 -> embedding -> gates (i, o, u; no forget)
+//                 outputs: h, c
+// Internal cell:  (h_l, c_l, h_r, c_r) -> gates (i, f_l, f_r, o, u)
+//                 outputs: h, c
+//
+// All leaf cells share weights (one type); all internal cells share weights
+// (another type). Internal cells are given scheduling priority over leaf
+// cells (§4.3: "internal nodes should be given preference over leaf nodes").
+
+#ifndef SRC_NN_TREE_LSTM_H_
+#define SRC_NN_TREE_LSTM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/cell_graph.h"
+#include "src/graph/cell_registry.h"
+#include "src/util/rng.h"
+
+namespace batchmaker {
+
+// A binary tree with tokens at the leaves. Nodes are stored in an array;
+// internal nodes reference children by index. Root is the last node by
+// convention of the builders below (but Unfold works for any root).
+struct BinaryTree {
+  struct Node {
+    int left = -1;    // -1 for leaves
+    int right = -1;   // -1 for leaves
+    int32_t token = 0;  // leaves only
+
+    bool is_leaf() const { return left < 0 && right < 0; }
+  };
+
+  std::vector<Node> nodes;
+  int root = -1;
+
+  int NumNodes() const { return static_cast<int>(nodes.size()); }
+  int NumLeaves() const;
+  int NumInternal() const { return NumNodes() - NumLeaves(); }
+  // Longest root-to-leaf path length in nodes (a single leaf has depth 1).
+  int Depth() const;
+  // Aborts if the structure is not a single-rooted binary tree.
+  void Validate() const;
+
+  // A complete binary tree over `num_leaves` leaves (must be a power of
+  // two), all leaf tokens zero. Used by the paper's Figure 15 experiment.
+  static BinaryTree Complete(int num_leaves);
+
+  // A random binary parse-tree shape over `num_leaves` leaves: recursively
+  // splits the leaf range at a random point, like a parser would. Tokens
+  // are drawn uniformly from [0, vocab).
+  static BinaryTree RandomParse(int num_leaves, int32_t vocab, Rng* rng);
+};
+
+struct TreeLstmSpec {
+  int64_t vocab = 30000;
+  int64_t embed_dim = 1024;
+  int64_t hidden = 1024;
+};
+
+std::unique_ptr<CellDef> BuildTreeLeafCell(const TreeLstmSpec& spec, Rng* rng,
+                                           const std::string& name = "tree_leaf");
+std::unique_ptr<CellDef> BuildTreeInternalCell(const TreeLstmSpec& spec, Rng* rng,
+                                               const std::string& name = "tree_internal");
+
+class TreeLstmModel {
+ public:
+  TreeLstmModel(CellRegistry* registry, const TreeLstmSpec& spec, Rng* rng);
+
+  CellTypeId leaf_type() const { return leaf_type_; }
+  CellTypeId internal_type() const { return internal_type_; }
+  const TreeLstmSpec& spec() const { return spec_; }
+
+  // Unfolds a tree into a cell graph. External input layout: ext[i] is the
+  // token of the i-th leaf in `tree.nodes` order.
+  CellGraph Unfold(const BinaryTree& tree) const;
+
+ private:
+  CellRegistry* registry_;
+  TreeLstmSpec spec_;
+  CellTypeId leaf_type_;
+  CellTypeId internal_type_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_NN_TREE_LSTM_H_

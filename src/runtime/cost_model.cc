@@ -1,0 +1,146 @@
+#include "src/runtime/cost_model.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+CostCurve::CostCurve(std::vector<std::pair<double, double>> anchors)
+    : anchors_(std::move(anchors)) {
+  BM_CHECK(!anchors_.empty());
+  for (size_t i = 0; i < anchors_.size(); ++i) {
+    BM_CHECK_GT(anchors_[i].first, 0.0);
+    BM_CHECK_GT(anchors_[i].second, 0.0);
+    if (i > 0) {
+      BM_CHECK_LT(anchors_[i - 1].first, anchors_[i].first)
+          << "anchors must have strictly increasing batch sizes";
+    }
+  }
+}
+
+double CostCurve::Micros(int batch) const {
+  BM_CHECK_GT(batch, 0);
+  const double b = static_cast<double>(batch);
+  if (anchors_.size() == 1) {
+    return anchors_[0].second;
+  }
+  // Find the segment to interpolate (or extrapolate from the edges).
+  size_t hi = 1;
+  while (hi + 1 < anchors_.size() && anchors_[hi].first < b) {
+    ++hi;
+  }
+  const auto& [b0, t0] = anchors_[hi - 1];
+  const auto& [b1, t1] = anchors_[hi];
+  const double log_b = std::log(b);
+  const double frac = (log_b - std::log(b0)) / (std::log(b1) - std::log(b0));
+  const double log_t = std::log(t0) + frac * (std::log(t1) - std::log(t0));
+  return std::exp(log_t);
+}
+
+double CostCurve::Throughput(int batch) const {
+  return static_cast<double>(batch) / (Micros(batch) * 1e-6);
+}
+
+CostCurve GpuLstmCurve() {
+  // Anchors per the paper: ~flat up to b=64 at ~185 us, 784 us at b=512,
+  // then doubling per doubling of b (Fig. 3 bottom; §7.3). Peak throughput
+  // 512 / 784us = ~653k cells/s, matching the figure's ~650-700k ops/s.
+  return CostCurve({{1, 170.0},
+                    {16, 175.0},
+                    {64, 185.0},
+                    {128, 290.0},
+                    {256, 465.0},
+                    {512, 784.0},
+                    {1024, 1580.0},
+                    {2048, 3170.0},
+                    {4096, 6350.0}});
+}
+
+CostCurve GpuDecoderCurve() {
+  // Decoder step = LSTM step + [b,1024] x [1024,30000] projection + argmax.
+  // Calibrated so that (a) a decoder step costs ~3x an encoder step at
+  // operating batch sizes (decoding ~75% of total compute with equal step
+  // counts, §7.4) and (b) per-item efficiency peaks at batch 256 ("batch
+  // size 256 is the best for decoder cells", §7.4).
+  return CostCurve({{1, 430.0},
+                    {16, 450.0},
+                    {64, 555.0},
+                    {128, 820.0},
+                    {256, 1390.0},
+                    {512, 3000.0},
+                    {1024, 6200.0},
+                    {2048, 12600.0}});
+}
+
+CostCurve GpuTreeCellCurve() {
+  // TreeLSTM cells at h=1024 are close cousins of the LSTM cell (one
+  // [b,2048]x[2048,5120] matmul for internal cells): ~20% costlier.
+  return CostCurve({{1, 205.0},
+                    {16, 210.0},
+                    {64, 222.0},
+                    {128, 350.0},
+                    {256, 560.0},
+                    {512, 940.0},
+                    {1024, 1860.0}});
+}
+
+CostCurve GpuTreeCellOldCurve() {
+  // TensorFlow Fold only runs on TF v1.0 / CUDA 8.0, which the paper
+  // measured to be ~20% slower per step (§7.5).
+  CostCurve base = GpuTreeCellCurve();
+  std::vector<std::pair<double, double>> anchors = base.anchors();
+  for (auto& [b, t] : anchors) {
+    t *= 1.2;
+  }
+  return CostCurve(std::move(anchors));
+}
+
+CostCurve CpuLstmCurve() {
+  // Fig. 3 top (Xeon E5-2698 v4, MKL): peak ~60k ops/s, ~1 ms at small
+  // batches, ~70 ms at b=4096.
+  return CostCurve({{2, 950.0},
+                    {16, 1000.0},
+                    {64, 1600.0},
+                    {256, 5100.0},
+                    {512, 9500.0},
+                    {1024, 18200.0},
+                    {2048, 35800.0},
+                    {4096, 70500.0}});
+}
+
+CostCurve UnitCostCurve() { return CostCurve({{1, 1.0}}); }
+
+int AutotuneMaxBatch(const CostCurve& curve, int cap) {
+  BM_CHECK_GT(cap, 0);
+  int best_batch = 1;
+  double best_throughput = 0.0;
+  for (int b = 1; b <= cap; b *= 2) {
+    const double throughput = curve.Throughput(b);
+    // Strictly-greater keeps the smallest batch among throughput ties,
+    // which also minimizes latency.
+    if (throughput > best_throughput * 1.0001) {
+      best_throughput = throughput;
+      best_batch = b;
+    }
+  }
+  return best_batch;
+}
+
+void CostModel::SetCurve(CellTypeId type, CostCurve curve) {
+  curves_.insert_or_assign(type, std::move(curve));
+}
+
+bool CostModel::HasCurve(CellTypeId type) const { return curves_.count(type) > 0; }
+
+const CostCurve& CostModel::Curve(CellTypeId type) const {
+  const auto it = curves_.find(type);
+  BM_CHECK(it != curves_.end()) << "no cost curve registered for cell type " << type;
+  return it->second;
+}
+
+double CostModel::TaskMicros(CellTypeId type, int batch) const {
+  return Curve(type).Micros(batch) + overhead_micros_ + per_item_micros_ * batch;
+}
+
+}  // namespace batchmaker

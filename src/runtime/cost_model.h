@@ -1,0 +1,107 @@
+// Device cost model: batched-cell execution latency as a function of batch
+// size.
+//
+// The environment for this reproduction has no GPU, so the simulated device
+// replays the latency curve the paper measured on an NVIDIA V100 (Figure 3
+// and §7.3). A CostCurve interpolates log-log-linearly between anchor
+// points; the preset anchors below are derived from numbers printed in the
+// paper:
+//   * LSTM step (h=1024): 185 us at batch 64, 784 us at batch 512, roughly
+//     flat below 64, and ~2x per 2x batch above 512 (Fig. 3 bottom, §7.3).
+//   * BatchMaker adds ~65 us of scheduling + gather overhead per task
+//     (§7.3: "BatchMaker needs about 250 microseconds to execute an LSTM
+//     step" of 185 us).
+//   * Seq2Seq decoding with its vocabulary projection accounts for ~75% of
+//     computation, i.e. a decoder step costs ~3x an encoder step (§7.4),
+//     and its throughput-optimal batch is 256 rather than 512.
+
+#ifndef SRC_RUNTIME_COST_MODEL_H_
+#define SRC_RUNTIME_COST_MODEL_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/graph/cell_registry.h"
+
+namespace batchmaker {
+
+class CostCurve {
+ public:
+  // `anchors` are (batch, micros) points with strictly increasing batch and
+  // positive micros. At least one anchor is required. Queries between
+  // anchors interpolate linearly in (log batch, log micros); queries
+  // outside the anchor range extrapolate with the nearest segment's slope.
+  explicit CostCurve(std::vector<std::pair<double, double>> anchors);
+
+  double Micros(int batch) const;
+
+  // Throughput (items per second) at a given batch size.
+  double Throughput(int batch) const;
+
+  const std::vector<std::pair<double, double>>& anchors() const { return anchors_; }
+
+ private:
+  std::vector<std::pair<double, double>> anchors_;
+};
+
+// Preset curves (see file comment for provenance).
+CostCurve GpuLstmCurve();        // LSTM / Seq2Seq-encoder step, h=1024
+CostCurve GpuDecoderCurve();     // Seq2Seq decoder step (with 30k projection)
+CostCurve GpuTreeCellCurve();    // TreeLSTM leaf/internal cell
+CostCurve GpuTreeCellOldCurve();  // same on TF v1.0 / CUDA 8: ~20% slower (§7.5)
+CostCurve CpuLstmCurve();        // LSTM step on the paper's Xeon E5-2698v4
+CostCurve UnitCostCurve();       // 1 us per task regardless of batch (Fig. 5)
+
+// Returns the power-of-two batch size <= cap with the best throughput.
+int AutotuneMaxBatch(const CostCurve& curve, int cap);
+
+// Maps cell types to curves and adds per-task overhead.
+class CostModel {
+ public:
+  CostModel() = default;
+
+  void SetCurve(CellTypeId type, CostCurve curve);
+  bool HasCurve(CellTypeId type) const;
+  const CostCurve& Curve(CellTypeId type) const;
+
+  // Fixed scheduling overhead added to every task. Defaults to 0;
+  // BatchMaker configurations use kBatchMakerTaskOverheadMicros.
+  void SetPerTaskOverheadMicros(double micros) { overhead_micros_ = micros; }
+  double PerTaskOverheadMicros() const { return overhead_micros_; }
+
+  // Gather overhead per batched item: the gather memory copy grows with the
+  // batch (one row copied per entry). Defaults to 0.
+  void SetPerItemOverheadMicros(double micros) { per_item_micros_ = micros; }
+  double PerItemOverheadMicros() const { return per_item_micros_; }
+
+  // Cross-device state copy charged per migrated subgraph in a task
+  // (paper §4.3: "if the execution of successive cells switch from one GPU
+  // to another, one must copy data from one GPU to another"). Defaults to
+  // 0 (free migration, e.g. NVLink-adjacent peers).
+  void SetMigrationPenaltyMicros(double micros) { migration_micros_ = micros; }
+  double MigrationPenaltyMicros() const { return migration_micros_; }
+
+  // Total simulated execution time of a task of `batch` items:
+  // curve(batch) + per_task + per_item * batch.
+  double TaskMicros(CellTypeId type, int batch) const;
+
+ private:
+  std::unordered_map<CellTypeId, CostCurve> curves_;
+  double overhead_micros_ = 0.0;
+  double per_item_micros_ = 0.0;
+  double migration_micros_ = 0.0;
+};
+
+// §7.3-derived defaults for BatchMaker's scheduling + gather overhead:
+// 40us fixed + 0.4us per batched item reproduces the paper's ~65us at the
+// measured batch size 64 (250us total step vs the 185us kernel).
+inline constexpr double kBatchMakerTaskOverheadMicros = 40.0;
+inline constexpr double kBatchMakerPerItemOverheadMicros = 0.4;
+// Framework kernel-launch overhead for the padding baselines (no per-step
+// gather: the batch stays contiguous across steps).
+inline constexpr double kPaddingTaskOverheadMicros = 20.0;
+
+}  // namespace batchmaker
+
+#endif  // SRC_RUNTIME_COST_MODEL_H_

@@ -1,0 +1,49 @@
+#include "src/runtime/event_queue.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+void EventQueue::ScheduleAt(double time, Fn fn) {
+  BM_CHECK_GE(time, now_) << "cannot schedule events in the past";
+  BM_CHECK(fn != nullptr);
+  events_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::ScheduleAfter(double delay, Fn fn) {
+  BM_CHECK_GE(delay, 0.0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::RunNext() {
+  if (events_.empty()) {
+    return false;
+  }
+  // priority_queue::top is const; move out via const_cast is UB-adjacent,
+  // so copy the function handle instead (cheap relative to event work).
+  Event event = events_.top();
+  events_.pop();
+  now_ = event.time;
+  event.fn();
+  return true;
+}
+
+void EventQueue::RunUntil(double deadline) {
+  BM_CHECK_GE(deadline, now_);
+  while (!events_.empty() && events_.top().time <= deadline) {
+    RunNext();
+  }
+  now_ = deadline;
+}
+
+void EventQueue::RunAll(uint64_t max_events) {
+  uint64_t ran = 0;
+  while (RunNext()) {
+    ++ran;  // outside the CHECK: the macro evaluates its arguments twice
+    BM_CHECK_LT(ran, max_events) << "event-queue runaway: executed " << ran << " events";
+  }
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,71 @@
+// Discrete-event simulation core: a virtual clock plus a time-ordered event
+// queue.
+//
+// The simulated serving engines (BatchMaker and the baselines) run the real
+// scheduling code against this clock; only "GPU kernel execution" advances
+// time, by cost-model amounts. Events at equal timestamps run in FIFO
+// order of scheduling.
+
+#ifndef SRC_RUNTIME_EVENT_QUEUE_H_
+#define SRC_RUNTIME_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace batchmaker {
+
+class EventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Current virtual time in microseconds.
+  double Now() const { return now_; }
+
+  // Schedules `fn` at absolute time `time` (>= Now()).
+  void ScheduleAt(double time, Fn fn);
+  // Schedules `fn` at Now() + delay.
+  void ScheduleAfter(double delay, Fn fn);
+
+  bool Empty() const { return events_.empty(); }
+  size_t Size() const { return events_.size(); }
+
+  // Runs the earliest event; returns false if the queue is empty.
+  bool RunNext();
+
+  // Runs events until the queue empties or virtual time would exceed
+  // `deadline` (events scheduled past the deadline stay queued, and Now()
+  // is advanced to the deadline).
+  void RunUntil(double deadline);
+
+  // Runs all events; aborts after `max_events` as a runaway guard.
+  void RunAll(uint64_t max_events = 1ULL << 40);
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_RUNTIME_EVENT_QUEUE_H_

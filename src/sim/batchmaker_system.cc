@@ -1,0 +1,28 @@
+#include "src/sim/batchmaker_system.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+BatchMakerSystem::BatchMakerSystem(const CellRegistry* registry, const CostModel* cost_model,
+                                   UnfoldFn unfold, SimEngineOptions options,
+                                   std::string name)
+    : unfold_(std::move(unfold)), engine_(registry, cost_model, options),
+      name_(std::move(name)) {
+  BM_CHECK(unfold_ != nullptr);
+}
+
+void BatchMakerSystem::SubmitAt(double at_micros, const WorkItem& item) {
+  engine_.SubmitAt(at_micros, unfold_(item));
+  ++submitted_;
+}
+
+void BatchMakerSystem::Run(double deadline_micros) { engine_.Run(deadline_micros); }
+
+size_t BatchMakerSystem::NumUnfinished() const {
+  return submitted_ - engine_.metrics().NumCompleted() - engine_.metrics().NumDropped();
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,43 @@
+// BatchMakerSystem: ServingSystem adapter over the cellular-batching
+// SimEngine. The unfold function mirrors the paper's user interface (§4.1):
+// a user-provided function that maps each request to its cell graph.
+
+#ifndef SRC_SIM_BATCHMAKER_SYSTEM_H_
+#define SRC_SIM_BATCHMAKER_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/core/sim_engine.h"
+#include "src/sim/serving_system.h"
+
+namespace batchmaker {
+
+class BatchMakerSystem : public ServingSystem {
+ public:
+  using UnfoldFn = std::function<CellGraph(const WorkItem&)>;
+
+  // `registry` and `cost_model` must outlive the system.
+  BatchMakerSystem(const CellRegistry* registry, const CostModel* cost_model,
+                   UnfoldFn unfold, SimEngineOptions options = {},
+                   std::string name = "BatchMaker");
+
+  void SubmitAt(double at_micros, const WorkItem& item) override;
+  void Run(double deadline_micros) override;
+  const MetricsCollector& metrics() const override { return engine_.metrics(); }
+  size_t NumUnfinished() const override;
+  std::string Name() const override { return name_; }
+
+  SimEngine& engine() { return engine_; }
+
+ private:
+  UnfoldFn unfold_;
+  SimEngine engine_;
+  std::string name_;
+  size_t submitted_ = 0;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_SIM_BATCHMAKER_SYSTEM_H_

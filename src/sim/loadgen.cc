@@ -1,0 +1,159 @@
+#include "src/sim/loadgen.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace batchmaker {
+
+LoadPoint RunOpenLoop(ServingSystem* system, const std::vector<WorkItem>& dataset,
+                      double rate_rps, const LoadGenOptions& options) {
+  BM_CHECK(system != nullptr);
+  BM_CHECK(!dataset.empty());
+  BM_CHECK_GT(rate_rps, 0.0);
+
+  Rng rng(options.seed);
+  const double horizon_us = options.horizon_seconds * 1e6;
+  const std::vector<double> arrivals = PoissonArrivals(rate_rps, horizon_us, &rng);
+  for (double t : arrivals) {
+    const size_t idx = static_cast<size_t>(rng.NextBelow(dataset.size()));
+    system->SubmitAt(t, dataset[idx]);
+  }
+  system->Run(horizon_us * options.drain_factor);
+
+  const double window_start = horizon_us * options.warmup_fraction;
+  const double window_end = horizon_us;
+  // Saturation compares against what actually arrived in the window, not
+  // the nominal rate, so Poisson count noise does not misclassify.
+  size_t arrived_in_window = 0;
+  for (double t : arrivals) {
+    if (t >= window_start && t < window_end) {
+      ++arrived_in_window;
+    }
+  }
+  const double offered_in_window =
+      static_cast<double>(arrived_in_window) / ((window_end - window_start) * 1e-6);
+
+  LoadPoint point;
+  point.system = system->Name();
+  point.offered_rps = rate_rps;
+  point.achieved_rps = system->metrics().ThroughputRps(window_start, window_end);
+  const SampleSet latencies = system->metrics().Latencies(window_start, window_end);
+  const SampleSet queueing = system->metrics().QueueingTimes(window_start, window_end);
+  const SampleSet compute = system->metrics().ComputeTimes(window_start, window_end);
+  point.measured_requests = latencies.Count();
+  if (!latencies.Empty()) {
+    point.p50_ms = latencies.Percentile(50) / 1000.0;
+    point.p90_ms = latencies.Percentile(90) / 1000.0;
+    point.p99_ms = latencies.Percentile(99) / 1000.0;
+  }
+  if (!queueing.Empty()) {
+    point.queue_p99_ms = queueing.Percentile(99) / 1000.0;
+  }
+  if (!compute.Empty()) {
+    point.compute_p99_ms = compute.Percentile(99) / 1000.0;
+  }
+  point.saturated = point.achieved_rps < options.saturation_threshold * offered_in_window ||
+                    system->NumUnfinished() > 0;
+  return point;
+}
+
+std::vector<LoadPoint> SweepLoad(const SystemFactory& factory,
+                                 const std::vector<WorkItem>& dataset,
+                                 const std::vector<double>& rates_rps,
+                                 const LoadGenOptions& options) {
+  std::vector<LoadPoint> points;
+  for (double rate : rates_rps) {
+    auto system = factory();
+    points.push_back(RunOpenLoop(system.get(), dataset, rate, options));
+    if (points.back().saturated) {
+      break;  // past the knee; the paper's curves end at peak throughput
+    }
+  }
+  return points;
+}
+
+LoadPoint ReplayTrace(ServingSystem* system, const Trace& trace,
+                      const LoadGenOptions& options) {
+  BM_CHECK(system != nullptr);
+  BM_CHECK(!trace.Empty());
+  for (const TraceEntry& e : trace.entries()) {
+    system->SubmitAt(e.arrival_micros, e.item);
+  }
+  const double horizon_us =
+      trace.entries().back().arrival_micros + 1.0;  // past the last arrival
+  system->Run(horizon_us * options.drain_factor);
+
+  const double window_start = horizon_us * options.warmup_fraction;
+  const double window_end = horizon_us;
+  size_t arrived_in_window = 0;
+  for (const TraceEntry& e : trace.entries()) {
+    if (e.arrival_micros >= window_start && e.arrival_micros < window_end) {
+      ++arrived_in_window;
+    }
+  }
+  const double offered_in_window =
+      static_cast<double>(arrived_in_window) / ((window_end - window_start) * 1e-6);
+
+  LoadPoint point;
+  point.system = system->Name();
+  point.offered_rps = trace.OfferedRps();
+  point.achieved_rps = system->metrics().ThroughputRps(window_start, window_end);
+  const SampleSet latencies = system->metrics().Latencies(window_start, window_end);
+  const SampleSet queueing = system->metrics().QueueingTimes(window_start, window_end);
+  const SampleSet compute = system->metrics().ComputeTimes(window_start, window_end);
+  point.measured_requests = latencies.Count();
+  if (!latencies.Empty()) {
+    point.p50_ms = latencies.Percentile(50) / 1000.0;
+    point.p90_ms = latencies.Percentile(90) / 1000.0;
+    point.p99_ms = latencies.Percentile(99) / 1000.0;
+  }
+  if (!queueing.Empty()) {
+    point.queue_p99_ms = queueing.Percentile(99) / 1000.0;
+  }
+  if (!compute.Empty()) {
+    point.compute_p99_ms = compute.Percentile(99) / 1000.0;
+  }
+  point.saturated = point.achieved_rps < options.saturation_threshold * offered_in_window ||
+                    system->NumUnfinished() > 0;
+  return point;
+}
+
+std::string LoadTableHeader() {
+  return StrPrintf("%-24s %10s %10s %9s %9s %9s %10s %11s %5s", "system", "offered",
+                   "achieved", "p50(ms)", "p90(ms)", "p99(ms)", "qP99(ms)", "cP99(ms)",
+                   "sat");
+}
+
+std::string FormatLoadTable(const std::vector<LoadPoint>& points) {
+  std::string out = LoadTableHeader() + "\n";
+  for (const LoadPoint& p : points) {
+    out += StrPrintf("%-24s %10.0f %10.0f %9.2f %9.2f %9.2f %10.2f %11.2f %5s\n",
+                     p.system.c_str(), p.offered_rps, p.achieved_rps, p.p50_ms, p.p90_ms,
+                     p.p99_ms, p.queue_p99_ms, p.compute_p99_ms,
+                     p.saturated ? "yes" : "no");
+  }
+  return out;
+}
+
+double PeakThroughput(const std::vector<LoadPoint>& points) {
+  double peak = 0.0;
+  for (const LoadPoint& p : points) {
+    peak = std::max(peak, p.achieved_rps);
+  }
+  return peak;
+}
+
+double LowLoadP90Ms(const std::vector<LoadPoint>& points) {
+  BM_CHECK(!points.empty());
+  const LoadPoint* lowest = &points[0];
+  for (const LoadPoint& p : points) {
+    if (p.offered_rps < lowest->offered_rps) {
+      lowest = &p;
+    }
+  }
+  return lowest->p90_ms;
+}
+
+}  // namespace batchmaker

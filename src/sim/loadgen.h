@@ -1,0 +1,76 @@
+// Open-loop load generation and measurement, following the paper's
+// methodology (§7.1): requests are sampled from a dataset and issued with
+// Poisson inter-arrival times; the load is swept by adjusting the rate.
+// Latency percentiles are measured over a post-warmup window; a point is
+// "saturated" when the system cannot keep up with the offered rate.
+
+#ifndef SRC_SIM_LOADGEN_H_
+#define SRC_SIM_LOADGEN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/serving_system.h"
+#include "src/workload/datasets.h"
+#include "src/workload/trace.h"
+
+namespace batchmaker {
+
+struct LoadPoint {
+  std::string system;
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  // Latency percentiles in milliseconds over the measurement window.
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  // Queueing / computation breakdown (§7.3), 99th percentile, milliseconds.
+  double queue_p99_ms = 0.0;
+  double compute_p99_ms = 0.0;
+  size_t measured_requests = 0;
+  bool saturated = false;
+};
+
+struct LoadGenOptions {
+  double horizon_seconds = 4.0;   // arrival window
+  double warmup_fraction = 0.25;  // measurements start after this fraction
+  double drain_factor = 3.0;      // run until horizon * drain_factor
+  uint64_t seed = 1;
+  // A point counts as saturated when achieved < threshold * offered.
+  double saturation_threshold = 0.97;
+};
+
+// Issues Poisson arrivals at `rate_rps`, drawing items uniformly from
+// `dataset`, runs the system, and measures.
+LoadPoint RunOpenLoop(ServingSystem* system, const std::vector<WorkItem>& dataset,
+                      double rate_rps, const LoadGenOptions& options = {});
+
+// Runs a fresh system (from `factory`) at each rate; stops early after the
+// first saturated point (matching how the paper's curves end at peak
+// throughput). Returns one LoadPoint per executed rate.
+using SystemFactory = std::function<std::unique_ptr<ServingSystem>()>;
+std::vector<LoadPoint> SweepLoad(const SystemFactory& factory,
+                                 const std::vector<WorkItem>& dataset,
+                                 const std::vector<double>& rates_rps,
+                                 const LoadGenOptions& options = {});
+
+// Replays a recorded trace against a system and measures over the window
+// [warmup_fraction, 1.0] of the trace's duration. The drain factor and
+// saturation logic match RunOpenLoop.
+LoadPoint ReplayTrace(ServingSystem* system, const Trace& trace,
+                      const LoadGenOptions& options = {});
+
+// Formats a table of load points, one row per point.
+std::string FormatLoadTable(const std::vector<LoadPoint>& points);
+// Header matching FormatLoadTable rows.
+std::string LoadTableHeader();
+
+// Peak (max) achieved throughput across points.
+double PeakThroughput(const std::vector<LoadPoint>& points);
+// p90 latency at the lowest offered rate (the "low load" latency).
+double LowLoadP90Ms(const std::vector<LoadPoint>& points);
+
+}  // namespace batchmaker
+
+#endif  // SRC_SIM_LOADGEN_H_

@@ -1,0 +1,43 @@
+// ServingSystem: the common interface the benchmark harness drives.
+//
+// Implementations: BatchMakerSystem (cellular batching, this paper),
+// PaddingSystem (TensorFlow/MXNet-style padding + bucketing),
+// GraphMergeSystem (TensorFlow Fold / DyNet-style dynamic graph merging)
+// and IdealFixedGraphSystem (Figure 15's hardcoded-graph upper bound).
+// All run in virtual time against the same device cost model, so the
+// comparison isolates the batching policy — exactly the paper's
+// experimental variable.
+
+#ifndef SRC_SIM_SERVING_SYSTEM_H_
+#define SRC_SIM_SERVING_SYSTEM_H_
+
+#include <string>
+
+#include "src/core/metrics.h"
+#include "src/workload/work_item.h"
+
+namespace batchmaker {
+
+class ServingSystem {
+ public:
+  virtual ~ServingSystem() = default;
+
+  // Schedules a request arrival at virtual time `at_micros` (>= current
+  // virtual time; calls must be in non-decreasing time order).
+  virtual void SubmitAt(double at_micros, const WorkItem& item) = 0;
+
+  // Runs until idle or until virtual time reaches `deadline_micros`.
+  virtual void Run(double deadline_micros) = 0;
+
+  virtual const MetricsCollector& metrics() const = 0;
+
+  // Requests admitted but not completed (backlog; nonzero after Run() at a
+  // deadline means the system is saturated).
+  virtual size_t NumUnfinished() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_SIM_SERVING_SYSTEM_H_

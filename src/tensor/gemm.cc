@@ -1,0 +1,78 @@
+#include "src/tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+namespace {
+
+// Cache blocking parameters, sized for a typical 32KB L1 / 1MB L2.
+constexpr int64_t kBlockM = 64;
+constexpr int64_t kBlockK = 256;
+constexpr int64_t kBlockN = 256;
+
+// Inner kernel over one (mb x kb x nb) block: C += A * B, row-major.
+// The j-loop is the innermost to stream B and C rows contiguously.
+void GemmBlock(const float* a, const float* b, float* c, int64_t mb, int64_t kb, int64_t nb,
+               int64_t lda, int64_t ldb, int64_t ldc) {
+  for (int64_t i = 0; i < mb; ++i) {
+    float* c_row = c + i * ldc;
+    for (int64_t p = 0; p < kb; ++p) {
+      const float a_ip = a[i * lda + p];
+      if (a_ip == 0.0f) {
+        continue;
+      }
+      const float* b_row = b + p * ldb;
+      int64_t j = 0;
+      for (; j + 4 <= nb; j += 4) {
+        c_row[j + 0] += a_ip * b_row[j + 0];
+        c_row[j + 1] += a_ip * b_row[j + 1];
+        c_row[j + 2] += a_ip * b_row[j + 2];
+        c_row[j + 3] += a_ip * b_row[j + 3];
+      }
+      for (; j < nb; ++j) {
+        c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void GemmAccumulateRaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                       int64_t n) {
+  for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const int64_t mb = std::min(kBlockM, m - i0);
+    for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const int64_t kb = std::min(kBlockK, k - p0);
+      for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const int64_t nb = std::min(kBlockN, n - j0);
+        GemmBlock(a + i0 * k + p0, b + p0 * n + j0, c + i0 * n + j0, mb, kb, nb, k, n, n);
+      }
+    }
+  }
+}
+
+void GemmRaw(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
+  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+  GemmAccumulateRaw(a, b, c, m, k, n);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  BM_CHECK(a.dtype() == DType::kF32 && b.dtype() == DType::kF32);
+  BM_CHECK_EQ(a.shape().Rank(), 2);
+  BM_CHECK_EQ(b.shape().Rank(), 2);
+  const int64_t m = a.shape().Dim(0);
+  const int64_t k = a.shape().Dim(1);
+  BM_CHECK_EQ(k, b.shape().Dim(0)) << "MatMul inner dimension mismatch: "
+                                   << a.shape().ToString() << " x " << b.shape().ToString();
+  const int64_t n = b.shape().Dim(1);
+  Tensor c(Shape{m, n});
+  GemmRaw(a.f32(), b.f32(), c.f32(), m, k, n);
+  return c;
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,31 @@
+// Single-threaded GEMM used by the CPU execution backend.
+//
+// The LSTM cell at hidden size h reduces to one [b, 2h] x [2h, 4h] matrix
+// multiplication per step (paper §2.2 footnote 2), so GEMM dominates CPU
+// inference cost. The implementation is cache-blocked with an unrolled inner
+// kernel; it is not meant to rival MKL but is fast enough to serve the
+// example applications in real time at small hidden sizes.
+
+#ifndef SRC_TENSOR_GEMM_H_
+#define SRC_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace batchmaker {
+
+// C[m,n] = A[m,k] * B[k,n]. Raw-pointer form; strides equal row widths.
+void GemmRaw(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
+
+// C[m,n] += A[m,k] * B[k,n].
+void GemmAccumulateRaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                       int64_t n);
+
+// Tensor wrapper: returns A * B. Both inputs must be rank-2 f32 with matching
+// inner dimensions.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+}  // namespace batchmaker
+
+#endif  // SRC_TENSOR_GEMM_H_

@@ -1,0 +1,184 @@
+#include "src/tensor/tensor.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return "f32";
+    case DType::kI32:
+      return "i32";
+  }
+  return "?";
+}
+
+size_t DTypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return sizeof(float);
+    case DType::kI32:
+      return sizeof(int32_t);
+  }
+  return 0;
+}
+
+Tensor::Tensor() : Tensor(Shape{}, DType::kF32) {}
+
+Tensor::Tensor(Shape shape, DType dtype) : shape_(std::move(shape)), dtype_(dtype) {
+  const size_t n = static_cast<size_t>(shape_.NumElements());
+  if (dtype_ == DType::kF32) {
+    fdata_.assign(n, 0.0f);
+  } else {
+    idata_.assign(n, 0);
+  }
+}
+
+Tensor Tensor::Zeros(Shape shape, DType dtype) { return Tensor(std::move(shape), dtype); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape), DType::kF32);
+  for (auto& v : t.fdata_) {
+    v = value;
+  }
+  return t;
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.dtype_ = DType::kF32;
+  BM_CHECK_EQ(static_cast<int64_t>(values.size()), t.shape_.NumElements());
+  t.fdata_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::FromIntVector(Shape shape, std::vector<int32_t> values) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.dtype_ = DType::kI32;
+  BM_CHECK_EQ(static_cast<int64_t>(values.size()), t.shape_.NumElements());
+  t.idata_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::RandomUniform(Shape shape, float limit, Rng* rng) {
+  BM_CHECK(rng != nullptr);
+  Tensor t(std::move(shape), DType::kF32);
+  for (auto& v : t.fdata_) {
+    v = static_cast<float>(rng->NextUniform(-limit, limit));
+  }
+  return t;
+}
+
+float* Tensor::f32() {
+  BM_CHECK(dtype_ == DType::kF32);
+  return fdata_.data();
+}
+
+const float* Tensor::f32() const {
+  BM_CHECK(dtype_ == DType::kF32);
+  return fdata_.data();
+}
+
+int32_t* Tensor::i32() {
+  BM_CHECK(dtype_ == DType::kI32);
+  return idata_.data();
+}
+
+const int32_t* Tensor::i32() const {
+  BM_CHECK(dtype_ == DType::kI32);
+  return idata_.data();
+}
+
+float& Tensor::At(int64_t row, int64_t col) {
+  BM_CHECK_EQ(shape_.Rank(), 2);
+  return f32()[row * shape_.Dim(1) + col];
+}
+
+float Tensor::At(int64_t row, int64_t col) const {
+  BM_CHECK_EQ(shape_.Rank(), 2);
+  return f32()[row * shape_.Dim(1) + col];
+}
+
+int32_t& Tensor::IntAt(int64_t row, int64_t col) {
+  BM_CHECK_EQ(shape_.Rank(), 2);
+  return i32()[row * shape_.Dim(1) + col];
+}
+
+int32_t Tensor::IntAt(int64_t row, int64_t col) const {
+  BM_CHECK_EQ(shape_.Rank(), 2);
+  return i32()[row * shape_.Dim(1) + col];
+}
+
+bool Tensor::ElementsEqual(const Tensor& other) const {
+  if (shape_ != other.shape_ || dtype_ != other.dtype_) {
+    return false;
+  }
+  if (dtype_ == DType::kF32) {
+    return fdata_ == other.fdata_;
+  }
+  return idata_ == other.idata_;
+}
+
+bool Tensor::AllClose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_ || dtype_ != DType::kF32 || other.dtype_ != DType::kF32) {
+    return false;
+  }
+  for (size_t i = 0; i < fdata_.size(); ++i) {
+    if (std::fabs(fdata_[i] - other.fdata_[i]) > atol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t Tensor::ContentHash() const {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  auto mix_bytes = [&h](const void* data, size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  const int32_t dtype_tag = static_cast<int32_t>(dtype_);
+  mix_bytes(&dtype_tag, sizeof(dtype_tag));
+  for (int64_t d : shape_.dims()) {
+    mix_bytes(&d, sizeof(d));
+  }
+  if (dtype_ == DType::kF32) {
+    mix_bytes(fdata_.data(), fdata_.size() * sizeof(float));
+  } else {
+    mix_bytes(idata_.data(), idata_.size() * sizeof(int32_t));
+  }
+  return h;
+}
+
+std::string Tensor::DebugString(int64_t max_elements) const {
+  std::ostringstream os;
+  os << DTypeName(dtype_) << shape_.ToString() << "{";
+  const int64_t n = std::min<int64_t>(NumElements(), max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    if (dtype_ == DType::kF32) {
+      os << fdata_[static_cast<size_t>(i)];
+    } else {
+      os << idata_[static_cast<size_t>(i)];
+    }
+  }
+  if (n < NumElements()) {
+    os << ",...";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,519 @@
+#include "src/util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+Json::Json(JsonArray a) : type_(Type::kArray), arr_(std::make_shared<JsonArray>(std::move(a))) {}
+
+Json::Json(JsonObject o)
+    : type_(Type::kObject), obj_(std::make_shared<JsonObject>(std::move(o))) {}
+
+// Copies are deep so independently-held Json values never alias.
+Json::Json(const Json& other)
+    : type_(other.type_), bool_(other.bool_), num_(other.num_), str_(other.str_) {
+  if (other.arr_) {
+    arr_ = std::make_shared<JsonArray>(*other.arr_);
+  }
+  if (other.obj_) {
+    obj_ = std::make_shared<JsonObject>(*other.obj_);
+  }
+}
+
+Json::Json(Json&& other) noexcept = default;
+
+Json& Json::operator=(const Json& other) {
+  if (this != &other) {
+    Json tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+Json& Json::operator=(Json&& other) noexcept = default;
+
+bool Json::AsBool() const {
+  BM_CHECK(is_bool()) << "JSON value is not a bool";
+  return bool_;
+}
+
+double Json::AsDouble() const {
+  BM_CHECK(is_number()) << "JSON value is not a number";
+  return num_;
+}
+
+int64_t Json::AsInt() const {
+  BM_CHECK(is_number()) << "JSON value is not a number";
+  return static_cast<int64_t>(std::llround(num_));
+}
+
+const std::string& Json::AsString() const {
+  BM_CHECK(is_string()) << "JSON value is not a string";
+  return str_;
+}
+
+const JsonArray& Json::AsArray() const {
+  BM_CHECK(is_array()) << "JSON value is not an array";
+  return *arr_;
+}
+
+JsonArray& Json::AsArray() {
+  BM_CHECK(is_array()) << "JSON value is not an array";
+  return *arr_;
+}
+
+const JsonObject& Json::AsObject() const {
+  BM_CHECK(is_object()) << "JSON value is not an object";
+  return *obj_;
+}
+
+JsonObject& Json::AsObject() {
+  BM_CHECK(is_object()) << "JSON value is not an object";
+  return *obj_;
+}
+
+bool Json::Contains(const std::string& key) const {
+  return is_object() && obj_->count(key) > 0;
+}
+
+const Json& Json::Get(const std::string& key) const {
+  const Json* found = Find(key);
+  BM_CHECK(found != nullptr) << "missing JSON key: " << key;
+  return *found;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  const auto it = obj_->find(key);
+  return it == obj_->end() ? nullptr : &it->second;
+}
+
+const Json& Json::At(size_t i) const {
+  BM_CHECK(is_array());
+  BM_CHECK_LT(i, arr_->size());
+  return (*arr_)[i];
+}
+
+size_t Json::Size() const {
+  if (is_array()) {
+    return arr_->size();
+  }
+  if (is_object()) {
+    return obj_->size();
+  }
+  BM_LOG(Fatal) << "Size() on non-container JSON value";
+  return 0;
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double d, std::string* out) {
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out->append(buf);
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out->append(buf);
+  }
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  if (indent >= 0) {
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+  }
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kNumber:
+      AppendNumber(num_, out);
+      break;
+    case Type::kString:
+      AppendEscaped(str_, out);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& v : *arr_) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        Indent(out, indent, depth + 1);
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!arr_->empty()) {
+        Indent(out, indent, depth);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : *obj_) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        Indent(out, indent, depth + 1);
+        AppendEscaped(key, out);
+        out->push_back(':');
+        if (indent >= 0) {
+          out->push_back(' ');
+        }
+        value.DumpTo(out, indent, depth + 1);
+      }
+      if (!obj_->empty()) {
+        Indent(out, indent, depth);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent JSON parser.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  bool Parse(Json* out) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& msg) {
+    if (error_ != nullptr) {
+      *error_ = msg + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(Json* out) {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == 'n') {
+      if (!Literal("null")) {
+        return Fail("bad literal");
+      }
+      *out = Json();
+      return true;
+    }
+    if (c == 't') {
+      if (!Literal("true")) {
+        return Fail("bad literal");
+      }
+      *out = Json(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!Literal("false")) {
+        return Fail("bad literal");
+      }
+      *out = Json(false);
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) {
+        return false;
+      }
+      *out = Json(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      return ParseArray(out);
+    }
+    if (c == '{') {
+      return ParseObject(out);
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("bad unicode escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad unicode escape digit");
+            }
+          }
+          // Encode as UTF-8 (basic multilingual plane only).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(Json* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected number");
+    }
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number");
+    }
+    *out = Json(value);
+    return true;
+  }
+
+  bool ParseArray(Json* out) {
+    ++pos_;  // consume '['
+    JsonArray arr;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      *out = Json(std::move(arr));
+      return true;
+    }
+    for (;;) {
+      Json value;
+      SkipWs();
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      arr.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        *out = Json(std::move(arr));
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(Json* out) {
+    ++pos_;  // consume '{'
+    JsonObject obj;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      *out = Json(std::move(obj));
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || !ParseString(&key)) {
+        return Fail("expected object key");
+      }
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipWs();
+      Json value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      obj.emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        *out = Json(std::move(obj));
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::Parse(const std::string& text) {
+  Json out;
+  std::string error;
+  const bool ok = TryParse(text, &out, &error);
+  BM_CHECK(ok) << "JSON parse error: " << error;
+  return out;
+}
+
+bool Json::TryParse(const std::string& text, Json* out, std::string* error) {
+  Parser parser(text, error);
+  return parser.Parse(out);
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,101 @@
+// A small self-contained JSON value type with parsing and serialization.
+//
+// BatchMaker uses JSON for two things, mirroring the paper's user interface:
+//   * cell definitions are exported/imported as JSON (the paper has users
+//     save a cell's dataflow graph from MXNet/TensorFlow as a JSON file), and
+//   * benchmark harnesses emit machine-readable result rows.
+//
+// Supported: null, bool, double, string, array, object. Numbers are stored
+// as double; integer round-trips are exact up to 2^53 which is ample here.
+
+#ifndef SRC_UTIL_JSON_H_
+#define SRC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace batchmaker {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+// std::map keeps keys ordered, which keeps serialized output deterministic.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT(runtime/explicit)
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  Json(double d) : type_(Type::kNumber), num_(d) {}  // NOLINT(runtime/explicit)
+  Json(int i) : type_(Type::kNumber), num_(i) {}  // NOLINT(runtime/explicit)
+  Json(int64_t i)  // NOLINT(runtime/explicit)
+      : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Json(uint64_t i)  // NOLINT(runtime/explicit)
+      : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT(runtime/explicit)
+  Json(std::string s)  // NOLINT(runtime/explicit)
+      : type_(Type::kString), str_(std::move(s)) {}
+  Json(JsonArray a);   // NOLINT(runtime/explicit)
+  Json(JsonObject o);  // NOLINT(runtime/explicit)
+
+  Json(const Json& other);
+  Json(Json&& other) noexcept;
+  Json& operator=(const Json& other);
+  Json& operator=(Json&& other) noexcept;
+  ~Json() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors abort on type mismatch.
+  bool AsBool() const;
+  double AsDouble() const;
+  int64_t AsInt() const;
+  const std::string& AsString() const;
+  const JsonArray& AsArray() const;
+  JsonArray& AsArray();
+  const JsonObject& AsObject() const;
+  JsonObject& AsObject();
+
+  // Object field access; Get aborts if missing, Contains/Find are safe.
+  bool Contains(const std::string& key) const;
+  const Json& Get(const std::string& key) const;
+  const Json* Find(const std::string& key) const;
+
+  // Array element access; aborts if out of range.
+  const Json& At(size_t i) const;
+  size_t Size() const;
+
+  // Serialization. `indent` < 0 means compact single-line output.
+  std::string Dump(int indent = -1) const;
+
+  // Parses `text`; aborts with a diagnostic on malformed input. Use TryParse
+  // for recoverable handling.
+  static Json Parse(const std::string& text);
+  static bool TryParse(const std::string& text, Json* out, std::string* error);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<JsonArray> arr_;
+  std::shared_ptr<JsonObject> obj_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_UTIL_JSON_H_

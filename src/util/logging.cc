@@ -1,0 +1,59 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace batchmaker {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetMinLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+void SetMinLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+namespace logging_internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  // Strip the directory prefix for readability.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetMinLogLevel() || level_ == LogLevel::kFatal) {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fflush(stderr);
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace logging_internal
+}  // namespace batchmaker

@@ -1,0 +1,88 @@
+// Minimal leveled logging and assertion macros for BatchMaker.
+//
+// Logging goes to stderr. CHECK-style macros abort on failure and are meant
+// for programmer errors (violated invariants), not for recoverable
+// conditions.
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace batchmaker {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Returns/sets the minimum level that is actually emitted. Defaults to kInfo.
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+namespace logging_internal {
+
+// Collects one log statement and emits it (and possibly aborts) on
+// destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Makes the whole `stream << a << b` chain a void expression so it can sit
+// in the else-branch of the BM_CHECK ternary. operator& binds looser than
+// operator<< but tighter than ?:.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace logging_internal
+
+#define BM_LOG(level)                                                                   \
+  ::batchmaker::logging_internal::LogMessage(::batchmaker::LogLevel::k##level,         \
+                                             __FILE__, __LINE__)                        \
+      .stream()
+
+#define BM_CHECK(cond)                                                                  \
+  (cond) ? (void)0                                                                      \
+         : ::batchmaker::logging_internal::Voidify() &                                  \
+               ::batchmaker::logging_internal::LogMessage(                              \
+                   ::batchmaker::LogLevel::kFatal, __FILE__, __LINE__)                  \
+                   .stream()                                                            \
+                   << "Check failed: " #cond " "
+
+#define BM_CHECK_EQ(a, b) BM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BM_CHECK_NE(a, b) BM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BM_CHECK_LT(a, b) BM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BM_CHECK_LE(a, b) BM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BM_CHECK_GT(a, b) BM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define BM_CHECK_GE(a, b) BM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace batchmaker
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in BatchMaker (weight initialization, synthetic datasets,
+// Poisson arrivals) flows through Rng so experiments are reproducible from a
+// single seed.
+
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace batchmaker {
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, and trivially
+// seedable. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform over all 64-bit values.
+  uint64_t NextU64();
+
+  // Uniform in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Exponential with the given rate (events per unit time). Rate must be > 0.
+  double NextExponential(double rate);
+
+  // Derives an independent generator; useful for giving each component its
+  // own stream from one master seed.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  // Cached second Box-Muller variate.
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_UTIL_RNG_H_

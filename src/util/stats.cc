@@ -1,0 +1,139 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+void SampleSet::Add(double value) {
+  samples_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void SampleSet::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleSet::Min() const {
+  BM_CHECK(!samples_.empty());
+  EnsureSorted();
+  return sorted_.front();
+}
+
+double SampleSet::Max() const {
+  BM_CHECK(!samples_.empty());
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double SampleSet::Mean() const {
+  BM_CHECK(!samples_.empty());
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleSet::Stddev() const {
+  BM_CHECK(!samples_.empty());
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double s : samples_) {
+    acc += (s - mean) * (s - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double SampleSet::Percentile(double pct) const {
+  BM_CHECK(!samples_.empty());
+  BM_CHECK_GE(pct, 0.0);
+  BM_CHECK_LE(pct, 100.0);
+  EnsureSorted();
+  if (sorted_.size() == 1) {
+    return sorted_[0];
+  }
+  const double rank = pct / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double SampleSet::CdfAt(double value) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), value);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::CdfCurve(size_t points) const {
+  BM_CHECK_GE(points, 2u);
+  std::vector<std::pair<double, double>> curve;
+  if (samples_.empty()) {
+    return curve;
+  }
+  EnsureSorted();
+  curve.reserve(points);
+  for (size_t i = 0; i < points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(points - 1);
+    const size_t idx =
+        std::min(sorted_.size() - 1,
+                 static_cast<size_t>(frac * static_cast<double>(sorted_.size() - 1) + 0.5));
+    curve.emplace_back(sorted_[idx],
+                       static_cast<double>(idx + 1) / static_cast<double>(sorted_.size()));
+  }
+  return curve;
+}
+
+std::string SampleSet::Summary() const {
+  std::ostringstream os;
+  if (samples_.empty()) {
+    os << "n=0";
+    return os.str();
+  }
+  os << "n=" << Count() << " mean=" << Mean() << " p50=" << Percentile(50)
+     << " p90=" << Percentile(90) << " p99=" << Percentile(99) << " max=" << Max();
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  BM_CHECK_LT(lo, hi);
+  BM_CHECK_GT(buckets, 0u);
+}
+
+void Histogram::Add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const size_t idx = std::min(counts_.size() - 1,
+                              static_cast<size_t>((value - lo_) / width_));
+  ++counts_[idx];
+}
+
+double Histogram::BucketLow(size_t i) const {
+  BM_CHECK_LT(i, counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+}  // namespace batchmaker

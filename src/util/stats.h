@@ -1,0 +1,79 @@
+// Latency/throughput statistics helpers used by the benchmark harness and by
+// the serving engines' metric collectors.
+
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace batchmaker {
+
+// Accumulates raw samples (e.g. per-request latencies in microseconds) and
+// answers percentile/CDF queries. Samples are stored exactly; the expected
+// cardinality (millions at most) makes this affordable.
+class SampleSet {
+ public:
+  void Add(double value);
+  void Clear();
+
+  size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Stddev() const;
+
+  // Percentile in [0, 100]. Linear interpolation between closest ranks.
+  // Requires at least one sample.
+  double Percentile(double pct) const;
+
+  // Fraction of samples <= value, in [0, 1].
+  double CdfAt(double value) const;
+
+  // Evenly spaced CDF points (value, cumulative fraction), suitable for
+  // plotting. `points` must be >= 2.
+  std::vector<std::pair<double, double>> CdfCurve(size_t points) const;
+
+  // One-line human-readable summary: count/mean/p50/p90/p99/max.
+  std::string Summary() const;
+
+  const std::vector<double>& raw() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Fixed-bucket histogram over [lo, hi) with `buckets` equal-width buckets
+// plus underflow/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double value);
+  size_t TotalCount() const { return total_; }
+  size_t BucketCount(size_t i) const { return counts_[i]; }
+  size_t NumBuckets() const { return counts_.size(); }
+  double BucketLow(size_t i) const;
+  size_t Underflow() const { return underflow_; }
+  size_t Overflow() const { return overflow_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t underflow_ = 0;
+  size_t overflow_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_UTIL_STATS_H_

@@ -1,0 +1,66 @@
+#include "src/util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+std::string StrPrintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  BM_CHECK_GE(needed, 0) << "StrPrintf format error";
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> StrSplit(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string FormatMicros(double micros) {
+  if (micros < 1000.0) {
+    return StrPrintf("%.0fus", micros);
+  }
+  if (micros < 1e6) {
+    return StrPrintf("%.2fms", micros / 1000.0);
+  }
+  return StrPrintf("%.2fs", micros / 1e6);
+}
+
+}  // namespace batchmaker

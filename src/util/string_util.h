@@ -1,0 +1,29 @@
+// printf-style string formatting and small string helpers.
+
+#ifndef SRC_UTIL_STRING_UTIL_H_
+#define SRC_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace batchmaker {
+
+// Returns the printf-formatted string. Format errors abort.
+std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Splits on a single character; no trimming; empty fields preserved.
+std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+// Joins with a separator.
+std::string StrJoin(const std::vector<std::string>& parts, const std::string& sep);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+// Formats a duration given in microseconds with an adaptive unit
+// (e.g. "185us", "1.38ms", "2.40s").
+std::string FormatMicros(double micros);
+
+}  // namespace batchmaker
+
+#endif  // SRC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,106 @@
+#include "src/workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+namespace {
+
+// Log-normal parameters chosen so that, after clipping to 330, the sample
+// mean is ~24, ~99% of lengths are < 100, and the tail reaches the
+// maximum occasionally — matching §7.1 and Figure 10.
+constexpr double kWmtLogMu = 3.06;     // median ~21 words
+constexpr double kWmtLogSigma = 0.50;
+
+// TreeBank-scale sentences are shorter (SST-style parse trees).
+constexpr double kTreeLogMu = 2.83;    // median ~17 words
+constexpr double kTreeLogSigma = 0.45;
+
+int SampleLogNormalLength(double mu, double sigma, int lo, int hi, Rng* rng) {
+  const double raw = std::exp(mu + sigma * rng->NextGaussian());
+  const int len = static_cast<int>(std::lround(raw));
+  return std::clamp(len, lo, hi);
+}
+
+}  // namespace
+
+WmtLengthSampler::WmtLengthSampler(int max_len, int fixed_len)
+    : max_len_(max_len), fixed_len_(fixed_len) {
+  BM_CHECK_GT(max_len, 0);
+  BM_CHECK_GE(fixed_len, 0);
+  BM_CHECK_LE(fixed_len, max_len);
+}
+
+int WmtLengthSampler::Sample(Rng* rng) const {
+  BM_CHECK(rng != nullptr);
+  if (fixed_len_ > 0) {
+    return fixed_len_;
+  }
+  return SampleLogNormalLength(kWmtLogMu, kWmtLogSigma, 1, max_len_, rng);
+}
+
+std::vector<WorkItem> SampleChainDataset(int count, const WmtLengthSampler& sampler,
+                                         Rng* rng) {
+  BM_CHECK_GT(count, 0);
+  std::vector<WorkItem> items;
+  items.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    items.push_back(WorkItem::Chain(sampler.Sample(rng)));
+  }
+  return items;
+}
+
+std::vector<WorkItem> SampleSeq2SeqDataset(int count, const WmtLengthSampler& sampler,
+                                           Rng* rng) {
+  BM_CHECK_GT(count, 0);
+  std::vector<WorkItem> items;
+  items.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int src = sampler.Sample(rng);
+    const double factor = rng->NextUniform(0.85, 1.15);
+    const int dec = std::clamp(static_cast<int>(std::lround(src * factor)), 1,
+                               sampler.max_len());
+    items.push_back(WorkItem::Seq2Seq(src, dec));
+  }
+  return items;
+}
+
+std::vector<WorkItem> SampleTreeDataset(int count, int32_t vocab, Rng* rng) {
+  BM_CHECK_GT(count, 0);
+  std::vector<WorkItem> items;
+  items.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int leaves = SampleLogNormalLength(kTreeLogMu, kTreeLogSigma, 2, 60, rng);
+    items.push_back(WorkItem::Tree(BinaryTree::RandomParse(leaves, vocab, rng)));
+  }
+  return items;
+}
+
+std::vector<WorkItem> FixedTreeDataset(int count, int num_leaves) {
+  BM_CHECK_GT(count, 0);
+  std::vector<WorkItem> items;
+  items.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    items.push_back(WorkItem::Tree(BinaryTree::Complete(num_leaves)));
+  }
+  return items;
+}
+
+std::vector<double> PoissonArrivals(double rate_rps, double horizon_micros, Rng* rng) {
+  BM_CHECK_GT(rate_rps, 0.0);
+  BM_CHECK_GT(horizon_micros, 0.0);
+  BM_CHECK(rng != nullptr);
+  std::vector<double> arrivals;
+  const double rate_per_micro = rate_rps * 1e-6;
+  double t = rng->NextExponential(rate_per_micro);
+  while (t < horizon_micros) {
+    arrivals.push_back(t);
+    t += rng->NextExponential(rate_per_micro);
+  }
+  return arrivals;
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,69 @@
+// Synthetic datasets standing in for the paper's evaluation data (§7.1):
+//
+//   * WMT-15 Europarl sentences: "The maximum sentence length is 330 and
+//     the average length is 24"; Figure 10 shows ~99% of sequences shorter
+//     than 100. We sample a log-normal body with those statistics, clipped
+//     to [1, max_len].
+//   * Clipped variants (max 50 / max 100) and a fixed-length dataset
+//     (length 24) reproduce the Figure 11 variance study.
+//   * TreeBank parse trees: every sample is a binary parse tree over a
+//     sentence; we sample sentence lengths from a (shorter) log-normal and
+//     build uniformly random binary parse shapes.
+//
+// All sampling is deterministic given the Rng.
+
+#ifndef SRC_WORKLOAD_DATASETS_H_
+#define SRC_WORKLOAD_DATASETS_H_
+
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workload/work_item.h"
+
+namespace batchmaker {
+
+// Sequence-length distribution matching the WMT-15 Europarl statistics the
+// paper reports.
+class WmtLengthSampler {
+ public:
+  // `max_len` clips the distribution (330 reproduces the full dataset; 50
+  // and 100 reproduce the Figure 11 clipped variants). `fixed_len` > 0
+  // makes every sample that exact length (Figure 11 top / Figure 15-style
+  // fixed inputs).
+  explicit WmtLengthSampler(int max_len = 330, int fixed_len = 0);
+
+  int Sample(Rng* rng) const;
+
+  int max_len() const { return max_len_; }
+
+ private:
+  int max_len_;
+  int fixed_len_;
+};
+
+// Chain-LSTM dataset: language-model style requests over sentences.
+std::vector<WorkItem> SampleChainDataset(int count, const WmtLengthSampler& sampler,
+                                         Rng* rng);
+
+// Seq2Seq dataset: German->English pairs; the decode length tracks the
+// source length within +/-15% (the paper decodes exactly the reference
+// translation length, which is strongly correlated with the source).
+std::vector<WorkItem> SampleSeq2SeqDataset(int count, const WmtLengthSampler& sampler,
+                                           Rng* rng);
+
+// TreeBank-like dataset: random binary parse trees. Sentence lengths use a
+// log-normal with mean ~19 (Stanford sentiment treebank scale), clipped to
+// [2, 60]; vocab only affects leaf tokens.
+std::vector<WorkItem> SampleTreeDataset(int count, int32_t vocab, Rng* rng);
+
+// Fixed-shape tree dataset for Figure 15: every request is a complete
+// binary tree with 16 leaves.
+std::vector<WorkItem> FixedTreeDataset(int count, int num_leaves = 16);
+
+// Poisson open-loop arrival process: returns arrival times in micros for
+// the given rate (requests/sec) until `horizon_micros`.
+std::vector<double> PoissonArrivals(double rate_rps, double horizon_micros, Rng* rng);
+
+}  // namespace batchmaker
+
+#endif  // SRC_WORKLOAD_DATASETS_H_

@@ -1,0 +1,145 @@
+#include "src/workload/trace.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/workload/datasets.h"
+
+namespace batchmaker {
+
+void Trace::Add(double arrival_micros, WorkItem item) {
+  BM_CHECK_GE(arrival_micros, 0.0);
+  if (!entries_.empty()) {
+    BM_CHECK_GE(arrival_micros, entries_.back().arrival_micros)
+        << "trace entries must be time-ordered";
+  }
+  entries_.push_back(TraceEntry{arrival_micros, std::move(item)});
+}
+
+const TraceEntry& Trace::entry(size_t i) const {
+  BM_CHECK_LT(i, entries_.size());
+  return entries_[i];
+}
+
+double Trace::DurationMicros() const {
+  if (entries_.size() < 2) {
+    return 0.0;
+  }
+  return entries_.back().arrival_micros - entries_.front().arrival_micros;
+}
+
+double Trace::OfferedRps() const {
+  const double duration = DurationMicros();
+  if (duration <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(entries_.size() - 1) / (duration * 1e-6);
+}
+
+Trace Trace::ScaleRate(double factor) const {
+  BM_CHECK_GT(factor, 0.0);
+  Trace scaled;
+  for (const TraceEntry& e : entries_) {
+    scaled.Add(e.arrival_micros * factor, e.item);
+  }
+  return scaled;
+}
+
+namespace {
+
+Json WorkItemToJson(const WorkItem& item) {
+  JsonObject obj;
+  switch (item.kind) {
+    case WorkItem::Kind::kChain:
+      obj["kind"] = "chain";
+      obj["length"] = item.length;
+      break;
+    case WorkItem::Kind::kSeq2Seq:
+      obj["kind"] = "seq2seq";
+      obj["src_len"] = item.src_len;
+      obj["dec_len"] = item.dec_len;
+      break;
+    case WorkItem::Kind::kTree: {
+      obj["kind"] = "tree";
+      obj["root"] = item.tree.root;
+      JsonArray nodes;
+      for (const auto& n : item.tree.nodes) {
+        JsonArray node;
+        node.emplace_back(n.left);
+        node.emplace_back(n.right);
+        node.emplace_back(static_cast<int64_t>(n.token));
+        nodes.emplace_back(std::move(node));
+      }
+      obj["nodes"] = Json(std::move(nodes));
+      break;
+    }
+  }
+  return Json(std::move(obj));
+}
+
+WorkItem WorkItemFromJson(const Json& json) {
+  const std::string& kind = json.Get("kind").AsString();
+  if (kind == "chain") {
+    return WorkItem::Chain(static_cast<int>(json.Get("length").AsInt()));
+  }
+  if (kind == "seq2seq") {
+    return WorkItem::Seq2Seq(static_cast<int>(json.Get("src_len").AsInt()),
+                             static_cast<int>(json.Get("dec_len").AsInt()));
+  }
+  BM_CHECK(kind == "tree") << "unknown work item kind: " << kind;
+  BinaryTree tree;
+  tree.root = static_cast<int>(json.Get("root").AsInt());
+  for (const Json& node_json : json.Get("nodes").AsArray()) {
+    BinaryTree::Node node;
+    node.left = static_cast<int>(node_json.At(0).AsInt());
+    node.right = static_cast<int>(node_json.At(1).AsInt());
+    node.token = static_cast<int32_t>(node_json.At(2).AsInt());
+    tree.nodes.push_back(node);
+  }
+  tree.Validate();
+  return WorkItem::Tree(std::move(tree));
+}
+
+}  // namespace
+
+Json Trace::ToJson() const {
+  JsonObject root;
+  root["format"] = "batchmaker-trace-v1";
+  JsonArray entries;
+  for (const TraceEntry& e : entries_) {
+    JsonObject entry;
+    entry["at_us"] = e.arrival_micros;
+    entry["item"] = WorkItemToJson(e.item);
+    entries.emplace_back(std::move(entry));
+  }
+  root["entries"] = Json(std::move(entries));
+  return Json(std::move(root));
+}
+
+std::string Trace::ToJsonText(bool pretty) const { return ToJson().Dump(pretty ? 2 : -1); }
+
+Trace Trace::FromJson(const Json& json) {
+  const Json* format = json.Find("format");
+  BM_CHECK(format != nullptr && format->AsString() == "batchmaker-trace-v1")
+      << "not a batchmaker trace";
+  Trace trace;
+  for (const Json& entry : json.Get("entries").AsArray()) {
+    trace.Add(entry.Get("at_us").AsDouble(), WorkItemFromJson(entry.Get("item")));
+  }
+  return trace;
+}
+
+Trace Trace::FromJsonText(const std::string& text) { return FromJson(Json::Parse(text)); }
+
+Trace Trace::Synthesize(const std::vector<WorkItem>& dataset, double rate_rps,
+                        double horizon_micros, Rng* rng) {
+  BM_CHECK(!dataset.empty());
+  BM_CHECK(rng != nullptr);
+  Trace trace;
+  for (double t : PoissonArrivals(rate_rps, horizon_micros, rng)) {
+    trace.Add(t, dataset[static_cast<size_t>(rng->NextBelow(dataset.size()))]);
+  }
+  return trace;
+}
+
+}  // namespace batchmaker

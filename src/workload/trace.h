@@ -1,0 +1,62 @@
+// Request-trace recording and replay.
+//
+// A trace is an ordered list of (arrival time, work item) pairs. Traces
+// serialize to JSON so production workloads can be captured once and
+// replayed against any ServingSystem (or across cost-model what-if runs).
+
+#ifndef SRC_WORKLOAD_TRACE_H_
+#define SRC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/util/rng.h"
+#include "src/workload/work_item.h"
+
+namespace batchmaker {
+
+struct TraceEntry {
+  double arrival_micros = 0.0;
+  WorkItem item;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+
+  // Entries must be appended in non-decreasing arrival order.
+  void Add(double arrival_micros, WorkItem item);
+
+  size_t Size() const { return entries_.size(); }
+  bool Empty() const { return entries_.empty(); }
+  const TraceEntry& entry(size_t i) const;
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+
+  // Arrival span (last - first), 0 for traces with < 2 entries.
+  double DurationMicros() const;
+  // Average offered rate over the span.
+  double OfferedRps() const;
+
+  // Returns a copy with all arrival times scaled by `factor` (0.5 = double
+  // the rate). Factor must be > 0.
+  Trace ScaleRate(double factor) const;
+
+  // JSON round trip. Tree items embed their full structure.
+  Json ToJson() const;
+  std::string ToJsonText(bool pretty = false) const;
+  static Trace FromJson(const Json& json);
+  static Trace FromJsonText(const std::string& text);
+
+  // Synthesizes a trace by pairing Poisson arrivals at `rate_rps` over
+  // `horizon_micros` with items sampled uniformly from `dataset`.
+  static Trace Synthesize(const std::vector<WorkItem>& dataset, double rate_rps,
+                          double horizon_micros, Rng* rng);
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_WORKLOAD_TRACE_H_

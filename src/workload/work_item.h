@@ -1,0 +1,62 @@
+// WorkItem: one inference request as seen by the workload generator.
+//
+// Serving systems consume WorkItems: BatchMaker unfolds them into cell
+// graphs, while the graph-batching baselines only need the structural
+// parameters (lengths / tree shape) to compute padded or merged execution.
+
+#ifndef SRC_WORKLOAD_WORK_ITEM_H_
+#define SRC_WORKLOAD_WORK_ITEM_H_
+
+#include "src/nn/tree_lstm.h"
+
+namespace batchmaker {
+
+struct WorkItem {
+  enum class Kind { kChain, kSeq2Seq, kTree };
+
+  Kind kind = Kind::kChain;
+  // kChain: number of RNN steps.
+  int length = 0;
+  // kSeq2Seq: encoder and decoder step counts.
+  int src_len = 0;
+  int dec_len = 0;
+  // kTree.
+  BinaryTree tree;
+
+  // Total number of cells this request unfolds into.
+  int NumCells() const {
+    switch (kind) {
+      case Kind::kChain:
+        return length;
+      case Kind::kSeq2Seq:
+        return src_len + dec_len;
+      case Kind::kTree:
+        return tree.NumNodes();
+    }
+    return 0;
+  }
+
+  static WorkItem Chain(int length) {
+    WorkItem item;
+    item.kind = Kind::kChain;
+    item.length = length;
+    return item;
+  }
+  static WorkItem Seq2Seq(int src_len, int dec_len) {
+    WorkItem item;
+    item.kind = Kind::kSeq2Seq;
+    item.src_len = src_len;
+    item.dec_len = dec_len;
+    return item;
+  }
+  static WorkItem Tree(BinaryTree tree) {
+    WorkItem item;
+    item.kind = Kind::kTree;
+    item.tree = std::move(tree);
+    return item;
+  }
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_WORKLOAD_WORK_ITEM_H_

@@ -1,0 +1,269 @@
+// Tests for the graph-batching baselines: padding + bucketing (TF/MXNet),
+// dynamic graph merging (Fold/DyNet), and the ideal fixed-graph system.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+
+#include "src/baselines/graph_merge_system.h"
+#include "src/baselines/ideal_system.h"
+#include "src/baselines/padding_system.h"
+
+namespace batchmaker {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+PaddingSystemOptions UnitPaddingOptions() {
+  PaddingSystemOptions options;
+  options.bucket_width = 10;
+  options.max_len = 40;
+  options.max_batch = 4;
+  options.per_step_overhead_micros = 0.0;
+  options.step_curve = CostCurve({{1, 1.0}});     // 1us per step
+  options.decoder_curve = CostCurve({{1, 1.0}});
+  return options;
+}
+
+// ---------- PaddingSystem ----------
+
+TEST(PaddingSystemTest, PadsToBucketTop) {
+  PaddingSystemOptions options = UnitPaddingOptions();
+  options.pad_to_bucket_top = true;
+  PaddingSystem system(options);
+  // Length 21 -> bucket (20,30] -> padded to 30 steps (paper §7.3: "a
+  // request of length 21 will be padded to length 30").
+  system.SubmitAt(0.0, WorkItem::Chain(21));
+  system.Run(kInf);
+  ASSERT_EQ(system.metrics().NumCompleted(), 1u);
+  EXPECT_DOUBLE_EQ(system.metrics().records()[0].completion_micros, 30.0);
+}
+
+TEST(PaddingSystemTest, BatchCompletesTogether) {
+  PaddingSystem system(UnitPaddingOptions());
+  system.SubmitAt(0.0, WorkItem::Chain(1));
+  system.SubmitAt(0.0, WorkItem::Chain(9));
+  system.Run(kInf);
+  ASSERT_EQ(system.metrics().NumCompleted(), 2u);
+  // Both are in bucket (0,10]; the short request pays the batch's padded
+  // 9 steps: graph batching penalizes short requests.
+  for (const auto& r : system.metrics().records()) {
+    EXPECT_DOUBLE_EQ(r.completion_micros, 9.0);
+  }
+}
+
+TEST(PaddingSystemTest, NewRequestWaitsForRunningBatch) {
+  PaddingSystem system(UnitPaddingOptions());
+  system.SubmitAt(0.0, WorkItem::Chain(10));
+  system.SubmitAt(1.0, WorkItem::Chain(10));  // arrives during the batch
+  system.Run(kInf);
+  std::map<RequestId, RequestRecord> by_id;
+  for (const auto& r : system.metrics().records()) {
+    by_id[r.id] = r;
+  }
+  // The second request cannot join; it waits until t=10 then runs 10 steps.
+  EXPECT_DOUBLE_EQ(by_id[2].exec_start_micros, 10.0);
+  EXPECT_DOUBLE_EQ(by_id[2].completion_micros, 20.0);
+  EXPECT_NEAR(by_id[2].QueueingMicros(), 9.0, 1e-9);
+}
+
+TEST(PaddingSystemTest, RoundRobinAcrossBuckets) {
+  PaddingSystem system(UnitPaddingOptions());
+  // Two buckets with work; bucket 0 gets served, then bucket 1, then
+  // bucket 0's remaining request.
+  system.SubmitAt(0.0, WorkItem::Chain(5));    // bucket 0
+  system.SubmitAt(0.0, WorkItem::Chain(15));   // bucket 1
+  system.SubmitAt(0.5, WorkItem::Chain(5));    // bucket 0, misses 1st batch
+  system.Run(kInf);
+  std::map<RequestId, RequestRecord> by_id;
+  for (const auto& r : system.metrics().records()) {
+    by_id[r.id] = r;
+  }
+  EXPECT_DOUBLE_EQ(by_id[1].completion_micros, 5.0);
+  // Bucket 1 (15 steps) runs next: 5 + 15 = 20.
+  EXPECT_DOUBLE_EQ(by_id[2].completion_micros, 20.0);
+  // Request 3 waits for its bucket's next turn: 20 + 5 = 25.
+  EXPECT_DOUBLE_EQ(by_id[3].completion_micros, 25.0);
+}
+
+TEST(PaddingSystemTest, MaxBatchSplitsBucketQueue) {
+  PaddingSystem system(UnitPaddingOptions());  // max_batch = 4
+  for (int i = 0; i < 6; ++i) {
+    system.SubmitAt(0.0, WorkItem::Chain(10));
+  }
+  system.Run(kInf);
+  SampleSet completions;
+  for (const auto& r : system.metrics().records()) {
+    completions.Add(r.completion_micros);
+  }
+  // 4 finish at t=10, the remaining 2 at t=20.
+  EXPECT_DOUBLE_EQ(completions.CdfAt(10.0), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(completions.Max(), 20.0);
+}
+
+TEST(PaddingSystemTest, Seq2SeqAddsDecoderCost) {
+  PaddingSystemOptions options = UnitPaddingOptions();
+  options.decoder_curve = CostCurve({{1, 3.0}});  // decoder steps cost 3us
+  PaddingSystem system(options);
+  system.SubmitAt(0.0, WorkItem::Seq2Seq(10, 8));
+  system.Run(kInf);
+  ASSERT_EQ(system.metrics().NumCompleted(), 1u);
+  // 10 encoder steps (1us) + 8 decoder steps (3us).
+  EXPECT_DOUBLE_EQ(system.metrics().records()[0].completion_micros, 10.0 + 24.0);
+}
+
+TEST(PaddingSystemTest, BatchCostUsesBatchedCurve) {
+  PaddingSystemOptions options = UnitPaddingOptions();
+  options.step_curve = CostCurve({{1, 1.0}, {4, 2.0}});
+  options.per_step_overhead_micros = 0.5;
+  const PaddingSystem system(options);
+  EXPECT_DOUBLE_EQ(system.BatchCostMicros(4, 10, 0), 10 * 2.5);
+}
+
+TEST(PaddingSystemTest, MultiGpuServesBucketsConcurrently) {
+  PaddingSystemOptions options = UnitPaddingOptions();
+  options.num_workers = 2;
+  PaddingSystem system(options);
+  system.SubmitAt(0.0, WorkItem::Chain(10));  // bucket 0
+  system.SubmitAt(0.0, WorkItem::Chain(20));  // bucket 1
+  system.Run(kInf);
+  std::map<RequestId, RequestRecord> by_id;
+  for (const auto& r : system.metrics().records()) {
+    by_id[r.id] = r;
+  }
+  EXPECT_DOUBLE_EQ(by_id[1].completion_micros, 10.0);
+  EXPECT_DOUBLE_EQ(by_id[2].completion_micros, 20.0);  // parallel, not 30 (pad-to-longest)
+}
+
+TEST(PaddingSystemDeathTest, RejectsTrees) {
+  PaddingSystem system(UnitPaddingOptions());
+  EXPECT_DEATH(system.SubmitAt(0.0, WorkItem::Tree(BinaryTree::Complete(4))),
+               "padding cannot batch tree");
+}
+
+// ---------- GraphMergeSystem ----------
+
+GraphMergeOptions UnitMergeOptions() {
+  GraphMergeOptions options;
+  options.max_batch_requests = 4;
+  options.construct_per_node_micros = 1.0;
+  options.per_level_overhead_micros = 0.0;
+  options.cell_curve = CostCurve({{1, 10.0}});  // 10us per level kernel
+  return options;
+}
+
+TEST(GraphMergeTest, MergedLevelCountsForTrees) {
+  // Two complete 4-leaf trees: level0 = 8 leaves, level1 = 4, level2 = 2.
+  std::vector<WorkItem> batch = {WorkItem::Tree(BinaryTree::Complete(4)),
+                                 WorkItem::Tree(BinaryTree::Complete(4))};
+  const auto counts = GraphMergeSystem::MergedLevelCounts(batch);
+  EXPECT_EQ(counts, (std::vector<int>{8, 4, 2}));
+}
+
+TEST(GraphMergeTest, MergedLevelCountsForUnevenTrees) {
+  Rng rng(1);
+  std::vector<WorkItem> batch = {WorkItem::Tree(BinaryTree::RandomParse(5, 10, &rng)),
+                                 WorkItem::Tree(BinaryTree::Complete(2))};
+  const auto counts = GraphMergeSystem::MergedLevelCounts(batch);
+  int total = 0;
+  for (int c : counts) {
+    total += c;
+  }
+  EXPECT_EQ(total, (2 * 5 - 1) + 3);
+  EXPECT_EQ(counts[0], 7);  // 5 + 2 leaves
+}
+
+TEST(GraphMergeTest, SingleBatchLatency) {
+  GraphMergeSystem system(UnitMergeOptions(), "Merge");
+  system.SubmitAt(0.0, WorkItem::Tree(BinaryTree::Complete(4)));
+  system.Run(kInf);
+  ASSERT_EQ(system.metrics().NumCompleted(), 1u);
+  // Construction: 7 nodes * 1us; execution: 3 levels * 10us.
+  EXPECT_DOUBLE_EQ(system.metrics().records()[0].completion_micros, 7.0 + 30.0);
+}
+
+TEST(GraphMergeTest, WholeBatchReturnsTogether) {
+  GraphMergeSystem system(UnitMergeOptions(), "Merge");
+  system.SubmitAt(0.0, WorkItem::Tree(BinaryTree::Complete(2)));
+  system.SubmitAt(0.0, WorkItem::Tree(BinaryTree::Complete(8)));
+  system.Run(kInf);
+  ASSERT_EQ(system.metrics().NumCompleted(), 2u);
+  EXPECT_DOUBLE_EQ(system.metrics().records()[0].completion_micros,
+                   system.metrics().records()[1].completion_micros);
+}
+
+TEST(GraphMergeTest, ConstructionOverlapsExecution) {
+  GraphMergeSystem system(UnitMergeOptions(), "Merge");
+  // Batch 1 constructs [0,7], executes [7,37]. Batch 2 (arriving at t=1)
+  // constructs during batch 1's execution and executes right after.
+  system.SubmitAt(0.0, WorkItem::Tree(BinaryTree::Complete(4)));
+  system.SubmitAt(8.0, WorkItem::Tree(BinaryTree::Complete(4)));
+  system.Run(kInf);
+  std::map<RequestId, RequestRecord> by_id;
+  for (const auto& r : system.metrics().records()) {
+    by_id[r.id] = r;
+  }
+  EXPECT_DOUBLE_EQ(by_id[1].completion_micros, 37.0);
+  // Batch 2: construction 8->15 (overlapped), execution 37->67.
+  EXPECT_DOUBLE_EQ(by_id[2].completion_micros, 67.0);
+}
+
+TEST(GraphMergeTest, BatchesUpToLimit) {
+  GraphMergeSystem system(UnitMergeOptions(), "Merge");  // limit 4
+  for (int i = 0; i < 6; ++i) {
+    system.SubmitAt(0.0, WorkItem::Tree(BinaryTree::Complete(2)));
+  }
+  system.Run(kInf);
+  SampleSet completions;
+  for (const auto& r : system.metrics().records()) {
+    completions.Add(r.completion_micros);
+  }
+  EXPECT_EQ(completions.Count(), 6u);
+  // Two distinct completion times: first batch of 4, second of 2.
+  EXPECT_DOUBLE_EQ(completions.CdfAt(completions.Min()), 4.0 / 6.0);
+}
+
+TEST(GraphMergeTest, FoldSlowerThanDyNet) {
+  const GraphMergeOptions fold = GraphMergeOptions::Fold();
+  const GraphMergeOptions dynet = GraphMergeOptions::DyNet();
+  EXPECT_GT(fold.construct_per_node_micros, dynet.construct_per_node_micros);
+  EXPECT_GT(fold.cell_curve.Micros(64), dynet.cell_curve.Micros(64));
+}
+
+// ---------- IdealFixedGraphSystem ----------
+
+TEST(IdealSystemTest, KernelCountMatchesTreeNodes) {
+  IdealSystemOptions options;
+  options.num_leaves = 16;
+  options.cell_curve = CostCurve({{1, 1.0}});
+  const IdealFixedGraphSystem system(options);
+  EXPECT_DOUBLE_EQ(system.BatchCostMicros(64), 31.0);
+}
+
+TEST(IdealSystemTest, BatchesAndCompletesTogether) {
+  IdealSystemOptions options;
+  options.num_leaves = 4;
+  options.max_batch = 8;
+  options.cell_curve = CostCurve({{1, 2.0}});
+  IdealFixedGraphSystem system(options);
+  for (int i = 0; i < 3; ++i) {
+    system.SubmitAt(0.0, WorkItem::Tree(BinaryTree::Complete(4)));
+  }
+  system.Run(kInf);
+  ASSERT_EQ(system.metrics().NumCompleted(), 3u);
+  for (const auto& r : system.metrics().records()) {
+    EXPECT_DOUBLE_EQ(r.completion_micros, 7 * 2.0);
+  }
+}
+
+TEST(IdealSystemDeathTest, RejectsMismatchedTree) {
+  IdealSystemOptions options;
+  options.num_leaves = 16;
+  IdealFixedGraphSystem system(options);
+  EXPECT_DEATH(system.SubmitAt(0.0, WorkItem::Tree(BinaryTree::Complete(8))),
+               "fixed tree");
+}
+
+}  // namespace
+}  // namespace batchmaker

@@ -1,0 +1,71 @@
+// Tests for MetricsCollector: record fields, window filtering, throughput.
+
+#include <gtest/gtest.h>
+
+#include "src/core/metrics.h"
+
+namespace batchmaker {
+namespace {
+
+RequestRecord MakeRecord(RequestId id, double arrival, double start, double done,
+                         int nodes = 1) {
+  RequestRecord r;
+  r.id = id;
+  r.arrival_micros = arrival;
+  r.exec_start_micros = start;
+  r.completion_micros = done;
+  r.num_nodes = nodes;
+  return r;
+}
+
+TEST(MetricsTest, RecordDerivedQuantities) {
+  const RequestRecord r = MakeRecord(1, 100.0, 150.0, 400.0);
+  EXPECT_DOUBLE_EQ(r.LatencyMicros(), 300.0);
+  EXPECT_DOUBLE_EQ(r.QueueingMicros(), 50.0);
+  EXPECT_DOUBLE_EQ(r.ComputeMicros(), 250.0);
+}
+
+TEST(MetricsTest, WindowFiltersByArrival) {
+  MetricsCollector m;
+  m.Record(MakeRecord(1, 100.0, 110.0, 200.0));
+  m.Record(MakeRecord(2, 500.0, 510.0, 600.0));
+  m.Record(MakeRecord(3, 900.0, 910.0, 1000.0));
+  EXPECT_EQ(m.Latencies().Count(), 3u);
+  EXPECT_EQ(m.Latencies(400.0, 950.0).Count(), 2u);
+  EXPECT_EQ(m.Latencies(0.0, 100.0).Count(), 0u);  // [from, to): 100 excluded? no
+  // Arrival 100 is >= from=0 and < to=100? No: 100 < 100 is false.
+  EXPECT_EQ(m.Latencies(100.0, 101.0).Count(), 1u);
+}
+
+TEST(MetricsTest, QueueingAndComputeWindows) {
+  MetricsCollector m;
+  m.Record(MakeRecord(1, 0.0, 40.0, 100.0));
+  m.Record(MakeRecord(2, 0.0, 10.0, 50.0));
+  const SampleSet q = m.QueueingTimes();
+  const SampleSet c = m.ComputeTimes();
+  EXPECT_DOUBLE_EQ(q.Max(), 40.0);
+  EXPECT_DOUBLE_EQ(q.Min(), 10.0);
+  EXPECT_DOUBLE_EQ(c.Max(), 60.0);
+}
+
+TEST(MetricsTest, ThroughputCountsCompletionsInWindow) {
+  MetricsCollector m;
+  for (int i = 0; i < 10; ++i) {
+    m.Record(MakeRecord(static_cast<RequestId>(i), 0.0, 0.0, i * 100.0 + 50.0));
+  }
+  // Completions at 50, 150, ..., 950. Window [0, 500): 5 completions over
+  // 500us -> 10k rps.
+  EXPECT_NEAR(m.ThroughputRps(0.0, 500.0), 5.0 / 500e-6, 1.0);
+  EXPECT_DOUBLE_EQ(m.ThroughputRps(500.0, 500.0), 0.0);  // empty window
+}
+
+TEST(MetricsTest, ClearResets) {
+  MetricsCollector m;
+  m.Record(MakeRecord(1, 0.0, 0.0, 1.0));
+  m.Clear();
+  EXPECT_EQ(m.NumCompleted(), 0u);
+  EXPECT_TRUE(m.Latencies().Empty());
+}
+
+}  // namespace
+}  // namespace batchmaker

@@ -1,0 +1,236 @@
+// Tests for RequestProcessor: subgraph partitioning (paper §4.3/§4.4) and
+// dependency propagation through scheduled/completed transitions.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/request_processor.h"
+#include "tests/test_models.h"
+
+namespace batchmaker {
+namespace {
+
+class ProcessorHarness {
+ public:
+  explicit ProcessorHarness(const CellRegistry* registry)
+      : processor_(
+            registry, [this](Subgraph* sg) { ready_subgraphs_.push_back(sg); },
+            [this](RequestState* state) { completed_.push_back(state->id); }) {}
+
+  RequestProcessor& processor() { return processor_; }
+  std::vector<Subgraph*>& ready_subgraphs() { return ready_subgraphs_; }
+  const std::vector<RequestId>& completed() const { return completed_; }
+
+  // Simulates executing one task containing all currently-ready nodes of
+  // `sg`: marks them scheduled then completed.
+  BatchedTask ScheduleAllReady(Subgraph* sg) {
+    BatchedTask task;
+    task.id = next_task_id_++;
+    task.type = sg->type;
+    std::vector<int> nodes = sg->ready;
+    for (int n : nodes) {
+      task.entries.push_back(TaskEntry{sg->owner->id, n});
+    }
+    processor_.MarkScheduled(sg, nodes);
+    return task;
+  }
+
+ private:
+  RequestProcessor processor_;
+  std::vector<Subgraph*> ready_subgraphs_;
+  std::vector<RequestId> completed_;
+  uint64_t next_task_id_ = 0;
+};
+
+// ---------- Chain (LSTM) partitioning ----------
+
+TEST(RequestProcessorTest, ChainFormsOneSubgraph) {
+  TinyLstmFixture fix;
+  ProcessorHarness h(&fix.registry);
+  RequestState* state = h.processor().AddRequest(1, fix.model.Unfold(5), 0.0);
+  ASSERT_EQ(state->subgraphs.size(), 1u);
+  EXPECT_EQ(h.ready_subgraphs().size(), 1u);
+  Subgraph* sg = h.ready_subgraphs()[0];
+  EXPECT_EQ(sg->nodes.size(), 5u);
+  // Only the first step is ready; the rest wait on internal deps.
+  EXPECT_EQ(sg->ready, std::vector<int>{0});
+  EXPECT_EQ(sg->unscheduled, 5);
+}
+
+TEST(RequestProcessorTest, ChainUnlocksStepByStep) {
+  TinyLstmFixture fix;
+  ProcessorHarness h(&fix.registry);
+  h.processor().AddRequest(1, fix.model.Unfold(3), 0.0);
+  Subgraph* sg = h.ready_subgraphs()[0];
+
+  const BatchedTask t0 = h.ScheduleAllReady(sg);
+  EXPECT_EQ(t0.entries.size(), 1u);
+  EXPECT_EQ(sg->ready, std::vector<int>{1});  // scheduling unlocks successor
+
+  const BatchedTask t1 = h.ScheduleAllReady(sg);
+  EXPECT_EQ(sg->ready, std::vector<int>{2});
+  const BatchedTask t2 = h.ScheduleAllReady(sg);
+  EXPECT_TRUE(sg->ready.empty());
+  EXPECT_EQ(sg->unscheduled, 0);
+
+  EXPECT_TRUE(h.completed().empty());
+  h.processor().MarkCompleted(t0);
+  h.processor().MarkCompleted(t1);
+  EXPECT_TRUE(h.completed().empty());
+  h.processor().MarkCompleted(t2);
+  EXPECT_EQ(h.completed(), std::vector<RequestId>{1});
+  EXPECT_EQ(h.processor().NumActiveRequests(), 0u);
+}
+
+// ---------- Seq2Seq partitioning ----------
+
+TEST(RequestProcessorTest, Seq2SeqFormsEncoderAndDecoderSubgraphs) {
+  TinySeq2SeqFixture fix;
+  ProcessorHarness h(&fix.registry);
+  RequestState* state = h.processor().AddRequest(1, fix.model.Unfold(4, 3), 0.0);
+  ASSERT_EQ(state->subgraphs.size(), 2u);
+  // Only the encoder subgraph is released at admit time.
+  ASSERT_EQ(h.ready_subgraphs().size(), 1u);
+  EXPECT_EQ(h.ready_subgraphs()[0]->type, fix.model.encoder_type());
+  // The decoder subgraph waits on the last encoder node (h and c): one
+  // distinct external predecessor.
+  Subgraph* dec = state->subgraphs[1].get();
+  EXPECT_EQ(dec->type, fix.model.decoder_type());
+  EXPECT_FALSE(dec->released);
+  EXPECT_EQ(dec->unmet_external, 1);
+}
+
+TEST(RequestProcessorTest, Seq2SeqDecoderReleasesAfterEncoderCompletes) {
+  TinySeq2SeqFixture fix;
+  ProcessorHarness h(&fix.registry);
+  h.processor().AddRequest(1, fix.model.Unfold(2, 2), 0.0);
+  Subgraph* enc = h.ready_subgraphs()[0];
+
+  std::vector<BatchedTask> tasks;
+  tasks.push_back(h.ScheduleAllReady(enc));
+  tasks.push_back(h.ScheduleAllReady(enc));
+  EXPECT_EQ(enc->unscheduled, 0);
+  EXPECT_EQ(h.ready_subgraphs().size(), 1u);  // decoder not yet released
+
+  h.processor().MarkCompleted(tasks[0]);
+  EXPECT_EQ(h.ready_subgraphs().size(), 1u);
+  h.processor().MarkCompleted(tasks[1]);  // final encoder completes
+  ASSERT_EQ(h.ready_subgraphs().size(), 2u);
+  EXPECT_EQ(h.ready_subgraphs()[1]->type, fix.model.decoder_type());
+}
+
+// ---------- TreeLSTM partitioning (paper §4.4's worked example) ----------
+
+TEST(RequestProcessorTest, TreeLstmPartitionMatchesPaperExample) {
+  TinyTreeLstmFixture fix;
+  ProcessorHarness h(&fix.registry);
+  // "Suppose request x is a complete binary tree with 16 leaf nodes. Then
+  // its cell graph will be partitioned into 17 subgraphs: one subgraph
+  // contains 31 internal tree nodes" [sic: 15 internal nodes]; "each of the
+  // other 16 subgraphs contains a single leaf node."
+  RequestState* state =
+      h.processor().AddRequest(1, fix.model.Unfold(BinaryTree::Complete(16)), 0.0);
+  ASSERT_EQ(state->subgraphs.size(), 17u);
+  int leaf_subgraphs = 0;
+  int internal_subgraphs = 0;
+  for (const auto& sg : state->subgraphs) {
+    if (sg->type == fix.model.leaf_type()) {
+      ++leaf_subgraphs;
+      EXPECT_EQ(sg->nodes.size(), 1u);
+    } else {
+      ++internal_subgraphs;
+      EXPECT_EQ(sg->nodes.size(), 15u);
+    }
+  }
+  EXPECT_EQ(leaf_subgraphs, 16);
+  EXPECT_EQ(internal_subgraphs, 1);
+  // All 16 leaf subgraphs are immediately ready; the internal one waits on
+  // 16 external predecessors.
+  EXPECT_EQ(h.ready_subgraphs().size(), 16u);
+}
+
+TEST(RequestProcessorTest, TreeLstmInternalReleasesAfterAllLeaves) {
+  TinyTreeLstmFixture fix;
+  ProcessorHarness h(&fix.registry);
+  RequestState* state =
+      h.processor().AddRequest(1, fix.model.Unfold(BinaryTree::Complete(4)), 0.0);
+  ASSERT_EQ(state->subgraphs.size(), 5u);
+
+  std::vector<BatchedTask> leaf_tasks;
+  for (Subgraph* sg : h.ready_subgraphs()) {
+    leaf_tasks.push_back(h.ScheduleAllReady(sg));
+  }
+  EXPECT_EQ(h.ready_subgraphs().size(), 4u);
+  for (size_t i = 0; i < leaf_tasks.size(); ++i) {
+    h.processor().MarkCompleted(leaf_tasks[i]);
+    if (i + 1 < leaf_tasks.size()) {
+      EXPECT_EQ(h.ready_subgraphs().size(), 4u) << "released too early";
+    }
+  }
+  ASSERT_EQ(h.ready_subgraphs().size(), 5u);
+  Subgraph* internal = h.ready_subgraphs()[4];
+  EXPECT_EQ(internal->type, fix.model.internal_type());
+  // Bottom level of internal nodes (2 of them) is ready.
+  EXPECT_EQ(internal->ready.size(), 2u);
+}
+
+TEST(RequestProcessorTest, TreeLstmLevelsScheduleInWaves) {
+  TinyTreeLstmFixture fix;
+  ProcessorHarness h(&fix.registry);
+  h.processor().AddRequest(1, fix.model.Unfold(BinaryTree::Complete(8)), 0.0);
+
+  std::vector<BatchedTask> tasks;
+  for (Subgraph* sg : std::vector<Subgraph*>(h.ready_subgraphs())) {
+    tasks.push_back(h.ScheduleAllReady(sg));
+  }
+  for (const BatchedTask& t : tasks) {
+    h.processor().MarkCompleted(t);
+  }
+  Subgraph* internal = h.ready_subgraphs().back();
+  // Waves: 4, then 2, then 1 ready nodes.
+  EXPECT_EQ(internal->ready.size(), 4u);
+  h.ScheduleAllReady(internal);
+  EXPECT_EQ(internal->ready.size(), 2u);
+  h.ScheduleAllReady(internal);
+  EXPECT_EQ(internal->ready.size(), 1u);
+  h.ScheduleAllReady(internal);
+  EXPECT_TRUE(internal->ready.empty());
+  EXPECT_EQ(internal->unscheduled, 0);
+}
+
+// ---------- Misc ----------
+
+TEST(RequestProcessorTest, MultipleRequestsTrackedIndependently) {
+  TinyLstmFixture fix;
+  ProcessorHarness h(&fix.registry);
+  h.processor().AddRequest(1, fix.model.Unfold(2), 0.0);
+  h.processor().AddRequest(2, fix.model.Unfold(3), 10.0);
+  EXPECT_EQ(h.processor().NumActiveRequests(), 2u);
+  EXPECT_EQ(h.ready_subgraphs().size(), 2u);
+  EXPECT_NE(h.ready_subgraphs()[0]->owner, h.ready_subgraphs()[1]->owner);
+}
+
+TEST(RequestProcessorTest, ArrivalTimeRecorded) {
+  TinyLstmFixture fix;
+  ProcessorHarness h(&fix.registry);
+  RequestState* state = h.processor().AddRequest(1, fix.model.Unfold(2), 123.5);
+  EXPECT_DOUBLE_EQ(state->arrival_micros, 123.5);
+  EXPECT_LT(state->exec_start_micros, 0.0);
+}
+
+TEST(RequestProcessorDeathTest, DuplicateIdAborts) {
+  TinyLstmFixture fix;
+  ProcessorHarness h(&fix.registry);
+  h.processor().AddRequest(1, fix.model.Unfold(2), 0.0);
+  EXPECT_DEATH(h.processor().AddRequest(1, fix.model.Unfold(2), 0.0), "duplicate");
+}
+
+TEST(RequestProcessorTest, FindRequestReturnsNullForUnknown) {
+  TinyLstmFixture fix;
+  ProcessorHarness h(&fix.registry);
+  EXPECT_EQ(h.processor().FindRequest(42), nullptr);
+}
+
+}  // namespace
+}  // namespace batchmaker

@@ -1,0 +1,154 @@
+// Parameterized property sweeps over the tensor substrate: every op is
+// checked against a naive scalar reference across a grid of shapes, and
+// batched execution is checked row-independent across batch sizes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/graph/executor.h"
+#include "src/nn/lstm.h"
+#include "src/tensor/gemm.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace batchmaker {
+namespace {
+
+// ---------- GEMM across a shape grid ----------
+
+class GemmShapeTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 10007 + k * 101 + n));
+  const Tensor a = Tensor::RandomUniform(Shape{m, k}, 1.0f, &rng);
+  const Tensor b = Tensor::RandomUniform(Shape{k, n}, 1.0f, &rng);
+  const Tensor c = MatMul(a, b);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc += a.At(i, p) * b.At(p, j);
+      }
+      ASSERT_NEAR(c.At(i, j), acc, 1e-3f) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 7, 1),
+                      std::make_tuple(2, 3, 5), std::make_tuple(8, 8, 8),
+                      std::make_tuple(17, 31, 13), std::make_tuple(63, 65, 64),
+                      std::make_tuple(64, 257, 3), std::make_tuple(5, 300, 40),
+                      std::make_tuple(65, 64, 66)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param)) + "n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------- Elementwise ops across shapes ----------
+
+class ElementwiseShapeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ElementwiseShapeTest, AllOpsMatchScalarReference) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(static_cast<uint64_t>(rows * 31 + cols));
+  const Tensor a = Tensor::RandomUniform(Shape{rows, cols}, 2.0f, &rng);
+  const Tensor b = Tensor::RandomUniform(Shape{rows, cols}, 2.0f, &rng);
+
+  const Tensor add = Add(a, b);
+  const Tensor sub = Sub(a, b);
+  const Tensor mul = Mul(a, b);
+  const Tensor sig = Sigmoid(a);
+  const Tensor tanh_t = Tanh(a);
+  const Tensor relu = Relu(a);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const float x = a.At(r, c);
+      const float y = b.At(r, c);
+      ASSERT_FLOAT_EQ(add.At(r, c), x + y);
+      ASSERT_FLOAT_EQ(sub.At(r, c), x - y);
+      ASSERT_FLOAT_EQ(mul.At(r, c), x * y);
+      ASSERT_NEAR(sig.At(r, c), 1.0f / (1.0f + std::exp(-x)), 1e-6f);
+      ASSERT_NEAR(tanh_t.At(r, c), std::tanh(x), 1e-6f);
+      ASSERT_FLOAT_EQ(relu.At(r, c), x > 0 ? x : 0.0f);
+    }
+  }
+}
+
+TEST_P(ElementwiseShapeTest, SliceConcatInverse) {
+  const auto [rows, cols] = GetParam();
+  if (cols < 2) {
+    GTEST_SKIP();
+  }
+  Rng rng(static_cast<uint64_t>(rows * 97 + cols));
+  const Tensor a = Tensor::RandomUniform(Shape{rows, cols}, 1.0f, &rng);
+  const int split = cols / 2;
+  const Tensor left = SliceCols(a, 0, split);
+  const Tensor right = SliceCols(a, split, cols);
+  EXPECT_TRUE(ConcatCols({&left, &right}).ElementsEqual(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ElementwiseShapeTest,
+                         ::testing::Values(std::make_pair(1, 1), std::make_pair(1, 64),
+                                           std::make_pair(64, 1), std::make_pair(7, 13),
+                                           std::make_pair(32, 100)),
+                         [](const ::testing::TestParamInfo<std::pair<int, int>>& info) {
+                           return "r" + std::to_string(info.param.first) + "c" +
+                                  std::to_string(info.param.second);
+                         });
+
+// ---------- Batched cell execution is row-independent ----------
+
+class BatchIndependenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchIndependenceTest, LstmBatchRowsEqualSingleRows) {
+  const int batch = GetParam();
+  Rng rng(77);
+  const LstmSpec spec{.input_dim = 6, .hidden = 5};
+  const auto def = BuildLstmCell(spec, &rng);
+  const CellExecutor exec(def.get());
+
+  Rng data_rng(static_cast<uint64_t>(batch) * 13 + 1);
+  const Tensor x = Tensor::RandomUniform(Shape{batch, 6}, 1.0f, &data_rng);
+  const Tensor h = Tensor::RandomUniform(Shape{batch, 5}, 1.0f, &data_rng);
+  const Tensor c = Tensor::RandomUniform(Shape{batch, 5}, 1.0f, &data_rng);
+  const auto batched = exec.Execute({&x, &h, &c});
+
+  for (int row = 0; row < batch; ++row) {
+    const Tensor xr = ExtractRow(x, row);
+    const Tensor hr = ExtractRow(h, row);
+    const Tensor cr = ExtractRow(c, row);
+    const auto single = exec.Execute({&xr, &hr, &cr});
+    for (int d = 0; d < 5; ++d) {
+      ASSERT_NEAR(batched[0].At(row, d), single[0].At(0, d), 1e-5f)
+          << "batch " << batch << " row " << row;
+      ASSERT_NEAR(batched[1].At(row, d), single[1].At(0, d), 1e-5f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchIndependenceTest,
+                         ::testing::Values(1, 2, 3, 8, 17, 64));
+
+// ---------- Softmax / argmax consistency ----------
+
+class SoftmaxArgmaxTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxArgmaxTest, ArgmaxInvariantUnderSoftmax) {
+  const int cols = GetParam();
+  Rng rng(static_cast<uint64_t>(cols) + 5);
+  const Tensor a = Tensor::RandomUniform(Shape{8, cols}, 4.0f, &rng);
+  const Tensor direct = ArgmaxRows(a);
+  const Tensor via_softmax = ArgmaxRows(Softmax(a));
+  EXPECT_TRUE(direct.ElementsEqual(via_softmax));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SoftmaxArgmaxTest, ::testing::Values(1, 2, 10, 100, 1000));
+
+}  // namespace
+}  // namespace batchmaker

@@ -1,0 +1,322 @@
+// Tests for src/tensor: shapes, tensors, GEMM, elementwise and structural
+// ops, and the gather/scatter helpers used for batch assembly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/gemm.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/shape.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace batchmaker {
+namespace {
+
+// ---------- Shape ----------
+
+TEST(ShapeTest, BasicProperties) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.Rank(), 3);
+  EXPECT_EQ(s.Dim(1), 3);
+  EXPECT_EQ(s.NumElements(), 24);
+}
+
+TEST(ShapeTest, RankZeroHasOneElement) {
+  const Shape s{};
+  EXPECT_EQ(s.Rank(), 0);
+  EXPECT_EQ(s.NumElements(), 1);
+}
+
+TEST(ShapeTest, WithDim) {
+  const Shape s{2, 3};
+  const Shape t = s.WithDim(0, 7);
+  EXPECT_EQ(t.Dim(0), 7);
+  EXPECT_EQ(t.Dim(1), 3);
+  EXPECT_EQ(s.Dim(0), 2);  // original untouched
+}
+
+TEST(ShapeTest, RowShapeAndRowElements) {
+  const Shape s{5, 3, 2};
+  EXPECT_EQ(s.RowShape(), (Shape{3, 2}));
+  EXPECT_EQ(s.RowElements(), 6);
+}
+
+TEST(ShapeTest, EqualityAndToString) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+  EXPECT_EQ((Shape{1, 2}).ToString(), "[1,2]");
+}
+
+// ---------- Tensor ----------
+
+TEST(TensorTest, ZerosInitialized) {
+  const Tensor t = Tensor::Zeros(Shape{2, 3});
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    EXPECT_EQ(t.f32()[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, FromVectorAndAt) {
+  const Tensor t = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.At(0, 0), 1.0f);
+  EXPECT_EQ(t.At(1, 0), 3.0f);
+  EXPECT_EQ(t.At(1, 1), 4.0f);
+}
+
+TEST(TensorTest, IntTensor) {
+  const Tensor t = Tensor::FromIntVector(Shape{2, 1}, {5, -3});
+  EXPECT_EQ(t.dtype(), DType::kI32);
+  EXPECT_EQ(t.IntAt(0, 0), 5);
+  EXPECT_EQ(t.IntAt(1, 0), -3);
+}
+
+TEST(TensorTest, RandomUniformWithinLimit) {
+  Rng rng(1);
+  const Tensor t = Tensor::RandomUniform(Shape{100}, 0.5f, &rng);
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    EXPECT_LE(std::fabs(t.f32()[i]), 0.5f);
+  }
+}
+
+TEST(TensorTest, ElementsEqualAndAllClose) {
+  const Tensor a = Tensor::FromVector(Shape{2}, {1.0f, 2.0f});
+  Tensor b = Tensor::FromVector(Shape{2}, {1.0f, 2.0f});
+  EXPECT_TRUE(a.ElementsEqual(b));
+  b.f32()[0] += 1e-6f;
+  EXPECT_FALSE(a.ElementsEqual(b));
+  EXPECT_TRUE(a.AllClose(b, 1e-5f));
+  EXPECT_FALSE(a.AllClose(b, 1e-8f));
+}
+
+TEST(TensorTest, ContentHashSensitivity) {
+  Rng rng(1);
+  const Tensor a = Tensor::RandomUniform(Shape{8, 8}, 1.0f, &rng);
+  Tensor b = a;
+  EXPECT_EQ(a.ContentHash(), b.ContentHash());
+  b.f32()[3] += 0.125f;
+  EXPECT_NE(a.ContentHash(), b.ContentHash());
+  // Shape participates in the hash.
+  const Tensor c = Tensor::Zeros(Shape{4});
+  const Tensor d = Tensor::Zeros(Shape{2, 2});
+  EXPECT_NE(c.ContentHash(), d.ContentHash());
+}
+
+// ---------- GEMM ----------
+
+TEST(GemmTest, SmallKnownProduct) {
+  const Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::FromVector(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(GemmTest, IdentityIsNoop) {
+  Rng rng(2);
+  const Tensor a = Tensor::RandomUniform(Shape{5, 5}, 1.0f, &rng);
+  Tensor eye = Tensor::Zeros(Shape{5, 5});
+  for (int i = 0; i < 5; ++i) {
+    eye.At(i, i) = 1.0f;
+  }
+  EXPECT_TRUE(MatMul(a, eye).AllClose(a));
+}
+
+TEST(GemmTest, MatchesNaiveReferenceAcrossSizes) {
+  Rng rng(3);
+  for (const auto& [m, k, n] : {std::tuple<int, int, int>{1, 1, 1},
+                               {3, 5, 7},
+                               {64, 64, 64},
+                               {65, 300, 17},
+                               {128, 257, 40}}) {
+    const Tensor a = Tensor::RandomUniform(Shape{m, k}, 1.0f, &rng);
+    const Tensor b = Tensor::RandomUniform(Shape{k, n}, 1.0f, &rng);
+    const Tensor c = MatMul(a, b);
+    // Naive reference.
+    for (int i = 0; i < m; i += std::max(1, m / 5)) {
+      for (int j = 0; j < n; j += std::max(1, n / 5)) {
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) {
+          acc += a.At(i, p) * b.At(p, j);
+        }
+        EXPECT_NEAR(c.At(i, j), acc, 1e-3f) << "m=" << m << " k=" << k << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(GemmTest, AccumulateAddsIntoC) {
+  const Tensor a = Tensor::FromVector(Shape{1, 2}, {1, 1});
+  const Tensor b = Tensor::FromVector(Shape{2, 1}, {2, 3});
+  Tensor c = Tensor::FromVector(Shape{1, 1}, {10});
+  GemmAccumulateRaw(a.f32(), b.f32(), c.f32(), 1, 2, 1);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 15.0f);
+}
+
+// ---------- Elementwise ops ----------
+
+TEST(OpsTest, AddSubMul) {
+  const Tensor a = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  const Tensor b = Tensor::FromVector(Shape{2, 2}, {5, 6, 7, 8});
+  EXPECT_FLOAT_EQ(Add(a, b).At(1, 1), 12.0f);
+  EXPECT_FLOAT_EQ(Sub(b, a).At(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b).At(1, 0), 21.0f);
+}
+
+TEST(OpsTest, AddBiasBroadcasts) {
+  const Tensor a = Tensor::FromVector(Shape{2, 3}, {0, 0, 0, 1, 1, 1});
+  const Tensor bias = Tensor::FromVector(Shape{3}, {10, 20, 30});
+  const Tensor out = AddBias(a, bias);
+  EXPECT_FLOAT_EQ(out.At(0, 2), 30.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 0), 11.0f);
+}
+
+TEST(OpsTest, SigmoidKnownValues) {
+  const Tensor a = Tensor::FromVector(Shape{1, 3}, {0.0f, 100.0f, -100.0f});
+  const Tensor out = Sigmoid(a);
+  EXPECT_NEAR(out.At(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(out.At(0, 1), 1.0f, 1e-6f);
+  EXPECT_NEAR(out.At(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(OpsTest, TanhAndRelu) {
+  const Tensor a = Tensor::FromVector(Shape{1, 2}, {-1.0f, 2.0f});
+  EXPECT_NEAR(Tanh(a).At(0, 0), std::tanh(-1.0f), 1e-6f);
+  EXPECT_FLOAT_EQ(Relu(a).At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(Relu(a).At(0, 1), 2.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(4);
+  const Tensor a = Tensor::RandomUniform(Shape{3, 10}, 5.0f, &rng);
+  const Tensor out = Softmax(a);
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 10; ++c) {
+      EXPECT_GE(out.At(r, c), 0.0f);
+      sum += out.At(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, SoftmaxStableForLargeLogits) {
+  const Tensor a = Tensor::FromVector(Shape{1, 2}, {1000.0f, 1001.0f});
+  const Tensor out = Softmax(a);
+  EXPECT_FALSE(std::isnan(out.At(0, 0)));
+  EXPECT_GT(out.At(0, 1), out.At(0, 0));
+}
+
+// ---------- Structural ops ----------
+
+TEST(OpsTest, ConcatCols) {
+  const Tensor a = Tensor::FromVector(Shape{2, 1}, {1, 2});
+  const Tensor b = Tensor::FromVector(Shape{2, 2}, {3, 4, 5, 6});
+  const Tensor out = ConcatCols({&a, &b});
+  EXPECT_EQ(out.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(out.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 2), 4.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 1), 5.0f);
+}
+
+TEST(OpsTest, SliceCols) {
+  const Tensor a = Tensor::FromVector(Shape{2, 4}, {0, 1, 2, 3, 4, 5, 6, 7});
+  const Tensor out = SliceCols(a, 1, 3);
+  EXPECT_EQ(out.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(out.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 1), 6.0f);
+}
+
+TEST(OpsTest, SliceThenConcatRoundTrips) {
+  Rng rng(5);
+  const Tensor a = Tensor::RandomUniform(Shape{3, 6}, 1.0f, &rng);
+  const Tensor left = SliceCols(a, 0, 2);
+  const Tensor right = SliceCols(a, 2, 6);
+  EXPECT_TRUE(ConcatCols({&left, &right}).ElementsEqual(a));
+}
+
+TEST(OpsTest, EmbeddingLookup) {
+  const Tensor table = Tensor::FromVector(Shape{3, 2}, {0, 1, 10, 11, 20, 21});
+  const Tensor ids = Tensor::FromIntVector(Shape{2, 1}, {2, 0});
+  const Tensor out = EmbeddingLookup(table, ids);
+  EXPECT_EQ(out.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(out.At(0, 0), 20.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 1), 1.0f);
+}
+
+TEST(OpsTest, ArgmaxRows) {
+  const Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 9, 2, 8, 3, 4});
+  const Tensor out = ArgmaxRows(a);
+  EXPECT_EQ(out.dtype(), DType::kI32);
+  EXPECT_EQ(out.IntAt(0, 0), 1);
+  EXPECT_EQ(out.IntAt(1, 0), 0);
+}
+
+TEST(OpsTest, ArgmaxTiesPickFirst) {
+  const Tensor a = Tensor::FromVector(Shape{1, 3}, {5, 5, 5});
+  EXPECT_EQ(ArgmaxRows(a).IntAt(0, 0), 0);
+}
+
+// ---------- Gather / scatter ----------
+
+TEST(OpsTest, GatherRowsFromSingleRowTensors) {
+  const Tensor a = Tensor::FromVector(Shape{1, 2}, {1, 2});
+  const Tensor b = Tensor::FromVector(Shape{1, 2}, {3, 4});
+  const Tensor batch = GatherRows({&a, &b}, {0, 0});
+  EXPECT_EQ(batch.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(batch.At(1, 0), 3.0f);
+}
+
+TEST(OpsTest, GatherRowsSelectsRows) {
+  const Tensor a = Tensor::FromVector(Shape{3, 1}, {10, 20, 30});
+  const Tensor batch = GatherRows({&a, &a, &a}, {2, 0, 1});
+  EXPECT_FLOAT_EQ(batch.At(0, 0), 30.0f);
+  EXPECT_FLOAT_EQ(batch.At(1, 0), 10.0f);
+  EXPECT_FLOAT_EQ(batch.At(2, 0), 20.0f);
+}
+
+TEST(OpsTest, GatherRowsIntDtype) {
+  const Tensor a = Tensor::FromIntVector(Shape{1, 1}, {7});
+  const Tensor b = Tensor::FromIntVector(Shape{1, 1}, {9});
+  const Tensor batch = GatherRows({&a, &b}, {0, 0});
+  EXPECT_EQ(batch.dtype(), DType::kI32);
+  EXPECT_EQ(batch.IntAt(1, 0), 9);
+}
+
+TEST(OpsTest, ScatterRowWritesDestination) {
+  const Tensor batch = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor dst = Tensor::Zeros(Shape{1, 2});
+  ScatterRow(batch, 1, &dst, 0);
+  EXPECT_FLOAT_EQ(dst.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(dst.At(0, 1), 4.0f);
+}
+
+TEST(OpsTest, ExtractRowShape) {
+  const Tensor batch = Tensor::FromVector(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  const Tensor row = ExtractRow(batch, 2);
+  EXPECT_EQ(row.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(row.At(0, 1), 6.0f);
+}
+
+TEST(OpsTest, GatherScatterRoundTrip) {
+  Rng rng(6);
+  std::vector<Tensor> rows;
+  std::vector<const Tensor*> ptrs;
+  for (int i = 0; i < 5; ++i) {
+    rows.push_back(Tensor::RandomUniform(Shape{1, 4}, 1.0f, &rng));
+  }
+  for (const Tensor& t : rows) {
+    ptrs.push_back(&t);
+  }
+  const Tensor batch = GatherRows(ptrs, {0, 0, 0, 0, 0});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ExtractRow(batch, i).ElementsEqual(rows[static_cast<size_t>(i)]));
+  }
+}
+
+}  // namespace
+}  // namespace batchmaker

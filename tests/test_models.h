@@ -1,0 +1,48 @@
+// Shared fixtures for core tests: tiny registered models whose scheduling
+// structure matches the paper's applications but whose tensors are small.
+
+#ifndef TESTS_TEST_MODELS_H_
+#define TESTS_TEST_MODELS_H_
+
+#include <memory>
+
+#include "src/graph/cell_registry.h"
+#include "src/nn/lstm.h"
+#include "src/nn/seq2seq.h"
+#include "src/nn/tree_lstm.h"
+#include "src/util/rng.h"
+
+namespace batchmaker {
+
+struct TinyLstmFixture {
+  TinyLstmFixture()
+      : rng(1234), model(&registry, LstmSpec{.input_dim = 4, .hidden = 4}, &rng) {}
+
+  CellRegistry registry;
+  Rng rng;
+  LstmModel model;
+};
+
+struct TinySeq2SeqFixture {
+  TinySeq2SeqFixture()
+      : rng(5678),
+        model(&registry, Seq2SeqSpec{.vocab = 32, .embed_dim = 4, .hidden = 4}, &rng) {}
+
+  CellRegistry registry;
+  Rng rng;
+  Seq2SeqModel model;
+};
+
+struct TinyTreeLstmFixture {
+  TinyTreeLstmFixture()
+      : rng(9012),
+        model(&registry, TreeLstmSpec{.vocab = 32, .embed_dim = 4, .hidden = 4}, &rng) {}
+
+  CellRegistry registry;
+  Rng rng;
+  TreeLstmModel model;
+};
+
+}  // namespace batchmaker
+
+#endif  // TESTS_TEST_MODELS_H_

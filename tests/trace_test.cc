@@ -1,0 +1,155 @@
+// Tests for trace record/replay: ordering, JSON round trips, rate scaling,
+// and replay against a serving system.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/batchmaker_system.h"
+#include "src/sim/loadgen.h"
+#include "src/workload/trace.h"
+#include "tests/test_models.h"
+
+namespace batchmaker {
+namespace {
+
+TEST(TraceTest, AddAndAccessors) {
+  Trace trace;
+  trace.Add(0.0, WorkItem::Chain(3));
+  trace.Add(100.0, WorkItem::Chain(5));
+  trace.Add(300.0, WorkItem::Seq2Seq(2, 4));
+  EXPECT_EQ(trace.Size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.DurationMicros(), 300.0);
+  EXPECT_NEAR(trace.OfferedRps(), 2.0 / 300e-6, 1.0);
+  EXPECT_EQ(trace.entry(2).item.kind, WorkItem::Kind::kSeq2Seq);
+}
+
+TEST(TraceDeathTest, RejectsOutOfOrderArrivals) {
+  Trace trace;
+  trace.Add(100.0, WorkItem::Chain(1));
+  EXPECT_DEATH(trace.Add(50.0, WorkItem::Chain(1)), "time-ordered");
+}
+
+TEST(TraceTest, JsonRoundTripChainAndSeq2Seq) {
+  Trace trace;
+  trace.Add(1.5, WorkItem::Chain(7));
+  trace.Add(2.5, WorkItem::Seq2Seq(3, 9));
+  const Trace parsed = Trace::FromJsonText(trace.ToJsonText());
+  ASSERT_EQ(parsed.Size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.entry(0).arrival_micros, 1.5);
+  EXPECT_EQ(parsed.entry(0).item.length, 7);
+  EXPECT_EQ(parsed.entry(1).item.src_len, 3);
+  EXPECT_EQ(parsed.entry(1).item.dec_len, 9);
+}
+
+TEST(TraceTest, JsonRoundTripTreePreservesStructure) {
+  Rng rng(1);
+  Trace trace;
+  const BinaryTree original = BinaryTree::RandomParse(9, 50, &rng);
+  trace.Add(0.0, WorkItem::Tree(original));
+  const Trace parsed = Trace::FromJsonText(trace.ToJsonText(/*pretty=*/true));
+  const BinaryTree& tree = parsed.entry(0).item.tree;
+  tree.Validate();
+  ASSERT_EQ(tree.NumNodes(), original.NumNodes());
+  EXPECT_EQ(tree.root, original.root);
+  for (int i = 0; i < tree.NumNodes(); ++i) {
+    EXPECT_EQ(tree.nodes[static_cast<size_t>(i)].left,
+              original.nodes[static_cast<size_t>(i)].left);
+    EXPECT_EQ(tree.nodes[static_cast<size_t>(i)].token,
+              original.nodes[static_cast<size_t>(i)].token);
+  }
+}
+
+TEST(TraceDeathTest, RejectsWrongFormatTag) {
+  EXPECT_DEATH(Trace::FromJsonText(R"({"format":"something-else","entries":[]})"),
+               "not a batchmaker trace");
+}
+
+TEST(TraceTest, ScaleRateHalvesArrivalGaps) {
+  Trace trace;
+  trace.Add(0.0, WorkItem::Chain(1));
+  trace.Add(1000.0, WorkItem::Chain(1));
+  const Trace faster = trace.ScaleRate(0.5);
+  EXPECT_DOUBLE_EQ(faster.entry(1).arrival_micros, 500.0);
+  EXPECT_NEAR(faster.OfferedRps(), 2.0 * trace.OfferedRps(), 1e-6);
+}
+
+TEST(TraceTest, SynthesizeMatchesRate) {
+  Rng rng(2);
+  WmtLengthSampler sampler;
+  Rng data_rng(3);
+  const auto dataset = SampleChainDataset(100, sampler, &data_rng);
+  const Trace trace = Trace::Synthesize(dataset, 2000.0, 2e6, &rng);
+  EXPECT_NEAR(static_cast<double>(trace.Size()), 4000.0, 400.0);
+  EXPECT_NEAR(trace.OfferedRps(), 2000.0, 200.0);
+}
+
+TEST(TraceTest, ReplayAgainstBatchMaker) {
+  TinyLstmFixture fix;
+  fix.registry.SetMaxBatch(fix.model.cell_type(), 512);
+  CostModel cost;
+  cost.SetCurve(fix.model.cell_type(), GpuLstmCurve());
+  cost.SetPerTaskOverheadMicros(kBatchMakerTaskOverheadMicros);
+  cost.SetPerItemOverheadMicros(kBatchMakerPerItemOverheadMicros);
+
+  Rng rng(4);
+  WmtLengthSampler sampler;
+  Rng data_rng(5);
+  const auto dataset = SampleChainDataset(500, sampler, &data_rng);
+  const Trace trace = Trace::Synthesize(dataset, 2000.0, 1e6, &rng);
+
+  BatchMakerSystem system(&fix.registry, &cost, [&](const WorkItem& item) {
+    return fix.model.Unfold(item.length);
+  });
+  const LoadPoint point = ReplayTrace(&system, trace);
+  EXPECT_FALSE(point.saturated);
+  EXPECT_GT(point.measured_requests, 100u);
+  EXPECT_GT(point.p50_ms, 0.0);
+  EXPECT_EQ(system.NumUnfinished(), 0u);
+}
+
+TEST(TraceTest, ReplayIsDeterministic) {
+  TinyLstmFixture fix;
+  CostModel cost;
+  cost.SetCurve(fix.model.cell_type(), GpuLstmCurve());
+
+  Rng rng(6);
+  WmtLengthSampler sampler;
+  Rng data_rng(7);
+  const auto dataset = SampleChainDataset(200, sampler, &data_rng);
+  const Trace trace = Trace::Synthesize(dataset, 1000.0, 5e5, &rng);
+
+  auto run = [&] {
+    BatchMakerSystem system(&fix.registry, &cost, [&](const WorkItem& item) {
+      return fix.model.Unfold(item.length);
+    });
+    return ReplayTrace(&system, trace);
+  };
+  const LoadPoint a = run();
+  const LoadPoint b = run();
+  EXPECT_DOUBLE_EQ(a.p50_ms, b.p50_ms);
+  EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_DOUBLE_EQ(a.achieved_rps, b.achieved_rps);
+}
+
+TEST(TraceTest, JsonSurvivesSerializedRoundTripThenReplay) {
+  // Full product flow: synthesize -> serialize -> parse -> replay.
+  TinyTreeLstmFixture fix;
+  CostModel cost;
+  cost.SetCurve(fix.model.leaf_type(), GpuTreeCellCurve());
+  cost.SetCurve(fix.model.internal_type(), GpuTreeCellCurve());
+
+  Rng rng(8);
+  const auto dataset = SampleTreeDataset(50, 64, &rng);
+  const Trace trace = Trace::Synthesize(dataset, 500.0, 5e5, &rng);
+  const Trace parsed = Trace::FromJsonText(trace.ToJsonText());
+  ASSERT_EQ(parsed.Size(), trace.Size());
+
+  BatchMakerSystem system(&fix.registry, &cost, [&](const WorkItem& item) {
+    return fix.model.Unfold(item.tree);
+  });
+  const LoadPoint point = ReplayTrace(&system, parsed);
+  EXPECT_EQ(system.NumUnfinished(), 0u);
+  EXPECT_GT(point.measured_requests, 0u);
+}
+
+}  // namespace
+}  // namespace batchmaker

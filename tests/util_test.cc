@@ -1,0 +1,364 @@
+// Tests for src/util: rng, stats, json, string_util, queue.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "src/util/json.h"
+#include "src/util/queue.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/string_util.h"
+
+namespace batchmaker {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextU64() != b.NextU64()) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.NextBelow(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(rate);
+  }
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng forked = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(99);
+  b.Fork();
+  EXPECT_NE(forked.NextU64(), a.NextU64());
+}
+
+// ---------- SampleSet ----------
+
+TEST(SampleSetTest, BasicMoments) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.Count(), 4u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+}
+
+TEST(SampleSetTest, PercentileInterpolates) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(s.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(90), 90.1, 1e-9);
+}
+
+TEST(SampleSetTest, PercentileSingleSample) {
+  SampleSet s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 7.0);
+}
+
+TEST(SampleSetTest, CdfAt) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.CdfAt(10.0), 1.0);
+}
+
+TEST(SampleSetTest, AddAfterSortedQueryInvalidatesCache) {
+  SampleSet s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  s.Add(9.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(SampleSetTest, CdfCurveMonotone) {
+  SampleSet s;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    s.Add(rng.NextDouble());
+  }
+  const auto curve = s.CdfCurve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(SampleSetTest, StddevOfConstantIsZero) {
+  SampleSet s;
+  s.Add(3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 0.0);
+}
+
+// ---------- Histogram ----------
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(9.9);
+  h.Add(-1.0);
+  h.Add(10.0);
+  EXPECT_EQ(h.TotalCount(), 4u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(9), 1u);
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.Overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(3), 3.0);
+}
+
+// ---------- Json ----------
+
+TEST(JsonTest, RoundTripScalars) {
+  EXPECT_EQ(Json::Parse("null").type(), Json::Type::kNull);
+  EXPECT_TRUE(Json::Parse("true").AsBool());
+  EXPECT_FALSE(Json::Parse("false").AsBool());
+  EXPECT_DOUBLE_EQ(Json::Parse("3.25").AsDouble(), 3.25);
+  EXPECT_EQ(Json::Parse("-17").AsInt(), -17);
+  EXPECT_EQ(Json::Parse("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonTest, RoundTripNested) {
+  const std::string text = R"({"a":[1,2,{"b":"x"}],"c":null,"d":true})";
+  const Json j = Json::Parse(text);
+  EXPECT_EQ(j.Get("a").Size(), 3u);
+  EXPECT_EQ(j.Get("a").At(2).Get("b").AsString(), "x");
+  EXPECT_TRUE(j.Get("c").is_null());
+  // Re-parse of the dump matches.
+  const Json j2 = Json::Parse(j.Dump());
+  EXPECT_EQ(j2.Get("a").At(1).AsInt(), 2);
+}
+
+TEST(JsonTest, EscapesInStrings) {
+  JsonObject obj;
+  obj["s"] = "line1\nline2\t\"quoted\"\\";
+  const Json j{std::move(obj)};
+  const Json parsed = Json::Parse(j.Dump());
+  EXPECT_EQ(parsed.Get("s").AsString(), "line1\nline2\t\"quoted\"\\");
+}
+
+TEST(JsonTest, UnicodeEscapeParses) {
+  const Json j = Json::Parse("\"\\u0041\\u00e9\"");
+  EXPECT_EQ(j.AsString(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, TryParseRejectsMalformed) {
+  Json out;
+  std::string error;
+  EXPECT_FALSE(Json::TryParse("{\"a\":}", &out, &error));
+  EXPECT_FALSE(Json::TryParse("[1,2", &out, &error));
+  EXPECT_FALSE(Json::TryParse("", &out, &error));
+  EXPECT_FALSE(Json::TryParse("1 2", &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, CopiesAreDeep) {
+  JsonObject obj;
+  obj["arr"] = Json(JsonArray{Json(1)});
+  Json a{std::move(obj)};
+  Json b = a;
+  b.AsObject()["arr"].AsArray().push_back(Json(2));
+  EXPECT_EQ(a.Get("arr").Size(), 1u);
+  EXPECT_EQ(b.Get("arr").Size(), 2u);
+}
+
+TEST(JsonTest, LargeIntegersExact) {
+  const int64_t big = (1LL << 52) + 12345;
+  const Json j(big);
+  EXPECT_EQ(Json::Parse(j.Dump()).AsInt(), big);
+}
+
+TEST(JsonTest, PrettyDumpParses) {
+  JsonObject obj;
+  obj["x"] = Json(JsonArray{Json(1), Json(2)});
+  obj["y"] = "z";
+  const Json j{std::move(obj)};
+  const std::string pretty = j.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::Parse(pretty).Get("y").AsString(), "z");
+}
+
+// ---------- string_util ----------
+
+TEST(StringUtilTest, StrPrintf) {
+  EXPECT_EQ(StrPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrPrintf("%.2f", 1.5), "1.50");
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  const auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StrJoin(parts, "|"), "a|b||c");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("batchmaker", "batch"));
+  EXPECT_FALSE(StartsWith("batch", "batchmaker"));
+  EXPECT_TRUE(EndsWith("fig07.json", ".json"));
+  EXPECT_FALSE(EndsWith("fig07.json", ".csv"));
+}
+
+TEST(StringUtilTest, FormatMicrosUnits) {
+  EXPECT_EQ(FormatMicros(185.0), "185us");
+  EXPECT_EQ(FormatMicros(1380.0), "1.38ms");
+  EXPECT_EQ(FormatMicros(2.4e6), "2.40s");
+}
+
+// ---------- BlockingQueue ----------
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.Pop().value(), 3);
+}
+
+TEST(BlockingQueueTest, TryPopEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueueTest, CloseWakesConsumer) {
+  BlockingQueue<int> q;
+  std::thread consumer([&q] {
+    const auto v = q.Pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  q.Close();
+  consumer.join();
+}
+
+TEST(BlockingQueueTest, DrainsBeforeCloseSignals) {
+  BlockingQueue<int> q;
+  q.Push(7);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 7);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, CrossThreadTransfer) {
+  BlockingQueue<int> q;
+  constexpr int kCount = 1000;
+  std::thread producer([&q] {
+    for (int i = 0; i < kCount; ++i) {
+      q.Push(i);
+    }
+    q.Close();
+  });
+  int sum = 0;
+  while (auto v = q.Pop()) {
+    sum += *v;
+  }
+  producer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+TEST(BlockingQueueTest, DrainAll) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  const auto items = q.DrainAll();
+  EXPECT_EQ(items.size(), 2u);
+  EXPECT_TRUE(q.Empty());
+}
+
+}  // namespace
+}  // namespace batchmaker

@@ -1,0 +1,300 @@
+// bm_sweep: config-driven load sweeps over serving systems.
+//
+// Runs the virtual-time harness from a JSON config instead of recompiled
+// C++ — the operational front door for what-if studies:
+//
+//   ./build/tools/bm_sweep --print-default-config > sweep.json
+//   ./build/tools/bm_sweep sweep.json
+//
+// Config fields (all optional; defaults shown by --print-default-config):
+//   model:        "lstm" | "seq2seq" | "treelstm"
+//   systems:      any of "batchmaker", "padding", "dynet", "fold", "ideal"
+//   rates_rps:    offered load points (sweep stops at saturation)
+//   num_workers:  simulated GPUs
+//   max_batch / dec_max_batch / bucket_width: batching knobs
+//   dataset:      { max_len, fixed_len, count } (treelstm ignores lengths)
+//   horizon_seconds, warmup_fraction, seed
+//   output:       path for machine-readable JSON results ("" = none)
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "src/baselines/graph_merge_system.h"
+#include "src/baselines/ideal_system.h"
+#include "src/baselines/padding_system.h"
+#include "src/nn/lstm.h"
+#include "src/nn/seq2seq.h"
+#include "src/nn/tree_lstm.h"
+#include "src/sim/batchmaker_system.h"
+#include "src/sim/loadgen.h"
+#include "src/util/json.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace batchmaker {
+namespace {
+
+const char* kDefaultConfig = R"({
+  "model": "lstm",
+  "systems": ["batchmaker", "padding"],
+  "rates_rps": [1000, 2000, 4000, 8000, 12000, 16000, 20000, 24000],
+  "num_workers": 1,
+  "max_batch": 512,
+  "dec_max_batch": 256,
+  "bucket_width": 10,
+  "dataset": {"max_len": 330, "fixed_len": 0, "count": 20000},
+  "horizon_seconds": 4.0,
+  "warmup_fraction": 0.5,
+  "seed": 1,
+  "output": ""
+})";
+
+struct SweepConfig {
+  std::string model = "lstm";
+  std::vector<std::string> systems = {"batchmaker", "padding"};
+  std::vector<double> rates;
+  int num_workers = 1;
+  int max_batch = 512;
+  int dec_max_batch = 256;
+  int bucket_width = 10;
+  int dataset_max_len = 330;
+  int dataset_fixed_len = 0;
+  int dataset_count = 20000;
+  LoadGenOptions loadgen;
+  std::string output;
+};
+
+SweepConfig ParseConfig(const Json& json) {
+  SweepConfig config;
+  if (const Json* v = json.Find("model")) {
+    config.model = v->AsString();
+  }
+  if (const Json* v = json.Find("systems")) {
+    config.systems.clear();
+    for (const Json& s : v->AsArray()) {
+      config.systems.push_back(s.AsString());
+    }
+  }
+  if (const Json* v = json.Find("rates_rps")) {
+    for (const Json& r : v->AsArray()) {
+      config.rates.push_back(r.AsDouble());
+    }
+  }
+  if (const Json* v = json.Find("num_workers")) {
+    config.num_workers = static_cast<int>(v->AsInt());
+  }
+  if (const Json* v = json.Find("max_batch")) {
+    config.max_batch = static_cast<int>(v->AsInt());
+  }
+  if (const Json* v = json.Find("dec_max_batch")) {
+    config.dec_max_batch = static_cast<int>(v->AsInt());
+  }
+  if (const Json* v = json.Find("bucket_width")) {
+    config.bucket_width = static_cast<int>(v->AsInt());
+  }
+  if (const Json* v = json.Find("dataset")) {
+    if (const Json* m = v->Find("max_len")) {
+      config.dataset_max_len = static_cast<int>(m->AsInt());
+    }
+    if (const Json* m = v->Find("fixed_len")) {
+      config.dataset_fixed_len = static_cast<int>(m->AsInt());
+    }
+    if (const Json* m = v->Find("count")) {
+      config.dataset_count = static_cast<int>(m->AsInt());
+    }
+  }
+  if (const Json* v = json.Find("horizon_seconds")) {
+    config.loadgen.horizon_seconds = v->AsDouble();
+  }
+  if (const Json* v = json.Find("warmup_fraction")) {
+    config.loadgen.warmup_fraction = v->AsDouble();
+  }
+  if (const Json* v = json.Find("seed")) {
+    config.loadgen.seed = static_cast<uint64_t>(v->AsInt());
+  }
+  if (const Json* v = json.Find("output")) {
+    config.output = v->AsString();
+  }
+  if (config.rates.empty()) {
+    config.rates = {1000, 2000, 4000, 8000, 12000, 16000, 20000};
+  }
+  return config;
+}
+
+// Owns the registry/models/cost model a sweep needs; builds factories by
+// system name.
+class SweepContext {
+ public:
+  explicit SweepContext(const SweepConfig& config) : config_(config), rng_(777) {
+    cost_.SetPerTaskOverheadMicros(kBatchMakerTaskOverheadMicros);
+    cost_.SetPerItemOverheadMicros(kBatchMakerPerItemOverheadMicros);
+    Rng data_rng(config.loadgen.seed ^ 0x5eed);
+    if (config_.model == "lstm") {
+      lstm_ = std::make_unique<LstmModel>(&registry_,
+                                          LstmSpec{.input_dim = 4, .hidden = 4}, &rng_);
+      registry_.SetMaxBatch(lstm_->cell_type(), config.max_batch);
+      cost_.SetCurve(lstm_->cell_type(), GpuLstmCurve());
+      const WmtLengthSampler sampler(config.dataset_max_len, config.dataset_fixed_len);
+      dataset_ = SampleChainDataset(config.dataset_count, sampler, &data_rng);
+    } else if (config_.model == "seq2seq") {
+      seq2seq_ = std::make_unique<Seq2SeqModel>(
+          &registry_, Seq2SeqSpec{.vocab = 64, .embed_dim = 4, .hidden = 4}, &rng_);
+      registry_.SetMaxBatch(seq2seq_->encoder_type(), config.max_batch);
+      registry_.SetMaxBatch(seq2seq_->decoder_type(), config.dec_max_batch);
+      cost_.SetCurve(seq2seq_->encoder_type(), GpuLstmCurve());
+      cost_.SetCurve(seq2seq_->decoder_type(), GpuDecoderCurve());
+      const WmtLengthSampler sampler(config.dataset_max_len, config.dataset_fixed_len);
+      dataset_ = SampleSeq2SeqDataset(config.dataset_count, sampler, &data_rng);
+    } else if (config_.model == "treelstm") {
+      tree_ = std::make_unique<TreeLstmModel>(
+          &registry_, TreeLstmSpec{.vocab = 64, .embed_dim = 4, .hidden = 4}, &rng_);
+      registry_.SetMaxBatch(tree_->leaf_type(), 64);
+      registry_.SetMaxBatch(tree_->internal_type(), 64);
+      cost_.SetCurve(tree_->leaf_type(), GpuTreeCellCurve());
+      cost_.SetCurve(tree_->internal_type(), GpuTreeCellCurve());
+      dataset_ = SampleTreeDataset(config.dataset_count, 64, &data_rng);
+    } else {
+      BM_LOG(Fatal) << "unknown model: " << config_.model;
+    }
+  }
+
+  const std::vector<WorkItem>& dataset() const { return dataset_; }
+
+  SystemFactory Factory(const std::string& system) {
+    if (system == "batchmaker") {
+      return [this] {
+        SimEngineOptions options;
+        options.num_workers = config_.num_workers;
+        return std::make_unique<BatchMakerSystem>(
+            &registry_, &cost_, [this](const WorkItem& item) { return Unfold(item); },
+            options, "BatchMaker");
+      };
+    }
+    if (system == "padding") {
+      BM_CHECK(config_.model != "treelstm") << "padding cannot serve tree inputs";
+      return [this] {
+        PaddingSystemOptions options;
+        options.bucket_width = config_.bucket_width;
+        options.max_len = config_.dataset_max_len;
+        options.max_batch =
+            config_.model == "seq2seq" ? config_.dec_max_batch : config_.max_batch;
+        options.num_workers = config_.num_workers;
+        return std::make_unique<PaddingSystem>(options, "Padding");
+      };
+    }
+    if (system == "dynet") {
+      return [] {
+        return std::make_unique<GraphMergeSystem>(GraphMergeOptions::DyNet(), "DyNet");
+      };
+    }
+    if (system == "fold") {
+      return [] {
+        return std::make_unique<GraphMergeSystem>(GraphMergeOptions::Fold(), "TF-Fold");
+      };
+    }
+    if (system == "ideal") {
+      BM_CHECK(config_.model == "treelstm") << "the ideal baseline serves fixed trees";
+      return [] { return std::make_unique<IdealFixedGraphSystem>(IdealSystemOptions{}); };
+    }
+    BM_LOG(Fatal) << "unknown system: " << system;
+    return nullptr;
+  }
+
+ private:
+  CellGraph Unfold(const WorkItem& item) const {
+    switch (item.kind) {
+      case WorkItem::Kind::kChain:
+        return lstm_->Unfold(item.length);
+      case WorkItem::Kind::kSeq2Seq:
+        return seq2seq_->Unfold(item.src_len, item.dec_len);
+      case WorkItem::Kind::kTree:
+        return tree_->Unfold(item.tree);
+    }
+    BM_LOG(Fatal) << "bad work item";
+    return CellGraph();
+  }
+
+  SweepConfig config_;
+  CellRegistry registry_;
+  Rng rng_;
+  CostModel cost_;
+  std::unique_ptr<LstmModel> lstm_;
+  std::unique_ptr<Seq2SeqModel> seq2seq_;
+  std::unique_ptr<TreeLstmModel> tree_;
+  std::vector<WorkItem> dataset_;
+};
+
+Json PointToJson(const LoadPoint& p) {
+  JsonObject obj;
+  obj["system"] = p.system;
+  obj["offered_rps"] = p.offered_rps;
+  obj["achieved_rps"] = p.achieved_rps;
+  obj["p50_ms"] = p.p50_ms;
+  obj["p90_ms"] = p.p90_ms;
+  obj["p99_ms"] = p.p99_ms;
+  obj["queue_p99_ms"] = p.queue_p99_ms;
+  obj["compute_p99_ms"] = p.compute_p99_ms;
+  obj["measured_requests"] = p.measured_requests;
+  obj["saturated"] = p.saturated;
+  return Json(std::move(obj));
+}
+
+int Run(const std::string& config_text) {
+  Json config_json;
+  std::string error;
+  if (!Json::TryParse(config_text, &config_json, &error)) {
+    std::fprintf(stderr, "bad config: %s\n", error.c_str());
+    return 1;
+  }
+  const SweepConfig config = ParseConfig(config_json);
+  SweepContext context(config);
+
+  JsonArray all_results;
+  for (const std::string& system : config.systems) {
+    std::printf("\n=== %s / %s ===\n", config.model.c_str(), system.c_str());
+    const auto points =
+        SweepLoad(context.Factory(system), context.dataset(), config.rates, config.loadgen);
+    std::fputs(FormatLoadTable(points).c_str(), stdout);
+    std::printf("peak: %.0f req/s\n", PeakThroughput(points));
+    for (const LoadPoint& p : points) {
+      all_results.emplace_back(PointToJson(p));
+    }
+  }
+
+  if (!config.output.empty()) {
+    JsonObject root;
+    root["model"] = config.model;
+    root["points"] = Json(std::move(all_results));
+    std::ofstream out(config.output);
+    out << Json(std::move(root)).Dump(2) << "\n";
+    std::printf("\nresults written to %s\n", config.output.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace batchmaker
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--print-default-config") {
+    std::fputs(batchmaker::kDefaultConfig, stdout);
+    std::fputs("\n", stdout);
+    return 0;
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <config.json>\n       %s --print-default-config\n", argv[0],
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return batchmaker::Run(buffer.str());
+}
