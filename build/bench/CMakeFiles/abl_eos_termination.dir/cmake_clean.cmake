@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_eos_termination.dir/abl_eos_termination.cc.o"
+  "CMakeFiles/abl_eos_termination.dir/abl_eos_termination.cc.o.d"
+  "abl_eos_termination"
+  "abl_eos_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_eos_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fixed_graph.dir/abl_fixed_graph.cc.o"
+  "CMakeFiles/abl_fixed_graph.dir/abl_fixed_graph.cc.o.d"
+  "abl_fixed_graph"
+  "abl_fixed_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fixed_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

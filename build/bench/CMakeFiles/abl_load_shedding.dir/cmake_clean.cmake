@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_load_shedding.dir/abl_load_shedding.cc.o"
+  "CMakeFiles/abl_load_shedding.dir/abl_load_shedding.cc.o.d"
+  "abl_load_shedding"
+  "abl_load_shedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_load_shedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

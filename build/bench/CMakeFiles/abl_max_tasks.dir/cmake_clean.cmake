@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_max_tasks.dir/abl_max_tasks.cc.o"
+  "CMakeFiles/abl_max_tasks.dir/abl_max_tasks.cc.o.d"
+  "abl_max_tasks"
+  "abl_max_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_max_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

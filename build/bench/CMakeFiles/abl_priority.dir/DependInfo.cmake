@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_priority.cc" "bench/CMakeFiles/abl_priority.dir/abl_priority.cc.o" "gcc" "bench/CMakeFiles/abl_priority.dir/abl_priority.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/bm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_cell_microbench.dir/fig03_cell_microbench.cc.o"
+  "CMakeFiles/fig03_cell_microbench.dir/fig03_cell_microbench.cc.o.d"
+  "fig03_cell_microbench"
+  "fig03_cell_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cell_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

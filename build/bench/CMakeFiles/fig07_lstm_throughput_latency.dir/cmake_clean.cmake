@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_lstm_throughput_latency.dir/fig07_lstm_throughput_latency.cc.o"
+  "CMakeFiles/fig07_lstm_throughput_latency.dir/fig07_lstm_throughput_latency.cc.o.d"
+  "fig07_lstm_throughput_latency"
+  "fig07_lstm_throughput_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_lstm_throughput_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_length_variance.dir/fig11_length_variance.cc.o"
+  "CMakeFiles/fig11_length_variance.dir/fig11_length_variance.cc.o.d"
+  "fig11_length_variance"
+  "fig11_length_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_length_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

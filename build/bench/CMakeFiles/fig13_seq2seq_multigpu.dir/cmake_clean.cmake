@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_seq2seq_multigpu.dir/fig13_seq2seq_multigpu.cc.o"
+  "CMakeFiles/fig13_seq2seq_multigpu.dir/fig13_seq2seq_multigpu.cc.o.d"
+  "fig13_seq2seq_multigpu"
+  "fig13_seq2seq_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_seq2seq_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

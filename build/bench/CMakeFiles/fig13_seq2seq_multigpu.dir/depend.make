@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_seq2seq_multigpu.
+# This may be replaced when dependencies are built.

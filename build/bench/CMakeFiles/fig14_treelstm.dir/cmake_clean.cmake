@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_treelstm.dir/fig14_treelstm.cc.o"
+  "CMakeFiles/fig14_treelstm.dir/fig14_treelstm.cc.o.d"
+  "fig14_treelstm"
+  "fig14_treelstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_treelstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

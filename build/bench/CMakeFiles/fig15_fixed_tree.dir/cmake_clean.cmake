@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_fixed_tree.dir/fig15_fixed_tree.cc.o"
+  "CMakeFiles/fig15_fixed_tree.dir/fig15_fixed_tree.cc.o.d"
+  "fig15_fixed_tree"
+  "fig15_fixed_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_fixed_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

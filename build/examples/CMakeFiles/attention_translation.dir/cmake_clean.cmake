@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_translation.dir/attention_translation.cpp.o"
+  "CMakeFiles/attention_translation.dir/attention_translation.cpp.o.d"
+  "attention_translation"
+  "attention_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_json_and_simulation.dir/cell_json_and_simulation.cpp.o"
+  "CMakeFiles/cell_json_and_simulation.dir/cell_json_and_simulation.cpp.o.d"
+  "cell_json_and_simulation"
+  "cell_json_and_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_json_and_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cell_json_and_simulation.
+# This may be replaced when dependencies are built.

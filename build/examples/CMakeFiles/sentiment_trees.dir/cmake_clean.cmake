@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentiment_trees.dir/sentiment_trees.cpp.o"
+  "CMakeFiles/sentiment_trees.dir/sentiment_trees.cpp.o.d"
+  "sentiment_trees"
+  "sentiment_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentiment_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacked_lm_scoring.dir/stacked_lm_scoring.cpp.o"
+  "CMakeFiles/stacked_lm_scoring.dir/stacked_lm_scoring.cpp.o.d"
+  "stacked_lm_scoring"
+  "stacked_lm_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacked_lm_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_service.dir/translation_service.cpp.o"
+  "CMakeFiles/translation_service.dir/translation_service.cpp.o.d"
+  "translation_service"
+  "translation_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_baselines.dir/graph_merge_system.cc.o"
+  "CMakeFiles/bm_baselines.dir/graph_merge_system.cc.o.d"
+  "CMakeFiles/bm_baselines.dir/ideal_system.cc.o"
+  "CMakeFiles/bm_baselines.dir/ideal_system.cc.o.d"
+  "CMakeFiles/bm_baselines.dir/padding_system.cc.o"
+  "CMakeFiles/bm_baselines.dir/padding_system.cc.o.d"
+  "libbm_baselines.a"
+  "libbm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

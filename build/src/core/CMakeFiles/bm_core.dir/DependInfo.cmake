@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_assembler.cc" "src/core/CMakeFiles/bm_core.dir/batch_assembler.cc.o" "gcc" "src/core/CMakeFiles/bm_core.dir/batch_assembler.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/bm_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/bm_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/request_processor.cc" "src/core/CMakeFiles/bm_core.dir/request_processor.cc.o" "gcc" "src/core/CMakeFiles/bm_core.dir/request_processor.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/bm_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/bm_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/core/CMakeFiles/bm_core.dir/server.cc.o" "gcc" "src/core/CMakeFiles/bm_core.dir/server.cc.o.d"
+  "/root/repo/src/core/sim_engine.cc" "src/core/CMakeFiles/bm_core.dir/sim_engine.cc.o" "gcc" "src/core/CMakeFiles/bm_core.dir/sim_engine.cc.o.d"
+  "/root/repo/src/core/sync_engine.cc" "src/core/CMakeFiles/bm_core.dir/sync_engine.cc.o" "gcc" "src/core/CMakeFiles/bm_core.dir/sync_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/bm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

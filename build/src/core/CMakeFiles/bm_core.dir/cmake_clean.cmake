@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_core.dir/batch_assembler.cc.o"
+  "CMakeFiles/bm_core.dir/batch_assembler.cc.o.d"
+  "CMakeFiles/bm_core.dir/metrics.cc.o"
+  "CMakeFiles/bm_core.dir/metrics.cc.o.d"
+  "CMakeFiles/bm_core.dir/request_processor.cc.o"
+  "CMakeFiles/bm_core.dir/request_processor.cc.o.d"
+  "CMakeFiles/bm_core.dir/scheduler.cc.o"
+  "CMakeFiles/bm_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/bm_core.dir/server.cc.o"
+  "CMakeFiles/bm_core.dir/server.cc.o.d"
+  "CMakeFiles/bm_core.dir/sim_engine.cc.o"
+  "CMakeFiles/bm_core.dir/sim_engine.cc.o.d"
+  "CMakeFiles/bm_core.dir/sync_engine.cc.o"
+  "CMakeFiles/bm_core.dir/sync_engine.cc.o.d"
+  "libbm_core.a"
+  "libbm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/cell_def.cc" "src/graph/CMakeFiles/bm_graph.dir/cell_def.cc.o" "gcc" "src/graph/CMakeFiles/bm_graph.dir/cell_def.cc.o.d"
+  "/root/repo/src/graph/cell_graph.cc" "src/graph/CMakeFiles/bm_graph.dir/cell_graph.cc.o" "gcc" "src/graph/CMakeFiles/bm_graph.dir/cell_graph.cc.o.d"
+  "/root/repo/src/graph/cell_registry.cc" "src/graph/CMakeFiles/bm_graph.dir/cell_registry.cc.o" "gcc" "src/graph/CMakeFiles/bm_graph.dir/cell_registry.cc.o.d"
+  "/root/repo/src/graph/executor.cc" "src/graph/CMakeFiles/bm_graph.dir/executor.cc.o" "gcc" "src/graph/CMakeFiles/bm_graph.dir/executor.cc.o.d"
+  "/root/repo/src/graph/op.cc" "src/graph/CMakeFiles/bm_graph.dir/op.cc.o" "gcc" "src/graph/CMakeFiles/bm_graph.dir/op.cc.o.d"
+  "/root/repo/src/graph/serialize.cc" "src/graph/CMakeFiles/bm_graph.dir/serialize.cc.o" "gcc" "src/graph/CMakeFiles/bm_graph.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/bm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

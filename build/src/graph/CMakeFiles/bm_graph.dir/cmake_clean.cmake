@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_graph.dir/cell_def.cc.o"
+  "CMakeFiles/bm_graph.dir/cell_def.cc.o.d"
+  "CMakeFiles/bm_graph.dir/cell_graph.cc.o"
+  "CMakeFiles/bm_graph.dir/cell_graph.cc.o.d"
+  "CMakeFiles/bm_graph.dir/cell_registry.cc.o"
+  "CMakeFiles/bm_graph.dir/cell_registry.cc.o.d"
+  "CMakeFiles/bm_graph.dir/executor.cc.o"
+  "CMakeFiles/bm_graph.dir/executor.cc.o.d"
+  "CMakeFiles/bm_graph.dir/op.cc.o"
+  "CMakeFiles/bm_graph.dir/op.cc.o.d"
+  "CMakeFiles/bm_graph.dir/serialize.cc.o"
+  "CMakeFiles/bm_graph.dir/serialize.cc.o.d"
+  "libbm_graph.a"
+  "libbm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/bm_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/bm_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/bm_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/bm_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/bm_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/bm_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/bm_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/bm_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/seq2seq.cc" "src/nn/CMakeFiles/bm_nn.dir/seq2seq.cc.o" "gcc" "src/nn/CMakeFiles/bm_nn.dir/seq2seq.cc.o.d"
+  "/root/repo/src/nn/stacked_lstm.cc" "src/nn/CMakeFiles/bm_nn.dir/stacked_lstm.cc.o" "gcc" "src/nn/CMakeFiles/bm_nn.dir/stacked_lstm.cc.o.d"
+  "/root/repo/src/nn/tree_lstm.cc" "src/nn/CMakeFiles/bm_nn.dir/tree_lstm.cc.o" "gcc" "src/nn/CMakeFiles/bm_nn.dir/tree_lstm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/bm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_nn.dir/attention.cc.o"
+  "CMakeFiles/bm_nn.dir/attention.cc.o.d"
+  "CMakeFiles/bm_nn.dir/gru.cc.o"
+  "CMakeFiles/bm_nn.dir/gru.cc.o.d"
+  "CMakeFiles/bm_nn.dir/lstm.cc.o"
+  "CMakeFiles/bm_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/bm_nn.dir/mlp.cc.o"
+  "CMakeFiles/bm_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/bm_nn.dir/seq2seq.cc.o"
+  "CMakeFiles/bm_nn.dir/seq2seq.cc.o.d"
+  "CMakeFiles/bm_nn.dir/stacked_lstm.cc.o"
+  "CMakeFiles/bm_nn.dir/stacked_lstm.cc.o.d"
+  "CMakeFiles/bm_nn.dir/tree_lstm.cc.o"
+  "CMakeFiles/bm_nn.dir/tree_lstm.cc.o.d"
+  "libbm_nn.a"
+  "libbm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_runtime.dir/cost_model.cc.o"
+  "CMakeFiles/bm_runtime.dir/cost_model.cc.o.d"
+  "CMakeFiles/bm_runtime.dir/event_queue.cc.o"
+  "CMakeFiles/bm_runtime.dir/event_queue.cc.o.d"
+  "CMakeFiles/bm_runtime.dir/sim_worker.cc.o"
+  "CMakeFiles/bm_runtime.dir/sim_worker.cc.o.d"
+  "libbm_runtime.a"
+  "libbm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

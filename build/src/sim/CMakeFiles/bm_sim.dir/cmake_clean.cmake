@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_sim.dir/batchmaker_system.cc.o"
+  "CMakeFiles/bm_sim.dir/batchmaker_system.cc.o.d"
+  "CMakeFiles/bm_sim.dir/loadgen.cc.o"
+  "CMakeFiles/bm_sim.dir/loadgen.cc.o.d"
+  "libbm_sim.a"
+  "libbm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_tensor.dir/gemm.cc.o"
+  "CMakeFiles/bm_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/bm_tensor.dir/ops.cc.o"
+  "CMakeFiles/bm_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/bm_tensor.dir/shape.cc.o"
+  "CMakeFiles/bm_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/bm_tensor.dir/tensor.cc.o"
+  "CMakeFiles/bm_tensor.dir/tensor.cc.o.d"
+  "libbm_tensor.a"
+  "libbm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

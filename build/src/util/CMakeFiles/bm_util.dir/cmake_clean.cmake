@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_util.dir/json.cc.o"
+  "CMakeFiles/bm_util.dir/json.cc.o.d"
+  "CMakeFiles/bm_util.dir/logging.cc.o"
+  "CMakeFiles/bm_util.dir/logging.cc.o.d"
+  "CMakeFiles/bm_util.dir/rng.cc.o"
+  "CMakeFiles/bm_util.dir/rng.cc.o.d"
+  "CMakeFiles/bm_util.dir/stats.cc.o"
+  "CMakeFiles/bm_util.dir/stats.cc.o.d"
+  "CMakeFiles/bm_util.dir/string_util.cc.o"
+  "CMakeFiles/bm_util.dir/string_util.cc.o.d"
+  "libbm_util.a"
+  "libbm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_workload.dir/datasets.cc.o"
+  "CMakeFiles/bm_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/bm_workload.dir/trace.cc.o"
+  "CMakeFiles/bm_workload.dir/trace.cc.o.d"
+  "libbm_workload.a"
+  "libbm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_processor_test.dir/request_processor_test.cc.o"
+  "CMakeFiles/request_processor_test.dir/request_processor_test.cc.o.d"
+  "request_processor_test"
+  "request_processor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_processor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scheduler_test.cc" "tests/CMakeFiles/scheduler_test.dir/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/scheduler_test.dir/scheduler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

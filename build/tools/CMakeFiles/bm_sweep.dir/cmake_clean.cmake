@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_sweep.dir/bm_sweep.cc.o"
+  "CMakeFiles/bm_sweep.dir/bm_sweep.cc.o.d"
+  "bm_sweep"
+  "bm_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
