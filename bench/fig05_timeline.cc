@@ -11,6 +11,7 @@
 #include <map>
 
 #include "bench/bench_common.h"
+#include "src/obs/trace_export.h"
 
 namespace batchmaker {
 namespace {
@@ -43,6 +44,7 @@ void RunCellular() {
 
   SimEngineOptions options;
   options.scheduler.max_tasks_to_submit = 1;  // join at every cell boundary
+  options.enable_tracing = true;
   SimEngine engine(&registry, &cost, options);
   for (int i = 0; i < 8; ++i) {
     engine.SubmitAt(kArrivals[i], model.Unfold(kLengths[i]));
@@ -51,6 +53,15 @@ void RunCellular() {
   PrintTimeline("Figure 5(b): cellular batching (BatchMaker)", engine.metrics());
   std::printf("paper's timeline: req1 done t=2; req2,3 done t=3; req4 done t=5;\n"
               "new requests join mid-flight instead of waiting for the batch.\n");
+
+  const char* trace_path = "fig05.trace.json";
+  if (WriteChromeTrace(engine.trace(), trace_path, [&registry](CellTypeId type) {
+        return registry.info(type).name;
+      })) {
+    std::printf("\nwrote %s — open in chrome://tracing or ui.perfetto.dev to see\n"
+                "the Figure 5(b) timeline (one row per worker, one span per task).\n",
+                trace_path);
+  }
 }
 
 void RunGraphBatching() {

@@ -39,7 +39,12 @@ class MetricsCollector {
   size_t NumCompleted() const { return records_.size(); }
   size_t NumDropped() const { return dropped_; }
 
-  // Sample sets over requests whose arrival falls in [from, to) micros.
+  // Window semantics: every windowed query below selects requests whose
+  // *completion* falls in [from, to) micros. Keying by completion (rather
+  // than arrival) keeps the sample sets and ThroughputRps consistent with
+  // each other, and keeps saturation detection honest — under overload a
+  // run's drain phase completes the arrival backlog, so an arrival-keyed
+  // throughput would report the offered rate instead of the achieved one.
   SampleSet Latencies(double from = 0.0, double to = 1e300) const;
   SampleSet QueueingTimes(double from = 0.0, double to = 1e300) const;
   SampleSet ComputeTimes(double from = 0.0, double to = 1e300) const;
@@ -52,7 +57,7 @@ class MetricsCollector {
   SampleSet Collect(double from, double to, F f) const {
     SampleSet out;
     for (const RequestRecord& r : records_) {
-      if (r.arrival_micros >= from && r.arrival_micros < to) {
+      if (r.completion_micros >= from && r.completion_micros < to) {
         out.Add(f(r));
       }
     }

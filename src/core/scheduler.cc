@@ -25,51 +25,62 @@ void Scheduler::EnqueueSubgraph(Subgraph* sg) {
   sg->in_queue = true;
   sg->queue_pos = ts.queue.insert(ts.queue.end(), sg);
   ts.ready_nodes += static_cast<int>(sg->ready.size());
+  if (trace_ != nullptr) {
+    trace_->SubgraphEnqueue(sg->owner->id, sg->type, static_cast<int>(sg->ready.size()));
+  }
 }
 
 std::vector<BatchedTask> Scheduler::Schedule(int worker) {
-  // Criterion (a): a full batch is available.
-  std::vector<CellTypeId> candidates;
-  for (CellTypeId ct = 0; ct < static_cast<CellTypeId>(types_.size()); ++ct) {
-    if (types_[static_cast<size_t>(ct)].ready_nodes >= registry_->info(ct).max_batch) {
-      candidates.push_back(ct);
-    }
-  }
-  // Criterion (b): ready work for a type with nothing running (avoids
-  // starving a type entirely).
-  if (candidates.empty()) {
+  // Candidate cell types in criterion-major, priority-minor order:
+  //   (a) a full batch is available;
+  //   (b) ready work for a type with nothing running (avoids starving a
+  //       type entirely);
+  //   (c) any ready work.
+  // The global ready-node counts ignore pinning, so the preferred type's
+  // ready nodes may all belong to subgraphs pinned to *other* workers and
+  // yield no task for this one. Falling through to the next candidate keeps
+  // the worker busy whenever any compatible ready work exists, instead of
+  // idling it until the next completion.
+  std::vector<std::pair<CellTypeId, SchedCriterion>> candidates;
+  std::vector<bool> seen(types_.size(), false);
+  const auto add_group = [&](SchedCriterion criterion, auto&& qualifies) {
+    const size_t group_start = candidates.size();
     for (CellTypeId ct = 0; ct < static_cast<CellTypeId>(types_.size()); ++ct) {
-      const TypeState& ts = types_[static_cast<size_t>(ct)];
-      if (ts.running_tasks == 0 && ts.ready_nodes > 0) {
-        candidates.push_back(ct);
+      if (!seen[static_cast<size_t>(ct)] && qualifies(types_[static_cast<size_t>(ct)], ct)) {
+        seen[static_cast<size_t>(ct)] = true;
+        candidates.emplace_back(ct, criterion);
       }
     }
-  }
-  // Criterion (c): any ready work.
-  if (candidates.empty()) {
-    for (CellTypeId ct = 0; ct < static_cast<CellTypeId>(types_.size()); ++ct) {
-      if (types_[static_cast<size_t>(ct)].ready_nodes > 0) {
-        candidates.push_back(ct);
-      }
+    // Within a criterion, higher priority first; stable to keep the
+    // original first-wins tie-break on equal priorities.
+    std::stable_sort(candidates.begin() + static_cast<std::ptrdiff_t>(group_start),
+                     candidates.end(), [this](const auto& a, const auto& b) {
+                       return registry_->info(a.first).priority >
+                              registry_->info(b.first).priority;
+                     });
+  };
+  add_group(SchedCriterion::kFullBatch, [this](const TypeState& ts, CellTypeId ct) {
+    return ts.ready_nodes >= registry_->info(ct).max_batch;
+  });
+  add_group(SchedCriterion::kStarvedType, [](const TypeState& ts, CellTypeId) {
+    return ts.running_tasks == 0 && ts.ready_nodes > 0;
+  });
+  add_group(SchedCriterion::kAnyReady, [](const TypeState& ts, CellTypeId) {
+    return ts.ready_nodes > 0;
+  });
+
+  for (const auto& [ct, criterion] : candidates) {
+    std::vector<BatchedTask> out;
+    Batch(ct, worker, criterion, &out);
+    if (!out.empty()) {
+      return out;
     }
   }
-  if (candidates.empty()) {
-    return {};
-  }
-
-  CellTypeId best = candidates[0];
-  for (CellTypeId ct : candidates) {
-    if (registry_->info(ct).priority > registry_->info(best).priority) {
-      best = ct;
-    }
-  }
-
-  std::vector<BatchedTask> out;
-  Batch(best, worker, &out);
-  return out;
+  return {};
 }
 
-void Scheduler::Batch(CellTypeId type, int worker, std::vector<BatchedTask>* out) {
+void Scheduler::Batch(CellTypeId type, int worker, SchedCriterion criterion,
+                      std::vector<BatchedTask>* out) {
   TypeState& ts = types_[static_cast<size_t>(type)];
   const CellTypeInfo& info = registry_->info(type);
   int num_tasks = 0;
@@ -100,6 +111,9 @@ void Scheduler::Batch(CellTypeId type, int worker, std::vector<BatchedTask>* out
       if (sg->last_worker != -1 && sg->last_worker != worker) {
         task.migrated_subgraphs++;  // state copy from the previous device
         ++total_migrations_;
+        if (trace_ != nullptr) {
+          trace_->Migration(sg->owner->id, sg->last_worker, worker);
+        }
       }
       sg->last_worker = worker;
       sg->inflight_tasks++;
@@ -109,6 +123,9 @@ void Scheduler::Batch(CellTypeId type, int worker, std::vector<BatchedTask>* out
     BM_CHECK_GE(ts.ready_nodes, 0);
     inflight_subgraphs_.emplace(task.id, std::move(touched));
     ts.running_tasks++;
+    if (trace_ != nullptr) {
+      trace_->TaskFormed(task.id, type, worker, task.BatchSize(), criterion);
+    }
     out->push_back(std::move(task));
     num_tasks++;
   }
@@ -194,6 +211,9 @@ int Scheduler::CancelRequest(RequestId id) {
       RemoveFromQueueIfDone(&ts, sg);
     }
   }
+  if (trace_ != nullptr && total_cancelled > 0) {
+    trace_->Cancellation(id, total_cancelled);
+  }
   // If nothing is in flight, the request is done now; otherwise the last
   // in-flight completion finalizes it via MarkCompleted.
   processor_->FinalizeIfDone(state);
@@ -216,6 +236,18 @@ bool Scheduler::HasReadyWork() const {
   for (const TypeState& ts : types_) {
     if (ts.ready_nodes > 0) {
       return true;
+    }
+  }
+  return false;
+}
+
+bool Scheduler::HasCompatibleReadyWork(int worker) const {
+  for (const TypeState& ts : types_) {
+    for (const Subgraph* sg : ts.queue) {
+      if (!sg->ready.empty() &&
+          (sg->pinned_worker == -1 || sg->pinned_worker == worker)) {
+        return true;
+      }
     }
   }
   return false;

@@ -22,6 +22,7 @@
 #include "src/core/request.h"
 #include "src/core/request_processor.h"
 #include "src/graph/cell_registry.h"
+#include "src/obs/trace.h"
 #include "src/runtime/task.h"
 
 namespace batchmaker {
@@ -44,7 +45,11 @@ class Scheduler {
 
   // Algorithm 1, Schedule(worker): forms batched tasks for an idle worker.
   // Returned tasks must be submitted to that worker's FIFO stream in order.
-  // Empty result means there is nothing to run.
+  // Candidate cell types are tried in criterion-major, priority-minor order;
+  // a type whose ready nodes are all pinned to other workers is skipped in
+  // favour of the next candidate, so an empty result means this worker has
+  // no compatible ready work at all (the invariant HasCompatibleReadyWork
+  // documents and the regression tests assert).
   std::vector<BatchedTask> Schedule(int worker);
 
   // Must be called when a task finishes: updates pins and per-type running
@@ -58,10 +63,18 @@ class Scheduler {
   // already-finished ids (no-op). Returns the number of cancelled nodes.
   int CancelRequest(RequestId id);
 
+  // Optional event tracing; pass null to detach. The recorder must outlive
+  // the scheduler (engines own both).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   // Introspection (tests, metrics).
   int NumReadyNodes(CellTypeId type) const;
   int NumRunningTasks(CellTypeId type) const;
   bool HasReadyWork() const;
+  // True if some queued subgraph has ready nodes this worker may run (i.e.
+  // unpinned or pinned to `worker`). Schedule(worker) returns tasks exactly
+  // when this holds; O(queued subgraphs), intended for tests/diagnostics.
+  bool HasCompatibleReadyWork(int worker) const;
   int64_t TotalTasksFormed() const { return next_task_id_; }
   // Subgraphs whose consecutive tasks ran on different workers (each such
   // occurrence implies a cross-device state copy).
@@ -76,8 +89,10 @@ class Scheduler {
     int running_tasks = 0;
   };
 
-  // Algorithm 1, Batch(ct, worker). Appends formed tasks to `out`.
-  void Batch(CellTypeId type, int worker, std::vector<BatchedTask>* out);
+  // Algorithm 1, Batch(ct, worker). Appends formed tasks to `out`;
+  // `criterion` is recorded with each task's formation event.
+  void Batch(CellTypeId type, int worker, SchedCriterion criterion,
+             std::vector<BatchedTask>* out);
 
   // Algorithm 1, FormBatchedTask(ct, worker): gathers ready nodes from
   // subgraphs pinned to {None, worker}, up to the type's max batch.
@@ -90,6 +105,7 @@ class Scheduler {
   const CellRegistry* registry_;
   RequestProcessor* processor_;
   SchedulerOptions options_;
+  TraceRecorder* trace_ = nullptr;
   std::vector<TypeState> types_;
   uint64_t next_task_id_ = 0;
   int64_t total_migrations_ = 0;

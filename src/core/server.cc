@@ -8,9 +8,15 @@
 namespace batchmaker {
 
 Server::Server(const CellRegistry* registry, ServerOptions options)
-    : registry_(registry), options_(options), assembler_(registry) {
+    : registry_(registry),
+      options_(options),
+      assembler_(registry),
+      trace_([this] { return NowMicros(); }) {
   BM_CHECK(registry != nullptr);
   BM_CHECK_GT(options_.num_workers, 0);
+  if (options_.enable_tracing) {
+    trace_.Enable();
+  }
 
   processor_ = std::make_unique<RequestProcessor>(
       registry,
@@ -49,9 +55,17 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
         if (callback) {
           callback(state->id, std::move(outputs));
         }
-        unfinished_requests_.fetch_sub(1);
+        trace_.RequestComplete(state->id, state->exec_start_micros);
+        if (unfinished_requests_.fetch_sub(1) == 1) {
+          // Last in-flight request: wake a Shutdown() waiting for the
+          // drain. Taking the mutex orders this notify after the waiter's
+          // predicate check, so the wakeup cannot be missed.
+          std::lock_guard<std::mutex> lock(lifecycle_mu_);
+          drained_cv_.notify_all();
+        }
       });
   scheduler_ = std::make_unique<Scheduler>(registry, processor_.get(), options_.scheduler);
+  scheduler_->set_trace(&trace_);
   outstanding_.assign(static_cast<size_t>(options_.num_workers), 0);
   for (int i = 0; i < options_.num_workers; ++i) {
     task_queues_.push_back(std::make_unique<BlockingQueue<WorkerTask>>());
@@ -80,18 +94,29 @@ RequestId Server::Submit(CellGraph graph, std::vector<Tensor> externals,
                          std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
                          TerminationFn terminate) {
   BM_CHECK(started_.load()) << "Submit before Start";
-  BM_CHECK(!shutdown_.load()) << "Submit after Shutdown";
   BM_CHECK(!externals.empty()) << "the real-compute server requires external tensors";
-  const RequestId id = next_request_id_.fetch_add(1);
-  unfinished_requests_.fetch_add(1);
   ArrivalMsg msg;
-  msg.id = id;
   msg.graph = std::move(graph);
   msg.externals = std::move(externals);
   msg.outputs_wanted = std::move(outputs_wanted);
   msg.on_response = std::move(on_response);
   msg.terminate = std::move(terminate);
+  const int num_nodes = msg.graph.NumNodes();
+
+  // The shutdown check, unfinished-count increment and inbox push must be
+  // one atomic step with respect to Shutdown: otherwise a submission can
+  // pass the check, Shutdown can observe zero unfinished requests and close
+  // the inbox, and the late Push lands on a closed queue — silently dropped
+  // with unfinished_requests_ stuck nonzero.
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (shutdown_.load()) {
+    return kInvalidRequestId;  // lost the race; never enqueued
+  }
+  const RequestId id = next_request_id_.fetch_add(1);
+  msg.id = id;
   msg.arrival_micros = NowMicros();
+  trace_.RequestArrival(msg.arrival_micros, id, num_nodes);
+  unfinished_requests_.fetch_add(1);
   inbox_.Push(ManagerMsg{std::move(msg)});
   return id;
 }
@@ -100,20 +125,31 @@ std::vector<Tensor> Server::SubmitAndWait(CellGraph graph, std::vector<Tensor> e
                                           std::vector<ValueRef> outputs_wanted) {
   std::promise<std::vector<Tensor>> promise;
   std::future<std::vector<Tensor>> future = promise.get_future();
-  Submit(std::move(graph), std::move(externals), std::move(outputs_wanted),
-         [&promise](RequestId, std::vector<Tensor> outputs) {
-           promise.set_value(std::move(outputs));
-         });
+  const RequestId id =
+      Submit(std::move(graph), std::move(externals), std::move(outputs_wanted),
+             [&promise](RequestId, std::vector<Tensor> outputs) {
+               promise.set_value(std::move(outputs));
+             });
+  if (id == kInvalidRequestId) {
+    return {};  // rejected: raced a Shutdown, the callback will never fire
+  }
   return future.get();
 }
 
 void Server::Shutdown() {
-  if (!started_.load() || shutdown_.exchange(true)) {
+  if (!started_.load()) {
     return;
   }
-  // Drain: all submitted requests must finish before we stop the threads.
-  while (unfinished_requests_.load() > 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    if (shutdown_.exchange(true)) {
+      return;
+    }
+    // Drain: every accepted request must finish before the threads stop.
+    // Setting shutdown_ under lifecycle_mu_ means no further Submit can
+    // slip in, so unfinished_requests_ only decreases from here; the
+    // completion callback signals when it hits zero.
+    drained_cv_.wait(lock, [this] { return unfinished_requests_.load() == 0; });
   }
   inbox_.Close();
   manager_thread_.join();
@@ -217,7 +253,10 @@ void Server::WorkerLoop(int worker) {
   auto& queue = *task_queues_[static_cast<size_t>(worker)];
   while (auto wt = queue.Pop()) {
     const double exec_start = NowMicros();
+    trace_.ExecBegin(exec_start, wt->task.id, wt->task.type, worker,
+                     wt->task.BatchSize());
     assembler_.ExecuteTask(wt->task, wt->states);
+    trace_.ExecEnd(wt->task.id, wt->task.type, worker, wt->task.BatchSize());
     tasks_executed_.fetch_add(1);
     CompletionMsg msg;
     msg.task = std::move(wt->task);

@@ -24,8 +24,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <variant>
@@ -36,6 +38,7 @@
 #include "src/core/request_processor.h"
 #include "src/core/scheduler.h"
 #include "src/graph/cell_registry.h"
+#include "src/obs/trace.h"
 #include "src/util/queue.h"
 
 namespace batchmaker {
@@ -43,6 +46,10 @@ namespace batchmaker {
 struct ServerOptions {
   int num_workers = 1;
   SchedulerOptions scheduler;
+  // Records structured events (src/obs/) for every request/task; export
+  // with WriteChromeTrace(server.trace(), path). Off by default: the
+  // disabled recorder costs one relaxed atomic load per would-be event.
+  bool enable_tracing = false;
 };
 
 class Server {
@@ -67,8 +74,11 @@ class Server {
   // Starts manager and worker threads. Must be called exactly once.
   void Start();
 
-  // Submits a request; thread-safe. `outputs_wanted` name node outputs of
-  // `graph` to return. Returns the request id.
+  // Submits a request; thread-safe, including against a concurrent
+  // Shutdown(): a submission that loses that race is rejected and returns
+  // kInvalidRequestId (its callback will never fire). Accepted submissions
+  // are guaranteed to execute and complete before Shutdown returns.
+  // `outputs_wanted` name node outputs of `graph` to return.
   RequestId Submit(CellGraph graph, std::vector<Tensor> externals,
                    std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
                    TerminationFn terminate = nullptr);
@@ -85,6 +95,12 @@ class Server {
   // read after Shutdown.
   const MetricsCollector& metrics() const { return metrics_; }
   int64_t TasksExecuted() const { return tasks_executed_.load(); }
+
+  // Event trace (enabled via ServerOptions::enable_tracing; timestamps are
+  // real micros since Start). Aggregates are thread-safe at any time; read
+  // events after Shutdown.
+  const TraceRecorder& trace() const { return trace_; }
+  TraceRecorder& trace() { return trace_; }
 
  private:
   struct ArrivalMsg {
@@ -120,6 +136,7 @@ class Server {
   const CellRegistry* registry_;
   ServerOptions options_;
   BatchAssembler assembler_;
+  TraceRecorder trace_;
 
   // Manager-owned state (only the manager thread touches these after
   // Start).
@@ -141,6 +158,14 @@ class Server {
   std::atomic<size_t> unfinished_requests_{0};
   std::atomic<bool> started_{false};
   std::atomic<bool> shutdown_{false};
+  // Serializes Submit's {shutdown check, unfinished count, inbox push}
+  // against Shutdown's {set flag, drain wait}: without it a racing Submit
+  // can pass the check, lose the CPU, and push into a closed inbox — the
+  // request is silently dropped and unfinished_requests_ never drains.
+  std::mutex lifecycle_mu_;
+  // Signaled when unfinished_requests_ reaches zero; Shutdown waits on it
+  // instead of sleep-polling.
+  std::condition_variable drained_cv_;
   std::chrono::steady_clock::time_point start_time_;
 };
 

@@ -8,9 +8,14 @@ namespace batchmaker {
 
 SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
                      SimEngineOptions options)
-    : registry_(registry), queue_timeout_micros_(options.queue_timeout_micros) {
+    : registry_(registry),
+      queue_timeout_micros_(options.queue_timeout_micros),
+      trace_([this] { return events_.Now(); }) {
   BM_CHECK(registry != nullptr);
   BM_CHECK(cost_model != nullptr);
+  if (options.enable_tracing) {
+    trace_.Enable();
+  }
 
   processor_ = std::make_unique<RequestProcessor>(
       registry,
@@ -19,6 +24,7 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
       [this](RequestState* state) {
         if (state->dropped) {
           metrics_.RecordDropped();
+          trace_.RequestDrop(state->id);
           return;
         }
         RequestRecord record;
@@ -28,8 +34,10 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
         record.completion_micros = events_.Now();
         record.num_nodes = state->graph.NumNodes();
         metrics_.Record(record);
+        trace_.RequestComplete(state->id, state->exec_start_micros);
       });
   scheduler_ = std::make_unique<Scheduler>(registry, processor_.get(), options.scheduler);
+  scheduler_->set_trace(&trace_);
   pool_ = std::make_unique<SimWorkerPool>(options.num_workers, &events_, cost_model);
 
   pool_->set_on_task_start([this](const BatchedTask& task) {
@@ -39,8 +47,10 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
         state->exec_start_micros = events_.Now();
       }
     }
+    trace_.ExecBegin(task.id, task.type, task.worker, task.BatchSize());
   });
   pool_->set_on_task_done([this](const BatchedTask& task) {
+    trace_.ExecEnd(task.id, task.type, task.worker, task.BatchSize());
     scheduler_->OnTaskCompleted(task);
     // Early termination: if a terminating node just completed, cancel the
     // request's remaining cells (no-op if the request already finished).
@@ -68,6 +78,7 @@ RequestId SimEngine::SubmitAt(double at_micros, CellGraph graph, int terminate_a
   // CellGraph is moved into the closure; the arrival event admits it.
   auto shared_graph = std::make_shared<CellGraph>(std::move(graph));
   events_.ScheduleAt(at_micros, [this, id, at_micros, shared_graph] {
+    trace_.RequestArrival(at_micros, id, shared_graph->NumNodes());
     processor_->AddRequest(id, std::move(*shared_graph), at_micros);
     // Kick scheduling in a separate same-time event so that all arrivals
     // with identical timestamps are admitted before any task is formed —

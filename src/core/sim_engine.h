@@ -17,6 +17,7 @@
 #include "src/core/request_processor.h"
 #include "src/core/scheduler.h"
 #include "src/graph/cell_registry.h"
+#include "src/obs/trace.h"
 #include "src/runtime/cost_model.h"
 #include "src/runtime/event_queue.h"
 #include "src/runtime/sim_worker.h"
@@ -32,6 +33,9 @@ struct SimEngineOptions {
   // overload this converts unbounded queueing into bounded-latency
   // goodput; see bench/abl_load_shedding.
   double queue_timeout_micros = 0.0;
+  // Records structured events (src/obs/) stamped with virtual time; export
+  // with WriteChromeTrace(engine.trace(), path). Off by default.
+  bool enable_tracing = false;
 };
 
 class SimEngine {
@@ -58,6 +62,11 @@ class SimEngine {
   const Scheduler& scheduler() const { return *scheduler_; }
   size_t NumActiveRequests() const { return processor_->NumActiveRequests(); }
 
+  // Event trace (virtual-time timestamps); enable via
+  // SimEngineOptions::enable_tracing or trace().Enable().
+  const TraceRecorder& trace() const { return trace_; }
+  TraceRecorder& trace() { return trace_; }
+
  private:
   void TryScheduleIdleWorkers();
   void TrySchedule(int worker);
@@ -66,6 +75,7 @@ class SimEngine {
   double queue_timeout_micros_ = 0.0;
   EventQueue events_;
   MetricsCollector metrics_;
+  TraceRecorder trace_;
   std::unique_ptr<RequestProcessor> processor_;
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<SimWorkerPool> pool_;

@@ -7,7 +7,10 @@
 namespace batchmaker {
 
 SyncEngine::SyncEngine(const CellRegistry* registry, SchedulerOptions options)
-    : registry_(registry), assembler_(registry) {
+    : registry_(registry),
+      trace_([this] { return NowMicros(); }),
+      start_time_(std::chrono::steady_clock::now()),
+      assembler_(registry) {
   BM_CHECK(registry != nullptr);
   processor_ = std::make_unique<RequestProcessor>(
       registry,
@@ -26,8 +29,17 @@ SyncEngine::SyncEngine(const CellRegistry* registry, SchedulerOptions options)
         }
         completed_outputs_.emplace(state->id, std::move(outputs));
         outputs_wanted_.erase(it);
+        trace_.RequestComplete(state->id, state->exec_start_micros);
       });
   scheduler_ = std::make_unique<Scheduler>(registry, processor_.get(), options);
+  scheduler_->set_trace(&trace_);
+}
+
+double SyncEngine::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_time_)
+             .count() /
+         1000.0;
 }
 
 RequestId SyncEngine::Submit(CellGraph graph, std::vector<Tensor> externals,
@@ -39,6 +51,7 @@ RequestId SyncEngine::Submit(CellGraph graph, std::vector<Tensor> externals,
     BM_CHECK_LT(ref.node, graph.NumNodes());
   }
   outputs_wanted_.emplace(id, std::move(outputs_wanted));
+  trace_.RequestArrival(id, graph.NumNodes());
   processor_->AddRequest(id, std::move(graph), /*arrival_micros=*/0.0,
                          std::move(externals));
   return id;
@@ -55,7 +68,16 @@ void SyncEngine::RunToCompletion() {
       return;
     }
     for (BatchedTask& task : tasks) {
+      const double exec_start = NowMicros();
+      for (const TaskEntry& entry : task.entries) {
+        RequestState* state = processor_->FindRequest(entry.request);
+        if (state != nullptr && state->exec_start_micros < 0.0) {
+          state->exec_start_micros = exec_start;
+        }
+      }
+      trace_.ExecBegin(exec_start, task.id, task.type, task.worker, task.BatchSize());
       assembler_.ExecuteTask(task, processor_.get());
+      trace_.ExecEnd(task.id, task.type, task.worker, task.BatchSize());
       ++tasks_executed_;
       task_batch_sizes_.push_back(task.BatchSize());
       scheduler_->OnTaskCompleted(task);

@@ -9,6 +9,7 @@
 #ifndef SRC_CORE_SYNC_ENGINE_H_
 #define SRC_CORE_SYNC_ENGINE_H_
 
+#include <chrono>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "src/core/request_processor.h"
 #include "src/core/scheduler.h"
 #include "src/graph/cell_registry.h"
+#include "src/obs/trace.h"
 
 namespace batchmaker {
 
@@ -42,8 +44,17 @@ class SyncEngine {
   // Batch size of every executed task, in execution order.
   const std::vector<int>& TaskBatchSizes() const { return task_batch_sizes_; }
 
+  // Event trace (real micros since construction); off until
+  // trace().Enable().
+  const TraceRecorder& trace() const { return trace_; }
+  TraceRecorder& trace() { return trace_; }
+
  private:
+  double NowMicros() const;
+
   const CellRegistry* registry_;
+  TraceRecorder trace_;
+  std::chrono::steady_clock::time_point start_time_;
   std::unique_ptr<RequestProcessor> processor_;
   std::unique_ptr<Scheduler> scheduler_;
   BatchAssembler assembler_;

@@ -1,0 +1,155 @@
+// Structured event tracing for the serving engines (observability layer).
+//
+// The paper's analysis lives and dies on *where time goes* — Figure 5's
+// execution timeline and Figure 9's queueing/computation breakdown — so the
+// engines record typed events at every stage of a request's life:
+// arrival, subgraph enqueue, batched-task formation (with the Algorithm 1
+// criterion that chose the cell type), per-worker execution spans, subgraph
+// migration, cancellation, completion and drop. The recorder also keeps
+// aggregate counters, a batch-size histogram and a worker-occupancy
+// histogram.
+//
+// Design constraints:
+//   * Thread-aware: the threaded Server records from its manager and worker
+//     threads concurrently. Events land in a small set of mutex-guarded
+//     shards selected by thread id, so recording threads rarely contend.
+//   * Near-zero cost when disabled: every Record* method first reads one
+//     relaxed atomic flag and returns; no clock read, no lock, no
+//     allocation. Engines keep tracing off by default.
+//   * Engine-agnostic clock: timestamps are microseconds supplied by a
+//     caller-provided ClockFn (virtual time for SimEngine, steady-clock
+//     micros for Server/SyncEngine), so one trace format covers both.
+//
+// Export to the Chrome trace_event JSON format (chrome://tracing, Perfetto)
+// lives in src/obs/trace_export.h.
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/runtime/task.h"
+
+namespace batchmaker {
+
+enum class TraceEventKind : uint8_t {
+  kRequestArrival = 0,  // id = request, value = num cell-graph nodes
+  kSubgraphEnqueue,     // id = request, type, value = ready nodes released
+  kTaskFormed,          // id = task, type, worker, value = batch size, criterion
+  kExecBegin,           // id = task, type, worker, value = batch size
+  kExecEnd,             // id = task, type, worker, value = batch size
+  kMigration,           // id = request, worker = destination, value = source
+  kCancellation,        // id = request, value = nodes cancelled
+  kRequestComplete,     // id = request, aux_micros = first-exec timestamp
+  kRequestDrop,         // id = request (shed before execution started)
+};
+inline constexpr int kNumTraceEventKinds = 9;
+
+// Name for logs/export, e.g. "request_arrival".
+const char* TraceEventKindName(TraceEventKind kind);
+
+// Which Algorithm 1 criterion selected a task's cell type:
+// (a) full batch available, (b) ready work for a type with no running
+// tasks, (c) any ready work.
+enum class SchedCriterion : uint8_t {
+  kFullBatch = 0,
+  kStarvedType = 1,
+  kAnyReady = 2,
+  kNone = 3,  // event kinds other than kTaskFormed
+};
+const char* SchedCriterionName(SchedCriterion criterion);
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kRequestArrival;
+  SchedCriterion criterion = SchedCriterion::kNone;
+  CellTypeId type = kInvalidCellType;
+  int worker = -1;
+  double ts_micros = 0.0;
+  // Secondary timestamp; kRequestComplete: when the request's first task
+  // began executing (-1 if it never executed), so queueing/compute stages
+  // can be derived from the trace alone.
+  double aux_micros = -1.0;
+  uint64_t id = 0;  // request id or task id, per kind
+  int value = 0;    // kind-specific payload (batch size, node count, ...)
+};
+
+class TraceRecorder {
+ public:
+  using ClockFn = std::function<double()>;
+
+  // `clock` supplies default timestamps (micros). Recording starts disabled;
+  // call Enable(). A recorder without a clock requires the explicit-ts
+  // Record* overloads.
+  explicit TraceRecorder(ClockFn clock = nullptr);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void set_clock(ClockFn clock) { clock_ = std::move(clock); }
+
+  // ---- Event recording (all no-ops while disabled, all thread-safe) ----
+  // Overloads without `ts` stamp the event with the clock.
+
+  void RequestArrival(double ts, RequestId id, int num_nodes);
+  void RequestArrival(RequestId id, int num_nodes);
+  void SubgraphEnqueue(RequestId id, CellTypeId type, int ready_nodes);
+  void TaskFormed(uint64_t task_id, CellTypeId type, int worker, int batch_size,
+                  SchedCriterion criterion);
+  void ExecBegin(double ts, uint64_t task_id, CellTypeId type, int worker, int batch_size);
+  void ExecBegin(uint64_t task_id, CellTypeId type, int worker, int batch_size);
+  void ExecEnd(uint64_t task_id, CellTypeId type, int worker, int batch_size);
+  void Migration(RequestId id, int from_worker, int to_worker);
+  void Cancellation(RequestId id, int nodes_cancelled);
+  void RequestComplete(RequestId id, double exec_start_micros);
+  void RequestDrop(RequestId id);
+
+  // ---- Aggregates (thread-safe) ----
+
+  int64_t Count(TraceEventKind kind) const;
+  size_t NumEvents() const;
+  // Tasks whose batch size fell in [2^i, 2^(i+1)) for bucket i (bucket 0 is
+  // batch size 1); the last bucket absorbs overflow.
+  static constexpr int kBatchSizeBuckets = 12;
+  int64_t BatchSizeBucket(int bucket) const;
+  // Distribution of "how many workers were busy" sampled at each exec
+  // begin (inclusive of the starting worker). Index w = w workers busy.
+  static constexpr int kMaxOccupancy = 64;
+  int64_t OccupancyBucket(int busy_workers) const;
+
+  // Snapshot of all events, stably sorted by timestamp. Thread-safe, but
+  // meant for after (or outside) the traced run.
+  std::vector<TraceEvent> SortedEvents() const;
+
+  void Clear();
+
+ private:
+  static constexpr int kNumShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  void Record(TraceEvent event);
+  double NowMicros() const { return clock_ ? clock_() : 0.0; }
+
+  std::atomic<bool> enabled_{false};
+  ClockFn clock_;
+  std::array<Shard, kNumShards> shards_;
+  std::array<std::atomic<int64_t>, kNumTraceEventKinds> counts_{};
+  std::array<std::atomic<int64_t>, kBatchSizeBuckets> batch_hist_{};
+  std::array<std::atomic<int64_t>, kMaxOccupancy + 1> occupancy_hist_{};
+  std::atomic<int> busy_workers_{0};
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_OBS_TRACE_H_

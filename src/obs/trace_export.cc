@@ -1,0 +1,164 @@
+#include "src/obs/trace_export.h"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "src/util/string_util.h"
+
+namespace batchmaker {
+
+namespace {
+
+// Chrome trace processes: workers (exec spans) and requests (lifetimes).
+constexpr int kWorkerPid = 0;
+constexpr int kRequestPid = 1;
+
+std::string TypeName(const TraceTypeNamer& namer, CellTypeId type) {
+  if (type == kInvalidCellType) {
+    return "-";
+  }
+  if (namer) {
+    return namer(type);
+  }
+  return "cell" + std::to_string(type);
+}
+
+Json MetadataEvent(int pid, const std::string& name) {
+  JsonObject e;
+  e["ph"] = "M";
+  e["name"] = "process_name";
+  e["pid"] = pid;
+  e["tid"] = 0;
+  e["args"] = JsonObject{{"name", name}};
+  return Json(std::move(e));
+}
+
+}  // namespace
+
+Json ChromeTraceJson(const TraceRecorder& recorder, const TraceTypeNamer& namer) {
+  const std::vector<TraceEvent> events = recorder.SortedEvents();
+  JsonArray out;
+  out.push_back(MetadataEvent(kWorkerPid, "workers"));
+  out.push_back(MetadataEvent(kRequestPid, "requests"));
+
+  // First pass: match exec begin/end pairs by task id to form "X" spans.
+  std::unordered_map<uint64_t, const TraceEvent*> open_exec;
+  for (const TraceEvent& ev : events) {
+    switch (ev.kind) {
+      case TraceEventKind::kExecBegin:
+        open_exec[ev.id] = &ev;
+        break;
+      case TraceEventKind::kExecEnd: {
+        const auto it = open_exec.find(ev.id);
+        if (it == open_exec.end()) {
+          break;  // unmatched end (recorder enabled mid-run)
+        }
+        JsonObject e;
+        e["ph"] = "X";
+        e["name"] = TypeName(namer, ev.type) + " b=" + std::to_string(ev.value);
+        e["cat"] = "exec";
+        e["pid"] = kWorkerPid;
+        e["tid"] = ev.worker;
+        e["ts"] = it->second->ts_micros;
+        e["dur"] = ev.ts_micros - it->second->ts_micros;
+        e["args"] = JsonObject{{"task", ev.id},
+                               {"type", TypeName(namer, ev.type)},
+                               {"batch_size", ev.value}};
+        out.push_back(Json(std::move(e)));
+        open_exec.erase(it);
+        break;
+      }
+      case TraceEventKind::kRequestArrival: {
+        JsonObject e;
+        e["ph"] = "b";
+        e["name"] = "request";
+        e["cat"] = "request";
+        e["id"] = StrPrintf("0x%llx", static_cast<unsigned long long>(ev.id));
+        e["pid"] = kRequestPid;
+        e["tid"] = 0;
+        e["ts"] = ev.ts_micros;
+        e["args"] = JsonObject{{"request", ev.id}, {"num_nodes", ev.value}};
+        out.push_back(Json(std::move(e)));
+        break;
+      }
+      case TraceEventKind::kRequestComplete:
+      case TraceEventKind::kRequestDrop: {
+        JsonObject e;
+        e["ph"] = "e";
+        e["name"] = "request";
+        e["cat"] = "request";
+        e["id"] = StrPrintf("0x%llx", static_cast<unsigned long long>(ev.id));
+        e["pid"] = kRequestPid;
+        e["tid"] = 0;
+        e["ts"] = ev.ts_micros;
+        JsonObject args{{"request", ev.id}};
+        args["outcome"] =
+            ev.kind == TraceEventKind::kRequestDrop ? "dropped" : "completed";
+        if (ev.aux_micros >= 0.0) {
+          args["exec_start"] = ev.aux_micros;
+        }
+        e["args"] = std::move(args);
+        out.push_back(Json(std::move(e)));
+        break;
+      }
+      default: {
+        JsonObject e;
+        e["ph"] = "i";
+        e["s"] = "t";
+        e["name"] = TraceEventKindName(ev.kind);
+        e["cat"] = "sched";
+        e["pid"] = kWorkerPid;
+        e["tid"] = ev.worker < 0 ? 0 : ev.worker;
+        e["ts"] = ev.ts_micros;
+        JsonObject args{{"id", ev.id}, {"value", ev.value}};
+        if (ev.type != kInvalidCellType) {
+          args["type"] = TypeName(namer, ev.type);
+        }
+        if (ev.kind == TraceEventKind::kTaskFormed) {
+          args["criterion"] = SchedCriterionName(ev.criterion);
+        }
+        e["args"] = std::move(args);
+        out.push_back(Json(std::move(e)));
+        break;
+      }
+    }
+  }
+
+  JsonObject doc;
+  doc["traceEvents"] = std::move(out);
+  doc["displayTimeUnit"] = "ms";
+  return Json(std::move(doc));
+}
+
+bool WriteChromeTrace(const TraceRecorder& recorder, const std::string& path,
+                      const TraceTypeNamer& namer) {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << ChromeTraceJson(recorder, namer).Dump() << "\n";
+  return file.good();
+}
+
+TraceStageBreakdown BreakdownFromTrace(const TraceRecorder& recorder, double from,
+                                       double to) {
+  std::unordered_map<uint64_t, double> arrivals;
+  TraceStageBreakdown out;
+  for (const TraceEvent& ev : recorder.SortedEvents()) {
+    if (ev.kind == TraceEventKind::kRequestArrival) {
+      arrivals.emplace(ev.id, ev.ts_micros);
+    } else if (ev.kind == TraceEventKind::kRequestComplete) {
+      const auto it = arrivals.find(ev.id);
+      if (it == arrivals.end() || ev.aux_micros < 0.0 || ev.ts_micros < from ||
+          ev.ts_micros >= to) {
+        continue;
+      }
+      out.queueing.Add(ev.aux_micros - it->second);
+      out.compute.Add(ev.ts_micros - ev.aux_micros);
+      out.total.Add(ev.ts_micros - it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,54 @@
+// Chrome trace_event JSON export and trace-derived analysis.
+//
+// ChromeTraceJson emits the classic {"traceEvents": [...]} format that
+// chrome://tracing and Perfetto (ui.perfetto.dev) open directly:
+//   * exec spans become complete ("X") events on pid 0, one row (tid) per
+//     worker — the Figure 5 execution timeline, reconstructed from any run;
+//   * request lifetimes become async ("b"/"e") events on pid 1, one per
+//     request id, so a request's arrival-to-completion span is visible
+//     alongside the worker rows;
+//   * task formation, subgraph enqueues, migrations, cancellations and
+//     drops become instant ("i") events carrying their payload in args
+//     (including the Algorithm 1 criterion that picked the cell type).
+//
+// TraceStageBreakdown recomputes Figure 9's queueing/compute split purely
+// from the event stream (arrival, first-exec and completion timestamps),
+// which is how benches report per-stage percentiles instead of re-deriving
+// them ad hoc from request records.
+
+#ifndef SRC_OBS_TRACE_EXPORT_H_
+#define SRC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/trace.h"
+#include "src/util/json.h"
+#include "src/util/stats.h"
+
+namespace batchmaker {
+
+// Builds the full Chrome trace_event JSON document from the recorded
+// events. `registry_names` (optional, may be null) maps CellTypeId to a
+// human-readable name via TraceTypeNamer.
+using TraceTypeNamer = std::function<std::string(CellTypeId)>;
+Json ChromeTraceJson(const TraceRecorder& recorder, const TraceTypeNamer& namer = nullptr);
+
+// Serializes ChromeTraceJson to `path`. Returns false on I/O failure.
+bool WriteChromeTrace(const TraceRecorder& recorder, const std::string& path,
+                      const TraceTypeNamer& namer = nullptr);
+
+// Per-stage latency samples derived from the trace: queueing (arrival ->
+// first exec), compute (first exec -> completion) and total. Only requests
+// with a completion event whose completion timestamp falls in [from, to)
+// contribute, matching MetricsCollector's window semantics.
+struct TraceStageBreakdown {
+  SampleSet queueing;
+  SampleSet compute;
+  SampleSet total;
+};
+TraceStageBreakdown BreakdownFromTrace(const TraceRecorder& recorder, double from = 0.0,
+                                       double to = 1e300);
+
+}  // namespace batchmaker
+
+#endif  // SRC_OBS_TRACE_EXPORT_H_

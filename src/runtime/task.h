@@ -16,6 +16,9 @@
 namespace batchmaker {
 
 using RequestId = uint64_t;
+// Engines allocate request ids starting at 1; 0 marks "no request" (e.g. a
+// Submit rejected because it raced a Shutdown).
+inline constexpr RequestId kInvalidRequestId = 0;
 
 struct TaskEntry {
   RequestId request = 0;

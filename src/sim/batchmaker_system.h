@@ -30,6 +30,7 @@ class BatchMakerSystem : public ServingSystem {
   std::string Name() const override { return name_; }
 
   SimEngine& engine() { return engine_; }
+  const SimEngine& engine() const { return engine_; }
 
  private:
   UnfoldFn unfold_;

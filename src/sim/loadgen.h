@@ -3,6 +3,10 @@
 // Poisson inter-arrival times; the load is swept by adjusting the rate.
 // Latency percentiles are measured over a post-warmup window; a point is
 // "saturated" when the system cannot keep up with the offered rate.
+//
+// All windowed queries (throughput AND latency samples) key on completion
+// time — see MetricsCollector in src/core/metrics.h — so the percentile
+// columns describe exactly the requests the achieved-rps column counts.
 
 #ifndef SRC_SIM_LOADGEN_H_
 #define SRC_SIM_LOADGEN_H_

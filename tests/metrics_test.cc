@@ -25,16 +25,20 @@ TEST(MetricsTest, RecordDerivedQuantities) {
   EXPECT_DOUBLE_EQ(r.ComputeMicros(), 250.0);
 }
 
-TEST(MetricsTest, WindowFiltersByArrival) {
+TEST(MetricsTest, WindowFiltersByCompletion) {
   MetricsCollector m;
+  // Completions at 200, 600, 1000.
   m.Record(MakeRecord(1, 100.0, 110.0, 200.0));
   m.Record(MakeRecord(2, 500.0, 510.0, 600.0));
   m.Record(MakeRecord(3, 900.0, 910.0, 1000.0));
   EXPECT_EQ(m.Latencies().Count(), 3u);
-  EXPECT_EQ(m.Latencies(400.0, 950.0).Count(), 2u);
-  EXPECT_EQ(m.Latencies(0.0, 100.0).Count(), 0u);  // [from, to): 100 excluded? no
-  // Arrival 100 is >= from=0 and < to=100? No: 100 < 100 is false.
-  EXPECT_EQ(m.Latencies(100.0, 101.0).Count(), 1u);
+  EXPECT_EQ(m.Latencies(400.0, 950.0).Count(), 1u);   // only completion 600
+  EXPECT_EQ(m.Latencies(0.0, 200.0).Count(), 0u);     // [from, to): 200 excluded
+  EXPECT_EQ(m.Latencies(200.0, 201.0).Count(), 1u);
+  // A request that arrived before the window but completed inside it is
+  // counted — same keying as ThroughputRps, so windowed latency samples
+  // describe exactly the requests the throughput number counts.
+  EXPECT_EQ(m.Latencies(150.0, 650.0).Count(), 2u);
 }
 
 TEST(MetricsTest, QueueingAndComputeWindows) {

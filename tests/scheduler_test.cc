@@ -320,6 +320,100 @@ TEST(SchedulerTest, ReadyNodeCounterTracksChain) {
   (void)tasks;
 }
 
+// ---------- Worker-idling regression ----------
+
+TEST(SchedulerTest, FallsBackToNextTypeWhenChosenTypeIsFullyPinned) {
+  // Regression: Schedule() used to pick the candidate cell type from the
+  // global ready counts, which include subgraphs pinned to other workers.
+  // If every ready node of the chosen type was pinned elsewhere, the formed
+  // task was empty and Schedule() returned {} even though another type had
+  // work this worker could run — leaving the worker idle.
+  TinySeq2SeqFixture fix;
+  fix.registry.SetMaxBatch(fix.model.encoder_type(), 2);
+  SchedulerHarness h(&fix.registry, SchedulerOptions{.max_tasks_to_submit = 1});
+
+  // Request 3 finishes its encoder so an unpinned decoder node is ready.
+  h.processor().AddRequest(3, fix.model.Unfold(1, 3), 0.0);
+  auto warm = h.ScheduleAndComplete(0);
+  ASSERT_EQ(warm.size(), 1u);
+  ASSERT_EQ(warm[0].type, fix.model.encoder_type());
+
+  // Two 3-step encoder chains: 2 ready encoder nodes == max batch.
+  h.processor().AddRequest(1, fix.model.Unfold(3, 1), 0.0);
+  h.processor().AddRequest(2, fix.model.Unfold(3, 1), 0.0);
+  ASSERT_EQ(h.scheduler().NumReadyNodes(fix.model.encoder_type()), 2);
+
+  // Worker 0 takes the full encoder batch, pinning both chains to itself;
+  // scheduling the first steps releases the second steps, so the encoder
+  // still shows a full batch of (pinned) ready nodes.
+  auto t0 = h.scheduler().Schedule(0);
+  ASSERT_EQ(t0.size(), 1u);
+  ASSERT_EQ(t0[0].type, fix.model.encoder_type());
+  ASSERT_EQ(t0[0].BatchSize(), 2);
+  ASSERT_EQ(h.scheduler().NumReadyNodes(fix.model.encoder_type()), 2);
+
+  // Worker 1: criterion (a) nominates the encoder, but all its ready nodes
+  // are pinned to worker 0. The decoder node of request 3 is compatible, so
+  // Schedule(1) must fall back to it rather than return empty.
+  ASSERT_TRUE(h.scheduler().HasCompatibleReadyWork(1));
+  auto t1 = h.scheduler().Schedule(1);
+  ASSERT_EQ(t1.size(), 1u);
+  EXPECT_EQ(t1[0].type, fix.model.decoder_type());
+  EXPECT_EQ(t1[0].entries[0].request, 3u);
+
+  h.scheduler().OnTaskCompleted(t0[0]);
+  h.scheduler().OnTaskCompleted(t1[0]);
+}
+
+TEST(SchedulerTest, WorkerNeverIdlesWithCompatibleReadyWork) {
+  // Property over a mixed two-worker run: whenever Schedule(w) comes back
+  // empty, there must be no ready subgraph that worker w was allowed to
+  // run (the Algorithm 1 non-idling invariant).
+  TinySeq2SeqFixture fix;
+  fix.registry.SetMaxBatch(fix.model.encoder_type(), 2);
+  fix.registry.SetMaxBatch(fix.model.decoder_type(), 2);
+  SchedulerHarness h(&fix.registry, SchedulerOptions{.max_tasks_to_submit = 1});
+
+  const int src_lens[6] = {1, 3, 2, 3, 1, 2};
+  const int dst_lens[6] = {3, 1, 2, 1, 4, 2};
+  for (RequestId id = 1; id <= 6; ++id) {
+    h.processor().AddRequest(id, fix.model.Unfold(src_lens[id - 1], dst_lens[id - 1]),
+                             0.0);
+  }
+
+  // Interleave the two workers; each completes its task before the other
+  // schedules again, so subgraphs bounce between pinned and free states.
+  std::vector<BatchedTask> in_flight[2];
+  int rounds = 0;
+  for (;;) {
+    bool any = false;
+    for (int w = 0; w < 2; ++w) {
+      std::vector<BatchedTask> tasks = h.scheduler().Schedule(w);
+      if (tasks.empty()) {
+        EXPECT_FALSE(h.scheduler().HasCompatibleReadyWork(w))
+            << "worker " << w << " idles while compatible work is ready";
+      } else {
+        any = true;
+        for (BatchedTask& t : tasks) {
+          in_flight[w].push_back(std::move(t));
+        }
+      }
+    }
+    // Complete worker 1's tasks first so pinning state varies.
+    for (int w = 1; w >= 0; --w) {
+      for (const BatchedTask& t : in_flight[w]) {
+        h.scheduler().OnTaskCompleted(t);
+      }
+      in_flight[w].clear();
+    }
+    if (!any) {
+      break;
+    }
+    ASSERT_LT(++rounds, 1000) << "scheduler did not converge";
+  }
+  EXPECT_EQ(h.completed().size(), 6u);
+}
+
 TEST(SchedulerTest, TreeLstmWholeRequestBatchesLeaves) {
   TinyTreeLstmFixture fix;
   fix.registry.SetMaxBatch(fix.model.leaf_type(), 64);

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 check: configure + build from a clean tree with -Wall -Wextra and
+# run the full ctest suite, then rebuild the concurrency-sensitive tests
+# under ThreadSanitizer and run them. Mirrors .github/workflows/ci.yml.
+#
+# Usage: tools/check.sh [--no-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+if [[ "${1:-}" == "--no-tsan" ]]; then
+  run_tsan=0
+fi
+
+echo "==> tier-1: clean configure + build + ctest"
+rm -rf build-check
+cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-check -j "$(nproc)"
+ctest --test-dir build-check --output-on-failure -j "$(nproc)"
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "==> tsan: server_test + obs_test under -fsanitize=thread"
+  rm -rf build-tsan
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target server_test obs_test
+  ctest --test-dir build-tsan --output-on-failure -R 'server_test|obs_test'
+fi
+
+echo "==> all checks passed"
