@@ -8,7 +8,11 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +24,7 @@
 #include "src/nn/seq2seq.h"
 #include "src/sim/batchmaker_system.h"
 #include "src/sim/loadgen.h"
+#include "src/util/json.h"
 #include "src/util/string_util.h"
 #include "src/workload/datasets.h"
 
@@ -161,6 +166,66 @@ struct TreeScenario {
   TreeLstmModel model;
   CostModel cost;
 };
+
+// ---------- Timing ----------
+
+// Measures fn with `warmup` untimed runs followed by `iters` individually
+// timed runs, and returns the 20%-trimmed mean in nanoseconds per run.
+// Trimming both tails makes the number robust against the two failure modes
+// of mean-of-total timing on a shared machine: cold-cache/frequency-ramp
+// outliers at the start and preemption spikes anywhere.
+inline double MeasureTrimmedNs(int warmup, int iters, const std::function<void()>& fn) {
+  for (int i = 0; i < warmup; ++i) {
+    fn();
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    samples.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count()));
+  }
+  std::sort(samples.begin(), samples.end());
+  const size_t trim = samples.size() / 5;  // 20% total: 10% off each tail
+  const size_t lo = trim / 2;
+  const size_t hi = samples.size() - (trim - trim / 2);
+  double sum = 0.0;
+  for (size_t i = lo; i < hi; ++i) {
+    sum += samples[i];
+  }
+  return sum / static_cast<double>(hi - lo);
+}
+
+// One machine-readable benchmark row for the BENCH_*.json files.
+struct BenchRecord {
+  std::string op;     // e.g. "gemm_packed"
+  std::string shape;  // e.g. "m=512,k=1024,n=4096"
+  int64_t batch = 0;
+  double ns_per_iter = 0.0;
+  double gflops = 0.0;  // 0 when FLOP/s is not meaningful for the op
+};
+
+inline void WriteBenchJson(const std::string& path, const std::string& bench_name,
+                           const std::vector<BenchRecord>& records) {
+  JsonArray rows;
+  for (const BenchRecord& r : records) {
+    JsonObject row;
+    row["op"] = r.op;
+    row["shape"] = r.shape;
+    row["batch"] = r.batch;
+    row["ns_per_iter"] = r.ns_per_iter;
+    row["gflops"] = r.gflops;
+    rows.emplace_back(std::move(row));
+  }
+  JsonObject doc;
+  doc["bench"] = bench_name;
+  doc["results"] = Json(std::move(rows));
+  std::ofstream out(path);
+  out << Json(std::move(doc)).Dump(2) << "\n";
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), records.size());
+}
 
 // ---------- Reporting ----------
 

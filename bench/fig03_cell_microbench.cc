@@ -8,12 +8,12 @@
 // elementwise gates), scaled down in batch range to keep runtime sane on a
 // small machine.
 
-#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "src/graph/executor.h"
 #include "src/nn/lstm.h"
+#include "src/tensor/arena.h"
 
 namespace batchmaker {
 namespace {
@@ -34,25 +34,27 @@ void MeasureCpuLstm() {
   const LstmSpec spec{.input_dim = 1024, .hidden = 1024};
   const auto def = BuildLstmCell(spec, &rng);
   const CellExecutor exec(def.get());
+  // Serving configuration: intermediates come from a recycled arena, as in
+  // the server's workers.
+  TensorArena arena;
+  const ExecContext ctx{/*pool=*/nullptr, &arena};
 
+  std::vector<bench::BenchRecord> records;
   std::printf("%8s %14s %20s\n", "batch", "time", "throughput(ops/s)");
   for (int b = 1; b <= 64; b *= 2) {
     const Tensor x = Tensor::RandomUniform(Shape{b, 1024}, 1.0f, &rng);
     const Tensor h = Tensor::RandomUniform(Shape{b, 1024}, 1.0f, &rng);
     const Tensor c = Tensor::RandomUniform(Shape{b, 1024}, 1.0f, &rng);
-    // Warmup.
-    exec.Execute({&x, &h, &c});
-    const int iters = b <= 4 ? 5 : 3;
-    const auto start = std::chrono::steady_clock::now();
-    for (int i = 0; i < iters; ++i) {
-      exec.Execute({&x, &h, &c});
-    }
-    const auto end = std::chrono::steady_clock::now();
-    const double micros =
-        std::chrono::duration_cast<std::chrono::microseconds>(end - start).count() /
-        static_cast<double>(iters);
-    std::printf("%8d %14s %20.0f\n", b, FormatMicros(micros).c_str(), b / (micros * 1e-6));
+    const double ns = bench::MeasureTrimmedNs(/*warmup=*/2, b <= 4 ? 20 : 10, [&] {
+      exec.Execute({&x, &h, &c}, &ctx);
+      arena.Reset();
+    });
+    // The step is dominated by the [b, 2h] x [2h, 4h] gate GEMM.
+    const double flop = 2.0 * b * 2048.0 * 4096.0;
+    records.push_back({"lstm_step", "h=1024", b, ns, flop / ns});
+    std::printf("%8d %14s %20.0f\n", b, FormatMicros(ns / 1e3).c_str(), b / (ns * 1e-9));
   }
+  bench::WriteBenchJson("BENCH_fig03.json", "fig03_cpu_lstm_step", records);
 }
 
 }  // namespace

@@ -7,7 +7,75 @@
 // start at ~25ms and shoot past 500ms by ~16k req/s. With bmax=64 latency
 // at low load is similar but peak throughput is much lower.
 
+#include <thread>
+
 #include "bench/bench_common.h"
+#include "src/core/server.h"
+
+namespace batchmaker {
+namespace {
+
+// Real-compute counterpart of the simulated sweep: the actual threaded
+// Server executing a real LSTM (h=256) on this machine's CPU backend, with
+// Poisson arrivals at each offered rate. End-to-end latency percentiles
+// come from the server's own metrics. Scaled down from the paper's
+// configuration (h=1024, V100) so the sweep finishes in seconds on a small
+// machine; the *shape* — flat p50 until the CPU saturates — is what mirrors
+// Figure 7.
+void RealComputeCpuSweep(int threads_per_worker) {
+  constexpr int64_t kHidden = 256;
+  constexpr int kMaxLen = 30;
+  bench::PrintHeader("Figure 7 (real-compute): CPU backend, h=256, threads_per_worker=" +
+                     std::to_string(threads_per_worker));
+  std::printf("%12s %12s %12s %12s %14s\n", "rate(req/s)", "p50(ms)", "p90(ms)",
+              "p99(ms)", "achieved(req/s)");
+
+  for (const double rate : {50.0, 100.0, 150.0, 200.0}) {
+    CellRegistry registry;
+    Rng weight_rng(1);
+    LstmModel model(&registry, LstmSpec{.input_dim = kHidden, .hidden = kHidden},
+                    &weight_rng);
+    ServerOptions options;
+    options.threads_per_worker = threads_per_worker;
+    Server server(&registry, options);
+    server.Start();
+
+    Rng rng(static_cast<uint64_t>(rate));
+    const WmtLengthSampler sampler;
+    const int total = static_cast<int>(rate * 2.0);  // ~2 seconds of offered load
+    const auto start = std::chrono::steady_clock::now();
+    double next_arrival_s = 0.0;
+    for (int i = 0; i < total; ++i) {
+      next_arrival_s += rng.NextExponential(rate);
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(next_arrival_s)));
+      const int len = std::min(kMaxLen, sampler.Sample(&rng));
+      std::vector<Tensor> externals;
+      for (int t = 0; t < len; ++t) {
+        externals.push_back(Tensor::RandomUniform(Shape{1, kHidden}, 1.0f, &rng));
+      }
+      externals.push_back(ExternalZeroVecTensor(kHidden));
+      externals.push_back(ExternalZeroVecTensor(kHidden));
+      server.Submit(model.Unfold(len), std::move(externals),
+                    {ValueRef::Output(len - 1, 0)},
+                    [](RequestId, std::vector<Tensor>) {});
+    }
+    server.Shutdown();
+
+    const SampleSet lat = server.metrics().Latencies();
+    const auto& records = server.metrics().records();
+    const double span_s =
+        (records.back().completion_micros - records.front().arrival_micros) / 1e6;
+    std::printf("%12.0f %12.2f %12.2f %12.2f %14.0f\n", rate,
+                lat.Percentile(50) / 1e3, lat.Percentile(90) / 1e3,
+                lat.Percentile(99) / 1e3,
+                static_cast<double>(records.size()) / span_s);
+  }
+}
+
+}  // namespace
+}  // namespace batchmaker
 
 int main() {
   using namespace batchmaker;
@@ -55,5 +123,7 @@ int main() {
                 "(both peaks drop vs bmax=512 while low-load latency stays similar)\n",
                 PeakThroughput(bm), PeakThroughput(pad));
   }
+
+  RealComputeCpuSweep(/*threads_per_worker=*/1);
   return 0;
 }

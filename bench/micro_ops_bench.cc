@@ -1,14 +1,22 @@
 // google-benchmark microbenchmarks for the tensor substrate and the
 // batch-assembly (gather/scatter) path — the real-compute analogue of the
 // paper's "scheduling and gathering overhead" discussion (§7.3).
+//
+// Before handing control to google-benchmark, main() measures the GEMM
+// configurations the CPU backend actually runs (per-call pack, cached pack,
+// cached pack + intra-task pool) with the shared warmup + trimmed-mean
+// harness and writes them to BENCH_gemm.json, one machine-readable row per
+// (op, shape): {op, shape, batch, ns_per_iter, gflops}.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "src/graph/executor.h"
 #include "src/nn/lstm.h"
 #include "src/tensor/gemm.h"
 #include "src/tensor/ops.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace batchmaker {
 namespace {
@@ -25,6 +33,35 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
+void BM_GemmPacked(benchmark::State& state) {
+  // The serving-path configuration: B packed once (as CellExecutor caches
+  // per-weight packs), A re-packed per call.
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::RandomUniform(Shape{n, n}, 1.0f, &rng);
+  const Tensor b = Tensor::RandomUniform(Shape{n, n}, 1.0f, &rng);
+  const PackedMatrix packed = PackedMatrix::Pack(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulPacked(a, packed));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmPacked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmPackedPool(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::RandomUniform(Shape{n, n}, 1.0f, &rng);
+  const Tensor b = Tensor::RandomUniform(Shape{n, n}, 1.0f, &rng);
+  const PackedMatrix packed = PackedMatrix::Pack(b);
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulPacked(a, packed, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmPackedPool)->Arg(256)->Arg(512);
+
 void BM_LstmStep(benchmark::State& state) {
   const int64_t batch = state.range(0);
   Rng rng(2);
@@ -40,6 +77,27 @@ void BM_LstmStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_LstmStep)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LstmStepArena(benchmark::State& state) {
+  // Same cell with a worker-style arena: intermediates bump-allocate and
+  // the arena is recycled per step, as in BatchAssembler::ExecuteTask.
+  const int64_t batch = state.range(0);
+  Rng rng(2);
+  const LstmSpec spec{.input_dim = 256, .hidden = 256};
+  const auto def = BuildLstmCell(spec, &rng);
+  const CellExecutor exec(def.get());
+  const Tensor x = Tensor::RandomUniform(Shape{batch, 256}, 1.0f, &rng);
+  const Tensor h = Tensor::RandomUniform(Shape{batch, 256}, 1.0f, &rng);
+  const Tensor c = Tensor::RandomUniform(Shape{batch, 256}, 1.0f, &rng);
+  TensorArena arena;
+  const ExecContext ctx{/*pool=*/nullptr, &arena};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute({&x, &h, &c}, &ctx));
+    arena.Reset();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmStepArena)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_GatherRows(benchmark::State& state) {
   const int64_t batch = state.range(0);
@@ -86,7 +144,53 @@ void BM_EmbeddingLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_EmbeddingLookup);
 
+// The BENCH_gemm.json rows: the acceptance shape (m=512, k=1024, n=4096)
+// plus the LSTM gate GEMM [b, 2h] x [2h, 4h] at h=1024 across batch sizes.
+void EmitGemmJson() {
+  std::vector<bench::BenchRecord> records;
+  Rng rng(6);
+  ThreadPool pool(4);
+
+  struct GemmCase {
+    int64_t m, k, n;
+  };
+  auto run_case = [&](const GemmCase& gc) {
+    const Tensor a = Tensor::RandomUniform(Shape{gc.m, gc.k}, 1.0f, &rng);
+    const Tensor b = Tensor::RandomUniform(Shape{gc.k, gc.n}, 1.0f, &rng);
+    const PackedMatrix packed = PackedMatrix::Pack(b);
+    const double flop = 2.0 * static_cast<double>(gc.m) * static_cast<double>(gc.k) *
+                        static_cast<double>(gc.n);
+    const std::string shape = "m=" + std::to_string(gc.m) + ",k=" + std::to_string(gc.k) +
+                              ",n=" + std::to_string(gc.n);
+    // Size the iteration count so each configuration runs ~10 timed samples
+    // even for the big acceptance shape.
+    const int iters = flop > 1e9 ? 10 : 30;
+
+    auto add = [&](const std::string& op, const std::function<void()>& fn) {
+      const double ns = bench::MeasureTrimmedNs(/*warmup=*/2, iters, fn);
+      records.push_back({op, shape, gc.m, ns, flop / ns});  // flop/ns == GFLOP/s
+    };
+    add("gemm", [&] { benchmark::DoNotOptimize(MatMul(a, b)); });
+    add("gemm_packed", [&] { benchmark::DoNotOptimize(MatMulPacked(a, packed)); });
+    add("gemm_packed_pool4",
+        [&] { benchmark::DoNotOptimize(MatMulPacked(a, packed, &pool)); });
+  };
+
+  run_case({512, 1024, 4096});
+  for (int64_t b : {1, 8, 32, 128}) {
+    run_case({b, 2048, 4096});
+  }
+  bench::WriteBenchJson("BENCH_gemm.json", "micro_ops_gemm", records);
+  std::printf("simd kernel: %s\n", GemmUsesSimd() ? "yes" : "no (scalar fallback)");
+}
+
 }  // namespace
 }  // namespace batchmaker
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  batchmaker::EmitGemmJson();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

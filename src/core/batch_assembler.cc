@@ -9,7 +9,8 @@ BatchAssembler::BatchAssembler(const CellRegistry* registry) : registry_(registr
   BM_CHECK(registry != nullptr);
 }
 
-void BatchAssembler::ExecuteTask(const BatchedTask& task, RequestProcessor* processor) const {
+void BatchAssembler::ExecuteTask(const BatchedTask& task, RequestProcessor* processor,
+                                 const ExecContext* ctx) const {
   BM_CHECK(processor != nullptr);
   std::vector<RequestState*> states;
   states.reserve(task.entries.size());
@@ -18,60 +19,90 @@ void BatchAssembler::ExecuteTask(const BatchedTask& task, RequestProcessor* proc
     BM_CHECK(state != nullptr) << "task entry for unknown request " << entry.request;
     states.push_back(state);
   }
-  ExecuteTask(task, states);
+  ExecuteTask(task, states, ctx);
 }
 
 void BatchAssembler::ExecuteTask(const BatchedTask& task,
-                                 const std::vector<RequestState*>& states) const {
+                                 const std::vector<RequestState*>& states,
+                                 const ExecContext* ctx) const {
   BM_CHECK_GT(task.BatchSize(), 0);
   BM_CHECK_EQ(states.size(), task.entries.size());
   const CellDef& def = registry_->def(task.type);
   const CellExecutor& executor = registry_->executor(task.type);
   const int batch = task.BatchSize();
+  ThreadPool* pool = ctx != nullptr ? ctx->pool : nullptr;
+  TensorArena* arena = ctx != nullptr ? ctx->arena : nullptr;
   for (RequestState* state : states) {
     BM_CHECK(state != nullptr);
     BM_CHECK(!state->externals.empty())
         << "real-compute execution requires external input tensors";
   }
 
-  // Gather: one contiguous [batch, row] tensor per cell input slot.
-  std::vector<Tensor> gathered;
-  gathered.reserve(static_cast<size_t>(def.NumInputs()));
-  for (int slot = 0; slot < def.NumInputs(); ++slot) {
-    std::vector<const Tensor*> sources;
-    std::vector<int64_t> rows;
-    sources.reserve(static_cast<size_t>(batch));
-    rows.reserve(static_cast<size_t>(batch));
-    for (int i = 0; i < batch; ++i) {
-      const TaskEntry& entry = task.entries[static_cast<size_t>(i)];
-      RequestState* state = states[static_cast<size_t>(i)];
-      const CellNode& node = state->graph.node(entry.node);
-      const ValueRef& ref = node.inputs[static_cast<size_t>(slot)];
-      if (ref.is_external()) {
-        BM_CHECK_LT(static_cast<size_t>(ref.external), state->externals.size());
-        sources.push_back(&state->externals[static_cast<size_t>(ref.external)]);
-      } else {
-        const auto& producer_outputs = state->node_outputs[static_cast<size_t>(ref.node)];
-        BM_CHECK(!producer_outputs.empty())
-            << "node " << ref.node << " of request " << entry.request
-            << " consumed before it produced output (scheduling bug)";
-        sources.push_back(&producer_outputs[static_cast<size_t>(ref.output)]);
+  // Gather + execute inside the arena scope: the per-slot batch buffers and
+  // every cell intermediate live exactly as long as this task. The outputs
+  // that Execute returns are owned copies, so the arena can be recycled
+  // before the scatter.
+  std::vector<Tensor> outputs;
+  {
+    ArenaScope arena_scope(arena);
+
+    // Gather: one contiguous [batch, row] tensor per cell input slot.
+    std::vector<Tensor> gathered;
+    gathered.reserve(static_cast<size_t>(def.NumInputs()));
+    std::vector<const Tensor*> sources(static_cast<size_t>(batch));
+    const std::vector<int64_t> rows(static_cast<size_t>(batch), 0);  // sources are [1, ...]
+    for (int slot = 0; slot < def.NumInputs(); ++slot) {
+      for (int i = 0; i < batch; ++i) {
+        const TaskEntry& entry = task.entries[static_cast<size_t>(i)];
+        RequestState* state = states[static_cast<size_t>(i)];
+        const CellNode& node = state->graph.node(entry.node);
+        const ValueRef& ref = node.inputs[static_cast<size_t>(slot)];
+        if (ref.is_external()) {
+          BM_CHECK_LT(static_cast<size_t>(ref.external), state->externals.size());
+          sources[static_cast<size_t>(i)] =
+              &state->externals[static_cast<size_t>(ref.external)];
+        } else {
+          const auto& producer_outputs = state->node_outputs[static_cast<size_t>(ref.node)];
+          BM_CHECK(!producer_outputs.empty())
+              << "node " << ref.node << " of request " << entry.request
+              << " consumed before it produced output (scheduling bug)";
+          sources[static_cast<size_t>(i)] =
+              &producer_outputs[static_cast<size_t>(ref.output)];
+        }
       }
-      rows.push_back(0);  // per-request tensors are [1, ...]
+      const CellInputSpec& spec = def.input_spec(slot);
+      std::vector<int64_t> out_dims{batch};
+      for (int64_t d : spec.row_shape.dims()) {
+        out_dims.push_back(d);
+      }
+      Tensor out = Tensor::Uninitialized(Shape(std::move(out_dims)), spec.dtype);
+      if (pool != nullptr && pool->num_threads() > 1 && batch >= 2 * pool->num_threads()) {
+        // Row copies are independent; strided row ownership keeps the
+        // result identical for any thread count.
+        pool->Run(batch, [&](int64_t i) { GatherRowsInto(sources, rows, &out, i, i + 1); });
+      } else {
+        GatherRowsInto(sources, rows, &out, 0, batch);
+      }
+      gathered.push_back(std::move(out));
     }
-    gathered.push_back(GatherRows(sources, rows));
+
+    // Execute the whole batch in one cell invocation.
+    std::vector<const Tensor*> input_ptrs;
+    input_ptrs.reserve(gathered.size());
+    for (const Tensor& t : gathered) {
+      input_ptrs.push_back(&t);
+    }
+    outputs = executor.Execute(input_ptrs, ctx);
+  }
+  if (arena != nullptr) {
+    arena->Reset();  // gather buffers + intermediates recycled for the next task
   }
 
-  // Execute the whole batch in one cell invocation.
-  std::vector<const Tensor*> input_ptrs;
-  input_ptrs.reserve(gathered.size());
-  for (const Tensor& t : gathered) {
-    input_ptrs.push_back(&t);
-  }
-  std::vector<Tensor> outputs = executor.Execute(input_ptrs);
-
-  // Scatter each output row back to its node.
-  for (int i = 0; i < batch; ++i) {
+  // Scatter each output row back to its node. Entries are distinct
+  // (request, node) pairs, so rows write disjoint node_outputs slots; the
+  // extracted tensors are owned (no ambient arena here, and pool threads
+  // never inherit one).
+  auto scatter_row = [&](int64_t i) {
     const TaskEntry& entry = task.entries[static_cast<size_t>(i)];
     RequestState* state = states[static_cast<size_t>(i)];
     auto& node_out = state->node_outputs[static_cast<size_t>(entry.node)];
@@ -79,6 +110,13 @@ void BatchAssembler::ExecuteTask(const BatchedTask& task,
     node_out.reserve(outputs.size());
     for (const Tensor& out : outputs) {
       node_out.push_back(ExtractRow(out, i));
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && batch >= 2 * pool->num_threads()) {
+    pool->Run(batch, scatter_row);
+  } else {
+    for (int i = 0; i < batch; ++i) {
+      scatter_row(i);
     }
   }
 }

@@ -24,11 +24,20 @@ class BatchAssembler {
   // still be active in `processor` and carry external tensors (real-compute
   // mode). Thread-safe with respect to other tasks whose entries do not
   // overlap, which the scheduler's pinning discipline guarantees.
-  void ExecuteTask(const BatchedTask& task, RequestProcessor* processor) const;
+  //
+  // `ctx` (optional) supplies the calling worker's intra-task ThreadPool —
+  // used to fan gather/scatter over batch rows and GEMM over output blocks
+  // — and its TensorArena, which holds the gather buffers and all cell
+  // intermediates and is Reset() before returning (outputs scattered into
+  // request states always own their storage). Results are bitwise
+  // identical with or without a context.
+  void ExecuteTask(const BatchedTask& task, RequestProcessor* processor,
+                   const ExecContext* ctx = nullptr) const;
 
   // Same, with request states pre-resolved (states[i] owns task.entries[i]).
   // Used by the threaded server so workers never read the request map.
-  void ExecuteTask(const BatchedTask& task, const std::vector<RequestState*>& states) const;
+  void ExecuteTask(const BatchedTask& task, const std::vector<RequestState*>& states,
+                   const ExecContext* ctx = nullptr) const;
 
  private:
   const CellRegistry* registry_;

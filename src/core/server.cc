@@ -3,7 +3,9 @@
 #include <future>
 #include <utility>
 
+#include "src/tensor/arena.h"
 #include "src/util/logging.h"
+#include "src/util/thread_pool.h"
 
 namespace batchmaker {
 
@@ -14,6 +16,7 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
       trace_([this] { return NowMicros(); }) {
   BM_CHECK(registry != nullptr);
   BM_CHECK_GT(options_.num_workers, 0);
+  BM_CHECK_GT(options_.threads_per_worker, 0);
   if (options_.enable_tracing) {
     trace_.Enable();
   }
@@ -250,12 +253,18 @@ void Server::TryScheduleIdleWorkers() {
 }
 
 void Server::WorkerLoop(int worker) {
+  // Each worker owns its slice of cores (the intra-task pool) and its
+  // scratch arena; both live for the worker's lifetime, the arena is
+  // recycled per task by the assembler.
+  ThreadPool pool(options_.threads_per_worker);
+  TensorArena arena;
+  const ExecContext ctx{&pool, &arena};
   auto& queue = *task_queues_[static_cast<size_t>(worker)];
   while (auto wt = queue.Pop()) {
     const double exec_start = NowMicros();
     trace_.ExecBegin(exec_start, wt->task.id, wt->task.type, worker,
                      wt->task.BatchSize());
-    assembler_.ExecuteTask(wt->task, wt->states);
+    assembler_.ExecuteTask(wt->task, wt->states, &ctx);
     trace_.ExecEnd(wt->task.id, wt->task.type, worker, wt->task.BatchSize());
     tasks_executed_.fetch_add(1);
     CompletionMsg msg;

@@ -45,6 +45,12 @@ namespace batchmaker {
 
 struct ServerOptions {
   int num_workers = 1;
+  // Size of each worker's intra-task ThreadPool: GEMM output blocks and
+  // gather/scatter rows fan out across this many threads while a task
+  // executes. With W workers each owning T threads, the server uses up to
+  // W*T cores; results are bitwise-independent of T (see DESIGN.md "CPU
+  // backend execution pipeline").
+  int threads_per_worker = 1;
   SchedulerOptions scheduler;
   // Records structured events (src/obs/) for every request/task; export
   // with WriteChromeTrace(server.trace(), path). Off by default: the

@@ -76,7 +76,8 @@ void SyncEngine::RunToCompletion() {
         }
       }
       trace_.ExecBegin(exec_start, task.id, task.type, task.worker, task.BatchSize());
-      assembler_.ExecuteTask(task, processor_.get());
+      const ExecContext ctx{/*pool=*/nullptr, &arena_};
+      assembler_.ExecuteTask(task, processor_.get(), &ctx);
       trace_.ExecEnd(task.id, task.type, task.worker, task.BatchSize());
       ++tasks_executed_;
       task_batch_sizes_.push_back(task.BatchSize());

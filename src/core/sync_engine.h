@@ -19,6 +19,7 @@
 #include "src/core/scheduler.h"
 #include "src/graph/cell_registry.h"
 #include "src/obs/trace.h"
+#include "src/tensor/arena.h"
 
 namespace batchmaker {
 
@@ -58,6 +59,10 @@ class SyncEngine {
   std::unique_ptr<RequestProcessor> processor_;
   std::unique_ptr<Scheduler> scheduler_;
   BatchAssembler assembler_;
+  // Scratch arena for gather buffers and cell intermediates, recycled per
+  // task. No ThreadPool: SyncEngine is the serial bitwise reference that
+  // the threaded server's outputs are tested against.
+  TensorArena arena_;
   RequestId next_request_id_ = 1;
   int64_t tasks_executed_ = 0;
   std::vector<int> task_batch_sizes_;

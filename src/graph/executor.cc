@@ -9,11 +9,29 @@ namespace batchmaker {
 CellExecutor::CellExecutor(const CellDef* def) : def_(def) {
   BM_CHECK(def != nullptr);
   BM_CHECK(def->finalized());
+  // Pre-pack every MatMul weight whose RHS is an embedded parameter (shape
+  // inference guarantees the RHS is unbatched, which in the cell vocabulary
+  // means a kParam node). Done once per CellDef, at registration.
+  for (int id : def->TopoOrder()) {
+    const OpNode& node = def->op(id);
+    if (node.kind != OpKind::kMatMul) {
+      continue;
+    }
+    const OpNode& rhs = def->op(node.inputs[1]);
+    if (rhs.kind == OpKind::kParam) {
+      packed_weights_.emplace(id, PackedMatrix::Pack(rhs.weight));
+    }
+  }
 }
 
-std::vector<Tensor> CellExecutor::Execute(const std::vector<const Tensor*>& inputs) const {
+std::vector<Tensor> CellExecutor::Execute(const std::vector<const Tensor*>& inputs,
+                                          const ExecContext* ctx) const {
   const CellDef& def = *def_;
   BM_CHECK_EQ(static_cast<int>(inputs.size()), def.NumInputs());
+  ThreadPool* pool = ctx != nullptr ? ctx->pool : nullptr;
+  // All intermediates below allocate from the worker's arena while this
+  // scope is active; the output copies at the end materialize owned storage.
+  ArenaScope arena_scope(ctx != nullptr ? ctx->arena : nullptr);
 
   // Validate inputs and determine the batch size.
   int64_t batch = -1;
@@ -56,9 +74,15 @@ std::vector<Tensor> CellExecutor::Execute(const std::vector<const Tensor*>& inpu
       case OpKind::kParam:
         values[static_cast<size_t>(id)] = &node.weight;
         break;
-      case OpKind::kMatMul:
-        set_computed(id, MatMul(in(0), in(1)));
+      case OpKind::kMatMul: {
+        const auto packed_it = packed_weights_.find(id);
+        if (packed_it != packed_weights_.end()) {
+          set_computed(id, MatMulPacked(in(0), packed_it->second, pool));
+        } else {
+          set_computed(id, MatMul(in(0), in(1)));
+        }
         break;
+      }
       case OpKind::kAdd:
         set_computed(id, Add(in(0), in(1)));
         break;
@@ -125,7 +149,9 @@ std::vector<Tensor> CellExecutor::Execute(const std::vector<const Tensor*>& inpu
     const int op_id = def.output_op(i);
     const Tensor* value = values[static_cast<size_t>(op_id)];
     BM_CHECK(value != nullptr);
-    outputs.push_back(*value);  // copy: outputs outlive the executor call
+    // Copy: outputs outlive the executor call, and Tensor's copy
+    // constructor materializes owned storage even for arena-backed values.
+    outputs.push_back(*value);
   }
   return outputs;
 }

@@ -3,16 +3,35 @@
 // This is the CPU analogue of the paper's materialized GPU cells: a cell is
 // "executed" as one unit, with all of its internal operators run back to
 // back (the worker pushes all kernels of a task without waiting, §5).
+//
+// Construction pre-packs every MatMul weight into the GEMM's panel layout
+// (once per CellDef — the CellRegistry builds one executor per registered
+// cell), so the hot path never repacks weights. Execution optionally takes
+// an ExecContext carrying the calling worker's intra-task ThreadPool and
+// scratch TensorArena; both default to null (serial, heap-allocating), which
+// is the bitwise reference behaviour.
 
 #ifndef SRC_GRAPH_EXECUTOR_H_
 #define SRC_GRAPH_EXECUTOR_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "src/graph/cell_def.h"
+#include "src/tensor/arena.h"
+#include "src/tensor/gemm.h"
 #include "src/tensor/tensor.h"
+#include "src/util/thread_pool.h"
 
 namespace batchmaker {
+
+// Per-worker execution resources, owned by whoever drives the executor (the
+// server's worker threads, the sync engine). Everything is optional; the
+// parallel path is bitwise-identical to the serial one by construction.
+struct ExecContext {
+  ThreadPool* pool = nullptr;     // intra-task parallelism; null = serial
+  TensorArena* arena = nullptr;   // task-scoped scratch; null = heap
+};
 
 class CellExecutor {
  public:
@@ -22,13 +41,20 @@ class CellExecutor {
 
   // Runs the cell on a batch. `inputs[i]` must have shape
   // [batch] + input_spec(i).row_shape and the declared dtype; all inputs
-  // must agree on the batch size. Returns one tensor per declared output.
+  // must agree on the batch size. Returns one tensor per declared output;
+  // returned tensors always own their storage (safe past any arena reset).
   // (Pointer arguments only: a value-vector overload would be ambiguous
   // with brace-initialized two-pointer argument lists.)
-  std::vector<Tensor> Execute(const std::vector<const Tensor*>& inputs) const;
+  std::vector<Tensor> Execute(const std::vector<const Tensor*>& inputs,
+                              const ExecContext* ctx = nullptr) const;
+
+  // Number of MatMul weights pre-packed at construction (diagnostics).
+  int NumPackedWeights() const { return static_cast<int>(packed_weights_.size()); }
 
  private:
   const CellDef* def_;  // not owned; must outlive the executor
+  // MatMul op id -> packed form of its kParam RHS weight.
+  std::unordered_map<int, PackedMatrix> packed_weights_;
 };
 
 }  // namespace batchmaker

@@ -1,0 +1,55 @@
+#include "src/tensor/arena.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+namespace {
+constexpr size_t kAlign = 64;
+thread_local TensorArena* tls_arena = nullptr;
+}  // namespace
+
+TensorArena::TensorArena(size_t chunk_bytes) : chunk_bytes_(std::max(chunk_bytes, kAlign)) {}
+
+void* TensorArena::Allocate(size_t bytes) {
+  const size_t rounded = (std::max(bytes, size_t{1}) + kAlign - 1) & ~(kAlign - 1);
+  ++num_allocations_;
+  // Advance until a kept chunk fits (chunks are 64-byte aligned by
+  // construction, so offset_ stays aligned).
+  while (current_chunk_ < chunks_.size() &&
+         offset_ + rounded > chunks_[current_chunk_].size) {
+    ++current_chunk_;
+    offset_ = 0;
+  }
+  if (current_chunk_ == chunks_.size()) {
+    Chunk chunk;
+    chunk.size = std::max(chunk_bytes_, rounded);
+    // operator new[] returns at least max_align_t alignment; over-allocate
+    // to guarantee the 64-byte start.
+    chunk.data = std::make_unique<unsigned char[]>(chunk.size + kAlign);
+    total_reserved_ += chunk.size;
+    chunks_.push_back(std::move(chunk));
+    offset_ = 0;
+  }
+  Chunk& chunk = chunks_[current_chunk_];
+  const auto base = reinterpret_cast<uintptr_t>(chunk.data.get());
+  const uintptr_t aligned_base = (base + kAlign - 1) & ~(uintptr_t{kAlign} - 1);
+  void* out = reinterpret_cast<void*>(aligned_base + offset_);
+  offset_ += rounded;
+  return out;
+}
+
+void TensorArena::Reset() {
+  current_chunk_ = 0;
+  offset_ = 0;
+}
+
+ArenaScope::ArenaScope(TensorArena* arena) : prev_(tls_arena) { tls_arena = arena; }
+
+ArenaScope::~ArenaScope() { tls_arena = prev_; }
+
+TensorArena* ArenaScope::Current() { return tls_arena; }
+
+}  // namespace batchmaker

@@ -1,0 +1,82 @@
+// TensorArena: a per-worker bump allocator for task-scoped tensor scratch.
+//
+// The batched execution hot path (gather buffers, every intermediate of a
+// cell interpretation) allocates one tensor per op per task; with the global
+// allocator that is malloc/free traffic proportional to offered load. An
+// arena turns it into pointer bumps: each server worker owns one arena,
+// allocations live for exactly one task, and Reset() recycles every chunk
+// for the next task without returning memory to the OS.
+//
+// Lifetime rules (see DESIGN.md "CPU backend execution pipeline"):
+//   * Arena-backed tensors are only created inside an ArenaScope and must
+//     not outlive the scope's task. Anything that escapes (cell outputs,
+//     scattered node outputs) is deep-copied first — Tensor's copy
+//     constructor always materializes into owned storage, so copying is
+//     escaping.
+//   * ArenaScope is thread-local: pool threads spawned inside a task do NOT
+//     inherit the scope and therefore allocate owned storage. Only the
+//     worker thread that owns the arena bumps it — no locking.
+
+#ifndef SRC_TENSOR_ARENA_H_
+#define SRC_TENSOR_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace batchmaker {
+
+class TensorArena {
+ public:
+  explicit TensorArena(size_t chunk_bytes = size_t{1} << 20);
+  ~TensorArena() = default;
+
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+  // Returns 64-byte-aligned uninitialized storage valid until Reset().
+  void* Allocate(size_t bytes);
+
+  // Recycles all allocations. Chunks are kept (the freelist), so a steady
+  // workload stops allocating after the first few tasks.
+  void Reset();
+
+  // Diagnostics.
+  size_t TotalReservedBytes() const { return total_reserved_; }
+  int64_t NumAllocations() const { return num_allocations_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    size_t size = 0;
+  };
+
+  const size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t current_chunk_ = 0;  // index of the chunk being bumped
+  size_t offset_ = 0;         // bump position within the current chunk
+  size_t total_reserved_ = 0;
+  int64_t num_allocations_ = 0;
+};
+
+// RAII ambient scope: while alive, Tensor allocations on this thread draw
+// from `arena` (null reverts to owned storage; scopes nest and restore).
+class ArenaScope {
+ public:
+  explicit ArenaScope(TensorArena* arena);
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  // The arena active on this thread, or null.
+  static TensorArena* Current();
+
+ private:
+  TensorArena* prev_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_TENSOR_ARENA_H_

@@ -4,75 +4,329 @@
 #include <cstring>
 
 #include "src/util/logging.h"
+#include "src/util/thread_pool.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define BM_GEMM_X86 1
+#include <immintrin.h>
+#endif
 
 namespace batchmaker {
 
 namespace {
 
-// Cache blocking parameters, sized for a typical 32KB L1 / 1MB L2.
-constexpr int64_t kBlockM = 64;
-constexpr int64_t kBlockK = 256;
-constexpr int64_t kBlockN = 256;
+// Register-tile dimensions. NR is two 8-float SIMD vectors; MR=6 keeps the
+// 12 accumulator vectors plus 2 B vectors and a broadcast inside 16 ymm
+// registers. The packed layouts below are kernel-agnostic: the scalar
+// fallback consumes the same panels.
+constexpr int64_t kMr = 6;
+constexpr int64_t kNr = 16;
+// Rows of A packed (and owned) per parallel job; a multiple of kMr so tile
+// boundaries are identical whether A is packed whole or in blocks.
+constexpr int64_t kMc = 120;
 
-// Inner kernel over one (mb x kb x nb) block: C += A * B, row-major.
-// The j-loop is the innermost to stream B and C rows contiguously.
-void GemmBlock(const float* a, const float* b, float* c, int64_t mb, int64_t kb, int64_t nb,
-               int64_t lda, int64_t ldb, int64_t ldc) {
-  for (int64_t i = 0; i < mb; ++i) {
-    float* c_row = c + i * ldc;
-    for (int64_t p = 0; p < kb; ++p) {
-      const float a_ip = a[i * lda + p];
-      if (a_ip == 0.0f) {
-        continue;
+// One output tile: C[rows, cols] (+)= Ap * Bp, where Ap is k x kMr
+// (k-major, kMr consecutive row values) and Bp is k x kNr. Accumulation
+// over k is strictly sequential per element — the determinism contract.
+using KernelFn = void (*)(const float* ap, const float* bp, int64_t k, float* c,
+                          int64_t ldc, int64_t rows, int64_t cols, bool accumulate);
+
+void StorePartial(const float* tile, float* c, int64_t ldc, int64_t rows, int64_t cols,
+                  bool accumulate) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* src = tile + i * kNr;
+    float* dst = c + i * ldc;
+    if (accumulate) {
+      for (int64_t j = 0; j < cols; ++j) {
+        dst[j] += src[j];
       }
-      const float* b_row = b + p * ldb;
-      int64_t j = 0;
-      for (; j + 4 <= nb; j += 4) {
-        c_row[j + 0] += a_ip * b_row[j + 0];
-        c_row[j + 1] += a_ip * b_row[j + 1];
-        c_row[j + 2] += a_ip * b_row[j + 2];
-        c_row[j + 3] += a_ip * b_row[j + 3];
+    } else {
+      for (int64_t j = 0; j < cols; ++j) {
+        dst[j] = src[j];
       }
-      for (; j < nb; ++j) {
-        c_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+void MicroKernelScalar(const float* ap, const float* bp, int64_t k, float* c, int64_t ldc,
+                       int64_t rows, int64_t cols, bool accumulate) {
+  float acc[kMr * kNr] = {};
+  for (int64_t p = 0; p < k; ++p) {
+    const float* a_col = ap + p * kMr;
+    const float* b_row = bp + p * kNr;
+    for (int64_t ii = 0; ii < kMr; ++ii) {
+      const float a_val = a_col[ii];
+      float* acc_row = acc + ii * kNr;
+      for (int64_t jj = 0; jj < kNr; ++jj) {
+        acc_row[jj] += a_val * b_row[jj];
       }
+    }
+  }
+  StorePartial(acc, c, ldc, rows, cols, accumulate);
+}
+
+#if BM_GEMM_X86
+__attribute__((target("avx2,fma"))) void MicroKernelAvx2(const float* ap, const float* bp,
+                                                         int64_t k, float* c, int64_t ldc,
+                                                         int64_t rows, int64_t cols,
+                                                         bool accumulate) {
+  __m256 acc0[kMr];
+  __m256 acc1[kMr];
+  for (int ii = 0; ii < kMr; ++ii) {
+    acc0[ii] = _mm256_setzero_ps();
+    acc1[ii] = _mm256_setzero_ps();
+  }
+  for (int64_t p = 0; p < k; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNr);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNr + 8);
+    const float* a_col = ap + p * kMr;
+    for (int ii = 0; ii < kMr; ++ii) {
+      const __m256 a_val = _mm256_broadcast_ss(a_col + ii);
+      acc0[ii] = _mm256_fmadd_ps(a_val, b0, acc0[ii]);
+      acc1[ii] = _mm256_fmadd_ps(a_val, b1, acc1[ii]);
+    }
+  }
+  if (rows == kMr && cols == kNr) {
+    for (int ii = 0; ii < kMr; ++ii) {
+      float* dst = c + ii * ldc;
+      if (accumulate) {
+        acc0[ii] = _mm256_add_ps(acc0[ii], _mm256_loadu_ps(dst));
+        acc1[ii] = _mm256_add_ps(acc1[ii], _mm256_loadu_ps(dst + 8));
+      }
+      _mm256_storeu_ps(dst, acc0[ii]);
+      _mm256_storeu_ps(dst + 8, acc1[ii]);
+    }
+    return;
+  }
+  float tile[kMr * kNr];
+  for (int ii = 0; ii < kMr; ++ii) {
+    _mm256_storeu_ps(tile + ii * kNr, acc0[ii]);
+    _mm256_storeu_ps(tile + ii * kNr + 8, acc1[ii]);
+  }
+  StorePartial(tile, c, ldc, rows, cols, accumulate);
+}
+// One 16-float zmm covers the full NR tile width, so each row needs a
+// single accumulator; k is unrolled by two with disjoint accumulator sets
+// (12 independent FMA chains) to cover the FMA latency. The even/odd split
+// fixes a *different* per-element summation order than the other kernels —
+// allowed: the determinism contract is per-kernel, and kernel choice
+// depends only on the CPU, never on thread count or shape.
+__attribute__((target("avx512f"))) void MicroKernelAvx512(const float* ap, const float* bp,
+                                                          int64_t k, float* c, int64_t ldc,
+                                                          int64_t rows, int64_t cols,
+                                                          bool accumulate) {
+  __m512 acc_even[kMr];
+  __m512 acc_odd[kMr];
+  for (int ii = 0; ii < kMr; ++ii) {
+    acc_even[ii] = _mm512_setzero_ps();
+    acc_odd[ii] = _mm512_setzero_ps();
+  }
+  int64_t p = 0;
+  for (; p + 1 < k; p += 2) {
+    const __m512 b0 = _mm512_loadu_ps(bp + p * kNr);
+    const __m512 b1 = _mm512_loadu_ps(bp + (p + 1) * kNr);
+    const float* a_col = ap + p * kMr;
+    for (int ii = 0; ii < kMr; ++ii) {
+      acc_even[ii] = _mm512_fmadd_ps(_mm512_set1_ps(a_col[ii]), b0, acc_even[ii]);
+      acc_odd[ii] = _mm512_fmadd_ps(_mm512_set1_ps(a_col[kMr + ii]), b1, acc_odd[ii]);
+    }
+  }
+  if (p < k) {
+    const __m512 b0 = _mm512_loadu_ps(bp + p * kNr);
+    const float* a_col = ap + p * kMr;
+    for (int ii = 0; ii < kMr; ++ii) {
+      acc_even[ii] = _mm512_fmadd_ps(_mm512_set1_ps(a_col[ii]), b0, acc_even[ii]);
+    }
+  }
+  if (rows == kMr && cols == kNr) {
+    for (int ii = 0; ii < kMr; ++ii) {
+      float* dst = c + ii * ldc;
+      __m512 sum = _mm512_add_ps(acc_even[ii], acc_odd[ii]);
+      if (accumulate) {
+        sum = _mm512_add_ps(sum, _mm512_loadu_ps(dst));
+      }
+      _mm512_storeu_ps(dst, sum);
+    }
+    return;
+  }
+  float tile[kMr * kNr];
+  for (int ii = 0; ii < kMr; ++ii) {
+    _mm512_storeu_ps(tile + ii * kNr, _mm512_add_ps(acc_even[ii], acc_odd[ii]));
+  }
+  StorePartial(tile, c, ldc, rows, cols, accumulate);
+}
+#endif  // BM_GEMM_X86
+
+KernelFn SelectKernel() {
+#if BM_GEMM_X86
+  if (__builtin_cpu_supports("avx512f")) {
+    return MicroKernelAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return MicroKernelAvx2;
+  }
+#endif
+  return MicroKernelScalar;
+}
+
+const KernelFn kKernel = SelectKernel();
+
+// Packs rows [row0, row0+rows) of A[m,k] into kMr-row panels: panel ir holds
+// A rows [row0 + ir*kMr, ...) k-major, zero-padded to kMr rows. `out` must
+// hold ceil(rows/kMr)*kMr*k floats.
+void PackA(const float* a, int64_t k, int64_t row0, int64_t rows, int64_t m, float* out) {
+  const int64_t panels = (rows + kMr - 1) / kMr;
+  for (int64_t ir = 0; ir < panels; ++ir) {
+    float* dst = out + ir * k * kMr;
+    const int64_t base = row0 + ir * kMr;
+    const int64_t valid = std::min<int64_t>(kMr, m - base);
+    for (int64_t p = 0; p < k; ++p) {
+      for (int64_t ii = 0; ii < kMr; ++ii) {
+        dst[p * kMr + ii] = ii < valid ? a[(base + ii) * k + p] : 0.0f;
+      }
+    }
+  }
+}
+
+// Per-thread packing scratch. Reused across calls; bounded by the largest
+// (rows x k) block packed on that thread.
+thread_local std::vector<float> tls_a_pack;
+
+float* APackScratch(int64_t floats) {
+  if (static_cast<int64_t>(tls_a_pack.size()) < floats) {
+    tls_a_pack.resize(static_cast<size_t>(floats));
+  }
+  return tls_a_pack.data();
+}
+
+// Computes C rows [row0, row0+rows) against every panel of B, reading the
+// pre-packed A block `ap` (panels aligned to row0).
+void ComputeRowBlock(const float* ap, const PackedMatrix& b, float* c, int64_t row0,
+                     int64_t rows, int64_t m, int64_t n, bool accumulate) {
+  const int64_t k = b.k();
+  const int64_t a_panels = (rows + kMr - 1) / kMr;
+  for (int64_t jp = 0; jp < b.num_panels(); ++jp) {
+    const float* bp = b.panel(jp);
+    const int64_t col0 = jp * kNr;
+    const int64_t cols = std::min<int64_t>(kNr, n - col0);
+    for (int64_t ir = 0; ir < a_panels; ++ir) {
+      const int64_t tile_row0 = row0 + ir * kMr;
+      const int64_t tile_rows = std::min<int64_t>(kMr, m - tile_row0);
+      kKernel(ap + ir * k * kMr, bp, k, c + tile_row0 * n + col0, n, tile_rows, cols,
+              accumulate);
     }
   }
 }
 
 }  // namespace
 
-void GemmAccumulateRaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
-                       int64_t n) {
-  for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const int64_t mb = std::min(kBlockM, m - i0);
-    for (int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const int64_t kb = std::min(kBlockK, k - p0);
-      for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const int64_t nb = std::min(kBlockN, n - j0);
-        GemmBlock(a + i0 * k + p0, b + p0 * n + j0, c + i0 * n + j0, mb, kb, nb, k, n, n);
-      }
+PackedMatrix PackedMatrix::Pack(const float* b, int64_t k, int64_t n) {
+  BM_CHECK_GE(k, 0);
+  BM_CHECK_GT(n, 0);
+  PackedMatrix packed;
+  packed.k_ = k;
+  packed.n_ = n;
+  packed.num_panels_ = (n + kNr - 1) / kNr;
+  packed.data_.assign(static_cast<size_t>(packed.num_panels_ * k * kNr), 0.0f);
+  for (int64_t jp = 0; jp < packed.num_panels_; ++jp) {
+    float* dst = packed.data_.data() + jp * k * kNr;
+    const int64_t col0 = jp * kNr;
+    const int64_t cols = std::min<int64_t>(kNr, n - col0);
+    for (int64_t p = 0; p < k; ++p) {
+      std::memcpy(dst + p * kNr, b + p * n + col0, static_cast<size_t>(cols) * sizeof(float));
     }
   }
+  return packed;
+}
+
+PackedMatrix PackedMatrix::Pack(const Tensor& b) {
+  BM_CHECK(b.dtype() == DType::kF32);
+  BM_CHECK_EQ(b.shape().Rank(), 2);
+  return Pack(b.f32(), b.shape().Dim(0), b.shape().Dim(1));
+}
+
+const float* PackedMatrix::panel(int64_t j) const {
+  BM_CHECK_GE(j, 0);
+  BM_CHECK_LT(j, num_panels_);
+  return data_.data() + j * k_ * kNr;
+}
+
+void GemmPacked(const float* a, const PackedMatrix& b, float* c, int64_t m,
+                bool accumulate, ThreadPool* pool) {
+  const int64_t k = b.k();
+  const int64_t n = b.n();
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (k == 0) {
+    // No k-panels: the beta=0 path must still define C.
+    if (!accumulate) {
+      std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+    }
+    return;
+  }
+
+  const int64_t m_blocks = (m + kMc - 1) / kMc;
+  if (pool != nullptr && pool->num_threads() > 1 && m_blocks >= 2) {
+    // Tall A: each job owns a kMc row block — packs it and sweeps all of B.
+    pool->Run(m_blocks, [&](int64_t ib) {
+      const int64_t row0 = ib * kMc;
+      const int64_t rows = std::min<int64_t>(kMc, m - row0);
+      const int64_t panels = (rows + kMr - 1) / kMr;
+      float* ap = APackScratch(panels * kMr * k);
+      PackA(a, k, row0, rows, m, ap);
+      ComputeRowBlock(ap, b, c, row0, rows, m, n, accumulate);
+    });
+    return;
+  }
+
+  // Short A (the batched-cell common case: m = batch): pack it whole once,
+  // then split across B's column panels. Both partitions assign whole
+  // output tiles to one thread, so the math per element never changes.
+  const int64_t a_panels = (m + kMr - 1) / kMr;
+  float* ap = APackScratch(a_panels * kMr * k);
+  PackA(a, k, /*row0=*/0, m, m, ap);
+  if (pool != nullptr && pool->num_threads() > 1 && b.num_panels() >= 2) {
+    pool->Run(b.num_panels(), [&](int64_t jp) {
+      const float* bp = b.panel(jp);
+      const int64_t col0 = jp * kNr;
+      const int64_t cols = std::min<int64_t>(kNr, n - col0);
+      for (int64_t ir = 0; ir < a_panels; ++ir) {
+        const int64_t row0 = ir * kMr;
+        const int64_t rows = std::min<int64_t>(kMr, m - row0);
+        kKernel(ap + ir * k * kMr, bp, k, c + row0 * n + col0, n, rows, cols, accumulate);
+      }
+    });
+    return;
+  }
+  ComputeRowBlock(ap, b, c, /*row0=*/0, m, m, n, accumulate);
 }
 
 void GemmRaw(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
-  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
-  GemmAccumulateRaw(a, b, c, m, k, n);
+  GemmPacked(a, PackedMatrix::Pack(b, k, n), c, m, /*accumulate=*/false);
+}
+
+void GemmAccumulateRaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                       int64_t n) {
+  GemmPacked(a, PackedMatrix::Pack(b, k, n), c, m, /*accumulate=*/true);
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  BM_CHECK(a.dtype() == DType::kF32 && b.dtype() == DType::kF32);
+  return MatMulPacked(a, PackedMatrix::Pack(b));
+}
+
+Tensor MatMulPacked(const Tensor& a, const PackedMatrix& b, ThreadPool* pool) {
+  BM_CHECK(a.dtype() == DType::kF32);
   BM_CHECK_EQ(a.shape().Rank(), 2);
-  BM_CHECK_EQ(b.shape().Rank(), 2);
   const int64_t m = a.shape().Dim(0);
   const int64_t k = a.shape().Dim(1);
-  BM_CHECK_EQ(k, b.shape().Dim(0)) << "MatMul inner dimension mismatch: "
-                                   << a.shape().ToString() << " x " << b.shape().ToString();
-  const int64_t n = b.shape().Dim(1);
-  Tensor c(Shape{m, n});
-  GemmRaw(a.f32(), b.f32(), c.f32(), m, k, n);
+  BM_CHECK_EQ(k, b.k()) << "MatMul inner dimension mismatch: " << a.shape().ToString()
+                        << " x [" << b.k() << "," << b.n() << "]";
+  Tensor c = Tensor::Uninitialized(Shape{m, b.n()});
+  GemmPacked(a.f32(), b, c.f32(), m, /*accumulate=*/false, pool);
   return c;
 }
+
+bool GemmUsesSimd() { return kKernel != MicroKernelScalar; }
 
 }  // namespace batchmaker

@@ -1,30 +1,77 @@
-// Single-threaded GEMM used by the CPU execution backend.
+// GEMM for the CPU execution backend: packed-panel microkernel with runtime
+// SIMD dispatch and optional static-partition parallelism.
 //
 // The LSTM cell at hidden size h reduces to one [b, 2h] x [2h, 4h] matrix
 // multiplication per step (paper §2.2 footnote 2), so GEMM dominates CPU
-// inference cost. The implementation is cache-blocked with an unrolled inner
-// kernel; it is not meant to rival MKL but is fast enough to serve the
-// example applications in real time at small hidden sizes.
+// inference cost. The B operand (always a weight matrix in cell graphs) is
+// packed once into contiguous column panels — CellExecutor caches the packed
+// form per CellDef — and the inner kernel is an MR x NR register tile
+// (AVX2+FMA when the CPU supports it, selected at runtime; portable scalar
+// tile otherwise).
+//
+// Determinism contract: each C element is accumulated over k in one fixed
+// sequential order by exactly one thread, and the work partition assigns
+// whole output tiles to threads — so results are bitwise identical for any
+// ThreadPool size, including the serial path. See DESIGN.md "CPU backend
+// execution pipeline".
 
 #ifndef SRC_TENSOR_GEMM_H_
 #define SRC_TENSOR_GEMM_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/tensor/tensor.h"
 
 namespace batchmaker {
 
-// C[m,n] = A[m,k] * B[k,n]. Raw-pointer form; strides equal row widths.
-void GemmRaw(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
+class ThreadPool;
 
+// B[k,n] repacked into column panels of the kernel's NR width, k-major
+// within a panel, zero-padded to full width. Packing is cheap (one pass
+// over B) but the win is doing it once per weight instead of per call.
+class PackedMatrix {
+ public:
+  PackedMatrix() = default;
+
+  static PackedMatrix Pack(const float* b, int64_t k, int64_t n);
+  static PackedMatrix Pack(const Tensor& b);  // rank-2 f32
+
+  int64_t k() const { return k_; }
+  int64_t n() const { return n_; }
+  int64_t num_panels() const { return num_panels_; }
+  // Panel j: k() x NR floats, row (k) major.
+  const float* panel(int64_t j) const;
+
+ private:
+  int64_t k_ = 0;
+  int64_t n_ = 0;
+  int64_t num_panels_ = 0;
+  std::vector<float> data_;
+};
+
+// C[m,n] = A[m,k] * B (accumulate=false; C need not be initialized — the
+// first k-panel writes directly, no separate zero pass) or C += A * B
+// (accumulate=true). Parallelizes over output tiles when `pool` is non-null
+// and the shape warrants it.
+void GemmPacked(const float* a, const PackedMatrix& b, float* c, int64_t m,
+                bool accumulate, ThreadPool* pool = nullptr);
+
+// Raw-pointer forms packing B on the fly; strides equal row widths.
+// C[m,n] = A[m,k] * B[k,n].
+void GemmRaw(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n);
 // C[m,n] += A[m,k] * B[k,n].
 void GemmAccumulateRaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
                        int64_t n);
 
-// Tensor wrapper: returns A * B. Both inputs must be rank-2 f32 with matching
-// inner dimensions.
+// Tensor wrappers. Both inputs must be rank-2 f32 with matching inner
+// dimensions; the packed form avoids re-packing the weight per call.
 Tensor MatMul(const Tensor& a, const Tensor& b);
+Tensor MatMulPacked(const Tensor& a, const PackedMatrix& b, ThreadPool* pool = nullptr);
+
+// True if the runtime-dispatched kernel uses the SIMD path on this CPU
+// (diagnostics / benchmark labeling).
+bool GemmUsesSimd();
 
 }  // namespace batchmaker
 

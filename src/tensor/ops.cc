@@ -240,33 +240,45 @@ Tensor GatherRows(const std::vector<const Tensor*>& sources, const std::vector<i
   BM_CHECK_EQ(sources.size(), rows.size());
   const Shape row_shape = sources[0]->shape().RowShape();
   const DType dtype = sources[0]->dtype();
-  const int64_t row_elems = row_shape.NumElements();
 
   std::vector<int64_t> out_dims;
   out_dims.push_back(static_cast<int64_t>(sources.size()));
   for (int64_t d : row_shape.dims()) {
     out_dims.push_back(d);
   }
-  Tensor out(Shape(std::move(out_dims)), dtype);
+  Tensor out = Tensor::Uninitialized(Shape(std::move(out_dims)), dtype);
+  GatherRowsInto(sources, rows, &out, 0, static_cast<int64_t>(sources.size()));
+  return out;
+}
 
-  for (size_t i = 0; i < sources.size(); ++i) {
-    const Tensor* src = sources[i];
+void GatherRowsInto(const std::vector<const Tensor*>& sources,
+                    const std::vector<int64_t>& rows, Tensor* out, int64_t begin,
+                    int64_t end) {
+  BM_CHECK(out != nullptr);
+  BM_CHECK_EQ(sources.size(), rows.size());
+  BM_CHECK_GE(begin, 0);
+  BM_CHECK_LE(end, static_cast<int64_t>(sources.size()));
+  BM_CHECK_EQ(out->shape().Dim(0), static_cast<int64_t>(sources.size()));
+  const Shape row_shape = out->shape().RowShape();
+  const DType dtype = out->dtype();
+  const int64_t row_elems = row_shape.NumElements();
+
+  for (int64_t i = begin; i < end; ++i) {
+    const Tensor* src = sources[static_cast<size_t>(i)];
+    const int64_t row = rows[static_cast<size_t>(i)];
     BM_CHECK(src->dtype() == dtype);
     BM_CHECK(src->shape().RowShape() == row_shape)
         << "row shape mismatch in GatherRows: " << src->shape().ToString();
-    BM_CHECK_GE(rows[i], 0);
-    BM_CHECK_LT(rows[i], src->shape().Dim(0));
+    BM_CHECK_GE(row, 0);
+    BM_CHECK_LT(row, src->shape().Dim(0));
     if (dtype == DType::kF32) {
-      std::memcpy(out.f32() + static_cast<int64_t>(i) * row_elems,
-                  src->f32() + rows[i] * row_elems,
+      std::memcpy(out->f32() + i * row_elems, src->f32() + row * row_elems,
                   static_cast<size_t>(row_elems) * sizeof(float));
     } else {
-      std::memcpy(out.i32() + static_cast<int64_t>(i) * row_elems,
-                  src->i32() + rows[i] * row_elems,
+      std::memcpy(out->i32() + i * row_elems, src->i32() + row * row_elems,
                   static_cast<size_t>(row_elems) * sizeof(int32_t));
     }
   }
-  return out;
 }
 
 void ScatterRow(const Tensor& batch, int64_t src_row, Tensor* dst, int64_t dst_row) {

@@ -62,6 +62,14 @@ Tensor ArgmaxRows(const Tensor& a);
 // and dtype; `rows[i]` selects the row within `sources[i]`.
 Tensor GatherRows(const std::vector<const Tensor*>& sources, const std::vector<int64_t>& rows);
 
+// Range form for parallel gather: copies batch rows [begin, end) into `out`,
+// which must already have shape [sources.size()] + row shape. Disjoint
+// ranges touch disjoint memory, so the batch assembler fans this out across
+// a ThreadPool.
+void GatherRowsInto(const std::vector<const Tensor*>& sources,
+                    const std::vector<int64_t>& rows, Tensor* out, int64_t begin,
+                    int64_t end);
+
 // Copies row `src_row` of `batch` into row `dst_row` of `dst`.
 void ScatterRow(const Tensor& batch, int64_t src_row, Tensor* dst, int64_t dst_row);
 

@@ -1,9 +1,17 @@
 // A dense row-major tensor with float32 or int32 elements.
 //
-// Tensors own their storage (std::vector) and are value types: copying a
-// Tensor deep-copies the data, moving is cheap. The batched-execution layer
+// Tensors are value types: copying a Tensor deep-copies the data into owned
+// storage (std::vector), moving is cheap. The batched-execution layer
 // relies on the row-gather/row-scatter helpers in src/tensor/ops.h to
 // assemble contiguous batched inputs (the paper's "gather" memory copy).
+//
+// Storage comes in two flavours. The default is owning. When a TensorArena
+// ArenaScope is active on the constructing thread, new tensors instead
+// borrow bump-allocated storage from the arena — the execution hot path
+// uses this for task-scoped scratch (gather buffers, cell intermediates).
+// Borrowed tensors must not outlive their arena's Reset(); copying one
+// (which the cell executor does for everything that escapes a task) always
+// materializes an owning tensor.
 
 #ifndef SRC_TENSOR_TENSOR_H_
 #define SRC_TENSOR_TENSOR_H_
@@ -29,9 +37,21 @@ class Tensor {
  public:
   // An empty (rank-0, 1-element) float tensor.
   Tensor();
+  // Zero-filled; draws from the ambient ArenaScope when one is active.
   explicit Tensor(Shape shape, DType dtype = DType::kF32);
 
+  Tensor(const Tensor& other);             // deep copy; result always owns
+  Tensor& operator=(const Tensor& other);  // deep copy; result always owns
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor() = default;
+
   static Tensor Zeros(Shape shape, DType dtype = DType::kF32);
+  // Like Tensor(shape, dtype) but skips the zero fill on the arena path —
+  // for outputs every element of which is about to be written (GEMM's
+  // beta=0 store, gather targets). Owned storage is still zeroed (vector
+  // allocation zero-fills regardless).
+  static Tensor Uninitialized(Shape shape, DType dtype = DType::kF32);
   static Tensor Full(Shape shape, float value);
   static Tensor FromVector(Shape shape, std::vector<float> values);
   static Tensor FromIntVector(Shape shape, std::vector<int32_t> values);
@@ -42,6 +62,8 @@ class Tensor {
   const Shape& shape() const { return shape_; }
   DType dtype() const { return dtype_; }
   int64_t NumElements() const { return shape_.NumElements(); }
+  // True if the storage is borrowed from a TensorArena.
+  bool arena_backed() const { return borrowed_ != nullptr; }
 
   float* f32();
   const float* f32() const;
@@ -68,8 +90,11 @@ class Tensor {
  private:
   Shape shape_;
   DType dtype_;
+  // Owned storage (empty when borrowed_ is set).
   std::vector<float> fdata_;
   std::vector<int32_t> idata_;
+  // Arena storage; valid until the arena's Reset. Never both.
+  void* borrowed_ = nullptr;
 };
 
 }  // namespace batchmaker

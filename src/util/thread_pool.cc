@@ -1,0 +1,120 @@
+#include "src/util/thread_pool.h"
+
+#include <stdexcept>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+namespace {
+// The pool whose Run is currently executing on this thread (worker shards
+// and the participating caller both set it). Used to reject nested submits.
+thread_local const ThreadPool* tls_running_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  BM_CHECK_GT(num_threads, 0);
+  errors_.resize(static_cast<size_t>(num_threads_));
+  threads_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int t = 1; t < num_threads_; ++t) {
+    threads_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::RunShard(int thread_index) {
+  const ThreadPool* prev = tls_running_pool;
+  tls_running_pool = this;
+  try {
+    for (int64_t i = thread_index; i < job_.num_items; i += num_threads_) {
+      (*job_.fn)(i);
+    }
+  } catch (...) {
+    errors_[static_cast<size_t>(thread_index)] = std::current_exception();
+  }
+  tls_running_pool = prev;
+}
+
+void ThreadPool::WorkerLoop(int thread_index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) {
+        return;
+      }
+      seen_epoch = epoch_;
+    }
+    RunShard(thread_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::Run(int64_t num_items, const std::function<void(int64_t)>& fn) {
+  if (tls_running_pool == this) {
+    throw std::logic_error("ThreadPool::Run called from inside the same pool's Run");
+  }
+  if (num_items <= 0) {
+    return;
+  }
+  if (num_threads_ == 1 || num_items == 1) {
+    // Inline fast path; still guard against nested submits for consistency.
+    const ThreadPool* prev = tls_running_pool;
+    tls_running_pool = this;
+    try {
+      for (int64_t i = 0; i < num_items; ++i) {
+        fn(i);
+      }
+    } catch (...) {
+      tls_running_pool = prev;
+      throw;
+    }
+    tls_running_pool = prev;
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_.fn = &fn;
+    job_.num_items = num_items;
+    for (auto& e : errors_) {
+      e = nullptr;
+    }
+    pending_ = num_threads_ - 1;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  RunShard(0);  // the caller is logical thread 0
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = Job{};
+  }
+  for (auto& e : errors_) {
+    if (e != nullptr) {
+      std::exception_ptr err = e;
+      e = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,81 @@
+// ThreadPool: a static-partition fork/join pool for intra-task parallelism.
+//
+// The serving layer batches requests into tasks (the paper's unit of GPU
+// work); on the CPU backend each task is itself parallelized — GEMM over
+// M-blocks, gather/scatter over batch rows — across a small pool owned by
+// the worker executing the task. The pool is deliberately work-stealing-free:
+// Run(n, fn) hands thread t the fixed index set {t, t+T, t+2T, ...}, so the
+// assignment of indices to threads is a pure function of (n, T). Callers keep
+// the determinism contract (bitwise-identical results for any thread count)
+// by making fn(i) write only to regions owned by index i and by never making
+// the *math* of index i depend on T — see DESIGN.md "CPU backend execution
+// pipeline".
+//
+// The calling thread participates as logical thread 0, so a pool constructed
+// with num_threads=1 spawns nothing and Run degenerates to a plain loop.
+
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace batchmaker {
+
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers (the caller is the remaining thread).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(i) for i in [0, num_items): thread t executes indices congruent
+  // to t modulo num_threads, the caller participating as thread 0. Blocks
+  // until every index has run. If fn throws, the throwing thread abandons
+  // the rest of its own index set; the other threads still finish theirs,
+  // and the first exception (in thread order) is rethrown here after the
+  // join — partial effects are the caller's problem. The pool remains
+  // usable afterwards.
+  //
+  // The pool has one submitter at a time: Run may be called from any
+  // thread, but never concurrently with another Run on the same pool (in
+  // the server each pool is owned by exactly one worker thread). Run is
+  // also not reentrant: a pool thread calling Run on its own pool throws
+  // std::logic_error without executing anything (a nested fork would
+  // deadlock the join). Distinct pools may nest freely.
+  void Run(int64_t num_items, const std::function<void(int64_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t num_items = 0;
+  };
+
+  void WorkerLoop(int thread_index);
+  void RunShard(int thread_index);
+
+  const int num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: new epoch or stop
+  std::condition_variable done_cv_;  // signals Run: all shards finished
+  Job job_;
+  uint64_t epoch_ = 0;        // bumped per Run; workers wait for a new epoch
+  int pending_ = 0;           // worker shards still running this epoch
+  bool stopping_ = false;
+  std::vector<std::exception_ptr> errors_;  // slot per thread, first wins
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

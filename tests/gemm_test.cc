@@ -1,0 +1,210 @@
+// Property tests for the packed GEMM against a naive triple-loop reference,
+// plus bitwise serial-vs-parallel identity and PackedMatrix reuse.
+
+#include "src/tensor/gemm.h"
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/thread_pool.h"
+
+namespace batchmaker {
+namespace {
+
+// Deterministic pseudo-random fill with values that exercise rounding
+// (non-dyadic fractions) and signs.
+std::vector<float> RandomMatrix(int64_t rows, int64_t cols, uint32_t seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  std::vector<float> m(static_cast<size_t>(rows * cols));
+  for (float& v : m) {
+    v = dist(gen);
+  }
+  return m;
+}
+
+// The reference: textbook i-k-j triple loop, same accumulation order the
+// packed kernel promises (k ascending per C element).
+std::vector<float> NaiveGemm(const std::vector<float>& a, const std::vector<float>& b,
+                             int64_t m, int64_t k, int64_t n, bool accumulate,
+                             const std::vector<float>& c_init = {}) {
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  if (accumulate) {
+    c = c_init;
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = accumulate ? c[static_cast<size_t>(i * n + j)] : 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += a[static_cast<size_t>(i * k + p)] * b[static_cast<size_t>(p * n + j)];
+      }
+      c[static_cast<size_t>(i * n + j)] = acc;
+    }
+  }
+  return c;
+}
+
+// The packed kernel reassociates the j (column) loop into SIMD lanes but
+// keeps k sequential, so results match the naive loop to within a small
+// relative tolerance (and are exactly equal in the scalar-kernel build).
+void ExpectClose(const std::vector<float>& got, const std::vector<float>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    const float tol = 1e-4f * (1.0f + std::fabs(want[i]));
+    EXPECT_NEAR(got[i], want[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(GemmTest, MatchesNaiveAcrossShapeGrid) {
+  const int64_t sizes[] = {1, 3, 17, 64, 65, 130};
+  uint32_t seed = 1;
+  for (int64_t m : sizes) {
+    for (int64_t k : sizes) {
+      for (int64_t n : sizes) {
+        SCOPED_TRACE(testing::Message() << "m=" << m << " k=" << k << " n=" << n);
+        const auto a = RandomMatrix(m, k, seed++);
+        const auto b = RandomMatrix(k, n, seed++);
+        // Poison C: the beta=0 path must overwrite, not accumulate.
+        std::vector<float> c(static_cast<size_t>(m * n), 123.0f);
+        GemmRaw(a.data(), b.data(), c.data(), m, k, n);
+        ExpectClose(c, NaiveGemm(a, b, m, k, n, /*accumulate=*/false));
+      }
+    }
+  }
+}
+
+TEST(GemmTest, ZeroInnerDimensionZerosOutput) {
+  // k=0: the product is all zeros; the non-accumulating form must still
+  // clear whatever was in C.
+  const int64_t m = 5, n = 33;
+  std::vector<float> a;  // [5, 0]
+  std::vector<float> b;  // [0, 33]
+  std::vector<float> c(static_cast<size_t>(m * n), 7.0f);
+  GemmRaw(a.data(), b.data(), c.data(), m, /*k=*/0, n);
+  for (float v : c) {
+    EXPECT_EQ(v, 0.0f);
+  }
+
+  // The accumulating form with k=0 is a no-op.
+  std::vector<float> c2(static_cast<size_t>(m * n), 7.0f);
+  GemmAccumulateRaw(a.data(), b.data(), c2.data(), m, /*k=*/0, n);
+  for (float v : c2) {
+    EXPECT_EQ(v, 7.0f);
+  }
+}
+
+TEST(GemmTest, AccumulateAddsOntoExistingC) {
+  const int64_t sizes[] = {1, 3, 17, 65};
+  uint32_t seed = 1000;
+  for (int64_t m : sizes) {
+    for (int64_t k : sizes) {
+      for (int64_t n : sizes) {
+        SCOPED_TRACE(testing::Message() << "m=" << m << " k=" << k << " n=" << n);
+        const auto a = RandomMatrix(m, k, seed++);
+        const auto b = RandomMatrix(k, n, seed++);
+        const auto c_init = RandomMatrix(m, n, seed++);
+        std::vector<float> c = c_init;
+        GemmAccumulateRaw(a.data(), b.data(), c.data(), m, k, n);
+        ExpectClose(c, NaiveGemm(a, b, m, k, n, /*accumulate=*/true, c_init));
+      }
+    }
+  }
+}
+
+TEST(GemmTest, ParallelIsBitwiseIdenticalToSerial) {
+  // The determinism contract: pooled execution must produce byte-identical
+  // output for any thread count. Shapes chosen to hit both parallel
+  // partitions (multiple M blocks; multiple B panels with a single M block).
+  struct ShapeCase {
+    int64_t m, k, n;
+  };
+  const ShapeCase cases[] = {
+      {1, 64, 130},    // one M block, many panels -> panel partition
+      {130, 17, 64},   // multiple M blocks (kMc=120) -> block partition
+      {257, 130, 96},  // both dimensions non-trivial
+      {3, 1, 17},      // degenerate small
+  };
+  ThreadPool pool2(2);
+  ThreadPool pool4(4);
+  ThreadPool pool7(7);
+  uint32_t seed = 42;
+  for (const ShapeCase& sc : cases) {
+    SCOPED_TRACE(testing::Message() << "m=" << sc.m << " k=" << sc.k << " n=" << sc.n);
+    const auto a = RandomMatrix(sc.m, sc.k, seed++);
+    const auto b = RandomMatrix(sc.k, sc.n, seed++);
+    const PackedMatrix packed = PackedMatrix::Pack(b.data(), sc.k, sc.n);
+    const size_t c_size = static_cast<size_t>(sc.m * sc.n);
+
+    std::vector<float> serial(c_size, -1.0f);
+    GemmPacked(a.data(), packed, serial.data(), sc.m, /*accumulate=*/false);
+
+    for (ThreadPool* pool : {&pool2, &pool4, &pool7}) {
+      std::vector<float> parallel(c_size, -2.0f);
+      GemmPacked(a.data(), packed, parallel.data(), sc.m, /*accumulate=*/false, pool);
+      EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(), c_size * sizeof(float)))
+          << "pool size " << pool->num_threads();
+    }
+  }
+}
+
+TEST(GemmTest, PackedMatrixIsReusableAcrossCalls) {
+  const int64_t m = 33, k = 65, n = 47;
+  const auto a1 = RandomMatrix(m, k, 7);
+  const auto a2 = RandomMatrix(m, k, 8);
+  const auto b = RandomMatrix(k, n, 9);
+  const PackedMatrix packed = PackedMatrix::Pack(b.data(), k, n);
+  EXPECT_EQ(packed.k(), k);
+  EXPECT_EQ(packed.n(), n);
+
+  // Two calls against the same packed B match independent on-the-fly packs.
+  std::vector<float> c1(static_cast<size_t>(m * n));
+  std::vector<float> c2(static_cast<size_t>(m * n));
+  GemmPacked(a1.data(), packed, c1.data(), m, /*accumulate=*/false);
+  GemmPacked(a2.data(), packed, c2.data(), m, /*accumulate=*/false);
+
+  std::vector<float> want1(static_cast<size_t>(m * n));
+  std::vector<float> want2(static_cast<size_t>(m * n));
+  GemmRaw(a1.data(), b.data(), want1.data(), m, k, n);
+  GemmRaw(a2.data(), b.data(), want2.data(), m, k, n);
+  EXPECT_EQ(0, std::memcmp(c1.data(), want1.data(), c1.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(c2.data(), want2.data(), c2.size() * sizeof(float)));
+}
+
+TEST(GemmTest, PackTensorMatchesPackPointer) {
+  const int64_t k = 17, n = 30;
+  const auto b = RandomMatrix(k, n, 11);
+  Tensor bt = Tensor::FromVector(Shape{k, n}, b);
+  const PackedMatrix from_tensor = PackedMatrix::Pack(bt);
+  const PackedMatrix from_ptr = PackedMatrix::Pack(b.data(), k, n);
+  ASSERT_EQ(from_tensor.num_panels(), from_ptr.num_panels());
+  ASSERT_EQ(from_tensor.k(), from_ptr.k());
+  for (int64_t j = 0; j < from_tensor.num_panels(); ++j) {
+    EXPECT_EQ(0, std::memcmp(from_tensor.panel(j), from_ptr.panel(j),
+                             sizeof(float) * 16 * static_cast<size_t>(k)));
+  }
+}
+
+TEST(GemmTest, MatMulTensorWrapper) {
+  const int64_t m = 4, k = 6, n = 5;
+  const auto a = RandomMatrix(m, k, 21);
+  const auto b = RandomMatrix(k, n, 22);
+  Tensor at = Tensor::FromVector(Shape{m, k}, a);
+  Tensor bt = Tensor::FromVector(Shape{k, n}, b);
+  const Tensor c = MatMul(at, bt);
+  ASSERT_EQ(c.shape().Dim(0), m);
+  ASSERT_EQ(c.shape().Dim(1), n);
+  const auto want = NaiveGemm(a, b, m, k, n, /*accumulate=*/false);
+  std::vector<float> got(c.f32(), c.f32() + m * n);
+  ExpectClose(got, want);
+
+  const PackedMatrix packed = PackedMatrix::Pack(bt);
+  const Tensor cp = MatMulPacked(at, packed);
+  EXPECT_TRUE(c.ElementsEqual(cp));
+}
+
+}  // namespace
+}  // namespace batchmaker

@@ -1,0 +1,143 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace batchmaker {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.Run(257, [&](int64_t i) { hits[static_cast<size_t>(i)].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int64_t> order;
+  pool.Run(5, [&](int64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, StaticPartitionIsStrided) {
+  // Thread t owns indices congruent to t mod T: with disjoint per-index
+  // outputs the result is independent of scheduling, which is the
+  // determinism contract the GEMM relies on.
+  ThreadPool pool(3);
+  std::vector<int64_t> out(30, -1);
+  pool.Run(30, [&](int64_t i) { out[static_cast<size_t>(i)] = i * i; });
+  for (int64_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRuns) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.Run(64, [&](int64_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 100 * (64 * 63 / 2));
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeItemsAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.Run(0, [&](int64_t) { ++calls; });
+  pool.Run(-3, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionFromCallerShard) {
+  ThreadPool pool(2);
+  // Index 0 runs on the calling thread.
+  EXPECT_THROW(pool.Run(2,
+                        [&](int64_t i) {
+                          if (i == 0) {
+                            throw std::runtime_error("caller shard");
+                          }
+                        }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionFromWorkerShard) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.Run(8, [&](int64_t i) {
+      ran.fetch_add(1);
+      if (i == 3) {  // 3 mod 4 -> worker thread 3
+        throw std::runtime_error("worker shard");
+      }
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker shard");
+  }
+  // The throwing thread abandons its own remaining index (7); the other
+  // three threads finish their full index sets.
+  EXPECT_EQ(ran.load(), 7);
+  // The pool stays usable after an exception.
+  std::atomic<int> ok{0};
+  pool.Run(8, [&](int64_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPoolTest, RejectsNestedSubmitToSamePool) {
+  ThreadPool pool(2);
+  std::atomic<int> nested_rejections{0};
+  pool.Run(2, [&](int64_t) {
+    try {
+      pool.Run(2, [](int64_t) {});
+    } catch (const std::logic_error&) {
+      nested_rejections.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(nested_rejections.load(), 2);
+}
+
+TEST(ThreadPoolTest, NestedSubmitToDistinctPoolIsAllowed) {
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> count{0};
+  // A pool accepts one submitter at a time, so the two outer shards take
+  // turns submitting to the (distinct) inner pool.
+  std::mutex inner_mu;
+  outer.Run(2, [&](int64_t) {
+    std::lock_guard<std::mutex> lock(inner_mu);
+    inner.Run(3, [&](int64_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 6);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentPoolsHammerDisjointBuffers) {
+  // TSan target: two independent pools forked/joined from two owner threads,
+  // each writing its own buffer through many epochs.
+  constexpr int kRounds = 200;
+  constexpr int64_t kItems = 128;
+  auto owner = [&](std::vector<int64_t>* buf) {
+    ThreadPool pool(4);
+    for (int round = 0; round < kRounds; ++round) {
+      pool.Run(kItems, [&](int64_t i) { (*buf)[static_cast<size_t>(i)] += i; });
+    }
+  };
+  std::vector<int64_t> buf_a(kItems, 0), buf_b(kItems, 0);
+  std::thread ta(owner, &buf_a);
+  std::thread tb(owner, &buf_b);
+  ta.join();
+  tb.join();
+  for (int64_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(buf_a[static_cast<size_t>(i)], kRounds * i);
+    EXPECT_EQ(buf_b[static_cast<size_t>(i)], kRounds * i);
+  }
+}
+
+}  // namespace
+}  // namespace batchmaker

@@ -20,14 +20,16 @@ cmake --build build-check -j "$(nproc)"
 ctest --test-dir build-check --output-on-failure -j "$(nproc)"
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "==> tsan: server_test + obs_test under -fsanitize=thread"
+  echo "==> tsan: concurrency tests under -fsanitize=thread"
   rm -rf build-tsan
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-  cmake --build build-tsan -j "$(nproc)" --target server_test obs_test
-  ctest --test-dir build-tsan --output-on-failure -R 'server_test|obs_test'
+  cmake --build build-tsan -j "$(nproc)" \
+    --target server_test obs_test thread_pool_test determinism_test
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'server_test|obs_test|thread_pool_test|determinism_test'
 fi
 
 echo "==> all checks passed"
