@@ -6,7 +6,19 @@
 // until ~8k req/s and stays low up to a peak of ~20k req/s; the baselines
 // start at ~25ms and shoot past 500ms by ~16k req/s. With bmax=64 latency
 // at low load is similar but peak throughput is much lower.
+//
+// The real-compute sweep at the end additionally compares pipeline_depth 1
+// (drain-then-refill worker streams) against depth 2 (watermark refill +
+// overlapped gather/execute/scatter) and writes machine-readable rows to
+// BENCH_fig07.json for CI regression tracking (tools/compare_bench.py).
+//
+// Usage: fig07_lstm_throughput_latency [--smoke|--real-only] [--out PATH]
+//   --smoke      skip the simulated sweeps and run a single short low-rate
+//                real-compute point per depth (the CI perf-smoke job)
+//   --real-only  skip the simulated sweeps, run the full real-compute sweep
+//   --out        where to write the JSON rows (default BENCH_fig07.json)
 
+#include <cstring>
 #include <thread>
 
 #include "bench/bench_common.h"
@@ -15,71 +27,166 @@
 namespace batchmaker {
 namespace {
 
+struct Fig07Row {
+  double rate_rps = 0.0;
+  int pipeline_depth = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double achieved_rps = 0.0;
+  double worker_idle_ms = 0.0;  // total exec-thread idle time over the run
+  int64_t tasks = 0;
+  int64_t requests = 0;
+};
+
+// Same envelope as BENCH_gemm/BENCH_fig03: {"bench": name, "results": [...]}.
+void WriteFig07Json(const std::string& path, const std::vector<Fig07Row>& rows) {
+  JsonArray out;
+  for (const Fig07Row& r : rows) {
+    JsonObject row;
+    row["rate_rps"] = r.rate_rps;
+    row["pipeline_depth"] = r.pipeline_depth;
+    row["p50_ms"] = r.p50_ms;
+    row["p95_ms"] = r.p95_ms;
+    row["p99_ms"] = r.p99_ms;
+    row["achieved_rps"] = r.achieved_rps;
+    row["worker_idle_ms"] = r.worker_idle_ms;
+    row["tasks"] = r.tasks;
+    row["requests"] = r.requests;
+    out.emplace_back(std::move(row));
+  }
+  JsonObject doc;
+  doc["bench"] = "fig07_lstm_throughput_latency";
+  doc["results"] = Json(std::move(out));
+  std::ofstream file(path);
+  file << Json(std::move(doc)).Dump(2) << "\n";
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
+
 // Real-compute counterpart of the simulated sweep: the actual threaded
 // Server executing a real LSTM (h=256) on this machine's CPU backend, with
 // Poisson arrivals at each offered rate. End-to-end latency percentiles
 // come from the server's own metrics. Scaled down from the paper's
 // configuration (h=1024, V100) so the sweep finishes in seconds on a small
-// machine; the *shape* — flat p50 until the CPU saturates — is what mirrors
-// Figure 7.
-void RealComputeCpuSweep(int threads_per_worker) {
+// machine; the *shape* — flat p50 until the CPU saturates, and the
+// worker-idle gap shrinking with pipeline_depth >= 2 — is what mirrors
+// Figure 7 and the pipelined-streams claim.
+Fig07Row RealComputePoint(double rate, int pipeline_depth, int threads_per_worker,
+                          double duration_s) {
   constexpr int64_t kHidden = 256;
   constexpr int kMaxLen = 30;
-  bench::PrintHeader("Figure 7 (real-compute): CPU backend, h=256, threads_per_worker=" +
-                     std::to_string(threads_per_worker));
-  std::printf("%12s %12s %12s %12s %14s\n", "rate(req/s)", "p50(ms)", "p90(ms)",
-              "p99(ms)", "achieved(req/s)");
+  CellRegistry registry;
+  Rng weight_rng(1);
+  LstmModel model(&registry, LstmSpec{.input_dim = kHidden, .hidden = kHidden},
+                  &weight_rng);
+  ServerOptions options;
+  options.threads_per_worker = threads_per_worker;
+  options.pipeline_depth = pipeline_depth;
+  Server server(&registry, options);
+  server.Start();
 
-  for (const double rate : {50.0, 100.0, 150.0, 200.0}) {
-    CellRegistry registry;
-    Rng weight_rng(1);
-    LstmModel model(&registry, LstmSpec{.input_dim = kHidden, .hidden = kHidden},
-                    &weight_rng);
-    ServerOptions options;
-    options.threads_per_worker = threads_per_worker;
-    Server server(&registry, options);
-    server.Start();
-
-    Rng rng(static_cast<uint64_t>(rate));
-    const WmtLengthSampler sampler;
-    const int total = static_cast<int>(rate * 2.0);  // ~2 seconds of offered load
-    const auto start = std::chrono::steady_clock::now();
-    double next_arrival_s = 0.0;
-    for (int i = 0; i < total; ++i) {
-      next_arrival_s += rng.NextExponential(rate);
-      std::this_thread::sleep_until(
-          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                      std::chrono::duration<double>(next_arrival_s)));
-      const int len = std::min(kMaxLen, sampler.Sample(&rng));
-      std::vector<Tensor> externals;
-      for (int t = 0; t < len; ++t) {
-        externals.push_back(Tensor::RandomUniform(Shape{1, kHidden}, 1.0f, &rng));
-      }
-      externals.push_back(ExternalZeroVecTensor(kHidden));
-      externals.push_back(ExternalZeroVecTensor(kHidden));
-      server.Submit(model.Unfold(len), std::move(externals),
-                    {ValueRef::Output(len - 1, 0)},
-                    [](RequestId, std::vector<Tensor>) {});
+  Rng rng(static_cast<uint64_t>(rate));
+  const WmtLengthSampler sampler;
+  const int total = static_cast<int>(rate * duration_s);
+  const auto start = std::chrono::steady_clock::now();
+  double next_arrival_s = 0.0;
+  for (int i = 0; i < total; ++i) {
+    next_arrival_s += rng.NextExponential(rate);
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(next_arrival_s)));
+    const int len = std::min(kMaxLen, sampler.Sample(&rng));
+    std::vector<Tensor> externals;
+    for (int t = 0; t < len; ++t) {
+      externals.push_back(Tensor::RandomUniform(Shape{1, kHidden}, 1.0f, &rng));
     }
-    server.Shutdown();
-
-    const SampleSet lat = server.metrics().Latencies();
-    const auto& records = server.metrics().records();
-    const double span_s =
-        (records.back().completion_micros - records.front().arrival_micros) / 1e6;
-    std::printf("%12.0f %12.2f %12.2f %12.2f %14.0f\n", rate,
-                lat.Percentile(50) / 1e3, lat.Percentile(90) / 1e3,
-                lat.Percentile(99) / 1e3,
-                static_cast<double>(records.size()) / span_s);
+    externals.push_back(ExternalZeroVecTensor(kHidden));
+    externals.push_back(ExternalZeroVecTensor(kHidden));
+    server.Submit(model.Unfold(len), std::move(externals),
+                  {ValueRef::Output(len - 1, 0)},
+                  [](RequestId, std::vector<Tensor>) {});
   }
+  server.Shutdown();
+
+  const SampleSet lat = server.metrics().Latencies();
+  const auto& records = server.metrics().records();
+  const double span_s =
+      (records.back().completion_micros - records.front().arrival_micros) / 1e6;
+  Fig07Row row;
+  row.rate_rps = rate;
+  row.pipeline_depth = pipeline_depth;
+  row.p50_ms = lat.Percentile(50) / 1e3;
+  row.p95_ms = lat.Percentile(95) / 1e3;
+  row.p99_ms = lat.Percentile(99) / 1e3;
+  row.achieved_rps = static_cast<double>(records.size()) / span_s;
+  row.worker_idle_ms = server.TotalWorkerIdleMicros() / 1e3;
+  row.tasks = server.TasksExecuted();
+  row.requests = static_cast<int64_t>(records.size());
+  return row;
+}
+
+std::vector<Fig07Row> RealComputeCpuSweep(int threads_per_worker,
+                                          const std::vector<double>& rates,
+                                          double duration_s) {
+  bench::PrintHeader(
+      "Figure 7 (real-compute): CPU backend, h=256, threads_per_worker=" +
+      std::to_string(threads_per_worker) + ", pipeline_depth {1, 2}");
+  std::printf("%12s %6s %10s %10s %10s %14s %12s %8s\n", "rate(req/s)", "depth",
+              "p50(ms)", "p95(ms)", "p99(ms)", "achieved(req/s)", "idle(ms)",
+              "tasks");
+  std::vector<Fig07Row> rows;
+  for (const double rate : rates) {
+    for (const int depth : {1, 2}) {
+      const Fig07Row row =
+          RealComputePoint(rate, depth, threads_per_worker, duration_s);
+      std::printf("%12.0f %6d %10.2f %10.2f %10.2f %14.0f %12.1f %8lld\n",
+                  row.rate_rps, row.pipeline_depth, row.p50_ms, row.p95_ms,
+                  row.p99_ms, row.achieved_rps, row.worker_idle_ms,
+                  static_cast<long long>(row.tasks));
+      rows.push_back(row);
+    }
+  }
+  return rows;
 }
 
 }  // namespace
 }  // namespace batchmaker
 
-int main() {
+int main(int argc, char** argv) {
   using namespace batchmaker;
   using namespace batchmaker::bench;
+
+  bool smoke = false;
+  bool real_only = false;
+  std::string out_path = "BENCH_fig07.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--real-only") == 0) {
+      real_only = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  if (smoke) {
+    // CI perf-smoke: one short, low-rate real-compute point per depth. Low
+    // rate keeps the machine far from saturation so the p50 is dominated
+    // by per-request compute, which is what a regression check needs to be
+    // stable on a shared runner.
+    const auto rows = RealComputeCpuSweep(/*threads_per_worker=*/1, {50.0},
+                                          /*duration_s=*/1.0);
+    WriteFig07Json(out_path, rows);
+    return 0;
+  }
+
+  if (real_only) {
+    const auto rows = RealComputeCpuSweep(/*threads_per_worker=*/1,
+                                          {50.0, 100.0, 150.0, 200.0},
+                                          /*duration_s=*/2.0);
+    WriteFig07Json(out_path, rows);
+    return 0;
+  }
 
   Rng data_rng(42);
   const WmtLengthSampler sampler;
@@ -124,6 +231,9 @@ int main() {
                 PeakThroughput(bm), PeakThroughput(pad));
   }
 
-  RealComputeCpuSweep(/*threads_per_worker=*/1);
+  const auto rows = RealComputeCpuSweep(/*threads_per_worker=*/1,
+                                        {50.0, 100.0, 150.0, 200.0},
+                                        /*duration_s=*/2.0);
+  WriteFig07Json(out_path, rows);
   return 0;
 }

@@ -25,10 +25,30 @@ void BatchAssembler::ExecuteTask(const BatchedTask& task, RequestProcessor* proc
 void BatchAssembler::ExecuteTask(const BatchedTask& task,
                                  const std::vector<RequestState*>& states,
                                  const ExecContext* ctx) const {
+  TensorArena* arena = ctx != nullptr ? ctx->arena : nullptr;
+  std::vector<Tensor> outputs;
+  {
+    // Gather + execute share the arena: the per-slot batch buffers and
+    // every cell intermediate live exactly as long as this task. The
+    // outputs that ExecuteGathered returns are owned copies, so the arena
+    // can be recycled before the scatter.
+    GatheredBatch gathered;
+    GatherInputs(task, states, &gathered, ctx);
+    outputs = ExecuteGathered(task, gathered, ctx);
+  }
+  if (arena != nullptr) {
+    arena->Reset();  // gather buffers + intermediates recycled for the next task
+  }
+  ScatterOutputs(task, states, outputs, ctx);
+}
+
+void BatchAssembler::GatherInputs(const BatchedTask& task,
+                                  const std::vector<RequestState*>& states,
+                                  GatheredBatch* out, const ExecContext* ctx) const {
+  BM_CHECK(out != nullptr);
   BM_CHECK_GT(task.BatchSize(), 0);
   BM_CHECK_EQ(states.size(), task.entries.size());
   const CellDef& def = registry_->def(task.type);
-  const CellExecutor& executor = registry_->executor(task.type);
   const int batch = task.BatchSize();
   ThreadPool* pool = ctx != nullptr ? ctx->pool : nullptr;
   TensorArena* arena = ctx != nullptr ? ctx->arena : nullptr;
@@ -38,66 +58,70 @@ void BatchAssembler::ExecuteTask(const BatchedTask& task,
         << "real-compute execution requires external input tensors";
   }
 
-  // Gather + execute inside the arena scope: the per-slot batch buffers and
-  // every cell intermediate live exactly as long as this task. The outputs
-  // that Execute returns are owned copies, so the arena can be recycled
-  // before the scatter.
-  std::vector<Tensor> outputs;
-  {
-    ArenaScope arena_scope(arena);
-
-    // Gather: one contiguous [batch, row] tensor per cell input slot.
-    std::vector<Tensor> gathered;
-    gathered.reserve(static_cast<size_t>(def.NumInputs()));
-    std::vector<const Tensor*> sources(static_cast<size_t>(batch));
-    const std::vector<int64_t> rows(static_cast<size_t>(batch), 0);  // sources are [1, ...]
-    for (int slot = 0; slot < def.NumInputs(); ++slot) {
-      for (int i = 0; i < batch; ++i) {
-        const TaskEntry& entry = task.entries[static_cast<size_t>(i)];
-        RequestState* state = states[static_cast<size_t>(i)];
-        const CellNode& node = state->graph.node(entry.node);
-        const ValueRef& ref = node.inputs[static_cast<size_t>(slot)];
-        if (ref.is_external()) {
-          BM_CHECK_LT(static_cast<size_t>(ref.external), state->externals.size());
-          sources[static_cast<size_t>(i)] =
-              &state->externals[static_cast<size_t>(ref.external)];
-        } else {
-          const auto& producer_outputs = state->node_outputs[static_cast<size_t>(ref.node)];
-          BM_CHECK(!producer_outputs.empty())
-              << "node " << ref.node << " of request " << entry.request
-              << " consumed before it produced output (scheduling bug)";
-          sources[static_cast<size_t>(i)] =
-              &producer_outputs[static_cast<size_t>(ref.output)];
-        }
-      }
-      const CellInputSpec& spec = def.input_spec(slot);
-      std::vector<int64_t> out_dims{batch};
-      for (int64_t d : spec.row_shape.dims()) {
-        out_dims.push_back(d);
-      }
-      Tensor out = Tensor::Uninitialized(Shape(std::move(out_dims)), spec.dtype);
-      if (pool != nullptr && pool->num_threads() > 1 && batch >= 2 * pool->num_threads()) {
-        // Row copies are independent; strided row ownership keeps the
-        // result identical for any thread count.
-        pool->Run(batch, [&](int64_t i) { GatherRowsInto(sources, rows, &out, i, i + 1); });
+  ArenaScope arena_scope(arena);
+  out->inputs.clear();
+  out->inputs.reserve(static_cast<size_t>(def.NumInputs()));
+  std::vector<const Tensor*> sources(static_cast<size_t>(batch));
+  const std::vector<int64_t> rows(static_cast<size_t>(batch), 0);  // sources are [1, ...]
+  for (int slot = 0; slot < def.NumInputs(); ++slot) {
+    for (int i = 0; i < batch; ++i) {
+      const TaskEntry& entry = task.entries[static_cast<size_t>(i)];
+      RequestState* state = states[static_cast<size_t>(i)];
+      const CellNode& node = state->graph.node(entry.node);
+      const ValueRef& ref = node.inputs[static_cast<size_t>(slot)];
+      if (ref.is_external()) {
+        BM_CHECK_LT(static_cast<size_t>(ref.external), state->externals.size());
+        sources[static_cast<size_t>(i)] =
+            &state->externals[static_cast<size_t>(ref.external)];
       } else {
-        GatherRowsInto(sources, rows, &out, 0, batch);
+        const auto& producer_outputs = state->node_outputs[static_cast<size_t>(ref.node)];
+        BM_CHECK(!producer_outputs.empty())
+            << "node " << ref.node << " of request " << entry.request
+            << " consumed before it produced output (scheduling bug)";
+        sources[static_cast<size_t>(i)] =
+            &producer_outputs[static_cast<size_t>(ref.output)];
       }
-      gathered.push_back(std::move(out));
     }
-
-    // Execute the whole batch in one cell invocation.
-    std::vector<const Tensor*> input_ptrs;
-    input_ptrs.reserve(gathered.size());
-    for (const Tensor& t : gathered) {
-      input_ptrs.push_back(&t);
+    const CellInputSpec& spec = def.input_spec(slot);
+    std::vector<int64_t> out_dims{batch};
+    for (int64_t d : spec.row_shape.dims()) {
+      out_dims.push_back(d);
     }
-    outputs = executor.Execute(input_ptrs, ctx);
+    Tensor gathered = Tensor::Uninitialized(Shape(std::move(out_dims)), spec.dtype);
+    if (pool != nullptr && pool->num_threads() > 1 && batch >= 2 * pool->num_threads()) {
+      // Row copies are independent; strided row ownership keeps the
+      // result identical for any thread count.
+      pool->Run(batch,
+                [&](int64_t i) { GatherRowsInto(sources, rows, &gathered, i, i + 1); });
+    } else {
+      GatherRowsInto(sources, rows, &gathered, 0, batch);
+    }
+    out->inputs.push_back(std::move(gathered));
   }
-  if (arena != nullptr) {
-    arena->Reset();  // gather buffers + intermediates recycled for the next task
-  }
+}
 
+std::vector<Tensor> BatchAssembler::ExecuteGathered(const BatchedTask& task,
+                                                    const GatheredBatch& gathered,
+                                                    const ExecContext* ctx) const {
+  const CellExecutor& executor = registry_->executor(task.type);
+  std::vector<const Tensor*> input_ptrs;
+  input_ptrs.reserve(gathered.inputs.size());
+  for (const Tensor& t : gathered.inputs) {
+    input_ptrs.push_back(&t);
+  }
+  // Execute the whole batch in one cell invocation; the executor opens its
+  // own ArenaScope on ctx->arena for intermediates, and its returned
+  // outputs always own their storage.
+  return executor.Execute(input_ptrs, ctx);
+}
+
+void BatchAssembler::ScatterOutputs(const BatchedTask& task,
+                                    const std::vector<RequestState*>& states,
+                                    const std::vector<Tensor>& outputs,
+                                    const ExecContext* ctx) const {
+  BM_CHECK_EQ(states.size(), task.entries.size());
+  const int batch = task.BatchSize();
+  ThreadPool* pool = ctx != nullptr ? ctx->pool : nullptr;
   // Scatter each output row back to its node. Entries are distinct
   // (request, node) pairs, so rows write disjoint node_outputs slots; the
   // extracted tensors are owned (no ambient arena here, and pool threads

@@ -6,15 +6,33 @@
 // the request's external inputs) into a contiguous [batch, ...] tensor. The
 // cell executor runs once on the whole batch, and the outputs are scattered
 // back into per-node output tensors.
+//
+// The three stages are exposed separately so the pipelined server can
+// overlap them across consecutive tasks of one worker stream: a staging
+// thread runs GatherInputs for task t+1 (into its own staging arena) while
+// the execution thread is still inside ExecuteGathered for task t. Results
+// are bitwise identical to the composed ExecuteTask by construction — the
+// stages compute exactly the same tensors, only on different threads.
 
 #ifndef SRC_CORE_BATCH_ASSEMBLER_H_
 #define SRC_CORE_BATCH_ASSEMBLER_H_
+
+#include <vector>
 
 #include "src/core/request_processor.h"
 #include "src/graph/cell_registry.h"
 #include "src/runtime/task.h"
 
 namespace batchmaker {
+
+// The gathered per-slot input batches of one task, produced by
+// GatherInputs and consumed by ExecuteGathered. When gathered under an
+// ExecContext with an arena, the tensors are arena-backed: they must be
+// destroyed (clear()) before that arena is Reset, and must outlive the
+// ExecuteGathered call that reads them.
+struct GatheredBatch {
+  std::vector<Tensor> inputs;  // one [batch, ...] tensor per cell input slot
+};
 
 class BatchAssembler {
  public:
@@ -38,6 +56,35 @@ class BatchAssembler {
   // Used by the threaded server so workers never read the request map.
   void ExecuteTask(const BatchedTask& task, const std::vector<RequestState*>& states,
                    const ExecContext* ctx = nullptr) const;
+
+  // ---- Staged API (the composed ExecuteTask is Gather + Execute + Scatter) ----
+  //
+  // Pipelining safety: GatherInputs reads node_outputs of the entries'
+  // producers, so the caller must guarantee every producer has already been
+  // *scattered* — within one FIFO worker stream that means waiting until no
+  // earlier unscattered task produces an input of this one (the server's
+  // staging thread tracks exactly that hazard set).
+
+  // Stage 1: gathers one contiguous [batch, ...] tensor per cell input
+  // slot into `out`. Uses ctx->arena for the gather buffers and ctx->pool
+  // to fan row copies (both optional).
+  void GatherInputs(const BatchedTask& task, const std::vector<RequestState*>& states,
+                    GatheredBatch* out, const ExecContext* ctx = nullptr) const;
+
+  // Stage 2: executes the whole batch in one cell invocation. Returned
+  // tensors always own their storage (safe past any arena reset); cell
+  // intermediates draw from ctx->arena, which the caller may Reset once
+  // this returns.
+  std::vector<Tensor> ExecuteGathered(const BatchedTask& task,
+                                      const GatheredBatch& gathered,
+                                      const ExecContext* ctx = nullptr) const;
+
+  // Stage 3: scatters each output row back to its entry's node_outputs
+  // slot. Entries are distinct (request, node) pairs, so rows write
+  // disjoint slots; scattered tensors always own their storage.
+  void ScatterOutputs(const BatchedTask& task, const std::vector<RequestState*>& states,
+                      const std::vector<Tensor>& outputs,
+                      const ExecContext* ctx = nullptr) const;
 
  private:
   const CellRegistry* registry_;

@@ -14,6 +14,7 @@
 #ifndef SRC_CORE_REQUEST_H_
 #define SRC_CORE_REQUEST_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -88,9 +89,24 @@ struct RequestState {
   int remaining_nodes = 0;
   int cancelled_nodes = 0;
 
-  // Metrics (virtual or real micros, depending on the engine).
-  double exec_start_micros = -1.0;  // first task containing this request started
+  // Metrics (virtual or real micros, depending on the engine). The
+  // first-exec timestamp is stamped by whichever worker thread first begins
+  // executing a task containing this request (CAS from the -1 sentinel), so
+  // the manager hot loop never walks task entries just to timestamp them.
+  // Subgraphs of one request may run on different workers concurrently,
+  // hence the atomic; whichever racer wins is a valid "first execution".
+  std::atomic<double> exec_start_micros{-1.0};
   double completion_micros = -1.0;
+
+  double ExecStartMicros() const {
+    return exec_start_micros.load(std::memory_order_relaxed);
+  }
+  bool ExecStarted() const { return ExecStartMicros() >= 0.0; }
+  void MarkExecStarted(double now_micros) {
+    double expected = -1.0;
+    exec_start_micros.compare_exchange_strong(expected, now_micros,
+                                              std::memory_order_relaxed);
+  }
   // Load shedding: the request was cancelled before execution started
   // (queue timeout); it must not count toward served-latency statistics.
   bool dropped = false;

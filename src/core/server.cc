@@ -1,6 +1,8 @@
 #include "src/core/server.h"
 
+#include <deque>
 #include <future>
+#include <unordered_set>
 #include <utility>
 
 #include "src/tensor/arena.h"
@@ -8,6 +10,62 @@
 #include "src/util/thread_pool.h"
 
 namespace batchmaker {
+
+namespace {
+
+// Hazard-set key for one (request, node) pair. Node indices are bounded by
+// graph size (well under 2^20) and request ids are sequential from 1, so
+// the packing cannot collide — a collision would be a correctness bug
+// (erasing one pair's key would unmask another's hazard).
+uint64_t HazardKey(RequestId request, int node) {
+  BM_CHECK_LT(node, 1 << 20);
+  return (static_cast<uint64_t>(request) << 20) | static_cast<uint64_t>(node);
+}
+
+}  // namespace
+
+// Shared state of one worker's staging/execution thread pair.
+//
+// The staging thread pops tasks from the worker's FIFO task queue, waits
+// out the two hazards below, gathers the task's inputs into one of the two
+// staging arenas, and appends the staged task to `staged`. The execution
+// thread pops from `staged` in order, executes, resets the task's staging
+// arena, scatters, and retires the task's hazard keys. All shared fields
+// are guarded by `mu`; `cv` is signalled whenever either side makes
+// progress the other may be waiting on.
+//
+// Hazard 1 (read-after-write): within a FIFO stream, task t+1 may consume
+// outputs of task t that has not scattered yet (the scheduler satisfies
+// *internal* dependencies at schedule time, trusting stream order). The
+// stager must not gather an input row whose producer is in `unscattered` —
+// the (request, node) keys of every popped-but-not-yet-scattered task.
+// Keys are inserted after a task's gather (before the next pop) and erased
+// after its scatter, so the blocking condition only ever clears, never
+// reappears, while the stager waits.
+//
+// Hazard 2 (arena reuse): task seq gathers into staging[seq % 2], which is
+// reset by the execution thread right after task seq executes. The stager
+// may start gathering task seq only once task seq-2 has executed
+// (executed_seq >= seq - 2), i.e. its buffers are dead and the arena
+// recycled. This is what bounds staging memory to two tasks per worker.
+struct Server::WorkerPipeline {
+  struct StagedTask {
+    WorkerTask wt;
+    GatheredBatch gathered;
+    int64_t seq = 0;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unordered_set<uint64_t> unscattered;
+  std::deque<StagedTask> staged;
+  int64_t executed_seq = -1;  // highest seq executed + scattered
+  bool stage_done = false;    // staging thread exited; drain and stop
+  TensorArena staging[2];
+  // Total exec-thread time with nothing to execute (see WorkerIdleMicros).
+  // Written only by the exec thread; read from any thread.
+  std::atomic<double> idle_micros{0.0};
+};
 
 Server::Server(const CellRegistry* registry, ServerOptions options)
     : registry_(registry),
@@ -17,6 +75,7 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
   BM_CHECK(registry != nullptr);
   BM_CHECK_GT(options_.num_workers, 0);
   BM_CHECK_GT(options_.threads_per_worker, 0);
+  BM_CHECK_GT(options_.pipeline_depth, 0);
   if (options_.enable_tracing) {
     trace_.Enable();
   }
@@ -30,7 +89,7 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
         RequestRecord record;
         record.id = state->id;
         record.arrival_micros = state->arrival_micros;
-        record.exec_start_micros = state->exec_start_micros;
+        record.exec_start_micros = state->ExecStartMicros();
         record.completion_micros = NowMicros();
         record.num_nodes = state->graph.NumNodes();
         metrics_.Record(record);
@@ -58,7 +117,7 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
         if (callback) {
           callback(state->id, std::move(outputs));
         }
-        trace_.RequestComplete(state->id, state->exec_start_micros);
+        trace_.RequestComplete(state->id, state->ExecStartMicros());
         if (unfinished_requests_.fetch_sub(1) == 1) {
           // Last in-flight request: wake a Shutdown() waiting for the
           // drain. Taking the mutex orders this notify after the waiter's
@@ -72,6 +131,7 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
   outstanding_.assign(static_cast<size_t>(options_.num_workers), 0);
   for (int i = 0; i < options_.num_workers; ++i) {
     task_queues_.push_back(std::make_unique<BlockingQueue<WorkerTask>>());
+    pipelines_.push_back(std::make_unique<WorkerPipeline>());
   }
 }
 
@@ -82,7 +142,8 @@ void Server::Start() {
   start_time_ = std::chrono::steady_clock::now();
   manager_thread_ = std::thread([this] { ManagerLoop(); });
   for (int i = 0; i < options_.num_workers; ++i) {
-    worker_threads_.emplace_back([this, i] { WorkerLoop(i); });
+    worker_threads_.emplace_back([this, i] { StageLoop(i); });
+    worker_threads_.emplace_back([this, i] { ExecLoop(i); });
   }
 }
 
@@ -124,8 +185,9 @@ RequestId Server::Submit(CellGraph graph, std::vector<Tensor> externals,
   return id;
 }
 
-std::vector<Tensor> Server::SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
-                                          std::vector<ValueRef> outputs_wanted) {
+std::optional<std::vector<Tensor>> Server::SubmitAndWait(
+    CellGraph graph, std::vector<Tensor> externals,
+    std::vector<ValueRef> outputs_wanted) {
   std::promise<std::vector<Tensor>> promise;
   std::future<std::vector<Tensor>> future = promise.get_future();
   const RequestId id =
@@ -134,7 +196,7 @@ std::vector<Tensor> Server::SubmitAndWait(CellGraph graph, std::vector<Tensor> e
                promise.set_value(std::move(outputs));
              });
   if (id == kInvalidRequestId) {
-    return {};  // rejected: raced a Shutdown, the callback will never fire
+    return std::nullopt;  // rejected: raced a Shutdown, the callback will never fire
   }
   return future.get();
 }
@@ -156,6 +218,9 @@ void Server::Shutdown() {
   }
   inbox_.Close();
   manager_thread_.join();
+  // After the drain there are no tasks in flight: closing a task queue
+  // stops that worker's staging thread, which flags stage_done and lets
+  // the execution thread drain `staged` (already empty) and exit.
   for (auto& queue : task_queues_) {
     queue->Close();
   }
@@ -164,23 +229,39 @@ void Server::Shutdown() {
   }
 }
 
+double Server::WorkerIdleMicros(int worker) const {
+  BM_CHECK_GE(worker, 0);
+  BM_CHECK_LT(static_cast<size_t>(worker), pipelines_.size());
+  return pipelines_[static_cast<size_t>(worker)]->idle_micros.load(
+      std::memory_order_relaxed);
+}
+
+double Server::TotalWorkerIdleMicros() const {
+  double total = 0.0;
+  for (const auto& pipe : pipelines_) {
+    total += pipe->idle_micros.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 void Server::ManagerLoop() {
   while (auto msg = inbox_.Pop()) {
-    if (std::holds_alternative<ArrivalMsg>(*msg)) {
-      HandleArrival(std::move(std::get<ArrivalMsg>(*msg)));
-      // Admit any arrivals that queued up behind this one before
-      // scheduling, so near-simultaneous requests batch together.
-      while (auto more = inbox_.TryPop()) {
-        if (std::holds_alternative<ArrivalMsg>(*more)) {
-          HandleArrival(std::move(std::get<ArrivalMsg>(*more)));
-        } else {
-          HandleCompletion(std::move(std::get<CompletionMsg>(*more)));
-        }
-      }
-    } else {
-      HandleCompletion(std::move(std::get<CompletionMsg>(*msg)));
+    HandleMsg(std::move(*msg));
+    // Admit everything that queued up behind this message before the
+    // refill pass: near-simultaneous requests batch together, and a burst
+    // of completions is absorbed in one scan instead of one per message.
+    while (auto more = inbox_.TryPop()) {
+      HandleMsg(std::move(*more));
     }
-    TryScheduleIdleWorkers();
+    TryRefillWorkers();
+  }
+}
+
+void Server::HandleMsg(ManagerMsg msg) {
+  if (std::holds_alternative<ArrivalMsg>(msg)) {
+    HandleArrival(std::move(std::get<ArrivalMsg>(msg)));
+  } else {
+    HandleCompletion(std::move(std::get<CompletionMsg>(msg)));
   }
 }
 
@@ -199,34 +280,40 @@ void Server::HandleCompletion(CompletionMsg msg) {
   BM_CHECK_GE(worker, 0);
   outstanding_[static_cast<size_t>(worker)]--;
   BM_CHECK_GE(outstanding_[static_cast<size_t>(worker)], 0);
-  // First-execution timestamps for queueing-time metrics.
-  for (const TaskEntry& entry : msg.task.entries) {
-    RequestState* state = processor_->FindRequest(entry.request);
-    if (state != nullptr && state->exec_start_micros < 0.0) {
-      state->exec_start_micros = msg.exec_start_micros;
-    }
-  }
   scheduler_->OnTaskCompleted(msg.task);
   // Early-termination predicates (the request may already be finalized, in
-  // which case FindRequest returns null and nothing happens).
-  for (const TaskEntry& entry : msg.task.entries) {
-    const auto term_it = terminations_.find(entry.request);
-    if (term_it == terminations_.end()) {
-      continue;
+  // which case FindRequest returns null and nothing happens). Skipped
+  // entirely when no request registered one — the common case.
+  if (!terminations_.empty()) {
+    for (const TaskEntry& entry : msg.task.entries) {
+      const auto term_it = terminations_.find(entry.request);
+      if (term_it == terminations_.end()) {
+        continue;
+      }
+      RequestState* state = processor_->FindRequest(entry.request);
+      if (state == nullptr) {
+        continue;
+      }
+      if (term_it->second(*state, entry.node)) {
+        terminations_.erase(term_it);
+        scheduler_->CancelRequest(entry.request);
+      }
     }
-    RequestState* state = processor_->FindRequest(entry.request);
-    if (state == nullptr) {
-      continue;
-    }
-    if (term_it->second(*state, entry.node)) {
-      terminations_.erase(term_it);
-      scheduler_->CancelRequest(entry.request);
-    }
+  }
+  // Targeted refill: this completion may have dropped the worker below the
+  // watermark and unlocked successors it can run; hand them over now,
+  // before the manager touches any other queued message.
+  if (outstanding_[static_cast<size_t>(worker)] < options_.pipeline_depth) {
+    TrySchedule(worker);
   }
 }
 
 void Server::TrySchedule(int worker) {
   std::vector<BatchedTask> tasks = scheduler_->Schedule(worker);
+  if (tasks.empty()) {
+    return;
+  }
+  trace_.StreamRefill(worker, static_cast<int>(tasks.size()));
   for (BatchedTask& task : tasks) {
     WorkerTask wt;
     wt.states.reserve(task.entries.size());
@@ -241,9 +328,20 @@ void Server::TrySchedule(int worker) {
   }
 }
 
-void Server::TryScheduleIdleWorkers() {
-  for (int w = 0; w < options_.num_workers; ++w) {
-    if (outstanding_[static_cast<size_t>(w)] == 0) {
+void Server::TryRefillWorkers() {
+  if (!scheduler_->HasReadyWork()) {
+    return;
+  }
+  // Watermark refill: top up every worker whose stream has fewer than
+  // pipeline_depth tasks in flight. The scan start rotates so that under
+  // light load (work for one task, everyone below watermark) the first
+  // fresh subgraph does not always pin to worker 0.
+  const int n = options_.num_workers;
+  const int start = refill_start_;
+  refill_start_ = (refill_start_ + 1) % n;
+  for (int i = 0; i < n; ++i) {
+    const int w = (start + i) % n;
+    if (outstanding_[static_cast<size_t>(w)] < options_.pipeline_depth) {
       TrySchedule(w);
       if (!scheduler_->HasReadyWork()) {
         break;
@@ -252,24 +350,132 @@ void Server::TryScheduleIdleWorkers() {
   }
 }
 
-void Server::WorkerLoop(int worker) {
-  // Each worker owns its slice of cores (the intra-task pool) and its
-  // scratch arena; both live for the worker's lifetime, the arena is
-  // recycled per task by the assembler.
-  ThreadPool pool(options_.threads_per_worker);
-  TensorArena arena;
-  const ExecContext ctx{&pool, &arena};
+void Server::StageLoop(int worker) {
+  WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(worker)];
   auto& queue = *task_queues_[static_cast<size_t>(worker)];
+  int64_t next_seq = 0;
   while (auto wt = queue.Pop()) {
+    const int64_t seq = next_seq++;
+
+    // Keys of internal inputs: producers that must have scattered before
+    // this task's rows can be gathered (hazard 1 above).
+    std::vector<uint64_t> input_keys;
+    for (size_t i = 0; i < wt->task.entries.size(); ++i) {
+      const TaskEntry& entry = wt->task.entries[i];
+      const CellNode& node = wt->states[i]->graph.node(entry.node);
+      for (const ValueRef& ref : node.inputs) {
+        if (!ref.is_external()) {
+          input_keys.push_back(HazardKey(entry.request, ref.node));
+        }
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(pipe.mu);
+      pipe.cv.wait(lock, [&] {
+        if (pipe.executed_seq < seq - 2) {
+          return false;  // staging[seq % 2] still holds task seq-2's buffers
+        }
+        for (uint64_t key : input_keys) {
+          if (pipe.unscattered.count(key) != 0) {
+            return false;  // a producer has not scattered yet
+          }
+        }
+        return true;
+      });
+    }
+
+    trace_.GatherBegin(wt->task.id, wt->task.type, worker, wt->task.BatchSize());
+    GatheredBatch gathered;
+    // No pool: the execution thread owns the worker's intra-task pool, and
+    // the pool admits one submitter at a time. Staging gathers serially —
+    // it is off the critical path whenever it overlaps an execution.
+    const ExecContext stage_ctx{/*pool=*/nullptr, &pipe.staging[seq & 1]};
+    assembler_.GatherInputs(wt->task, wt->states, &gathered, &stage_ctx);
+    trace_.GatherEnd(wt->task.id, wt->task.type, worker, wt->task.BatchSize());
+
+    {
+      std::lock_guard<std::mutex> lock(pipe.mu);
+      for (const TaskEntry& entry : wt->task.entries) {
+        pipe.unscattered.insert(HazardKey(entry.request, entry.node));
+      }
+      pipe.staged.push_back(
+          WorkerPipeline::StagedTask{std::move(*wt), std::move(gathered), seq});
+    }
+    pipe.cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(pipe.mu);
+    pipe.stage_done = true;
+  }
+  pipe.cv.notify_all();
+}
+
+void Server::ExecLoop(int worker) {
+  // Each worker owns its slice of cores (the intra-task pool) and a
+  // scratch arena for cell intermediates, recycled per task. Gather
+  // buffers live in the pipeline's staging arenas instead, so a task's
+  // inputs survive while the previous task executes here.
+  ThreadPool pool(options_.threads_per_worker);
+  TensorArena exec_arena;
+  const ExecContext ctx{&pool, &exec_arena};
+  WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(worker)];
+  double idle_accum = 0.0;
+
+  for (;;) {
+    WorkerPipeline::StagedTask st;
+    {
+      std::unique_lock<std::mutex> lock(pipe.mu);
+      if (pipe.staged.empty() && !pipe.stage_done) {
+        // The gap the watermark protocol exists to shrink: nothing staged,
+        // so this worker's cores go idle until the manager round-trips a
+        // refill (or the stager finishes a gather).
+        const double idle_begin = NowMicros();
+        pipe.cv.wait(lock,
+                     [&] { return !pipe.staged.empty() || pipe.stage_done; });
+        const double idle_end = NowMicros();
+        idle_accum += idle_end - idle_begin;
+        pipe.idle_micros.store(idle_accum, std::memory_order_relaxed);
+        trace_.WorkerIdle(idle_begin, idle_end, worker);
+      }
+      if (pipe.staged.empty()) {
+        break;  // stage_done and fully drained
+      }
+      st = std::move(pipe.staged.front());
+      pipe.staged.pop_front();
+    }
+
     const double exec_start = NowMicros();
-    trace_.ExecBegin(exec_start, wt->task.id, wt->task.type, worker,
-                     wt->task.BatchSize());
-    assembler_.ExecuteTask(wt->task, wt->states, &ctx);
-    trace_.ExecEnd(wt->task.id, wt->task.type, worker, wt->task.BatchSize());
+    // First-execution stamping happens here (not on the manager): any
+    // worker may win the CAS, and readers only look after the completion
+    // has round-tripped through the inbox.
+    for (RequestState* state : st.wt.states) {
+      state->MarkExecStarted(exec_start);
+    }
+    trace_.ExecBegin(exec_start, st.wt.task.id, st.wt.task.type, worker,
+                     st.wt.task.BatchSize());
+    std::vector<Tensor> outputs = assembler_.ExecuteGathered(st.wt.task, st.gathered, &ctx);
+    // The gather buffers are dead: drop the arena-backed tensors, then
+    // recycle both arenas. Resetting staging[seq % 2] before publishing
+    // executed_seq (below, under mu) is what makes it safe for the stager
+    // to reuse — its wait on executed_seq orders the reset before any new
+    // gather into that arena.
+    st.gathered.inputs.clear();
+    exec_arena.Reset();
+    pipe.staging[st.seq & 1].Reset();
+    assembler_.ScatterOutputs(st.wt.task, st.wt.states, outputs, &ctx);
+    {
+      std::lock_guard<std::mutex> lock(pipe.mu);
+      for (const TaskEntry& entry : st.wt.task.entries) {
+        pipe.unscattered.erase(HazardKey(entry.request, entry.node));
+      }
+      pipe.executed_seq = st.seq;
+    }
+    pipe.cv.notify_all();
+    trace_.ExecEnd(st.wt.task.id, st.wt.task.type, worker, st.wt.task.BatchSize());
     tasks_executed_.fetch_add(1);
+
     CompletionMsg msg;
-    msg.task = std::move(wt->task);
-    msg.exec_start_micros = exec_start;
+    msg.task = std::move(st.wt.task);
     inbox_.Push(ManagerMsg{std::move(msg)});
   }
 }

@@ -1,14 +1,24 @@
 // Server: the real-time, multi-threaded BatchMaker serving engine (paper
 // Figure 6).
 //
-// A manager thread owns the RequestProcessor and Scheduler; worker threads
-// (one per configured worker, standing in for the paper's per-GPU workers)
-// pop batched tasks from their FIFO task queues and execute them on the CPU
-// via the BatchAssembler (gather -> batched cell execution -> scatter).
-// Completed tasks flow back to the manager through its inbox; the manager
-// updates dependencies, schedules follow-up tasks, and fires the request
-// callback when a request's last cell finishes — so a short request
-// returns immediately even when batched with longer ones.
+// A manager thread owns the RequestProcessor and Scheduler; per-worker
+// thread pairs (standing in for the paper's per-GPU workers) execute
+// batched tasks from their FIFO task streams on the CPU via the
+// BatchAssembler. Completed tasks flow back to the manager through its
+// inbox; the manager updates dependencies, schedules follow-up tasks, and
+// fires the request callback when a request's last cell finishes — so a
+// short request returns immediately even when batched with longer ones.
+//
+// Pipelined worker streams (see DESIGN.md "Pipelined worker streams"): the
+// manager keeps every worker's stream `pipeline_depth` tasks deep
+// (watermark refill on each completion), so a worker never drains its
+// pipeline and then idles for a completion→manager→schedule round-trip.
+// Each worker splits task processing across two threads: a *staging*
+// thread gathers task t+1's input rows into a double-buffered staging
+// arena while the *execution* thread runs task t's cells on the intra-task
+// pool and scatters its outputs. Scatter stays in stream order and the
+// staging thread waits out read-after-write hazards against unscattered
+// tasks, so results are bitwise identical to SyncEngine at any depth.
 //
 // Thread-safety contract: a request's tensors are only touched by the
 // worker executing a task containing the request's nodes. The scheduler
@@ -28,6 +38,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <variant>
@@ -51,6 +62,14 @@ struct ServerOptions {
   // W*T cores; results are bitwise-independent of T (see DESIGN.md "CPU
   // backend execution pipeline").
   int threads_per_worker = 1;
+  // Low watermark on each worker's in-flight task count (the paper's
+  // pipelined task submission, Figure 6): the manager refills any worker
+  // whose in-flight count drops below this depth, instead of waiting for
+  // the stream to drain completely. 1 reproduces the old drain-then-refill
+  // behaviour; >= 2 keeps the worker's FIFO stream non-empty across the
+  // completion→manager→schedule round-trip. Results are bitwise identical
+  // at any depth.
+  int pipeline_depth = 2;
   SchedulerOptions scheduler;
   // Records structured events (src/obs/) for every request/task; export
   // with WriteChromeTrace(server.trace(), path). Off by default: the
@@ -89,9 +108,13 @@ class Server {
                    std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
                    TerminationFn terminate = nullptr);
 
-  // Convenience: submit and block until the response arrives.
-  std::vector<Tensor> SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
-                                    std::vector<ValueRef> outputs_wanted);
+  // Convenience: submit and block until the response arrives. Returns
+  // nullopt iff the submission was rejected (it raced a Shutdown) — an
+  // engaged but empty vector is a legitimate response (e.g. every wanted
+  // output was cancelled by early termination).
+  std::optional<std::vector<Tensor>> SubmitAndWait(CellGraph graph,
+                                                   std::vector<Tensor> externals,
+                                                   std::vector<ValueRef> outputs_wanted);
 
   // Waits for all in-flight work to finish, then stops the threads. Safe
   // to call more than once; the destructor calls it too.
@@ -101,6 +124,14 @@ class Server {
   // read after Shutdown.
   const MetricsCollector& metrics() const { return metrics_; }
   int64_t TasksExecuted() const { return tasks_executed_.load(); }
+
+  // Total microseconds worker `worker`'s execution thread spent with
+  // nothing to execute (waiting for the manager to refill its stream or
+  // for the staging thread to finish a gather). The watermark protocol
+  // exists to shrink this; fig07 reports it per depth. Thread-safe; stable
+  // only after Shutdown.
+  double WorkerIdleMicros(int worker) const;
+  double TotalWorkerIdleMicros() const;
 
   // Event trace (enabled via ServerOptions::enable_tracing; timestamps are
   // real micros since Start). Aggregates are thread-safe at any time; read
@@ -120,7 +151,6 @@ class Server {
   };
   struct CompletionMsg {
     BatchedTask task;
-    double exec_start_micros;
   };
   using ManagerMsg = std::variant<ArrivalMsg, CompletionMsg>;
 
@@ -131,12 +161,18 @@ class Server {
     std::vector<RequestState*> states;
   };
 
+  // Per-worker pipeline state shared by the staging and execution threads
+  // (defined in server.cc).
+  struct WorkerPipeline;
+
   void ManagerLoop();
-  void WorkerLoop(int worker);
+  void HandleMsg(ManagerMsg msg);
+  void StageLoop(int worker);
+  void ExecLoop(int worker);
   void HandleArrival(ArrivalMsg msg);
   void HandleCompletion(CompletionMsg msg);
   void TrySchedule(int worker);
-  void TryScheduleIdleWorkers();
+  void TryRefillWorkers();
   double NowMicros() const;
 
   const CellRegistry* registry_;
@@ -152,13 +188,18 @@ class Server {
   std::unordered_map<RequestId, ResponseFn> callbacks_;
   std::unordered_map<RequestId, TerminationFn> terminations_;
   std::vector<int> outstanding_;  // tasks submitted minus completed, per worker
+  // Rotating start index for the refill scan, so light load does not
+  // always feed worker 0 first (subgraph pinning would otherwise skew all
+  // locality onto low-numbered workers).
+  int refill_start_ = 0;
   MetricsCollector metrics_;
 
   BlockingQueue<ManagerMsg> inbox_;
   std::vector<std::unique_ptr<BlockingQueue<WorkerTask>>> task_queues_;
+  std::vector<std::unique_ptr<WorkerPipeline>> pipelines_;
 
   std::thread manager_thread_;
-  std::vector<std::thread> worker_threads_;
+  std::vector<std::thread> worker_threads_;  // one staging + one exec thread per worker
   std::atomic<RequestId> next_request_id_{1};
   std::atomic<int64_t> tasks_executed_{0};
   std::atomic<size_t> unfinished_requests_{0};

@@ -9,10 +9,12 @@ namespace batchmaker {
 SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
                      SimEngineOptions options)
     : registry_(registry),
+      pipeline_depth_(options.pipeline_depth),
       queue_timeout_micros_(options.queue_timeout_micros),
       trace_([this] { return events_.Now(); }) {
   BM_CHECK(registry != nullptr);
   BM_CHECK(cost_model != nullptr);
+  BM_CHECK_GT(pipeline_depth_, 0);
   if (options.enable_tracing) {
     trace_.Enable();
   }
@@ -30,11 +32,11 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
         RequestRecord record;
         record.id = state->id;
         record.arrival_micros = state->arrival_micros;
-        record.exec_start_micros = state->exec_start_micros;
+        record.exec_start_micros = state->ExecStartMicros();
         record.completion_micros = events_.Now();
         record.num_nodes = state->graph.NumNodes();
         metrics_.Record(record);
-        trace_.RequestComplete(state->id, state->exec_start_micros);
+        trace_.RequestComplete(state->id, state->ExecStartMicros());
       });
   scheduler_ = std::make_unique<Scheduler>(registry, processor_.get(), options.scheduler);
   scheduler_->set_trace(&trace_);
@@ -43,8 +45,8 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
   pool_->set_on_task_start([this](const BatchedTask& task) {
     for (const TaskEntry& entry : task.entries) {
       RequestState* state = processor_->FindRequest(entry.request);
-      if (state != nullptr && state->exec_start_micros < 0.0) {
-        state->exec_start_micros = events_.Now();
+      if (state != nullptr) {
+        state->MarkExecStarted(events_.Now());
       }
     }
     trace_.ExecBegin(task.id, task.type, task.worker, task.BatchSize());
@@ -61,10 +63,10 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
         terminate_after_.erase(it);
       }
     }
-    // Completion may have released follow-up subgraphs; if other workers
-    // sit idle they should pick that work up now rather than wait for
-    // their own idle events.
-    TryScheduleIdleWorkers();
+    // Completion may have released follow-up subgraphs; any worker below
+    // the watermark should pick that work up now rather than wait for its
+    // own idle event.
+    TryRefillWorkers();
   });
   pool_->set_on_idle([this](int worker) { TrySchedule(worker); });
 }
@@ -83,11 +85,11 @@ RequestId SimEngine::SubmitAt(double at_micros, CellGraph graph, int terminate_a
     // Kick scheduling in a separate same-time event so that all arrivals
     // with identical timestamps are admitted before any task is formed —
     // the real server likewise drains its arrival queue before scheduling.
-    events_.ScheduleAt(at_micros, [this] { TryScheduleIdleWorkers(); });
+    events_.ScheduleAt(at_micros, [this] { TryRefillWorkers(); });
     if (queue_timeout_micros_ > 0.0) {
       events_.ScheduleAfter(queue_timeout_micros_, [this, id] {
         RequestState* state = processor_->FindRequest(id);
-        if (state != nullptr && state->exec_start_micros < 0.0) {
+        if (state != nullptr && !state->ExecStarted()) {
           state->dropped = true;  // shed before any cell started executing
           scheduler_->CancelRequest(id);
         }
@@ -105,9 +107,12 @@ void SimEngine::Run(double deadline_micros) {
   }
 }
 
-void SimEngine::TryScheduleIdleWorkers() {
+void SimEngine::TryRefillWorkers() {
+  // Watermark refill over the stream depth (queued + running). At the
+  // default depth 1 this is exactly the legacy "schedule when a worker is
+  // idle": QueueDepth(w) == 0 iff IsIdle(w) at event boundaries.
   for (int w = 0; w < pool_->NumWorkers(); ++w) {
-    if (pool_->IsIdle(w)) {
+    if (pool_->QueueDepth(w) < pipeline_depth_) {
       TrySchedule(w);
       if (!scheduler_->HasReadyWork()) {
         break;

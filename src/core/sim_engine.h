@@ -26,6 +26,16 @@ namespace batchmaker {
 
 struct SimEngineOptions {
   int num_workers = 1;
+  // Low watermark on each simulated worker's FIFO stream (queued + running
+  // tasks): the engine refills any worker below this depth, mirroring the
+  // real server's pipelined worker streams. Defaults to 1 — schedule only
+  // when a stream drains — because virtual time has no
+  // completion→manager→schedule latency to hide: a deeper stream buys
+  // nothing and *costs* batching (tasks are formed earlier, before
+  // would-be joiners arrive), so existing simulated figures stay
+  // byte-identical. Depth >= 2 models a runtime that pipelines task
+  // submission and exposes that batching trade-off in virtual time.
+  int pipeline_depth = 1;
   SchedulerOptions scheduler;
   // Load shedding (0 = disabled): a request whose execution has not
   // started within this many micros of arrival is dropped — its cells are
@@ -68,10 +78,11 @@ class SimEngine {
   TraceRecorder& trace() { return trace_; }
 
  private:
-  void TryScheduleIdleWorkers();
+  void TryRefillWorkers();
   void TrySchedule(int worker);
 
   const CellRegistry* registry_;
+  int pipeline_depth_ = 1;
   double queue_timeout_micros_ = 0.0;
   EventQueue events_;
   MetricsCollector metrics_;

@@ -29,7 +29,7 @@ SyncEngine::SyncEngine(const CellRegistry* registry, SchedulerOptions options)
         }
         completed_outputs_.emplace(state->id, std::move(outputs));
         outputs_wanted_.erase(it);
-        trace_.RequestComplete(state->id, state->exec_start_micros);
+        trace_.RequestComplete(state->id, state->ExecStartMicros());
       });
   scheduler_ = std::make_unique<Scheduler>(registry, processor_.get(), options);
   scheduler_->set_trace(&trace_);
@@ -71,8 +71,8 @@ void SyncEngine::RunToCompletion() {
       const double exec_start = NowMicros();
       for (const TaskEntry& entry : task.entries) {
         RequestState* state = processor_->FindRequest(entry.request);
-        if (state != nullptr && state->exec_start_micros < 0.0) {
-          state->exec_start_micros = exec_start;
+        if (state != nullptr) {
+          state->MarkExecStarted(exec_start);
         }
       }
       trace_.ExecBegin(exec_start, task.id, task.type, task.worker, task.BatchSize());

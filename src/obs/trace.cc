@@ -16,6 +16,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kCancellation: return "cancellation";
     case TraceEventKind::kRequestComplete: return "request_complete";
     case TraceEventKind::kRequestDrop: return "request_drop";
+    case TraceEventKind::kStreamRefill: return "stream_refill";
+    case TraceEventKind::kGatherBegin: return "gather_begin";
+    case TraceEventKind::kGatherEnd: return "gather_end";
+    case TraceEventKind::kWorkerIdle: return "worker_idle";
   }
   return "unknown";
 }
@@ -110,6 +114,40 @@ void TraceRecorder::ExecEnd(uint64_t task_id, CellTypeId type, int worker,
   Record(TraceEvent{.kind = TraceEventKind::kExecEnd, .type = type, .worker = worker,
                     .ts_micros = NowMicros(), .id = task_id, .value = batch_size});
   busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void TraceRecorder::StreamRefill(int worker, int num_tasks) {
+  if (!enabled()) {
+    return;
+  }
+  Record(TraceEvent{.kind = TraceEventKind::kStreamRefill, .worker = worker,
+                    .ts_micros = NowMicros(), .value = num_tasks});
+}
+
+void TraceRecorder::GatherBegin(uint64_t task_id, CellTypeId type, int worker,
+                                int batch_size) {
+  if (!enabled()) {
+    return;
+  }
+  Record(TraceEvent{.kind = TraceEventKind::kGatherBegin, .type = type, .worker = worker,
+                    .ts_micros = NowMicros(), .id = task_id, .value = batch_size});
+}
+
+void TraceRecorder::GatherEnd(uint64_t task_id, CellTypeId type, int worker,
+                              int batch_size) {
+  if (!enabled()) {
+    return;
+  }
+  Record(TraceEvent{.kind = TraceEventKind::kGatherEnd, .type = type, .worker = worker,
+                    .ts_micros = NowMicros(), .id = task_id, .value = batch_size});
+}
+
+void TraceRecorder::WorkerIdle(double begin_micros, double end_micros, int worker) {
+  if (!enabled()) {
+    return;
+  }
+  Record(TraceEvent{.kind = TraceEventKind::kWorkerIdle, .worker = worker,
+                    .ts_micros = begin_micros, .aux_micros = end_micros});
 }
 
 void TraceRecorder::Migration(RequestId id, int from_worker, int to_worker) {

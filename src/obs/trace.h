@@ -47,8 +47,12 @@ enum class TraceEventKind : uint8_t {
   kCancellation,        // id = request, value = nodes cancelled
   kRequestComplete,     // id = request, aux_micros = first-exec timestamp
   kRequestDrop,         // id = request (shed before execution started)
+  kStreamRefill,        // worker, value = tasks pushed onto its FIFO stream
+  kGatherBegin,         // id = task, type, worker, value = batch size
+  kGatherEnd,           // id = task, type, worker, value = batch size
+  kWorkerIdle,          // worker; ts = gap begin, aux_micros = gap end
 };
-inline constexpr int kNumTraceEventKinds = 9;
+inline constexpr int kNumTraceEventKinds = 13;
 
 // Name for logs/export, e.g. "request_arrival".
 const char* TraceEventKindName(TraceEventKind kind);
@@ -107,6 +111,16 @@ class TraceRecorder {
   void ExecBegin(double ts, uint64_t task_id, CellTypeId type, int worker, int batch_size);
   void ExecBegin(uint64_t task_id, CellTypeId type, int worker, int batch_size);
   void ExecEnd(uint64_t task_id, CellTypeId type, int worker, int batch_size);
+  // Pipelined worker streams (see DESIGN.md "Pipelined worker streams"):
+  // the manager refilled a worker's stream with `num_tasks` tasks...
+  void StreamRefill(int worker, int num_tasks);
+  // ...a staging thread gathered a task's inputs while the previous task
+  // executed...
+  void GatherBegin(uint64_t task_id, CellTypeId type, int worker, int batch_size);
+  void GatherEnd(uint64_t task_id, CellTypeId type, int worker, int batch_size);
+  // ...and a worker's execution thread sat idle between tasks for the span
+  // [begin, end) — the gap the watermark protocol exists to shrink.
+  void WorkerIdle(double begin_micros, double end_micros, int worker);
   void Migration(RequestId id, int from_worker, int to_worker);
   void Cancellation(RequestId id, int nodes_cancelled);
   void RequestComplete(RequestId id, double exec_start_micros);

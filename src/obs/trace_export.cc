@@ -41,8 +41,10 @@ Json ChromeTraceJson(const TraceRecorder& recorder, const TraceTypeNamer& namer)
   out.push_back(MetadataEvent(kWorkerPid, "workers"));
   out.push_back(MetadataEvent(kRequestPid, "requests"));
 
-  // First pass: match exec begin/end pairs by task id to form "X" spans.
+  // First pass: match exec (and gather) begin/end pairs by task id to form
+  // "X" spans; worker idle gaps carry both endpoints in one event.
   std::unordered_map<uint64_t, const TraceEvent*> open_exec;
+  std::unordered_map<uint64_t, const TraceEvent*> open_gather;
   for (const TraceEvent& ev : events) {
     switch (ev.kind) {
       case TraceEventKind::kExecBegin:
@@ -66,6 +68,41 @@ Json ChromeTraceJson(const TraceRecorder& recorder, const TraceTypeNamer& namer)
                                {"batch_size", ev.value}};
         out.push_back(Json(std::move(e)));
         open_exec.erase(it);
+        break;
+      }
+      case TraceEventKind::kGatherBegin:
+        open_gather[ev.id] = &ev;
+        break;
+      case TraceEventKind::kGatherEnd: {
+        const auto it = open_gather.find(ev.id);
+        if (it == open_gather.end()) {
+          break;
+        }
+        JsonObject e;
+        e["ph"] = "X";
+        e["name"] = "gather " + TypeName(namer, ev.type) + " b=" + std::to_string(ev.value);
+        e["cat"] = "gather";
+        e["pid"] = kWorkerPid;
+        e["tid"] = ev.worker;
+        e["ts"] = it->second->ts_micros;
+        e["dur"] = ev.ts_micros - it->second->ts_micros;
+        e["args"] = JsonObject{{"task", ev.id},
+                               {"type", TypeName(namer, ev.type)},
+                               {"batch_size", ev.value}};
+        out.push_back(Json(std::move(e)));
+        open_gather.erase(it);
+        break;
+      }
+      case TraceEventKind::kWorkerIdle: {
+        JsonObject e;
+        e["ph"] = "X";
+        e["name"] = "idle";
+        e["cat"] = "idle";
+        e["pid"] = kWorkerPid;
+        e["tid"] = ev.worker;
+        e["ts"] = ev.ts_micros;
+        e["dur"] = ev.aux_micros - ev.ts_micros;
+        out.push_back(Json(std::move(e)));
         break;
       }
       case TraceEventKind::kRequestArrival: {

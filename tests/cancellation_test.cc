@@ -328,9 +328,10 @@ TEST(CancelServerTest, ContentBasedEosStopsDecoding) {
     wanted.push_back(ValueRef::Output(src_len + t, 2));
   }
   const auto full = server.SubmitAndWait(CellGraph(graph), externals, wanted);
-  ASSERT_EQ(full.size(), static_cast<size_t>(max_dec));
+  ASSERT_TRUE(full.has_value());
+  ASSERT_EQ(full->size(), static_cast<size_t>(max_dec));
   // Treat the token emitted at decoder step 2 as "<eos>".
-  const int32_t eos = full[2].IntAt(0, 0);
+  const int32_t eos = (*full)[2].IntAt(0, 0);
 
   std::vector<Tensor> externals2;
   externals2.push_back(ExternalTokenTensor(3));

@@ -124,6 +124,75 @@ TEST(DeterminismTest, ThreadedServerMatchesSyncEngineBitwise) {
   server.Shutdown();
 }
 
+TEST(DeterminismTest, PipelinedStreamsMatchSyncEngineBitwiseAtAnyDepth) {
+  // The pipelined worker streams (watermark refill + overlapped
+  // gather/execute/scatter) must not perturb a single bit: at every
+  // pipeline_depth x num_workers combination the server's outputs equal
+  // the serial SyncEngine's exactly.
+  constexpr int kRequests = 20;
+  constexpr int64_t kInputDim = 24;
+  constexpr int64_t kHidden = 40;
+  const auto requests = MakeRequests(kRequests, kInputDim, /*seed=*/55);
+
+  WideLstmFixture ref_fix;
+  std::vector<std::vector<Tensor>> ref_outputs(kRequests);
+  {
+    SyncEngine engine(&ref_fix.registry);
+    std::vector<RequestId> ids;
+    for (const RequestSpec& spec : requests) {
+      ids.push_back(engine.Submit(ref_fix.model.Unfold(spec.length),
+                                  ChainExternals(spec, kHidden),
+                                  {ValueRef::Output(spec.length - 1, 0),
+                                   ValueRef::Output(spec.length - 1, 1)}));
+    }
+    engine.RunToCompletion();
+    for (int i = 0; i < kRequests; ++i) {
+      ref_outputs[static_cast<size_t>(i)] =
+          engine.TakeOutputs(ids[static_cast<size_t>(i)]);
+    }
+  }
+
+  for (int depth : {1, 2, 4}) {
+    for (int workers : {1, 2}) {
+      WideLstmFixture fix;
+      ServerOptions options;
+      options.num_workers = workers;
+      options.threads_per_worker = 2;
+      options.pipeline_depth = depth;
+      Server server(&fix.registry, options);
+      server.Start();
+
+      std::vector<std::promise<std::vector<Tensor>>> promises(kRequests);
+      std::vector<std::future<std::vector<Tensor>>> futures;
+      for (int i = 0; i < kRequests; ++i) {
+        futures.push_back(promises[static_cast<size_t>(i)].get_future());
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        const RequestSpec& spec = requests[static_cast<size_t>(i)];
+        auto* promise = &promises[static_cast<size_t>(i)];
+        server.Submit(fix.model.Unfold(spec.length), ChainExternals(spec, kHidden),
+                      {ValueRef::Output(spec.length - 1, 0),
+                       ValueRef::Output(spec.length - 1, 1)},
+                      [promise](RequestId, std::vector<Tensor> outputs) {
+                        promise->set_value(std::move(outputs));
+                      });
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        const std::vector<Tensor> outputs = futures[static_cast<size_t>(i)].get();
+        const std::vector<Tensor>& want = ref_outputs[static_cast<size_t>(i)];
+        ASSERT_EQ(outputs.size(), want.size())
+            << "request " << i << " depth " << depth << " workers " << workers;
+        for (size_t j = 0; j < outputs.size(); ++j) {
+          EXPECT_TRUE(outputs[j].ElementsEqual(want[j]))
+              << "request " << i << " output " << j << " differs at depth " << depth
+              << " workers " << workers;
+        }
+      }
+      server.Shutdown();
+    }
+  }
+}
+
 TEST(DeterminismTest, ServerOutputIsIndependentOfThreadsPerWorker) {
   constexpr int kRequests = 12;
   constexpr int64_t kInputDim = 24;
@@ -140,9 +209,11 @@ TEST(DeterminismTest, ServerOutputIsIndependentOfThreadsPerWorker) {
     std::vector<std::vector<Tensor>> outputs(kRequests);
     for (int i = 0; i < kRequests; ++i) {
       const RequestSpec& spec = requests[static_cast<size_t>(i)];
-      outputs[static_cast<size_t>(i)] = server.SubmitAndWait(
+      auto result = server.SubmitAndWait(
           fix.model.Unfold(spec.length), ChainExternals(spec, kHidden),
           {ValueRef::Output(spec.length - 1, 0)});
+      ASSERT_TRUE(result.has_value());
+      outputs[static_cast<size_t>(i)] = std::move(*result);
     }
     server.Shutdown();
     by_config.push_back(std::move(outputs));

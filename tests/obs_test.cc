@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/server.h"
 #include "src/core/sim_engine.h"
 #include "src/obs/trace.h"
 #include "src/obs/trace_export.h"
@@ -188,6 +189,94 @@ TEST(TraceExportTest, BreakdownFromTraceMatchesStages) {
   EXPECT_DOUBLE_EQ(breakdown.total.Max(), 100.0);
   // Window keyed by completion: a window ending before 100 excludes it.
   EXPECT_EQ(BreakdownFromTrace(trace, 0.0, 99.0).total.Count(), 0u);
+}
+
+TEST(TraceExportTest, PipelineEventsExport) {
+  // The pipelined-stream event kinds: stream refills export as instants,
+  // gather begin/end pairs and worker idle gaps as complete ("X") spans.
+  TraceRecorder trace;
+  trace.Enable();
+  trace.set_clock([] { return 1.0; });
+  trace.StreamRefill(/*worker=*/0, /*num_tasks=*/2);
+  trace.GatherBegin(/*task_id=*/1, /*type=*/0, /*worker=*/0, /*batch_size=*/3);
+  trace.set_clock([] { return 4.0; });
+  trace.GatherEnd(/*task_id=*/1, /*type=*/0, /*worker=*/0, /*batch_size=*/3);
+  trace.WorkerIdle(/*begin_micros=*/5.0, /*end_micros=*/9.0, /*worker=*/1);
+
+  EXPECT_EQ(trace.Count(TraceEventKind::kStreamRefill), 1);
+  EXPECT_EQ(trace.Count(TraceEventKind::kGatherBegin), 1);
+  EXPECT_EQ(trace.Count(TraceEventKind::kGatherEnd), 1);
+  EXPECT_EQ(trace.Count(TraceEventKind::kWorkerIdle), 1);
+
+  const Json doc = ChromeTraceJson(trace);
+  const Json parsed = Json::Parse(doc.Dump());
+  const Json& events = parsed.Get("traceEvents");
+  int gather_spans = 0, idle_spans = 0, refill_instants = 0;
+  for (size_t i = 0; i < events.Size(); ++i) {
+    const Json& e = events.At(i);
+    if (e.Get("ph").AsString() != "M" && e.Get("name").AsString() == "stream_refill") {
+      ++refill_instants;
+      EXPECT_EQ(e.Get("ph").AsString(), "i");
+    }
+    if (e.Get("ph").AsString() == "X") {
+      const std::string cat = e.Get("cat").AsString();
+      if (cat == "gather") {
+        ++gather_spans;
+        EXPECT_DOUBLE_EQ(e.Get("ts").AsDouble(), 1.0);
+        EXPECT_DOUBLE_EQ(e.Get("dur").AsDouble(), 3.0);
+      } else if (cat == "idle") {
+        ++idle_spans;
+        EXPECT_DOUBLE_EQ(e.Get("ts").AsDouble(), 5.0);
+        EXPECT_DOUBLE_EQ(e.Get("dur").AsDouble(), 4.0);
+      }
+    }
+  }
+  EXPECT_EQ(refill_instants, 1);
+  EXPECT_EQ(gather_spans, 1);
+  EXPECT_EQ(idle_spans, 1);
+}
+
+TEST(TraceIntegrationTest, ServerTracesPipelinedStreams) {
+  // End to end on the real server: every executed task was refilled into a
+  // stream and gathered by the staging thread, so the pipeline event
+  // counts line up with the exec spans.
+  TinyLstmFixture fix;
+  ServerOptions options;
+  options.num_workers = 2;
+  options.pipeline_depth = 2;
+  options.enable_tracing = true;
+  Server server(&fix.registry, options);
+  server.Start();
+  Rng data_rng(11);
+  for (int i = 0; i < 6; ++i) {
+    std::vector<Tensor> ext;
+    for (int t = 0; t < 3; ++t) {
+      ext.push_back(Tensor::RandomUniform(Shape{1, 4}, 1.0f, &data_rng));
+    }
+    ext.push_back(ExternalZeroVecTensor(4));
+    ext.push_back(ExternalZeroVecTensor(4));
+    server.SubmitAndWait(fix.model.Unfold(3), std::move(ext), {ValueRef::Output(2, 0)});
+  }
+  server.Shutdown();
+
+  const TraceRecorder& trace = server.trace();
+  const int64_t execs = trace.Count(TraceEventKind::kExecBegin);
+  EXPECT_GT(execs, 0);
+  EXPECT_EQ(trace.Count(TraceEventKind::kGatherBegin), execs);
+  EXPECT_EQ(trace.Count(TraceEventKind::kGatherEnd), execs);
+  EXPECT_GT(trace.Count(TraceEventKind::kStreamRefill), 0);
+  // The refill events' task counts sum to the number of executed tasks.
+  int64_t refilled = 0;
+  for (const TraceEvent& e : trace.SortedEvents()) {
+    if (e.kind == TraceEventKind::kStreamRefill) {
+      refilled += e.value;
+    }
+  }
+  EXPECT_EQ(refilled, execs);
+  // Idle gaps were recorded (workers waited for work at least at startup),
+  // and they agree with the aggregate metric.
+  EXPECT_GT(trace.Count(TraceEventKind::kWorkerIdle), 0);
+  EXPECT_GT(server.TotalWorkerIdleMicros(), 0.0);
 }
 
 TEST(TraceIntegrationTest, SimEngineTracesEveryRequest) {

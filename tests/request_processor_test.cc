@@ -216,7 +216,7 @@ TEST(RequestProcessorTest, ArrivalTimeRecorded) {
   ProcessorHarness h(&fix.registry);
   RequestState* state = h.processor().AddRequest(1, fix.model.Unfold(2), 123.5);
   EXPECT_DOUBLE_EQ(state->arrival_micros, 123.5);
-  EXPECT_LT(state->exec_start_micros, 0.0);
+  EXPECT_LT(state->ExecStartMicros(), 0.0);
 }
 
 TEST(RequestProcessorDeathTest, DuplicateIdAborts) {

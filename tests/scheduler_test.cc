@@ -274,6 +274,54 @@ TEST(SchedulerTest, UnpinnedOnlyWhenAllInflightTasksDone) {
   EXPECT_FALSE(h.scheduler().Schedule(1).empty());
 }
 
+TEST(SchedulerTest, WatermarkRefillNeverViolatesPinning) {
+  // The pipelined server refills below-watermark workers while earlier
+  // tasks are still in flight — i.e. it calls Schedule again with no
+  // intervening OnTaskCompleted. Such a refill must never hand another
+  // worker nodes of a subgraph pinned to the first, and a same-worker
+  // refill must pipeline successor steps onto the same stream.
+  TinyLstmFixture fix;
+  SchedulerHarness h(&fix.registry, SchedulerOptions{.max_tasks_to_submit = 2});
+  h.processor().AddRequest(1, fix.model.Unfold(8), 0.0);
+
+  const auto first = h.scheduler().Schedule(0);
+  ASSERT_EQ(first.size(), 2u);  // a chain pipelines MaxTasksToSubmit steps
+  // Successors unlocked at schedule time, so ready work remains — but all
+  // of it is pinned to worker 0's stream: worker 1's refill gets nothing.
+  EXPECT_TRUE(h.scheduler().HasReadyWork());
+  EXPECT_FALSE(h.scheduler().HasCompatibleReadyWork(1));
+  EXPECT_TRUE(h.scheduler().Schedule(1).empty());
+
+  // Refilling worker 0 with both tasks still in flight extends its stream.
+  const auto refill = h.scheduler().Schedule(0);
+  ASSERT_EQ(refill.size(), 2u);
+  for (const auto& t : refill) {
+    EXPECT_EQ(t.worker, 0);
+    EXPECT_EQ(t.entries[0].request, 1u);
+  }
+
+  // A new request's subgraph is unpinned: worker 1's refill picks it up
+  // without touching request 1's pinned chain.
+  h.processor().AddRequest(2, fix.model.Unfold(3), 0.0);
+  EXPECT_TRUE(h.scheduler().HasCompatibleReadyWork(1));
+  const auto other = h.scheduler().Schedule(1);
+  ASSERT_FALSE(other.empty());
+  for (const auto& t : other) {
+    EXPECT_EQ(t.worker, 1);
+    for (const auto& e : t.entries) {
+      EXPECT_EQ(e.request, 2u);
+    }
+  }
+
+  // Retire everything in stream order; both requests then run to the end.
+  for (const auto& t : first) h.scheduler().OnTaskCompleted(t);
+  for (const auto& t : refill) h.scheduler().OnTaskCompleted(t);
+  for (const auto& t : other) h.scheduler().OnTaskCompleted(t);
+  h.RunAll(0);
+  EXPECT_EQ(h.completed().size(), 2u);
+  EXPECT_FALSE(h.scheduler().HasReadyWork());
+}
+
 TEST(SchedulerTest, OtherRequestsScheduleOnSecondWorker) {
   TinyLstmFixture fix;
   SchedulerHarness h(&fix.registry, SchedulerOptions{.max_tasks_to_submit = 1});

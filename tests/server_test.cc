@@ -54,8 +54,9 @@ TEST(ServerTest, SubmitAndWaitMatchesReference) {
   server.Shutdown();
 
   const auto [ref_h, ref_c] = ReferenceChain(fix.registry, fix.model.cell_type(), xs, 4);
-  ASSERT_EQ(outputs.size(), 1u);
-  EXPECT_TRUE(outputs[0].AllClose(ref_h, 1e-5f));
+  ASSERT_TRUE(outputs.has_value());
+  ASSERT_EQ(outputs->size(), 1u);
+  EXPECT_TRUE((*outputs)[0].AllClose(ref_h, 1e-5f));
 }
 
 TEST(ServerTest, ConcurrentSubmissionsAllCorrect) {
@@ -176,7 +177,8 @@ TEST(ServerTest, TreeLstmRequestsServe) {
       return std::make_pair(out[0], out[1]);
     };
     const auto [ref_h, ref_c] = eval(tree.root);
-    EXPECT_TRUE(outputs[0].AllClose(ref_h, 1e-5f)) << "iteration " << iter;
+    ASSERT_TRUE(outputs.has_value());
+    EXPECT_TRUE((*outputs)[0].AllClose(ref_h, 1e-5f)) << "iteration " << iter;
   }
   server.Shutdown();
 }
@@ -264,10 +266,112 @@ TEST(ServerTest, Seq2SeqEndToEnd) {
   const auto outputs = server.SubmitAndWait(CellGraph(graph), std::move(externals),
                                             {ValueRef::Output(5, 2)});
   server.Shutdown();
-  ASSERT_EQ(outputs.size(), 1u);
-  EXPECT_EQ(outputs[0].dtype(), DType::kI32);
-  EXPECT_GE(outputs[0].IntAt(0, 0), 0);
-  EXPECT_LT(outputs[0].IntAt(0, 0), 32);
+  ASSERT_TRUE(outputs.has_value());
+  ASSERT_EQ(outputs->size(), 1u);
+  EXPECT_EQ((*outputs)[0].dtype(), DType::kI32);
+  EXPECT_GE((*outputs)[0].IntAt(0, 0), 0);
+  EXPECT_LT((*outputs)[0].IntAt(0, 0), 32);
+}
+
+TEST(ServerTest, SubmitAndWaitAfterShutdownReturnsNullopt) {
+  TinyLstmFixture fix;
+  Server server(&fix.registry);
+  server.Start();
+  server.Shutdown();
+  Rng data_rng(7);
+  std::vector<Tensor> xs = {Tensor::RandomUniform(Shape{1, 4}, 1.0f, &data_rng)};
+  const auto outputs = server.SubmitAndWait(fix.model.Unfold(1), MakeChainExternals(xs, 4),
+                                            {ValueRef::Output(0, 0)});
+  // Rejection (raced/after Shutdown) is nullopt — distinguishable from a
+  // legitimate response that happens to carry no tensors.
+  EXPECT_FALSE(outputs.has_value());
+}
+
+TEST(ServerTest, SubmitAndWaitEmptyOutputSetIsEngaged) {
+  TinyLstmFixture fix;
+  Server server(&fix.registry);
+  server.Start();
+  Rng data_rng(8);
+  std::vector<Tensor> xs = {Tensor::RandomUniform(Shape{1, 4}, 1.0f, &data_rng)};
+  // No outputs wanted: the request still executes and responds with an
+  // engaged empty vector, not nullopt.
+  const auto outputs =
+      server.SubmitAndWait(fix.model.Unfold(1), MakeChainExternals(xs, 4), {});
+  server.Shutdown();
+  ASSERT_TRUE(outputs.has_value());
+  EXPECT_TRUE(outputs->empty());
+  EXPECT_EQ(server.metrics().NumCompleted(), 1u);
+}
+
+TEST(ServerTest, PipelinedStreamsMatchReferenceUnderLoad) {
+  // Depth-4 streams on two workers with multi-threaded intra-task pools:
+  // the staging thread overlaps gathers with execution, so this doubles as
+  // the TSan stress for the pipeline's hazard tracking. Results must still
+  // match the sequential reference exactly per request.
+  TinyLstmFixture fix;
+  ServerOptions options;
+  options.num_workers = 2;
+  options.threads_per_worker = 2;
+  options.pipeline_depth = 4;
+  Server server(&fix.registry, options);
+  server.Start();
+
+  constexpr int kRequests = 32;
+  Rng data_rng(9);
+  std::vector<std::vector<Tensor>> inputs(kRequests);
+  std::vector<int> lengths;
+  std::vector<std::promise<std::vector<Tensor>>> promises(kRequests);
+  std::vector<std::future<std::vector<Tensor>>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    const int len = 1 + static_cast<int>(data_rng.NextBelow(9));
+    lengths.push_back(len);
+    for (int t = 0; t < len; ++t) {
+      inputs[static_cast<size_t>(i)].push_back(
+          Tensor::RandomUniform(Shape{1, 4}, 1.0f, &data_rng));
+    }
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(promises[static_cast<size_t>(i)].get_future());
+    auto* promise = &promises[static_cast<size_t>(i)];
+    server.Submit(fix.model.Unfold(lengths[static_cast<size_t>(i)]),
+                  MakeChainExternals(inputs[static_cast<size_t>(i)], 4),
+                  {ValueRef::Output(lengths[static_cast<size_t>(i)] - 1, 0)},
+                  [promise](RequestId, std::vector<Tensor> outputs) {
+                    promise->set_value(std::move(outputs));
+                  });
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    const auto outputs = futures[static_cast<size_t>(i)].get();
+    const auto [ref_h, ref_c] = ReferenceChain(fix.registry, fix.model.cell_type(),
+                                               inputs[static_cast<size_t>(i)], 4);
+    ASSERT_EQ(outputs.size(), 1u);
+    EXPECT_TRUE(outputs[0].AllClose(ref_h, 1e-5f)) << "request " << i;
+  }
+  server.Shutdown();
+  EXPECT_EQ(server.metrics().NumCompleted(), static_cast<size_t>(kRequests));
+}
+
+TEST(ServerTest, WorkerIdleMetricAccumulates) {
+  TinyLstmFixture fix;
+  ServerOptions options;
+  options.num_workers = 2;
+  Server server(&fix.registry, options);
+  server.Start();
+  Rng data_rng(10);
+  std::vector<Tensor> xs = {Tensor::RandomUniform(Shape{1, 4}, 1.0f, &data_rng)};
+  server.SubmitAndWait(fix.model.Unfold(1), MakeChainExternals(xs, 4),
+                       {ValueRef::Output(0, 0)});
+  server.Shutdown();
+  // Both exec threads spent time waiting for work (at minimum the gap
+  // between Start and the first task / shutdown), and the total is the sum
+  // of the per-worker figures.
+  EXPECT_GT(server.TotalWorkerIdleMicros(), 0.0);
+  double sum = 0.0;
+  for (int w = 0; w < options.num_workers; ++w) {
+    EXPECT_GE(server.WorkerIdleMicros(w), 0.0);
+    sum += server.WorkerIdleMicros(w);
+  }
+  EXPECT_DOUBLE_EQ(sum, server.TotalWorkerIdleMicros());
 }
 
 TEST(ServerTest, SubmitRacingShutdownNeverLosesRequests) {

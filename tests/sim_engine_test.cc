@@ -95,6 +95,41 @@ TEST(SimEngineTest, Figure5CellularBatchingTimeline) {
   }
 }
 
+TEST(SimEngineTest, PipelineDepthTradesBatchingForStreamDepth) {
+  // The watermark-refill knob mirrors the real server's pipelined worker
+  // streams. In virtual time there is no completion->manager->schedule
+  // latency to hide, so a deeper stream cannot help — it only forms tasks
+  // *earlier*, before would-be joiners arrive, splitting batches. This is
+  // exactly why SimEngineOptions defaults to depth 1 (legacy timeline,
+  // asserted exactly by Figure5CellularBatchingTimeline) while the real
+  // server defaults deeper. The knob must still complete every request at
+  // any depth, and deeper streams can only increase the task count.
+  const int lengths[8] = {2, 3, 3, 5, 5, 7, 3, 1};
+  const double arrivals[8] = {0, 0, 0, 0, 1.5, 2.5, 2.5, 4.5};
+
+  int64_t prev_tasks = 0;
+  for (const int depth : {1, 2, 4}) {
+    TinyLstmFixture fix;
+    fix.registry.SetMaxBatch(fix.model.cell_type(), 4);
+    const CostModel cost = UnitCostModel(fix.registry);
+    SimEngineOptions options;
+    options.num_workers = 2;
+    options.pipeline_depth = depth;
+    options.scheduler.max_tasks_to_submit = 1;
+    SimEngine engine(&fix.registry, &cost, options);
+    for (int i = 0; i < 8; ++i) {
+      engine.SubmitAt(arrivals[i], fix.model.Unfold(lengths[i]));
+    }
+    engine.Run();
+    ASSERT_EQ(engine.metrics().NumCompleted(), 8u) << "depth " << depth;
+    const int64_t tasks = engine.scheduler().TotalTasksFormed();
+    if (depth > 1) {
+      EXPECT_GE(tasks, prev_tasks) << "depth " << depth;
+    }
+    prev_tasks = tasks;
+  }
+}
+
 TEST(SimEngineTest, ThroughputUsesBothWorkers) {
   TinyLstmFixture fix;
   CostModel cost;

@@ -3,15 +3,23 @@
 # run the full ctest suite, then rebuild the concurrency-sensitive tests
 # under ThreadSanitizer and run them. Mirrors .github/workflows/ci.yml.
 #
-# Usage: tools/check.sh [--no-tsan]
+# Usage: tools/check.sh [--no-tsan] [--perf-smoke]
+#   --perf-smoke  additionally run the fig07 perf-smoke point and compare
+#                 p50 against bench/baselines/BENCH_fig07_baseline.json
+#                 (mirrors the ci.yml perf-smoke job)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=1
-if [[ "${1:-}" == "--no-tsan" ]]; then
-  run_tsan=0
-fi
+run_perf=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) run_tsan=0 ;;
+    --perf-smoke) run_perf=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> tier-1: clean configure + build + ctest"
 rm -rf build-check
@@ -30,6 +38,16 @@ if [[ "$run_tsan" == 1 ]]; then
     --target server_test obs_test thread_pool_test determinism_test
   ctest --test-dir build-tsan --output-on-failure \
     -R 'server_test|obs_test|thread_pool_test|determinism_test'
+fi
+
+if [[ "$run_perf" == 1 ]]; then
+  echo "==> perf-smoke: fig07 low-rate point vs committed baseline"
+  cmake --build build-check -j "$(nproc)" --target fig07_lstm_throughput_latency
+  (cd build-check && ./bench/fig07_lstm_throughput_latency --smoke --out BENCH_fig07.json)
+  python3 tools/compare_bench.py \
+    bench/baselines/BENCH_fig07_baseline.json \
+    build-check/BENCH_fig07.json \
+    --metric p50_ms --threshold 0.25
 fi
 
 echo "==> all checks passed"

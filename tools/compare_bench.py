@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json run against a committed baseline.
+
+Both files use the shared envelope {"bench": name, "results": [rows]}
+(see bench/bench_common.h). Rows are matched by a key tuple (default:
+rate_rps + pipeline_depth, the fig07 sweep axes) and the run fails if the
+watched metric regresses by more than --threshold relative to the baseline.
+
+The CI perf-smoke job runs:
+    tools/compare_bench.py bench/baselines/BENCH_fig07_baseline.json \
+        build/BENCH_fig07.json --metric p50_ms --threshold 0.25
+
+Exit codes: 0 ok, 1 regression, 2 usage/format error. Only stdlib.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path, keys):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if "bench" not in doc or "results" not in doc:
+        sys.exit(f"error: {path} is not a BENCH envelope "
+                 '(expected {"bench": ..., "results": [...]})')
+    rows = {}
+    for row in doc["results"]:
+        try:
+            key = tuple(row[k] for k in keys)
+        except KeyError as e:
+            sys.exit(f"error: {path}: row missing key field {e}: {row}")
+        if key in rows:
+            sys.exit(f"error: {path}: duplicate row for {dict(zip(keys, key))}")
+        rows[key] = row
+    return doc["bench"], rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline BENCH json")
+    parser.add_argument("current", help="freshly produced BENCH json")
+    parser.add_argument("--metric", default="p50_ms",
+                        help="row field to compare (lower is better)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed relative regression (0.25 = +25%%)")
+    parser.add_argument("--keys", default="rate_rps,pipeline_depth",
+                        help="comma-separated row fields forming the match key")
+    args = parser.parse_args()
+
+    keys = [k for k in args.keys.split(",") if k]
+    base_name, base = load_rows(args.baseline, keys)
+    cur_name, cur = load_rows(args.current, keys)
+    if base_name != cur_name:
+        sys.exit(f"error: bench name mismatch: baseline={base_name!r} "
+                 f"current={cur_name!r}")
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        sys.exit(f"error: current run is missing baseline rows: "
+                 f"{[dict(zip(keys, k)) for k in missing]}")
+
+    failed = False
+    print(f"{args.metric} vs baseline ({args.baseline}), "
+          f"threshold +{args.threshold:.0%}:")
+    for key in sorted(base):
+        ref = base[key].get(args.metric)
+        got = cur[key].get(args.metric)
+        if not isinstance(ref, (int, float)) or not isinstance(got, (int, float)):
+            sys.exit(f"error: metric {args.metric!r} missing or non-numeric "
+                     f"for row {dict(zip(keys, key))}")
+        if ref <= 0:
+            sys.exit(f"error: baseline {args.metric} <= 0 for row "
+                     f"{dict(zip(keys, key))}")
+        delta = got / ref - 1.0
+        verdict = "FAIL" if delta > args.threshold else "ok"
+        failed |= delta > args.threshold
+        label = " ".join(f"{k}={v}" for k, v in zip(keys, key))
+        print(f"  {verdict:>4}  {label:<40} {ref:10.3f} -> {got:10.3f} "
+              f"({delta:+7.1%})")
+    if failed:
+        print("regression detected", file=sys.stderr)
+        return 1
+    print("no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
