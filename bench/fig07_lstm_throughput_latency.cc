@@ -37,6 +37,8 @@ struct Fig07Row {
   double worker_idle_ms = 0.0;  // total exec-thread idle time over the run
   int64_t tasks = 0;
   int64_t requests = 0;
+  int64_t shed = 0;      // requests dropped after their queue deadline passed
+  int64_t rejected = 0;  // requests refused at Submit (validation / admission)
 };
 
 // Same envelope as BENCH_gemm/BENCH_fig03: {"bench": name, "results": [...]}.
@@ -53,6 +55,8 @@ void WriteFig07Json(const std::string& path, const std::vector<Fig07Row>& rows) 
     row["worker_idle_ms"] = r.worker_idle_ms;
     row["tasks"] = r.tasks;
     row["requests"] = r.requests;
+    row["shed"] = r.shed;
+    row["rejected"] = r.rejected;
     out.emplace_back(std::move(row));
   }
   JsonObject doc;
@@ -104,7 +108,7 @@ Fig07Row RealComputePoint(double rate, int pipeline_depth, int threads_per_worke
     externals.push_back(ExternalZeroVecTensor(kHidden));
     server.Submit(model.Unfold(len), std::move(externals),
                   {ValueRef::Output(len - 1, 0)},
-                  [](RequestId, std::vector<Tensor>) {});
+                  [](RequestId, RequestStatus, std::vector<Tensor>) {});
   }
   server.Shutdown();
 
@@ -122,6 +126,8 @@ Fig07Row RealComputePoint(double rate, int pipeline_depth, int threads_per_worke
   row.worker_idle_ms = server.TotalWorkerIdleMicros() / 1e3;
   row.tasks = server.TasksExecuted();
   row.requests = static_cast<int64_t>(records.size());
+  row.shed = static_cast<int64_t>(server.metrics().NumDropped());
+  row.rejected = static_cast<int64_t>(server.metrics().NumRejected());
   return row;
 }
 

@@ -63,7 +63,7 @@ int main() {
     auto* promise = &promises[static_cast<size_t>(i)];
     pending.push_back(Pending{src_len, dec_len, promise->get_future()});
     server.Submit(CellGraph(graph), std::move(ext), std::move(wanted),
-                  [promise](RequestId, std::vector<Tensor> outputs) {
+                  [promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                     promise->set_value(std::move(outputs));
                   });
   }

@@ -62,7 +62,7 @@ int main() {
     pending.push_back(PendingTree{leaves, tree.Depth(), promise->get_future()});
     server.Submit(CellGraph(graph), std::move(externals),
                   {ValueRef::Output(graph.NumNodes() - 1, 0)},  // root h
-                  [promise](RequestId, std::vector<Tensor> outputs) {
+                  [promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                     promise->set_value(std::move(outputs));
                   });
   }

@@ -59,7 +59,7 @@ int main() {
     auto* promise = &promises[static_cast<size_t>(i)];
     server.Submit(model.Unfold(len), std::move(externals),
                   {ValueRef::Output(top_last, 0)},
-                  [promise](RequestId, std::vector<Tensor> outputs) {
+                  [promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                     promise->set_value(std::move(outputs));
                   });
   }

@@ -91,7 +91,7 @@ int main() {
     PendingRequest req{src_len, dec_len, promise->get_future(),
                        std::chrono::steady_clock::now()};
     server.Submit(CellGraph(graph), std::move(externals), std::move(wanted),
-                  [promise](RequestId, std::vector<Tensor> outputs) {
+                  [promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                     promise->set_value(std::move(outputs));
                   });
     pending.push_back(std::move(req));

@@ -44,7 +44,8 @@ void BatchAssembler::ExecuteTask(const BatchedTask& task,
 
 void BatchAssembler::GatherInputs(const BatchedTask& task,
                                   const std::vector<RequestState*>& states,
-                                  GatheredBatch* out, const ExecContext* ctx) const {
+                                  GatheredBatch* out, const ExecContext* ctx,
+                                  const std::vector<uint8_t>* poisoned) const {
   BM_CHECK(out != nullptr);
   BM_CHECK_GT(task.BatchSize(), 0);
   BM_CHECK_EQ(states.size(), task.entries.size());
@@ -52,6 +53,9 @@ void BatchAssembler::GatherInputs(const BatchedTask& task,
   const int batch = task.BatchSize();
   ThreadPool* pool = ctx != nullptr ? ctx->pool : nullptr;
   TensorArena* arena = ctx != nullptr ? ctx->arena : nullptr;
+  if (poisoned != nullptr) {
+    BM_CHECK_EQ(poisoned->size(), task.entries.size());
+  }
   for (RequestState* state : states) {
     BM_CHECK(state != nullptr);
     BM_CHECK(!state->externals.empty())
@@ -64,7 +68,20 @@ void BatchAssembler::GatherInputs(const BatchedTask& task,
   std::vector<const Tensor*> sources(static_cast<size_t>(batch));
   const std::vector<int64_t> rows(static_cast<size_t>(batch), 0);  // sources are [1, ...]
   for (int slot = 0; slot < def.NumInputs(); ++slot) {
+    const CellInputSpec& slot_spec = def.input_spec(slot);
+    Tensor zero_row;  // lazily built substitute source for poisoned rows
     for (int i = 0; i < batch; ++i) {
+      if (poisoned != nullptr && (*poisoned)[static_cast<size_t>(i)] != 0) {
+        if (zero_row.NumElements() == 0) {
+          std::vector<int64_t> row_dims{1};
+          for (int64_t d : slot_spec.row_shape.dims()) {
+            row_dims.push_back(d);
+          }
+          zero_row = Tensor::Zeros(Shape(std::move(row_dims)), slot_spec.dtype);
+        }
+        sources[static_cast<size_t>(i)] = &zero_row;
+        continue;
+      }
       const TaskEntry& entry = task.entries[static_cast<size_t>(i)];
       RequestState* state = states[static_cast<size_t>(i)];
       const CellNode& node = state->graph.node(entry.node);
@@ -82,12 +99,11 @@ void BatchAssembler::GatherInputs(const BatchedTask& task,
             &producer_outputs[static_cast<size_t>(ref.output)];
       }
     }
-    const CellInputSpec& spec = def.input_spec(slot);
     std::vector<int64_t> out_dims{batch};
-    for (int64_t d : spec.row_shape.dims()) {
+    for (int64_t d : slot_spec.row_shape.dims()) {
       out_dims.push_back(d);
     }
-    Tensor gathered = Tensor::Uninitialized(Shape(std::move(out_dims)), spec.dtype);
+    Tensor gathered = Tensor::Uninitialized(Shape(std::move(out_dims)), slot_spec.dtype);
     if (pool != nullptr && pool->num_threads() > 1 && batch >= 2 * pool->num_threads()) {
       // Row copies are independent; strided row ownership keeps the
       // result identical for any thread count.
@@ -118,15 +134,22 @@ std::vector<Tensor> BatchAssembler::ExecuteGathered(const BatchedTask& task,
 void BatchAssembler::ScatterOutputs(const BatchedTask& task,
                                     const std::vector<RequestState*>& states,
                                     const std::vector<Tensor>& outputs,
-                                    const ExecContext* ctx) const {
+                                    const ExecContext* ctx,
+                                    const std::vector<uint8_t>* poisoned) const {
   BM_CHECK_EQ(states.size(), task.entries.size());
   const int batch = task.BatchSize();
   ThreadPool* pool = ctx != nullptr ? ctx->pool : nullptr;
+  if (poisoned != nullptr) {
+    BM_CHECK_EQ(poisoned->size(), task.entries.size());
+  }
   // Scatter each output row back to its node. Entries are distinct
   // (request, node) pairs, so rows write disjoint node_outputs slots; the
   // extracted tensors are owned (no ambient arena here, and pool threads
   // never inherit one).
   auto scatter_row = [&](int64_t i) {
+    if (poisoned != nullptr && (*poisoned)[static_cast<size_t>(i)] != 0) {
+      return;  // failed entry: its row is garbage and must not land anywhere
+    }
     const TaskEntry& entry = task.entries[static_cast<size_t>(i)];
     RequestState* state = states[static_cast<size_t>(i)];
     auto& node_out = state->node_outputs[static_cast<size_t>(entry.node)];

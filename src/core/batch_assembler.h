@@ -68,8 +68,16 @@ class BatchAssembler {
   // Stage 1: gathers one contiguous [batch, ...] tensor per cell input
   // slot into `out`. Uses ctx->arena for the gather buffers and ctx->pool
   // to fan row copies (both optional).
+  //
+  // `poisoned` (optional, size == batch) marks entries whose producers
+  // failed to execute: their rows are gathered from zero tensors instead of
+  // the (missing) producer outputs, keeping the batch shape intact without
+  // reading uninitialized memory. Zero rows cannot perturb clean rows — all
+  // cell ops are row-independent — so the clean entries stay bitwise
+  // identical to a batch without the poisoned ones.
   void GatherInputs(const BatchedTask& task, const std::vector<RequestState*>& states,
-                    GatheredBatch* out, const ExecContext* ctx = nullptr) const;
+                    GatheredBatch* out, const ExecContext* ctx = nullptr,
+                    const std::vector<uint8_t>* poisoned = nullptr) const;
 
   // Stage 2: executes the whole batch in one cell invocation. Returned
   // tensors always own their storage (safe past any arena reset); cell
@@ -81,10 +89,14 @@ class BatchAssembler {
 
   // Stage 3: scatters each output row back to its entry's node_outputs
   // slot. Entries are distinct (request, node) pairs, so rows write
-  // disjoint slots; scattered tensors always own their storage.
+  // disjoint slots; scattered tensors always own their storage. Rows marked
+  // in `poisoned` (optional, size == batch) are skipped: their garbage
+  // outputs must never land in request state, since the failed entries will
+  // re-execute (or be cancelled) through the failure path.
   void ScatterOutputs(const BatchedTask& task, const std::vector<RequestState*>& states,
                       const std::vector<Tensor>& outputs,
-                      const ExecContext* ctx = nullptr) const;
+                      const ExecContext* ctx = nullptr,
+                      const std::vector<uint8_t>* poisoned = nullptr) const;
 
  private:
   const CellRegistry* registry_;

@@ -1,0 +1,82 @@
+// FaultInjector: deterministic, seeded execution-fault injection for the
+// real-time Server's fault-tolerance path (see DESIGN.md "Overload and
+// failure semantics").
+//
+// A decision is a pure hash of (task id, seed), so whether a given task
+// fails — and which of its entries is blamed as the victim — does not
+// depend on worker interleaving, pipeline depth, or wall-clock time. That
+// makes fault-injection tests reproducible: the same request mix forms the
+// same task ids in the same order (the scheduler allocates them
+// sequentially on the manager thread), so the same tasks fail on every run.
+//
+// Two targeting modes, combinable:
+//   * rate: each task fails independently with probability `fail_rate`;
+//   * nth task: the task whose id equals `fail_task_id` always fails.
+
+#ifndef SRC_CORE_FAULT_INJECTOR_H_
+#define SRC_CORE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+namespace batchmaker {
+
+struct FaultInjectorOptions {
+  // Probability in [0, 1] that any given task's execution fails.
+  double fail_rate = 0.0;
+  // If >= 0, the task with exactly this id fails (in addition to the rate).
+  int64_t fail_task_id = -1;
+  // Seed folded into every per-task hash.
+  uint64_t seed = 0;
+
+  bool Enabled() const { return fail_rate > 0.0 || fail_task_id >= 0; }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorOptions options = {}) : options_(options) {}
+
+  bool enabled() const { return options_.Enabled(); }
+
+  // True iff the task with this id should fail to execute.
+  bool ShouldFail(uint64_t task_id) const {
+    if (!enabled()) {
+      return false;
+    }
+    if (options_.fail_task_id >= 0 &&
+        task_id == static_cast<uint64_t>(options_.fail_task_id)) {
+      return true;
+    }
+    if (options_.fail_rate <= 0.0) {
+      return false;
+    }
+    // Map the hash to [0, 1) with 53 bits of entropy (double mantissa).
+    const double u =
+        static_cast<double>(Mix(task_id) >> 11) * (1.0 / 9007199254740992.0);
+    return u < options_.fail_rate;
+  }
+
+  // Which entry of a failing task is blamed as the victim (the request
+  // whose cell "caused" the fault). Deterministic in (task id, seed).
+  int VictimEntry(uint64_t task_id, int batch_size) const {
+    if (batch_size <= 1) {
+      return 0;
+    }
+    return static_cast<int>(Mix(task_id ^ 0x9e3779b97f4a7c15ull) %
+                            static_cast<uint64_t>(batch_size));
+  }
+
+ private:
+  // splitmix64 finalizer over task id and seed.
+  uint64_t Mix(uint64_t x) const {
+    uint64_t z = x + 0x9e3779b97f4a7c15ull + options_.seed * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  FaultInjectorOptions options_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_CORE_FAULT_INJECTOR_H_

@@ -5,6 +5,7 @@
 #ifndef SRC_CORE_METRICS_H_
 #define SRC_CORE_METRICS_H_
 
+#include <atomic>
 #include <vector>
 
 #include "src/runtime/task.h"
@@ -28,16 +29,27 @@ class MetricsCollector {
  public:
   void Record(RequestRecord record) { records_.push_back(record); }
   // Counts a request shed before execution (queue timeout); dropped
-  // requests never enter the latency/throughput samples.
-  void RecordDropped() { ++dropped_; }
+  // requests never enter the latency/throughput samples. The drop/reject/
+  // fail counters are atomic because rejections are recorded on Submit
+  // caller threads while the manager thread records completions.
+  void RecordDropped() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+  // Counts a submission refused at admission (validation failure, bounded
+  // queue full, or shutdown race).
+  void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  // Counts a request terminated because a task containing its nodes failed.
+  void RecordFailed() { failed_.fetch_add(1, std::memory_order_relaxed); }
   void Clear() {
     records_.clear();
-    dropped_ = 0;
+    dropped_.store(0, std::memory_order_relaxed);
+    rejected_.store(0, std::memory_order_relaxed);
+    failed_.store(0, std::memory_order_relaxed);
   }
 
   const std::vector<RequestRecord>& records() const { return records_; }
   size_t NumCompleted() const { return records_.size(); }
-  size_t NumDropped() const { return dropped_; }
+  size_t NumDropped() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t NumRejected() const { return rejected_.load(std::memory_order_relaxed); }
+  size_t NumFailed() const { return failed_.load(std::memory_order_relaxed); }
 
   // Window semantics: every windowed query below selects requests whose
   // *completion* falls in [from, to) micros. Keying by completion (rather
@@ -65,7 +77,9 @@ class MetricsCollector {
   }
 
   std::vector<RequestRecord> records_;
-  size_t dropped_ = 0;
+  std::atomic<size_t> dropped_{0};
+  std::atomic<size_t> rejected_{0};
+  std::atomic<size_t> failed_{0};
 };
 
 }  // namespace batchmaker

@@ -28,6 +28,28 @@ namespace batchmaker {
 
 struct RequestState;
 
+// Terminal outcome of a request, delivered exactly once through the
+// engine's response callback (see DESIGN.md "Overload and failure
+// semantics"). Every accepted submission ends in exactly one of these.
+enum class RequestStatus : uint8_t {
+  kOk = 0,     // all non-cancelled nodes executed; outputs are valid
+  kShed,       // dropped by the queue-timeout deadline before execution
+  kRejected,   // never admitted (validation failure, full queue, shutdown)
+  kFailed,     // a task containing this request's nodes failed to execute
+  kCancelled,  // cancelled by the caller (Server::Cancel) mid-flight
+};
+
+inline const char* RequestStatusName(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kShed: return "shed";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kFailed: return "failed";
+    case RequestStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
 // One same-type connected subgraph of a request's cell graph.
 struct Subgraph {
   RequestState* owner = nullptr;
@@ -46,6 +68,13 @@ struct Subgraph {
   // All remaining nodes cancelled; the subgraph will never release or
   // schedule again.
   bool cancelled = false;
+
+  // Failure recovery: the subgraph had scheduled nodes reverted to pending
+  // after a co-batched task failed. A parked subgraph sits outside the
+  // scheduler's type queue and must not form new tasks until its in-flight
+  // count drains to zero — only then is it safe to re-schedule the reverted
+  // nodes (possibly on another worker) without violating stream order.
+  bool parked = false;
 
   // Scheduling state (managed by the Scheduler).
   int pinned_worker = -1;  // -1 = unpinned (Algorithm 1: pinned == None)
@@ -71,6 +100,10 @@ struct NodeState {
   int subgraph = -1;        // owning subgraph id
   int unmet_internal = 0;   // same-subgraph predecessors not yet scheduled
   int unmet_external = 0;   // cross-subgraph predecessors not yet completed
+  // Times this node was reverted out of a failed task as an innocent
+  // co-batched entry; bounded by Scheduler's retry limit so a
+  // deterministically faulting task cannot requeue forever.
+  int retries = 0;
 };
 
 struct RequestState {
@@ -107,9 +140,24 @@ struct RequestState {
     exec_start_micros.compare_exchange_strong(expected, now_micros,
                                               std::memory_order_relaxed);
   }
-  // Load shedding: the request was cancelled before execution started
-  // (queue timeout); it must not count toward served-latency statistics.
-  bool dropped = false;
+  // Terminal outcome. Transitions away from kOk at most once, always on
+  // the engine's manager thread (helper below); the completion path
+  // branches on it to pick metrics/trace/callback treatment.
+  RequestStatus status = RequestStatus::kOk;
+
+  // Marks the terminal status if none has been set yet. Returns true iff
+  // this call performed the transition (exactly-once discipline).
+  bool MarkTerminal(RequestStatus s) {
+    if (status != RequestStatus::kOk) {
+      return false;
+    }
+    status = s;
+    return true;
+  }
+
+  // Per-request deadline override for queue-timeout shedding, micros after
+  // arrival; 0 uses the engine-wide default, negative disables shedding.
+  double deadline_micros = 0.0;
 
   bool Completed() const { return remaining_nodes == 0; }
 };

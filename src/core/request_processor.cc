@@ -307,42 +307,101 @@ int RequestProcessor::MarkScheduled(Subgraph* sg, const std::vector<int>& nodes)
   return newly_ready;
 }
 
-void RequestProcessor::MarkCompleted(const BatchedTask& task) {
-  std::vector<RequestState*> to_finalize;
-  for (const TaskEntry& entry : task.entries) {
-    RequestState* state = FindRequest(entry.request);
-    BM_CHECK(state != nullptr) << "completion for unknown request " << entry.request;
-    NodeState& node = state->nodes[static_cast<size_t>(entry.node)];
-    BM_CHECK(node.stage == NodeStage::kScheduled);
-    node.stage = NodeStage::kCompleted;
-    state->remaining_nodes--;
-    BM_CHECK_GE(state->remaining_nodes, 0);
+void RequestProcessor::CompleteEntry(const TaskEntry& entry,
+                                     std::vector<RequestState*>* to_finalize) {
+  RequestState* state = FindRequest(entry.request);
+  BM_CHECK(state != nullptr) << "completion for unknown request " << entry.request;
+  NodeState& node = state->nodes[static_cast<size_t>(entry.node)];
+  BM_CHECK(node.stage == NodeStage::kScheduled);
+  node.stage = NodeStage::kCompleted;
+  state->remaining_nodes--;
+  BM_CHECK_GE(state->remaining_nodes, 0);
 
-    // Propagate cross-subgraph dependencies. Cancelled consumers no longer
-    // care about their inputs.
-    for (int succ : state->graph.Successors(entry.node)) {
-      NodeState& succ_node = state->nodes[static_cast<size_t>(succ)];
-      if (succ_node.subgraph == node.subgraph || succ_node.stage == NodeStage::kCancelled) {
-        continue;
-      }
-      Subgraph* succ_sg = state->subgraphs[static_cast<size_t>(succ_node.subgraph)].get();
-      BM_CHECK_GT(succ_node.unmet_external, 0);
-      succ_node.unmet_external--;
-      BM_CHECK_GT(succ_sg->unmet_external, 0);
-      succ_sg->unmet_external--;
-      if (succ_sg->unmet_external == 0 && !succ_sg->cancelled) {
-        ReleaseSubgraph(succ_sg);
-      }
+  // Propagate cross-subgraph dependencies. Cancelled consumers no longer
+  // care about their inputs.
+  for (int succ : state->graph.Successors(entry.node)) {
+    NodeState& succ_node = state->nodes[static_cast<size_t>(succ)];
+    if (succ_node.subgraph == node.subgraph || succ_node.stage == NodeStage::kCancelled) {
+      continue;
     }
-
-    if (state->remaining_nodes == 0) {
-      to_finalize.push_back(state);
+    Subgraph* succ_sg = state->subgraphs[static_cast<size_t>(succ_node.subgraph)].get();
+    BM_CHECK_GT(succ_node.unmet_external, 0);
+    succ_node.unmet_external--;
+    BM_CHECK_GT(succ_sg->unmet_external, 0);
+    succ_sg->unmet_external--;
+    if (succ_sg->unmet_external == 0 && !succ_sg->cancelled) {
+      ReleaseSubgraph(succ_sg);
     }
   }
 
+  if (state->remaining_nodes == 0) {
+    to_finalize->push_back(state);
+  }
+}
+
+void RequestProcessor::MarkCompleted(const BatchedTask& task) {
+  std::vector<RequestState*> to_finalize;
+  for (const TaskEntry& entry : task.entries) {
+    CompleteEntry(entry, &to_finalize);
+  }
   for (RequestState* state : to_finalize) {
     on_request_complete_(state);
     requests_.erase(state->id);
+  }
+}
+
+void RequestProcessor::MarkCompletedEntries(const BatchedTask& task,
+                                            const std::vector<int>& indices) {
+  std::vector<RequestState*> to_finalize;  // intentionally unused: caller finalizes
+  for (int i : indices) {
+    BM_CHECK_GE(i, 0);
+    BM_CHECK_LT(static_cast<size_t>(i), task.entries.size());
+    CompleteEntry(task.entries[static_cast<size_t>(i)], &to_finalize);
+  }
+}
+
+void RequestProcessor::CancelScheduledNode(RequestState* state, int node_id) {
+  BM_CHECK(state != nullptr);
+  NodeState& node = state->nodes[static_cast<size_t>(node_id)];
+  BM_CHECK(node.stage == NodeStage::kScheduled);
+  node.stage = NodeStage::kCancelled;
+  state->remaining_nodes--;
+  state->cancelled_nodes++;
+  BM_CHECK_GE(state->remaining_nodes, 0);
+}
+
+void RequestProcessor::RevertScheduledNode(Subgraph* sg, int node_id) {
+  BM_CHECK(sg != nullptr);
+  BM_CHECK(sg->parked) << "revert requires the subgraph to be parked";
+  RequestState* state = sg->owner;
+  NodeState& node = state->nodes[static_cast<size_t>(node_id)];
+  BM_CHECK(node.stage == NodeStage::kScheduled);
+  node.stage = NodeStage::kPending;
+  node.retries++;
+  sg->unscheduled++;
+
+  // Return the schedule-time credit to same-subgraph successors. A kReady
+  // successor is demoted back to kPending; a kScheduled one sits doomed in
+  // a later in-flight task of the same stream (it consumes this node's
+  // never-produced output) and is reverted or cancelled when that task's
+  // poisoned execution fails. kCancelled successors (early termination)
+  // never read the counter again.
+  for (int succ : state->graph.Successors(node_id)) {
+    NodeState& succ_node = state->nodes[static_cast<size_t>(succ)];
+    if (succ_node.subgraph != sg->id) {
+      continue;  // external consumers wait on completion, which never happened
+    }
+    if (succ_node.stage == NodeStage::kReady) {
+      succ_node.stage = NodeStage::kPending;
+      for (size_t i = 0; i < sg->ready.size(); ++i) {
+        if (sg->ready[i] == succ) {
+          sg->ready[i] = sg->ready.back();
+          sg->ready.pop_back();
+          break;
+        }
+      }
+    }
+    succ_node.unmet_internal++;
   }
 }
 

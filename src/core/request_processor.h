@@ -46,6 +46,29 @@ class RequestProcessor {
   // whose last node completed.
   void MarkCompleted(const BatchedTask& task);
 
+  // ---- Failure recovery (driven by Scheduler::OnTaskFailed) ----
+
+  // Completes a subset of a task's entries (indices into task.entries)
+  // without finalizing any request: the failure path must finish its node
+  // surgery on the task's other entries before any request state may be
+  // destroyed. Callers run FinalizeIfDone afterwards.
+  void MarkCompletedEntries(const BatchedTask& task, const std::vector<int>& indices);
+
+  // A scheduled node of a terminally-failed/shed/cancelled request will
+  // never execute: transition it kScheduled -> kCancelled. Successor
+  // bookkeeping is left alone — every successor belongs to the same
+  // (terminal) request and is cancelled through the same machinery.
+  void CancelScheduledNode(RequestState* state, int node_id);
+
+  // Reverts one scheduled node of a *parked* subgraph back to kPending
+  // after its task failed (inverse of MarkScheduled): restores
+  // sg->unscheduled, bumps the node's retry count, returns the
+  // schedule-time dependency credit to same-subgraph successors and
+  // demotes any kReady successor back to kPending. The caller must park
+  // the subgraph first — reverting a queued subgraph would corrupt the
+  // scheduler's ready-node accounting.
+  void RevertScheduledNode(Subgraph* sg, int node_id);
+
   // Early termination support (e.g. the decoder emitted <eos>): cancels all
   // nodes of `sg` that are not yet scheduled or completed. Already
   // in-flight nodes still execute; their completions no longer unlock
@@ -67,6 +90,7 @@ class RequestProcessor {
  private:
   void Partition(RequestState* state);
   void ReleaseSubgraph(Subgraph* sg);
+  void CompleteEntry(const TaskEntry& entry, std::vector<RequestState*>* to_finalize);
 
   const CellRegistry* registry_;
   SubgraphReadyFn on_subgraph_ready_;

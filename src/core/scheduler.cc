@@ -184,6 +184,11 @@ void Scheduler::OnTaskCompleted(const BatchedTask& task) {
     BM_CHECK_GT(sg->inflight_tasks, 0);
     if (--sg->inflight_tasks == 0) {
       sg->pinned_worker = -1;  // unpin (Algorithm 1's counter reaching zero)
+      if (sg->parked) {
+        // The last in-flight task of a failure-parked subgraph drained; it
+        // is now safe to re-schedule the reverted nodes.
+        UnparkSubgraph(sg);
+      }
     }
   }
   inflight_subgraphs_.erase(it);
@@ -191,6 +196,145 @@ void Scheduler::OnTaskCompleted(const BatchedTask& task) {
   // Propagate completion last: this may destroy finished requests and
   // their subgraphs, and may enqueue newly released subgraphs.
   processor_->MarkCompleted(task);
+}
+
+void Scheduler::ParkSubgraph(Subgraph* sg) {
+  BM_CHECK(!sg->parked);
+  if (sg->in_queue) {
+    TypeState& ts = types_[static_cast<size_t>(sg->type)];
+    ts.ready_nodes -= static_cast<int>(sg->ready.size());
+    BM_CHECK_GE(ts.ready_nodes, 0);
+    ts.queue.erase(sg->queue_pos);
+    sg->in_queue = false;
+  }
+  sg->parked = true;
+}
+
+void Scheduler::UnparkSubgraph(Subgraph* sg) {
+  BM_CHECK(sg->parked);
+  BM_CHECK_EQ(sg->inflight_tasks, 0);
+  sg->parked = false;
+  if (unpark_hook_) {
+    unpark_hook_(sg);
+  }
+  if (sg->cancelled || sg->unscheduled == 0) {
+    return;  // cancelled while parked; nothing left to schedule
+  }
+  // Recompute the ready set from the dependency counters: reverted nodes
+  // whose (re-credited) predecessors are all scheduled-or-completed become
+  // ready again. With zero tasks in flight the chain must bottom out in at
+  // least one ready node.
+  RequestState* state = sg->owner;
+  for (int id : sg->nodes) {
+    NodeState& node = state->nodes[static_cast<size_t>(id)];
+    if (node.stage == NodeStage::kPending && node.unmet_internal == 0 &&
+        node.unmet_external == 0) {
+      node.stage = NodeStage::kReady;
+      sg->ready.push_back(id);
+    }
+  }
+  BM_CHECK(!sg->ready.empty()) << "unparked subgraph has work but no ready nodes";
+  EnqueueSubgraph(sg);
+}
+
+void Scheduler::OnTaskFailed(const BatchedTask& task,
+                             const std::vector<int>& failed_entries, int victim_entry) {
+  TypeState& ts = types_[static_cast<size_t>(task.type)];
+  BM_CHECK_GT(ts.running_tasks, 0);
+  ts.running_tasks--;
+
+  const auto it = inflight_subgraphs_.find(task.id);
+  BM_CHECK(it != inflight_subgraphs_.end()) << "failure for unknown task " << task.id;
+  const std::vector<Subgraph*> touched = std::move(it->second);
+  inflight_subgraphs_.erase(it);
+  for (Subgraph* sg : touched) {
+    BM_CHECK_GT(sg->inflight_tasks, 0);
+    if (--sg->inflight_tasks == 0) {
+      sg->pinned_worker = -1;
+    }
+  }
+
+  std::vector<bool> failed_mask(task.entries.size(), false);
+  for (int i : failed_entries) {
+    BM_CHECK_GE(i, 0);
+    BM_CHECK_LT(static_cast<size_t>(i), task.entries.size());
+    failed_mask[static_cast<size_t>(i)] = true;
+  }
+
+  // Terminal-status decisions first, so the per-entry pass below sees them:
+  // the blamed victim fails outright, and an innocent entry reverted too
+  // many times escalates its request rather than looping forever.
+  if (victim_entry >= 0) {
+    BM_CHECK(failed_mask[static_cast<size_t>(victim_entry)]);
+    RequestState* victim = processor_->FindRequest(task.entries[static_cast<size_t>(victim_entry)].request);
+    BM_CHECK(victim != nullptr);
+    victim->MarkTerminal(RequestStatus::kFailed);
+  }
+  for (int i : failed_entries) {
+    const TaskEntry& entry = task.entries[static_cast<size_t>(i)];
+    RequestState* state = processor_->FindRequest(entry.request);
+    BM_CHECK(state != nullptr);
+    if (state->status == RequestStatus::kOk &&
+        state->nodes[static_cast<size_t>(entry.node)].retries >= options_.max_node_retries) {
+      state->MarkTerminal(RequestStatus::kFailed);
+    }
+  }
+
+  // Per-entry disposition. Failed entries of terminal requests are
+  // cancelled (they will never run); innocent ones are reverted and their
+  // subgraphs parked. Clean entries completed normally — but completion
+  // propagation is deferred past the surgery, and finalization past
+  // everything, so no request state is destroyed while pointers into the
+  // task are still live.
+  std::vector<int> clean;
+  std::vector<RequestId> to_cancel;
+  clean.reserve(task.entries.size());
+  for (size_t i = 0; i < task.entries.size(); ++i) {
+    if (!failed_mask[i]) {
+      clean.push_back(static_cast<int>(i));
+      continue;
+    }
+    const TaskEntry& entry = task.entries[i];
+    RequestState* state = processor_->FindRequest(entry.request);
+    BM_CHECK(state != nullptr);
+    if (state->status != RequestStatus::kOk) {
+      processor_->CancelScheduledNode(state, entry.node);
+      if (std::find(to_cancel.begin(), to_cancel.end(), entry.request) == to_cancel.end()) {
+        to_cancel.push_back(entry.request);
+      }
+    } else {
+      Subgraph* sg =
+          state->subgraphs[static_cast<size_t>(state->nodes[static_cast<size_t>(entry.node)].subgraph)]
+              .get();
+      if (!sg->parked) {
+        ParkSubgraph(sg);
+      }
+      processor_->RevertScheduledNode(sg, entry.node);
+    }
+  }
+  processor_->MarkCompletedEntries(task, clean);
+
+  // Drained parked subgraphs go back into circulation before any request
+  // is finalized (finalization may destroy subgraphs the touched list
+  // still points at).
+  for (Subgraph* sg : touched) {
+    if (sg->parked && sg->inflight_tasks == 0) {
+      UnparkSubgraph(sg);
+    }
+  }
+
+  // Cancel the rest of every terminal request, then finalize whatever
+  // drained. Re-lookup by id each time: CancelRequest and FinalizeIfDone
+  // destroy finished requests.
+  for (RequestId id : to_cancel) {
+    CancelRequest(id);
+  }
+  for (const TaskEntry& entry : task.entries) {
+    RequestState* state = processor_->FindRequest(entry.request);
+    if (state != nullptr) {
+      processor_->FinalizeIfDone(state);
+    }
+  }
 }
 
 int Scheduler::CancelRequest(RequestId id) {

@@ -15,6 +15,7 @@
 #ifndef SRC_CORE_SCHEDULER_H_
 #define SRC_CORE_SCHEDULER_H_
 
+#include <functional>
 #include <list>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +33,11 @@ struct SchedulerOptions {
   // submit to a worker. Small values let new requests join sooner; larger
   // values reduce scheduling overhead (paper default: 5).
   int max_tasks_to_submit = 5;
+  // Failure recovery: how many times one node may be reverted out of a
+  // failed task as an innocent co-batched entry before its request is
+  // terminated with kFailed. Bounds retry work under a deterministic fault
+  // (e.g. an injector pinned to a rate) so a request cannot requeue forever.
+  int max_node_retries = 8;
 };
 
 class Scheduler {
@@ -56,6 +62,28 @@ class Scheduler {
   // counts, then propagates completion through the RequestProcessor (which
   // may release new subgraphs back into the scheduler).
   void OnTaskCompleted(const BatchedTask& task);
+
+  // Must be called instead of OnTaskCompleted when a task's execution
+  // failed. `failed_entries` are indices into task.entries that did not
+  // execute (the whole task for an injected fault, a poisoned subset for a
+  // downstream cascade); `victim_entry` (index, or -1 for none) names the
+  // entry blamed for the fault — its request is terminated with kFailed
+  // and its remaining nodes cancelled. Innocent failed entries are
+  // reverted to pending, their subgraphs parked until every in-flight task
+  // drains, then re-enqueued for re-execution (possibly on another
+  // worker); entries reverted more than max_node_retries times escalate
+  // their request to kFailed. Entries not listed in `failed_entries`
+  // completed normally and are propagated as usual.
+  void OnTaskFailed(const BatchedTask& task, const std::vector<int>& failed_entries,
+                    int victim_entry);
+
+  // Called right before a parked subgraph is re-enqueued, with its
+  // in-flight count at zero. The server uses this to purge the subgraph's
+  // reverted nodes from the failing worker's poison set — by unpark time no
+  // in-flight task can reference them, and after re-scheduling a stale
+  // entry would mis-poison a healthy re-execution.
+  using UnparkHook = std::function<void(Subgraph*)>;
+  void set_unpark_hook(UnparkHook hook) { unpark_hook_ = std::move(hook); }
 
   // Early termination: cancels every not-yet-scheduled node of the request
   // (keeping queue and ready-node accounting consistent) and finalizes the
@@ -102,9 +130,16 @@ class Scheduler {
 
   void RemoveFromQueueIfDone(TypeState* ts, Subgraph* sg);
 
+  // Failure recovery: takes a subgraph out of circulation (dequeue +
+  // ready-node accounting) before its scheduled nodes are reverted, and
+  // puts a drained one back (recomputing its ready set).
+  void ParkSubgraph(Subgraph* sg);
+  void UnparkSubgraph(Subgraph* sg);
+
   const CellRegistry* registry_;
   RequestProcessor* processor_;
   SchedulerOptions options_;
+  UnparkHook unpark_hook_;
   TraceRecorder* trace_ = nullptr;
   std::vector<TypeState> types_;
   uint64_t next_task_id_ = 0;

@@ -48,16 +48,38 @@ uint64_t HazardKey(RequestId request, int node) {
 // may start gathering task seq only once task seq-2 has executed
 // (executed_seq >= seq - 2), i.e. its buffers are dead and the arena
 // recycled. This is what bounds staging memory to two tasks per worker.
+//
+// Failure poison (`failed_produced`): when a task fails to execute
+// (injected fault or a throwing cell), its entries' (request, node) keys go
+// here instead of `unscattered` — the nodes produced nothing, and later
+// tasks in this stream that consume them must not gather (there is nothing
+// to read) nor block forever on the hazard wait. The stager checks each
+// entry's inputs against this set to build the task's poisoned mask;
+// poisoned rows gather as zeros, are skipped by the scatter, and are
+// reported to the manager as failed entries (a cascade). Keys are purged
+// three ways so a re-scheduled healthy execution is never mis-poisoned:
+// the stager self-cleans an entry's own stale key when it stages cleanly,
+// the scheduler's unpark hook erases a parked subgraph's keys once its
+// in-flight tasks drain, and request finalization sweeps keys of nodes
+// that were cancelled outright.
 struct Server::WorkerPipeline {
   struct StagedTask {
     WorkerTask wt;
     GatheredBatch gathered;
     int64_t seq = 0;
+    // Per-entry cascade mask (empty = no poisoned entries).
+    std::vector<uint8_t> poisoned;
+    // Injected fault or every entry poisoned: nothing gathered, nothing to
+    // execute; the exec thread just advances the stream and reports.
+    bool skip = false;
+    // Entry blamed for an injected fault; -1 for cascades.
+    int victim = -1;
   };
 
   std::mutex mu;
   std::condition_variable cv;
   std::unordered_set<uint64_t> unscattered;
+  std::unordered_set<uint64_t> failed_produced;
   std::deque<StagedTask> staged;
   int64_t executed_seq = -1;  // highest seq executed + scattered
   bool stage_done = false;    // staging thread exited; drain and stop
@@ -71,7 +93,8 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
     : registry_(registry),
       options_(options),
       assembler_(registry),
-      trace_([this] { return NowMicros(); }) {
+      trace_([this] { return NowMicros(); }),
+      fault_injector_(options_.fault) {
   BM_CHECK(registry != nullptr);
   BM_CHECK_GT(options_.num_workers, 0);
   BM_CHECK_GT(options_.threads_per_worker, 0);
@@ -85,39 +108,84 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
       /*on_subgraph_ready=*/[this](Subgraph* sg) { scheduler_->EnqueueSubgraph(sg); },
       /*on_request_complete=*/
       [this](RequestState* state) {
-        // Record metrics.
-        RequestRecord record;
-        record.id = state->id;
-        record.arrival_micros = state->arrival_micros;
-        record.exec_start_micros = state->ExecStartMicros();
-        record.completion_micros = NowMicros();
-        record.num_nodes = state->graph.NumNodes();
-        metrics_.Record(record);
+        const RequestStatus status = state->status;
+        switch (status) {
+          case RequestStatus::kOk: {
+            RequestRecord record;
+            record.id = state->id;
+            record.arrival_micros = state->arrival_micros;
+            record.exec_start_micros = state->ExecStartMicros();
+            record.completion_micros = NowMicros();
+            record.num_nodes = state->graph.NumNodes();
+            metrics_.Record(record);
+            break;
+          }
+          case RequestStatus::kShed:
+            metrics_.RecordDropped();
+            break;
+          case RequestStatus::kFailed:
+            metrics_.RecordFailed();
+            break;
+          case RequestStatus::kCancelled:
+            break;  // caller-initiated; neither a completion nor a drop
+          case RequestStatus::kRejected:
+            break;  // unreachable: rejected requests are never admitted
+        }
 
-        // Collect wanted outputs and fire the callback.
+        // Collect wanted outputs (kOk only — other terminal states carry
+        // none) and fire the callback exactly once.
         const auto wanted_it = outputs_wanted_.find(state->id);
         BM_CHECK(wanted_it != outputs_wanted_.end());
         std::vector<Tensor> outputs;
-        outputs.reserve(wanted_it->second.size());
-        for (const ValueRef& ref : wanted_it->second) {
-          if (state->nodes[static_cast<size_t>(ref.node)].stage == NodeStage::kCancelled) {
-            continue;  // early termination cancelled this producer
+        if (status == RequestStatus::kOk) {
+          outputs.reserve(wanted_it->second.size());
+          for (const ValueRef& ref : wanted_it->second) {
+            if (state->nodes[static_cast<size_t>(ref.node)].stage == NodeStage::kCancelled) {
+              continue;  // early termination cancelled this producer
+            }
+            const auto& node_out = state->node_outputs[static_cast<size_t>(ref.node)];
+            BM_CHECK_LT(static_cast<size_t>(ref.output), node_out.size());
+            outputs.push_back(node_out[static_cast<size_t>(ref.output)]);
           }
-          const auto& node_out = state->node_outputs[static_cast<size_t>(ref.node)];
-          BM_CHECK_LT(static_cast<size_t>(ref.output), node_out.size());
-          outputs.push_back(node_out[static_cast<size_t>(ref.output)]);
         }
         outputs_wanted_.erase(wanted_it);
         terminations_.erase(state->id);
+
+        // Sweep stale poison keys of nodes that were cancelled after a
+        // failure (their keys sit in the failing worker's failed_produced
+        // set and the request will never unpark anything to purge them).
+        // Gated on an actual failure having happened, so the common path
+        // never touches the pipeline locks from the manager.
+        if (state->cancelled_nodes > 0 &&
+            (fault_injector_.enabled() || tasks_failed_.load(std::memory_order_relaxed) > 0)) {
+          std::vector<uint64_t> keys;
+          for (size_t n = 0; n < state->nodes.size(); ++n) {
+            if (state->nodes[n].stage == NodeStage::kCancelled) {
+              keys.push_back(HazardKey(state->id, static_cast<int>(n)));
+            }
+          }
+          if (!keys.empty()) {
+            for (auto& pipe : pipelines_) {
+              std::lock_guard<std::mutex> lock(pipe->mu);
+              for (uint64_t key : keys) {
+                pipe->failed_produced.erase(key);
+              }
+            }
+          }
+        }
 
         const auto cb_it = callbacks_.find(state->id);
         BM_CHECK(cb_it != callbacks_.end());
         ResponseFn callback = std::move(cb_it->second);
         callbacks_.erase(cb_it);
         if (callback) {
-          callback(state->id, std::move(outputs));
+          callback(state->id, status, std::move(outputs));
         }
-        trace_.RequestComplete(state->id, state->ExecStartMicros());
+        if (status == RequestStatus::kShed) {
+          trace_.RequestDrop(state->id);
+        } else {
+          trace_.RequestComplete(state->id, state->ExecStartMicros());
+        }
         if (unfinished_requests_.fetch_sub(1) == 1) {
           // Last in-flight request: wake a Shutdown() waiting for the
           // drain. Taking the mutex orders this notify after the waiter's
@@ -128,6 +196,21 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
       });
   scheduler_ = std::make_unique<Scheduler>(registry, processor_.get(), options_.scheduler);
   scheduler_->set_trace(&trace_);
+  // When a failure-parked subgraph drains and is about to re-enqueue,
+  // purge its nodes' poison keys from the worker that ran the failed task
+  // (the pinned — hence last — worker): with zero tasks in flight nothing
+  // can still consume them, and a healthy re-execution scheduled back to
+  // that worker must not be mis-poisoned by the stale keys.
+  scheduler_->set_unpark_hook([this](Subgraph* sg) {
+    if (sg->last_worker < 0) {
+      return;
+    }
+    WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(sg->last_worker)];
+    std::lock_guard<std::mutex> lock(pipe.mu);
+    for (int node : sg->nodes) {
+      pipe.failed_produced.erase(HazardKey(sg->owner->id, node));
+    }
+  });
   outstanding_.assign(static_cast<size_t>(options_.num_workers), 0);
   for (int i = 0; i < options_.num_workers; ++i) {
     task_queues_.push_back(std::make_unique<BlockingQueue<WorkerTask>>());
@@ -154,51 +237,104 @@ double Server::NowMicros() const {
          1000.0;
 }
 
+std::string Server::ValidateSubmission(const CellGraph& graph,
+                                       const std::vector<Tensor>& externals,
+                                       const std::vector<ValueRef>& outputs_wanted) const {
+  if (graph.NumNodes() == 0) {
+    return "empty cell graph";
+  }
+  if (externals.empty()) {
+    return "real-compute submissions require external input tensors";
+  }
+  std::string err = graph.ValidateOrError(*registry_, static_cast<int>(externals.size()));
+  if (!err.empty()) {
+    return err;
+  }
+  for (const ValueRef& ref : outputs_wanted) {
+    if (ref.is_external()) {
+      return "outputs_wanted must reference node outputs, not externals";
+    }
+    if (ref.node < 0 || ref.node >= graph.NumNodes()) {
+      return "outputs_wanted references nonexistent node " + std::to_string(ref.node);
+    }
+    const CellDef& def = registry_->def(graph.node(ref.node).type);
+    if (ref.output < 0 || ref.output >= def.NumOutputs()) {
+      return "outputs_wanted references nonexistent output " + std::to_string(ref.output);
+    }
+  }
+  return {};
+}
+
 RequestId Server::Submit(CellGraph graph, std::vector<Tensor> externals,
                          std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
-                         TerminationFn terminate) {
+                         TerminationFn terminate, double deadline_micros) {
   BM_CHECK(started_.load()) << "Submit before Start";
-  BM_CHECK(!externals.empty()) << "the real-compute server requires external tensors";
-  ArrivalMsg msg;
-  msg.graph = std::move(graph);
-  msg.externals = std::move(externals);
-  msg.outputs_wanted = std::move(outputs_wanted);
-  msg.on_response = std::move(on_response);
-  msg.terminate = std::move(terminate);
-  const int num_nodes = msg.graph.NumNodes();
-
-  // The shutdown check, unfinished-count increment and inbox push must be
-  // one atomic step with respect to Shutdown: otherwise a submission can
-  // pass the check, Shutdown can observe zero unfinished requests and close
-  // the inbox, and the late Push lands on a closed queue — silently dropped
-  // with unfinished_requests_ stuck nonzero.
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
-  if (shutdown_.load()) {
-    return kInvalidRequestId;  // lost the race; never enqueued
-  }
   const RequestId id = next_request_id_.fetch_add(1);
-  msg.id = id;
-  msg.arrival_micros = NowMicros();
-  trace_.RequestArrival(msg.arrival_micros, id, num_nodes);
-  unfinished_requests_.fetch_add(1);
-  inbox_.Push(ManagerMsg{std::move(msg)});
+  bool accepted = ValidateSubmission(graph, externals, outputs_wanted).empty();
+  if (accepted) {
+    ArrivalMsg msg;
+    msg.graph = std::move(graph);
+    msg.externals = std::move(externals);
+    msg.outputs_wanted = std::move(outputs_wanted);
+    msg.on_response = std::move(on_response);
+    msg.terminate = std::move(terminate);
+    // Per-request deadline overrides the server-wide queue timeout;
+    // negative disables shedding for this request.
+    msg.deadline_micros =
+        deadline_micros != 0.0 ? deadline_micros : options_.queue_timeout_micros;
+    const int num_nodes = msg.graph.NumNodes();
+
+    // The shutdown/admission check, unfinished-count increment and inbox
+    // push must be one atomic step with respect to Shutdown: otherwise a
+    // submission can pass the check, Shutdown can observe zero unfinished
+    // requests and close the inbox, and the late Push lands on a closed
+    // queue — silently dropped with unfinished_requests_ stuck nonzero.
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (shutdown_.load()) {
+      accepted = false;  // lost the race; never enqueued
+    } else if (options_.max_queued_requests > 0 &&
+               unfinished_requests_.load() >= options_.max_queued_requests) {
+      accepted = false;  // admission control: the server is full
+    } else {
+      msg.id = id;
+      msg.arrival_micros = NowMicros();
+      trace_.RequestArrival(msg.arrival_micros, id, num_nodes);
+      unfinished_requests_.fetch_add(1);
+      inbox_.Push(ManagerMsg{std::move(msg)});
+      return id;
+    }
+    on_response = std::move(msg.on_response);  // reclaim for the rejection
+  }
+  // Rejected (invalid graph, full queue, or shutdown): the terminal answer
+  // fires synchronously on the submitter's thread, outside lifecycle_mu_.
+  metrics_.RecordRejected();
+  trace_.RequestReject(id);
+  if (on_response) {
+    on_response(id, RequestStatus::kRejected, {});
+  }
   return id;
 }
 
-std::optional<std::vector<Tensor>> Server::SubmitAndWait(
-    CellGraph graph, std::vector<Tensor> externals,
-    std::vector<ValueRef> outputs_wanted) {
-  std::promise<std::vector<Tensor>> promise;
-  std::future<std::vector<Tensor>> future = promise.get_future();
-  const RequestId id =
-      Submit(std::move(graph), std::move(externals), std::move(outputs_wanted),
-             [&promise](RequestId, std::vector<Tensor> outputs) {
-               promise.set_value(std::move(outputs));
-             });
-  if (id == kInvalidRequestId) {
-    return std::nullopt;  // rejected: raced a Shutdown, the callback will never fire
-  }
+Response Server::SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
+                               std::vector<ValueRef> outputs_wanted,
+                               double deadline_micros) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  Submit(std::move(graph), std::move(externals), std::move(outputs_wanted),
+         [&promise](RequestId, RequestStatus status, std::vector<Tensor> outputs) {
+           promise.set_value(Response{status, std::move(outputs)});
+         },
+         /*terminate=*/nullptr, deadline_micros);
+  // Every submission — accepted or rejected — gets exactly one callback,
+  // so the future always resolves.
   return future.get();
+}
+
+void Server::Cancel(RequestId id) {
+  BM_CHECK(started_.load()) << "Cancel before Start";
+  // Push on a closed inbox is a no-op: after Shutdown the request is
+  // already terminal, so there is nothing left to cancel.
+  inbox_.Push(ManagerMsg{CancelMsg{id}});
 }
 
 void Server::Shutdown() {
@@ -245,7 +381,31 @@ double Server::TotalWorkerIdleMicros() const {
 }
 
 void Server::ManagerLoop() {
-  while (auto msg = inbox_.Pop()) {
+  for (;;) {
+    std::optional<ManagerMsg> msg;
+    if (deadlines_.empty()) {
+      msg = inbox_.Pop();
+      if (!msg) {
+        break;  // closed and drained
+      }
+    } else {
+      // A shedding deadline is pending: sleep at most until it expires, so
+      // a queued request is shed on time even with no messages in flight.
+      const double now = NowMicros();
+      const double wait = deadlines_.top().first - now;
+      if (wait <= 0.0) {
+        ExpireDeadlines(now);
+        continue;
+      }
+      msg = inbox_.PopFor(std::chrono::duration<double, std::micro>(wait));
+      if (!msg) {
+        if (inbox_.Closed()) {
+          break;  // nullopt with the queue closed implies drained
+        }
+        ExpireDeadlines(NowMicros());
+        continue;
+      }
+    }
     HandleMsg(std::move(*msg));
     // Admit everything that queued up behind this message before the
     // refill pass: near-simultaneous requests batch together, and a burst
@@ -253,6 +413,7 @@ void Server::ManagerLoop() {
     while (auto more = inbox_.TryPop()) {
       HandleMsg(std::move(*more));
     }
+    ExpireDeadlines(NowMicros());
     TryRefillWorkers();
   }
 }
@@ -260,8 +421,10 @@ void Server::ManagerLoop() {
 void Server::HandleMsg(ManagerMsg msg) {
   if (std::holds_alternative<ArrivalMsg>(msg)) {
     HandleArrival(std::move(std::get<ArrivalMsg>(msg)));
-  } else {
+  } else if (std::holds_alternative<CompletionMsg>(msg)) {
     HandleCompletion(std::move(std::get<CompletionMsg>(msg)));
+  } else {
+    HandleCancel(std::get<CancelMsg>(msg));
   }
 }
 
@@ -271,8 +434,38 @@ void Server::HandleArrival(ArrivalMsg msg) {
   if (msg.terminate) {
     terminations_.emplace(msg.id, std::move(msg.terminate));
   }
-  processor_->AddRequest(msg.id, std::move(msg.graph), msg.arrival_micros,
-                         std::move(msg.externals));
+  RequestState* state = processor_->AddRequest(msg.id, std::move(msg.graph),
+                                               msg.arrival_micros, std::move(msg.externals));
+  if (msg.deadline_micros > 0.0) {
+    state->deadline_micros = msg.deadline_micros;
+    deadlines_.emplace(msg.arrival_micros + msg.deadline_micros, msg.id);
+  }
+}
+
+void Server::HandleCancel(CancelMsg msg) {
+  RequestState* state = processor_->FindRequest(msg.id);
+  if (state == nullptr || !state->MarkTerminal(RequestStatus::kCancelled)) {
+    return;  // unknown, already finished (kOk won the race), or terminal
+  }
+  scheduler_->CancelRequest(msg.id);
+}
+
+void Server::ExpireDeadlines(double now_micros) {
+  while (!deadlines_.empty() && deadlines_.top().first <= now_micros) {
+    const RequestId id = deadlines_.top().second;
+    deadlines_.pop();
+    RequestState* state = processor_->FindRequest(id);
+    if (state == nullptr || state->ExecStarted() ||
+        state->status != RequestStatus::kOk) {
+      continue;  // finished, already running, or already terminal
+    }
+    // Same semantics as the simulator's queue timeout: a request sheds
+    // only if it has not begun executing when the deadline fires. (The
+    // ExecStarted read races benignly with a worker's first-execution CAS;
+    // losing it just means the request completes normally.)
+    state->MarkTerminal(RequestStatus::kShed);
+    scheduler_->CancelRequest(id);
+  }
 }
 
 void Server::HandleCompletion(CompletionMsg msg) {
@@ -280,12 +473,25 @@ void Server::HandleCompletion(CompletionMsg msg) {
   BM_CHECK_GE(worker, 0);
   outstanding_[static_cast<size_t>(worker)]--;
   BM_CHECK_GE(outstanding_[static_cast<size_t>(worker)], 0);
-  scheduler_->OnTaskCompleted(msg.task);
+  if (msg.failed_entries.empty()) {
+    scheduler_->OnTaskCompleted(msg.task);
+  } else {
+    scheduler_->OnTaskFailed(msg.task, msg.failed_entries, msg.victim_entry);
+  }
   // Early-termination predicates (the request may already be finalized, in
   // which case FindRequest returns null and nothing happens). Skipped
-  // entirely when no request registered one — the common case.
+  // entirely when no request registered one — the common case. Failed
+  // entries are skipped: their nodes did not complete.
   if (!terminations_.empty()) {
-    for (const TaskEntry& entry : msg.task.entries) {
+    std::vector<bool> failed(msg.task.entries.size(), false);
+    for (int i : msg.failed_entries) {
+      failed[static_cast<size_t>(i)] = true;
+    }
+    for (size_t i = 0; i < msg.task.entries.size(); ++i) {
+      if (failed[i]) {
+        continue;
+      }
+      const TaskEntry& entry = msg.task.entries[i];
       const auto term_it = terminations_.find(entry.request);
       if (term_it == terminations_.end()) {
         continue;
@@ -356,11 +562,37 @@ void Server::StageLoop(int worker) {
   int64_t next_seq = 0;
   while (auto wt = queue.Pop()) {
     const int64_t seq = next_seq++;
+    const size_t batch = wt->task.entries.size();
+
+    WorkerPipeline::StagedTask st;
+    st.seq = seq;
+
+    // Injected faults are decided at stage time, before any gather: every
+    // later task of this stream then sees the poison keys when it stages,
+    // so a consumer can never block on (or read) the missing outputs.
+    if (fault_injector_.ShouldFail(wt->task.id)) {
+      st.skip = true;
+      st.victim = fault_injector_.VictimEntry(wt->task.id, static_cast<int>(batch));
+      {
+        std::lock_guard<std::mutex> lock(pipe.mu);
+        for (const TaskEntry& entry : wt->task.entries) {
+          pipe.failed_produced.insert(HazardKey(entry.request, entry.node));
+        }
+        st.wt = std::move(*wt);
+        pipe.staged.push_back(std::move(st));
+      }
+      pipe.cv.notify_all();
+      continue;
+    }
 
     // Keys of internal inputs: producers that must have scattered before
-    // this task's rows can be gathered (hazard 1 above).
+    // this task's rows can be gathered (hazard 1 above). A producer that
+    // *failed* instead puts its key in failed_produced, never unscattered,
+    // so the wait below cannot block on it; the poisoned mask is computed
+    // under the same lock, after the wait, when every producer has either
+    // scattered or failed for good.
     std::vector<uint64_t> input_keys;
-    for (size_t i = 0; i < wt->task.entries.size(); ++i) {
+    for (size_t i = 0; i < batch; ++i) {
       const TaskEntry& entry = wt->task.entries[i];
       const CellNode& node = wt->states[i]->graph.node(entry.node);
       for (const ValueRef& ref : node.inputs) {
@@ -369,6 +601,7 @@ void Server::StageLoop(int worker) {
         }
       }
     }
+    size_t num_poisoned = 0;
     {
       std::unique_lock<std::mutex> lock(pipe.mu);
       pipe.cv.wait(lock, [&] {
@@ -382,24 +615,69 @@ void Server::StageLoop(int worker) {
         }
         return true;
       });
+      if (!pipe.failed_produced.empty()) {
+        st.poisoned.assign(batch, 0);
+        for (size_t i = 0; i < batch; ++i) {
+          const TaskEntry& entry = wt->task.entries[i];
+          const CellNode& node = wt->states[i]->graph.node(entry.node);
+          for (const ValueRef& ref : node.inputs) {
+            if (!ref.is_external() &&
+                pipe.failed_produced.count(HazardKey(entry.request, ref.node)) != 0) {
+              st.poisoned[i] = 1;
+              num_poisoned++;
+              break;
+            }
+          }
+        }
+        if (num_poisoned == 0) {
+          st.poisoned.clear();
+        }
+      }
+    }
+
+    if (num_poisoned == batch) {
+      // Every entry consumes a failed producer: a pure cascade, nothing to
+      // gather or execute. Blame stays with the original fault.
+      st.skip = true;
+      st.poisoned.clear();
+      {
+        std::lock_guard<std::mutex> lock(pipe.mu);
+        for (const TaskEntry& entry : wt->task.entries) {
+          pipe.failed_produced.insert(HazardKey(entry.request, entry.node));
+        }
+        st.wt = std::move(*wt);
+        pipe.staged.push_back(std::move(st));
+      }
+      pipe.cv.notify_all();
+      continue;
     }
 
     trace_.GatherBegin(wt->task.id, wt->task.type, worker, wt->task.BatchSize());
-    GatheredBatch gathered;
     // No pool: the execution thread owns the worker's intra-task pool, and
     // the pool admits one submitter at a time. Staging gathers serially —
     // it is off the critical path whenever it overlaps an execution.
     const ExecContext stage_ctx{/*pool=*/nullptr, &pipe.staging[seq & 1]};
-    assembler_.GatherInputs(wt->task, wt->states, &gathered, &stage_ctx);
+    assembler_.GatherInputs(wt->task, wt->states, &st.gathered, &stage_ctx,
+                            st.poisoned.empty() ? nullptr : &st.poisoned);
     trace_.GatherEnd(wt->task.id, wt->task.type, worker, wt->task.BatchSize());
 
     {
       std::lock_guard<std::mutex> lock(pipe.mu);
-      for (const TaskEntry& entry : wt->task.entries) {
-        pipe.unscattered.insert(HazardKey(entry.request, entry.node));
+      for (size_t i = 0; i < batch; ++i) {
+        const TaskEntry& entry = wt->task.entries[i];
+        const uint64_t key = HazardKey(entry.request, entry.node);
+        if (!st.poisoned.empty() && st.poisoned[i] != 0) {
+          pipe.failed_produced.insert(key);  // propagate the cascade
+        } else {
+          // Self-clean: a node re-staged here after a failed attempt (the
+          // revert machinery re-scheduled it to this worker) supersedes its
+          // stale poison key.
+          pipe.failed_produced.erase(key);
+          pipe.unscattered.insert(key);
+        }
       }
-      pipe.staged.push_back(
-          WorkerPipeline::StagedTask{std::move(*wt), std::move(gathered), seq});
+      st.wt = std::move(*wt);
+      pipe.staged.push_back(std::move(st));
     }
     pipe.cv.notify_all();
   }
@@ -444,16 +722,52 @@ void Server::ExecLoop(int worker) {
       pipe.staged.pop_front();
     }
 
+    const int batch = st.wt.task.BatchSize();
+
+    if (st.skip) {
+      // Injected fault or pure cascade: nothing was gathered and nothing
+      // executes. Advance the stream (the staging arena was never touched;
+      // its keys are already in failed_produced) and report the failure.
+      {
+        std::lock_guard<std::mutex> lock(pipe.mu);
+        pipe.executed_seq = st.seq;
+      }
+      pipe.cv.notify_all();
+      trace_.TaskFailed(st.wt.task.id, st.wt.task.type, worker, batch);
+      if (st.victim >= 0) {
+        tasks_failed_.fetch_add(1);  // cascades count the original fault only
+      }
+      CompletionMsg msg;
+      msg.task = std::move(st.wt.task);
+      msg.failed_entries.resize(static_cast<size_t>(batch));
+      for (int i = 0; i < batch; ++i) {
+        msg.failed_entries[static_cast<size_t>(i)] = i;
+      }
+      msg.victim_entry = st.victim;
+      inbox_.Push(ManagerMsg{std::move(msg)});
+      continue;
+    }
+
     const double exec_start = NowMicros();
     // First-execution stamping happens here (not on the manager): any
     // worker may win the CAS, and readers only look after the completion
-    // has round-tripped through the inbox.
-    for (RequestState* state : st.wt.states) {
-      state->MarkExecStarted(exec_start);
+    // has round-tripped through the inbox. Poisoned entries did not begin
+    // executing — they stay eligible for deadline shedding.
+    for (size_t i = 0; i < st.wt.states.size(); ++i) {
+      if (st.poisoned.empty() || st.poisoned[i] == 0) {
+        st.wt.states[i]->MarkExecStarted(exec_start);
+      }
     }
-    trace_.ExecBegin(exec_start, st.wt.task.id, st.wt.task.type, worker,
-                     st.wt.task.BatchSize());
-    std::vector<Tensor> outputs = assembler_.ExecuteGathered(st.wt.task, st.gathered, &ctx);
+    trace_.ExecBegin(exec_start, st.wt.task.id, st.wt.task.type, worker, batch);
+    std::vector<Tensor> outputs;
+    bool exec_threw = false;
+    try {
+      outputs = assembler_.ExecuteGathered(st.wt.task, st.gathered, &ctx);
+    } catch (const std::exception&) {
+      // A real (non-injected) execution failure: the whole task produced
+      // nothing. Treated exactly like an injected fault with no victim.
+      exec_threw = true;
+    }
     // The gather buffers are dead: drop the arena-backed tensors, then
     // recycle both arenas. Resetting staging[seq % 2] before publishing
     // executed_seq (below, under mu) is what makes it safe for the stager
@@ -462,19 +776,57 @@ void Server::ExecLoop(int worker) {
     st.gathered.inputs.clear();
     exec_arena.Reset();
     pipe.staging[st.seq & 1].Reset();
-    assembler_.ScatterOutputs(st.wt.task, st.wt.states, outputs, &ctx);
+
+    if (exec_threw) {
+      {
+        std::lock_guard<std::mutex> lock(pipe.mu);
+        for (const TaskEntry& entry : st.wt.task.entries) {
+          const uint64_t key = HazardKey(entry.request, entry.node);
+          pipe.unscattered.erase(key);
+          pipe.failed_produced.insert(key);
+        }
+        pipe.executed_seq = st.seq;
+      }
+      pipe.cv.notify_all();
+      trace_.TaskFailed(st.wt.task.id, st.wt.task.type, worker, batch);
+      tasks_failed_.fetch_add(1);
+      CompletionMsg msg;
+      msg.task = std::move(st.wt.task);
+      msg.failed_entries.resize(static_cast<size_t>(batch));
+      for (int i = 0; i < batch; ++i) {
+        msg.failed_entries[static_cast<size_t>(i)] = i;
+      }
+      msg.victim_entry = -1;
+      inbox_.Push(ManagerMsg{std::move(msg)});
+      continue;
+    }
+
+    assembler_.ScatterOutputs(st.wt.task, st.wt.states, outputs, &ctx,
+                              st.poisoned.empty() ? nullptr : &st.poisoned);
     {
       std::lock_guard<std::mutex> lock(pipe.mu);
-      for (const TaskEntry& entry : st.wt.task.entries) {
-        pipe.unscattered.erase(HazardKey(entry.request, entry.node));
+      for (size_t i = 0; i < st.wt.task.entries.size(); ++i) {
+        if (st.poisoned.empty() || st.poisoned[i] == 0) {
+          const TaskEntry& entry = st.wt.task.entries[i];
+          pipe.unscattered.erase(HazardKey(entry.request, entry.node));
+        }
+        // Poisoned keys were never in unscattered; they stay poisoned in
+        // failed_produced until purged by unpark or finalization.
       }
       pipe.executed_seq = st.seq;
     }
     pipe.cv.notify_all();
-    trace_.ExecEnd(st.wt.task.id, st.wt.task.type, worker, st.wt.task.BatchSize());
+    trace_.ExecEnd(st.wt.task.id, st.wt.task.type, worker, batch);
     tasks_executed_.fetch_add(1);
 
     CompletionMsg msg;
+    if (!st.poisoned.empty()) {
+      for (int i = 0; i < batch; ++i) {
+        if (st.poisoned[static_cast<size_t>(i)] != 0) {
+          msg.failed_entries.push_back(i);
+        }
+      }
+    }
     msg.task = std::move(st.wt.task);
     inbox_.Push(ManagerMsg{std::move(msg)});
   }

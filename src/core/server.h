@@ -28,6 +28,17 @@
 // on the same tensor. Request states are resolved on the manager thread
 // and passed to workers by pointer, so workers never read the manager's
 // request map.
+//
+// Overload and failure semantics (see DESIGN.md): every Submit gets
+// exactly one terminal answer through its callback, tagged with a
+// RequestStatus — admission control rejects at Submit time (validation
+// failure, full queue, shutdown race → kRejected, fired synchronously on
+// the caller's thread), queue-timeout deadlines shed requests that have
+// not begun executing (kShed), Server::Cancel aborts mid-flight requests
+// (kCancelled), and failed task executions (see FaultInjector) terminate
+// the blamed victim with kFailed while innocent co-batched requests are
+// transparently re-queued and still complete kOk, bitwise identical to a
+// fault-free run.
 
 #ifndef SRC_CORE_SERVER_H_
 #define SRC_CORE_SERVER_H_
@@ -39,12 +50,16 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <queue>
+#include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <variant>
 #include <vector>
 
 #include "src/core/batch_assembler.h"
+#include "src/core/fault_injector.h"
 #include "src/core/metrics.h"
 #include "src/core/request_processor.h"
 #include "src/core/scheduler.h"
@@ -75,14 +90,39 @@ struct ServerOptions {
   // with WriteChromeTrace(server.trace(), path). Off by default: the
   // disabled recorder costs one relaxed atomic load per would-be event.
   bool enable_tracing = false;
+  // Admission control: maximum requests admitted but not yet terminal.
+  // A Submit that would exceed it is rejected synchronously (kRejected,
+  // never enqueued). 0 disables the cap.
+  size_t max_queued_requests = 0;
+  // Load shedding: a request still waiting to *begin* executing this many
+  // microseconds after arrival is shed (kShed; same semantics as the
+  // simulator's queue timeout). 0 disables; Submit's per-request deadline
+  // overrides it.
+  double queue_timeout_micros = 0.0;
+  // Deterministic execution-fault injection (tests, failure drills).
+  FaultInjectorOptions fault;
+};
+
+// Terminal answer of one submission, as delivered to the response
+// callback. `outputs` is non-empty only for kOk (and may legitimately be
+// empty there too, when every wanted output was cancelled by early
+// termination).
+struct Response {
+  RequestStatus status = RequestStatus::kOk;
+  std::vector<Tensor> outputs;
+  bool ok() const { return status == RequestStatus::kOk; }
 };
 
 class Server {
  public:
-  // Called on the manager thread when a request completes. Receives the
-  // tensors requested at submission (in `outputs_wanted` order). Outputs
-  // whose producing node was cancelled by early termination are skipped.
-  using ResponseFn = std::function<void(RequestId, std::vector<Tensor>)>;
+  // Called exactly once per submission with the request's terminal status:
+  // on the manager thread when the request finishes (kOk, kShed, kFailed,
+  // kCancelled), or synchronously on the submitter's thread when admission
+  // rejects it (kRejected). Receives the tensors requested at submission
+  // (in `outputs_wanted` order) when status is kOk; outputs whose producing
+  // node was cancelled by early termination are skipped. Non-kOk responses
+  // carry no outputs.
+  using ResponseFn = std::function<void(RequestId, RequestStatus, std::vector<Tensor>)>;
 
   // Early-termination predicate, evaluated on the manager thread after each
   // of the request's nodes completes. Returning true cancels all of the
@@ -100,30 +140,43 @@ class Server {
   void Start();
 
   // Submits a request; thread-safe, including against a concurrent
-  // Shutdown(): a submission that loses that race is rejected and returns
-  // kInvalidRequestId (its callback will never fire). Accepted submissions
-  // are guaranteed to execute and complete before Shutdown returns.
-  // `outputs_wanted` name node outputs of `graph` to return.
+  // Shutdown(). Always returns the request's id, and the callback always
+  // fires exactly once with the terminal status: submissions that fail
+  // validation, exceed max_queued_requests, or race a Shutdown are
+  // rejected with kRejected synchronously on the calling thread (never
+  // enqueued). Accepted submissions reach a terminal status before
+  // Shutdown returns. `outputs_wanted` name node outputs of `graph` to
+  // return; `deadline_micros` overrides the server-wide queue timeout for
+  // this request (0 inherits it, negative disables shedding).
   RequestId Submit(CellGraph graph, std::vector<Tensor> externals,
                    std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
-                   TerminationFn terminate = nullptr);
+                   TerminationFn terminate = nullptr, double deadline_micros = 0.0);
 
-  // Convenience: submit and block until the response arrives. Returns
-  // nullopt iff the submission was rejected (it raced a Shutdown) — an
-  // engaged but empty vector is a legitimate response (e.g. every wanted
-  // output was cancelled by early termination).
-  std::optional<std::vector<Tensor>> SubmitAndWait(CellGraph graph,
-                                                   std::vector<Tensor> externals,
-                                                   std::vector<ValueRef> outputs_wanted);
+  // Convenience: submit and block until the terminal response arrives.
+  // Response::status says how the request ended; outputs are only
+  // meaningful for kOk (and may legitimately be empty there, e.g. when
+  // every wanted output was cancelled by early termination).
+  Response SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
+                         std::vector<ValueRef> outputs_wanted,
+                         double deadline_micros = 0.0);
+
+  // Asynchronously cancels an in-flight request: its callback fires with
+  // kCancelled once in-flight tasks drain (or kOk if completion won the
+  // race). Unknown or already-terminal ids are ignored.
+  void Cancel(RequestId id);
 
   // Waits for all in-flight work to finish, then stops the threads. Safe
   // to call more than once; the destructor calls it too.
   void Shutdown();
 
-  // Completed-request metrics (real microseconds since Start). Only safe to
-  // read after Shutdown.
+  // Completed-request metrics (real microseconds since Start). Latency
+  // aggregates are only safe to read after Shutdown; the drop/reject/fail
+  // counters are atomic and readable at any time.
   const MetricsCollector& metrics() const { return metrics_; }
   int64_t TasksExecuted() const { return tasks_executed_.load(); }
+  // Batched tasks whose execution failed (injected or real), whole or in
+  // part (cascaded poisoning counts the original failure only).
+  int64_t TasksFailed() const { return tasks_failed_.load(); }
 
   // Total microseconds worker `worker`'s execution thread spent with
   // nothing to execute (waiting for the manager to refill its stream or
@@ -148,11 +201,21 @@ class Server {
     ResponseFn on_response;
     TerminationFn terminate;
     double arrival_micros;
+    double deadline_micros;  // effective shedding deadline; <= 0 disables
   };
   struct CompletionMsg {
     BatchedTask task;
+    // Indices into task.entries that did not execute (injected fault or
+    // poisoned by an earlier failure in the stream); empty = clean task.
+    std::vector<int> failed_entries;
+    // Entry blamed for an injected fault (-1 for cascades: the blame was
+    // assigned when the original fault fired).
+    int victim_entry = -1;
   };
-  using ManagerMsg = std::variant<ArrivalMsg, CompletionMsg>;
+  struct CancelMsg {
+    RequestId id;
+  };
+  using ManagerMsg = std::variant<ArrivalMsg, CompletionMsg, CancelMsg>;
 
   // A task plus the request states it touches, resolved by the manager so
   // workers never read the request map.
@@ -171,8 +234,16 @@ class Server {
   void ExecLoop(int worker);
   void HandleArrival(ArrivalMsg msg);
   void HandleCompletion(CompletionMsg msg);
+  void HandleCancel(CancelMsg msg);
+  // Sheds every deadline-heap request whose deadline passed and that has
+  // not begun executing (manager thread only).
+  void ExpireDeadlines(double now_micros);
   void TrySchedule(int worker);
   void TryRefillWorkers();
+  // Validation half of Submit; returns an error description or empty.
+  std::string ValidateSubmission(const CellGraph& graph,
+                                 const std::vector<Tensor>& externals,
+                                 const std::vector<ValueRef>& outputs_wanted) const;
   double NowMicros() const;
 
   const CellRegistry* registry_;
@@ -192,7 +263,15 @@ class Server {
   // always feed worker 0 first (subgraph pinning would otherwise skew all
   // locality onto low-numbered workers).
   int refill_start_ = 0;
+  // Pending shedding deadlines, earliest first (manager thread only).
+  // Entries for requests that finished or started executing are lazily
+  // discarded when they surface.
+  std::priority_queue<std::pair<double, RequestId>,
+                      std::vector<std::pair<double, RequestId>>,
+                      std::greater<std::pair<double, RequestId>>>
+      deadlines_;
   MetricsCollector metrics_;
+  FaultInjector fault_injector_;
 
   BlockingQueue<ManagerMsg> inbox_;
   std::vector<std::unique_ptr<BlockingQueue<WorkerTask>>> task_queues_;
@@ -202,6 +281,7 @@ class Server {
   std::vector<std::thread> worker_threads_;  // one staging + one exec thread per worker
   std::atomic<RequestId> next_request_id_{1};
   std::atomic<int64_t> tasks_executed_{0};
+  std::atomic<int64_t> tasks_failed_{0};
   std::atomic<size_t> unfinished_requests_{0};
   std::atomic<bool> started_{false};
   std::atomic<bool> shutdown_{false};

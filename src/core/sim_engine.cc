@@ -24,7 +24,7 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
       /*on_subgraph_ready=*/[this](Subgraph* sg) { scheduler_->EnqueueSubgraph(sg); },
       /*on_request_complete=*/
       [this](RequestState* state) {
-        if (state->dropped) {
+        if (state->status == RequestStatus::kShed) {
           metrics_.RecordDropped();
           trace_.RequestDrop(state->id);
           return;
@@ -90,7 +90,9 @@ RequestId SimEngine::SubmitAt(double at_micros, CellGraph graph, int terminate_a
       events_.ScheduleAfter(queue_timeout_micros_, [this, id] {
         RequestState* state = processor_->FindRequest(id);
         if (state != nullptr && !state->ExecStarted()) {
-          state->dropped = true;  // shed before any cell started executing
+          // Shed before any cell started executing (same rule the server's
+          // deadline heap applies).
+          state->MarkTerminal(RequestStatus::kShed);
           scheduler_->CancelRequest(id);
         }
       });

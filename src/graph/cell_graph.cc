@@ -48,35 +48,59 @@ int CellGraph::NumNodePredecessors(int id) const {
 }
 
 void CellGraph::Validate(const CellRegistry& registry, int num_externals) const {
+  const std::string err = ValidateOrError(registry, num_externals);
+  BM_CHECK(err.empty()) << err;
+}
+
+std::string CellGraph::ValidateOrError(const CellRegistry& registry,
+                                       int num_externals) const {
+  std::ostringstream os;
   for (int id = 0; id < NumNodes(); ++id) {
     const CellNode& n = nodes_[static_cast<size_t>(id)];
-    BM_CHECK_GE(n.type, 0);
-    BM_CHECK_LT(n.type, registry.NumTypes()) << "unknown cell type in node " << id;
+    if (n.type < 0 || n.type >= registry.NumTypes()) {
+      os << "unknown cell type " << n.type << " in node " << id;
+      return os.str();
+    }
     const CellDef& def = registry.def(n.type);
-    BM_CHECK_EQ(static_cast<int>(n.inputs.size()), def.NumInputs())
-        << "node " << id << " input arity mismatch for cell '" << def.name() << "'";
+    if (static_cast<int>(n.inputs.size()) != def.NumInputs()) {
+      os << "node " << id << " input arity mismatch for cell '" << def.name() << "': got "
+         << n.inputs.size() << ", expected " << def.NumInputs();
+      return os.str();
+    }
     for (int i = 0; i < static_cast<int>(n.inputs.size()); ++i) {
       const ValueRef& ref = n.inputs[static_cast<size_t>(i)];
       const CellInputSpec& spec = def.input_spec(i);
       if (ref.is_external()) {
-        BM_CHECK_LT(ref.external, num_externals)
-            << "node " << id << " references external input " << ref.external
-            << " but only " << num_externals << " are provided";
+        if (ref.external >= num_externals) {
+          os << "node " << id << " references external input " << ref.external
+             << " but only " << num_externals << " are provided";
+          return os.str();
+        }
         continue;
+      }
+      // AddNode already enforces 0 <= ref.node < id for graphs built through
+      // the API, but ValidateOrError must not trust the invariant.
+      if (ref.node < 0 || ref.node >= id) {
+        os << "node " << id << " references invalid node " << ref.node;
+        return os.str();
       }
       const CellNode& producer = nodes_[static_cast<size_t>(ref.node)];
       const CellDef& producer_def = registry.def(producer.type);
-      BM_CHECK_GE(ref.output, 0);
-      BM_CHECK_LT(ref.output, producer_def.NumOutputs())
-          << "node " << id << " references missing output " << ref.output << " of node "
-          << ref.node;
+      if (ref.output < 0 || ref.output >= producer_def.NumOutputs()) {
+        os << "node " << id << " references missing output " << ref.output << " of node "
+           << ref.node;
+        return os.str();
+      }
       const ValueType& produced = producer_def.output_type(ref.output);
-      BM_CHECK(produced.shape == spec.row_shape && produced.dtype == spec.dtype)
-          << "edge type mismatch into node " << id << " input " << i << ": produced "
-          << produced.ToString() << ", expected " << spec.row_shape.ToString() << " "
-          << DTypeName(spec.dtype);
+      if (!(produced.shape == spec.row_shape && produced.dtype == spec.dtype)) {
+        os << "edge type mismatch into node " << id << " input " << i << ": produced "
+           << produced.ToString() << ", expected " << spec.row_shape.ToString() << " "
+           << DTypeName(spec.dtype);
+        return os.str();
+      }
     }
   }
+  return std::string();
 }
 
 int CellGraph::NumExternalsReferenced() const {

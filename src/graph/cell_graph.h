@@ -58,6 +58,12 @@ class CellGraph {
   // [0, num_externals). Aborts on violation.
   void Validate(const CellRegistry& registry, int num_externals) const;
 
+  // Non-aborting variant for untrusted submissions: returns an empty string
+  // if the graph is valid, otherwise a description of the first violation.
+  // The server uses this to reject malformed requests (kRejected) instead
+  // of taking the whole process down.
+  std::string ValidateOrError(const CellRegistry& registry, int num_externals) const;
+
   // Largest external index referenced + 1, or 0 if none.
   int NumExternalsReferenced() const;
 

@@ -20,6 +20,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kGatherBegin: return "gather_begin";
     case TraceEventKind::kGatherEnd: return "gather_end";
     case TraceEventKind::kWorkerIdle: return "worker_idle";
+    case TraceEventKind::kRequestReject: return "request_reject";
+    case TraceEventKind::kTaskFailed: return "task_failed";
   }
   return "unknown";
 }
@@ -180,6 +182,23 @@ void TraceRecorder::RequestDrop(RequestId id) {
   }
   Record(TraceEvent{.kind = TraceEventKind::kRequestDrop, .ts_micros = NowMicros(),
                     .id = id});
+}
+
+void TraceRecorder::RequestReject(RequestId id) {
+  if (!enabled()) {
+    return;
+  }
+  Record(TraceEvent{.kind = TraceEventKind::kRequestReject, .ts_micros = NowMicros(),
+                    .id = id});
+}
+
+void TraceRecorder::TaskFailed(uint64_t task_id, CellTypeId type, int worker,
+                               int batch_size) {
+  if (!enabled()) {
+    return;
+  }
+  Record(TraceEvent{.kind = TraceEventKind::kTaskFailed, .type = type, .worker = worker,
+                    .ts_micros = NowMicros(), .id = task_id, .value = batch_size});
 }
 
 int64_t TraceRecorder::Count(TraceEventKind kind) const {

@@ -51,8 +51,10 @@ enum class TraceEventKind : uint8_t {
   kGatherBegin,         // id = task, type, worker, value = batch size
   kGatherEnd,           // id = task, type, worker, value = batch size
   kWorkerIdle,          // worker; ts = gap begin, aux_micros = gap end
+  kRequestReject,       // id = request (refused at admission, never admitted)
+  kTaskFailed,          // id = task, type, worker, value = batch size
 };
-inline constexpr int kNumTraceEventKinds = 13;
+inline constexpr int kNumTraceEventKinds = 15;
 
 // Name for logs/export, e.g. "request_arrival".
 const char* TraceEventKindName(TraceEventKind kind);
@@ -125,6 +127,12 @@ class TraceRecorder {
   void Cancellation(RequestId id, int nodes_cancelled);
   void RequestComplete(RequestId id, double exec_start_micros);
   void RequestDrop(RequestId id);
+  // Overload/failure robustness: a submission refused at admission
+  // (validation failure, bounded queue full, or shutdown race)...
+  void RequestReject(RequestId id);
+  // ...and a batched task whose execution failed (fault injection or a
+  // thrown cell error); its innocent entries are reverted and requeued.
+  void TaskFailed(uint64_t task_id, CellTypeId type, int worker, int batch_size);
 
   // ---- Aggregates (thread-safe) ----
 

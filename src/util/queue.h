@@ -5,6 +5,7 @@
 #ifndef SRC_UTIL_QUEUE_H_
 #define SRC_UTIL_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -37,6 +38,23 @@ class BlockingQueue {
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Timed variant: blocks for at most `timeout` waiting for an item.
+  // Returns nullopt on timeout or when the queue is closed and empty — the
+  // caller can distinguish via Closed() (a nullopt with the queue closed
+  // implies the queue was drained). Used by the server's manager loop so a
+  // pending request deadline can wake it with no messages in flight.
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; });
     if (items_.empty()) {
       return std::nullopt;
     }

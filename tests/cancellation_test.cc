@@ -294,7 +294,7 @@ TEST(CancelServerTest, DecoderStopsAtPredicate) {
   // (a content-based <eos> check would read the node's token output from
   // the state exactly the same way).
   server.Submit(CellGraph(graph), std::move(externals), wanted,
-                [&promise](RequestId, std::vector<Tensor> outputs) {
+                [&promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                   promise.set_value(std::move(outputs));
                 },
                 [src_len](const RequestState&, int completed_node) {
@@ -327,11 +327,11 @@ TEST(CancelServerTest, ContentBasedEosStopsDecoding) {
   for (int t = 0; t < max_dec; ++t) {
     wanted.push_back(ValueRef::Output(src_len + t, 2));
   }
-  const auto full = server.SubmitAndWait(CellGraph(graph), externals, wanted);
-  ASSERT_TRUE(full.has_value());
-  ASSERT_EQ(full->size(), static_cast<size_t>(max_dec));
+  const Response full = server.SubmitAndWait(CellGraph(graph), externals, wanted);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full.outputs.size(), static_cast<size_t>(max_dec));
   // Treat the token emitted at decoder step 2 as "<eos>".
-  const int32_t eos = (*full)[2].IntAt(0, 0);
+  const int32_t eos = full.outputs[2].IntAt(0, 0);
 
   std::vector<Tensor> externals2;
   externals2.push_back(ExternalTokenTensor(3));
@@ -342,7 +342,7 @@ TEST(CancelServerTest, ContentBasedEosStopsDecoding) {
   std::promise<std::vector<Tensor>> promise;
   auto future = promise.get_future();
   server.Submit(CellGraph(graph), std::move(externals2), wanted,
-                [&promise](RequestId, std::vector<Tensor> outputs) {
+                [&promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                   promise.set_value(std::move(outputs));
                 },
                 [src_len, eos](const RequestState& state, int completed_node) {

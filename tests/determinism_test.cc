@@ -106,7 +106,7 @@ TEST(DeterminismTest, ThreadedServerMatchesSyncEngineBitwise) {
     server.Submit(srv_fix.model.Unfold(spec.length), ChainExternals(spec, kHidden),
                   {ValueRef::Output(spec.length - 1, 0),
                    ValueRef::Output(spec.length - 1, 1)},
-                  [promise](RequestId, std::vector<Tensor> outputs) {
+                  [promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                     promise->set_value(std::move(outputs));
                   });
   }
@@ -173,7 +173,7 @@ TEST(DeterminismTest, PipelinedStreamsMatchSyncEngineBitwiseAtAnyDepth) {
         server.Submit(fix.model.Unfold(spec.length), ChainExternals(spec, kHidden),
                       {ValueRef::Output(spec.length - 1, 0),
                        ValueRef::Output(spec.length - 1, 1)},
-                      [promise](RequestId, std::vector<Tensor> outputs) {
+                      [promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                         promise->set_value(std::move(outputs));
                       });
       }
@@ -209,11 +209,11 @@ TEST(DeterminismTest, ServerOutputIsIndependentOfThreadsPerWorker) {
     std::vector<std::vector<Tensor>> outputs(kRequests);
     for (int i = 0; i < kRequests; ++i) {
       const RequestSpec& spec = requests[static_cast<size_t>(i)];
-      auto result = server.SubmitAndWait(
+      Response result = server.SubmitAndWait(
           fix.model.Unfold(spec.length), ChainExternals(spec, kHidden),
           {ValueRef::Output(spec.length - 1, 0)});
-      ASSERT_TRUE(result.has_value());
-      outputs[static_cast<size_t>(i)] = std::move(*result);
+      ASSERT_TRUE(result.ok());
+      outputs[static_cast<size_t>(i)] = std::move(result.outputs);
     }
     server.Shutdown();
     by_config.push_back(std::move(outputs));

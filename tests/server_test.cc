@@ -49,14 +49,14 @@ TEST(ServerTest, SubmitAndWaitMatchesReference) {
   for (int t = 0; t < 5; ++t) {
     xs.push_back(Tensor::RandomUniform(Shape{1, 4}, 1.0f, &data_rng));
   }
-  const auto outputs = server.SubmitAndWait(fix.model.Unfold(5), MakeChainExternals(xs, 4),
+  const Response res = server.SubmitAndWait(fix.model.Unfold(5), MakeChainExternals(xs, 4),
                                             {ValueRef::Output(4, 0)});
   server.Shutdown();
 
   const auto [ref_h, ref_c] = ReferenceChain(fix.registry, fix.model.cell_type(), xs, 4);
-  ASSERT_TRUE(outputs.has_value());
-  ASSERT_EQ(outputs->size(), 1u);
-  EXPECT_TRUE((*outputs)[0].AllClose(ref_h, 1e-5f));
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_TRUE(res.outputs[0].AllClose(ref_h, 1e-5f));
 }
 
 TEST(ServerTest, ConcurrentSubmissionsAllCorrect) {
@@ -88,7 +88,7 @@ TEST(ServerTest, ConcurrentSubmissionsAllCorrect) {
                   MakeChainExternals(inputs[static_cast<size_t>(i)], 4),
                   {ValueRef::Output(lengths[static_cast<size_t>(i)] - 1, 0),
                    ValueRef::Output(lengths[static_cast<size_t>(i)] - 1, 1)},
-                  [promise](RequestId, std::vector<Tensor> outputs) {
+                  [promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                     promise->set_value(std::move(outputs));
                   });
   }
@@ -125,7 +125,7 @@ TEST(ServerTest, BatchesConcurrentRequests) {
     auto* promise = &promises[static_cast<size_t>(i)];
     server.Submit(fix.model.Unfold(kLen), MakeChainExternals(xs, 4),
                   {ValueRef::Output(kLen - 1, 0)},
-                  [promise](RequestId, std::vector<Tensor> outputs) {
+                  [promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                     promise->set_value(std::move(outputs));
                   });
   }
@@ -159,7 +159,7 @@ TEST(ServerTest, TreeLstmRequestsServe) {
         externals.push_back(ExternalTokenTensor(n.token));
       }
     }
-    const auto outputs =
+    const Response res =
         server.SubmitAndWait(CellGraph(graph), std::move(externals),
                              {ValueRef::Output(graph.NumNodes() - 1, 0)});
 
@@ -177,8 +177,8 @@ TEST(ServerTest, TreeLstmRequestsServe) {
       return std::make_pair(out[0], out[1]);
     };
     const auto [ref_h, ref_c] = eval(tree.root);
-    ASSERT_TRUE(outputs.has_value());
-    EXPECT_TRUE((*outputs)[0].AllClose(ref_h, 1e-5f)) << "iteration " << iter;
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res.outputs[0].AllClose(ref_h, 1e-5f)) << "iteration " << iter;
   }
   server.Shutdown();
 }
@@ -203,14 +203,14 @@ TEST(ServerTest, ShortRequestReturnsBeforeLongOne) {
   };
 
   server.Submit(fix.model.Unfold(40), MakeChainExternals(make_xs(40), 4),
-                {ValueRef::Output(39, 0)}, [&](RequestId, std::vector<Tensor>) {
+                {ValueRef::Output(39, 0)}, [&](RequestId, RequestStatus, std::vector<Tensor>) {
                   long_done_after_short.store(short_done.load());
                   if (remaining.fetch_sub(1) == 1) {
                     both_done.set_value();
                   }
                 });
   server.Submit(fix.model.Unfold(2), MakeChainExternals(make_xs(2), 4),
-                {ValueRef::Output(1, 0)}, [&](RequestId, std::vector<Tensor>) {
+                {ValueRef::Output(1, 0)}, [&](RequestId, RequestStatus, std::vector<Tensor>) {
                   short_done.store(true);
                   if (remaining.fetch_sub(1) == 1) {
                     both_done.set_value();
@@ -263,28 +263,30 @@ TEST(ServerTest, Seq2SeqEndToEnd) {
   externals.push_back(ExternalTokenTensor(0));
   externals.push_back(ExternalZeroVecTensor(4));
   externals.push_back(ExternalZeroVecTensor(4));
-  const auto outputs = server.SubmitAndWait(CellGraph(graph), std::move(externals),
+  const Response res = server.SubmitAndWait(CellGraph(graph), std::move(externals),
                                             {ValueRef::Output(5, 2)});
   server.Shutdown();
-  ASSERT_TRUE(outputs.has_value());
-  ASSERT_EQ(outputs->size(), 1u);
-  EXPECT_EQ((*outputs)[0].dtype(), DType::kI32);
-  EXPECT_GE((*outputs)[0].IntAt(0, 0), 0);
-  EXPECT_LT((*outputs)[0].IntAt(0, 0), 32);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].dtype(), DType::kI32);
+  EXPECT_GE(res.outputs[0].IntAt(0, 0), 0);
+  EXPECT_LT(res.outputs[0].IntAt(0, 0), 32);
 }
 
-TEST(ServerTest, SubmitAndWaitAfterShutdownReturnsNullopt) {
+TEST(ServerTest, SubmitAndWaitAfterShutdownIsRejected) {
   TinyLstmFixture fix;
   Server server(&fix.registry);
   server.Start();
   server.Shutdown();
   Rng data_rng(7);
   std::vector<Tensor> xs = {Tensor::RandomUniform(Shape{1, 4}, 1.0f, &data_rng)};
-  const auto outputs = server.SubmitAndWait(fix.model.Unfold(1), MakeChainExternals(xs, 4),
+  const Response res = server.SubmitAndWait(fix.model.Unfold(1), MakeChainExternals(xs, 4),
                                             {ValueRef::Output(0, 0)});
-  // Rejection (raced/after Shutdown) is nullopt — distinguishable from a
-  // legitimate response that happens to carry no tensors.
-  EXPECT_FALSE(outputs.has_value());
+  // Rejection (raced/after Shutdown) is a kRejected terminal answer —
+  // distinguishable from a legitimate response with no tensors.
+  EXPECT_EQ(res.status, RequestStatus::kRejected);
+  EXPECT_TRUE(res.outputs.empty());
+  EXPECT_EQ(server.metrics().NumRejected(), 1u);
 }
 
 TEST(ServerTest, SubmitAndWaitEmptyOutputSetIsEngaged) {
@@ -293,13 +295,13 @@ TEST(ServerTest, SubmitAndWaitEmptyOutputSetIsEngaged) {
   server.Start();
   Rng data_rng(8);
   std::vector<Tensor> xs = {Tensor::RandomUniform(Shape{1, 4}, 1.0f, &data_rng)};
-  // No outputs wanted: the request still executes and responds with an
-  // engaged empty vector, not nullopt.
-  const auto outputs =
+  // No outputs wanted: the request still executes and responds kOk with an
+  // empty tensor vector, not a rejection.
+  const Response res =
       server.SubmitAndWait(fix.model.Unfold(1), MakeChainExternals(xs, 4), {});
   server.Shutdown();
-  ASSERT_TRUE(outputs.has_value());
-  EXPECT_TRUE(outputs->empty());
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.outputs.empty());
   EXPECT_EQ(server.metrics().NumCompleted(), 1u);
 }
 
@@ -336,7 +338,7 @@ TEST(ServerTest, PipelinedStreamsMatchReferenceUnderLoad) {
     server.Submit(fix.model.Unfold(lengths[static_cast<size_t>(i)]),
                   MakeChainExternals(inputs[static_cast<size_t>(i)], 4),
                   {ValueRef::Output(lengths[static_cast<size_t>(i)] - 1, 0)},
-                  [promise](RequestId, std::vector<Tensor> outputs) {
+                  [promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                     promise->set_value(std::move(outputs));
                   });
   }
@@ -376,10 +378,10 @@ TEST(ServerTest, WorkerIdleMetricAccumulates) {
 
 TEST(ServerTest, SubmitRacingShutdownNeverLosesRequests) {
   // Stress the Submit/Shutdown race: submitter threads hammer Submit while
-  // the main thread shuts the server down. Every accepted submission (a
-  // valid id) must get its callback before Shutdown() returns; a rejected
-  // one must return kInvalidRequestId rather than being silently dropped
-  // (which used to wedge the drain with unfinished_requests_ stuck > 0).
+  // the main thread shuts the server down. Every submission gets exactly
+  // one terminal callback: kOk before Shutdown() returns for accepted
+  // requests, kRejected synchronously for ones that lost the race (which
+  // used to wedge the drain with unfinished_requests_ stuck > 0).
   for (int round = 0; round < 5; ++round) {
     TinyLstmFixture fix;
     ServerOptions options;
@@ -389,9 +391,9 @@ TEST(ServerTest, SubmitRacingShutdownNeverLosesRequests) {
 
     constexpr int kSubmitters = 4;
     constexpr int kMaxPerThread = 400;
-    std::atomic<int> accepted{0};
+    std::atomic<int> submitted{0};
+    std::atomic<int> completed{0};
     std::atomic<int> rejected{0};
-    std::atomic<int> callbacks{0};
     std::vector<std::thread> submitters;
     submitters.reserve(kSubmitters);
     for (int t = 0; t < kSubmitters; ++t) {
@@ -399,17 +401,20 @@ TEST(ServerTest, SubmitRacingShutdownNeverLosesRequests) {
         Rng rng(100 + t);
         for (int i = 0; i < kMaxPerThread; ++i) {
           std::vector<Tensor> xs = {Tensor::RandomUniform(Shape{1, 4}, 1.0f, &rng)};
-          const RequestId id =
-              server.Submit(fix.model.Unfold(1), MakeChainExternals(xs, 4),
-                            {ValueRef::Output(0, 0)},
-                            [&callbacks](RequestId, std::vector<Tensor>) {
-                              callbacks.fetch_add(1);
-                            });
-          if (id == kInvalidRequestId) {
-            rejected.fetch_add(1);
-            return;  // server is shutting down; stop submitting
+          submitted.fetch_add(1);
+          server.Submit(fix.model.Unfold(1), MakeChainExternals(xs, 4),
+                        {ValueRef::Output(0, 0)},
+                        [&](RequestId, RequestStatus status, std::vector<Tensor>) {
+                          if (status == RequestStatus::kRejected) {
+                            rejected.fetch_add(1);
+                          } else {
+                            EXPECT_EQ(status, RequestStatus::kOk);
+                            completed.fetch_add(1);
+                          }
+                        });
+          if (rejected.load() > 0) {
+            return;  // the server is shutting down; stop submitting
           }
-          accepted.fetch_add(1);
         }
       });
     }
@@ -419,11 +424,12 @@ TEST(ServerTest, SubmitRacingShutdownNeverLosesRequests) {
     for (std::thread& t : submitters) {
       t.join();
     }
-    // Shutdown drained everything accepted; late submissions were rejected
-    // cleanly. (callbacks may briefly trail accepted only if a Submit won
-    // the race after the drain — impossible by construction, so equal.)
-    EXPECT_EQ(callbacks.load(), accepted.load()) << "round " << round;
-    EXPECT_EQ(server.metrics().NumCompleted(), static_cast<size_t>(accepted.load()))
+    // Exactly one terminal answer per submission, and every accepted
+    // request completed before Shutdown returned.
+    EXPECT_EQ(completed.load() + rejected.load(), submitted.load()) << "round " << round;
+    EXPECT_EQ(server.metrics().NumCompleted(), static_cast<size_t>(completed.load()))
+        << "round " << round;
+    EXPECT_EQ(server.metrics().NumRejected(), static_cast<size_t>(rejected.load()))
         << "round " << round;
   }
 }

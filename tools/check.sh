@@ -3,19 +3,24 @@
 # run the full ctest suite, then rebuild the concurrency-sensitive tests
 # under ThreadSanitizer and run them. Mirrors .github/workflows/ci.yml.
 #
-# Usage: tools/check.sh [--no-tsan] [--perf-smoke]
-#   --perf-smoke  additionally run the fig07 perf-smoke point and compare
-#                 p50 against bench/baselines/BENCH_fig07_baseline.json
+# Usage: tools/check.sh [--no-tsan] [--asan] [--perf-smoke]
+#   --asan        additionally rebuild the concurrency tests under
+#                 ASan+UBSan and run them (mirrors the ci.yml asan job)
+#   --perf-smoke  additionally run the fig07 + overload perf-smoke points
+#                 and compare p50/p99 against
+#                 bench/baselines/BENCH_fig07_baseline.json
 #                 (mirrors the ci.yml perf-smoke job)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=1
+run_asan=0
 run_perf=0
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
+    --asan) run_asan=1 ;;
     --perf-smoke) run_perf=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -35,19 +40,34 @@ if [[ "$run_tsan" == 1 ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
-    --target server_test obs_test thread_pool_test determinism_test
+    --target server_test obs_test thread_pool_test determinism_test robustness_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'server_test|obs_test|thread_pool_test|determinism_test'
+    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test'
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "==> asan: concurrency tests under -fsanitize=address,undefined"
+  rm -rf build-asan
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+  cmake --build build-asan -j "$(nproc)" \
+    --target server_test obs_test thread_pool_test determinism_test \
+    robustness_test cancellation_test
+  ctest --test-dir build-asan --output-on-failure \
+    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|cancellation_test'
 fi
 
 if [[ "$run_perf" == 1 ]]; then
-  echo "==> perf-smoke: fig07 low-rate point vs committed baseline"
-  cmake --build build-check -j "$(nproc)" --target fig07_lstm_throughput_latency
+  echo "==> perf-smoke: fig07 + overload points vs committed baseline"
+  cmake --build build-check -j "$(nproc)" --target fig07_lstm_throughput_latency fig_overload
   (cd build-check && ./bench/fig07_lstm_throughput_latency --smoke --out BENCH_fig07.json)
+  (cd build-check && ./bench/fig_overload --smoke --out BENCH_overload.json)
   python3 tools/compare_bench.py \
     bench/baselines/BENCH_fig07_baseline.json \
     build-check/BENCH_fig07.json \
-    --metric p50_ms --threshold 0.25
+    --metric p50_ms:0.25 --metric p99_ms:0.5
 fi
 
 echo "==> all checks passed"

@@ -3,12 +3,15 @@
 
 Both files use the shared envelope {"bench": name, "results": [rows]}
 (see bench/bench_common.h). Rows are matched by a key tuple (default:
-rate_rps + pipeline_depth, the fig07 sweep axes) and the run fails if the
-watched metric regresses by more than --threshold relative to the baseline.
+rate_rps + pipeline_depth, the fig07 sweep axes) and the run fails if any
+watched metric regresses by more than its threshold relative to the
+baseline.
 
-The CI perf-smoke job runs:
+--metric is repeatable and takes an optional per-metric threshold after a
+colon; a metric without one uses --threshold. The CI perf-smoke job runs:
+
     tools/compare_bench.py bench/baselines/BENCH_fig07_baseline.json \
-        build/BENCH_fig07.json --metric p50_ms --threshold 0.25
+        build/BENCH_fig07.json --metric p50_ms:0.25 --metric p99_ms:0.5
 
 Exit codes: 0 ok, 1 regression, 2 usage/format error. Only stdlib.
 """
@@ -39,18 +42,39 @@ def load_rows(path, keys):
     return doc["bench"], rows
 
 
+def parse_metrics(specs, default_threshold):
+    """[(metric, threshold)] from repeated "name" or "name:threshold" specs."""
+    metrics = []
+    for spec in specs:
+        name, sep, thr = spec.partition(":")
+        if not name:
+            sys.exit(f"error: empty metric name in {spec!r}")
+        if sep:
+            try:
+                threshold = float(thr)
+            except ValueError:
+                sys.exit(f"error: bad threshold in metric spec {spec!r}")
+        else:
+            threshold = default_threshold
+        metrics.append((name, threshold))
+    return metrics
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed baseline BENCH json")
     parser.add_argument("current", help="freshly produced BENCH json")
-    parser.add_argument("--metric", default="p50_ms",
-                        help="row field to compare (lower is better)")
+    parser.add_argument("--metric", action="append", default=None,
+                        help="row field to compare (lower is better); "
+                             "repeatable, optional ':threshold' suffix")
     parser.add_argument("--threshold", type=float, default=0.25,
-                        help="max allowed relative regression (0.25 = +25%%)")
+                        help="default max allowed relative regression "
+                             "(0.25 = +25%%) for metrics without their own")
     parser.add_argument("--keys", default="rate_rps,pipeline_depth",
                         help="comma-separated row fields forming the match key")
     args = parser.parse_args()
 
+    metrics = parse_metrics(args.metric or ["p50_ms"], args.threshold)
     keys = [k for k in args.keys.split(",") if k]
     base_name, base = load_rows(args.baseline, keys)
     cur_name, cur = load_rows(args.current, keys)
@@ -64,23 +88,24 @@ def main():
                  f"{[dict(zip(keys, k)) for k in missing]}")
 
     failed = False
-    print(f"{args.metric} vs baseline ({args.baseline}), "
-          f"threshold +{args.threshold:.0%}:")
-    for key in sorted(base):
-        ref = base[key].get(args.metric)
-        got = cur[key].get(args.metric)
-        if not isinstance(ref, (int, float)) or not isinstance(got, (int, float)):
-            sys.exit(f"error: metric {args.metric!r} missing or non-numeric "
-                     f"for row {dict(zip(keys, key))}")
-        if ref <= 0:
-            sys.exit(f"error: baseline {args.metric} <= 0 for row "
-                     f"{dict(zip(keys, key))}")
-        delta = got / ref - 1.0
-        verdict = "FAIL" if delta > args.threshold else "ok"
-        failed |= delta > args.threshold
-        label = " ".join(f"{k}={v}" for k, v in zip(keys, key))
-        print(f"  {verdict:>4}  {label:<40} {ref:10.3f} -> {got:10.3f} "
-              f"({delta:+7.1%})")
+    for metric, threshold in metrics:
+        print(f"{metric} vs baseline ({args.baseline}), "
+              f"threshold +{threshold:.0%}:")
+        for key in sorted(base):
+            ref = base[key].get(metric)
+            got = cur[key].get(metric)
+            if not isinstance(ref, (int, float)) or not isinstance(got, (int, float)):
+                sys.exit(f"error: metric {metric!r} missing or non-numeric "
+                         f"for row {dict(zip(keys, key))}")
+            if ref <= 0:
+                sys.exit(f"error: baseline {metric} <= 0 for row "
+                         f"{dict(zip(keys, key))}")
+            delta = got / ref - 1.0
+            verdict = "FAIL" if delta > threshold else "ok"
+            failed |= delta > threshold
+            label = " ".join(f"{k}={v}" for k, v in zip(keys, key))
+            print(f"  {verdict:>4}  {label:<40} {ref:10.3f} -> {got:10.3f} "
+                  f"({delta:+7.1%})")
     if failed:
         print("regression detected", file=sys.stderr)
         return 1
