@@ -39,7 +39,7 @@ int main() {
       const int terminate_node =
           terminate_early_ ? item.src_len + true_dec - 1 : -1;
       engine_.SubmitAt(at, scenario_->model.Unfold(item.src_len, max_dec),
-                       terminate_node);
+                       SubmitOptions{.terminate_after_node = terminate_node});
       ++submitted_;
     }
     void Run(double deadline) override { engine_.Run(deadline); }

@@ -29,7 +29,7 @@ int main() {
       LstmScenario scenario;
       scenario.registry.SetMaxBatch(scenario.model.cell_type(), 512);
       SimEngineOptions engine_options;
-      engine_options.queue_timeout_micros = timeout_ms * 1000.0;
+      engine_options.admission.queue_timeout_micros = timeout_ms * 1000.0;
       BatchMakerSystem system(
           &scenario.registry, &scenario.cost,
           [&scenario](const WorkItem& item) { return scenario.model.Unfold(item.length); },

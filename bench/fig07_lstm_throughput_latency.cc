@@ -9,8 +9,11 @@
 //
 // The real-compute sweep at the end additionally compares pipeline_depth 1
 // (drain-then-refill worker streams) against depth 2 (watermark refill +
-// overlapped gather/execute/scatter) and writes machine-readable rows to
-// BENCH_fig07.json for CI regression tracking (tools/compare_bench.py).
+// overlapped gather/execute/scatter), runs the sharded-manager scaling
+// points (closed-loop batch at 4 workers, shards {1, 2}; rate_rps = 0 rows)
+// and writes machine-readable rows to BENCH_fig07.json for CI regression
+// tracking (tools/compare_bench.py, including the --assert-ratio gate on
+// tasks_per_sec).
 //
 // Usage: fig07_lstm_throughput_latency [--smoke|--real-only] [--out PATH]
 //   --smoke      skip the simulated sweeps and run a single short low-rate
@@ -28,15 +31,19 @@ namespace batchmaker {
 namespace {
 
 struct Fig07Row {
-  double rate_rps = 0.0;
+  double rate_rps = 0.0;  // offered Poisson rate; 0 = closed-loop batch point
   int pipeline_depth = 0;
+  int workers = 1;
+  int shards = 1;  // effective manager shards (see DESIGN.md "Sharded manager")
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double achieved_rps = 0.0;
+  double tasks_per_sec = 0.0;  // manager+worker task throughput over the run
   double worker_idle_ms = 0.0;  // total exec-thread idle time over the run
   int64_t tasks = 0;
   int64_t requests = 0;
+  int64_t steals = 0;    // requests migrated across shards
   int64_t shed = 0;      // requests dropped after their queue deadline passed
   int64_t rejected = 0;  // requests refused at Submit (validation / admission)
 };
@@ -48,13 +55,17 @@ void WriteFig07Json(const std::string& path, const std::vector<Fig07Row>& rows) 
     JsonObject row;
     row["rate_rps"] = r.rate_rps;
     row["pipeline_depth"] = r.pipeline_depth;
+    row["workers"] = r.workers;
+    row["shards"] = r.shards;
     row["p50_ms"] = r.p50_ms;
     row["p95_ms"] = r.p95_ms;
     row["p99_ms"] = r.p99_ms;
     row["achieved_rps"] = r.achieved_rps;
+    row["tasks_per_sec"] = r.tasks_per_sec;
     row["worker_idle_ms"] = r.worker_idle_ms;
     row["tasks"] = r.tasks;
     row["requests"] = r.requests;
+    row["steals"] = r.steals;
     row["shed"] = r.shed;
     row["rejected"] = r.rejected;
     out.emplace_back(std::move(row));
@@ -119,16 +130,102 @@ Fig07Row RealComputePoint(double rate, int pipeline_depth, int threads_per_worke
   Fig07Row row;
   row.rate_rps = rate;
   row.pipeline_depth = pipeline_depth;
+  row.workers = 1;
+  row.shards = server.num_shards();
   row.p50_ms = lat.Percentile(50) / 1e3;
   row.p95_ms = lat.Percentile(95) / 1e3;
   row.p99_ms = lat.Percentile(99) / 1e3;
   row.achieved_rps = static_cast<double>(records.size()) / span_s;
+  row.tasks_per_sec = static_cast<double>(server.TasksExecuted()) / span_s;
   row.worker_idle_ms = server.TotalWorkerIdleMicros() / 1e3;
   row.tasks = server.TasksExecuted();
   row.requests = static_cast<int64_t>(records.size());
+  row.steals = server.StealsExecuted();
   row.shed = static_cast<int64_t>(server.metrics().NumDropped());
   row.rejected = static_cast<int64_t>(server.metrics().NumRejected());
   return row;
+}
+
+// Closed-loop batch point for the sharded-manager scaling gate
+// (rate_rps = 0 in the JSON): a fixed batch of small-h requests is
+// submitted back-to-back so the manager side — arrival routing,
+// Algorithm-1 scheduling, completion processing — is the contended
+// resource, and task throughput measures how far shards move the
+// serialization point. On a multi-core host, 2 shards at 4 workers must
+// clear >= 1.5x the tasks/sec of 1 shard at 4 workers
+// (tools/compare_bench.py --assert-ratio, skipped below --min-cores).
+Fig07Row ShardedThroughputPoint(int workers, int shards, int pipeline_depth) {
+  constexpr int64_t kHidden = 64;
+  constexpr int kRequests = 256;
+  CellRegistry registry;
+  Rng weight_rng(2);
+  LstmModel model(&registry, LstmSpec{.input_dim = kHidden, .hidden = kHidden},
+                  &weight_rng);
+  // Cap the batch so both configurations form comparably-sized tasks:
+  // without it one shard folds the whole backlog into a handful of giant
+  // batches and tasks/sec measures batch *splitting*, not throughput.
+  registry.SetMaxBatch(model.cell_type(), 16);
+  ServerOptions options;
+  options.num_workers = workers;
+  options.num_shards = shards;
+  options.pipeline_depth = pipeline_depth;
+  Server server(&registry, options);
+  server.Start();
+
+  Rng rng(static_cast<uint64_t>(1000 + shards));
+  const WmtLengthSampler sampler;
+  for (int i = 0; i < kRequests; ++i) {
+    const int len = std::min(8, sampler.Sample(&rng));
+    std::vector<Tensor> externals;
+    for (int t = 0; t < len; ++t) {
+      externals.push_back(Tensor::RandomUniform(Shape{1, kHidden}, 1.0f, &rng));
+    }
+    externals.push_back(ExternalZeroVecTensor(kHidden));
+    externals.push_back(ExternalZeroVecTensor(kHidden));
+    server.Submit(model.Unfold(len), std::move(externals),
+                  {ValueRef::Output(len - 1, 0)},
+                  [](RequestId, RequestStatus, std::vector<Tensor>) {});
+  }
+  server.Shutdown();
+
+  const SampleSet lat = server.metrics().Latencies();
+  const auto& records = server.metrics().records();
+  const double span_s =
+      (records.back().completion_micros - records.front().arrival_micros) / 1e6;
+  Fig07Row row;
+  row.rate_rps = 0.0;
+  row.pipeline_depth = pipeline_depth;
+  row.workers = workers;
+  row.shards = server.num_shards();
+  row.p50_ms = lat.Percentile(50) / 1e3;
+  row.p95_ms = lat.Percentile(95) / 1e3;
+  row.p99_ms = lat.Percentile(99) / 1e3;
+  row.achieved_rps = static_cast<double>(records.size()) / span_s;
+  row.tasks_per_sec = static_cast<double>(server.TasksExecuted()) / span_s;
+  row.worker_idle_ms = server.TotalWorkerIdleMicros() / 1e3;
+  row.tasks = server.TasksExecuted();
+  row.requests = static_cast<int64_t>(records.size());
+  row.steals = server.StealsExecuted();
+  return row;
+}
+
+std::vector<Fig07Row> ShardingSweep() {
+  bench::PrintHeader(
+      "Figure 7 (sharded manager): closed-loop batch, h=64, 4 workers, "
+      "shards {1, 2}");
+  std::printf("%8s %7s %10s %14s %12s %8s %8s\n", "workers", "shards",
+              "p50(ms)", "tasks/sec", "achieved", "tasks", "steals");
+  std::vector<Fig07Row> rows;
+  for (const int shards : {1, 2}) {
+    const Fig07Row row =
+        ShardedThroughputPoint(/*workers=*/4, shards, /*pipeline_depth=*/2);
+    std::printf("%8d %7d %10.2f %14.0f %12.0f %8lld %8lld\n", row.workers,
+                row.shards, row.p50_ms, row.tasks_per_sec, row.achieved_rps,
+                static_cast<long long>(row.tasks),
+                static_cast<long long>(row.steals));
+    rows.push_back(row);
+  }
+  return rows;
 }
 
 std::vector<Fig07Row> RealComputeCpuSweep(int threads_per_worker,
@@ -176,20 +273,25 @@ int main(int argc, char** argv) {
   }
 
   if (smoke) {
-    // CI perf-smoke: one short, low-rate real-compute point per depth. Low
+    // CI perf-smoke: one short, low-rate real-compute point per depth (low
     // rate keeps the machine far from saturation so the p50 is dominated
     // by per-request compute, which is what a regression check needs to be
-    // stable on a shared runner.
-    const auto rows = RealComputeCpuSweep(/*threads_per_worker=*/1, {50.0},
-                                          /*duration_s=*/1.0);
+    // stable on a shared runner), plus the closed-loop sharded-manager
+    // scaling points that the --assert-ratio gate reads.
+    auto rows = RealComputeCpuSweep(/*threads_per_worker=*/1, {50.0},
+                                    /*duration_s=*/1.0);
+    const auto sharded = ShardingSweep();
+    rows.insert(rows.end(), sharded.begin(), sharded.end());
     WriteFig07Json(out_path, rows);
     return 0;
   }
 
   if (real_only) {
-    const auto rows = RealComputeCpuSweep(/*threads_per_worker=*/1,
-                                          {50.0, 100.0, 150.0, 200.0},
-                                          /*duration_s=*/2.0);
+    auto rows = RealComputeCpuSweep(/*threads_per_worker=*/1,
+                                    {50.0, 100.0, 150.0, 200.0},
+                                    /*duration_s=*/2.0);
+    const auto sharded = ShardingSweep();
+    rows.insert(rows.end(), sharded.begin(), sharded.end());
     WriteFig07Json(out_path, rows);
     return 0;
   }
@@ -237,9 +339,11 @@ int main(int argc, char** argv) {
                 PeakThroughput(bm), PeakThroughput(pad));
   }
 
-  const auto rows = RealComputeCpuSweep(/*threads_per_worker=*/1,
-                                        {50.0, 100.0, 150.0, 200.0},
-                                        /*duration_s=*/2.0);
+  auto rows = RealComputeCpuSweep(/*threads_per_worker=*/1,
+                                  {50.0, 100.0, 150.0, 200.0},
+                                  /*duration_s=*/2.0);
+  const auto sharded = ShardingSweep();
+  rows.insert(rows.end(), sharded.begin(), sharded.end());
   WriteFig07Json(out_path, rows);
   return 0;
 }

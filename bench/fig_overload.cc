@@ -72,7 +72,7 @@ ServerOptions MakeOptions(bool shedding) {
   options.threads_per_worker = 1;
   options.pipeline_depth = 2;
   if (shedding) {
-    options.queue_timeout_micros = kQueueTimeoutMicros;
+    options.admission.queue_timeout_micros = kQueueTimeoutMicros;
   }
   return options;
 }

@@ -30,8 +30,17 @@ int main() {
   const LstmModel model(&registry, spec, &rng);
   registry.SetMaxBatch(model.cell_type(), 64);
 
-  // 3. Start the server: one manager thread, one worker ("GPU") thread.
-  Server server(&registry);
+  // 3. Configure and start the server. The common knobs (workers, manager
+  // shards, pipeline depth, admission control) live on the EngineOptions
+  // core that ServerOptions and SimEngineOptions share: two workers split
+  // across two manager shards, each shard routing, scheduling and
+  // completing its own requests (and stealing across the boundary when it
+  // runs dry — see DESIGN.md "Sharded manager").
+  ServerOptions options;
+  options.num_workers = 2;
+  options.num_shards = 2;
+  options.admission.queue_timeout_micros = 500000.0;  // shed after 500ms queued
+  Server server(&registry, options);
   server.Start();
 
   // 4. Submit eight requests with lengths 2..9 at once. Each request
@@ -55,11 +64,16 @@ int main() {
 
     futures.push_back(promises[static_cast<size_t>(i)].get_future());
     auto* promise = &promises[static_cast<size_t>(i)];
+    // Per-request parameters ride in SubmitOptions — the same struct the
+    // simulator's SubmitAt and SyncEngine::Submit accept. Here: short
+    // requests are marked higher priority (steal victims are picked
+    // lowest-priority first).
     server.Submit(model.Unfold(len), std::move(externals),
                   {ValueRef::Output(len - 1, 0)},  // final hidden state
                   [promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                     promise->set_value(std::move(outputs));
-                  });
+                  },
+                  SubmitOptions{.priority = len < 6 ? 1 : 0});
   }
 
   // 5. Collect results.
@@ -76,6 +90,8 @@ int main() {
               static_cast<long long>(server.TasksExecuted()));
   std::printf("(unbatched execution would have run %lld tasks)\n",
               static_cast<long long>(total_cells));
+  std::printf("manager shards: %d, cross-shard steals: %lld\n", server.num_shards(),
+              static_cast<long long>(server.StealsExecuted()));
   for (const auto& r : server.metrics().records()) {
     std::printf("request %llu: latency %s\n", static_cast<unsigned long long>(r.id),
                 FormatMicros(r.LatencyMicros()).c_str());

@@ -1,0 +1,105 @@
+// Shared option groups for the three engines (Server, SimEngine,
+// SyncEngine) and the one submission-option struct they all accept.
+//
+// Before this header the engines had drifted: ServerOptions carried
+// admission/shedding knobs as loose fields, SimEngineOptions spelled the
+// same concepts differently, and per-request parameters (deadline, early
+// termination, priority) were positional arguments with engine-specific
+// shapes. Now:
+//   * AdmissionOptions groups the overload knobs,
+//   * EngineOptions is the common core every engine-options struct
+//     derives from (workers, shards, pipeline depth, scheduler, tracing,
+//     admission),
+//   * SubmitOptions is the one per-request parameter block accepted by
+//     Server::Submit, SimEngine::SubmitAt and SyncEngine::Submit.
+// The old field names and positional overloads remain as documented
+// aliases for one release; see the README migration table.
+
+#ifndef SRC_CORE_ENGINE_OPTIONS_H_
+#define SRC_CORE_ENGINE_OPTIONS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/core/scheduler.h"
+
+namespace batchmaker {
+
+// Overload-control knobs shared by the real server and the simulator.
+struct AdmissionOptions {
+  // Maximum requests admitted but not yet terminal. A Submit that would
+  // exceed it is rejected synchronously (kRejected, never enqueued).
+  // 0 disables the cap. (The simulator, which has no admission queue,
+  // ignores it.)
+  size_t max_queued_requests = 0;
+  // Load shedding: a request still waiting to *begin* executing this many
+  // microseconds after arrival is shed (kShed). 0 disables;
+  // SubmitOptions::deadline_micros overrides it per request.
+  double queue_timeout_micros = 0.0;
+};
+
+// Common engine-configuration core. ServerOptions and SimEngineOptions
+// derive from this, so experiment harnesses can configure either engine
+// through one code path.
+struct EngineOptions {
+  int num_workers = 1;
+  // Manager shards (see DESIGN.md "Sharded manager"): scheduler state is
+  // partitioned into this many independent manager loops, each owning a
+  // contiguous slice of the workers. Arrivals are routed by request id;
+  // a shard with an idle worker and no compatible ready work steals
+  // not-yet-scheduled requests from its peers. Clamped to
+  // [1, num_workers]; 1 reproduces the single-manager behaviour exactly.
+  int num_shards = 1;
+  // Low watermark on each worker's in-flight task count (the paper's
+  // pipelined task submission). The Server defaults to 2 (hide the
+  // completion->manager->schedule round-trip); SimEngineOptions resets it
+  // to 1, where virtual time has no such latency and a deeper stream only
+  // costs batching.
+  int pipeline_depth = 2;
+  SchedulerOptions scheduler;
+  // Records structured events (src/obs/) for every request/task; export
+  // with WriteChromeTrace(engine.trace(), path). Off by default: the
+  // disabled recorder costs one relaxed atomic load per would-be event.
+  bool enable_tracing = false;
+  AdmissionOptions admission;
+};
+
+// Per-request submission parameters, accepted uniformly by
+// Server::Submit, SimEngine::SubmitAt and SyncEngine::Submit.
+struct SubmitOptions {
+  // Shedding deadline override, micros after arrival: 0 inherits the
+  // engine-wide admission.queue_timeout_micros, negative disables shedding
+  // for this request. Ignored by SyncEngine (it has no queueing clock).
+  double deadline_micros = 0.0;
+  // Early termination declared up front (e.g. the decoder node after which
+  // nothing else is needed): once this node completes, every
+  // not-yet-scheduled node of the request is cancelled. -1 disables. The
+  // Server additionally accepts a content-dependent TerminationFn, which
+  // SubmitOptions cannot express (the simulator has no token values).
+  int terminate_after_node = -1;
+  // Advisory importance, higher = more important. Today it only orders
+  // cross-shard steal victims (lowest priority is stolen first, FIFO among
+  // equals); it does not preempt Algorithm 1's batching criteria.
+  int priority = 0;
+};
+
+// Terminal answer of one submission, shared by the engines' completion
+// paths (Server::SubmitAndWait, SyncEngine::TakeResponse). `outputs` is
+// non-empty only for kOk (and may legitimately be empty there too, when
+// every wanted output was cancelled by early termination).
+struct Response {
+  RequestStatus status = RequestStatus::kOk;
+  std::vector<Tensor> outputs;
+  bool ok() const { return status == RequestStatus::kOk; }
+};
+
+// Called exactly once per submission with the request's terminal status.
+// Receives the tensors requested at submission (in `outputs_wanted`
+// order) when status is kOk; outputs whose producing node was cancelled
+// by early termination are skipped. Non-kOk responses carry no outputs.
+using ResponseFn = std::function<void(RequestId, RequestStatus, std::vector<Tensor>)>;
+
+}  // namespace batchmaker
+
+#endif  // SRC_CORE_ENGINE_OPTIONS_H_

@@ -18,6 +18,7 @@ double MetricsCollector::ThroughputRps(double from, double to) const {
   if (to <= from) {
     return 0.0;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   size_t completed = 0;
   for (const RequestRecord& r : records_) {
     if (r.completion_micros >= from && r.completion_micros < to) {

@@ -6,6 +6,9 @@
 #define SRC_CORE_METRICS_H_
 
 #include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/runtime/task.h"
@@ -25,9 +28,24 @@ struct RequestRecord {
   double ComputeMicros() const { return completion_micros - exec_start_micros; }
 };
 
+// Per-manager-shard activity counters (sharded manager, DESIGN.md). All
+// atomic: each shard's manager thread writes its own row, but readers
+// (tests, benches) may sum them at any time.
+struct ShardCounters {
+  std::atomic<int64_t> arrivals{0};     // requests routed to this shard
+  std::atomic<int64_t> completions{0};  // terminal callbacks fired here
+  std::atomic<int64_t> steals_in{0};    // requests this shard stole/received
+  std::atomic<int64_t> steals_out{0};   // requests migrated away from here
+};
+
 class MetricsCollector {
  public:
-  void Record(RequestRecord record) { records_.push_back(record); }
+  // Thread-safe: with a sharded manager, several shard threads record
+  // completions concurrently.
+  void Record(RequestRecord record) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(record);
+  }
   // Counts a request shed before execution (queue timeout); dropped
   // requests never enter the latency/throughput samples. The drop/reject/
   // fail counters are atomic because rejections are recorded on Submit
@@ -39,14 +57,51 @@ class MetricsCollector {
   // Counts a request terminated because a task containing its nodes failed.
   void RecordFailed() { failed_.fetch_add(1, std::memory_order_relaxed); }
   void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     records_.clear();
     dropped_.store(0, std::memory_order_relaxed);
     rejected_.store(0, std::memory_order_relaxed);
     failed_.store(0, std::memory_order_relaxed);
+    for (auto& shard : shard_counters_) {
+      shard->arrivals.store(0, std::memory_order_relaxed);
+      shard->completions.store(0, std::memory_order_relaxed);
+      shard->steals_in.store(0, std::memory_order_relaxed);
+      shard->steals_out.store(0, std::memory_order_relaxed);
+    }
   }
 
+  // ---- Per-shard counters (sharded manager) ----
+
+  // Sizes the per-shard counter table; called once by the engine before
+  // any thread records. Re-initializing resets the counters.
+  void InitShards(int num_shards) {
+    shard_counters_.clear();
+    for (int i = 0; i < num_shards; ++i) {
+      shard_counters_.push_back(std::make_unique<ShardCounters>());
+    }
+  }
+  int NumShards() const { return static_cast<int>(shard_counters_.size()); }
+  ShardCounters& shard(int i) { return *shard_counters_[static_cast<size_t>(i)]; }
+  const ShardCounters& shard(int i) const {
+    return *shard_counters_[static_cast<size_t>(i)];
+  }
+  // Requests that crossed a shard boundary (sum of steals_in).
+  int64_t TotalSteals() const {
+    int64_t total = 0;
+    for (const auto& shard : shard_counters_) {
+      total += shard->steals_in.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Unsynchronized view of the raw records; only safe once the recording
+  // threads have stopped (after Shutdown / Run). Live readers should use
+  // the locking accessors below.
   const std::vector<RequestRecord>& records() const { return records_; }
-  size_t NumCompleted() const { return records_.size(); }
+  size_t NumCompleted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
   size_t NumDropped() const { return dropped_.load(std::memory_order_relaxed); }
   size_t NumRejected() const { return rejected_.load(std::memory_order_relaxed); }
   size_t NumFailed() const { return failed_.load(std::memory_order_relaxed); }
@@ -67,6 +122,7 @@ class MetricsCollector {
  private:
   template <typename F>
   SampleSet Collect(double from, double to, F f) const {
+    std::lock_guard<std::mutex> lock(mu_);
     SampleSet out;
     for (const RequestRecord& r : records_) {
       if (r.completion_micros >= from && r.completion_micros < to) {
@@ -76,7 +132,11 @@ class MetricsCollector {
     return out;
   }
 
+  mutable std::mutex mu_;
   std::vector<RequestRecord> records_;
+  // unique_ptr keeps the atomics at stable addresses (vectors of atomics
+  // are not movable).
+  std::vector<std::unique_ptr<ShardCounters>> shard_counters_;
   std::atomic<size_t> dropped_{0};
   std::atomic<size_t> rejected_{0};
   std::atomic<size_t> failed_{0};

@@ -159,6 +159,19 @@ struct RequestState {
   // arrival; 0 uses the engine-wide default, negative disables shedding.
   double deadline_micros = 0.0;
 
+  // SubmitOptions::priority: advisory importance, higher = more important.
+  // Only consulted when picking cross-shard steal victims (lowest priority
+  // is stolen first, FIFO among equals).
+  int priority = 0;
+
+  // True once any node of this request has entered a batched task
+  // (set by RequestProcessor::MarkScheduled, never cleared). A request is
+  // only eligible for cross-shard stealing while false: a never-scheduled
+  // request has no pinned subgraphs, no in-flight tasks and no written
+  // tensors, so migrating it wholesale cannot violate the FIFO pinning
+  // invariant or perturb outputs.
+  bool ever_scheduled = false;
+
   bool Completed() const { return remaining_nodes == 0; }
 };
 

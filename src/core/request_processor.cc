@@ -268,6 +268,9 @@ void RequestProcessor::ReleaseSubgraph(Subgraph* sg) {
 int RequestProcessor::MarkScheduled(Subgraph* sg, const std::vector<int>& nodes) {
   BM_CHECK(sg != nullptr);
   RequestState* state = sg->owner;
+  // The request now has (or is about to have) in-flight work pinned to a
+  // worker; it is no longer eligible for cross-shard stealing.
+  state->ever_scheduled = true;
   int newly_ready = 0;
 
   for (int id : nodes) {
@@ -442,6 +445,37 @@ bool RequestProcessor::FinalizeIfDone(RequestState* state) {
   on_request_complete_(state);
   requests_.erase(state->id);
   return true;
+}
+
+std::unique_ptr<RequestState> RequestProcessor::ReleaseRequest(RequestId id) {
+  const auto it = requests_.find(id);
+  BM_CHECK(it != requests_.end()) << "release of unknown request " << id;
+  std::unique_ptr<RequestState> state = std::move(it->second);
+  requests_.erase(it);
+  BM_CHECK(!state->ever_scheduled) << "cannot migrate a request with scheduled work";
+  for (const auto& sg : state->subgraphs) {
+    BM_CHECK_EQ(sg->inflight_tasks, 0);
+    BM_CHECK(!sg->parked);
+    BM_CHECK(!sg->in_queue) << "detach queued subgraphs from the scheduler first";
+    BM_CHECK_EQ(sg->pinned_worker, -1);
+  }
+  return state;
+}
+
+RequestState* RequestProcessor::AdoptRequest(std::unique_ptr<RequestState> state) {
+  BM_CHECK(state != nullptr);
+  RequestState* s = state.get();
+  BM_CHECK_EQ(requests_.count(s->id), 0u) << "duplicate request id " << s->id;
+  requests_.emplace(s->id, std::move(state));
+  // Re-announce released subgraphs to the adopting shard's scheduler. The
+  // ready sets survived the migration untouched (nothing was scheduled),
+  // so this mirrors AddRequest's release pass exactly.
+  for (const auto& sg : s->subgraphs) {
+    if (sg->released && !sg->cancelled) {
+      on_subgraph_ready_(sg.get());
+    }
+  }
+  return s;
 }
 
 RequestState* RequestProcessor::FindRequest(RequestId id) {

@@ -83,6 +83,23 @@ class RequestProcessor {
   // true if the request was finalized (and destroyed).
   bool FinalizeIfDone(RequestState* state);
 
+  // ---- Cross-shard request migration (sharded manager, DESIGN.md) ----
+
+  // Removes a request from this processor and returns ownership of its
+  // state, without firing any callback. Only legal for a request that has
+  // never been scheduled (state->ever_scheduled == false): such a request
+  // has no in-flight tasks, no pinned or parked subgraphs, and no written
+  // tensors, so its state can move wholesale to another shard's processor.
+  // The caller must first detach its queued subgraphs from the scheduler
+  // (Scheduler::DetachRequest).
+  std::unique_ptr<RequestState> ReleaseRequest(RequestId id);
+
+  // Inverse of ReleaseRequest on the adopting shard: inserts the state and
+  // re-announces its released subgraphs through on_subgraph_ready (in
+  // subgraph-id order, matching the order AddRequest released them).
+  // Returns the adopted state.
+  RequestState* AdoptRequest(std::unique_ptr<RequestState> state);
+
   RequestState* FindRequest(RequestId id);
   size_t NumActiveRequests() const { return requests_.size(); }
   const CellRegistry& registry() const { return *registry_; }

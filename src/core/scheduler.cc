@@ -96,7 +96,9 @@ void Scheduler::Batch(CellTypeId type, int worker, SchedCriterion criterion,
       break;
     }
 
-    task.id = next_task_id_++;
+    task.id = next_task_id_;
+    next_task_id_ += task_id_stride_;
+    ++tasks_formed_;
     task.type = type;
     task.worker = worker;
 
@@ -362,6 +364,33 @@ int Scheduler::CancelRequest(RequestId id) {
   // in-flight completion finalizes it via MarkCompleted.
   processor_->FinalizeIfDone(state);
   return total_cancelled;
+}
+
+void Scheduler::DetachRequest(RequestState* state) {
+  BM_CHECK(state != nullptr);
+  BM_CHECK(!state->ever_scheduled) << "cannot detach a request with scheduled work";
+  for (const auto& sg_ptr : state->subgraphs) {
+    Subgraph* sg = sg_ptr.get();
+    BM_CHECK_EQ(sg->inflight_tasks, 0);
+    BM_CHECK(!sg->parked);
+    BM_CHECK_EQ(sg->pinned_worker, -1);
+    if (!sg->in_queue) {
+      continue;
+    }
+    TypeState& ts = types_[static_cast<size_t>(sg->type)];
+    ts.ready_nodes -= static_cast<int>(sg->ready.size());
+    BM_CHECK_GE(ts.ready_nodes, 0);
+    ts.queue.erase(sg->queue_pos);
+    sg->in_queue = false;
+  }
+}
+
+void Scheduler::SetTaskIdSpace(uint64_t seed, uint64_t stride) {
+  BM_CHECK_EQ(tasks_formed_, 0) << "task-id space must be set before any task forms";
+  BM_CHECK_GT(stride, 0u);
+  BM_CHECK_LT(seed, stride);
+  next_task_id_ = seed;
+  task_id_stride_ = stride;
 }
 
 int Scheduler::NumReadyNodes(CellTypeId type) const {

@@ -91,6 +91,18 @@ class Scheduler {
   // already-finished ids (no-op). Returns the number of cancelled nodes.
   int CancelRequest(RequestId id);
 
+  // Cross-shard stealing support (DESIGN.md "Sharded manager"): removes
+  // every queued subgraph of `state` from the per-type queues, reversing
+  // EnqueueSubgraph's accounting. Only legal for a never-scheduled request
+  // (no pinning, no in-flight tasks, no parked subgraphs); the caller then
+  // extracts the state with RequestProcessor::ReleaseRequest.
+  void DetachRequest(RequestState* state);
+
+  // Partitions the task-id space across shards: ids are seed, seed+stride,
+  // seed+2*stride, ... so per-shard schedulers never collide (trace and
+  // fault-injection ids stay globally unique). Call before any task forms.
+  void SetTaskIdSpace(uint64_t seed, uint64_t stride);
+
   // Optional event tracing; pass null to detach. The recorder must outlive
   // the scheduler (engines own both).
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
@@ -103,7 +115,7 @@ class Scheduler {
   // unpinned or pinned to `worker`). Schedule(worker) returns tasks exactly
   // when this holds; O(queued subgraphs), intended for tests/diagnostics.
   bool HasCompatibleReadyWork(int worker) const;
-  int64_t TotalTasksFormed() const { return next_task_id_; }
+  int64_t TotalTasksFormed() const { return tasks_formed_; }
   // Subgraphs whose consecutive tasks ran on different workers (each such
   // occurrence implies a cross-device state copy).
   int64_t TotalMigrations() const { return total_migrations_; }
@@ -143,6 +155,8 @@ class Scheduler {
   TraceRecorder* trace_ = nullptr;
   std::vector<TypeState> types_;
   uint64_t next_task_id_ = 0;
+  uint64_t task_id_stride_ = 1;
+  int64_t tasks_formed_ = 0;
   int64_t total_migrations_ = 0;
   // Subgraphs touched by each in-flight task, for unpinning on completion.
   std::unordered_map<uint64_t, std::vector<Subgraph*>> inflight_subgraphs_;

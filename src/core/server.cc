@@ -1,7 +1,9 @@
 #include "src/core/server.h"
 
+#include <algorithm>
 #include <deque>
 #include <future>
+#include <set>
 #include <unordered_set>
 #include <utility>
 
@@ -89,9 +91,69 @@ struct Server::WorkerPipeline {
   std::atomic<double> idle_micros{0.0};
 };
 
+// One manager shard (DESIGN.md "Sharded manager"): a full single-manager
+// slice of the server — its own RequestProcessor + Scheduler (so subgraph
+// queues, pinning and failure parking are shard-private), its own inbox,
+// deadline heap and submission bookkeeping, and a contiguous range
+// [worker_begin, worker_end) of the workers. The only cross-shard traffic
+// is the stealing protocol (StealRequestMsg / MigrateMsg / StealDenyMsg)
+// and the global drain counter; everything else a shard touches is owned
+// by its manager thread alone.
+struct Server::Shard {
+  int id = 0;
+  int worker_begin = 0;
+  int worker_end = 0;  // exclusive
+
+  std::unique_ptr<RequestProcessor> processor;
+  std::unique_ptr<Scheduler> scheduler;
+  BlockingQueue<ManagerMsg> inbox;
+
+  // Submission bookkeeping, keyed by request id; entries migrate with the
+  // request when it is stolen.
+  std::unordered_map<RequestId, std::vector<ValueRef>> outputs_wanted;
+  std::unordered_map<RequestId, ResponseFn> callbacks;
+  std::unordered_map<RequestId, TerminationFn> terminations;
+
+  // In-flight task count per owned worker, indexed worker - worker_begin.
+  std::vector<int> outstanding;
+  int refill_start = 0;  // rotating scan start (local worker offset)
+
+  // Min-heap of (absolute shed deadline, request). Entries for requests
+  // that finished or migrated away are discarded lazily when they surface.
+  std::priority_queue<std::pair<double, RequestId>,
+                      std::vector<std::pair<double, RequestId>>,
+                      std::greater<std::pair<double, RequestId>>>
+      deadlines;
+
+  // ---- Stealing state (all touched only by this shard's manager) ----
+  // Steal candidates ordered by (priority, id): lowest priority first,
+  // oldest first among equals. Entries go stale when a request is
+  // scheduled, terminal, or gone; PopStealable discards them lazily (the
+  // completion path also erases eagerly).
+  std::set<std::pair<int, RequestId>> stealable;
+  // One outstanding steal round at a time: a StealRequestMsg is in flight
+  // (or bouncing through denials) until a migration lands or every peer
+  // denied.
+  bool steal_pending = false;
+  int steal_next = 0;     // peer the current round last asked
+  int steal_denials = 0;  // denials received this round
+  // Peers whose steal request this shard denied; when this shard's workers
+  // saturate with stealable surplus left over, it donates to them unasked.
+  std::vector<int> hungry;
+  // Cancels that arrived for requests this shard does not (yet) own. A
+  // cancel broadcast can reach the thief before the migration it races
+  // with; the tombstone cancels the request the moment it is adopted.
+  // Pruned whenever the server drains (no in-flight request ⇒ no in-flight
+  // migration ⇒ every tombstone is stale).
+  std::unordered_set<RequestId> pending_cancels;
+
+  std::thread thread;
+};
+
 Server::Server(const CellRegistry* registry, ServerOptions options)
     : registry_(registry),
       options_(options),
+      admission_(options.EffectiveAdmission()),
       assembler_(registry),
       trace_([this] { return NowMicros(); }),
       fault_injector_(options_.fault) {
@@ -99,122 +161,156 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
   BM_CHECK_GT(options_.num_workers, 0);
   BM_CHECK_GT(options_.threads_per_worker, 0);
   BM_CHECK_GT(options_.pipeline_depth, 0);
+  BM_CHECK_GT(options_.num_shards, 0);
+  num_shards_ = std::min(options_.num_shards, options_.num_workers);
   if (options_.enable_tracing) {
     trace_.Enable();
   }
+  metrics_.InitShards(num_shards_);
 
-  processor_ = std::make_unique<RequestProcessor>(
-      registry,
-      /*on_subgraph_ready=*/[this](Subgraph* sg) { scheduler_->EnqueueSubgraph(sg); },
-      /*on_request_complete=*/
-      [this](RequestState* state) {
-        const RequestStatus status = state->status;
-        switch (status) {
-          case RequestStatus::kOk: {
-            RequestRecord record;
-            record.id = state->id;
-            record.arrival_micros = state->arrival_micros;
-            record.exec_start_micros = state->ExecStartMicros();
-            record.completion_micros = NowMicros();
-            record.num_nodes = state->graph.NumNodes();
-            metrics_.Record(record);
-            break;
-          }
-          case RequestStatus::kShed:
-            metrics_.RecordDropped();
-            break;
-          case RequestStatus::kFailed:
-            metrics_.RecordFailed();
-            break;
-          case RequestStatus::kCancelled:
-            break;  // caller-initiated; neither a completion nor a drop
-          case RequestStatus::kRejected:
-            break;  // unreachable: rejected requests are never admitted
-        }
+  const int num_workers = options_.num_workers;
+  shard_of_worker_.assign(static_cast<size_t>(num_workers), 0);
+  for (int i = 0; i < num_workers; ++i) {
+    task_queues_.push_back(std::make_unique<BlockingQueue<WorkerTask>>());
+    pipelines_.push_back(std::make_unique<WorkerPipeline>());
+  }
 
-        // Collect wanted outputs (kOk only — other terminal states carry
-        // none) and fire the callback exactly once.
-        const auto wanted_it = outputs_wanted_.find(state->id);
-        BM_CHECK(wanted_it != outputs_wanted_.end());
-        std::vector<Tensor> outputs;
-        if (status == RequestStatus::kOk) {
-          outputs.reserve(wanted_it->second.size());
-          for (const ValueRef& ref : wanted_it->second) {
-            if (state->nodes[static_cast<size_t>(ref.node)].stage == NodeStage::kCancelled) {
-              continue;  // early termination cancelled this producer
+  for (int s = 0; s < num_shards_; ++s) {
+    auto shard = std::make_unique<Shard>();
+    Shard* sh = shard.get();
+    sh->id = s;
+    sh->worker_begin = s * num_workers / num_shards_;
+    sh->worker_end = (s + 1) * num_workers / num_shards_;
+    BM_CHECK_LT(sh->worker_begin, sh->worker_end);
+    for (int w = sh->worker_begin; w < sh->worker_end; ++w) {
+      shard_of_worker_[static_cast<size_t>(w)] = s;
+    }
+    sh->outstanding.assign(static_cast<size_t>(sh->worker_end - sh->worker_begin), 0);
+    sh->steal_next = s;
+
+    sh->processor = std::make_unique<RequestProcessor>(
+        registry,
+        /*on_subgraph_ready=*/
+        [sh](Subgraph* sg) { sh->scheduler->EnqueueSubgraph(sg); },
+        /*on_request_complete=*/
+        [this, sh](RequestState* state) {
+          const RequestStatus status = state->status;
+          switch (status) {
+            case RequestStatus::kOk: {
+              RequestRecord record;
+              record.id = state->id;
+              record.arrival_micros = state->arrival_micros;
+              record.exec_start_micros = state->ExecStartMicros();
+              record.completion_micros = NowMicros();
+              record.num_nodes = state->graph.NumNodes();
+              metrics_.Record(record);
+              metrics_.shard(sh->id).completions.fetch_add(1,
+                                                           std::memory_order_relaxed);
+              break;
             }
-            const auto& node_out = state->node_outputs[static_cast<size_t>(ref.node)];
-            BM_CHECK_LT(static_cast<size_t>(ref.output), node_out.size());
-            outputs.push_back(node_out[static_cast<size_t>(ref.output)]);
+            case RequestStatus::kShed:
+              metrics_.RecordDropped();
+              break;
+            case RequestStatus::kFailed:
+              metrics_.RecordFailed();
+              break;
+            case RequestStatus::kCancelled:
+              break;  // caller-initiated; neither a completion nor a drop
+            case RequestStatus::kRejected:
+              break;  // unreachable: rejected requests are never admitted
           }
-        }
-        outputs_wanted_.erase(wanted_it);
-        terminations_.erase(state->id);
 
-        // Sweep stale poison keys of nodes that were cancelled after a
-        // failure (their keys sit in the failing worker's failed_produced
-        // set and the request will never unpark anything to purge them).
-        // Gated on an actual failure having happened, so the common path
-        // never touches the pipeline locks from the manager.
-        if (state->cancelled_nodes > 0 &&
-            (fault_injector_.enabled() || tasks_failed_.load(std::memory_order_relaxed) > 0)) {
-          std::vector<uint64_t> keys;
-          for (size_t n = 0; n < state->nodes.size(); ++n) {
-            if (state->nodes[n].stage == NodeStage::kCancelled) {
-              keys.push_back(HazardKey(state->id, static_cast<int>(n)));
+          // The request is terminal: drop its steal candidacy eagerly
+          // (PopStealable would discard it lazily anyway).
+          sh->stealable.erase({state->priority, state->id});
+
+          // Collect wanted outputs (kOk only — other terminal states carry
+          // none) and fire the callback exactly once.
+          const auto wanted_it = sh->outputs_wanted.find(state->id);
+          BM_CHECK(wanted_it != sh->outputs_wanted.end());
+          std::vector<Tensor> outputs;
+          if (status == RequestStatus::kOk) {
+            outputs.reserve(wanted_it->second.size());
+            for (const ValueRef& ref : wanted_it->second) {
+              if (state->nodes[static_cast<size_t>(ref.node)].stage ==
+                  NodeStage::kCancelled) {
+                continue;  // early termination cancelled this producer
+              }
+              const auto& node_out = state->node_outputs[static_cast<size_t>(ref.node)];
+              BM_CHECK_LT(static_cast<size_t>(ref.output), node_out.size());
+              outputs.push_back(node_out[static_cast<size_t>(ref.output)]);
             }
           }
-          if (!keys.empty()) {
-            for (auto& pipe : pipelines_) {
-              std::lock_guard<std::mutex> lock(pipe->mu);
-              for (uint64_t key : keys) {
-                pipe->failed_produced.erase(key);
+          sh->outputs_wanted.erase(wanted_it);
+          sh->terminations.erase(state->id);
+
+          // Sweep stale poison keys of nodes that were cancelled after a
+          // failure (their keys sit in the failing worker's failed_produced
+          // set and the request will never unpark anything to purge them).
+          // Gated on an actual failure having happened, so the common path
+          // never touches the pipeline locks from the manager.
+          if (state->cancelled_nodes > 0 &&
+              (fault_injector_.enabled() ||
+               tasks_failed_.load(std::memory_order_relaxed) > 0)) {
+            std::vector<uint64_t> keys;
+            for (size_t n = 0; n < state->nodes.size(); ++n) {
+              if (state->nodes[n].stage == NodeStage::kCancelled) {
+                keys.push_back(HazardKey(state->id, static_cast<int>(n)));
+              }
+            }
+            if (!keys.empty()) {
+              for (auto& pipe : pipelines_) {
+                std::lock_guard<std::mutex> lock(pipe->mu);
+                for (uint64_t key : keys) {
+                  pipe->failed_produced.erase(key);
+                }
               }
             }
           }
-        }
 
-        const auto cb_it = callbacks_.find(state->id);
-        BM_CHECK(cb_it != callbacks_.end());
-        ResponseFn callback = std::move(cb_it->second);
-        callbacks_.erase(cb_it);
-        if (callback) {
-          callback(state->id, status, std::move(outputs));
-        }
-        if (status == RequestStatus::kShed) {
-          trace_.RequestDrop(state->id);
-        } else {
-          trace_.RequestComplete(state->id, state->ExecStartMicros());
-        }
-        if (unfinished_requests_.fetch_sub(1) == 1) {
-          // Last in-flight request: wake a Shutdown() waiting for the
-          // drain. Taking the mutex orders this notify after the waiter's
-          // predicate check, so the wakeup cannot be missed.
-          std::lock_guard<std::mutex> lock(lifecycle_mu_);
-          drained_cv_.notify_all();
-        }
-      });
-  scheduler_ = std::make_unique<Scheduler>(registry, processor_.get(), options_.scheduler);
-  scheduler_->set_trace(&trace_);
-  // When a failure-parked subgraph drains and is about to re-enqueue,
-  // purge its nodes' poison keys from the worker that ran the failed task
-  // (the pinned — hence last — worker): with zero tasks in flight nothing
-  // can still consume them, and a healthy re-execution scheduled back to
-  // that worker must not be mis-poisoned by the stale keys.
-  scheduler_->set_unpark_hook([this](Subgraph* sg) {
-    if (sg->last_worker < 0) {
-      return;
-    }
-    WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(sg->last_worker)];
-    std::lock_guard<std::mutex> lock(pipe.mu);
-    for (int node : sg->nodes) {
-      pipe.failed_produced.erase(HazardKey(sg->owner->id, node));
-    }
-  });
-  outstanding_.assign(static_cast<size_t>(options_.num_workers), 0);
-  for (int i = 0; i < options_.num_workers; ++i) {
-    task_queues_.push_back(std::make_unique<BlockingQueue<WorkerTask>>());
-    pipelines_.push_back(std::make_unique<WorkerPipeline>());
+          const auto cb_it = sh->callbacks.find(state->id);
+          BM_CHECK(cb_it != sh->callbacks.end());
+          ResponseFn callback = std::move(cb_it->second);
+          sh->callbacks.erase(cb_it);
+          if (callback) {
+            callback(state->id, status, std::move(outputs));
+          }
+          if (status == RequestStatus::kShed) {
+            trace_.RequestDrop(state->id);
+          } else {
+            trace_.RequestComplete(state->id, state->ExecStartMicros());
+          }
+          if (unfinished_requests_.fetch_sub(1) == 1) {
+            // Last in-flight request: wake a Shutdown() waiting for the
+            // drain. Taking the mutex orders this notify after the waiter's
+            // predicate check, so the wakeup cannot be missed.
+            std::lock_guard<std::mutex> lock(lifecycle_mu_);
+            drained_cv_.notify_all();
+          }
+        });
+    sh->scheduler =
+        std::make_unique<Scheduler>(registry, sh->processor.get(), options_.scheduler);
+    sh->scheduler->set_trace(&trace_);
+    // Task ids partition across shards (seed s, stride S) so trace and
+    // fault-injection ids stay globally unique without coordination.
+    sh->scheduler->SetTaskIdSpace(static_cast<uint64_t>(s),
+                                  static_cast<uint64_t>(num_shards_));
+    // When a failure-parked subgraph drains and is about to re-enqueue,
+    // purge its nodes' poison keys from the worker that ran the failed task
+    // (the pinned — hence last — worker): with zero tasks in flight nothing
+    // can still consume them, and a healthy re-execution scheduled back to
+    // that worker must not be mis-poisoned by the stale keys.
+    sh->scheduler->set_unpark_hook([this](Subgraph* sg) {
+      if (sg->last_worker < 0) {
+        return;
+      }
+      WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(sg->last_worker)];
+      std::lock_guard<std::mutex> lock(pipe.mu);
+      for (int node : sg->nodes) {
+        pipe.failed_produced.erase(HazardKey(sg->owner->id, node));
+      }
+    });
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -223,10 +319,23 @@ Server::~Server() { Shutdown(); }
 void Server::Start() {
   BM_CHECK(!started_.exchange(true)) << "Start() called twice";
   start_time_ = std::chrono::steady_clock::now();
-  manager_thread_ = std::thread([this] { ManagerLoop(); });
+  for (auto& shard : shards_) {
+    Shard* sh = shard.get();
+    sh->thread = std::thread([this, sh] {
+      TraceRecorder::SetThreadShard(sh->id);
+      ManagerLoop(*sh);
+    });
+  }
   for (int i = 0; i < options_.num_workers; ++i) {
-    worker_threads_.emplace_back([this, i] { StageLoop(i); });
-    worker_threads_.emplace_back([this, i] { ExecLoop(i); });
+    const int shard = shard_of_worker_[static_cast<size_t>(i)];
+    worker_threads_.emplace_back([this, i, shard] {
+      TraceRecorder::SetThreadShard(shard);
+      StageLoop(i);
+    });
+    worker_threads_.emplace_back([this, i, shard] {
+      TraceRecorder::SetThreadShard(shard);
+      ExecLoop(i);
+    });
   }
 }
 
@@ -267,10 +376,22 @@ std::string Server::ValidateSubmission(const CellGraph& graph,
 
 RequestId Server::Submit(CellGraph graph, std::vector<Tensor> externals,
                          std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
-                         TerminationFn terminate, double deadline_micros) {
+                         SubmitOptions opts, TerminationFn terminate) {
   BM_CHECK(started_.load()) << "Submit before Start";
   const RequestId id = next_request_id_.fetch_add(1);
   bool accepted = ValidateSubmission(graph, externals, outputs_wanted).empty();
+  if (opts.terminate_after_node >= 0) {
+    BM_CHECK(!terminate)
+        << "pass terminate_after_node or a TerminationFn, not both";
+    if (opts.terminate_after_node >= graph.NumNodes()) {
+      accepted = false;
+    } else {
+      terminate = [node = opts.terminate_after_node](const RequestState&,
+                                                     int completed_node) {
+        return completed_node == node;
+      };
+    }
+  }
   if (accepted) {
     ArrivalMsg msg;
     msg.graph = std::move(graph);
@@ -280,27 +401,30 @@ RequestId Server::Submit(CellGraph graph, std::vector<Tensor> externals,
     msg.terminate = std::move(terminate);
     // Per-request deadline overrides the server-wide queue timeout;
     // negative disables shedding for this request.
-    msg.deadline_micros =
-        deadline_micros != 0.0 ? deadline_micros : options_.queue_timeout_micros;
+    msg.deadline_micros = opts.deadline_micros != 0.0 ? opts.deadline_micros
+                                                      : admission_.queue_timeout_micros;
+    msg.priority = opts.priority;
     const int num_nodes = msg.graph.NumNodes();
 
     // The shutdown/admission check, unfinished-count increment and inbox
     // push must be one atomic step with respect to Shutdown: otherwise a
     // submission can pass the check, Shutdown can observe zero unfinished
-    // requests and close the inbox, and the late Push lands on a closed
+    // requests and close the inboxes, and the late Push lands on a closed
     // queue — silently dropped with unfinished_requests_ stuck nonzero.
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
     if (shutdown_.load()) {
       accepted = false;  // lost the race; never enqueued
-    } else if (options_.max_queued_requests > 0 &&
-               unfinished_requests_.load() >= options_.max_queued_requests) {
+    } else if (admission_.max_queued_requests > 0 &&
+               unfinished_requests_.load() >= admission_.max_queued_requests) {
       accepted = false;  // admission control: the server is full
     } else {
       msg.id = id;
       msg.arrival_micros = NowMicros();
       trace_.RequestArrival(msg.arrival_micros, id, num_nodes);
       unfinished_requests_.fetch_add(1);
-      inbox_.Push(ManagerMsg{std::move(msg)});
+      // Arrival routing: requests spread across shards by id.
+      shards_[static_cast<size_t>(id % static_cast<RequestId>(num_shards_))]
+          ->inbox.Push(ManagerMsg{std::move(msg)});
       return id;
     }
     on_response = std::move(msg.on_response);  // reclaim for the rejection
@@ -315,26 +439,48 @@ RequestId Server::Submit(CellGraph graph, std::vector<Tensor> externals,
   return id;
 }
 
+RequestId Server::Submit(CellGraph graph, std::vector<Tensor> externals,
+                         std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
+                         TerminationFn terminate, double deadline_micros) {
+  SubmitOptions opts;
+  opts.deadline_micros = deadline_micros;
+  return Submit(std::move(graph), std::move(externals), std::move(outputs_wanted),
+                std::move(on_response), opts, std::move(terminate));
+}
+
 Response Server::SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
-                               std::vector<ValueRef> outputs_wanted,
-                               double deadline_micros) {
+                               std::vector<ValueRef> outputs_wanted, SubmitOptions opts) {
   std::promise<Response> promise;
   std::future<Response> future = promise.get_future();
   Submit(std::move(graph), std::move(externals), std::move(outputs_wanted),
          [&promise](RequestId, RequestStatus status, std::vector<Tensor> outputs) {
            promise.set_value(Response{status, std::move(outputs)});
          },
-         /*terminate=*/nullptr, deadline_micros);
+         opts);
   // Every submission — accepted or rejected — gets exactly one callback,
   // so the future always resolves.
   return future.get();
 }
 
+Response Server::SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
+                               std::vector<ValueRef> outputs_wanted,
+                               double deadline_micros) {
+  SubmitOptions opts;
+  opts.deadline_micros = deadline_micros;
+  return SubmitAndWait(std::move(graph), std::move(externals), std::move(outputs_wanted),
+                       opts);
+}
+
 void Server::Cancel(RequestId id) {
   BM_CHECK(started_.load()) << "Cancel before Start";
-  // Push on a closed inbox is a no-op: after Shutdown the request is
-  // already terminal, so there is nothing left to cancel.
-  inbox_.Push(ManagerMsg{CancelMsg{id}});
+  // Broadcast: only the owning shard acts, but ownership can be mid-flight
+  // in a MigrateMsg, so every shard gets the message (non-owners keep a
+  // tombstone; see Shard::pending_cancels). Push on a closed inbox is a
+  // no-op: after Shutdown the request is already terminal, so there is
+  // nothing left to cancel.
+  for (auto& shard : shards_) {
+    shard->inbox.Push(ManagerMsg{CancelMsg{id}});
+  }
 }
 
 void Server::Shutdown() {
@@ -349,11 +495,19 @@ void Server::Shutdown() {
     // Drain: every accepted request must finish before the threads stop.
     // Setting shutdown_ under lifecycle_mu_ means no further Submit can
     // slip in, so unfinished_requests_ only decreases from here; the
-    // completion callback signals when it hits zero.
+    // completion callback signals when it hits zero. (With zero unfinished
+    // requests no migration is in flight either — a migrating request
+    // counts as unfinished — so no shard inbox holds live request state.)
     drained_cv_.wait(lock, [this] { return unfinished_requests_.load() == 0; });
   }
-  inbox_.Close();
-  manager_thread_.join();
+  for (auto& shard : shards_) {
+    shard->inbox.Close();
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) {
+      shard->thread.join();
+    }
+  }
   // After the drain there are no tasks in flight: closing a task queue
   // stops that worker's staging thread, which flags stage_done and lets
   // the execution thread drain `staged` (already empty) and exit.
@@ -380,11 +534,11 @@ double Server::TotalWorkerIdleMicros() const {
   return total;
 }
 
-void Server::ManagerLoop() {
+void Server::ManagerLoop(Shard& shard) {
   for (;;) {
     std::optional<ManagerMsg> msg;
-    if (deadlines_.empty()) {
-      msg = inbox_.Pop();
+    if (shard.deadlines.empty()) {
+      msg = shard.inbox.Pop();
       if (!msg) {
         break;  // closed and drained
       }
@@ -392,97 +546,126 @@ void Server::ManagerLoop() {
       // A shedding deadline is pending: sleep at most until it expires, so
       // a queued request is shed on time even with no messages in flight.
       const double now = NowMicros();
-      const double wait = deadlines_.top().first - now;
+      const double wait = shard.deadlines.top().first - now;
       if (wait <= 0.0) {
-        ExpireDeadlines(now);
+        ExpireDeadlines(shard, now);
         continue;
       }
-      msg = inbox_.PopFor(std::chrono::duration<double, std::micro>(wait));
+      msg = shard.inbox.PopFor(std::chrono::duration<double, std::micro>(wait));
       if (!msg) {
-        if (inbox_.Closed()) {
+        if (shard.inbox.Closed()) {
           break;  // nullopt with the queue closed implies drained
         }
-        ExpireDeadlines(NowMicros());
+        ExpireDeadlines(shard, NowMicros());
         continue;
       }
     }
-    HandleMsg(std::move(*msg));
+    HandleMsg(shard, std::move(*msg));
     // Admit everything that queued up behind this message before the
     // refill pass: near-simultaneous requests batch together, and a burst
     // of completions is absorbed in one scan instead of one per message.
-    while (auto more = inbox_.TryPop()) {
-      HandleMsg(std::move(*more));
+    while (auto more = shard.inbox.TryPop()) {
+      HandleMsg(shard, std::move(*more));
     }
-    ExpireDeadlines(NowMicros());
-    TryRefillWorkers();
+    ExpireDeadlines(shard, NowMicros());
+    TryRefillWorkers(shard);
+    TryDonate(shard);
+    MaybeInitiateSteal(shard);
+    if (!shard.pending_cancels.empty() &&
+        unfinished_requests_.load(std::memory_order_relaxed) == 0) {
+      // Fully drained ⇒ no migration in flight ⇒ every tombstone is stale.
+      shard.pending_cancels.clear();
+    }
   }
 }
 
-void Server::HandleMsg(ManagerMsg msg) {
+void Server::HandleMsg(Shard& shard, ManagerMsg msg) {
   if (std::holds_alternative<ArrivalMsg>(msg)) {
-    HandleArrival(std::move(std::get<ArrivalMsg>(msg)));
+    HandleArrival(shard, std::move(std::get<ArrivalMsg>(msg)));
   } else if (std::holds_alternative<CompletionMsg>(msg)) {
-    HandleCompletion(std::move(std::get<CompletionMsg>(msg)));
+    HandleCompletion(shard, std::move(std::get<CompletionMsg>(msg)));
+  } else if (std::holds_alternative<CancelMsg>(msg)) {
+    HandleCancel(shard, std::get<CancelMsg>(msg));
+  } else if (std::holds_alternative<StealRequestMsg>(msg)) {
+    HandleStealRequest(shard, std::get<StealRequestMsg>(msg));
+  } else if (std::holds_alternative<MigrateMsg>(msg)) {
+    HandleMigrate(shard, std::move(std::get<MigrateMsg>(msg)));
   } else {
-    HandleCancel(std::get<CancelMsg>(msg));
+    HandleStealDeny(shard, std::get<StealDenyMsg>(msg));
   }
 }
 
-void Server::HandleArrival(ArrivalMsg msg) {
-  outputs_wanted_.emplace(msg.id, std::move(msg.outputs_wanted));
-  callbacks_.emplace(msg.id, std::move(msg.on_response));
+void Server::HandleArrival(Shard& shard, ArrivalMsg msg) {
+  shard.outputs_wanted.emplace(msg.id, std::move(msg.outputs_wanted));
+  shard.callbacks.emplace(msg.id, std::move(msg.on_response));
   if (msg.terminate) {
-    terminations_.emplace(msg.id, std::move(msg.terminate));
+    shard.terminations.emplace(msg.id, std::move(msg.terminate));
   }
-  RequestState* state = processor_->AddRequest(msg.id, std::move(msg.graph),
-                                               msg.arrival_micros, std::move(msg.externals));
+  metrics_.shard(shard.id).arrivals.fetch_add(1, std::memory_order_relaxed);
+  RequestState* state = shard.processor->AddRequest(
+      msg.id, std::move(msg.graph), msg.arrival_micros, std::move(msg.externals));
+  state->priority = msg.priority;
   if (msg.deadline_micros > 0.0) {
     state->deadline_micros = msg.deadline_micros;
-    deadlines_.emplace(msg.arrival_micros + msg.deadline_micros, msg.id);
+    shard.deadlines.emplace(msg.arrival_micros + msg.deadline_micros, msg.id);
   }
+  // Every request starts never-scheduled, hence stealable; the candidacy
+  // goes stale the moment the first task forms.
+  shard.stealable.insert({state->priority, state->id});
 }
 
-void Server::HandleCancel(CancelMsg msg) {
-  RequestState* state = processor_->FindRequest(msg.id);
-  if (state == nullptr || !state->MarkTerminal(RequestStatus::kCancelled)) {
-    return;  // unknown, already finished (kOk won the race), or terminal
+void Server::HandleCancel(Shard& shard, CancelMsg msg) {
+  RequestState* state = shard.processor->FindRequest(msg.id);
+  if (state == nullptr) {
+    // Not owned here — but it may be owned *nowhere* right now (in flight
+    // between a steal victim and its thief). Tombstone so an adoption that
+    // lost the race to this broadcast still honours the cancel.
+    if (num_shards_ > 1) {
+      shard.pending_cancels.insert(msg.id);
+    }
+    return;
   }
-  scheduler_->CancelRequest(msg.id);
+  if (!state->MarkTerminal(RequestStatus::kCancelled)) {
+    return;  // already finished (kOk won the race) or terminal
+  }
+  shard.scheduler->CancelRequest(msg.id);
 }
 
-void Server::ExpireDeadlines(double now_micros) {
-  while (!deadlines_.empty() && deadlines_.top().first <= now_micros) {
-    const RequestId id = deadlines_.top().second;
-    deadlines_.pop();
-    RequestState* state = processor_->FindRequest(id);
+void Server::ExpireDeadlines(Shard& shard, double now_micros) {
+  while (!shard.deadlines.empty() && shard.deadlines.top().first <= now_micros) {
+    const RequestId id = shard.deadlines.top().second;
+    shard.deadlines.pop();
+    RequestState* state = shard.processor->FindRequest(id);
     if (state == nullptr || state->ExecStarted() ||
         state->status != RequestStatus::kOk) {
-      continue;  // finished, already running, or already terminal
+      continue;  // finished, migrated away, running, or already terminal
     }
     // Same semantics as the simulator's queue timeout: a request sheds
     // only if it has not begun executing when the deadline fires. (The
     // ExecStarted read races benignly with a worker's first-execution CAS;
     // losing it just means the request completes normally.)
     state->MarkTerminal(RequestStatus::kShed);
-    scheduler_->CancelRequest(id);
+    shard.scheduler->CancelRequest(id);
   }
 }
 
-void Server::HandleCompletion(CompletionMsg msg) {
+void Server::HandleCompletion(Shard& shard, CompletionMsg msg) {
   const int worker = msg.task.worker;
-  BM_CHECK_GE(worker, 0);
-  outstanding_[static_cast<size_t>(worker)]--;
-  BM_CHECK_GE(outstanding_[static_cast<size_t>(worker)], 0);
+  BM_CHECK_GE(worker, shard.worker_begin);
+  BM_CHECK_LT(worker, shard.worker_end);
+  const size_t local = static_cast<size_t>(worker - shard.worker_begin);
+  shard.outstanding[local]--;
+  BM_CHECK_GE(shard.outstanding[local], 0);
   if (msg.failed_entries.empty()) {
-    scheduler_->OnTaskCompleted(msg.task);
+    shard.scheduler->OnTaskCompleted(msg.task);
   } else {
-    scheduler_->OnTaskFailed(msg.task, msg.failed_entries, msg.victim_entry);
+    shard.scheduler->OnTaskFailed(msg.task, msg.failed_entries, msg.victim_entry);
   }
   // Early-termination predicates (the request may already be finalized, in
   // which case FindRequest returns null and nothing happens). Skipped
   // entirely when no request registered one — the common case. Failed
   // entries are skipped: their nodes did not complete.
-  if (!terminations_.empty()) {
+  if (!shard.terminations.empty()) {
     std::vector<bool> failed(msg.task.entries.size(), false);
     for (int i : msg.failed_entries) {
       failed[static_cast<size_t>(i)] = true;
@@ -492,30 +675,181 @@ void Server::HandleCompletion(CompletionMsg msg) {
         continue;
       }
       const TaskEntry& entry = msg.task.entries[i];
-      const auto term_it = terminations_.find(entry.request);
-      if (term_it == terminations_.end()) {
+      const auto term_it = shard.terminations.find(entry.request);
+      if (term_it == shard.terminations.end()) {
         continue;
       }
-      RequestState* state = processor_->FindRequest(entry.request);
+      RequestState* state = shard.processor->FindRequest(entry.request);
       if (state == nullptr) {
         continue;
       }
       if (term_it->second(*state, entry.node)) {
-        terminations_.erase(term_it);
-        scheduler_->CancelRequest(entry.request);
+        shard.terminations.erase(term_it);
+        shard.scheduler->CancelRequest(entry.request);
       }
     }
   }
   // Targeted refill: this completion may have dropped the worker below the
   // watermark and unlocked successors it can run; hand them over now,
   // before the manager touches any other queued message.
-  if (outstanding_[static_cast<size_t>(worker)] < options_.pipeline_depth) {
-    TrySchedule(worker);
+  if (shard.outstanding[local] < options_.pipeline_depth) {
+    TrySchedule(shard, worker);
   }
 }
 
-void Server::TrySchedule(int worker) {
-  std::vector<BatchedTask> tasks = scheduler_->Schedule(worker);
+RequestState* Server::PopStealable(Shard& shard) {
+  while (!shard.stealable.empty()) {
+    const auto it = shard.stealable.begin();
+    const RequestId id = it->second;
+    shard.stealable.erase(it);
+    RequestState* state = shard.processor->FindRequest(id);
+    if (state == nullptr || state->ever_scheduled ||
+        state->status != RequestStatus::kOk) {
+      continue;  // stale candidate: gone, already pinned work, or terminal
+    }
+    return state;
+  }
+  return nullptr;
+}
+
+void Server::MigrateOut(Shard& victim, RequestState* state, int thief) {
+  const RequestId id = state->id;
+  MigrateMsg msg;
+  msg.from_shard = victim.id;
+  // Unhook the queued subgraphs from the victim's scheduler first (the
+  // processor checks the request really was never scheduled), then move
+  // the state and its submission bookkeeping wholesale. The stale
+  // deadline-heap entry stays behind; FindRequest discards it lazily.
+  victim.scheduler->DetachRequest(state);
+  msg.state = victim.processor->ReleaseRequest(id);
+  const auto wanted_it = victim.outputs_wanted.find(id);
+  BM_CHECK(wanted_it != victim.outputs_wanted.end());
+  msg.outputs_wanted = std::move(wanted_it->second);
+  victim.outputs_wanted.erase(wanted_it);
+  const auto cb_it = victim.callbacks.find(id);
+  BM_CHECK(cb_it != victim.callbacks.end());
+  msg.on_response = std::move(cb_it->second);
+  victim.callbacks.erase(cb_it);
+  const auto term_it = victim.terminations.find(id);
+  if (term_it != victim.terminations.end()) {
+    msg.terminate = std::move(term_it->second);
+    victim.terminations.erase(term_it);
+  }
+  metrics_.shard(victim.id).steals_out.fetch_add(1, std::memory_order_relaxed);
+  // Cannot land on a closed inbox: a migrating request is unfinished, so
+  // Shutdown's drain wait has not released and no inbox is closed yet.
+  shards_[static_cast<size_t>(thief)]->inbox.Push(ManagerMsg{std::move(msg)});
+}
+
+void Server::HandleStealRequest(Shard& shard, const StealRequestMsg& msg) {
+  RequestState* state = PopStealable(shard);
+  if (state != nullptr) {
+    MigrateOut(shard, state, msg.thief);
+    return;
+  }
+  // Nothing to give: remember the hungry peer for later donation and let
+  // it try the next victim.
+  if (std::find(shard.hungry.begin(), shard.hungry.end(), msg.thief) ==
+      shard.hungry.end()) {
+    shard.hungry.push_back(msg.thief);
+  }
+  shards_[static_cast<size_t>(msg.thief)]->inbox.Push(
+      ManagerMsg{StealDenyMsg{shard.id}});
+}
+
+void Server::HandleMigrate(Shard& shard, MigrateMsg msg) {
+  // A migration ends any pending steal round, requested or donated. A
+  // straggler denial from the old round is ignored (or at worst ends the
+  // next round early — harmless, the round restarts while the imbalance
+  // persists).
+  shard.steal_pending = false;
+  shard.steal_denials = 0;
+  const int from_shard = msg.from_shard;
+  RequestState* state = shard.processor->AdoptRequest(std::move(msg.state));
+  const RequestId id = state->id;
+  shard.outputs_wanted.emplace(id, std::move(msg.outputs_wanted));
+  shard.callbacks.emplace(id, std::move(msg.on_response));
+  if (msg.terminate) {
+    shard.terminations.emplace(id, std::move(msg.terminate));
+  }
+  if (state->deadline_micros > 0.0) {
+    shard.deadlines.emplace(state->arrival_micros + state->deadline_micros, id);
+  }
+  shard.stealable.insert({state->priority, id});
+  steals_.fetch_add(1);
+  metrics_.shard(shard.id).steals_in.fetch_add(1, std::memory_order_relaxed);
+  trace_.ShardSteal(id, from_shard, shard.id);
+  const auto tomb_it = shard.pending_cancels.find(id);
+  if (tomb_it != shard.pending_cancels.end()) {
+    // A cancel broadcast beat the migration here; honour it now.
+    shard.pending_cancels.erase(tomb_it);
+    if (state->MarkTerminal(RequestStatus::kCancelled)) {
+      shard.scheduler->CancelRequest(id);
+    }
+  }
+}
+
+void Server::HandleStealDeny(Shard& shard, const StealDenyMsg& msg) {
+  (void)msg;
+  if (!shard.steal_pending) {
+    return;  // stale denial from a round a migration already ended
+  }
+  if (++shard.steal_denials >= num_shards_ - 1) {
+    shard.steal_pending = false;  // every peer denied; round over
+    return;
+  }
+  do {
+    shard.steal_next = (shard.steal_next + 1) % num_shards_;
+  } while (shard.steal_next == shard.id);
+  shards_[static_cast<size_t>(shard.steal_next)]->inbox.Push(
+      ManagerMsg{StealRequestMsg{shard.id}});
+}
+
+void Server::MaybeInitiateSteal(Shard& shard) {
+  if (num_shards_ <= 1 || shard.steal_pending) {
+    return;
+  }
+  // Steal only on genuine starvation: an owned worker with an empty stream
+  // that the refill pass just failed to feed (no compatible ready work).
+  bool starved = false;
+  for (int w = shard.worker_begin; w < shard.worker_end && !starved; ++w) {
+    starved = shard.outstanding[static_cast<size_t>(w - shard.worker_begin)] == 0 &&
+              !shard.scheduler->HasCompatibleReadyWork(w);
+  }
+  if (!starved) {
+    return;
+  }
+  shard.steal_pending = true;
+  shard.steal_denials = 0;
+  shard.steal_next = (shard.id + 1) % num_shards_;
+  shards_[static_cast<size_t>(shard.steal_next)]->inbox.Push(
+      ManagerMsg{StealRequestMsg{shard.id}});
+}
+
+void Server::TryDonate(Shard& shard) {
+  if (shard.hungry.empty() || num_shards_ <= 1) {
+    return;
+  }
+  // Donate only surplus: every owned worker already at the watermark means
+  // local scheduling cannot absorb a stealable request any time soon.
+  for (int count : shard.outstanding) {
+    if (count < options_.pipeline_depth) {
+      return;
+    }
+  }
+  while (!shard.hungry.empty()) {
+    RequestState* state = PopStealable(shard);
+    if (state == nullptr) {
+      return;  // no surplus left; keep the hungry list for the next burst
+    }
+    const int thief = shard.hungry.front();
+    shard.hungry.erase(shard.hungry.begin());
+    MigrateOut(shard, state, thief);
+  }
+}
+
+void Server::TrySchedule(Shard& shard, int worker) {
+  std::vector<BatchedTask> tasks = shard.scheduler->Schedule(worker);
   if (tasks.empty()) {
     return;
   }
@@ -524,32 +858,32 @@ void Server::TrySchedule(int worker) {
     WorkerTask wt;
     wt.states.reserve(task.entries.size());
     for (const TaskEntry& entry : task.entries) {
-      RequestState* state = processor_->FindRequest(entry.request);
+      RequestState* state = shard.processor->FindRequest(entry.request);
       BM_CHECK(state != nullptr);
       wt.states.push_back(state);
     }
     wt.task = std::move(task);
-    outstanding_[static_cast<size_t>(worker)]++;
+    shard.outstanding[static_cast<size_t>(worker - shard.worker_begin)]++;
     task_queues_[static_cast<size_t>(worker)]->Push(std::move(wt));
   }
 }
 
-void Server::TryRefillWorkers() {
-  if (!scheduler_->HasReadyWork()) {
+void Server::TryRefillWorkers(Shard& shard) {
+  if (!shard.scheduler->HasReadyWork()) {
     return;
   }
-  // Watermark refill: top up every worker whose stream has fewer than
-  // pipeline_depth tasks in flight. The scan start rotates so that under
-  // light load (work for one task, everyone below watermark) the first
-  // fresh subgraph does not always pin to worker 0.
-  const int n = options_.num_workers;
-  const int start = refill_start_;
-  refill_start_ = (refill_start_ + 1) % n;
+  // Watermark refill: top up every owned worker whose stream has fewer
+  // than pipeline_depth tasks in flight. The scan start rotates so that
+  // under light load (work for one task, everyone below watermark) the
+  // first fresh subgraph does not always pin to the shard's first worker.
+  const int n = shard.worker_end - shard.worker_begin;
+  const int start = shard.refill_start;
+  shard.refill_start = (shard.refill_start + 1) % n;
   for (int i = 0; i < n; ++i) {
-    const int w = (start + i) % n;
-    if (outstanding_[static_cast<size_t>(w)] < options_.pipeline_depth) {
-      TrySchedule(w);
-      if (!scheduler_->HasReadyWork()) {
+    const int local = (start + i) % n;
+    if (shard.outstanding[static_cast<size_t>(local)] < options_.pipeline_depth) {
+      TrySchedule(shard, shard.worker_begin + local);
+      if (!shard.scheduler->HasReadyWork()) {
         break;
       }
     }
@@ -697,6 +1031,9 @@ void Server::ExecLoop(int worker) {
   TensorArena exec_arena;
   const ExecContext ctx{&pool, &exec_arena};
   WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(worker)];
+  // Completions go to the inbox of the shard that owns this worker.
+  auto& inbox = shards_[static_cast<size_t>(shard_of_worker_[static_cast<size_t>(worker)])]
+                    ->inbox;
   double idle_accum = 0.0;
 
   for (;;) {
@@ -744,7 +1081,7 @@ void Server::ExecLoop(int worker) {
         msg.failed_entries[static_cast<size_t>(i)] = i;
       }
       msg.victim_entry = st.victim;
-      inbox_.Push(ManagerMsg{std::move(msg)});
+      inbox.Push(ManagerMsg{std::move(msg)});
       continue;
     }
 
@@ -797,7 +1134,7 @@ void Server::ExecLoop(int worker) {
         msg.failed_entries[static_cast<size_t>(i)] = i;
       }
       msg.victim_entry = -1;
-      inbox_.Push(ManagerMsg{std::move(msg)});
+      inbox.Push(ManagerMsg{std::move(msg)});
       continue;
     }
 
@@ -828,7 +1165,7 @@ void Server::ExecLoop(int worker) {
       }
     }
     msg.task = std::move(st.wt.task);
-    inbox_.Push(ManagerMsg{std::move(msg)});
+    inbox.Push(ManagerMsg{std::move(msg)});
   }
 }
 

@@ -1,13 +1,25 @@
 // Server: the real-time, multi-threaded BatchMaker serving engine (paper
 // Figure 6).
 //
-// A manager thread owns the RequestProcessor and Scheduler; per-worker
-// thread pairs (standing in for the paper's per-GPU workers) execute
-// batched tasks from their FIFO task streams on the CPU via the
-// BatchAssembler. Completed tasks flow back to the manager through its
-// inbox; the manager updates dependencies, schedules follow-up tasks, and
-// fires the request callback when a request's last cell finishes — so a
-// short request returns immediately even when batched with longer ones.
+// Manager shards (see DESIGN.md "Sharded manager"): scheduler state is
+// partitioned into ServerOptions::num_shards independent shards. Each
+// shard owns a RequestProcessor + Scheduler, a contiguous slice of the
+// workers, its own completion inbox, deadline heap and manager loop, so
+// arrival handling + Algorithm-1 scheduling + completion processing scale
+// past one dispatcher thread. Arrivals are routed by request id; a shard
+// whose workers idle with no compatible ready work steals not-yet-
+// scheduled requests from its peers (whole-request stealing, so the
+// per-stream FIFO pinning invariant is preserved by construction: a
+// stolen request has nothing pinned and re-pins to the thief's workers).
+// num_shards = 1 reproduces the single-manager behaviour exactly.
+//
+// Per-worker thread pairs (standing in for the paper's per-GPU workers)
+// execute batched tasks from their FIFO task streams on the CPU via the
+// BatchAssembler. Completed tasks flow back to the owning shard's manager
+// through its inbox; the manager updates dependencies, schedules follow-up
+// tasks, and fires the request callback when a request's last cell
+// finishes — so a short request returns immediately even when batched with
+// longer ones.
 //
 // Pipelined worker streams (see DESIGN.md "Pipelined worker streams"): the
 // manager keeps every worker's stream `pipeline_depth` tasks deep
@@ -18,16 +30,18 @@
 // arena while the *execution* thread runs task t's cells on the intra-task
 // pool and scatters its outputs. Scatter stays in stream order and the
 // staging thread waits out read-after-write hazards against unscattered
-// tasks, so results are bitwise identical to SyncEngine at any depth.
+// tasks, so results are bitwise identical to SyncEngine at any depth and
+// any shard count.
 //
 // Thread-safety contract: a request's tensors are only touched by the
 // worker executing a task containing the request's nodes. The scheduler
 // pins a subgraph to one worker while it has in-flight tasks, and
 // cross-subgraph consumers are only scheduled after the producer's
 // completion has passed through the manager — so no two threads ever race
-// on the same tensor. Request states are resolved on the manager thread
-// and passed to workers by pointer, so workers never read the manager's
-// request map.
+// on the same tensor. Request states are resolved on the owning shard's
+// manager thread and passed to workers by pointer, so workers never read
+// a manager's request map; cross-shard migration only moves requests that
+// have never been scheduled, so no worker holds a pointer into them.
 //
 // Overload and failure semantics (see DESIGN.md): every Submit gets
 // exactly one terminal answer through its callback, tagged with a
@@ -38,7 +52,7 @@
 // (kCancelled), and failed task executions (see FaultInjector) terminate
 // the blamed victim with kFailed while innocent co-batched requests are
 // transparently re-queued and still complete kOk, bitwise identical to a
-// fault-free run.
+// fault-free run. All of these hold per shard and across steals.
 
 #ifndef SRC_CORE_SERVER_H_
 #define SRC_CORE_SERVER_H_
@@ -46,6 +60,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -59,6 +74,7 @@
 #include <vector>
 
 #include "src/core/batch_assembler.h"
+#include "src/core/engine_options.h"
 #include "src/core/fault_injector.h"
 #include "src/core/metrics.h"
 #include "src/core/request_processor.h"
@@ -69,65 +85,56 @@
 
 namespace batchmaker {
 
-struct ServerOptions {
-  int num_workers = 1;
+// Server configuration. The common engine core (workers, shards,
+// pipeline_depth, scheduler, tracing, admission) lives in EngineOptions;
+// see src/core/engine_options.h.
+struct ServerOptions : EngineOptions {
   // Size of each worker's intra-task ThreadPool: GEMM output blocks and
   // gather/scatter rows fan out across this many threads while a task
   // executes. With W workers each owning T threads, the server uses up to
   // W*T cores; results are bitwise-independent of T (see DESIGN.md "CPU
   // backend execution pipeline").
   int threads_per_worker = 1;
-  // Low watermark on each worker's in-flight task count (the paper's
-  // pipelined task submission, Figure 6): the manager refills any worker
-  // whose in-flight count drops below this depth, instead of waiting for
-  // the stream to drain completely. 1 reproduces the old drain-then-refill
-  // behaviour; >= 2 keeps the worker's FIFO stream non-empty across the
-  // completion→manager→schedule round-trip. Results are bitwise identical
-  // at any depth.
-  int pipeline_depth = 2;
-  SchedulerOptions scheduler;
-  // Records structured events (src/obs/) for every request/task; export
-  // with WriteChromeTrace(server.trace(), path). Off by default: the
-  // disabled recorder costs one relaxed atomic load per would-be event.
-  bool enable_tracing = false;
-  // Admission control: maximum requests admitted but not yet terminal.
-  // A Submit that would exceed it is rejected synchronously (kRejected,
-  // never enqueued). 0 disables the cap.
-  size_t max_queued_requests = 0;
-  // Load shedding: a request still waiting to *begin* executing this many
-  // microseconds after arrival is shed (kShed; same semantics as the
-  // simulator's queue timeout). 0 disables; Submit's per-request deadline
-  // overrides it.
-  double queue_timeout_micros = 0.0;
   // Deterministic execution-fault injection (tests, failure drills).
   FaultInjectorOptions fault;
+
+  // Deprecated aliases, kept one release (see README migration table):
+  // prefer admission.max_queued_requests / admission.queue_timeout_micros.
+  // A non-zero value here wins only when the admission field is unset.
+  size_t max_queued_requests = 0;
+  double queue_timeout_micros = 0.0;
+
+  // Admission options with the deprecated aliases folded in.
+  AdmissionOptions EffectiveAdmission() const {
+    AdmissionOptions a = admission;
+    if (a.max_queued_requests == 0) {
+      a.max_queued_requests = max_queued_requests;
+    }
+    if (a.queue_timeout_micros == 0.0) {
+      a.queue_timeout_micros = queue_timeout_micros;
+    }
+    return a;
+  }
 };
 
-// Terminal answer of one submission, as delivered to the response
-// callback. `outputs` is non-empty only for kOk (and may legitimately be
-// empty there too, when every wanted output was cancelled by early
-// termination).
-struct Response {
-  RequestStatus status = RequestStatus::kOk;
-  std::vector<Tensor> outputs;
-  bool ok() const { return status == RequestStatus::kOk; }
-};
+// Response and ResponseFn — the engines' shared terminal-answer types —
+// live in src/core/engine_options.h with the rest of the uniform
+// submission surface.
 
 class Server {
  public:
-  // Called exactly once per submission with the request's terminal status:
-  // on the manager thread when the request finishes (kOk, kShed, kFailed,
-  // kCancelled), or synchronously on the submitter's thread when admission
-  // rejects it (kRejected). Receives the tensors requested at submission
-  // (in `outputs_wanted` order) when status is kOk; outputs whose producing
-  // node was cancelled by early termination are skipped. Non-kOk responses
-  // carry no outputs.
-  using ResponseFn = std::function<void(RequestId, RequestStatus, std::vector<Tensor>)>;
+  // See the namespace-level ResponseFn; kept as a member alias for source
+  // compatibility. Fires on the owning shard's manager thread when the
+  // request finishes (kOk, kShed, kFailed, kCancelled), or synchronously
+  // on the submitter's thread when admission rejects it (kRejected).
+  using ResponseFn = batchmaker::ResponseFn;
 
   // Early-termination predicate, evaluated on the manager thread after each
   // of the request's nodes completes. Returning true cancels all of the
   // request's not-yet-scheduled nodes (e.g. stop decoding once the token
-  // output of `completed_node` is <eos>).
+  // output of `completed_node` is <eos>). Richer than
+  // SubmitOptions::terminate_after_node, which declares the terminating
+  // node up front.
   using TerminationFn = std::function<bool(const RequestState&, int completed_node)>;
 
   Server(const CellRegistry* registry, ServerOptions options = {});
@@ -142,27 +149,39 @@ class Server {
   // Submits a request; thread-safe, including against a concurrent
   // Shutdown(). Always returns the request's id, and the callback always
   // fires exactly once with the terminal status: submissions that fail
-  // validation, exceed max_queued_requests, or race a Shutdown are
-  // rejected with kRejected synchronously on the calling thread (never
+  // validation, exceed admission.max_queued_requests, or race a Shutdown
+  // are rejected with kRejected synchronously on the calling thread (never
   // enqueued). Accepted submissions reach a terminal status before
   // Shutdown returns. `outputs_wanted` name node outputs of `graph` to
-  // return; `deadline_micros` overrides the server-wide queue timeout for
-  // this request (0 inherits it, negative disables shedding).
+  // return. Per-request parameters (deadline override, declared early
+  // termination, priority) ride in `opts`; a content-dependent TerminationFn
+  // may be passed instead of (not together with) opts.terminate_after_node.
   RequestId Submit(CellGraph graph, std::vector<Tensor> externals,
                    std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
-                   TerminationFn terminate = nullptr, double deadline_micros = 0.0);
+                   SubmitOptions opts = {}, TerminationFn terminate = nullptr);
+
+  // Deprecated positional overload (one release; see README migration
+  // table): terminate + deadline as trailing arguments.
+  RequestId Submit(CellGraph graph, std::vector<Tensor> externals,
+                   std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
+                   TerminationFn terminate, double deadline_micros = 0.0);
 
   // Convenience: submit and block until the terminal response arrives.
   // Response::status says how the request ended; outputs are only
   // meaningful for kOk (and may legitimately be empty there, e.g. when
   // every wanted output was cancelled by early termination).
   Response SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
-                         std::vector<ValueRef> outputs_wanted,
-                         double deadline_micros = 0.0);
+                         std::vector<ValueRef> outputs_wanted, SubmitOptions opts = {});
+
+  // Deprecated positional overload (one release): deadline as a trailing
+  // double.
+  Response SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
+                         std::vector<ValueRef> outputs_wanted, double deadline_micros);
 
   // Asynchronously cancels an in-flight request: its callback fires with
   // kCancelled once in-flight tasks drain (or kOk if completion won the
-  // race). Unknown or already-terminal ids are ignored.
+  // race). Unknown or already-terminal ids are ignored. Broadcast to every
+  // shard; only the owner acts.
   void Cancel(RequestId id);
 
   // Waits for all in-flight work to finish, then stops the threads. Safe
@@ -171,12 +190,17 @@ class Server {
 
   // Completed-request metrics (real microseconds since Start). Latency
   // aggregates are only safe to read after Shutdown; the drop/reject/fail
-  // counters are atomic and readable at any time.
+  // counters, per-shard counters and steal totals are atomic and readable
+  // at any time.
   const MetricsCollector& metrics() const { return metrics_; }
   int64_t TasksExecuted() const { return tasks_executed_.load(); }
   // Batched tasks whose execution failed (injected or real), whole or in
   // part (cascaded poisoning counts the original failure only).
   int64_t TasksFailed() const { return tasks_failed_.load(); }
+  // Effective shard count (num_shards clamped to [1, num_workers]).
+  int num_shards() const { return num_shards_; }
+  // Requests migrated across shards by the stealing protocol.
+  int64_t StealsExecuted() const { return steals_.load(); }
 
   // Total microseconds worker `worker`'s execution thread spent with
   // nothing to execute (waiting for the manager to refill its stream or
@@ -186,7 +210,7 @@ class Server {
   double WorkerIdleMicros(int worker) const;
   double TotalWorkerIdleMicros() const;
 
-  // Event trace (enabled via ServerOptions::enable_tracing; timestamps are
+  // Event trace (enabled via EngineOptions::enable_tracing; timestamps are
   // real micros since Start). Aggregates are thread-safe at any time; read
   // events after Shutdown.
   const TraceRecorder& trace() const { return trace_; }
@@ -202,6 +226,7 @@ class Server {
     TerminationFn terminate;
     double arrival_micros;
     double deadline_micros;  // effective shedding deadline; <= 0 disables
+    int priority = 0;
   };
   struct CompletionMsg {
     BatchedTask task;
@@ -215,7 +240,28 @@ class Server {
   struct CancelMsg {
     RequestId id;
   };
-  using ManagerMsg = std::variant<ArrivalMsg, CompletionMsg, CancelMsg>;
+  // ---- Cross-shard stealing protocol (DESIGN.md "Sharded manager") ----
+  // A thief with an idle worker and no compatible ready work asks a victim
+  // shard for a never-scheduled request...
+  struct StealRequestMsg {
+    int thief;
+  };
+  // ...the victim either migrates one over (whole RequestState plus the
+  // submission bookkeeping) or denies; a denied thief tries the next
+  // victim, and the denying victim remembers the hungry thief so it can
+  // donate surplus later without being asked again.
+  struct MigrateMsg {
+    std::unique_ptr<RequestState> state;
+    std::vector<ValueRef> outputs_wanted;
+    ResponseFn on_response;
+    TerminationFn terminate;  // null if none registered
+    int from_shard;
+  };
+  struct StealDenyMsg {
+    int victim;
+  };
+  using ManagerMsg = std::variant<ArrivalMsg, CompletionMsg, CancelMsg,
+                                  StealRequestMsg, MigrateMsg, StealDenyMsg>;
 
   // A task plus the request states it touches, resolved by the manager so
   // workers never read the request map.
@@ -227,19 +273,36 @@ class Server {
   // Per-worker pipeline state shared by the staging and execution threads
   // (defined in server.cc).
   struct WorkerPipeline;
+  // One manager shard: processor, scheduler, inbox, deadline heap, steal
+  // state and its slice of the workers (defined in server.cc).
+  struct Shard;
 
-  void ManagerLoop();
-  void HandleMsg(ManagerMsg msg);
+  void ManagerLoop(Shard& shard);
+  void HandleMsg(Shard& shard, ManagerMsg msg);
   void StageLoop(int worker);
   void ExecLoop(int worker);
-  void HandleArrival(ArrivalMsg msg);
-  void HandleCompletion(CompletionMsg msg);
-  void HandleCancel(CancelMsg msg);
+  void HandleArrival(Shard& shard, ArrivalMsg msg);
+  void HandleCompletion(Shard& shard, CompletionMsg msg);
+  void HandleCancel(Shard& shard, CancelMsg msg);
+  void HandleStealRequest(Shard& shard, const StealRequestMsg& msg);
+  void HandleMigrate(Shard& shard, MigrateMsg msg);
+  void HandleStealDeny(Shard& shard, const StealDenyMsg& msg);
+  // Pops the lowest-priority, oldest stealable (= never-scheduled, still
+  // kOk) request of `shard`, or null. Lazily discards stale candidates.
+  RequestState* PopStealable(Shard& shard);
+  // Extracts `state` from `victim` and ships it to shard `thief`.
+  void MigrateOut(Shard& victim, RequestState* state, int thief);
+  // Starts a steal round if some owned worker idles with no compatible
+  // ready work and no round is already pending.
+  void MaybeInitiateSteal(Shard& shard);
+  // Pushes surplus stealable requests to shards whose steal requests this
+  // shard denied earlier, while its own workers are saturated.
+  void TryDonate(Shard& shard);
   // Sheds every deadline-heap request whose deadline passed and that has
-  // not begun executing (manager thread only).
-  void ExpireDeadlines(double now_micros);
-  void TrySchedule(int worker);
-  void TryRefillWorkers();
+  // not begun executing (shard manager thread only).
+  void ExpireDeadlines(Shard& shard, double now_micros);
+  void TrySchedule(Shard& shard, int worker);
+  void TryRefillWorkers(Shard& shard);
   // Validation half of Submit; returns an error description or empty.
   std::string ValidateSubmission(const CellGraph& graph,
                                  const std::vector<Tensor>& externals,
@@ -248,40 +311,25 @@ class Server {
 
   const CellRegistry* registry_;
   ServerOptions options_;
+  AdmissionOptions admission_;
+  int num_shards_ = 1;
   BatchAssembler assembler_;
   TraceRecorder trace_;
 
-  // Manager-owned state (only the manager thread touches these after
-  // Start).
-  std::unique_ptr<RequestProcessor> processor_;
-  std::unique_ptr<Scheduler> scheduler_;
-  std::unordered_map<RequestId, std::vector<ValueRef>> outputs_wanted_;
-  std::unordered_map<RequestId, ResponseFn> callbacks_;
-  std::unordered_map<RequestId, TerminationFn> terminations_;
-  std::vector<int> outstanding_;  // tasks submitted minus completed, per worker
-  // Rotating start index for the refill scan, so light load does not
-  // always feed worker 0 first (subgraph pinning would otherwise skew all
-  // locality onto low-numbered workers).
-  int refill_start_ = 0;
-  // Pending shedding deadlines, earliest first (manager thread only).
-  // Entries for requests that finished or started executing are lazily
-  // discarded when they surface.
-  std::priority_queue<std::pair<double, RequestId>,
-                      std::vector<std::pair<double, RequestId>>,
-                      std::greater<std::pair<double, RequestId>>>
-      deadlines_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<int> shard_of_worker_;
+
   MetricsCollector metrics_;
   FaultInjector fault_injector_;
 
-  BlockingQueue<ManagerMsg> inbox_;
   std::vector<std::unique_ptr<BlockingQueue<WorkerTask>>> task_queues_;
   std::vector<std::unique_ptr<WorkerPipeline>> pipelines_;
 
-  std::thread manager_thread_;
   std::vector<std::thread> worker_threads_;  // one staging + one exec thread per worker
   std::atomic<RequestId> next_request_id_{1};
   std::atomic<int64_t> tasks_executed_{0};
   std::atomic<int64_t> tasks_failed_{0};
+  std::atomic<int64_t> steals_{0};
   std::atomic<size_t> unfinished_requests_{0};
   std::atomic<bool> started_{false};
   std::atomic<bool> shutdown_{false};

@@ -1,5 +1,6 @@
 #include "src/core/sim_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -10,41 +11,70 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
                      SimEngineOptions options)
     : registry_(registry),
       pipeline_depth_(options.pipeline_depth),
-      queue_timeout_micros_(options.queue_timeout_micros),
+      queue_timeout_micros_(options.EffectiveAdmission().queue_timeout_micros),
       trace_([this] { return events_.Now(); }) {
   BM_CHECK(registry != nullptr);
   BM_CHECK(cost_model != nullptr);
   BM_CHECK_GT(pipeline_depth_, 0);
+  BM_CHECK_GT(options.num_workers, 0);
+  BM_CHECK_GT(options.num_shards, 0);
+  num_shards_ = std::min(options.num_shards, options.num_workers);
   if (options.enable_tracing) {
     trace_.Enable();
   }
+  metrics_.InitShards(num_shards_);
 
-  processor_ = std::make_unique<RequestProcessor>(
-      registry,
-      /*on_subgraph_ready=*/[this](Subgraph* sg) { scheduler_->EnqueueSubgraph(sg); },
-      /*on_request_complete=*/
-      [this](RequestState* state) {
-        if (state->status == RequestStatus::kShed) {
-          metrics_.RecordDropped();
-          trace_.RequestDrop(state->id);
-          return;
-        }
-        RequestRecord record;
-        record.id = state->id;
-        record.arrival_micros = state->arrival_micros;
-        record.exec_start_micros = state->ExecStartMicros();
-        record.completion_micros = events_.Now();
-        record.num_nodes = state->graph.NumNodes();
-        metrics_.Record(record);
-        trace_.RequestComplete(state->id, state->ExecStartMicros());
-      });
-  scheduler_ = std::make_unique<Scheduler>(registry, processor_.get(), options.scheduler);
-  scheduler_->set_trace(&trace_);
+  shard_of_worker_.assign(static_cast<size_t>(options.num_workers), 0);
+  for (int s = 0; s < num_shards_; ++s) {
+    auto shard = std::make_unique<SimShard>();
+    SimShard* sh = shard.get();
+    sh->id = s;
+    sh->worker_begin = s * options.num_workers / num_shards_;
+    sh->worker_end = (s + 1) * options.num_workers / num_shards_;
+    BM_CHECK_LT(sh->worker_begin, sh->worker_end);
+    for (int w = sh->worker_begin; w < sh->worker_end; ++w) {
+      shard_of_worker_[static_cast<size_t>(w)] = s;
+    }
+    sh->processor = std::make_unique<RequestProcessor>(
+        registry,
+        /*on_subgraph_ready=*/
+        [sh](Subgraph* sg) { sh->scheduler->EnqueueSubgraph(sg); },
+        /*on_request_complete=*/
+        [this, sh](RequestState* state) {
+          sh->stealable.erase({state->priority, state->id});
+          if (state->status == RequestStatus::kShed) {
+            metrics_.RecordDropped();
+            trace_.RequestDrop(state->id);
+            return;
+          }
+          RequestRecord record;
+          record.id = state->id;
+          record.arrival_micros = state->arrival_micros;
+          record.exec_start_micros = state->ExecStartMicros();
+          record.completion_micros = events_.Now();
+          record.num_nodes = state->graph.NumNodes();
+          metrics_.Record(record);
+          metrics_.shard(sh->id).completions.fetch_add(1, std::memory_order_relaxed);
+          trace_.RequestComplete(state->id, state->ExecStartMicros());
+        });
+    sh->scheduler =
+        std::make_unique<Scheduler>(registry, sh->processor.get(), options.scheduler);
+    sh->scheduler->set_trace(&trace_);
+    // Task ids partition across shards (seed s, stride S) so trace ids stay
+    // globally unique; with one shard this is the identity numbering.
+    sh->scheduler->SetTaskIdSpace(static_cast<uint64_t>(s),
+                                  static_cast<uint64_t>(num_shards_));
+    shards_.push_back(std::move(shard));
+  }
   pool_ = std::make_unique<SimWorkerPool>(options.num_workers, &events_, cost_model);
 
   pool_->set_on_task_start([this](const BatchedTask& task) {
+    // A task's entries all belong to the shard that owns its worker: tasks
+    // are formed by that shard's scheduler out of its own processor.
+    SimShard& sh = *shards_[static_cast<size_t>(
+        shard_of_worker_[static_cast<size_t>(task.worker)])];
     for (const TaskEntry& entry : task.entries) {
-      RequestState* state = processor_->FindRequest(entry.request);
+      RequestState* state = sh.processor->FindRequest(entry.request);
       if (state != nullptr) {
         state->MarkExecStarted(events_.Now());
       }
@@ -53,13 +83,15 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
   });
   pool_->set_on_task_done([this](const BatchedTask& task) {
     trace_.ExecEnd(task.id, task.type, task.worker, task.BatchSize());
-    scheduler_->OnTaskCompleted(task);
+    SimShard& sh = *shards_[static_cast<size_t>(
+        shard_of_worker_[static_cast<size_t>(task.worker)])];
+    sh.scheduler->OnTaskCompleted(task);
     // Early termination: if a terminating node just completed, cancel the
     // request's remaining cells (no-op if the request already finished).
     for (const TaskEntry& entry : task.entries) {
       const auto it = terminate_after_.find(entry.request);
       if (it != terminate_after_.end() && it->second == entry.node) {
-        scheduler_->CancelRequest(entry.request);
+        sh.scheduler->CancelRequest(entry.request);
         terminate_after_.erase(it);
       }
     }
@@ -68,37 +100,62 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
     // own idle event.
     TryRefillWorkers();
   });
-  pool_->set_on_idle([this](int worker) { TrySchedule(worker); });
+  pool_->set_on_idle([this](int worker) {
+    TrySchedule(*shards_[static_cast<size_t>(shard_of_worker_[static_cast<size_t>(worker)])],
+                worker);
+  });
 }
 
-RequestId SimEngine::SubmitAt(double at_micros, CellGraph graph, int terminate_after_node) {
+RequestId SimEngine::SubmitAt(double at_micros, CellGraph graph, SubmitOptions opts) {
   const RequestId id = next_request_id_++;
-  if (terminate_after_node >= 0) {
-    BM_CHECK_LT(terminate_after_node, graph.NumNodes());
-    terminate_after_.emplace(id, terminate_after_node);
+  if (opts.terminate_after_node >= 0) {
+    BM_CHECK_LT(opts.terminate_after_node, graph.NumNodes());
+    terminate_after_.emplace(id, opts.terminate_after_node);
   }
+  // Per-request deadline overrides the engine-wide queue timeout; negative
+  // disables shedding for this request.
+  const double deadline =
+      opts.deadline_micros != 0.0 ? opts.deadline_micros : queue_timeout_micros_;
+  // Arrival routing: requests spread across shards by id.
+  SimShard* home =
+      shards_[static_cast<size_t>(id % static_cast<RequestId>(num_shards_))].get();
   // CellGraph is moved into the closure; the arrival event admits it.
   auto shared_graph = std::make_shared<CellGraph>(std::move(graph));
-  events_.ScheduleAt(at_micros, [this, id, at_micros, shared_graph] {
+  events_.ScheduleAt(at_micros, [this, home, id, at_micros, shared_graph,
+                                 priority = opts.priority, deadline] {
     trace_.RequestArrival(at_micros, id, shared_graph->NumNodes());
-    processor_->AddRequest(id, std::move(*shared_graph), at_micros);
+    RequestState* state =
+        home->processor->AddRequest(id, std::move(*shared_graph), at_micros);
+    state->priority = priority;
+    // Every request starts never-scheduled, hence stealable.
+    home->stealable.insert({priority, id});
     // Kick scheduling in a separate same-time event so that all arrivals
     // with identical timestamps are admitted before any task is formed —
     // the real server likewise drains its arrival queue before scheduling.
     events_.ScheduleAt(at_micros, [this] { TryRefillWorkers(); });
-    if (queue_timeout_micros_ > 0.0) {
-      events_.ScheduleAfter(queue_timeout_micros_, [this, id] {
-        RequestState* state = processor_->FindRequest(id);
-        if (state != nullptr && !state->ExecStarted()) {
+    if (deadline > 0.0) {
+      events_.ScheduleAfter(deadline, [this, id] {
+        // The request may have migrated off its home shard; shed it
+        // wherever it lives now.
+        SimShard* owner = nullptr;
+        RequestState* s = FindRequestAnywhere(id, &owner);
+        if (s != nullptr && !s->ExecStarted()) {
           // Shed before any cell started executing (same rule the server's
           // deadline heap applies).
-          state->MarkTerminal(RequestStatus::kShed);
-          scheduler_->CancelRequest(id);
+          s->MarkTerminal(RequestStatus::kShed);
+          owner->scheduler->CancelRequest(id);
         }
       });
     }
   });
   return id;
+}
+
+RequestId SimEngine::SubmitAt(double at_micros, CellGraph graph,
+                              int terminate_after_node) {
+  SubmitOptions opts;
+  opts.terminate_after_node = terminate_after_node;
+  return SubmitAt(at_micros, std::move(graph), opts);
 }
 
 void SimEngine::Run(double deadline_micros) {
@@ -109,22 +166,118 @@ void SimEngine::Run(double deadline_micros) {
   }
 }
 
+size_t SimEngine::NumActiveRequests() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->processor->NumActiveRequests();
+  }
+  return total;
+}
+
+int64_t SimEngine::TotalTasksFormed() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->scheduler->TotalTasksFormed();
+  }
+  return total;
+}
+
+int64_t SimEngine::TotalMigrations() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->scheduler->TotalMigrations();
+  }
+  return total;
+}
+
+RequestState* SimEngine::FindRequestAnywhere(RequestId id, SimShard** owner) {
+  for (auto& shard : shards_) {
+    RequestState* state = shard->processor->FindRequest(id);
+    if (state != nullptr) {
+      *owner = shard.get();
+      return state;
+    }
+  }
+  *owner = nullptr;
+  return nullptr;
+}
+
+RequestState* SimEngine::PopStealable(SimShard& shard) {
+  while (!shard.stealable.empty()) {
+    const auto it = shard.stealable.begin();
+    const RequestId id = it->second;
+    shard.stealable.erase(it);
+    RequestState* state = shard.processor->FindRequest(id);
+    if (state == nullptr || state->ever_scheduled ||
+        state->status != RequestStatus::kOk) {
+      continue;  // stale candidate
+    }
+    return state;
+  }
+  return nullptr;
+}
+
+bool SimEngine::StealInto(SimShard& thief) {
+  // Deterministic victim scan from the next shard up: the single-threaded
+  // event loop makes the whole steal (and hence the figures built on it)
+  // reproducible — this is the testable mirror of the Server's
+  // message-based protocol.
+  for (int i = 1; i < num_shards_; ++i) {
+    SimShard& victim = *shards_[static_cast<size_t>((thief.id + i) % num_shards_)];
+    RequestState* state = PopStealable(victim);
+    if (state == nullptr) {
+      continue;
+    }
+    const RequestId id = state->id;
+    victim.scheduler->DetachRequest(state);
+    std::unique_ptr<RequestState> owned = victim.processor->ReleaseRequest(id);
+    RequestState* adopted = thief.processor->AdoptRequest(std::move(owned));
+    thief.stealable.insert({adopted->priority, id});
+    ++steals_;
+    metrics_.shard(victim.id).steals_out.fetch_add(1, std::memory_order_relaxed);
+    metrics_.shard(thief.id).steals_in.fetch_add(1, std::memory_order_relaxed);
+    trace_.ShardSteal(id, victim.id, thief.id);
+    return true;
+  }
+  return false;
+}
+
 void SimEngine::TryRefillWorkers() {
-  // Watermark refill over the stream depth (queued + running). At the
-  // default depth 1 this is exactly the legacy "schedule when a worker is
-  // idle": QueueDepth(w) == 0 iff IsIdle(w) at event boundaries.
-  for (int w = 0; w < pool_->NumWorkers(); ++w) {
-    if (pool_->QueueDepth(w) < pipeline_depth_) {
-      TrySchedule(w);
-      if (!scheduler_->HasReadyWork()) {
-        break;
+  // Watermark refill over the stream depth (queued + running), per shard.
+  // At the default depth 1 this is exactly the legacy "schedule when a
+  // worker is idle": QueueDepth(w) == 0 iff IsIdle(w) at event boundaries.
+  for (auto& shard : shards_) {
+    for (int w = shard->worker_begin; w < shard->worker_end; ++w) {
+      if (pool_->QueueDepth(w) < pipeline_depth_) {
+        TrySchedule(*shard, w);
+        if (!shard->scheduler->HasReadyWork()) {
+          break;
+        }
       }
+    }
+  }
+  if (num_shards_ <= 1) {
+    return;
+  }
+  // Steal pass: a shard whose worker sits empty with no compatible ready
+  // work pulls one never-scheduled request per empty worker from a peer
+  // (the same whole-request, virgin-only rule as the Server, so pinning is
+  // preserved by construction).
+  for (auto& shard : shards_) {
+    for (int w = shard->worker_begin; w < shard->worker_end; ++w) {
+      if (pool_->QueueDepth(w) != 0 || shard->scheduler->HasCompatibleReadyWork(w)) {
+        continue;
+      }
+      if (!StealInto(*shard)) {
+        return;  // nothing stealable anywhere; later workers fare no better
+      }
+      TrySchedule(*shard, w);
     }
   }
 }
 
-void SimEngine::TrySchedule(int worker) {
-  std::vector<BatchedTask> tasks = scheduler_->Schedule(worker);
+void SimEngine::TrySchedule(SimShard& shard, int worker) {
+  std::vector<BatchedTask> tasks = shard.scheduler->Schedule(worker);
   for (BatchedTask& task : tasks) {
     pool_->Submit(worker, std::move(task));
   }

@@ -5,14 +5,27 @@
 // engine behind every throughput/latency experiment in EXPERIMENTS.md: the
 // scheduling decisions are made by exactly the same code as the
 // real-compute server, only "kernel execution" is simulated.
+//
+// Manager shards (see DESIGN.md "Sharded manager"): like the Server, the
+// simulator partitions scheduler state into EngineOptions::num_shards
+// shards, each owning a RequestProcessor + Scheduler and a contiguous
+// slice of the simulated workers. Arrivals route by request id; a shard
+// whose worker idles with no compatible ready work steals a
+// never-scheduled request from a peer. The event loop is single-threaded,
+// so the same stealing *policy* runs deterministically in virtual time —
+// which is how the sharded policy itself gets reproducible tests.
 
 #ifndef SRC_CORE_SIM_ENGINE_H_
 #define SRC_CORE_SIM_ENGINE_H_
 
 #include <limits>
 #include <memory>
+#include <set>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "src/core/engine_options.h"
 #include "src/core/metrics.h"
 #include "src/core/request_processor.h"
 #include "src/core/scheduler.h"
@@ -24,28 +37,31 @@
 
 namespace batchmaker {
 
-struct SimEngineOptions {
-  int num_workers = 1;
-  // Low watermark on each simulated worker's FIFO stream (queued + running
-  // tasks): the engine refills any worker below this depth, mirroring the
-  // real server's pipelined worker streams. Defaults to 1 — schedule only
-  // when a stream drains — because virtual time has no
-  // completion→manager→schedule latency to hide: a deeper stream buys
-  // nothing and *costs* batching (tasks are formed earlier, before
-  // would-be joiners arrive), so existing simulated figures stay
-  // byte-identical. Depth >= 2 models a runtime that pipelines task
-  // submission and exposes that batching trade-off in virtual time.
-  int pipeline_depth = 1;
-  SchedulerOptions scheduler;
-  // Load shedding (0 = disabled): a request whose execution has not
-  // started within this many micros of arrival is dropped — its cells are
-  // cancelled and it counts as NumDropped rather than completing. Under
-  // overload this converts unbounded queueing into bounded-latency
-  // goodput; see bench/abl_load_shedding.
+// Simulator configuration. The common engine core (workers, shards,
+// pipeline_depth, scheduler, tracing, admission) lives in EngineOptions;
+// see src/core/engine_options.h.
+struct SimEngineOptions : EngineOptions {
+  // Virtual time has no completion→manager→schedule latency to hide: a
+  // deeper stream buys nothing and *costs* batching (tasks form earlier,
+  // before would-be joiners arrive), so the simulator's watermark defaults
+  // to 1 — schedule only when a stream drains — and existing simulated
+  // figures stay byte-identical. Depth >= 2 models a runtime that
+  // pipelines task submission and exposes that trade-off in virtual time.
+  SimEngineOptions() { pipeline_depth = 1; }
+
+  // Deprecated alias, kept one release (see README migration table):
+  // prefer admission.queue_timeout_micros. A non-zero value here wins only
+  // when the admission field is unset. (admission.max_queued_requests is
+  // ignored — the simulator has no admission queue.)
   double queue_timeout_micros = 0.0;
-  // Records structured events (src/obs/) stamped with virtual time; export
-  // with WriteChromeTrace(engine.trace(), path). Off by default.
-  bool enable_tracing = false;
+
+  AdmissionOptions EffectiveAdmission() const {
+    AdmissionOptions a = admission;
+    if (a.queue_timeout_micros == 0.0) {
+      a.queue_timeout_micros = queue_timeout_micros;
+    }
+    return a;
+  }
 };
 
 class SimEngine {
@@ -54,13 +70,15 @@ class SimEngine {
             SimEngineOptions options = {});
 
   // Schedules a request arrival at virtual time `at_micros` (>= current
-  // virtual time). Returns the request id.
-  //
-  // `terminate_after_node` >= 0 models early termination (e.g. the decoder
-  // emitting <eos>): once that node completes, every not-yet-scheduled
-  // node of the request is cancelled and the request returns. The sim has
-  // no token values, so the terminating node is declared up front.
-  RequestId SubmitAt(double at_micros, CellGraph graph, int terminate_after_node = -1);
+  // virtual time). Returns the request id. Per-request parameters
+  // (deadline override, terminate_after_node, priority) ride in `opts`;
+  // the sim has no token values, so early termination is declared up front
+  // via SubmitOptions::terminate_after_node.
+  RequestId SubmitAt(double at_micros, CellGraph graph, SubmitOptions opts = {});
+
+  // Deprecated positional overload (one release; see README migration
+  // table): terminate_after_node as a trailing int.
+  RequestId SubmitAt(double at_micros, CellGraph graph, int terminate_after_node);
 
   // Runs the simulation until all events are processed, or until virtual
   // time reaches `deadline_micros`.
@@ -69,28 +87,59 @@ class SimEngine {
   EventQueue& events() { return events_; }
   const MetricsCollector& metrics() const { return metrics_; }
   const SimWorkerPool& workers() const { return *pool_; }
-  const Scheduler& scheduler() const { return *scheduler_; }
-  size_t NumActiveRequests() const { return processor_->NumActiveRequests(); }
+  // Shard 0's scheduler (the only shard unless num_shards > 1). Aggregate
+  // across shards with TotalTasksFormed()/TotalMigrations() instead.
+  const Scheduler& scheduler() const { return *shards_[0]->scheduler; }
+  size_t NumActiveRequests() const;
+  // Effective shard count (num_shards clamped to [1, num_workers]).
+  int num_shards() const { return num_shards_; }
+  // Requests migrated across shards by the stealing policy.
+  int64_t StealsExecuted() const { return steals_; }
+  int64_t TotalTasksFormed() const;
+  int64_t TotalMigrations() const;
 
   // Event trace (virtual-time timestamps); enable via
-  // SimEngineOptions::enable_tracing or trace().Enable().
+  // EngineOptions::enable_tracing or trace().Enable().
   const TraceRecorder& trace() const { return trace_; }
   TraceRecorder& trace() { return trace_; }
 
  private:
+  // One manager shard: processor + scheduler + steal candidates for a
+  // contiguous worker range (the virtual-time mirror of Server::Shard).
+  struct SimShard {
+    int id = 0;
+    int worker_begin = 0;
+    int worker_end = 0;  // exclusive
+    std::unique_ptr<RequestProcessor> processor;
+    std::unique_ptr<Scheduler> scheduler;
+    // Steal candidates ordered by (priority, id); stale entries are
+    // discarded lazily (see Server::Shard::stealable).
+    std::set<std::pair<int, RequestId>> stealable;
+  };
+
   void TryRefillWorkers();
-  void TrySchedule(int worker);
+  void TrySchedule(SimShard& shard, int worker);
+  // Pops the lowest-priority, oldest never-scheduled request of `shard`.
+  RequestState* PopStealable(SimShard& shard);
+  // Migrates one stealable request from some peer into `thief`, scanning
+  // peers deterministically from (thief.id + 1) % num_shards. Returns
+  // true if a request moved.
+  bool StealInto(SimShard& thief);
+  // Current owner of a request (it may have migrated from its home shard).
+  RequestState* FindRequestAnywhere(RequestId id, SimShard** owner);
 
   const CellRegistry* registry_;
   int pipeline_depth_ = 1;
+  int num_shards_ = 1;
   double queue_timeout_micros_ = 0.0;
   EventQueue events_;
   MetricsCollector metrics_;
   TraceRecorder trace_;
-  std::unique_ptr<RequestProcessor> processor_;
-  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<std::unique_ptr<SimShard>> shards_;
+  std::vector<int> shard_of_worker_;
   std::unique_ptr<SimWorkerPool> pool_;
   RequestId next_request_id_ = 1;
+  int64_t steals_ = 0;
   // request id -> node whose completion triggers cancellation.
   std::unordered_map<RequestId, int> terminate_after_;
 };

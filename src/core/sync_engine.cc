@@ -19,16 +19,24 @@ SyncEngine::SyncEngine(const CellRegistry* registry, SchedulerOptions options)
       [this](RequestState* state) {
         const auto it = outputs_wanted_.find(state->id);
         BM_CHECK(it != outputs_wanted_.end());
-        std::vector<Tensor> outputs;
-        outputs.reserve(it->second.size());
-        for (const ValueRef& ref : it->second) {
-          BM_CHECK(!ref.is_external()) << "outputs must reference node outputs";
-          const auto& node_out = state->node_outputs[static_cast<size_t>(ref.node)];
-          BM_CHECK_LT(static_cast<size_t>(ref.output), node_out.size());
-          outputs.push_back(node_out[static_cast<size_t>(ref.output)]);
+        Response response;
+        response.status = state->status;
+        if (response.status == RequestStatus::kOk) {
+          response.outputs.reserve(it->second.size());
+          for (const ValueRef& ref : it->second) {
+            BM_CHECK(!ref.is_external()) << "outputs must reference node outputs";
+            if (state->nodes[static_cast<size_t>(ref.node)].stage ==
+                NodeStage::kCancelled) {
+              continue;  // early termination cancelled this producer
+            }
+            const auto& node_out = state->node_outputs[static_cast<size_t>(ref.node)];
+            BM_CHECK_LT(static_cast<size_t>(ref.output), node_out.size());
+            response.outputs.push_back(node_out[static_cast<size_t>(ref.output)]);
+          }
         }
-        completed_outputs_.emplace(state->id, std::move(outputs));
+        completed_.emplace(state->id, std::move(response));
         outputs_wanted_.erase(it);
+        terminate_after_.erase(state->id);
         trace_.RequestComplete(state->id, state->ExecStartMicros());
       });
   scheduler_ = std::make_unique<Scheduler>(registry, processor_.get(), options);
@@ -43,12 +51,16 @@ double SyncEngine::NowMicros() const {
 }
 
 RequestId SyncEngine::Submit(CellGraph graph, std::vector<Tensor> externals,
-                             std::vector<ValueRef> outputs_wanted) {
+                             std::vector<ValueRef> outputs_wanted, SubmitOptions opts) {
   BM_CHECK(!externals.empty()) << "SyncEngine runs in real-compute mode";
   const RequestId id = next_request_id_++;
   for (const ValueRef& ref : outputs_wanted) {
     BM_CHECK(!ref.is_external());
     BM_CHECK_LT(ref.node, graph.NumNodes());
+  }
+  if (opts.terminate_after_node >= 0) {
+    BM_CHECK_LT(opts.terminate_after_node, graph.NumNodes());
+    terminate_after_.emplace(id, opts.terminate_after_node);
   }
   outputs_wanted_.emplace(id, std::move(outputs_wanted));
   trace_.RequestArrival(id, graph.NumNodes());
@@ -82,16 +94,32 @@ void SyncEngine::RunToCompletion() {
       ++tasks_executed_;
       task_batch_sizes_.push_back(task.BatchSize());
       scheduler_->OnTaskCompleted(task);
+      // Early termination: if a terminating node just completed, cancel the
+      // request's remaining cells (same rule as the other engines; no-op if
+      // the request already finished).
+      if (!terminate_after_.empty()) {
+        for (const TaskEntry& entry : task.entries) {
+          const auto it = terminate_after_.find(entry.request);
+          if (it != terminate_after_.end() && it->second == entry.node) {
+            terminate_after_.erase(it);
+            scheduler_->CancelRequest(entry.request);
+          }
+        }
+      }
     }
   }
 }
 
-std::vector<Tensor> SyncEngine::TakeOutputs(RequestId id) {
-  const auto it = completed_outputs_.find(id);
-  BM_CHECK(it != completed_outputs_.end()) << "request " << id << " has not completed";
-  std::vector<Tensor> out = std::move(it->second);
-  completed_outputs_.erase(it);
+Response SyncEngine::TakeResponse(RequestId id) {
+  const auto it = completed_.find(id);
+  BM_CHECK(it != completed_.end()) << "request " << id << " has not completed";
+  Response out = std::move(it->second);
+  completed_.erase(it);
   return out;
+}
+
+std::vector<Tensor> SyncEngine::TakeOutputs(RequestId id) {
+  return TakeResponse(id).outputs;
 }
 
 }  // namespace batchmaker

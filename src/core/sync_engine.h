@@ -4,7 +4,10 @@
 // the threaded server, but executes tasks inline on the calling thread.
 // Useful for deterministic numerical tests and simple batch-oriented
 // applications; requests submitted together are batched cell-by-cell
-// exactly as the scheduler dictates.
+// exactly as the scheduler dictates. It is the serial bitwise reference
+// the threaded Server's outputs are tested against, so it accepts the
+// same SubmitOptions and produces the same Response shape — determinism
+// and robustness tests drive all three engines through one code path.
 
 #ifndef SRC_CORE_SYNC_ENGINE_H_
 #define SRC_CORE_SYNC_ENGINE_H_
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "src/core/batch_assembler.h"
+#include "src/core/engine_options.h"
 #include "src/core/request_processor.h"
 #include "src/core/scheduler.h"
 #include "src/graph/cell_registry.h"
@@ -29,15 +33,25 @@ class SyncEngine {
 
   // Admits a request. `outputs_wanted` name the values to return on
   // completion (each must reference a node output of `graph`). Returns the
-  // request id.
+  // request id. Of SubmitOptions, terminate_after_node is honoured
+  // (remaining cells are cancelled once that node completes);
+  // deadline_micros and priority are accepted but ignored — the engine has
+  // no queueing clock to shed against and no shards to steal across.
   RequestId Submit(CellGraph graph, std::vector<Tensor> externals,
-                   std::vector<ValueRef> outputs_wanted);
+                   std::vector<ValueRef> outputs_wanted, SubmitOptions opts = {});
 
   // Runs scheduling + execution until all admitted requests complete.
   void RunToCompletion();
 
-  // Fetches (and removes) the completed outputs of a request. Aborts if the
-  // request has not completed.
+  // Fetches (and removes) the terminal response of a request: its status
+  // and, for kOk, the outputs requested at submission (outputs whose
+  // producing node was cancelled by early termination are skipped, same
+  // rule as the Server). Aborts if the request has not reached a terminal
+  // state — run RunToCompletion() first.
+  Response TakeResponse(RequestId id);
+
+  // Deprecated alias (one release; see README migration table): the
+  // outputs of TakeResponse, dropping the status.
   std::vector<Tensor> TakeOutputs(RequestId id);
 
   // Tasks executed so far (to observe batching behaviour in tests).
@@ -67,7 +81,9 @@ class SyncEngine {
   int64_t tasks_executed_ = 0;
   std::vector<int> task_batch_sizes_;
   std::unordered_map<RequestId, std::vector<ValueRef>> outputs_wanted_;
-  std::unordered_map<RequestId, std::vector<Tensor>> completed_outputs_;
+  std::unordered_map<RequestId, Response> completed_;
+  // request id -> node whose completion triggers cancellation.
+  std::unordered_map<RequestId, int> terminate_after_;
 };
 
 }  // namespace batchmaker

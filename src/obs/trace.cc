@@ -22,9 +22,19 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kWorkerIdle: return "worker_idle";
     case TraceEventKind::kRequestReject: return "request_reject";
     case TraceEventKind::kTaskFailed: return "task_failed";
+    case TraceEventKind::kShardSteal: return "shard_steal";
   }
   return "unknown";
 }
+
+namespace {
+// Manager-shard tag of the current thread; -1 = no affinity.
+thread_local int t_thread_shard = -1;
+}  // namespace
+
+void TraceRecorder::SetThreadShard(int shard) { t_thread_shard = shard; }
+
+int TraceRecorder::ThreadShard() { return t_thread_shard; }
 
 const char* SchedCriterionName(SchedCriterion criterion) {
   switch (criterion) {
@@ -39,6 +49,9 @@ const char* SchedCriterionName(SchedCriterion criterion) {
 TraceRecorder::TraceRecorder(ClockFn clock) : clock_(std::move(clock)) {}
 
 void TraceRecorder::Record(TraceEvent event) {
+  if (event.shard < 0) {
+    event.shard = t_thread_shard;
+  }
   const size_t shard =
       std::hash<std::thread::id>{}(std::this_thread::get_id()) % kNumShards;
   Shard& s = shards_[shard];
@@ -199,6 +212,14 @@ void TraceRecorder::TaskFailed(uint64_t task_id, CellTypeId type, int worker,
   }
   Record(TraceEvent{.kind = TraceEventKind::kTaskFailed, .type = type, .worker = worker,
                     .ts_micros = NowMicros(), .id = task_id, .value = batch_size});
+}
+
+void TraceRecorder::ShardSteal(RequestId id, int from_shard, int to_shard) {
+  if (!enabled()) {
+    return;
+  }
+  Record(TraceEvent{.kind = TraceEventKind::kShardSteal, .ts_micros = NowMicros(),
+                    .id = id, .value = from_shard, .shard = to_shard});
 }
 
 int64_t TraceRecorder::Count(TraceEventKind kind) const {

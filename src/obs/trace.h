@@ -53,8 +53,9 @@ enum class TraceEventKind : uint8_t {
   kWorkerIdle,          // worker; ts = gap begin, aux_micros = gap end
   kRequestReject,       // id = request (refused at admission, never admitted)
   kTaskFailed,          // id = task, type, worker, value = batch size
+  kShardSteal,          // id = request, shard = thief, value = victim shard
 };
-inline constexpr int kNumTraceEventKinds = 15;
+inline constexpr int kNumTraceEventKinds = 16;
 
 // Name for logs/export, e.g. "request_arrival".
 const char* TraceEventKindName(TraceEventKind kind);
@@ -82,6 +83,11 @@ struct TraceEvent {
   double aux_micros = -1.0;
   uint64_t id = 0;  // request id or task id, per kind
   int value = 0;    // kind-specific payload (batch size, node count, ...)
+  // Manager shard the event belongs to (sharded manager, DESIGN.md); -1 on
+  // single-manager engines and on threads with no shard affinity. Stamped
+  // automatically from the recording thread's shard tag (SetThreadShard)
+  // unless the Record* method set it explicitly (kShardSteal).
+  int shard = -1;
 };
 
 class TraceRecorder {
@@ -133,6 +139,17 @@ class TraceRecorder {
   // ...and a batched task whose execution failed (fault injection or a
   // thrown cell error); its innocent entries are reverted and requeued.
   void TaskFailed(uint64_t task_id, CellTypeId type, int worker, int batch_size);
+  // Sharded manager: request `id` migrated from shard `from_shard` to
+  // `to_shard` through the work-stealing protocol (recorded by the thief
+  // when it adopts the request).
+  void ShardSteal(RequestId id, int from_shard, int to_shard);
+
+  // Tags the calling thread with a manager-shard id: every event recorded
+  // from this thread carries it in TraceEvent::shard (unless the event set
+  // its own). Engines tag their shard manager threads and workers once at
+  // thread start; -1 clears the tag.
+  static void SetThreadShard(int shard);
+  static int ThreadShard();
 
   // ---- Aggregates (thread-safe) ----
 

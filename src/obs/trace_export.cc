@@ -63,9 +63,13 @@ Json ChromeTraceJson(const TraceRecorder& recorder, const TraceTypeNamer& namer)
         e["tid"] = ev.worker;
         e["ts"] = it->second->ts_micros;
         e["dur"] = ev.ts_micros - it->second->ts_micros;
-        e["args"] = JsonObject{{"task", ev.id},
-                               {"type", TypeName(namer, ev.type)},
-                               {"batch_size", ev.value}};
+        JsonObject exec_args{{"task", ev.id},
+                             {"type", TypeName(namer, ev.type)},
+                             {"batch_size", ev.value}};
+        if (ev.shard >= 0) {
+          exec_args["shard"] = ev.shard;
+        }
+        e["args"] = std::move(exec_args);
         out.push_back(Json(std::move(e)));
         open_exec.erase(it);
         break;
@@ -153,6 +157,9 @@ Json ChromeTraceJson(const TraceRecorder& recorder, const TraceTypeNamer& namer)
         }
         if (ev.kind == TraceEventKind::kTaskFormed) {
           args["criterion"] = SchedCriterionName(ev.criterion);
+        }
+        if (ev.shard >= 0) {
+          args["shard"] = ev.shard;
         }
         e["args"] = std::move(args);
         out.push_back(Json(std::move(e)));

@@ -1,0 +1,387 @@
+// API conformance across the three engines: one submission surface
+// (EngineOptions core + SubmitOptions + Response) must drive Server,
+// SimEngine and SyncEngine through *identical* calling code. The tests
+// below funnel every engine through one adapter struct, so a signature
+// drift in any engine breaks compilation here before it breaks users.
+// The deprecated aliases (old option field names, positional overloads,
+// SyncEngine::TakeOutputs) are exercised deliberately — they must keep
+// working for one release (see the README migration table).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "src/core/server.h"
+#include "src/core/sim_engine.h"
+#include "src/core/sync_engine.h"
+#include "tests/test_models.h"
+
+namespace batchmaker {
+namespace {
+
+std::vector<Tensor> MakeChainExternals(const std::vector<Tensor>& xs, int64_t hidden) {
+  std::vector<Tensor> ext = xs;
+  ext.push_back(ExternalZeroVecTensor(hidden));
+  ext.push_back(ExternalZeroVecTensor(hidden));
+  return ext;
+}
+
+struct ChainRequest {
+  int length = 0;
+  std::vector<Tensor> xs;
+};
+
+std::vector<ChainRequest> MakeChainRequests(int count, int64_t input_dim,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ChainRequest> requests;
+  for (int i = 0; i < count; ++i) {
+    ChainRequest r;
+    r.length = 1 + static_cast<int>(rng.NextBelow(6));
+    for (int t = 0; t < r.length; ++t) {
+      r.xs.push_back(Tensor::RandomUniform(Shape{1, input_dim}, 1.0f, &rng));
+    }
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+// The uniform submission surface, as seen by engine-agnostic calling
+// code: submit with SubmitOptions, later collect the terminal Response.
+// Each engine gets a thin adapter below; DriveEngine() itself never
+// mentions an engine type.
+struct EngineAdapter {
+  std::function<RequestId(CellGraph graph, std::vector<Tensor> externals,
+                          std::vector<ValueRef> outputs_wanted, SubmitOptions opts)>
+      submit;
+  std::function<Response(RequestId id)> wait;
+};
+
+// Identical submission code for every engine: submits all requests (the
+// per-request SubmitOptions come from `opts_for`), then collects the
+// terminal responses in submission order.
+std::vector<Response> DriveEngine(const EngineAdapter& engine, const LstmModel& model,
+                                  const std::vector<ChainRequest>& requests,
+                                  int64_t hidden,
+                                  const std::function<SubmitOptions(int)>& opts_for) {
+  std::vector<RequestId> ids;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ChainRequest& r = requests[i];
+    ids.push_back(engine.submit(model.Unfold(r.length), MakeChainExternals(r.xs, hidden),
+                                {ValueRef::Output(r.length - 1, 0)},
+                                opts_for(static_cast<int>(i))));
+  }
+  std::vector<Response> responses;
+  for (const RequestId id : ids) {
+    responses.push_back(engine.wait(id));
+  }
+  return responses;
+}
+
+EngineAdapter AdaptServer(Server* server) {
+  // Server: callback-based; the adapter parks each Response in a shared
+  // promise map keyed by id.
+  auto futures = std::make_shared<
+      std::unordered_map<RequestId, std::future<Response>>>();
+  EngineAdapter adapter;
+  adapter.submit = [server, futures](CellGraph graph, std::vector<Tensor> externals,
+                                     std::vector<ValueRef> outputs_wanted,
+                                     SubmitOptions opts) {
+    auto promise = std::make_shared<std::promise<Response>>();
+    const RequestId id = server->Submit(
+        std::move(graph), std::move(externals), std::move(outputs_wanted),
+        [promise](RequestId, RequestStatus status, std::vector<Tensor> outputs) {
+          promise->set_value(Response{status, std::move(outputs)});
+        },
+        opts);
+    futures->emplace(id, promise->get_future());
+    return id;
+  };
+  adapter.wait = [futures](RequestId id) { return futures->at(id).get(); };
+  return adapter;
+}
+
+EngineAdapter AdaptSyncEngine(SyncEngine* engine) {
+  EngineAdapter adapter;
+  adapter.submit = [engine](CellGraph graph, std::vector<Tensor> externals,
+                            std::vector<ValueRef> outputs_wanted, SubmitOptions opts) {
+    return engine->Submit(std::move(graph), std::move(externals),
+                          std::move(outputs_wanted), opts);
+  };
+  adapter.wait = [engine](RequestId id) {
+    engine->RunToCompletion();  // idempotent once drained
+    return engine->TakeResponse(id);
+  };
+  return adapter;
+}
+
+EngineAdapter AdaptSimEngine(SimEngine* engine) {
+  // SimEngine computes no tensors (virtual time), so its adapter ignores
+  // externals and synthesizes the Response status from the metrics
+  // records — which is exactly what conformance means for it: the same
+  // SubmitOptions are accepted and the request reaches completion.
+  EngineAdapter adapter;
+  adapter.submit = [engine](CellGraph graph, std::vector<Tensor> /*externals*/,
+                            std::vector<ValueRef> /*outputs_wanted*/,
+                            SubmitOptions opts) {
+    return engine->SubmitAt(0.0, std::move(graph), opts);
+  };
+  adapter.wait = [engine](RequestId id) {
+    engine->Run();
+    for (const RequestRecord& r : engine->metrics().records()) {
+      if (r.id == id) {
+        return Response{RequestStatus::kOk, {}};
+      }
+    }
+    return Response{RequestStatus::kFailed, {}};
+  };
+  return adapter;
+}
+
+CostModel UnitCostModel(const CellRegistry& registry) {
+  CostModel model;
+  for (CellTypeId t = 0; t < registry.NumTypes(); ++t) {
+    model.SetCurve(t, UnitCostCurve());
+  }
+  return model;
+}
+
+TEST(ApiConformanceTest, IdenticalSubmissionCodeDrivesAllThreeEngines) {
+  constexpr int64_t kHidden = 4;
+  constexpr int kRequests = 8;
+  const auto requests = MakeChainRequests(kRequests, kHidden, /*seed=*/61);
+  const auto opts_for = [](int i) {
+    return SubmitOptions{.priority = i % 2};  // exercised, must not perturb results
+  };
+
+  // SyncEngine: the serial reference.
+  TinyLstmFixture sync_fix;
+  SyncEngine sync(&sync_fix.registry);
+  const EngineAdapter sync_adapter = AdaptSyncEngine(&sync);
+  const auto sync_responses =
+      DriveEngine(sync_adapter, sync_fix.model, requests, kHidden, opts_for);
+
+  // Server: same DriveEngine call, bitwise-identical outputs expected.
+  TinyLstmFixture srv_fix;
+  ServerOptions srv_options;
+  srv_options.num_workers = 2;
+  Server server(&srv_fix.registry, srv_options);
+  server.Start();
+  const EngineAdapter srv_adapter = AdaptServer(&server);
+  const auto srv_responses =
+      DriveEngine(srv_adapter, srv_fix.model, requests, kHidden, opts_for);
+  server.Shutdown();
+
+  // SimEngine: same DriveEngine call in virtual time.
+  TinyLstmFixture sim_fix;
+  const CostModel cost = UnitCostModel(sim_fix.registry);
+  SimEngine sim(&sim_fix.registry, &cost);
+  const EngineAdapter sim_adapter = AdaptSimEngine(&sim);
+  const auto sim_responses =
+      DriveEngine(sim_adapter, sim_fix.model, requests, kHidden, opts_for);
+
+  ASSERT_EQ(sync_responses.size(), static_cast<size_t>(kRequests));
+  ASSERT_EQ(srv_responses.size(), static_cast<size_t>(kRequests));
+  ASSERT_EQ(sim_responses.size(), static_cast<size_t>(kRequests));
+  for (int i = 0; i < kRequests; ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    ASSERT_TRUE(sync_responses[idx].ok()) << "request " << i;
+    ASSERT_TRUE(srv_responses[idx].ok()) << "request " << i;
+    EXPECT_TRUE(sim_responses[idx].ok()) << "request " << i;
+    ASSERT_EQ(srv_responses[idx].outputs.size(), sync_responses[idx].outputs.size());
+    EXPECT_TRUE(srv_responses[idx].outputs[0].ElementsEqual(
+        sync_responses[idx].outputs[0]))
+        << "request " << i << ": server differs from sync reference";
+  }
+}
+
+TEST(ApiConformanceTest, TerminateAfterNodeBehavesIdenticallyAcrossEngines) {
+  // A chain of 6 with terminate_after_node = 2 and both the terminating
+  // node's output and the (now cancelled) final node's output wanted: all
+  // engines must cancel the tail, and the real-compute engines must return
+  // exactly one tensor (the cancelled producer's output is skipped) with
+  // identical bits.
+  constexpr int64_t kHidden = 4;
+  constexpr int kLength = 6;
+  constexpr int kStop = 2;
+  Rng data_rng(62);
+  std::vector<Tensor> xs;
+  for (int t = 0; t < kLength; ++t) {
+    xs.push_back(Tensor::RandomUniform(Shape{1, kHidden}, 1.0f, &data_rng));
+  }
+  const std::vector<ValueRef> wanted = {ValueRef::Output(kStop, 0),
+                                        ValueRef::Output(kLength - 1, 0)};
+  const SubmitOptions opts{.terminate_after_node = kStop};
+
+  TinyLstmFixture sync_fix;
+  SyncEngine sync(&sync_fix.registry);
+  const RequestId sync_id = sync.Submit(sync_fix.model.Unfold(kLength),
+                                        MakeChainExternals(xs, kHidden), wanted, opts);
+  sync.RunToCompletion();
+  const Response sync_res = sync.TakeResponse(sync_id);
+  ASSERT_TRUE(sync_res.ok());
+  ASSERT_EQ(sync_res.outputs.size(), 1u);  // final node cancelled, skipped
+
+  TinyLstmFixture srv_fix;
+  Server server(&srv_fix.registry);
+  server.Start();
+  const Response srv_res = server.SubmitAndWait(
+      srv_fix.model.Unfold(kLength), MakeChainExternals(xs, kHidden), wanted, opts);
+  server.Shutdown();
+  ASSERT_TRUE(srv_res.ok());
+  ASSERT_EQ(srv_res.outputs.size(), 1u);
+  EXPECT_TRUE(srv_res.outputs[0].ElementsEqual(sync_res.outputs[0]));
+
+  TinyLstmFixture sim_fix;
+  const CostModel cost = UnitCostModel(sim_fix.registry);
+  SimEngine sim(&sim_fix.registry, &cost);
+  sim.SubmitAt(0.0, sim_fix.model.Unfold(kLength), opts);
+  sim.Run();
+  ASSERT_EQ(sim.metrics().NumCompleted(), 1u);
+  // The tail was cancelled: fewer tasks formed than chain steps.
+  EXPECT_LT(sim.TotalTasksFormed(), kLength);
+}
+
+TEST(ApiConformanceTest, EngineOptionsCoreConfiguresServerAndSimAlike) {
+  // One configuration function, written against the EngineOptions base,
+  // applies to both derived option structs.
+  const auto configure = [](EngineOptions& o) {
+    o.num_workers = 2;
+    o.num_shards = 2;
+    o.enable_tracing = true;
+    o.admission.queue_timeout_micros = 1e9;  // armed but never fires here
+  };
+
+  TinyLstmFixture srv_fix;
+  ServerOptions srv_options;
+  configure(srv_options);
+  Server server(&srv_fix.registry, srv_options);
+  server.Start();
+  Rng data_rng(63);
+  std::vector<Tensor> xs = {Tensor::RandomUniform(Shape{1, 4}, 1.0f, &data_rng)};
+  const Response res = server.SubmitAndWait(
+      srv_fix.model.Unfold(1), MakeChainExternals(xs, 4), {ValueRef::Output(0, 0)});
+  server.Shutdown();
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(server.num_shards(), 2);
+  EXPECT_TRUE(server.trace().enabled());
+
+  TinyLstmFixture sim_fix;
+  const CostModel cost = UnitCostModel(sim_fix.registry);
+  SimEngineOptions sim_options;
+  configure(sim_options);
+  SimEngine sim(&sim_fix.registry, &cost, sim_options);
+  sim.SubmitAt(0.0, sim_fix.model.Unfold(3));
+  sim.Run();
+  EXPECT_EQ(sim.metrics().NumCompleted(), 1u);
+  EXPECT_EQ(sim.num_shards(), 2);
+  EXPECT_TRUE(sim.trace().enabled());
+}
+
+TEST(ApiConformanceTest, NumShardsClampsToNumWorkers) {
+  TinyLstmFixture fix;
+  ServerOptions options;
+  options.num_workers = 2;
+  options.num_shards = 8;
+  Server server(&fix.registry, options);
+  EXPECT_EQ(server.num_shards(), 2);
+
+  const CostModel cost = UnitCostModel(fix.registry);
+  SimEngineOptions sim_options;
+  sim_options.num_workers = 2;
+  sim_options.num_shards = 8;
+  SimEngine sim(&fix.registry, &cost, sim_options);
+  EXPECT_EQ(sim.num_shards(), 2);
+}
+
+// ---- Deprecated aliases (one release; README migration table) ----
+
+TEST(ApiConformanceTest, DeprecatedOptionFieldsFoldIntoAdmission) {
+  // Old loose fields win only while the admission block is unset.
+  ServerOptions old_style;
+  old_style.max_queued_requests = 7;
+  old_style.queue_timeout_micros = 123.0;
+  const AdmissionOptions folded = old_style.EffectiveAdmission();
+  EXPECT_EQ(folded.max_queued_requests, 7u);
+  EXPECT_DOUBLE_EQ(folded.queue_timeout_micros, 123.0);
+
+  // The new admission block takes precedence over the old fields.
+  ServerOptions both;
+  both.max_queued_requests = 7;
+  both.queue_timeout_micros = 123.0;
+  both.admission.max_queued_requests = 9;
+  both.admission.queue_timeout_micros = 456.0;
+  const AdmissionOptions kept = both.EffectiveAdmission();
+  EXPECT_EQ(kept.max_queued_requests, 9u);
+  EXPECT_DOUBLE_EQ(kept.queue_timeout_micros, 456.0);
+
+  SimEngineOptions sim_old;
+  sim_old.queue_timeout_micros = 321.0;
+  EXPECT_DOUBLE_EQ(sim_old.EffectiveAdmission().queue_timeout_micros, 321.0);
+  sim_old.admission.queue_timeout_micros = 654.0;
+  EXPECT_DOUBLE_EQ(sim_old.EffectiveAdmission().queue_timeout_micros, 654.0);
+}
+
+TEST(ApiConformanceTest, DeprecatedPositionalOverloadsStillResolve) {
+  constexpr int64_t kHidden = 4;
+  Rng data_rng(64);
+  std::vector<Tensor> xs;
+  for (int t = 0; t < 3; ++t) {
+    xs.push_back(Tensor::RandomUniform(Shape{1, kHidden}, 1.0f, &data_rng));
+  }
+
+  // Server: old Submit(..., TerminationFn, deadline) and old
+  // SubmitAndWait(..., deadline) shapes.
+  TinyLstmFixture srv_fix;
+  Server server(&srv_fix.registry);
+  server.Start();
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  server.Submit(srv_fix.model.Unfold(3), MakeChainExternals(xs, kHidden),
+                {ValueRef::Output(2, 0)},
+                [&promise](RequestId, RequestStatus status, std::vector<Tensor> out) {
+                  promise.set_value(Response{status, std::move(out)});
+                },
+                /*terminate=*/nullptr, /*deadline_micros=*/0.0);
+  const Response via_old = future.get();
+  const Response via_wait = server.SubmitAndWait(
+      srv_fix.model.Unfold(3), MakeChainExternals(xs, kHidden), {ValueRef::Output(2, 0)},
+      /*deadline_micros=*/0.0);
+  server.Shutdown();
+  ASSERT_TRUE(via_old.ok());
+  ASSERT_TRUE(via_wait.ok());
+  EXPECT_TRUE(via_old.outputs[0].ElementsEqual(via_wait.outputs[0]));
+
+  // SyncEngine: deprecated TakeOutputs equals TakeResponse().outputs.
+  TinyLstmFixture sync_fix;
+  SyncEngine sync(&sync_fix.registry);
+  const RequestId a = sync.Submit(sync_fix.model.Unfold(3),
+                                  MakeChainExternals(xs, kHidden),
+                                  {ValueRef::Output(2, 0)});
+  const RequestId b = sync.Submit(sync_fix.model.Unfold(3),
+                                  MakeChainExternals(xs, kHidden),
+                                  {ValueRef::Output(2, 0)});
+  sync.RunToCompletion();
+  const std::vector<Tensor> old_outputs = sync.TakeOutputs(a);
+  const Response new_response = sync.TakeResponse(b);
+  ASSERT_EQ(old_outputs.size(), 1u);
+  ASSERT_TRUE(new_response.ok());
+  EXPECT_TRUE(old_outputs[0].ElementsEqual(new_response.outputs[0]));
+  EXPECT_TRUE(old_outputs[0].ElementsEqual(via_old.outputs[0]));
+
+  // SimEngine: deprecated SubmitAt(at, graph, terminate_after_node) keeps
+  // the early-termination semantics of the SubmitOptions form.
+  TinyLstmFixture sim_fix;
+  const CostModel cost = UnitCostModel(sim_fix.registry);
+  SimEngine sim(&sim_fix.registry, &cost);
+  sim.SubmitAt(0.0, sim_fix.model.Unfold(10), /*terminate_after_node=*/1);
+  sim.Run();
+  ASSERT_EQ(sim.metrics().NumCompleted(), 1u);
+  EXPECT_LT(sim.TotalTasksFormed(), 10);
+}
+
+}  // namespace
+}  // namespace batchmaker

@@ -206,7 +206,7 @@ TEST_F(AttentionModelTest, EndToEndMatchesManualDecode) {
   }
   const RequestId id = engine.Submit(CellGraph(graph), MakeExternals(src), wanted);
   engine.RunToCompletion();
-  const auto outputs = engine.TakeOutputs(id);
+  const auto outputs = engine.TakeResponse(id).outputs;
   ASSERT_EQ(outputs.size(), static_cast<size_t>(dec_len));
   for (int t = 0; t < dec_len; ++t) {
     EXPECT_EQ(outputs[static_cast<size_t>(t)].IntAt(0, 0),
@@ -231,8 +231,8 @@ TEST_F(AttentionModelTest, AttentionCellsBatchAcrossRequests) {
   // Identical requests must produce identical tokens and batch heavily:
   // total cells = 2 * (3 + 2*5) = 26; with pairwise batching the task
   // count is half that.
-  const auto out_a = engine.TakeOutputs(ids[0]);
-  const auto out_b = engine.TakeOutputs(ids[1]);
+  const auto out_a = engine.TakeResponse(ids[0]).outputs;
+  const auto out_b = engine.TakeResponse(ids[1]).outputs;
   EXPECT_TRUE(out_a[0].ElementsEqual(out_b[0]));
   EXPECT_LE(engine.TasksExecuted(), 13 + 2);
 }

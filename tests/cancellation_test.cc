@@ -168,7 +168,7 @@ TEST(CancelSimTest, EarlyTerminationShortensLatency) {
   options.scheduler.max_tasks_to_submit = 1;
   SimEngine engine(&fix.registry, &cost, options);
   // 30-step chain that "emits <eos>" after node 4.
-  engine.SubmitAt(0.0, fix.model.Unfold(30), /*terminate_after_node=*/4);
+  engine.SubmitAt(0.0, fix.model.Unfold(30), SubmitOptions{.terminate_after_node = 4});
   engine.Run();
   ASSERT_EQ(engine.metrics().NumCompleted(), 1u);
   // Completes right after the 5th unit-cost step (pipelining may have a
@@ -184,7 +184,7 @@ TEST(CancelSimTest, PipelinedInflightStepsStillExecute) {
   SimEngineOptions options;
   options.scheduler.max_tasks_to_submit = 5;  // steps run ahead of completions
   SimEngine engine(&fix.registry, &cost, options);
-  engine.SubmitAt(0.0, fix.model.Unfold(30), /*terminate_after_node=*/2);
+  engine.SubmitAt(0.0, fix.model.Unfold(30), SubmitOptions{.terminate_after_node = 2});
   engine.Run();
   ASSERT_EQ(engine.metrics().NumCompleted(), 1u);
   // With a pipeline depth of 5, up to 5 steps were submitted before the
@@ -200,7 +200,7 @@ TEST(CancelSimTest, MixedTerminatedAndFullRequests) {
   SimEngineOptions options;
   options.scheduler.max_tasks_to_submit = 1;
   SimEngine engine(&fix.registry, &cost, options);
-  engine.SubmitAt(0.0, fix.model.Unfold(10), /*terminate_after_node=*/1);
+  engine.SubmitAt(0.0, fix.model.Unfold(10), SubmitOptions{.terminate_after_node = 1});
   engine.SubmitAt(0.0, fix.model.Unfold(10));
   engine.Run();
   std::map<RequestId, double> done;
@@ -221,7 +221,7 @@ TEST(LoadSheddingTest, LateRequestIsDroppedNotServed) {
   cost.SetCurve(fix.model.cell_type(), CostCurve({{1, 100.0}}));
   SimEngineOptions options;
   options.scheduler.max_tasks_to_submit = 1;
-  options.queue_timeout_micros = 150.0;
+  options.admission.queue_timeout_micros = 150.0;
   SimEngine engine(&fix.registry, &cost, options);
   // Request 1 occupies the worker for 1000us; request 2 arrives at t=10
   // and cannot start within 150us -> dropped.
@@ -240,7 +240,7 @@ TEST(LoadSheddingTest, NoDropsUnderLightLoad) {
   CostModel cost;
   cost.SetCurve(fix.model.cell_type(), UnitCostCurve());
   SimEngineOptions options;
-  options.queue_timeout_micros = 1000.0;
+  options.admission.queue_timeout_micros = 1000.0;
   SimEngine engine(&fix.registry, &cost, options);
   for (int i = 0; i < 5; ++i) {
     engine.SubmitAt(i * 100.0, fix.model.Unfold(5));
@@ -258,7 +258,7 @@ TEST(LoadSheddingTest, ExecutingRequestIsNeverShed) {
   options.scheduler.max_tasks_to_submit = 1;
   // Timeout far shorter than the request's total runtime: it must still
   // finish because execution started before the deadline.
-  options.queue_timeout_micros = 150.0;
+  options.admission.queue_timeout_micros = 150.0;
   SimEngine engine(&fix.registry, &cost, options);
   engine.SubmitAt(0.0, fix.model.Unfold(20));  // runs 2000us, starts at 0
   engine.Run();

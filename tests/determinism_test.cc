@@ -78,7 +78,7 @@ TEST(DeterminismTest, ThreadedServerMatchesSyncEngineBitwise) {
     engine.RunToCompletion();
     for (int i = 0; i < kRequests; ++i) {
       ref_outputs[static_cast<size_t>(i)] =
-          engine.TakeOutputs(ids[static_cast<size_t>(i)]);
+          engine.TakeResponse(ids[static_cast<size_t>(i)]).outputs;
     }
   }
 
@@ -148,7 +148,7 @@ TEST(DeterminismTest, PipelinedStreamsMatchSyncEngineBitwiseAtAnyDepth) {
     engine.RunToCompletion();
     for (int i = 0; i < kRequests; ++i) {
       ref_outputs[static_cast<size_t>(i)] =
-          engine.TakeOutputs(ids[static_cast<size_t>(i)]);
+          engine.TakeResponse(ids[static_cast<size_t>(i)]).outputs;
     }
   }
 

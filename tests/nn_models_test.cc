@@ -150,7 +150,7 @@ TEST(GruTest, UnfoldChainEndToEnd) {
   const RequestId id =
       engine.Submit(model.Unfold(5), std::move(externals), {ValueRef::Output(4, 0)});
   engine.RunToCompletion();
-  const auto outputs = engine.TakeOutputs(id);
+  const auto outputs = engine.TakeResponse(id).outputs;
 
   const CellExecutor& exec = registry.executor(model.cell_type());
   Tensor h = Tensor::Zeros(Shape{1, 4});
@@ -214,7 +214,7 @@ TEST(StackedLstmTest, MatchesManualTwoLayerRun) {
   const RequestId id = engine.Submit(model.Unfold(length), std::move(externals),
                                      {ValueRef::Output(top_last, 0)});
   engine.RunToCompletion();
-  const auto outputs = engine.TakeOutputs(id);
+  const auto outputs = engine.TakeResponse(id).outputs;
 
   // Manual: run layer 0 over xs, then layer 1 over layer 0's h outputs.
   const CellExecutor& l0 = registry.executor(model.layer_type(0));
@@ -339,7 +339,7 @@ TEST(BidiLstmTest, MatchesManualBidirectionalRun) {
   }
   const RequestId id = engine.Submit(model.Unfold(length), std::move(externals), wanted);
   engine.RunToCompletion();
-  const auto outputs = engine.TakeOutputs(id);
+  const auto outputs = engine.TakeResponse(id).outputs;
 
   // Manual forward and backward passes.
   const CellExecutor& fwd = registry.executor(model.forward_type());

@@ -264,7 +264,7 @@ TEST_P(BatchTransparencyTest, BatchedChainsEqualSequentialExecution) {
       h = std::move(out[0]);
       c = std::move(out[1]);
     }
-    const auto outputs = engine.TakeOutputs(s.id);
+    const auto outputs = engine.TakeResponse(s.id).outputs;
     EXPECT_TRUE(outputs[0].AllClose(h, 1e-5f)) << "request " << s.id;
   }
 }

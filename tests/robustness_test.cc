@@ -65,7 +65,7 @@ std::vector<Tensor> ReferenceOutputs(const CellRegistry* registry, const LstmMod
   engine.RunToCompletion();
   std::vector<Tensor> outputs;
   for (const RequestId id : ids) {
-    std::vector<Tensor> out = engine.TakeOutputs(id);
+    std::vector<Tensor> out = engine.TakeResponse(id).outputs;
     outputs.push_back(std::move(out[0]));
   }
   return outputs;
@@ -121,7 +121,7 @@ TEST(RobustnessTest, InvalidSubmissionsAreRejectedNotFatal) {
 TEST(RobustnessTest, AdmissionCapRejectsWhenFull) {
   TinyLstmFixture fix;
   ServerOptions options;
-  options.max_queued_requests = 1;
+  options.admission.max_queued_requests = 1;
   Server server(&fix.registry, options);
   server.Start();
   Rng data_rng(32);
@@ -221,7 +221,7 @@ TEST(RobustnessTest, ExpiredDeadlinesShedQueuedRequests) {
                       shed.fetch_add(1);
                     }
                   },
-                  /*terminate=*/nullptr, /*deadline_micros=*/100.0);
+                  SubmitOptions{.deadline_micros = 100.0});
   }
   server.Shutdown();
 
@@ -428,7 +428,7 @@ TEST(RobustnessTest, ConcurrentStressExactlyOneTerminalCallbackPerRequest) {
   options.pipeline_depth = 2;
   options.fault.fail_rate = 0.05;
   options.fault.seed = 39;
-  options.queue_timeout_micros = 50000.0;  // 50ms: rarely fires, but armed
+  options.admission.queue_timeout_micros = 50000.0;  // 50ms: rarely fires, but armed
   Server server(&fix.registry, options);
   server.Start();
 
@@ -465,7 +465,7 @@ TEST(RobustnessTest, ConcurrentStressExactlyOneTerminalCallbackPerRequest) {
               callback_counts[rid]++;
               statuses[rid] = status;
             },
-            /*terminate=*/nullptr, deadline);
+            SubmitOptions{.deadline_micros = deadline});
         my_ids.push_back(id);
         if (i % 11 == 10) {
           // Cancel a random earlier request from this thread.

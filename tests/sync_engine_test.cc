@@ -49,7 +49,7 @@ TEST(SyncEngineTest, SingleChainMatchesSequentialReference) {
   const RequestId id = engine.Submit(CellGraph(graph), MakeChainExternals(xs),
                                      {ValueRef::Output(5, 0), ValueRef::Output(5, 1)});
   engine.RunToCompletion();
-  const auto outputs = engine.TakeOutputs(id);
+  const auto outputs = engine.TakeResponse(id).outputs;
   ASSERT_EQ(outputs.size(), 2u);
   EXPECT_TRUE(outputs[0].AllClose(ref_h, 1e-5f));
   EXPECT_TRUE(outputs[1].AllClose(ref_c, 1e-5f));
@@ -88,7 +88,7 @@ TEST(SyncEngineTest, BatchedRequestsMatchIsolatedRuns) {
   for (int i = 0; i < 3; ++i) {
     const auto [ref_h, ref_c] =
         ReferenceChain(fix.registry, fix.model.cell_type(), all_xs[static_cast<size_t>(i)]);
-    const auto outputs = engine.TakeOutputs(ids[static_cast<size_t>(i)]);
+    const auto outputs = engine.TakeResponse(ids[static_cast<size_t>(i)]).outputs;
     EXPECT_TRUE(outputs[0].AllClose(ref_h, 1e-5f)) << "request " << i;
   }
 }
@@ -128,7 +128,7 @@ TEST(SyncEngineTest, TreeLstmMatchesRecursiveReference) {
   const RequestId id = engine.Submit(CellGraph(graph), std::move(externals),
                                      {ValueRef::Output(root_node, 0)});
   engine.RunToCompletion();
-  const auto outputs = engine.TakeOutputs(id);
+  const auto outputs = engine.TakeResponse(id).outputs;
   EXPECT_TRUE(outputs[0].AllClose(ref_h, 1e-5f));
 }
 
@@ -174,7 +174,7 @@ TEST(SyncEngineTest, Seq2SeqFeedPreviousDecodesGreedily) {
   SyncEngine engine(&fix.registry);
   const RequestId id = engine.Submit(CellGraph(graph), std::move(externals), wanted);
   engine.RunToCompletion();
-  const auto outputs = engine.TakeOutputs(id);
+  const auto outputs = engine.TakeResponse(id).outputs;
   ASSERT_EQ(outputs.size(), 4u);
   for (int i = 0; i < 4; ++i) {
     EXPECT_EQ(outputs[static_cast<size_t>(i)].IntAt(0, 0),
@@ -199,15 +199,15 @@ TEST(SyncEngineTest, ManyMixedRequestsAllComplete) {
   }
   engine.RunToCompletion();
   for (const RequestId id : ids) {
-    const auto outputs = engine.TakeOutputs(id);
+    const auto outputs = engine.TakeResponse(id).outputs;
     EXPECT_EQ(outputs.size(), 1u);
   }
 }
 
-TEST(SyncEngineDeathTest, TakeOutputsBeforeCompletionAborts) {
+TEST(SyncEngineDeathTest, TakeResponseBeforeCompletionAborts) {
   TinyLstmFixture fix;
   SyncEngine engine(&fix.registry);
-  EXPECT_DEATH(engine.TakeOutputs(99), "not completed");
+  EXPECT_DEATH(engine.TakeResponse(99), "not completed");
 }
 
 }  // namespace

@@ -26,6 +26,25 @@ for arg in "$@"; do
   esac
 done
 
+echo "==> api: no deprecated submission surface outside the conformance test"
+# The old API (SyncEngine::TakeOutputs, loose ServerOptions admission
+# fields, positional deadline/terminate arguments) lives for one release
+# behind aliases, but nothing in-tree may use it except
+# tests/api_conformance_test.cc, which covers the aliases deliberately.
+deprecated=$(grep -rn --include='*.cc' --include='*.cpp' \
+    -e 'TakeOutputs(' \
+    -e '\.queue_timeout_micros *=' \
+    -e '\.max_queued_requests *=' \
+    -e '/\*terminate=\*/' \
+    examples bench tests \
+    | grep -v 'admission\.' \
+    | grep -v 'tests/api_conformance_test.cc' || true)
+if [[ -n "$deprecated" ]]; then
+  echo "deprecated API usage found (migrate to SubmitOptions / EngineOptions.admission):" >&2
+  echo "$deprecated" >&2
+  exit 1
+fi
+
 echo "==> tier-1: clean configure + build + ctest"
 rm -rf build-check
 cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
@@ -40,9 +59,10 @@ if [[ "$run_tsan" == 1 ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
-    --target server_test obs_test thread_pool_test determinism_test robustness_test
+    --target server_test obs_test thread_pool_test determinism_test \
+    robustness_test sharding_test api_conformance_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test'
+    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|sharding_test|api_conformance_test'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -54,9 +74,9 @@ if [[ "$run_asan" == 1 ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
   cmake --build build-asan -j "$(nproc)" \
     --target server_test obs_test thread_pool_test determinism_test \
-    robustness_test cancellation_test
+    robustness_test cancellation_test sharding_test api_conformance_test
   ctest --test-dir build-asan --output-on-failure \
-    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|cancellation_test'
+    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|cancellation_test|sharding_test|api_conformance_test'
 fi
 
 if [[ "$run_perf" == 1 ]]; then
@@ -67,7 +87,9 @@ if [[ "$run_perf" == 1 ]]; then
   python3 tools/compare_bench.py \
     bench/baselines/BENCH_fig07_baseline.json \
     build-check/BENCH_fig07.json \
-    --metric p50_ms:0.25 --metric p99_ms:0.5
+    --metric p50_ms:0.25 --metric p99_ms:0.5 \
+    --assert-ratio tasks_per_sec:shards=2,workers=4:shards=1,workers=4:1.5 \
+    --min-cores 4
 fi
 
 echo "==> all checks passed"

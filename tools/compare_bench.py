@@ -3,21 +3,38 @@
 
 Both files use the shared envelope {"bench": name, "results": [rows]}
 (see bench/bench_common.h). Rows are matched by a key tuple (default:
-rate_rps + pipeline_depth, the fig07 sweep axes) and the run fails if any
-watched metric regresses by more than its threshold relative to the
-baseline.
+rate_rps + pipeline_depth + shards + workers, the fig07 sweep axes) and
+the run fails if any watched metric regresses by more than its threshold
+relative to the baseline.
 
 --metric is repeatable and takes an optional per-metric threshold after a
-colon; a metric without one uses --threshold. The CI perf-smoke job runs:
+colon; a metric without one uses --threshold.
+
+--assert-ratio gates a *scaling* property of the current run alone
+(higher is better), e.g. the sharded manager's task throughput:
+
+    --assert-ratio tasks_per_sec:shards=2,workers=4:shards=1,workers=4:1.5
+
+reads "the tasks_per_sec of the row matching shards=2,workers=4 must be
+at least 1.5x that of the row matching shards=1,workers=4". Each
+selector must match exactly one current row. Because scaling ratios are
+meaningless on a host with fewer cores than the configuration needs,
+--min-cores N skips (loudly) every --assert-ratio check when
+os.cpu_count() < N; the metric thresholds still run.
+
+The CI perf-smoke job runs:
 
     tools/compare_bench.py bench/baselines/BENCH_fig07_baseline.json \
-        build/BENCH_fig07.json --metric p50_ms:0.25 --metric p99_ms:0.5
+        build/BENCH_fig07.json --metric p50_ms:0.25 --metric p99_ms:0.5 \
+        --assert-ratio tasks_per_sec:shards=2,workers=4:shards=1,workers=4:1.5 \
+        --min-cores 4
 
 Exit codes: 0 ok, 1 regression, 2 usage/format error. Only stdlib.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -60,6 +77,79 @@ def parse_metrics(specs, default_threshold):
     return metrics
 
 
+def parse_selector(text):
+    """{"shards": 2.0, "workers": 4.0} from "shards=2,workers=4"."""
+    selector = {}
+    for part in text.split(","):
+        field, sep, value = part.partition("=")
+        if not sep or not field:
+            sys.exit(f"error: bad selector component {part!r} in {text!r} "
+                     "(want field=value)")
+        try:
+            selector[field] = float(value)
+        except ValueError:
+            sys.exit(f"error: non-numeric selector value in {part!r}")
+    return selector
+
+
+def parse_ratios(specs):
+    """[(metric, num_selector, den_selector, min_ratio)] from repeated
+    "metric:num_sel:den_sel:min" specs."""
+    ratios = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 4:
+            sys.exit(f"error: bad --assert-ratio spec {spec!r} "
+                     "(want metric:num_selector:den_selector:min_ratio)")
+        metric, num_text, den_text, min_text = parts
+        try:
+            min_ratio = float(min_text)
+        except ValueError:
+            sys.exit(f"error: bad min ratio in {spec!r}")
+        ratios.append((metric, parse_selector(num_text), parse_selector(den_text),
+                       min_ratio))
+    return ratios
+
+
+def select_row(rows, selector, spec_label):
+    """The single row whose fields match the selector, else exit."""
+    matches = [row for row in rows.values()
+               if all(isinstance(row.get(f), (int, float)) and
+                      float(row[f]) == v for f, v in selector.items())]
+    if len(matches) != 1:
+        sys.exit(f"error: selector {spec_label!r} matched {len(matches)} rows "
+                 f"(need exactly 1)")
+    return matches[0]
+
+
+def check_ratios(ratios, cur, min_cores):
+    cores = os.cpu_count() or 1
+    if min_cores and cores < min_cores:
+        for metric, num_sel, den_sel, min_ratio in ratios:
+            print(f"SKIPPED: --assert-ratio {metric} >= {min_ratio}x "
+                  f"({num_sel} vs {den_sel}): this host has {cores} core(s), "
+                  f"below --min-cores {min_cores}. The scaling gate only "
+                  "means something with enough cores to scale onto; run it "
+                  "on a larger machine.")
+        return False
+    failed = False
+    for metric, num_sel, den_sel, min_ratio in ratios:
+        num_row = select_row(cur, num_sel, str(num_sel))
+        den_row = select_row(cur, den_sel, str(den_sel))
+        num = num_row.get(metric)
+        den = den_row.get(metric)
+        if not isinstance(num, (int, float)) or not isinstance(den, (int, float)):
+            sys.exit(f"error: ratio metric {metric!r} missing or non-numeric")
+        if den <= 0:
+            sys.exit(f"error: ratio denominator {metric} <= 0 for {den_sel}")
+        ratio = num / den
+        verdict = "ok" if ratio >= min_ratio else "FAIL"
+        failed |= ratio < min_ratio
+        print(f"{verdict:>4}  {metric} ratio {num_sel} / {den_sel}: "
+              f"{num:.3f} / {den:.3f} = {ratio:.2f}x (need >= {min_ratio}x)")
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed baseline BENCH json")
@@ -70,8 +160,15 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="default max allowed relative regression "
                              "(0.25 = +25%%) for metrics without their own")
-    parser.add_argument("--keys", default="rate_rps,pipeline_depth",
+    parser.add_argument("--keys", default="rate_rps,pipeline_depth,shards,workers",
                         help="comma-separated row fields forming the match key")
+    parser.add_argument("--assert-ratio", action="append", default=None,
+                        help="metric:num_selector:den_selector:min_ratio — "
+                             "assert a higher-is-better ratio between two "
+                             "rows of the *current* run (repeatable)")
+    parser.add_argument("--min-cores", type=int, default=0,
+                        help="skip --assert-ratio checks (loudly) when "
+                             "os.cpu_count() is below this")
     args = parser.parse_args()
 
     metrics = parse_metrics(args.metric or ["p50_ms"], args.threshold)
@@ -106,6 +203,10 @@ def main():
             label = " ".join(f"{k}={v}" for k, v in zip(keys, key))
             print(f"  {verdict:>4}  {label:<40} {ref:10.3f} -> {got:10.3f} "
                   f"({delta:+7.1%})")
+
+    if args.assert_ratio:
+        failed |= check_ratios(parse_ratios(args.assert_ratio), cur, args.min_cores)
+
     if failed:
         print("regression detected", file=sys.stderr)
         return 1
