@@ -34,8 +34,10 @@ struct AdmissionOptions {
   // ignores it.)
   size_t max_queued_requests = 0;
   // Load shedding: a request still waiting to *begin* executing this many
-  // microseconds after arrival is shed (kShed). 0 disables;
-  // SubmitOptions::deadline_micros overrides it per request.
+  // microseconds after arrival is shed (kShed). 0 disables. A request with
+  // its own SubmitOptions::deadline_micros sheds on whichever of the two
+  // deadlines is tighter; a negative per-request deadline opts out of
+  // shedding entirely.
   double queue_timeout_micros = 0.0;
 };
 
@@ -58,6 +60,11 @@ struct EngineOptions {
   // costs batching.
   int pipeline_depth = 2;
   SchedulerOptions scheduler;
+  // SLA-aware batch formation (DESIGN.md): slack-driven delay/launch of
+  // batches against per-request deadlines, fed by an online-calibrated
+  // cost model on the Server and by the exact cost model in SimEngine.
+  // Off by default — the greedy Algorithm 1 policy, byte-for-byte.
+  BatchPolicyOptions batch_policy;
   // Records structured events (src/obs/) for every request/task; export
   // with WriteChromeTrace(engine.trace(), path). Off by default: the
   // disabled recorder costs one relaxed atomic load per would-be event.
@@ -68,9 +75,12 @@ struct EngineOptions {
 // Per-request submission parameters, accepted uniformly by
 // Server::Submit, SimEngine::SubmitAt and SyncEngine::Submit.
 struct SubmitOptions {
-  // Shedding deadline override, micros after arrival: 0 inherits the
-  // engine-wide admission.queue_timeout_micros, negative disables shedding
-  // for this request. Ignored by SyncEngine (it has no queueing clock).
+  // Per-request end-to-end SLA deadline, micros after arrival: 0 = none,
+  // negative disables shedding for this request entirely. Kept distinct
+  // from the engine-wide admission.queue_timeout_micros (an overload
+  // backstop, not an SLA): shedding fires on whichever of the two is
+  // tighter, and slack-aware batch formation reasons about this deadline
+  // only. Ignored by SyncEngine (it has no queueing clock).
   double deadline_micros = 0.0;
   // Early termination declared up front (e.g. the decoder node after which
   // nothing else is needed): once this node completes, every

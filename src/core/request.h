@@ -104,6 +104,11 @@ struct NodeState {
   // co-batched entry; bounded by Scheduler's retry limit so a
   // deterministically faulting task cannot requeue forever.
   int retries = 0;
+  // Longest path (in cells, this node inclusive) to any sink of the cell
+  // graph: the number of sequential steps still ahead once this node is
+  // ready. Computed lazily by the scheduler when slack-aware batch
+  // formation is on (DESIGN.md "SLA-aware batch formation"); 0 until then.
+  int height = 0;
 };
 
 struct RequestState {
@@ -155,9 +160,35 @@ struct RequestState {
     return true;
   }
 
-  // Per-request deadline override for queue-timeout shedding, micros after
-  // arrival; 0 uses the engine-wide default, negative disables shedding.
+  // Per-request SLA deadline (SubmitOptions::deadline_micros), micros
+  // after arrival; 0 = none, negative disables shedding for this request.
+  // This is the end-to-end target the slack-aware batch formation reasons
+  // about. Kept distinct from the engine-wide queue timeout below: a
+  // queue-timeout is an overload-control backstop, not an SLA.
   double deadline_micros = 0.0;
+  // Engine-wide admission.queue_timeout_micros, stamped at admission so it
+  // migrates with the request across shards; 0 = none.
+  double queue_timeout_micros = 0.0;
+
+  // Effective shedding deadline, micros after arrival: the *tighter* of
+  // the per-request SLA deadline and the engine queue timeout. A negative
+  // per-request deadline opts the request out of shedding entirely.
+  // Returns <= 0 when shedding is disabled.
+  double ShedDeadlineMicros() const {
+    if (deadline_micros < 0.0) {
+      return -1.0;
+    }
+    if (deadline_micros > 0.0 && queue_timeout_micros > 0.0) {
+      return deadline_micros < queue_timeout_micros ? deadline_micros
+                                                    : queue_timeout_micros;
+    }
+    return deadline_micros > 0.0 ? deadline_micros : queue_timeout_micros;
+  }
+
+  // True once the scheduler has computed NodeState::height for this
+  // request's nodes (done once, on first enqueue, only when slack-aware
+  // batch formation is enabled).
+  bool heights_computed = false;
 
   // SubmitOptions::priority: advisory importance, higher = more important.
   // Only consulted when picking cross-shard steal victims (lowest priority

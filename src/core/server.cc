@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <future>
+#include <limits>
 #include <set>
 #include <unordered_set>
 #include <utility>
@@ -168,6 +169,20 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
   }
   metrics_.InitShards(num_shards_);
 
+  // Slack-aware batch formation (DESIGN.md): an online cost model —
+  // seeded with the static Figure-3 anchors, continuously re-fitted from
+  // measured exec spans when calibration is on — feeds every shard
+  // scheduler's delay/launch decision.
+  slack_on_ = options_.batch_policy.slack_batching &&
+              options_.batch_policy.max_delay_micros > 0.0;
+  if (slack_on_) {
+    online_cost_model_ = std::make_unique<OnlineCostModel>();
+    online_cost_model_->set_on_refit(
+        [this](CellTypeId type, int num_anchors, int64_t observations) {
+          trace_.CostModelRefit(type, num_anchors, observations);
+        });
+  }
+
   const int num_workers = options_.num_workers;
   shard_of_worker_.assign(static_cast<size_t>(num_workers), 0);
   for (int i = 0; i < num_workers; ++i) {
@@ -291,6 +306,10 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
     sh->scheduler =
         std::make_unique<Scheduler>(registry, sh->processor.get(), options_.scheduler);
     sh->scheduler->set_trace(&trace_);
+    if (slack_on_) {
+      sh->scheduler->set_cost_model(online_cost_model_.get());
+      sh->scheduler->set_batch_policy(options_.batch_policy);
+    }
     // Task ids partition across shards (seed s, stride S) so trace and
     // fault-injection ids stay globally unique without coordination.
     sh->scheduler->SetTaskIdSpace(static_cast<uint64_t>(s),
@@ -399,10 +418,10 @@ RequestId Server::Submit(CellGraph graph, std::vector<Tensor> externals,
     msg.outputs_wanted = std::move(outputs_wanted);
     msg.on_response = std::move(on_response);
     msg.terminate = std::move(terminate);
-    // Per-request deadline overrides the server-wide queue timeout;
-    // negative disables shedding for this request.
-    msg.deadline_micros = opts.deadline_micros != 0.0 ? opts.deadline_micros
-                                                      : admission_.queue_timeout_micros;
+    // The per-request SLA deadline rides verbatim; the engine-wide queue
+    // timeout is stamped separately at arrival and shedding fires on
+    // whichever of the two is tighter (RequestState::ShedDeadlineMicros).
+    msg.deadline_micros = opts.deadline_micros;
     msg.priority = opts.priority;
     const int num_nodes = msg.graph.NumNodes();
 
@@ -517,6 +536,25 @@ void Server::Shutdown() {
   for (std::thread& t : worker_threads_) {
     t.join();
   }
+  // Fold the schedulers' delayed-launch totals into the per-shard metrics
+  // now that their manager threads have stopped (exactly once: a second
+  // Shutdown call returns at the exchange above).
+  for (auto& shard : shards_) {
+    ShardCounters& counters = metrics_.shard(shard->id);
+    counters.delayed_batches.fetch_add(shard->scheduler->TotalDelayedLaunches(),
+                                       std::memory_order_relaxed);
+    counters.batch_delay_micros.fetch_add(
+        static_cast<int64_t>(shard->scheduler->TotalBatchDelayMicros()),
+        std::memory_order_relaxed);
+  }
+}
+
+size_t Server::PendingDeadlines() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->deadlines.size();
+  }
+  return total;
 }
 
 double Server::WorkerIdleMicros(int worker) const {
@@ -537,18 +575,43 @@ double Server::TotalWorkerIdleMicros() const {
 void Server::ManagerLoop(Shard& shard) {
   for (;;) {
     std::optional<ManagerMsg> msg;
-    if (shard.deadlines.empty()) {
+    // Purge dead heap tops first: a completed/cancelled/executing request's
+    // deadline must never shape the wake-up wait (a stale top would wake
+    // the manager for nothing, or mask a later live deadline behind an
+    // already-passed one).
+    PruneDeadlines(shard);
+    double wake = std::numeric_limits<double>::infinity();
+    if (!shard.deadlines.empty()) {
+      wake = shard.deadlines.top().first;
+    }
+    if (slack_on_) {
+      // Deferred-batch launch hint — only actionable when some owned
+      // worker has stream room; a hint that passes unactioned is expired
+      // below so the loop cannot spin on it.
+      for (size_t i = 0; i < shard.outstanding.size(); ++i) {
+        if (shard.outstanding[i] < options_.pipeline_depth) {
+          wake = std::min(wake, shard.scheduler->NextLaunchMicros());
+          break;
+        }
+      }
+    }
+    if (wake == std::numeric_limits<double>::infinity()) {
       msg = shard.inbox.Pop();
       if (!msg) {
         break;  // closed and drained
       }
     } else {
-      // A shedding deadline is pending: sleep at most until it expires, so
-      // a queued request is shed on time even with no messages in flight.
+      // A shedding deadline or deferred launch is pending: sleep at most
+      // until it fires, so a queued request is shed — and a deferred batch
+      // launched — on time even with no messages in flight.
       const double now = NowMicros();
-      const double wait = shard.deadlines.top().first - now;
+      const double wait = wake - now;
       if (wait <= 0.0) {
         ExpireDeadlines(shard, now);
+        if (slack_on_) {
+          TryRefillWorkers(shard);
+          shard.scheduler->ExpireLaunchHints(NowMicros());
+        }
         continue;
       }
       msg = shard.inbox.PopFor(std::chrono::duration<double, std::micro>(wait));
@@ -557,6 +620,10 @@ void Server::ManagerLoop(Shard& shard) {
           break;  // nullopt with the queue closed implies drained
         }
         ExpireDeadlines(shard, NowMicros());
+        if (slack_on_) {
+          TryRefillWorkers(shard);
+          shard.scheduler->ExpireLaunchHints(NowMicros());
+        }
         continue;
       }
     }
@@ -605,9 +672,11 @@ void Server::HandleArrival(Shard& shard, ArrivalMsg msg) {
   RequestState* state = shard.processor->AddRequest(
       msg.id, std::move(msg.graph), msg.arrival_micros, std::move(msg.externals));
   state->priority = msg.priority;
-  if (msg.deadline_micros > 0.0) {
-    state->deadline_micros = msg.deadline_micros;
-    shard.deadlines.emplace(msg.arrival_micros + msg.deadline_micros, msg.id);
+  state->deadline_micros = msg.deadline_micros;
+  state->queue_timeout_micros = admission_.queue_timeout_micros;
+  const double shed = state->ShedDeadlineMicros();
+  if (shed > 0.0) {
+    shard.deadlines.emplace(msg.arrival_micros + shed, msg.id);
   }
   // Every request starts never-scheduled, hence stealable; the candidacy
   // goes stale the moment the first task forms.
@@ -629,6 +698,20 @@ void Server::HandleCancel(Shard& shard, CancelMsg msg) {
     return;  // already finished (kOk won the race) or terminal
   }
   shard.scheduler->CancelRequest(msg.id);
+}
+
+void Server::PruneDeadlines(Shard& shard) {
+  while (!shard.deadlines.empty()) {
+    RequestState* state = shard.processor->FindRequest(shard.deadlines.top().second);
+    if (state == nullptr || state->ExecStarted() ||
+        state->status != RequestStatus::kOk) {
+      // Finished, migrated away, already executing, or terminal: this
+      // entry can never shed anything — drop it before it shapes a wait.
+      shard.deadlines.pop();
+      continue;
+    }
+    break;
+  }
 }
 
 void Server::ExpireDeadlines(Shard& shard, double now_micros) {
@@ -772,8 +855,11 @@ void Server::HandleMigrate(Shard& shard, MigrateMsg msg) {
   if (msg.terminate) {
     shard.terminations.emplace(id, std::move(msg.terminate));
   }
-  if (state->deadline_micros > 0.0) {
-    shard.deadlines.emplace(state->arrival_micros + state->deadline_micros, id);
+  // Re-key on the destination heap (the stale entry left behind on the
+  // victim's heap is pruned lazily there).
+  const double shed = state->ShedDeadlineMicros();
+  if (shed > 0.0) {
+    shard.deadlines.emplace(state->arrival_micros + shed, id);
   }
   shard.stealable.insert({state->priority, id});
   steals_.fetch_add(1);
@@ -849,7 +935,10 @@ void Server::TryDonate(Shard& shard) {
 }
 
 void Server::TrySchedule(Shard& shard, int worker) {
-  std::vector<BatchedTask> tasks = shard.scheduler->Schedule(worker);
+  // The clock read only feeds the slack policy; skip it (and pass the
+  // ignored 0) on the greedy path.
+  std::vector<BatchedTask> tasks =
+      shard.scheduler->Schedule(worker, slack_on_ ? NowMicros() : 0.0);
   if (tasks.empty()) {
     return;
   }
@@ -1155,6 +1244,12 @@ void Server::ExecLoop(int worker) {
     pipe.cv.notify_all();
     trace_.ExecEnd(st.wt.task.id, st.wt.task.type, worker, batch);
     tasks_executed_.fetch_add(1);
+    if (online_cost_model_ != nullptr && options_.batch_policy.calibrate) {
+      // Calibration sample: measured execute+scatter span for this
+      // (type, batch). The EWMA smooths scheduling noise; every
+      // refit_interval samples the model re-fits the type's cost curve.
+      online_cost_model_->Observe(st.wt.task.type, batch, NowMicros() - exec_start);
+    }
 
     CompletionMsg msg;
     if (!st.poisoned.empty()) {

@@ -81,6 +81,7 @@
 #include "src/core/scheduler.h"
 #include "src/graph/cell_registry.h"
 #include "src/obs/trace.h"
+#include "src/runtime/online_cost_model.h"
 #include "src/util/queue.h"
 
 namespace batchmaker {
@@ -216,6 +217,18 @@ class Server {
   const TraceRecorder& trace() const { return trace_; }
   TraceRecorder& trace() { return trace_; }
 
+  // Deadline-heap entries not yet discarded, summed over shards. Entries
+  // for terminal requests are purged lazily (before each wake-up wait and
+  // whenever they surface), so after a drain this counts only requests
+  // whose deadline lies ahead. Only safe to read after Shutdown.
+  size_t PendingDeadlines() const;
+
+  // The online-calibrated cost model feeding slack-aware batch formation;
+  // null unless EngineOptions::batch_policy.slack_batching is set.
+  const OnlineCostModel* online_cost_model() const {
+    return online_cost_model_.get();
+  }
+
  private:
   struct ArrivalMsg {
     RequestId id;
@@ -225,7 +238,10 @@ class Server {
     ResponseFn on_response;
     TerminationFn terminate;
     double arrival_micros;
-    double deadline_micros;  // effective shedding deadline; <= 0 disables
+    // Per-request SLA deadline (SubmitOptions::deadline_micros, verbatim):
+    // 0 = none, negative opts out of shedding. The engine queue timeout is
+    // stamped onto the RequestState separately at arrival.
+    double deadline_micros;
     int priority = 0;
   };
   struct CompletionMsg {
@@ -301,6 +317,10 @@ class Server {
   // Sheds every deadline-heap request whose deadline passed and that has
   // not begun executing (shard manager thread only).
   void ExpireDeadlines(Shard& shard, double now_micros);
+  // Lazily pops heap entries whose request finished, migrated away or
+  // began executing, so the manager's wake-up wait is never computed from
+  // a dead heap top (shard manager thread only).
+  void PruneDeadlines(Shard& shard);
   void TrySchedule(Shard& shard, int worker);
   void TryRefillWorkers(Shard& shard);
   // Validation half of Submit; returns an error description or empty.
@@ -321,6 +341,15 @@ class Server {
 
   MetricsCollector metrics_;
   FaultInjector fault_injector_;
+  // Slack-aware batch formation: true iff batch_policy enables it with a
+  // nonzero starvation budget. Gates every clock read and wake-hint
+  // computation the policy adds, so the off path stays byte-for-byte
+  // identical to the greedy server.
+  bool slack_on_ = false;
+  // Online-calibrated cost model (created only when slack_on_): workers
+  // feed it measured exec spans; shard schedulers query it for the
+  // delay/launch decision.
+  std::unique_ptr<OnlineCostModel> online_cost_model_;
 
   std::vector<std::unique_ptr<BlockingQueue<WorkerTask>>> task_queues_;
   std::vector<std::unique_ptr<WorkerPipeline>> pipelines_;

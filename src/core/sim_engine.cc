@@ -10,6 +10,7 @@ namespace batchmaker {
 SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
                      SimEngineOptions options)
     : registry_(registry),
+      cost_model_(cost_model),
       pipeline_depth_(options.pipeline_depth),
       queue_timeout_micros_(options.EffectiveAdmission().queue_timeout_micros),
       trace_([this] { return events_.Now(); }) {
@@ -19,6 +20,8 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
   BM_CHECK_GT(options.num_workers, 0);
   BM_CHECK_GT(options.num_shards, 0);
   num_shards_ = std::min(options.num_shards, options.num_workers);
+  slack_on_ = options.batch_policy.slack_batching &&
+              options.batch_policy.max_delay_micros > 0.0;
   if (options.enable_tracing) {
     trace_.Enable();
   }
@@ -60,6 +63,13 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
     sh->scheduler =
         std::make_unique<Scheduler>(registry, sh->processor.get(), options.scheduler);
     sh->scheduler->set_trace(&trace_);
+    if (slack_on_) {
+      // The simulator's device model *is* the cost model, so the policy
+      // sees exact costs — no online calibration needed (or wanted: the
+      // virtual-time paths must never observe anything but the model).
+      sh->scheduler->set_cost_model(cost_model_);
+      sh->scheduler->set_batch_policy(options.batch_policy);
+    }
     // Task ids partition across shards (seed s, stride S) so trace ids stay
     // globally unique; with one shard this is the identity numbering.
     sh->scheduler->SetTaskIdSpace(static_cast<uint64_t>(s),
@@ -103,6 +113,10 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
   pool_->set_on_idle([this](int worker) {
     TrySchedule(*shards_[static_cast<size_t>(shard_of_worker_[static_cast<size_t>(worker)])],
                 worker);
+    // The schedule above may have *deferred* a type instead of launching;
+    // without a wake event the event queue could drain with the batch
+    // still waiting.
+    ArmLaunchWakeups();
   });
 }
 
@@ -112,29 +126,32 @@ RequestId SimEngine::SubmitAt(double at_micros, CellGraph graph, SubmitOptions o
     BM_CHECK_LT(opts.terminate_after_node, graph.NumNodes());
     terminate_after_.emplace(id, opts.terminate_after_node);
   }
-  // Per-request deadline overrides the engine-wide queue timeout; negative
-  // disables shedding for this request.
-  const double deadline =
-      opts.deadline_micros != 0.0 ? opts.deadline_micros : queue_timeout_micros_;
   // Arrival routing: requests spread across shards by id.
   SimShard* home =
       shards_[static_cast<size_t>(id % static_cast<RequestId>(num_shards_))].get();
   // CellGraph is moved into the closure; the arrival event admits it.
   auto shared_graph = std::make_shared<CellGraph>(std::move(graph));
   events_.ScheduleAt(at_micros, [this, home, id, at_micros, shared_graph,
-                                 priority = opts.priority, deadline] {
+                                 priority = opts.priority,
+                                 sla_deadline = opts.deadline_micros] {
     trace_.RequestArrival(at_micros, id, shared_graph->NumNodes());
     RequestState* state =
         home->processor->AddRequest(id, std::move(*shared_graph), at_micros);
     state->priority = priority;
+    // The per-request SLA deadline and the engine queue timeout stay
+    // distinct (same semantics as the Server): shedding fires on whichever
+    // is tighter, the slack policy reasons about the SLA deadline only.
+    state->deadline_micros = sla_deadline;
+    state->queue_timeout_micros = queue_timeout_micros_;
+    const double shed_deadline = state->ShedDeadlineMicros();
     // Every request starts never-scheduled, hence stealable.
     home->stealable.insert({priority, id});
     // Kick scheduling in a separate same-time event so that all arrivals
     // with identical timestamps are admitted before any task is formed —
     // the real server likewise drains its arrival queue before scheduling.
     events_.ScheduleAt(at_micros, [this] { TryRefillWorkers(); });
-    if (deadline > 0.0) {
-      events_.ScheduleAfter(deadline, [this, id] {
+    if (shed_deadline > 0.0) {
+      events_.ScheduleAfter(shed_deadline, [this, id] {
         // The request may have migrated off its home shard; shed it
         // wherever it lives now.
         SimShard* owner = nullptr;
@@ -257,6 +274,7 @@ void SimEngine::TryRefillWorkers() {
     }
   }
   if (num_shards_ <= 1) {
+    ArmLaunchWakeups();
     return;
   }
   // Steal pass: a shard whose worker sits empty with no compatible ready
@@ -269,15 +287,42 @@ void SimEngine::TryRefillWorkers() {
         continue;
       }
       if (!StealInto(*shard)) {
+        ArmLaunchWakeups();
         return;  // nothing stealable anywhere; later workers fare no better
       }
       TrySchedule(*shard, w);
     }
   }
+  ArmLaunchWakeups();
+}
+
+void SimEngine::ArmLaunchWakeups() {
+  if (!slack_on_) {
+    return;
+  }
+  const double now = events_.Now();
+  for (auto& shard : shards_) {
+    const double hint = shard->scheduler->NextLaunchMicros();
+    if (hint <= now || hint >= shard->armed_wake) {
+      continue;  // passed (next Schedule launches greedily) or already armed
+    }
+    SimShard* sh = shard.get();
+    sh->armed_wake = hint;
+    events_.ScheduleAt(hint, [this, sh, hint] {
+      if (sh->armed_wake == hint) {
+        sh->armed_wake = std::numeric_limits<double>::infinity();
+      }
+      TryRefillWorkers();
+      // A hint that passed without a launch (e.g. its nodes were pinned to
+      // a still-busy worker) must not re-arm a same-instant event; the
+      // deferral itself stays, so the next feasible Schedule launches.
+      sh->scheduler->ExpireLaunchHints(events_.Now());
+    });
+  }
 }
 
 void SimEngine::TrySchedule(SimShard& shard, int worker) {
-  std::vector<BatchedTask> tasks = shard.scheduler->Schedule(worker);
+  std::vector<BatchedTask> tasks = shard.scheduler->Schedule(worker, events_.Now());
   for (BatchedTask& task : tasks) {
     pool_->Submit(worker, std::move(task));
   }

@@ -115,10 +115,20 @@ class SimEngine {
     // Steal candidates ordered by (priority, id); stale entries are
     // discarded lazily (see Server::Shard::stealable).
     std::set<std::pair<int, RequestId>> stealable;
+    // Earliest armed wake event for a deferred batch launch (slack-aware
+    // batch formation); +inf = none armed. Earlier hints re-arm; stale
+    // events (the hint moved or the batch already launched) are harmless —
+    // the refill pass they trigger is a no-op.
+    double armed_wake = std::numeric_limits<double>::infinity();
   };
 
   void TryRefillWorkers();
   void TrySchedule(SimShard& shard, int worker);
+  // Arms a virtual-time wake event at each shard's NextLaunchMicros (the
+  // instant a deferred batch must launch), so the slack policy runs at
+  // exact, deterministic instants — the virtual-time mirror of the
+  // Server manager's timed wait.
+  void ArmLaunchWakeups();
   // Pops the lowest-priority, oldest never-scheduled request of `shard`.
   RequestState* PopStealable(SimShard& shard);
   // Migrates one stealable request from some peer into `thief`, scanning
@@ -129,8 +139,13 @@ class SimEngine {
   RequestState* FindRequestAnywhere(RequestId id, SimShard** owner);
 
   const CellRegistry* registry_;
+  const CostModel* cost_model_;
   int pipeline_depth_ = 1;
   int num_shards_ = 1;
+  // Slack-aware batch formation on (batch_policy.slack_batching with a
+  // nonzero starvation budget): gates the wake-event arming so the off
+  // path schedules exactly the greedy event sequence.
+  bool slack_on_ = false;
   double queue_timeout_micros_ = 0.0;
   EventQueue events_;
   MetricsCollector metrics_;

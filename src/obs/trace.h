@@ -54,8 +54,10 @@ enum class TraceEventKind : uint8_t {
   kRequestReject,       // id = request (refused at admission, never admitted)
   kTaskFailed,          // id = task, type, worker, value = batch size
   kShardSteal,          // id = request, shard = thief, value = victim shard
+  kBatchDelayed,        // type, worker, value = batch size, aux = delay micros
+  kCostModelRefit,      // type, id = observations, value = fitted anchors
 };
-inline constexpr int kNumTraceEventKinds = 16;
+inline constexpr int kNumTraceEventKinds = 18;
 
 // Name for logs/export, e.g. "request_arrival".
 const char* TraceEventKindName(TraceEventKind kind);
@@ -143,6 +145,12 @@ class TraceRecorder {
   // `to_shard` through the work-stealing protocol (recorded by the thief
   // when it adopts the request).
   void ShardSteal(RequestId id, int from_shard, int to_shard);
+  // Slack-aware batch formation (DESIGN.md): a deferred cell type finally
+  // launched a batch after `delay_micros` of deliberate waiting...
+  void BatchDelayed(CellTypeId type, int worker, double delay_micros, int batch_size);
+  // ...and the online cost model re-fitted a cell type's cost curve from
+  // `observations` cumulative measured exec spans.
+  void CostModelRefit(CellTypeId type, int num_anchors, int64_t observations);
 
   // Tags the calling thread with a manager-shard id: every event recorded
   // from this thread carries it in TraceEvent::shard (unless the event set

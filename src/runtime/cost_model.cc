@@ -25,7 +25,13 @@ double CostCurve::Micros(int batch) const {
   if (anchors_.size() == 1) {
     return anchors_[0].second;
   }
-  // Find the segment to interpolate (or extrapolate from the edges).
+  if (b <= anchors_[0].first) {
+    // Below-range queries clamp to the first anchor: measured curves are
+    // flat in the small-batch region (Fig. 3) and the first segment's
+    // slope, extrapolated downward, can undershoot any physical floor.
+    return anchors_[0].second;
+  }
+  // Find the segment to interpolate (or extrapolate past the last anchor).
   size_t hi = 1;
   while (hi + 1 < anchors_.size() && anchors_[hi].first < b) {
     ++hi;

@@ -30,8 +30,12 @@ class CostCurve {
  public:
   // `anchors` are (batch, micros) points with strictly increasing batch and
   // positive micros. At least one anchor is required. Queries between
-  // anchors interpolate linearly in (log batch, log micros); queries
-  // outside the anchor range extrapolate with the nearest segment's slope.
+  // anchors interpolate linearly in (log batch, log micros); queries above
+  // the last anchor extrapolate with the last segment's slope. Queries
+  // *below* the first anchor clamp to the first anchor's cost: every
+  // measured device curve (Fig. 3) is flat in the small-batch region, and
+  // downward extrapolation would fall below any physically measurable
+  // floor once online calibration moves the anchors.
   explicit CostCurve(std::vector<std::pair<double, double>> anchors);
 
   double Micros(int batch) const;
@@ -60,6 +64,7 @@ int AutotuneMaxBatch(const CostCurve& curve, int cap);
 class CostModel {
  public:
   CostModel() = default;
+  virtual ~CostModel() = default;
 
   void SetCurve(CellTypeId type, CostCurve curve);
   bool HasCurve(CellTypeId type) const;
@@ -83,8 +88,10 @@ class CostModel {
   double MigrationPenaltyMicros() const { return migration_micros_; }
 
   // Total simulated execution time of a task of `batch` items:
-  // curve(batch) + per_task + per_item * batch.
-  double TaskMicros(CellTypeId type, int batch) const;
+  // curve(batch) + per_task + per_item * batch. Virtual so OnlineCostModel
+  // (src/runtime/online_cost_model.h) can answer from continuously
+  // re-fitted curves while CostCurve::Micros stays the single query API.
+  virtual double TaskMicros(CellTypeId type, int batch) const;
 
  private:
   std::unordered_map<CellTypeId, CostCurve> curves_;

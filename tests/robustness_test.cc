@@ -232,6 +232,103 @@ TEST(RobustnessTest, ExpiredDeadlinesShedQueuedRequests) {
   EXPECT_EQ(server.metrics().NumCompleted(), 1u);
 }
 
+TEST(RobustnessTest, CompletedRequestDeadlinesArePrunedNotReFired) {
+  // Regression (stale deadline-heap entries): a request that completes
+  // before its deadline used to leave its heap entry behind; the manager
+  // would then compute wake-ups from a dead heap top and could try to shed
+  // the id again. Every completed request's entry must be lazily pruned:
+  // after the fleet drains, the heap is empty and nothing was dropped.
+  TinyLstmFixture fix;
+  Server server(&fix.registry);
+  server.Start();
+  Rng data_rng(41);
+  for (int i = 0; i < 16; ++i) {
+    std::vector<Tensor> xs = {Tensor::RandomUniform(Shape{1, 4}, 1.0f, &data_rng)};
+    const Response res = server.SubmitAndWait(
+        fix.model.Unfold(1), MakeChainExternals(xs, 4), {ValueRef::Output(0, 0)},
+        SubmitOptions{.deadline_micros = 200000.0});
+    ASSERT_TRUE(res.ok()) << "request " << i;
+  }
+  server.Shutdown();
+  EXPECT_EQ(server.metrics().NumCompleted(), 16u);
+  EXPECT_EQ(server.metrics().NumDropped(), 0u);
+  // The lazy prune popped every terminal entry: no stale deadline remains
+  // to wake the manager.
+  EXPECT_EQ(server.PendingDeadlines(), 0u);
+}
+
+TEST(RobustnessTest, QueueTimeoutAndSlaDeadlineStayDistinctTighterWins) {
+  // The engine-wide queue timeout and the per-request SLA deadline are
+  // separate knobs; shedding fires on whichever is tighter. Here the queue
+  // timeout (100us) is far tighter than the generous SLA (10s): queued
+  // requests must shed at the timeout, not coast on the big deadline. A
+  // request that opts out entirely (negative deadline) must never shed,
+  // even with the engine-wide timeout set.
+  constexpr int64_t kHidden = 512;
+  constexpr int kChainLen = 12;
+  CellRegistry registry;
+  Rng weight_rng(42);
+  LstmModel model(&registry, LstmSpec{.input_dim = kHidden, .hidden = kHidden},
+                  &weight_rng);
+  ServerOptions options;
+  options.num_workers = 1;
+  options.threads_per_worker = 1;
+  options.pipeline_depth = 1;
+  options.admission.queue_timeout_micros = 100.0;
+  Server server(&registry, options);
+  server.Start();
+  Rng data_rng(43);
+
+  // Request A keeps the single worker busy for many task-times. It opts
+  // out of shedding (negative deadline beats the engine timeout).
+  std::vector<Tensor> xs_a;
+  for (int t = 0; t < kChainLen; ++t) {
+    xs_a.push_back(Tensor::RandomUniform(Shape{1, kHidden}, 1.0f, &data_rng));
+  }
+  std::atomic<int> a_status{-1};
+  server.Submit(model.Unfold(kChainLen), MakeChainExternals(xs_a, kHidden),
+                {ValueRef::Output(kChainLen - 1, 0)},
+                [&](RequestId, RequestStatus status, std::vector<Tensor>) {
+                  a_status.store(static_cast<int>(status));
+                },
+                SubmitOptions{.deadline_micros = -1.0});
+  const auto poll_start = std::chrono::steady_clock::now();
+  while (server.TasksExecuted() < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now() - poll_start, std::chrono::seconds(10))
+        << "request A never started executing";
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  // Each B carries a 10-second SLA — but the 100us queue timeout is
+  // tighter, and the worker is busy far longer than that.
+  constexpr int kShedCandidates = 5;
+  std::atomic<int> shed{0};
+  std::atomic<int> b_callbacks{0};
+  for (int i = 0; i < kShedCandidates; ++i) {
+    std::vector<Tensor> xs = {Tensor::RandomUniform(Shape{1, kHidden}, 1.0f, &data_rng)};
+    server.Submit(model.Unfold(1), MakeChainExternals(xs, kHidden),
+                  {ValueRef::Output(0, 0)},
+                  [&](RequestId, RequestStatus status, std::vector<Tensor>) {
+                    b_callbacks.fetch_add(1);
+                    if (status == RequestStatus::kShed) {
+                      shed.fetch_add(1);
+                    }
+                  },
+                  SubmitOptions{.deadline_micros = 10e6});
+  }
+  server.Shutdown();
+
+  // A was never shed despite blowing through the queue timeout: the
+  // negative deadline opted it out. Every B shed at the timeout despite
+  // its 10-second SLA: tighter wins.
+  EXPECT_EQ(a_status.load(), static_cast<int>(RequestStatus::kOk));
+  EXPECT_EQ(b_callbacks.load(), kShedCandidates);
+  EXPECT_EQ(shed.load(), kShedCandidates);
+  EXPECT_EQ(server.metrics().NumDropped(), static_cast<size_t>(kShedCandidates));
+  EXPECT_EQ(server.metrics().NumCompleted(), 1u);
+  EXPECT_EQ(server.PendingDeadlines(), 0u);
+}
+
 // --- Fault injection -------------------------------------------------------
 
 TEST(RobustnessTest, InjectedFaultKillsVictimOnlyInnocentsBitwiseIdentical) {

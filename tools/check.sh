@@ -45,6 +45,21 @@ if [[ -n "$deprecated" ]]; then
   exit 1
 fi
 
+echo "==> sim: no wall-clock reads inside deterministic virtual-time paths"
+# The simulator's timeline (and the slack policy's launch instants inside
+# it) must be a pure function of the event queue: a steady_clock read in
+# these files would silently break resumable, bit-reproducible runs.
+wallclock=$(grep -n \
+    -e 'steady_clock' -e 'system_clock' -e 'high_resolution_clock' \
+    -e 'NowMicros' \
+    src/core/sim_engine.cc src/runtime/sim_worker.cc src/runtime/event_queue.cc \
+    || true)
+if [[ -n "$wallclock" ]]; then
+  echo "wall-clock read inside a virtual-time path (use events_.Now()):" >&2
+  echo "$wallclock" >&2
+  exit 1
+fi
+
 echo "==> tier-1: clean configure + build + ctest"
 rm -rf build-check
 cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
@@ -90,6 +105,23 @@ if [[ "$run_perf" == 1 ]]; then
     --metric p50_ms:0.25 --metric p99_ms:0.5 \
     --assert-ratio tasks_per_sec:shards=2,workers=4:shards=1,workers=4:1.5 \
     --min-cores 4
+
+  echo "==> perf-smoke: SLA-aware batch formation vs greedy at fixed p99 SLA"
+  (cd build-check && ./bench/fig_overload --smoke --slack --out BENCH_slack.json)
+  # Within-run gates: at 2x overload, slack-aware formation must hold
+  # goodput-at-SLA at least at greedy's level, and serve (not shed) at
+  # least as large a fraction of the offered load (0.95 absorbs run-to-run
+  # Poisson jitter). Gated on --min-cores 2 so single-core hosts skip
+  # loudly (the manager and worker threads need their own cores for
+  # latency numbers to mean anything).
+  python3 tools/compare_bench.py \
+    bench/baselines/BENCH_slack_baseline.json \
+    build-check/BENCH_slack.json \
+    --keys load,slack \
+    --metric p99_ms:0.75 \
+    --assert-ratio goodput_sla_rps:slack=1,load=2:slack=0,load=2:1.0 \
+    --assert-ratio served_rate:slack=1,load=2:slack=0,load=2:0.95 \
+    --min-cores 2
 fi
 
 echo "==> all checks passed"
