@@ -204,7 +204,9 @@ struct BenchRecord {
   std::string shape;  // e.g. "m=512,k=1024,n=4096"
   int64_t batch = 0;
   double ns_per_iter = 0.0;
-  double gflops = 0.0;  // 0 when FLOP/s is not meaningful for the op
+  double gflops = 0.0;       // 0 when FLOP/s is not meaningful for the op
+  std::string precision;     // fp32/bf16/int8; empty = fp32 (pre-existing rows)
+  std::string kernel;        // dispatched GEMM kernel name, e.g. "avx512_vnni_int8"
 };
 
 inline void WriteBenchJson(const std::string& path, const std::string& bench_name,
@@ -217,6 +219,12 @@ inline void WriteBenchJson(const std::string& path, const std::string& bench_nam
     row["batch"] = r.batch;
     row["ns_per_iter"] = r.ns_per_iter;
     row["gflops"] = r.gflops;
+    if (!r.precision.empty()) {
+      row["precision"] = r.precision;
+    }
+    if (!r.kernel.empty()) {
+      row["kernel"] = r.kernel;
+    }
     rows.emplace_back(std::move(row));
   }
   JsonObject doc;

@@ -14,6 +14,7 @@
 #include "src/graph/executor.h"
 #include "src/nn/lstm.h"
 #include "src/tensor/arena.h"
+#include "src/tensor/gemm.h"
 
 namespace batchmaker {
 namespace {
@@ -33,26 +34,43 @@ void MeasureCpuLstm() {
   Rng rng(7);
   const LstmSpec spec{.input_dim = 1024, .hidden = 1024};
   const auto def = BuildLstmCell(spec, &rng);
-  const CellExecutor exec(def.get());
-  // Serving configuration: intermediates come from a recycled arena, as in
-  // the server's workers.
-  TensorArena arena;
-  const ExecContext ctx{/*pool=*/nullptr, &arena};
 
   std::vector<bench::BenchRecord> records;
-  std::printf("%8s %14s %20s\n", "batch", "time", "throughput(ops/s)");
-  for (int b = 1; b <= 64; b *= 2) {
-    const Tensor x = Tensor::RandomUniform(Shape{b, 1024}, 1.0f, &rng);
-    const Tensor h = Tensor::RandomUniform(Shape{b, 1024}, 1.0f, &rng);
-    const Tensor c = Tensor::RandomUniform(Shape{b, 1024}, 1.0f, &rng);
-    const double ns = bench::MeasureTrimmedNs(/*warmup=*/2, b <= 4 ? 20 : 10, [&] {
-      exec.Execute({&x, &h, &c}, &ctx);
-      arena.Reset();
-    });
-    // The step is dominated by the [b, 2h] x [2h, 4h] gate GEMM.
-    const double flop = 2.0 * b * 2048.0 * 4096.0;
-    records.push_back({"lstm_step", "h=1024", b, ns, flop / ns});
-    std::printf("%8d %14s %20.0f\n", b, FormatMicros(ns / 1e3).c_str(), b / (ns * 1e-9));
+  // Precision sweep: the same cell executed fp32 / bf16 / int8 (per-CellDef
+  // precision, quantized weight packs built once at executor construction).
+  for (const Precision prec :
+       {Precision::kF32, Precision::kBf16, Precision::kInt8}) {
+    const CellExecutor exec(def.get(), prec);
+    // Serving configuration: intermediates come from a recycled arena, as
+    // in the server's workers.
+    TensorArena arena;
+    const ExecContext ctx{/*pool=*/nullptr, &arena};
+
+    std::printf("-- precision=%s kernel=%s\n", PrecisionName(prec),
+                GemmKernelName(prec));
+    std::printf("%8s %14s %20s\n", "batch", "time", "throughput(ops/s)");
+    for (int b = 1; b <= 64; b *= 2) {
+      const Tensor x = Tensor::RandomUniform(Shape{b, 1024}, 1.0f, &rng);
+      const Tensor h = Tensor::RandomUniform(Shape{b, 1024}, 1.0f, &rng);
+      const Tensor c = Tensor::RandomUniform(Shape{b, 1024}, 1.0f, &rng);
+      const double ns = bench::MeasureTrimmedNs(/*warmup=*/2, b <= 4 ? 20 : 10, [&] {
+        exec.Execute({&x, &h, &c}, &ctx);
+        arena.Reset();
+      });
+      // The step is dominated by the [b, 2h] x [2h, 4h] gate GEMM.
+      const double flop = 2.0 * b * 2048.0 * 4096.0;
+      bench::BenchRecord rec;
+      rec.op = "lstm_step";
+      rec.shape = "h=1024";
+      rec.batch = b;
+      rec.ns_per_iter = ns;
+      rec.gflops = flop / ns;
+      rec.precision = PrecisionName(prec);
+      rec.kernel = GemmKernelName(prec);
+      records.push_back(std::move(rec));
+      std::printf("%8d %14s %20.0f\n", b, FormatMicros(ns / 1e3).c_str(),
+                  b / (ns * 1e-9));
+    }
   }
   bench::WriteBenchJson("BENCH_fig03.json", "fig03_cpu_lstm_step", records);
 }

@@ -16,16 +16,21 @@
 // tasks_per_sec).
 //
 // Usage: fig07_lstm_throughput_latency [--smoke|--real-only] [--out PATH]
+//                                      [--precision fp32|bf16|int8]
 //   --smoke      skip the simulated sweeps and run a single short low-rate
 //                real-compute point per depth (the CI perf-smoke job)
 //   --real-only  skip the simulated sweeps, run the full real-compute sweep
 //   --out        where to write the JSON rows (default BENCH_fig07.json)
+//   --precision  run the real-compute rows at one precision and restrict
+//                the closed-loop precision sweep to it (default: fp32 rows
+//                plus a fp32/bf16/int8 sweep)
 
 #include <cstring>
 #include <thread>
 
 #include "bench/bench_common.h"
 #include "src/core/server.h"
+#include "src/tensor/gemm.h"
 
 namespace batchmaker {
 namespace {
@@ -46,6 +51,8 @@ struct Fig07Row {
   int64_t steals = 0;    // requests migrated across shards
   int64_t shed = 0;      // requests dropped after their queue deadline passed
   int64_t rejected = 0;  // requests refused at Submit (validation / admission)
+  std::string precision = "fp32";  // EngineOptions::precision of the run
+  std::string kernel;              // dispatched GEMM kernel for that precision
 };
 
 // Same envelope as BENCH_gemm/BENCH_fig03: {"bench": name, "results": [...]}.
@@ -68,6 +75,8 @@ void WriteFig07Json(const std::string& path, const std::vector<Fig07Row>& rows) 
     row["steals"] = r.steals;
     row["shed"] = r.shed;
     row["rejected"] = r.rejected;
+    row["precision"] = r.precision;
+    row["kernel"] = r.kernel;
     out.emplace_back(std::move(row));
   }
   JsonObject doc;
@@ -87,7 +96,7 @@ void WriteFig07Json(const std::string& path, const std::vector<Fig07Row>& rows) 
 // worker-idle gap shrinking with pipeline_depth >= 2 — is what mirrors
 // Figure 7 and the pipelined-streams claim.
 Fig07Row RealComputePoint(double rate, int pipeline_depth, int threads_per_worker,
-                          double duration_s) {
+                          double duration_s, Precision precision = Precision::kF32) {
   constexpr int64_t kHidden = 256;
   constexpr int kMaxLen = 30;
   CellRegistry registry;
@@ -97,6 +106,7 @@ Fig07Row RealComputePoint(double rate, int pipeline_depth, int threads_per_worke
   ServerOptions options;
   options.threads_per_worker = threads_per_worker;
   options.pipeline_depth = pipeline_depth;
+  options.precision = precision;
   Server server(&registry, options);
   server.Start();
 
@@ -143,6 +153,8 @@ Fig07Row RealComputePoint(double rate, int pipeline_depth, int threads_per_worke
   row.steals = server.StealsExecuted();
   row.shed = static_cast<int64_t>(server.metrics().NumDropped());
   row.rejected = static_cast<int64_t>(server.metrics().NumRejected());
+  row.precision = PrecisionName(precision);
+  row.kernel = GemmKernelName(precision);
   return row;
 }
 
@@ -206,7 +218,88 @@ Fig07Row ShardedThroughputPoint(int workers, int shards, int pipeline_depth) {
   row.tasks = server.TasksExecuted();
   row.requests = static_cast<int64_t>(records.size());
   row.steals = server.StealsExecuted();
+  row.kernel = GemmKernelName(Precision::kF32);
   return row;
+}
+
+// Closed-loop compute-bound point for the low-precision speedup gate
+// (rate_rps = 0, workers = 1, h = 256): a fixed batch of requests is
+// submitted back-to-back so the worker's GEMM time — not arrival pacing or
+// manager contention — bounds task throughput. On a VNNI host, the int8
+// row must clear >= 1.5x the tasks/sec of the fp32 row
+// (tools/compare_bench.py --assert-ratio with require-kernel=vnni, loudly
+// skipped elsewhere).
+Fig07Row PrecisionThroughputPoint(Precision precision) {
+  constexpr int64_t kHidden = 256;
+  constexpr int kRequests = 192;
+  CellRegistry registry;
+  Rng weight_rng(3);
+  LstmModel model(&registry, LstmSpec{.input_dim = kHidden, .hidden = kHidden},
+                  &weight_rng);
+  // Fixed batch cap so every precision runs the same task structure and
+  // tasks/sec compares pure per-task execution time.
+  registry.SetMaxBatch(model.cell_type(), 16);
+  ServerOptions options;
+  options.num_workers = 1;
+  options.pipeline_depth = 2;
+  options.precision = precision;
+  Server server(&registry, options);
+  server.Start();
+
+  Rng rng(static_cast<uint64_t>(2000 + static_cast<int>(precision)));
+  const WmtLengthSampler sampler;
+  for (int i = 0; i < kRequests; ++i) {
+    const int len = std::min(8, sampler.Sample(&rng));
+    std::vector<Tensor> externals;
+    for (int t = 0; t < len; ++t) {
+      externals.push_back(Tensor::RandomUniform(Shape{1, kHidden}, 1.0f, &rng));
+    }
+    externals.push_back(ExternalZeroVecTensor(kHidden));
+    externals.push_back(ExternalZeroVecTensor(kHidden));
+    server.Submit(model.Unfold(len), std::move(externals),
+                  {ValueRef::Output(len - 1, 0)},
+                  [](RequestId, RequestStatus, std::vector<Tensor>) {});
+  }
+  server.Shutdown();
+
+  const SampleSet lat = server.metrics().Latencies();
+  const auto& records = server.metrics().records();
+  const double span_s =
+      (records.back().completion_micros - records.front().arrival_micros) / 1e6;
+  Fig07Row row;
+  row.rate_rps = 0.0;
+  row.pipeline_depth = 2;
+  row.workers = 1;
+  row.shards = server.num_shards();
+  row.p50_ms = lat.Percentile(50) / 1e3;
+  row.p95_ms = lat.Percentile(95) / 1e3;
+  row.p99_ms = lat.Percentile(99) / 1e3;
+  row.achieved_rps = static_cast<double>(records.size()) / span_s;
+  row.tasks_per_sec = static_cast<double>(server.TasksExecuted()) / span_s;
+  row.worker_idle_ms = server.TotalWorkerIdleMicros() / 1e3;
+  row.tasks = server.TasksExecuted();
+  row.requests = static_cast<int64_t>(records.size());
+  row.steals = server.StealsExecuted();
+  row.precision = PrecisionName(precision);
+  row.kernel = GemmKernelName(precision);
+  return row;
+}
+
+std::vector<Fig07Row> PrecisionSweep(const std::vector<Precision>& precisions) {
+  bench::PrintHeader(
+      "Figure 7 (precision): closed-loop compute-bound, h=256, 1 worker, "
+      "fp32/bf16/int8");
+  std::printf("%10s %18s %10s %14s %12s %8s\n", "precision", "kernel", "p50(ms)",
+              "tasks/sec", "achieved", "tasks");
+  std::vector<Fig07Row> rows;
+  for (const Precision p : precisions) {
+    const Fig07Row row = PrecisionThroughputPoint(p);
+    std::printf("%10s %18s %10.2f %14.0f %12.0f %8lld\n", row.precision.c_str(),
+                row.kernel.c_str(), row.p50_ms, row.tasks_per_sec,
+                row.achieved_rps, static_cast<long long>(row.tasks));
+    rows.push_back(row);
+  }
+  return rows;
 }
 
 std::vector<Fig07Row> ShardingSweep() {
@@ -230,10 +323,12 @@ std::vector<Fig07Row> ShardingSweep() {
 
 std::vector<Fig07Row> RealComputeCpuSweep(int threads_per_worker,
                                           const std::vector<double>& rates,
-                                          double duration_s) {
+                                          double duration_s,
+                                          Precision precision = Precision::kF32) {
   bench::PrintHeader(
       "Figure 7 (real-compute): CPU backend, h=256, threads_per_worker=" +
-      std::to_string(threads_per_worker) + ", pipeline_depth {1, 2}");
+      std::to_string(threads_per_worker) + ", pipeline_depth {1, 2}, precision=" +
+      PrecisionName(precision));
   std::printf("%12s %6s %10s %10s %10s %14s %12s %8s\n", "rate(req/s)", "depth",
               "p50(ms)", "p95(ms)", "p99(ms)", "achieved(req/s)", "idle(ms)",
               "tasks");
@@ -241,7 +336,7 @@ std::vector<Fig07Row> RealComputeCpuSweep(int threads_per_worker,
   for (const double rate : rates) {
     for (const int depth : {1, 2}) {
       const Fig07Row row =
-          RealComputePoint(rate, depth, threads_per_worker, duration_s);
+          RealComputePoint(rate, depth, threads_per_worker, duration_s, precision);
       std::printf("%12.0f %6d %10.2f %10.2f %10.2f %14.0f %12.1f %8lld\n",
                   row.rate_rps, row.pipeline_depth, row.p50_ms, row.p95_ms,
                   row.p99_ms, row.achieved_rps, row.worker_idle_ms,
@@ -262,6 +357,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool real_only = false;
   std::string out_path = "BENCH_fig07.json";
+  Precision sweep_precision = Precision::kF32;
+  bool precision_forced = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -269,19 +366,33 @@ int main(int argc, char** argv) {
       real_only = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--precision") == 0 && i + 1 < argc) {
+      if (!ParsePrecision(argv[++i], &sweep_precision)) {
+        std::fprintf(stderr, "unknown --precision %s (fp32|bf16|int8)\n", argv[i]);
+        return 1;
+      }
+      precision_forced = true;
     }
   }
+  const std::vector<Precision> sweep_precisions =
+      precision_forced
+          ? std::vector<Precision>{sweep_precision}
+          : std::vector<Precision>{Precision::kF32, Precision::kBf16,
+                                   Precision::kInt8};
 
   if (smoke) {
     // CI perf-smoke: one short, low-rate real-compute point per depth (low
     // rate keeps the machine far from saturation so the p50 is dominated
     // by per-request compute, which is what a regression check needs to be
     // stable on a shared runner), plus the closed-loop sharded-manager
-    // scaling points that the --assert-ratio gate reads.
+    // scaling points and the closed-loop precision points that the
+    // --assert-ratio gates read.
     auto rows = RealComputeCpuSweep(/*threads_per_worker=*/1, {50.0},
-                                    /*duration_s=*/1.0);
+                                    /*duration_s=*/1.0, sweep_precision);
     const auto sharded = ShardingSweep();
     rows.insert(rows.end(), sharded.begin(), sharded.end());
+    const auto prec = PrecisionSweep(sweep_precisions);
+    rows.insert(rows.end(), prec.begin(), prec.end());
     WriteFig07Json(out_path, rows);
     return 0;
   }
@@ -289,9 +400,11 @@ int main(int argc, char** argv) {
   if (real_only) {
     auto rows = RealComputeCpuSweep(/*threads_per_worker=*/1,
                                     {50.0, 100.0, 150.0, 200.0},
-                                    /*duration_s=*/2.0);
+                                    /*duration_s=*/2.0, sweep_precision);
     const auto sharded = ShardingSweep();
     rows.insert(rows.end(), sharded.begin(), sharded.end());
+    const auto prec = PrecisionSweep(sweep_precisions);
+    rows.insert(rows.end(), prec.begin(), prec.end());
     WriteFig07Json(out_path, rows);
     return 0;
   }
@@ -341,9 +454,11 @@ int main(int argc, char** argv) {
 
   auto rows = RealComputeCpuSweep(/*threads_per_worker=*/1,
                                   {50.0, 100.0, 150.0, 200.0},
-                                  /*duration_s=*/2.0);
+                                  /*duration_s=*/2.0, sweep_precision);
   const auto sharded = ShardingSweep();
   rows.insert(rows.end(), sharded.begin(), sharded.end());
+  const auto prec = PrecisionSweep(sweep_precisions);
+  rows.insert(rows.end(), prec.begin(), prec.end());
   WriteFig07Json(out_path, rows);
   return 0;
 }

@@ -158,6 +158,8 @@ void EmitGemmJson() {
     const Tensor a = Tensor::RandomUniform(Shape{gc.m, gc.k}, 1.0f, &rng);
     const Tensor b = Tensor::RandomUniform(Shape{gc.k, gc.n}, 1.0f, &rng);
     const PackedMatrix packed = PackedMatrix::Pack(b);
+    const PackedMatrix packed_bf16 = PackedMatrix::PackBf16(b);
+    const PackedMatrix packed_int8 = PackedMatrix::PackInt8(b);
     const double flop = 2.0 * static_cast<double>(gc.m) * static_cast<double>(gc.k) *
                         static_cast<double>(gc.n);
     const std::string shape = "m=" + std::to_string(gc.m) + ",k=" + std::to_string(gc.k) +
@@ -166,14 +168,34 @@ void EmitGemmJson() {
     // even for the big acceptance shape.
     const int iters = flop > 1e9 ? 10 : 30;
 
-    auto add = [&](const std::string& op, const std::function<void()>& fn) {
+    auto add = [&](const std::string& op, Precision prec,
+                   const std::function<void()>& fn) {
       const double ns = bench::MeasureTrimmedNs(/*warmup=*/2, iters, fn);
-      records.push_back({op, shape, gc.m, ns, flop / ns});  // flop/ns == GFLOP/s
+      bench::BenchRecord rec;
+      rec.op = op;
+      rec.shape = shape;
+      rec.batch = gc.m;
+      rec.ns_per_iter = ns;
+      rec.gflops = flop / ns;  // flop/ns == GFLOP/s
+      rec.precision = PrecisionName(prec);
+      rec.kernel = GemmKernelName(prec);
+      records.push_back(std::move(rec));
     };
-    add("gemm", [&] { benchmark::DoNotOptimize(MatMul(a, b)); });
-    add("gemm_packed", [&] { benchmark::DoNotOptimize(MatMulPacked(a, packed)); });
-    add("gemm_packed_pool4",
+    add("gemm", Precision::kF32, [&] { benchmark::DoNotOptimize(MatMul(a, b)); });
+    add("gemm_packed", Precision::kF32,
+        [&] { benchmark::DoNotOptimize(MatMulPacked(a, packed)); });
+    add("gemm_packed_pool4", Precision::kF32,
         [&] { benchmark::DoNotOptimize(MatMulPacked(a, packed, &pool)); });
+    // The low-precision serving path: per-weight quantized pack cached, A
+    // quantized per call (as CellExecutor does).
+    add("gemm_packed", Precision::kBf16,
+        [&] { benchmark::DoNotOptimize(MatMulPacked(a, packed_bf16)); });
+    add("gemm_packed", Precision::kInt8,
+        [&] { benchmark::DoNotOptimize(MatMulPacked(a, packed_int8)); });
+    add("gemm_packed_pool4", Precision::kBf16,
+        [&] { benchmark::DoNotOptimize(MatMulPacked(a, packed_bf16, &pool)); });
+    add("gemm_packed_pool4", Precision::kInt8,
+        [&] { benchmark::DoNotOptimize(MatMulPacked(a, packed_int8, &pool)); });
   };
 
   run_case({512, 1024, 4096});
@@ -182,6 +204,9 @@ void EmitGemmJson() {
   }
   bench::WriteBenchJson("BENCH_gemm.json", "micro_ops_gemm", records);
   std::printf("simd kernel: %s\n", GemmUsesSimd() ? "yes" : "no (scalar fallback)");
+  for (Precision p : {Precision::kF32, Precision::kBf16, Precision::kInt8}) {
+    std::printf("%s kernel: %s\n", PrecisionName(p), GemmKernelName(p));
+  }
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/core/scheduler.h"
+#include "src/tensor/gemm.h"
 
 namespace batchmaker {
 
@@ -70,6 +71,13 @@ struct EngineOptions {
   // disabled recorder costs one relaxed atomic load per would-be event.
   bool enable_tracing = false;
   AdmissionOptions admission;
+  // GEMM precision for every pre-packed MatMul weight (see DESIGN.md
+  // "Low-precision execution"): fp32 (default — byte-identical to the
+  // pre-knob behaviour), bf16, or int8. A per-cell
+  // CellRegistry::SetPrecision override wins over this engine-wide value.
+  // Kernel selection within the precision is a separate, automatic axis
+  // (cpuid dispatch; see GemmKernelName).
+  Precision precision = Precision::kF32;
 };
 
 // Per-request submission parameters, accepted uniformly by

@@ -177,6 +177,9 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
               options_.batch_policy.max_delay_micros > 0.0;
   if (slack_on_) {
     online_cost_model_ = std::make_unique<OnlineCostModel>();
+    // Key the calibrated curves by precision: exec spans measured at int8
+    // must never re-fit the fp32 curve (or vice versa).
+    online_cost_model_->set_active_precision(options_.precision);
     online_cost_model_->set_on_refit(
         [this](CellTypeId type, int num_anchors, int64_t observations) {
           trace_.CostModelRefit(type, num_anchors, observations);
@@ -338,6 +341,15 @@ Server::~Server() { Shutdown(); }
 void Server::Start() {
   BM_CHECK(!started_.exchange(true)) << "Start() called twice";
   start_time_ = std::chrono::steady_clock::now();
+  // Low-precision serving: quantize + pack every registered cell's weights
+  // up front so the first batch doesn't pay the (one-time) quantization
+  // cost, and record which kernel the dispatcher resolved the precision to.
+  if (options_.precision != Precision::kF32) {
+    for (CellTypeId t = 0; t < registry_->NumTypes(); ++t) {
+      registry_->executor(t).EnsurePacked(options_.precision);
+    }
+  }
+  trace_.GemmKernelInfo(static_cast<int>(options_.precision));
   for (auto& shard : shards_) {
     Shard* sh = shard.get();
     sh->thread = std::thread([this, sh] {
@@ -1079,7 +1091,8 @@ void Server::StageLoop(int worker) {
     // No pool: the execution thread owns the worker's intra-task pool, and
     // the pool admits one submitter at a time. Staging gathers serially —
     // it is off the critical path whenever it overlaps an execution.
-    const ExecContext stage_ctx{/*pool=*/nullptr, &pipe.staging[seq & 1]};
+    const ExecContext stage_ctx{/*pool=*/nullptr, &pipe.staging[seq & 1],
+                                options_.precision};
     assembler_.GatherInputs(wt->task, wt->states, &st.gathered, &stage_ctx,
                             st.poisoned.empty() ? nullptr : &st.poisoned);
     trace_.GatherEnd(wt->task.id, wt->task.type, worker, wt->task.BatchSize());
@@ -1118,7 +1131,7 @@ void Server::ExecLoop(int worker) {
   // inputs survive while the previous task executes here.
   ThreadPool pool(options_.threads_per_worker);
   TensorArena exec_arena;
-  const ExecContext ctx{&pool, &exec_arena};
+  const ExecContext ctx{&pool, &exec_arena, options_.precision};
   WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(worker)];
   // Completions go to the inbox of the shard that owns this worker.
   auto& inbox = shards_[static_cast<size_t>(shard_of_worker_[static_cast<size_t>(worker)])]

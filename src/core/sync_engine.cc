@@ -88,7 +88,7 @@ void SyncEngine::RunToCompletion() {
         }
       }
       trace_.ExecBegin(exec_start, task.id, task.type, task.worker, task.BatchSize());
-      const ExecContext ctx{/*pool=*/nullptr, &arena_};
+      const ExecContext ctx{/*pool=*/nullptr, &arena_, precision_};
       assembler_.ExecuteTask(task, processor_.get(), &ctx);
       trace_.ExecEnd(task.id, task.type, task.worker, task.BatchSize());
       ++tasks_executed_;

@@ -64,6 +64,13 @@ class SyncEngine {
   const TraceRecorder& trace() const { return trace_; }
   TraceRecorder& trace() { return trace_; }
 
+  // Engine-wide GEMM precision for subsequent task execution (same knob as
+  // EngineOptions::precision on the Server; per-cell
+  // CellRegistry::SetPrecision overrides win). Default fp32 keeps the
+  // bitwise reference behaviour.
+  void set_precision(Precision precision) { precision_ = precision; }
+  Precision precision() const { return precision_; }
+
  private:
   double NowMicros() const;
 
@@ -77,6 +84,7 @@ class SyncEngine {
   // task. No ThreadPool: SyncEngine is the serial bitwise reference that
   // the threaded server's outputs are tested against.
   TensorArena arena_;
+  Precision precision_ = Precision::kF32;
   RequestId next_request_id_ = 1;
   int64_t tasks_executed_ = 0;
   std::vector<int> task_batch_sizes_;

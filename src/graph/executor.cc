@@ -6,7 +6,8 @@
 
 namespace batchmaker {
 
-CellExecutor::CellExecutor(const CellDef* def) : def_(def) {
+CellExecutor::CellExecutor(const CellDef* def, Precision precision)
+    : def_(def), precision_(precision) {
   BM_CHECK(def != nullptr);
   BM_CHECK(def->finalized());
   // Pre-pack every MatMul weight whose RHS is an embedded parameter (shape
@@ -22,6 +23,68 @@ CellExecutor::CellExecutor(const CellDef* def) : def_(def) {
       packed_weights_.emplace(id, PackedMatrix::Pack(rhs.weight));
     }
   }
+
+  // MatMul -> AddBias(matmul, param) chains where the MatMul has no other
+  // reader fold the bias into the int8 dequant epilogue. Identified once
+  // here; Execute consults the map only when running at int8.
+  std::vector<int> consumer_count(static_cast<size_t>(def->NumOps()), 0);
+  std::vector<int> sole_consumer(static_cast<size_t>(def->NumOps()), -1);
+  std::vector<bool> is_output(static_cast<size_t>(def->NumOps()), false);
+  for (int id = 0; id < def->NumOps(); ++id) {
+    for (int input : def->op(id).inputs) {
+      consumer_count[static_cast<size_t>(input)]++;
+      sole_consumer[static_cast<size_t>(input)] = id;
+    }
+  }
+  for (int i = 0; i < def->NumOutputs(); ++i) {
+    is_output[static_cast<size_t>(def->output_op(i))] = true;
+  }
+  for (const auto& [mm_id, packed] : packed_weights_) {
+    (void)packed;
+    if (consumer_count[static_cast<size_t>(mm_id)] != 1 ||
+        is_output[static_cast<size_t>(mm_id)]) {
+      continue;
+    }
+    const int consumer = sole_consumer[static_cast<size_t>(mm_id)];
+    const OpNode& cnode = def->op(consumer);
+    if (cnode.kind != OpKind::kAddBias || cnode.inputs[0] != mm_id) {
+      continue;
+    }
+    if (def->op(cnode.inputs[1]).kind != OpKind::kParam) {
+      continue;
+    }
+    fused_bias_[mm_id] = consumer;
+    fused_bias_rev_[consumer] = mm_id;
+  }
+
+  if (precision_ != Precision::kF32) {
+    EnsurePacked(precision_);
+  }
+}
+
+void CellExecutor::EnsurePacked(Precision p) const {
+  switch (p) {
+    case Precision::kF32:
+      return;
+    case Precision::kBf16:
+      std::call_once(bf16_once_, [this] {
+        for (const auto& [id, packed] : packed_weights_) {
+          (void)packed;
+          const OpNode& rhs = def_->op(def_->op(id).inputs[1]);
+          packed_bf16_.emplace(id, PackedMatrix::PackBf16(rhs.weight));
+        }
+      });
+      return;
+    case Precision::kInt8:
+      std::call_once(int8_once_, [this] {
+        for (const auto& [id, packed] : packed_weights_) {
+          (void)packed;
+          const OpNode& rhs = def_->op(def_->op(id).inputs[1]);
+          packed_int8_.emplace(id, PackedMatrix::PackInt8(rhs.weight));
+        }
+      });
+      return;
+  }
 }
 
 std::vector<Tensor> CellExecutor::Execute(const std::vector<const Tensor*>& inputs,
@@ -29,6 +92,15 @@ std::vector<Tensor> CellExecutor::Execute(const std::vector<const Tensor*>& inpu
   const CellDef& def = *def_;
   BM_CHECK_EQ(static_cast<int>(inputs.size()), def.NumInputs());
   ThreadPool* pool = ctx != nullptr ? ctx->pool : nullptr;
+  // Effective GEMM precision: the cell's own knob wins; otherwise the
+  // engine-wide context default applies.
+  Precision prec = precision_;
+  if (prec == Precision::kF32 && ctx != nullptr) {
+    prec = ctx->precision;
+  }
+  if (prec != Precision::kF32 && !packed_weights_.empty()) {
+    EnsurePacked(prec);
+  }
   // All intermediates below allocate from the worker's arena while this
   // scope is active; the output copies at the end materialize owned storage.
   ArenaScope arena_scope(ctx != nullptr ? ctx->arena : nullptr);
@@ -76,10 +148,21 @@ std::vector<Tensor> CellExecutor::Execute(const std::vector<const Tensor*>& inpu
         break;
       case OpKind::kMatMul: {
         const auto packed_it = packed_weights_.find(id);
-        if (packed_it != packed_weights_.end()) {
-          set_computed(id, MatMulPacked(in(0), packed_it->second, pool));
-        } else {
+        if (packed_it == packed_weights_.end()) {
           set_computed(id, MatMul(in(0), in(1)));
+          break;
+        }
+        if (prec == Precision::kInt8 && fused_bias_.count(id) != 0) {
+          // Deferred: the consuming AddBias computes this MatMul with the
+          // bias fused into the dequant epilogue.
+          break;
+        }
+        if (prec == Precision::kBf16) {
+          set_computed(id, MatMulPacked(in(0), packed_bf16_.at(id), pool));
+        } else if (prec == Precision::kInt8) {
+          set_computed(id, MatMulPacked(in(0), packed_int8_.at(id), pool));
+        } else {
+          set_computed(id, MatMulPacked(in(0), packed_it->second, pool));
         }
         break;
       }
@@ -92,9 +175,21 @@ std::vector<Tensor> CellExecutor::Execute(const std::vector<const Tensor*>& inpu
       case OpKind::kMul:
         set_computed(id, Mul(in(0), in(1)));
         break;
-      case OpKind::kAddBias:
+      case OpKind::kAddBias: {
+        if (prec == Precision::kInt8) {
+          const auto fused_it = fused_bias_rev_.find(id);
+          if (fused_it != fused_bias_rev_.end()) {
+            const OpNode& mm = def.op(fused_it->second);
+            const Tensor* lhs = values[static_cast<size_t>(mm.inputs[0])];
+            BM_CHECK(lhs != nullptr);
+            set_computed(
+                id, MatMulPackedBias(*lhs, packed_int8_.at(fused_it->second), in(1), pool));
+            break;
+          }
+        }
         set_computed(id, AddBias(in(0), in(1)));
         break;
+      }
       case OpKind::kSigmoid:
         set_computed(id, Sigmoid(in(0)));
         break;

@@ -14,6 +14,7 @@
 #ifndef SRC_GRAPH_EXECUTOR_H_
 #define SRC_GRAPH_EXECUTOR_H_
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -31,13 +32,24 @@ namespace batchmaker {
 struct ExecContext {
   ThreadPool* pool = nullptr;     // intra-task parallelism; null = serial
   TensorArena* arena = nullptr;   // task-scoped scratch; null = heap
+  // GEMM precision for pre-packed MatMul weights. A per-cell precision set
+  // at construction/registration wins over this engine-wide default.
+  Precision precision = Precision::kF32;
 };
 
 class CellExecutor {
  public:
-  explicit CellExecutor(const CellDef* def);
+  explicit CellExecutor(const CellDef* def, Precision precision = Precision::kF32);
 
   const CellDef& def() const { return *def_; }
+
+  // The cell's own precision override (kF32 = defer to ExecContext).
+  Precision precision() const { return precision_; }
+
+  // Builds the quantized packed-weight cache for `p` if it does not exist
+  // yet. Thread-safe and idempotent; Execute calls it lazily, but callers
+  // that care about cold-start latency (Server::Start) invoke it up front.
+  void EnsurePacked(Precision p) const;
 
   // Runs the cell on a batch. `inputs[i]` must have shape
   // [batch] + input_spec(i).row_shape and the declared dtype; all inputs
@@ -53,8 +65,23 @@ class CellExecutor {
 
  private:
   const CellDef* def_;  // not owned; must outlive the executor
-  // MatMul op id -> packed form of its kParam RHS weight.
+  // Per-cell precision override; kF32 defers to the ExecContext.
+  Precision precision_ = Precision::kF32;
+  // MatMul op id -> packed form of its kParam RHS weight (fp32 reference
+  // pack, always built — the fp32 path must stay byte-identical).
   std::unordered_map<int, PackedMatrix> packed_weights_;
+  // Lazily-built quantized packs, keyed like packed_weights_. Guarded by
+  // the once flags; read-only after construction completes.
+  mutable std::unordered_map<int, PackedMatrix> packed_bf16_;
+  mutable std::unordered_map<int, PackedMatrix> packed_int8_;
+  mutable std::once_flag bf16_once_;
+  mutable std::once_flag int8_once_;
+  // MatMul op id -> consuming AddBias op id (and the reverse) for chains
+  // where the bias add can fold into the int8 dequant epilogue: the MatMul
+  // has exactly one consumer, that consumer is AddBias(matmul, param), and
+  // the MatMul result is not itself a declared cell output.
+  std::unordered_map<int, int> fused_bias_;
+  std::unordered_map<int, int> fused_bias_rev_;
 };
 
 }  // namespace batchmaker

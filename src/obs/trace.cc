@@ -25,6 +25,7 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kShardSteal: return "shard_steal";
     case TraceEventKind::kBatchDelayed: return "batch_delayed";
     case TraceEventKind::kCostModelRefit: return "cost_model_refit";
+    case TraceEventKind::kGemmKernel: return "gemm_kernel";
   }
   return "unknown";
 }
@@ -242,6 +243,14 @@ void TraceRecorder::CostModelRefit(CellTypeId type, int num_anchors,
   Record(TraceEvent{.kind = TraceEventKind::kCostModelRefit, .type = type,
                     .ts_micros = NowMicros(),
                     .id = static_cast<uint64_t>(observations), .value = num_anchors});
+}
+
+void TraceRecorder::GemmKernelInfo(int precision) {
+  if (!enabled()) {
+    return;
+  }
+  Record(TraceEvent{.kind = TraceEventKind::kGemmKernel, .ts_micros = NowMicros(),
+                    .value = precision});
 }
 
 int64_t TraceRecorder::Count(TraceEventKind kind) const {

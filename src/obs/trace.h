@@ -56,8 +56,9 @@ enum class TraceEventKind : uint8_t {
   kShardSteal,          // id = request, shard = thief, value = victim shard
   kBatchDelayed,        // type, worker, value = batch size, aux = delay micros
   kCostModelRefit,      // type, id = observations, value = fitted anchors
+  kGemmKernel,          // value = Precision enum value; once per engine start
 };
-inline constexpr int kNumTraceEventKinds = 18;
+inline constexpr int kNumTraceEventKinds = 19;
 
 // Name for logs/export, e.g. "request_arrival".
 const char* TraceEventKindName(TraceEventKind kind);
@@ -151,6 +152,11 @@ class TraceRecorder {
   // ...and the online cost model re-fitted a cell type's cost curve from
   // `observations` cumulative measured exec spans.
   void CostModelRefit(CellTypeId type, int num_anchors, int64_t observations);
+  // Low-precision execution metadata, recorded once at engine start:
+  // `precision` is the engine-wide Precision enum value. The trace export
+  // resolves it to the precision/kernel names at export time, so a silent
+  // fallback-to-scalar dispatch is diagnosable from the artifact alone.
+  void GemmKernelInfo(int precision);
 
   // Tags the calling thread with a manager-shard id: every event recorded
   // from this thread carries it in TraceEvent::shard (unless the event set

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <unordered_map>
 
+#include "src/tensor/gemm.h"
 #include "src/util/string_util.h"
 
 namespace batchmaker {
@@ -106,6 +107,23 @@ Json ChromeTraceJson(const TraceRecorder& recorder, const TraceTypeNamer& namer)
         e["tid"] = ev.worker;
         e["ts"] = ev.ts_micros;
         e["dur"] = ev.aux_micros - ev.ts_micros;
+        out.push_back(Json(std::move(e)));
+        break;
+      }
+      case TraceEventKind::kGemmKernel: {
+        // Engine-start metadata: which precision the engine runs at and
+        // which kernel the dispatcher resolved it to on this host.
+        const auto precision = static_cast<Precision>(ev.value);
+        JsonObject e;
+        e["ph"] = "i";
+        e["s"] = "g";
+        e["name"] = "gemm_kernel";
+        e["cat"] = "meta";
+        e["pid"] = kWorkerPid;
+        e["tid"] = 0;
+        e["ts"] = ev.ts_micros;
+        e["args"] = JsonObject{{"precision", PrecisionName(precision)},
+                               {"kernel", GemmKernelName(precision)}};
         out.push_back(Json(std::move(e)));
         break;
       }

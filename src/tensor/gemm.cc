@@ -1,6 +1,8 @@
 #include "src/tensor/gemm.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/util/logging.h"
@@ -25,11 +27,42 @@ constexpr int64_t kNr = 16;
 // boundaries are identical whether A is packed whole or in blocks.
 constexpr int64_t kMc = 120;
 
+// bfloat16 <-> float, round-to-nearest-even on the way down.
+inline uint16_t Bf16FromFloat(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  u += 0x7fffu + ((u >> 16) & 1u);
+  return static_cast<uint16_t>(u >> 16);
+}
+
+inline float FloatFromBf16(uint16_t h) {
+  const uint32_t u = static_cast<uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
 // One output tile: C[rows, cols] (+)= Ap * Bp, where Ap is k x kMr
 // (k-major, kMr consecutive row values) and Bp is k x kNr. Accumulation
 // over k is strictly sequential per element — the determinism contract.
 using KernelFn = void (*)(const float* ap, const float* bp, int64_t k, float* c,
                           int64_t ldc, int64_t rows, int64_t cols, bool accumulate);
+
+// bf16 tile: Ap is `groups` k-pairs of kMr rows (kMr x 2 bf16 per group),
+// Bp is `groups` k-pairs of kNr columns (kNr x 2 bf16 per group); padded
+// pair slots are bf16 zero so they contribute nothing.
+using Bf16KernelFn = void (*)(const uint16_t* ap, const uint16_t* bp, int64_t groups,
+                              float* c, int64_t ldc, int64_t rows, int64_t cols,
+                              bool accumulate);
+
+// int8 tile: writes the raw s32 accumulator tile (kMr x kNr, overwritten —
+// the shared dequant epilogue handles C accumulate). Ap holds u8 values
+// (quantized activation + 128) grouped by `g` k-values per row; the AVX2
+// kernel instead reads Ap as little-endian u16 pairs (pre-widened by the
+// packer). Bp is s8, same k-grouping per column. Integer accumulation is
+// exact, so every int8 kernel produces the identical tile.
+using Int8KernelFn = void (*)(const uint8_t* ap, const int8_t* bp, int64_t k, int g,
+                              int32_t* acc);
 
 void StorePartial(const float* tile, float* c, int64_t ldc, int64_t rows, int64_t cols,
                   bool accumulate) {
@@ -157,19 +190,295 @@ __attribute__((target("avx512f"))) void MicroKernelAvx512(const float* ap, const
 }
 #endif  // BM_GEMM_X86
 
-KernelFn SelectKernel() {
-#if BM_GEMM_X86
-  if (__builtin_cpu_supports("avx512f")) {
-    return MicroKernelAvx512;
+// bf16 fallback kernel: decodes bf16 back to fp32 and accumulates in fp32.
+// Per element the two pair products are added in a fixed order; bf16 x bf16
+// products are exact in fp32 (8-bit significands), so potential compiler
+// FMA contraction cannot change the result.
+void MicroKernelBf16Emulated(const uint16_t* ap, const uint16_t* bp, int64_t groups,
+                             float* c, int64_t ldc, int64_t rows, int64_t cols,
+                             bool accumulate) {
+  float acc[kMr * kNr] = {};
+  for (int64_t g0 = 0; g0 < groups; ++g0) {
+    const uint16_t* a_col = ap + g0 * kMr * 2;
+    const uint16_t* b_row = bp + g0 * kNr * 2;
+    for (int64_t ii = 0; ii < kMr; ++ii) {
+      const float a0 = FloatFromBf16(a_col[ii * 2]);
+      const float a1 = FloatFromBf16(a_col[ii * 2 + 1]);
+      float* acc_row = acc + ii * kNr;
+      for (int64_t jj = 0; jj < kNr; ++jj) {
+        acc_row[jj] += a0 * FloatFromBf16(b_row[jj * 2]);
+        acc_row[jj] += a1 * FloatFromBf16(b_row[jj * 2 + 1]);
+      }
+    }
   }
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return MicroKernelAvx2;
-  }
-#endif
-  return MicroKernelScalar;
+  StorePartial(acc, c, ldc, rows, cols, accumulate);
 }
 
-const KernelFn kKernel = SelectKernel();
+#if BM_GEMM_X86
+__attribute__((target("avx512bf16,avx512f"))) void MicroKernelBf16Avx512(
+    const uint16_t* ap, const uint16_t* bp, int64_t groups, float* c, int64_t ldc,
+    int64_t rows, int64_t cols, bool accumulate) {
+  __m512 accv[kMr];
+  for (int ii = 0; ii < kMr; ++ii) {
+    accv[ii] = _mm512_setzero_ps();
+  }
+  for (int64_t g0 = 0; g0 < groups; ++g0) {
+    const __m512bh bv = (__m512bh)_mm512_loadu_si512(bp + g0 * kNr * 2);
+    const uint16_t* a_col = ap + g0 * kMr * 2;
+    for (int ii = 0; ii < kMr; ++ii) {
+      uint32_t pair;
+      std::memcpy(&pair, a_col + ii * 2, sizeof(pair));
+      accv[ii] =
+          _mm512_dpbf16_ps(accv[ii], (__m512bh)_mm512_set1_epi32(static_cast<int>(pair)), bv);
+    }
+  }
+  if (rows == kMr && cols == kNr) {
+    for (int ii = 0; ii < kMr; ++ii) {
+      float* dst = c + ii * ldc;
+      __m512 sum = accv[ii];
+      if (accumulate) {
+        sum = _mm512_add_ps(sum, _mm512_loadu_ps(dst));
+      }
+      _mm512_storeu_ps(dst, sum);
+    }
+    return;
+  }
+  float tile[kMr * kNr];
+  for (int ii = 0; ii < kMr; ++ii) {
+    _mm512_storeu_ps(tile + ii * kNr, accv[ii]);
+  }
+  StorePartial(tile, c, ldc, rows, cols, accumulate);
+}
+#endif  // BM_GEMM_X86
+
+// int8 fallback kernel. Also the compatibility path when B was packed with a
+// different k-group width than the dispatched kernel wants (e.g. a pack made
+// under a forced tier): it honors whatever `g` the panels carry.
+void MicroKernelInt8Scalar(const uint8_t* ap, const int8_t* bp, int64_t k, int g,
+                           int32_t* acc) {
+  std::memset(acc, 0, static_cast<size_t>(kMr * kNr) * sizeof(int32_t));
+  const int64_t groups = (k + g - 1) / g;
+  for (int64_t g0 = 0; g0 < groups; ++g0) {
+    const uint8_t* a_col = ap + g0 * kMr * g;
+    const int8_t* b_row = bp + g0 * kNr * g;
+    const int lim = static_cast<int>(std::min<int64_t>(g, k - g0 * g));
+    for (int t = 0; t < lim; ++t) {
+      for (int64_t ii = 0; ii < kMr; ++ii) {
+        const int32_t a_val = a_col[ii * g + t];
+        int32_t* acc_row = acc + ii * kNr;
+        for (int64_t jj = 0; jj < kNr; ++jj) {
+          acc_row[jj] += a_val * static_cast<int32_t>(b_row[jj * g + t]);
+        }
+      }
+    }
+  }
+}
+
+#if BM_GEMM_X86
+__attribute__((target("avx512vnni,avx512f"))) void MicroKernelInt8Vnni(const uint8_t* ap,
+                                                                       const int8_t* bp,
+                                                                       int64_t k, int g,
+                                                                       int32_t* acc) {
+  (void)g;  // dispatched only when panels are packed with g=4
+  const int64_t groups = (k + 3) / 4;
+  __m512i accv[kMr];
+  for (int ii = 0; ii < kMr; ++ii) {
+    accv[ii] = _mm512_setzero_si512();
+  }
+  for (int64_t g0 = 0; g0 < groups; ++g0) {
+    const __m512i bv = _mm512_loadu_si512(bp + g0 * kNr * 4);
+    const uint8_t* a_col = ap + g0 * kMr * 4;
+    for (int ii = 0; ii < kMr; ++ii) {
+      uint32_t quad;
+      std::memcpy(&quad, a_col + ii * 4, sizeof(quad));
+      accv[ii] =
+          _mm512_dpbusd_epi32(accv[ii], _mm512_set1_epi32(static_cast<int>(quad)), bv);
+    }
+  }
+  for (int ii = 0; ii < kMr; ++ii) {
+    _mm512_storeu_si512(acc + ii * kNr, accv[ii]);
+  }
+}
+
+// AVX2 has no u8 x s8 dot product without s16 saturation (vpmaddubsw can
+// overflow: two u8*s8 products can exceed int16). Instead the packer widens
+// the u8 activations to u16 pairs and the kernel sign-extends B to s16, so
+// vpmaddwd accumulates k-pairs exactly into s32.
+__attribute__((target("avx2"))) void MicroKernelInt8Avx2(const uint8_t* ap,
+                                                         const int8_t* bp, int64_t k,
+                                                         int g, int32_t* acc) {
+  (void)g;  // dispatched only when panels are packed with g=2; A is u16 pairs
+  const int64_t groups = (k + 1) / 2;
+  __m256i acc0[kMr];
+  __m256i acc1[kMr];
+  for (int ii = 0; ii < kMr; ++ii) {
+    acc0[ii] = _mm256_setzero_si256();
+    acc1[ii] = _mm256_setzero_si256();
+  }
+  for (int64_t g0 = 0; g0 < groups; ++g0) {
+    const __m256i braw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + g0 * kNr * 2));
+    const __m256i b0 = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(braw));
+    const __m256i b1 = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(braw, 1));
+    // Each row's k-pair is 2 little-endian u16 = 4 bytes.
+    const uint8_t* a_col = ap + g0 * kMr * 4;
+    for (int ii = 0; ii < kMr; ++ii) {
+      uint32_t pair;
+      std::memcpy(&pair, a_col + ii * 4, sizeof(pair));
+      const __m256i av = _mm256_set1_epi32(static_cast<int>(pair));
+      acc0[ii] = _mm256_add_epi32(acc0[ii], _mm256_madd_epi16(av, b0));
+      acc1[ii] = _mm256_add_epi32(acc1[ii], _mm256_madd_epi16(av, b1));
+    }
+  }
+  for (int ii = 0; ii < kMr; ++ii) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + ii * kNr), acc0[ii]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + ii * kNr + 8), acc1[ii]);
+  }
+}
+#endif  // BM_GEMM_X86
+
+// Shared int8 epilogue: subtract the u8 zero-point correction, rescale, add
+// the optional fused bias, then store/accumulate. One fixed fp operation
+// order for every int8 kernel — this is what makes int8 results bitwise
+// identical across VNNI / AVX2 / scalar.
+void DequantStore(const int32_t* acc, const float* row_scales, const float* b_scales,
+                  const int32_t* corr, const float* bias, float* c, int64_t ldc,
+                  int64_t rows, int64_t cols, bool accumulate) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const float sa = row_scales[i];
+    const int32_t* acc_row = acc + i * kNr;
+    float* dst = c + i * ldc;
+    for (int64_t j = 0; j < cols; ++j) {
+      float v = static_cast<float>(acc_row[j] - corr[j]) * (sa * b_scales[j]);
+      if (bias != nullptr) {
+        v += bias[j];
+      }
+      dst[j] = accumulate ? dst[j] + v : v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch. A feature bitmask is detected once via cpuid (checking
+// avx512bf16 / avx512vnni specifically, not just avx512f), optionally capped
+// by the BM_GEMM_KERNEL env var or GemmForceTierForTest, then resolved into
+// one kernel per precision.
+
+enum : unsigned {
+  kFeatAvx2 = 1u << 0,
+  kFeatAvx512f = 1u << 1,
+  kFeatBf16 = 1u << 2,
+  kFeatVnni = 1u << 3,
+};
+
+unsigned DetectCpuFeatures() {
+#if BM_GEMM_X86
+  unsigned f = 0;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    f |= kFeatAvx2;
+  }
+  if (__builtin_cpu_supports("avx512f")) {
+    f |= kFeatAvx512f;
+  }
+  if (__builtin_cpu_supports("avx512bf16")) {
+    f |= kFeatBf16;
+  }
+  if (__builtin_cpu_supports("avx512vnni")) {
+    f |= kFeatVnni;
+  }
+  return f;
+#else
+  return 0;
+#endif
+}
+
+bool ParseTierMask(const char* text, unsigned* mask) {
+  const std::string t(text == nullptr ? "" : text);
+  if (t.empty() || t == "native") {
+    *mask = ~0u;
+    return true;
+  }
+  if (t == "scalar") {
+    *mask = 0;
+    return true;
+  }
+  if (t == "avx2") {
+    *mask = kFeatAvx2;
+    return true;
+  }
+  if (t == "avx512") {
+    *mask = kFeatAvx2 | kFeatAvx512f;
+    return true;
+  }
+  if (t == "avx512_bf16") {
+    *mask = kFeatAvx2 | kFeatAvx512f | kFeatBf16;
+    return true;
+  }
+  if (t == "avx512_vnni") {
+    *mask = kFeatAvx2 | kFeatAvx512f | kFeatVnni;
+    return true;
+  }
+  return false;
+}
+
+struct GemmDispatch {
+  KernelFn f32 = MicroKernelScalar;
+  const char* f32_name = "scalar_fp32";
+  Bf16KernelFn bf16 = MicroKernelBf16Emulated;
+  const char* bf16_name = "emulated_bf16";
+  Int8KernelFn int8 = MicroKernelInt8Scalar;
+  const char* int8_name = "scalar_int8";
+  int int8_kgroup = 4;    // k-group width PackInt8 uses for this dispatch
+  bool int8_a16 = false;  // A packed as u16 pairs (AVX2 kernel operand form)
+};
+
+GemmDispatch MakeDispatch(unsigned feat) {
+  GemmDispatch d;
+#if BM_GEMM_X86
+  if (feat & kFeatAvx512f) {
+    d.f32 = MicroKernelAvx512;
+    d.f32_name = "avx512_fp32";
+  } else if (feat & kFeatAvx2) {
+    d.f32 = MicroKernelAvx2;
+    d.f32_name = "avx2_fma_fp32";
+  }
+  if ((feat & kFeatAvx512f) && (feat & kFeatBf16)) {
+    d.bf16 = MicroKernelBf16Avx512;
+    d.bf16_name = "avx512_bf16";
+  }
+  if ((feat & kFeatAvx512f) && (feat & kFeatVnni)) {
+    d.int8 = MicroKernelInt8Vnni;
+    d.int8_name = "avx512_vnni_int8";
+    d.int8_kgroup = 4;
+  } else if (feat & kFeatAvx2) {
+    d.int8 = MicroKernelInt8Avx2;
+    d.int8_name = "avx2_madd_int8";
+    d.int8_kgroup = 2;
+    d.int8_a16 = true;
+  }
+#else
+  (void)feat;
+#endif
+  return d;
+}
+
+GemmDispatch& MutableDispatch() {
+  static GemmDispatch dispatch = [] {
+    unsigned feat = DetectCpuFeatures();
+    const char* env = std::getenv("BM_GEMM_KERNEL");
+    if (env != nullptr && *env != '\0') {
+      unsigned cap = ~0u;
+      if (ParseTierMask(env, &cap)) {
+        feat &= cap;
+      } else {
+        BM_LOG(Warning) << "ignoring unknown BM_GEMM_KERNEL=" << env
+                        << " (want scalar|avx2|avx512|avx512_bf16|avx512_vnni|native)";
+      }
+    }
+    return MakeDispatch(feat);
+  }();
+  return dispatch;
+}
 
 // Packs rows [row0, row0+rows) of A[m,k] into kMr-row panels: panel ir holds
 // A rows [row0 + ir*kMr, ...) k-major, zero-padded to kMr rows. `out` must
@@ -188,9 +497,86 @@ void PackA(const float* a, int64_t k, int64_t row0, int64_t rows, int64_t m, flo
   }
 }
 
+// bf16 variant: k-pairs interleaved per row, padded slots bf16 zero. `out`
+// must hold ceil(rows/kMr)*ceil(k/2)*kMr*2 values.
+void PackABf16(const float* a, int64_t k, int64_t row0, int64_t rows, int64_t m,
+               uint16_t* out) {
+  const int64_t panels = (rows + kMr - 1) / kMr;
+  const int64_t groups = (k + 1) / 2;
+  for (int64_t ir = 0; ir < panels; ++ir) {
+    uint16_t* dst = out + ir * groups * kMr * 2;
+    const int64_t base = row0 + ir * kMr;
+    const int64_t valid = std::min<int64_t>(kMr, m - base);
+    for (int64_t g0 = 0; g0 < groups; ++g0) {
+      for (int64_t ii = 0; ii < kMr; ++ii) {
+        for (int64_t t = 0; t < 2; ++t) {
+          const int64_t p = g0 * 2 + t;
+          dst[g0 * kMr * 2 + ii * 2 + t] =
+              (ii < valid && p < k) ? Bf16FromFloat(a[(base + ii) * k + p]) : 0;
+        }
+      }
+    }
+  }
+}
+
+// int8 variant: per-row dynamic symmetric quantization (scale = absmax/127,
+// stored value = q + 128 as u8, padded slots 128 so the zero-point
+// correction cancels them against B's zero padding). `widen` stores each
+// value as little-endian u16 instead (the AVX2 kernel operand form).
+// BM_CHECK-fails on non-finite activations — quantizing an inf/NaN row
+// would silently poison every column of that output row.
+void PackAInt8(const float* a, int64_t k, int64_t row0, int64_t rows, int64_t m, int g,
+               bool widen, uint8_t* out, float* scales) {
+  const int64_t panels = (rows + kMr - 1) / kMr;
+  const int64_t groups = (k + g - 1) / g;
+  const int64_t panel_bytes = groups * kMr * g * (widen ? 2 : 1);
+  for (int64_t ir = 0; ir < panels; ++ir) {
+    uint8_t* dst = out + ir * panel_bytes;
+    const int64_t base = row0 + ir * kMr;
+    const int64_t valid = std::min<int64_t>(kMr, m - base);
+    for (int64_t ii = 0; ii < kMr; ++ii) {
+      float inv = 0.0f;
+      float scale = 0.0f;
+      if (ii < valid) {
+        const float* row = a + (base + ii) * k;
+        float amax = 0.0f;
+        for (int64_t p = 0; p < k; ++p) {
+          BM_CHECK(std::isfinite(row[p]))
+              << "int8 GEMM: non-finite activation in row " << (base + ii);
+          amax = std::max(amax, std::fabs(row[p]));
+        }
+        if (amax > 0.0f) {
+          scale = amax / 127.0f;
+          inv = 127.0f / amax;
+        }
+      }
+      scales[ir * kMr + ii] = scale;
+      for (int64_t p = 0; p < groups * g; ++p) {
+        int q = 0;
+        if (ii < valid && p < k && inv != 0.0f) {
+          q = static_cast<int>(std::lrintf(a[(base + ii) * k + p] * inv));
+          q = std::min(127, std::max(-127, q));
+        }
+        const int64_t g0 = p / g;
+        const int64_t t = p % g;
+        const int64_t idx = g0 * kMr * g + ii * g + t;
+        if (widen) {
+          const uint16_t u = static_cast<uint16_t>(q + 128);
+          std::memcpy(dst + idx * 2, &u, sizeof(u));
+        } else {
+          dst[idx] = static_cast<uint8_t>(q + 128);
+        }
+      }
+    }
+  }
+}
+
 // Per-thread packing scratch. Reused across calls; bounded by the largest
 // (rows x k) block packed on that thread.
 thread_local std::vector<float> tls_a_pack;
+thread_local std::vector<uint16_t> tls_bf16_pack;
+thread_local std::vector<uint8_t> tls_i8_pack;
+thread_local std::vector<float> tls_row_scales;
 
 float* APackScratch(int64_t floats) {
   if (static_cast<int64_t>(tls_a_pack.size()) < floats) {
@@ -199,10 +585,31 @@ float* APackScratch(int64_t floats) {
   return tls_a_pack.data();
 }
 
+uint16_t* Bf16PackScratch(int64_t elems) {
+  if (static_cast<int64_t>(tls_bf16_pack.size()) < elems) {
+    tls_bf16_pack.resize(static_cast<size_t>(elems));
+  }
+  return tls_bf16_pack.data();
+}
+
+uint8_t* QPackScratch(int64_t bytes) {
+  if (static_cast<int64_t>(tls_i8_pack.size()) < bytes) {
+    tls_i8_pack.resize(static_cast<size_t>(bytes));
+  }
+  return tls_i8_pack.data();
+}
+
+float* RowScaleScratch(int64_t floats) {
+  if (static_cast<int64_t>(tls_row_scales.size()) < floats) {
+    tls_row_scales.resize(static_cast<size_t>(floats));
+  }
+  return tls_row_scales.data();
+}
+
 // Computes C rows [row0, row0+rows) against every panel of B, reading the
 // pre-packed A block `ap` (panels aligned to row0).
-void ComputeRowBlock(const float* ap, const PackedMatrix& b, float* c, int64_t row0,
-                     int64_t rows, int64_t m, int64_t n, bool accumulate) {
+void ComputeRowBlock(KernelFn kernel, const float* ap, const PackedMatrix& b, float* c,
+                     int64_t row0, int64_t rows, int64_t m, int64_t n, bool accumulate) {
   const int64_t k = b.k();
   const int64_t a_panels = (rows + kMr - 1) / kMr;
   for (int64_t jp = 0; jp < b.num_panels(); ++jp) {
@@ -212,13 +619,226 @@ void ComputeRowBlock(const float* ap, const PackedMatrix& b, float* c, int64_t r
     for (int64_t ir = 0; ir < a_panels; ++ir) {
       const int64_t tile_row0 = row0 + ir * kMr;
       const int64_t tile_rows = std::min<int64_t>(kMr, m - tile_row0);
-      kKernel(ap + ir * k * kMr, bp, k, c + tile_row0 * n + col0, n, tile_rows, cols,
-              accumulate);
+      kernel(ap + ir * k * kMr, bp, k, c + tile_row0 * n + col0, n, tile_rows, cols,
+             accumulate);
     }
   }
 }
 
+void ComputeRowBlockBf16(Bf16KernelFn kernel, const uint16_t* ap, const PackedMatrix& b,
+                         float* c, int64_t row0, int64_t rows, int64_t m, int64_t n,
+                         bool accumulate) {
+  const int64_t groups = (b.k() + 1) / 2;
+  const int64_t a_stride = groups * kMr * 2;
+  const int64_t a_panels = (rows + kMr - 1) / kMr;
+  for (int64_t jp = 0; jp < b.num_panels(); ++jp) {
+    const uint16_t* bp = b.panel_bf16(jp);
+    const int64_t col0 = jp * kNr;
+    const int64_t cols = std::min<int64_t>(kNr, n - col0);
+    for (int64_t ir = 0; ir < a_panels; ++ir) {
+      const int64_t tile_row0 = row0 + ir * kMr;
+      const int64_t tile_rows = std::min<int64_t>(kMr, m - tile_row0);
+      kernel(ap + ir * a_stride, bp, groups, c + tile_row0 * n + col0, n, tile_rows, cols,
+             accumulate);
+    }
+  }
+}
+
+void ComputeRowBlockInt8(Int8KernelFn kernel, int g, bool widen, const uint8_t* ap,
+                         const float* row_scales, const PackedMatrix& b, const float* bias,
+                         float* c, int64_t row0, int64_t rows, int64_t m, int64_t n,
+                         bool accumulate) {
+  const int64_t k = b.k();
+  const int64_t groups = (k + g - 1) / g;
+  const int64_t panel_bytes = groups * kMr * g * (widen ? 2 : 1);
+  const int64_t a_panels = (rows + kMr - 1) / kMr;
+  int32_t acc[kMr * kNr];
+  for (int64_t jp = 0; jp < b.num_panels(); ++jp) {
+    const int8_t* bp = b.panel_int8(jp);
+    const int64_t col0 = jp * kNr;
+    const int64_t cols = std::min<int64_t>(kNr, n - col0);
+    const float* sb = b.col_scales() + col0;
+    const int32_t* corr = b.col_corrections() + col0;
+    const float* bias_j = bias != nullptr ? bias + col0 : nullptr;
+    for (int64_t ir = 0; ir < a_panels; ++ir) {
+      const int64_t tile_row0 = row0 + ir * kMr;
+      const int64_t tile_rows = std::min<int64_t>(kMr, m - tile_row0);
+      kernel(ap + ir * panel_bytes, bp, k, g, acc);
+      DequantStore(acc, row_scales + ir * kMr, sb, corr, bias_j,
+                   c + tile_row0 * n + col0, n, tile_rows, cols, accumulate);
+    }
+  }
+}
+
+void GemmPackedF32(const float* a, const PackedMatrix& b, float* c, int64_t m,
+                   bool accumulate, ThreadPool* pool) {
+  const int64_t k = b.k();
+  const int64_t n = b.n();
+  const KernelFn kernel = MutableDispatch().f32;
+  const int64_t m_blocks = (m + kMc - 1) / kMc;
+  if (pool != nullptr && pool->num_threads() > 1 && m_blocks >= 2) {
+    // Tall A: each job owns a kMc row block — packs it and sweeps all of B.
+    pool->Run(m_blocks, [&](int64_t ib) {
+      const int64_t row0 = ib * kMc;
+      const int64_t rows = std::min<int64_t>(kMc, m - row0);
+      const int64_t panels = (rows + kMr - 1) / kMr;
+      float* ap = APackScratch(panels * kMr * k);
+      PackA(a, k, row0, rows, m, ap);
+      ComputeRowBlock(kernel, ap, b, c, row0, rows, m, n, accumulate);
+    });
+    return;
+  }
+
+  // Short A (the batched-cell common case: m = batch): pack it whole once,
+  // then split across B's column panels. Both partitions assign whole
+  // output tiles to one thread, so the math per element never changes.
+  const int64_t a_panels = (m + kMr - 1) / kMr;
+  float* ap = APackScratch(a_panels * kMr * k);
+  PackA(a, k, /*row0=*/0, m, m, ap);
+  if (pool != nullptr && pool->num_threads() > 1 && b.num_panels() >= 2) {
+    pool->Run(b.num_panels(), [&](int64_t jp) {
+      const float* bp = b.panel(jp);
+      const int64_t col0 = jp * kNr;
+      const int64_t cols = std::min<int64_t>(kNr, n - col0);
+      for (int64_t ir = 0; ir < a_panels; ++ir) {
+        const int64_t row0 = ir * kMr;
+        const int64_t rows = std::min<int64_t>(kMr, m - row0);
+        kernel(ap + ir * k * kMr, bp, k, c + row0 * n + col0, n, rows, cols, accumulate);
+      }
+    });
+    return;
+  }
+  ComputeRowBlock(kernel, ap, b, c, /*row0=*/0, m, m, n, accumulate);
+}
+
+void GemmPackedBf16(const float* a, const PackedMatrix& b, float* c, int64_t m,
+                    bool accumulate, ThreadPool* pool) {
+  const int64_t k = b.k();
+  const int64_t n = b.n();
+  const Bf16KernelFn kernel = MutableDispatch().bf16;
+  const int64_t groups = (k + 1) / 2;
+  const int64_t m_blocks = (m + kMc - 1) / kMc;
+  if (pool != nullptr && pool->num_threads() > 1 && m_blocks >= 2) {
+    pool->Run(m_blocks, [&](int64_t ib) {
+      const int64_t row0 = ib * kMc;
+      const int64_t rows = std::min<int64_t>(kMc, m - row0);
+      const int64_t panels = (rows + kMr - 1) / kMr;
+      uint16_t* ap = Bf16PackScratch(panels * groups * kMr * 2);
+      PackABf16(a, k, row0, rows, m, ap);
+      ComputeRowBlockBf16(kernel, ap, b, c, row0, rows, m, n, accumulate);
+    });
+    return;
+  }
+
+  const int64_t a_panels = (m + kMr - 1) / kMr;
+  const int64_t a_stride = groups * kMr * 2;
+  uint16_t* ap = Bf16PackScratch(a_panels * a_stride);
+  PackABf16(a, k, /*row0=*/0, m, m, ap);
+  if (pool != nullptr && pool->num_threads() > 1 && b.num_panels() >= 2) {
+    pool->Run(b.num_panels(), [&](int64_t jp) {
+      const uint16_t* bp = b.panel_bf16(jp);
+      const int64_t col0 = jp * kNr;
+      const int64_t cols = std::min<int64_t>(kNr, n - col0);
+      for (int64_t ir = 0; ir < a_panels; ++ir) {
+        const int64_t row0 = ir * kMr;
+        const int64_t rows = std::min<int64_t>(kMr, m - row0);
+        kernel(ap + ir * a_stride, bp, groups, c + row0 * n + col0, n, rows, cols,
+               accumulate);
+      }
+    });
+    return;
+  }
+  ComputeRowBlockBf16(kernel, ap, b, c, /*row0=*/0, m, m, n, accumulate);
+}
+
+void GemmPackedInt8(const float* a, const PackedMatrix& b, float* c, int64_t m,
+                    bool accumulate, ThreadPool* pool, const float* bias) {
+  const int64_t k = b.k();
+  const int64_t n = b.n();
+  const GemmDispatch& d = MutableDispatch();
+  Int8KernelFn kernel = d.int8;
+  bool widen = d.int8_a16;
+  const int g = b.int8_kgroup();
+  if (g != d.int8_kgroup) {
+    // B was packed under a different dispatch (forced tier / env override
+    // changed since). The scalar kernel honors any group width.
+    kernel = MicroKernelInt8Scalar;
+    widen = false;
+  }
+  const int64_t groups = (k + g - 1) / g;
+  const int64_t elem_bytes = widen ? 2 : 1;
+  const int64_t m_blocks = (m + kMc - 1) / kMc;
+  if (pool != nullptr && pool->num_threads() > 1 && m_blocks >= 2) {
+    pool->Run(m_blocks, [&](int64_t ib) {
+      const int64_t row0 = ib * kMc;
+      const int64_t rows = std::min<int64_t>(kMc, m - row0);
+      const int64_t panels = (rows + kMr - 1) / kMr;
+      uint8_t* ap = QPackScratch(panels * groups * kMr * g * elem_bytes);
+      float* rs = RowScaleScratch(panels * kMr);
+      PackAInt8(a, k, row0, rows, m, g, widen, ap, rs);
+      ComputeRowBlockInt8(kernel, g, widen, ap, rs, b, bias, c, row0, rows, m, n,
+                          accumulate);
+    });
+    return;
+  }
+
+  const int64_t a_panels = (m + kMr - 1) / kMr;
+  const int64_t panel_bytes = groups * kMr * g * elem_bytes;
+  uint8_t* ap = QPackScratch(a_panels * panel_bytes);
+  float* rs = RowScaleScratch(a_panels * kMr);
+  PackAInt8(a, k, /*row0=*/0, m, m, g, widen, ap, rs);
+  if (pool != nullptr && pool->num_threads() > 1 && b.num_panels() >= 2) {
+    pool->Run(b.num_panels(), [&](int64_t jp) {
+      const int8_t* bp = b.panel_int8(jp);
+      const int64_t col0 = jp * kNr;
+      const int64_t cols = std::min<int64_t>(kNr, n - col0);
+      const float* sb = b.col_scales() + col0;
+      const int32_t* corr = b.col_corrections() + col0;
+      const float* bias_j = bias != nullptr ? bias + col0 : nullptr;
+      int32_t acc[kMr * kNr];
+      for (int64_t ir = 0; ir < a_panels; ++ir) {
+        const int64_t row0 = ir * kMr;
+        const int64_t rows = std::min<int64_t>(kMr, m - row0);
+        kernel(ap + ir * panel_bytes, bp, k, g, acc);
+        DequantStore(acc, rs + ir * kMr, sb, corr, bias_j, c + row0 * n + col0, n, rows,
+                     cols, accumulate);
+      }
+    });
+    return;
+  }
+  ComputeRowBlockInt8(kernel, g, widen, ap, rs, b, bias, c, /*row0=*/0, m, m, n,
+                      accumulate);
+}
+
 }  // namespace
+
+const char* PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kF32:
+      return "fp32";
+    case Precision::kBf16:
+      return "bf16";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "fp32";
+}
+
+bool ParsePrecision(const std::string& text, Precision* out) {
+  if (text == "fp32" || text == "f32") {
+    *out = Precision::kF32;
+    return true;
+  }
+  if (text == "bf16") {
+    *out = Precision::kBf16;
+    return true;
+  }
+  if (text == "int8") {
+    *out = Precision::kInt8;
+    return true;
+  }
+  return false;
+}
 
 PackedMatrix PackedMatrix::Pack(const float* b, int64_t k, int64_t n) {
   BM_CHECK_GE(k, 0);
@@ -245,16 +865,139 @@ PackedMatrix PackedMatrix::Pack(const Tensor& b) {
   return Pack(b.f32(), b.shape().Dim(0), b.shape().Dim(1));
 }
 
+PackedMatrix PackedMatrix::PackBf16(const float* b, int64_t k, int64_t n) {
+  BM_CHECK_GE(k, 0);
+  BM_CHECK_GT(n, 0);
+  PackedMatrix packed;
+  packed.precision_ = Precision::kBf16;
+  packed.k_ = k;
+  packed.n_ = n;
+  packed.num_panels_ = (n + kNr - 1) / kNr;
+  const int64_t groups = (k + 1) / 2;
+  packed.bf16_data_.assign(static_cast<size_t>(packed.num_panels_ * groups * kNr * 2), 0);
+  for (int64_t jp = 0; jp < packed.num_panels_; ++jp) {
+    uint16_t* dst = packed.bf16_data_.data() + jp * groups * kNr * 2;
+    const int64_t col0 = jp * kNr;
+    const int64_t cols = std::min<int64_t>(kNr, n - col0);
+    for (int64_t p = 0; p < k; ++p) {
+      const int64_t g0 = p / 2;
+      const int64_t t = p % 2;
+      for (int64_t jj = 0; jj < cols; ++jj) {
+        dst[g0 * kNr * 2 + jj * 2 + t] = Bf16FromFloat(b[p * n + col0 + jj]);
+      }
+    }
+  }
+  return packed;
+}
+
+PackedMatrix PackedMatrix::PackBf16(const Tensor& b) {
+  BM_CHECK(b.dtype() == DType::kF32);
+  BM_CHECK_EQ(b.shape().Rank(), 2);
+  return PackBf16(b.f32(), b.shape().Dim(0), b.shape().Dim(1));
+}
+
+PackedMatrix PackedMatrix::PackInt8(const float* b, int64_t k, int64_t n) {
+  BM_CHECK_GE(k, 0);
+  BM_CHECK_GT(n, 0);
+  PackedMatrix packed;
+  packed.precision_ = Precision::kInt8;
+  packed.k_ = k;
+  packed.n_ = n;
+  packed.num_panels_ = (n + kNr - 1) / kNr;
+  const int g = MutableDispatch().int8_kgroup;
+  packed.int8_kgroup_ = g;
+  const int64_t groups = (k + g - 1) / g;
+  packed.i8_data_.assign(static_cast<size_t>(packed.num_panels_ * groups * kNr * g), 0);
+  packed.col_scales_.assign(static_cast<size_t>(n), 0.0f);
+  packed.col_corr_.assign(static_cast<size_t>(n), 0);
+
+  // Per-output-column symmetric scale: absmax/127, 0-guarded so an all-zero
+  // column stays exactly zero after dequant.
+  std::vector<float> inv(static_cast<size_t>(n), 0.0f);
+  for (int64_t p = 0; p < k; ++p) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float v = b[p * n + j];
+      BM_CHECK(std::isfinite(v)) << "PackInt8: non-finite weight at [" << p << "," << j
+                                 << "]";
+      const float av = std::fabs(v);
+      if (av > packed.col_scales_[j]) {
+        packed.col_scales_[j] = av;  // absmax for now; rescaled below
+      }
+    }
+  }
+  for (int64_t j = 0; j < n; ++j) {
+    const float amax = packed.col_scales_[j];
+    if (amax > 0.0f) {
+      packed.col_scales_[j] = amax / 127.0f;
+      inv[static_cast<size_t>(j)] = 127.0f / amax;
+    }
+  }
+  std::vector<int64_t> colsum(static_cast<size_t>(n), 0);
+  for (int64_t jp = 0; jp < packed.num_panels_; ++jp) {
+    int8_t* dst = packed.i8_data_.data() + jp * groups * kNr * g;
+    const int64_t col0 = jp * kNr;
+    const int64_t cols = std::min<int64_t>(kNr, n - col0);
+    for (int64_t p = 0; p < k; ++p) {
+      const int64_t g0 = p / g;
+      const int64_t t = p % g;
+      for (int64_t jj = 0; jj < cols; ++jj) {
+        const int64_t col = col0 + jj;
+        int q = 0;
+        if (inv[static_cast<size_t>(col)] != 0.0f) {
+          q = static_cast<int>(
+              std::lrintf(b[p * n + col] * inv[static_cast<size_t>(col)]));
+          q = std::min(127, std::max(-127, q));
+        }
+        dst[g0 * kNr * g + jj * g + t] = static_cast<int8_t>(q);
+        colsum[static_cast<size_t>(col)] += q;
+      }
+    }
+  }
+  // u8 zero-point correction: the kernel computes sum (q_a + 128) * q_b, so
+  // subtracting 128 * colsum(q_b) recovers sum q_a * q_b exactly.
+  for (int64_t j = 0; j < n; ++j) {
+    packed.col_corr_[static_cast<size_t>(j)] =
+        static_cast<int32_t>(128 * colsum[static_cast<size_t>(j)]);
+  }
+  return packed;
+}
+
+PackedMatrix PackedMatrix::PackInt8(const Tensor& b) {
+  BM_CHECK(b.dtype() == DType::kF32);
+  BM_CHECK_EQ(b.shape().Rank(), 2);
+  return PackInt8(b.f32(), b.shape().Dim(0), b.shape().Dim(1));
+}
+
 const float* PackedMatrix::panel(int64_t j) const {
+  BM_CHECK(precision_ == Precision::kF32);
   BM_CHECK_GE(j, 0);
   BM_CHECK_LT(j, num_panels_);
   return data_.data() + j * k_ * kNr;
 }
 
+const uint16_t* PackedMatrix::panel_bf16(int64_t j) const {
+  BM_CHECK(precision_ == Precision::kBf16);
+  BM_CHECK_GE(j, 0);
+  BM_CHECK_LT(j, num_panels_);
+  const int64_t groups = (k_ + 1) / 2;
+  return bf16_data_.data() + j * groups * kNr * 2;
+}
+
+const int8_t* PackedMatrix::panel_int8(int64_t j) const {
+  BM_CHECK(precision_ == Precision::kInt8);
+  BM_CHECK_GE(j, 0);
+  BM_CHECK_LT(j, num_panels_);
+  const int64_t groups = (k_ + int8_kgroup_ - 1) / int8_kgroup_;
+  return i8_data_.data() + j * groups * kNr * int8_kgroup_;
+}
+
 void GemmPacked(const float* a, const PackedMatrix& b, float* c, int64_t m,
-                bool accumulate, ThreadPool* pool) {
+                bool accumulate, ThreadPool* pool, const float* bias) {
   const int64_t k = b.k();
   const int64_t n = b.n();
+  if (b.precision() != Precision::kInt8) {
+    BM_CHECK(bias == nullptr) << "bias fusion is supported on int8 packs only";
+  }
   if (m <= 0 || n <= 0) {
     return;
   }
@@ -263,43 +1006,27 @@ void GemmPacked(const float* a, const PackedMatrix& b, float* c, int64_t m,
     if (!accumulate) {
       std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
     }
-    return;
-  }
-
-  const int64_t m_blocks = (m + kMc - 1) / kMc;
-  if (pool != nullptr && pool->num_threads() > 1 && m_blocks >= 2) {
-    // Tall A: each job owns a kMc row block — packs it and sweeps all of B.
-    pool->Run(m_blocks, [&](int64_t ib) {
-      const int64_t row0 = ib * kMc;
-      const int64_t rows = std::min<int64_t>(kMc, m - row0);
-      const int64_t panels = (rows + kMr - 1) / kMr;
-      float* ap = APackScratch(panels * kMr * k);
-      PackA(a, k, row0, rows, m, ap);
-      ComputeRowBlock(ap, b, c, row0, rows, m, n, accumulate);
-    });
-    return;
-  }
-
-  // Short A (the batched-cell common case: m = batch): pack it whole once,
-  // then split across B's column panels. Both partitions assign whole
-  // output tiles to one thread, so the math per element never changes.
-  const int64_t a_panels = (m + kMr - 1) / kMr;
-  float* ap = APackScratch(a_panels * kMr * k);
-  PackA(a, k, /*row0=*/0, m, m, ap);
-  if (pool != nullptr && pool->num_threads() > 1 && b.num_panels() >= 2) {
-    pool->Run(b.num_panels(), [&](int64_t jp) {
-      const float* bp = b.panel(jp);
-      const int64_t col0 = jp * kNr;
-      const int64_t cols = std::min<int64_t>(kNr, n - col0);
-      for (int64_t ir = 0; ir < a_panels; ++ir) {
-        const int64_t row0 = ir * kMr;
-        const int64_t rows = std::min<int64_t>(kMr, m - row0);
-        kKernel(ap + ir * k * kMr, bp, k, c + row0 * n + col0, n, rows, cols, accumulate);
+    if (bias != nullptr) {
+      for (int64_t i = 0; i < m; ++i) {
+        float* dst = c + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+          dst[j] += bias[j];
+        }
       }
-    });
+    }
     return;
   }
-  ComputeRowBlock(ap, b, c, /*row0=*/0, m, m, n, accumulate);
+  switch (b.precision()) {
+    case Precision::kF32:
+      GemmPackedF32(a, b, c, m, accumulate, pool);
+      return;
+    case Precision::kBf16:
+      GemmPackedBf16(a, b, c, m, accumulate, pool);
+      return;
+    case Precision::kInt8:
+      GemmPackedInt8(a, b, c, m, accumulate, pool, bias);
+      return;
+  }
 }
 
 void GemmRaw(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
@@ -327,6 +1054,42 @@ Tensor MatMulPacked(const Tensor& a, const PackedMatrix& b, ThreadPool* pool) {
   return c;
 }
 
-bool GemmUsesSimd() { return kKernel != MicroKernelScalar; }
+Tensor MatMulPackedBias(const Tensor& a, const PackedMatrix& b, const Tensor& bias,
+                        ThreadPool* pool) {
+  BM_CHECK(b.precision() == Precision::kInt8);
+  BM_CHECK(a.dtype() == DType::kF32);
+  BM_CHECK(bias.dtype() == DType::kF32);
+  BM_CHECK_EQ(a.shape().Rank(), 2);
+  BM_CHECK_EQ(bias.shape().NumElements(), b.n());
+  const int64_t m = a.shape().Dim(0);
+  const int64_t k = a.shape().Dim(1);
+  BM_CHECK_EQ(k, b.k()) << "MatMul inner dimension mismatch: " << a.shape().ToString()
+                        << " x [" << b.k() << "," << b.n() << "]";
+  Tensor c = Tensor::Uninitialized(Shape{m, b.n()});
+  GemmPacked(a.f32(), b, c.f32(), m, /*accumulate=*/false, pool, bias.f32());
+  return c;
+}
+
+bool GemmUsesSimd() { return MutableDispatch().f32 != MicroKernelScalar; }
+
+const char* GemmKernelName(Precision p) {
+  const GemmDispatch& d = MutableDispatch();
+  switch (p) {
+    case Precision::kF32:
+      return d.f32_name;
+    case Precision::kBf16:
+      return d.bf16_name;
+    case Precision::kInt8:
+      return d.int8_name;
+  }
+  return d.f32_name;
+}
+
+void GemmForceTierForTest(const char* tier) {
+  unsigned feat = DetectCpuFeatures();
+  unsigned cap = ~0u;
+  BM_CHECK(ParseTierMask(tier, &cap)) << "unknown gemm tier: " << (tier ? tier : "");
+  MutableDispatch() = MakeDispatch(feat & cap);
+}
 
 }  // namespace batchmaker

@@ -9,16 +9,32 @@
 // (AVX2+FMA when the CPU supports it, selected at runtime; portable scalar
 // tile otherwise).
 //
+// Three kernel families share the dispatch seam, selected by how B was
+// packed (Precision tag on PackedMatrix):
+//   fp32 — the original path; unchanged math, unchanged bitwise results.
+//   bf16 — A and B truncated to bfloat16 (round-to-nearest-even), fp32
+//          accumulate. AVX-512 BF16 `_mm512_dpbf16_ps` when the CPU has it,
+//          otherwise a pure-C++ emulated-bf16 kernel so the precision is
+//          testable on any host.
+//   int8 — dynamic per-row activation quantization (u8, zero point 128) x
+//          per-output-channel symmetric weight scales (s8), s32 accumulate,
+//          fp32 dequant epilogue with optional fused bias. AVX-512 VNNI
+//          `_mm512_dpbusd_epi32`, an AVX2 widening-madd fallback, and a
+//          portable scalar kernel.
+//
 // Determinism contract: each C element is accumulated over k in one fixed
 // sequential order by exactly one thread, and the work partition assigns
 // whole output tiles to threads — so results are bitwise identical for any
-// ThreadPool size, including the serial path. See DESIGN.md "CPU backend
-// execution pipeline".
+// ThreadPool size, including the serial path. The contract is *per kernel
+// within a precision*, never across precisions. Int8 is stronger: s32
+// accumulation is exact and the dequant epilogue is shared scalar code, so
+// all int8 kernels agree bitwise. See DESIGN.md "Low-precision execution".
 
 #ifndef SRC_TENSOR_GEMM_H_
 #define SRC_TENSOR_GEMM_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/tensor/tensor.h"
@@ -27,9 +43,32 @@ namespace batchmaker {
 
 class ThreadPool;
 
+// Numeric precision of the packed-weight GEMM path. fp32 is the default and
+// is byte-for-byte identical to the pre-low-precision code.
+enum class Precision {
+  kF32 = 0,
+  kBf16 = 1,
+  kInt8 = 2,
+};
+inline constexpr int kNumPrecisions = 3;
+
+// "fp32" / "bf16" / "int8".
+const char* PrecisionName(Precision p);
+// Parses the names above; returns false (out untouched) on anything else.
+bool ParsePrecision(const std::string& text, Precision* out);
+
 // B[k,n] repacked into column panels of the kernel's NR width, k-major
 // within a panel, zero-padded to full width. Packing is cheap (one pass
 // over B) but the win is doing it once per weight instead of per call.
+//
+// Low-precision packs additionally quantize:
+//  - PackBf16 stores bf16 values in k-pair-interleaved panels (the
+//    dpbf16 operand layout; the emulated kernel reads the same panels).
+//  - PackInt8 stores s8 values in k-group-interleaved panels (group width
+//    matches the dispatched kernel: 4 for VNNI, 2 for AVX2/scalar), plus
+//    per-output-column symmetric scales (absmax/127, 0 for an all-zero
+//    column) and the u8 zero-point correction term
+//    col_corr[j] = 128 * sum_p B_s8[p, j].
 class PackedMatrix {
  public:
   PackedMatrix() = default;
@@ -37,25 +76,53 @@ class PackedMatrix {
   static PackedMatrix Pack(const float* b, int64_t k, int64_t n);
   static PackedMatrix Pack(const Tensor& b);  // rank-2 f32
 
+  static PackedMatrix PackBf16(const float* b, int64_t k, int64_t n);
+  static PackedMatrix PackBf16(const Tensor& b);  // rank-2 f32
+
+  // BM_CHECK-fails on non-finite weight values.
+  static PackedMatrix PackInt8(const float* b, int64_t k, int64_t n);
+  static PackedMatrix PackInt8(const Tensor& b);  // rank-2 f32
+
+  Precision precision() const { return precision_; }
   int64_t k() const { return k_; }
   int64_t n() const { return n_; }
   int64_t num_panels() const { return num_panels_; }
-  // Panel j: k() x NR floats, row (k) major.
+  // Panel j: k() x NR floats, row (k) major. fp32 packs only.
   const float* panel(int64_t j) const;
+  // Panel j: ceil(k/2) x NR x 2 bf16 values (k-pair interleaved per column).
+  const uint16_t* panel_bf16(int64_t j) const;
+  // Panel j: ceil(k/g) x NR x g s8 values (k-group interleaved per column),
+  // g = int8_kgroup().
+  const int8_t* panel_int8(int64_t j) const;
+
+  // Int8 metadata; valid only when precision() == kInt8.
+  const float* col_scales() const { return col_scales_.data(); }
+  const int32_t* col_corrections() const { return col_corr_.data(); }
+  int int8_kgroup() const { return int8_kgroup_; }
 
  private:
+  Precision precision_ = Precision::kF32;
   int64_t k_ = 0;
   int64_t n_ = 0;
   int64_t num_panels_ = 0;
-  std::vector<float> data_;
+  std::vector<float> data_;         // fp32
+  std::vector<uint16_t> bf16_data_; // bf16
+  std::vector<int8_t> i8_data_;     // int8
+  std::vector<float> col_scales_;   // int8: n() entries
+  std::vector<int32_t> col_corr_;   // int8: n() entries
+  int int8_kgroup_ = 0;             // int8: k-group width the panels use
 };
 
 // C[m,n] = A[m,k] * B (accumulate=false; C need not be initialized — the
 // first k-panel writes directly, no separate zero pass) or C += A * B
 // (accumulate=true). Parallelizes over output tiles when `pool` is non-null
-// and the shape warrants it.
+// and the shape warrants it. A is always fp32; it is converted/quantized on
+// the fly into per-thread packing scratch according to b.precision().
+// `bias` (length n, nullable) is fused into the int8 dequant epilogue and
+// must be null for fp32/bf16 packs.
 void GemmPacked(const float* a, const PackedMatrix& b, float* c, int64_t m,
-                bool accumulate, ThreadPool* pool = nullptr);
+                bool accumulate, ThreadPool* pool = nullptr,
+                const float* bias = nullptr);
 
 // Raw-pointer forms packing B on the fly; strides equal row widths.
 // C[m,n] = A[m,k] * B[k,n].
@@ -68,10 +135,27 @@ void GemmAccumulateRaw(const float* a, const float* b, float* c, int64_t m, int6
 // dimensions; the packed form avoids re-packing the weight per call.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 Tensor MatMulPacked(const Tensor& a, const PackedMatrix& b, ThreadPool* pool = nullptr);
+// Int8 packs only: fuses the row-broadcast bias add (length b.n()) into the
+// dequant epilogue. Bitwise identical to MatMulPacked followed by AddBias.
+Tensor MatMulPackedBias(const Tensor& a, const PackedMatrix& b, const Tensor& bias,
+                        ThreadPool* pool = nullptr);
 
 // True if the runtime-dispatched kernel uses the SIMD path on this CPU
 // (diagnostics / benchmark labeling).
 bool GemmUsesSimd();
+
+// Name of the kernel the dispatcher would run for `p` on this host, e.g.
+// "avx512_fp32", "avx512_vnni_int8", "emulated_bf16", "scalar_fp32".
+// Reflects the BM_GEMM_KERNEL env override / forced tier.
+const char* GemmKernelName(Precision p = Precision::kF32);
+
+// Re-runs dispatch with the feature set capped at `tier` (one of "scalar",
+// "avx2", "avx512", "avx512_bf16", "avx512_vnni", "native"; nullptr/empty
+// or "native" restores full auto-detection). The cap is intersected with
+// what cpuid actually reports — forcing a tier the CPU lacks clamps to the
+// best supported subset, never to an illegal-instruction crash. Test-only:
+// not thread-safe against concurrent GEMM calls.
+void GemmForceTierForTest(const char* tier);
 
 }  // namespace batchmaker
 

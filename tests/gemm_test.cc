@@ -206,5 +206,342 @@ TEST(GemmTest, MatMulTensorWrapper) {
   EXPECT_TRUE(c.ElementsEqual(cp));
 }
 
+// ---------------------------------------------------------------------------
+// Low-precision paths (bf16 / int8). The accuracy contract pinned here is
+// documented in DESIGN.md "Low-precision execution": relative Frobenius
+// error vs the fp32 naive reference, plus bitwise repeatability and
+// serial-vs-pool identity *within* each precision.
+
+// Restores full auto-detected dispatch when a tier-forcing test exits (on
+// success or failure).
+struct TierGuard {
+  ~TierGuard() { GemmForceTierForTest("native"); }
+};
+
+double RelFrobenius(const std::vector<float>& got, const std::vector<float>& want) {
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    const double d = static_cast<double>(got[i]) - static_cast<double>(want[i]);
+    num += d * d;
+    den += static_cast<double>(want[i]) * static_cast<double>(want[i]);
+  }
+  return den == 0.0 ? std::sqrt(num) : std::sqrt(num / den);
+}
+
+std::vector<float> RunPacked(const std::vector<float>& a, const PackedMatrix& packed,
+                             int64_t m, ThreadPool* pool = nullptr) {
+  std::vector<float> c(static_cast<size_t>(m * packed.n()), -3.0f);
+  GemmPacked(a.data(), packed, c.data(), m, /*accumulate=*/false, pool);
+  return c;
+}
+
+// Documented accuracy bounds (DESIGN.md table). bf16 keeps 8 significand
+// bits; int8 additionally quantizes activations per row. Both bounds carry
+// ~2x headroom over values measured across the shape grid on the avx512
+// and scalar tiers.
+constexpr double kBf16FrobeniusBound = 0.02;
+constexpr double kInt8FrobeniusBound = 0.05;
+
+TEST(GemmLowPrecisionTest, Bf16MatchesFp32WithinBound) {
+  const int64_t sizes[] = {1, 3, 17, 64, 130};
+  uint32_t seed = 301;
+  for (int64_t m : sizes) {
+    for (int64_t k : sizes) {
+      for (int64_t n : sizes) {
+        SCOPED_TRACE(testing::Message() << "m=" << m << " k=" << k << " n=" << n);
+        const auto a = RandomMatrix(m, k, seed++);
+        const auto b = RandomMatrix(k, n, seed++);
+        const PackedMatrix packed = PackedMatrix::PackBf16(b.data(), k, n);
+        EXPECT_EQ(packed.precision(), Precision::kBf16);
+        const auto got = RunPacked(a, packed, m);
+        const auto want = NaiveGemm(a, b, m, k, n, /*accumulate=*/false);
+        EXPECT_LE(RelFrobenius(got, want), kBf16FrobeniusBound);
+      }
+    }
+  }
+}
+
+TEST(GemmLowPrecisionTest, Int8MatchesFp32WithinBound) {
+  const int64_t sizes[] = {1, 3, 17, 64, 130};
+  uint32_t seed = 601;
+  for (int64_t m : sizes) {
+    for (int64_t k : sizes) {
+      for (int64_t n : sizes) {
+        SCOPED_TRACE(testing::Message() << "m=" << m << " k=" << k << " n=" << n);
+        const auto a = RandomMatrix(m, k, seed++);
+        const auto b = RandomMatrix(k, n, seed++);
+        const PackedMatrix packed = PackedMatrix::PackInt8(b.data(), k, n);
+        EXPECT_EQ(packed.precision(), Precision::kInt8);
+        const auto got = RunPacked(a, packed, m);
+        const auto want = NaiveGemm(a, b, m, k, n, /*accumulate=*/false);
+        EXPECT_LE(RelFrobenius(got, want), kInt8FrobeniusBound);
+      }
+    }
+  }
+}
+
+// K not a multiple of the k-group width (2 for bf16 pairs, 4 for VNNI
+// quads) exercises the padded tail slots; M=1 is the decode-shaped case.
+TEST(GemmLowPrecisionTest, DecodeShapedAndOddKTails) {
+  const int64_t ks[] = {1, 2, 3, 5, 7, 17, 63};
+  uint32_t seed = 901;
+  for (int64_t k : ks) {
+    SCOPED_TRACE(testing::Message() << "k=" << k);
+    const int64_t m = 1, n = 33;
+    const auto a = RandomMatrix(m, k, seed++);
+    const auto b = RandomMatrix(k, n, seed++);
+    const auto want = NaiveGemm(a, b, m, k, n, /*accumulate=*/false);
+    const auto got_bf16 = RunPacked(a, PackedMatrix::PackBf16(b.data(), k, n), m);
+    const auto got_int8 = RunPacked(a, PackedMatrix::PackInt8(b.data(), k, n), m);
+    EXPECT_LE(RelFrobenius(got_bf16, want), kBf16FrobeniusBound);
+    EXPECT_LE(RelFrobenius(got_int8, want), kInt8FrobeniusBound);
+  }
+}
+
+TEST(GemmLowPrecisionTest, RepeatedCallsAreBitwiseIdentical) {
+  const int64_t m = 37, k = 65, n = 49;
+  const auto a = RandomMatrix(m, k, 1201);
+  const auto b = RandomMatrix(k, n, 1202);
+  for (Precision p : {Precision::kBf16, Precision::kInt8}) {
+    SCOPED_TRACE(PrecisionName(p));
+    const PackedMatrix packed = p == Precision::kBf16
+                                    ? PackedMatrix::PackBf16(b.data(), k, n)
+                                    : PackedMatrix::PackInt8(b.data(), k, n);
+    const auto first = RunPacked(a, packed, m);
+    const auto second = RunPacked(a, packed, m);
+    EXPECT_EQ(0, std::memcmp(first.data(), second.data(), first.size() * sizeof(float)));
+  }
+}
+
+// The serial-vs-pool determinism memcmp from the fp32 contract, extended to
+// both new precisions and both parallel partitions (tall A -> block
+// partition; short A -> panel partition).
+TEST(GemmLowPrecisionTest, ParallelIsBitwiseIdenticalToSerial) {
+  struct ShapeCase {
+    int64_t m, k, n;
+  };
+  const ShapeCase cases[] = {
+      {1, 64, 130},    // one M block, many panels -> panel partition
+      {130, 17, 64},   // multiple M blocks (kMc=120) -> block partition
+      {257, 130, 96},  // both dimensions non-trivial
+      {3, 1, 17},      // degenerate small
+  };
+  ThreadPool pool2(2);
+  ThreadPool pool4(4);
+  ThreadPool pool7(7);
+  uint32_t seed = 1500;
+  for (Precision p : {Precision::kBf16, Precision::kInt8}) {
+    for (const ShapeCase& sc : cases) {
+      SCOPED_TRACE(testing::Message() << PrecisionName(p) << " m=" << sc.m
+                                      << " k=" << sc.k << " n=" << sc.n);
+      const auto a = RandomMatrix(sc.m, sc.k, seed++);
+      const auto b = RandomMatrix(sc.k, sc.n, seed++);
+      const PackedMatrix packed = p == Precision::kBf16
+                                      ? PackedMatrix::PackBf16(b.data(), sc.k, sc.n)
+                                      : PackedMatrix::PackInt8(b.data(), sc.k, sc.n);
+      const auto serial = RunPacked(a, packed, sc.m);
+      for (ThreadPool* pool : {&pool2, &pool4, &pool7}) {
+        const auto parallel = RunPacked(a, packed, sc.m, pool);
+        EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                                 serial.size() * sizeof(float)))
+            << "pool size " << pool->num_threads();
+      }
+    }
+  }
+}
+
+// An all-zero weight column has scale 0 and must dequantize to exactly 0
+// (no 0/0 NaN), regardless of the activations.
+TEST(GemmLowPrecisionTest, Int8ZeroWeightColumnStaysExactlyZero) {
+  const int64_t m = 9, k = 31, n = 20;
+  const auto a = RandomMatrix(m, k, 1700);
+  auto b = RandomMatrix(k, n, 1701);
+  const int64_t dead_col = 7;
+  for (int64_t p = 0; p < k; ++p) {
+    b[static_cast<size_t>(p * n + dead_col)] = 0.0f;
+  }
+  const PackedMatrix packed = PackedMatrix::PackInt8(b.data(), k, n);
+  const auto c = RunPacked(a, packed, m);
+  for (int64_t i = 0; i < m; ++i) {
+    EXPECT_EQ(c[static_cast<size_t>(i * n + dead_col)], 0.0f) << "row " << i;
+  }
+}
+
+// A zero activation row similarly has scale 0 and must produce an exactly
+// zero output row.
+TEST(GemmLowPrecisionTest, Int8ZeroActivationRowStaysExactlyZero) {
+  const int64_t m = 5, k = 24, n = 18;
+  auto a = RandomMatrix(m, k, 1800);
+  const auto b = RandomMatrix(k, n, 1801);
+  for (int64_t p = 0; p < k; ++p) {
+    a[static_cast<size_t>(2 * k + p)] = 0.0f;
+  }
+  const auto c = RunPacked(a, PackedMatrix::PackInt8(b.data(), k, n), m);
+  for (int64_t j = 0; j < n; ++j) {
+    EXPECT_EQ(c[static_cast<size_t>(2 * n + j)], 0.0f) << "col " << j;
+  }
+}
+
+// Non-finite values must die loudly at the quantization boundary, not
+// silently poison the s32 accumulators (UB via lrintf on inf/NaN).
+TEST(GemmLowPrecisionDeathTest, Int8NonFiniteActivationDies) {
+  const int64_t m = 3, k = 10, n = 17;
+  const auto b = RandomMatrix(k, n, 1900);
+  const PackedMatrix packed = PackedMatrix::PackInt8(b.data(), k, n);
+  for (float poison : {std::numeric_limits<float>::quiet_NaN(),
+                       std::numeric_limits<float>::infinity(),
+                       -std::numeric_limits<float>::infinity()}) {
+    auto a = RandomMatrix(m, k, 1901);
+    a[static_cast<size_t>(1 * k + 4)] = poison;
+    std::vector<float> c(static_cast<size_t>(m * n));
+    EXPECT_DEATH(GemmPacked(a.data(), packed, c.data(), m, /*accumulate=*/false),
+                 "non-finite activation");
+  }
+}
+
+TEST(GemmLowPrecisionDeathTest, Int8NonFiniteWeightDies) {
+  const int64_t k = 8, n = 5;
+  auto b = RandomMatrix(k, n, 2000);
+  b[11] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_DEATH(PackedMatrix::PackInt8(b.data(), k, n), "non-finite weight");
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch-tier forcing. GemmForceTierForTest runs the same ParseTierMask /
+// MakeDispatch path as the BM_GEMM_KERNEL env override (which CI exercises
+// as an actual env var); the forced cap is intersected with cpuid, so every
+// tier below runs safely on any host (it clamps to the best supported
+// subset instead of crashing).
+
+// Integer-valued matrices make every fp32 kernel exact (all products and
+// partial sums are integers well inside 2^24), so results must be bitwise
+// identical across tiers even though the kernels associate differently.
+std::vector<float> IntegerMatrix(int64_t rows, int64_t cols, uint32_t seed) {
+  std::mt19937 gen(seed);
+  std::uniform_int_distribution<int> dist(-8, 8);
+  std::vector<float> m(static_cast<size_t>(rows * cols));
+  for (float& v : m) {
+    v = static_cast<float>(dist(gen));
+  }
+  return m;
+}
+
+TEST(GemmDispatchTest, ForcedTiersProduceIdenticalFp32ResultsOnExactInputs) {
+  TierGuard guard;
+  const int64_t m = 67, k = 96, n = 130;
+  const auto a = IntegerMatrix(m, k, 2100);
+  const auto b = IntegerMatrix(k, n, 2101);
+  const char* tiers[] = {"scalar", "avx2", "avx512", "avx512_bf16", "avx512_vnni",
+                         "native"};
+  std::vector<float> reference;
+  for (const char* tier : tiers) {
+    SCOPED_TRACE(tier);
+    GemmForceTierForTest(tier);
+    const PackedMatrix packed = PackedMatrix::Pack(b.data(), k, n);
+    const auto got = RunPacked(a, packed, m);
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      EXPECT_EQ(0,
+                std::memcmp(reference.data(), got.data(), got.size() * sizeof(float)));
+    }
+  }
+}
+
+// int8 goes further than the fp32 contract: s32 accumulation is exact and
+// the dequant epilogue is shared scalar code, so *arbitrary* inputs give
+// bitwise-identical results across every tier — including repacking B at
+// each tier's own k-group layout.
+TEST(GemmDispatchTest, Int8BitwiseIdenticalAcrossAllTiers) {
+  TierGuard guard;
+  const int64_t m = 29, k = 77, n = 65;
+  const auto a = RandomMatrix(m, k, 2200);
+  const auto b = RandomMatrix(k, n, 2201);
+  const char* tiers[] = {"scalar", "avx2", "avx512", "avx512_vnni", "native"};
+  std::vector<float> reference;
+  for (const char* tier : tiers) {
+    SCOPED_TRACE(tier);
+    GemmForceTierForTest(tier);
+    const PackedMatrix packed = PackedMatrix::PackInt8(b.data(), k, n);
+    const auto got = RunPacked(a, packed, m);
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      EXPECT_EQ(0,
+                std::memcmp(reference.data(), got.data(), got.size() * sizeof(float)));
+    }
+  }
+}
+
+// A pack made under one tier stays correct when dispatch later resolves to
+// a kernel expecting a different k-group layout (generic fallback).
+TEST(GemmDispatchTest, Int8PackSurvivesDispatchChange) {
+  TierGuard guard;
+  const int64_t m = 11, k = 39, n = 33;
+  const auto a = RandomMatrix(m, k, 2300);
+  const auto b = RandomMatrix(k, n, 2301);
+  GemmForceTierForTest("native");
+  const PackedMatrix packed_native = PackedMatrix::PackInt8(b.data(), k, n);
+  const auto want = RunPacked(a, packed_native, m);
+  GemmForceTierForTest("avx2");
+  const auto got = RunPacked(a, packed_native, m);  // layout may mismatch avx2
+  EXPECT_EQ(0, std::memcmp(want.data(), got.data(), got.size() * sizeof(float)));
+}
+
+TEST(GemmDispatchTest, KernelNamesReflectForcedTier) {
+  TierGuard guard;
+  GemmForceTierForTest("scalar");
+  EXPECT_STREQ(GemmKernelName(Precision::kF32), "scalar_fp32");
+  EXPECT_STREQ(GemmKernelName(Precision::kBf16), "emulated_bf16");
+  EXPECT_STREQ(GemmKernelName(Precision::kInt8), "scalar_int8");
+  EXPECT_FALSE(GemmUsesSimd());
+  GemmForceTierForTest("native");
+  // Whatever the host supports, the names must be non-empty and stable.
+  EXPECT_NE(GemmKernelName(Precision::kF32), nullptr);
+  EXPECT_NE(GemmKernelName(Precision::kBf16), nullptr);
+  EXPECT_NE(GemmKernelName(Precision::kInt8), nullptr);
+}
+
+TEST(GemmLowPrecisionTest, PrecisionNamesRoundTrip) {
+  for (Precision p : {Precision::kF32, Precision::kBf16, Precision::kInt8}) {
+    Precision parsed = Precision::kF32;
+    EXPECT_TRUE(ParsePrecision(PrecisionName(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  Precision unused = Precision::kF32;
+  EXPECT_FALSE(ParsePrecision("fp16", &unused));
+}
+
+// Fused-bias epilogue: same math as MatMulPacked followed by a row
+// broadcast add, to within one rounding of the final add.
+TEST(GemmLowPrecisionTest, Int8FusedBiasMatchesSeparateAdd) {
+  const int64_t m = 13, k = 40, n = 37;
+  const auto a = RandomMatrix(m, k, 2400);
+  const auto b = RandomMatrix(k, n, 2401);
+  const auto bias = RandomMatrix(1, n, 2402);
+  const PackedMatrix packed = PackedMatrix::PackInt8(b.data(), k, n);
+  Tensor at = Tensor::FromVector(Shape{m, k}, a);
+  Tensor bias_t = Tensor::FromVector(Shape{n}, bias);
+
+  const Tensor fused = MatMulPackedBias(at, packed, bias_t);
+  const Tensor unfused = MatMulPacked(at, packed);
+  std::vector<float> want(static_cast<size_t>(m * n));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      want[static_cast<size_t>(i * n + j)] =
+          unfused.f32()[i * n + j] + bias[static_cast<size_t>(j)];
+    }
+  }
+  std::vector<float> got(fused.f32(), fused.f32() + m * n);
+  ExpectClose(got, want);
+
+  // And the fused path itself is bitwise repeatable, serial vs pool.
+  ThreadPool pool4(4);
+  const Tensor fused_pool = MatMulPackedBias(at, packed, bias_t, &pool4);
+  EXPECT_EQ(0, std::memcmp(fused.f32(), fused_pool.f32(),
+                           static_cast<size_t>(m * n) * sizeof(float)));
+}
+
 }  // namespace
 }  // namespace batchmaker

@@ -3,7 +3,8 @@
 
 Both files use the shared envelope {"bench": name, "results": [rows]}
 (see bench/bench_common.h). Rows are matched by a key tuple (default:
-rate_rps + pipeline_depth + shards + workers, the fig07 sweep axes) and
+rate_rps + pipeline_depth + shards + workers + precision, the fig07 sweep
+axes; rows written before the precision field existed count as fp32) and
 the run fails if any watched metric regresses by more than its threshold
 relative to the baseline.
 
@@ -27,7 +28,14 @@ The CI perf-smoke job runs:
     tools/compare_bench.py bench/baselines/BENCH_fig07_baseline.json \
         build/BENCH_fig07.json --metric p50_ms:0.25 --metric p99_ms:0.5 \
         --assert-ratio tasks_per_sec:shards=2,workers=4:shards=1,workers=4:1.5 \
+        --assert-ratio "tasks_per_sec:precision=int8,workers=1,rate_rps=0:\
+precision=fp32,workers=1,rate_rps=0:1.5:require-kernel=vnni" \
         --min-cores 4
+
+An --assert-ratio may carry a 5th part, require-kernel=substr: the check
+is skipped loudly (instead of failing) when the numerator row's "kernel"
+field lacks the substring — the int8-vs-fp32 speedup gate only holds on
+hosts whose cpuid dispatched a VNNI kernel.
 
 Exit codes: 0 ok, 1 regression, 2 usage/format error. Only stdlib.
 """
@@ -50,7 +58,9 @@ def load_rows(path, keys):
     rows = {}
     for row in doc["results"]:
         try:
-            key = tuple(row[k] for k in keys)
+            # Rows written before the precision axis existed are fp32.
+            key = tuple(row.get(k, "fp32") if k == "precision" else row[k]
+                        for k in keys)
         except KeyError as e:
             sys.exit(f"error: {path}: row missing key field {e}: {row}")
         if key in rows:
@@ -78,7 +88,11 @@ def parse_metrics(specs, default_threshold):
 
 
 def parse_selector(text):
-    """{"shards": 2.0, "workers": 4.0} from "shards=2,workers=4"."""
+    """{"shards": 2.0, "precision": "int8"} from "shards=2,precision=int8".
+
+    Values parse as floats when they can (so 2 matches 2.0 in the JSON) and
+    stay strings otherwise (precision/kernel fields).
+    """
     selector = {}
     for part in text.split(","):
         field, sep, value = part.partition("=")
@@ -88,34 +102,57 @@ def parse_selector(text):
         try:
             selector[field] = float(value)
         except ValueError:
-            sys.exit(f"error: non-numeric selector value in {part!r}")
+            selector[field] = value
     return selector
 
 
 def parse_ratios(specs):
-    """[(metric, num_selector, den_selector, min_ratio)] from repeated
-    "metric:num_sel:den_sel:min" specs."""
+    """[(metric, num_selector, den_selector, min_ratio, require_kernel)] from
+    repeated "metric:num_sel:den_sel:min[:require-kernel=substr]" specs.
+
+    The optional 5th part gates the check on the dispatched GEMM kernel: if
+    the numerator row's "kernel" field does not contain the substring, the
+    check is skipped loudly instead of failing (e.g. the int8-vs-fp32
+    speedup ratio only means something when the host dispatched a VNNI
+    kernel, not the avx2/scalar fallback)."""
     ratios = []
     for spec in specs:
         parts = spec.split(":")
-        if len(parts) != 4:
+        if len(parts) not in (4, 5):
             sys.exit(f"error: bad --assert-ratio spec {spec!r} "
-                     "(want metric:num_selector:den_selector:min_ratio)")
-        metric, num_text, den_text, min_text = parts
+                     "(want metric:num_selector:den_selector:min_ratio"
+                     "[:require-kernel=substr])")
+        metric, num_text, den_text, min_text = parts[:4]
+        require_kernel = None
+        if len(parts) == 5:
+            field, sep, value = parts[4].partition("=")
+            if field != "require-kernel" or not sep or not value:
+                sys.exit(f"error: bad 5th part in --assert-ratio spec {spec!r} "
+                         "(want require-kernel=substr)")
+            require_kernel = value
         try:
             min_ratio = float(min_text)
         except ValueError:
             sys.exit(f"error: bad min ratio in {spec!r}")
         ratios.append((metric, parse_selector(num_text), parse_selector(den_text),
-                       min_ratio))
+                       min_ratio, require_kernel))
     return ratios
+
+
+def row_matches(row, selector):
+    for field, want in selector.items():
+        have = row.get(field)
+        if isinstance(want, float):
+            if not isinstance(have, (int, float)) or float(have) != want:
+                return False
+        elif str(have) != want:
+            return False
+    return True
 
 
 def select_row(rows, selector, spec_label):
     """The single row whose fields match the selector, else exit."""
-    matches = [row for row in rows.values()
-               if all(isinstance(row.get(f), (int, float)) and
-                      float(row[f]) == v for f, v in selector.items())]
+    matches = [row for row in rows.values() if row_matches(row, selector)]
     if len(matches) != 1:
         sys.exit(f"error: selector {spec_label!r} matched {len(matches)} rows "
                  f"(need exactly 1)")
@@ -125,7 +162,7 @@ def select_row(rows, selector, spec_label):
 def check_ratios(ratios, cur, min_cores):
     cores = os.cpu_count() or 1
     if min_cores and cores < min_cores:
-        for metric, num_sel, den_sel, min_ratio in ratios:
+        for metric, num_sel, den_sel, min_ratio, _ in ratios:
             print(f"SKIPPED: --assert-ratio {metric} >= {min_ratio}x "
                   f"({num_sel} vs {den_sel}): this host has {cores} core(s), "
                   f"below --min-cores {min_cores}. The scaling gate only "
@@ -133,9 +170,19 @@ def check_ratios(ratios, cur, min_cores):
                   "on a larger machine.")
         return False
     failed = False
-    for metric, num_sel, den_sel, min_ratio in ratios:
+    for metric, num_sel, den_sel, min_ratio, require_kernel in ratios:
         num_row = select_row(cur, num_sel, str(num_sel))
         den_row = select_row(cur, den_sel, str(den_sel))
+        if require_kernel is not None:
+            kernel = str(num_row.get("kernel", ""))
+            if require_kernel not in kernel:
+                print(f"SKIPPED: --assert-ratio {metric} >= {min_ratio}x "
+                      f"({num_sel} vs {den_sel}): the run's dispatched kernel "
+                      f"is {kernel!r}, which lacks required substring "
+                      f"{require_kernel!r}. This speedup gate only means "
+                      "something on a host whose cpuid selects that kernel "
+                      "family; run it on such a machine.")
+                continue
         num = num_row.get(metric)
         den = den_row.get(metric)
         if not isinstance(num, (int, float)) or not isinstance(den, (int, float)):
@@ -160,8 +207,10 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="default max allowed relative regression "
                              "(0.25 = +25%%) for metrics without their own")
-    parser.add_argument("--keys", default="rate_rps,pipeline_depth,shards,workers",
-                        help="comma-separated row fields forming the match key")
+    parser.add_argument("--keys",
+                        default="rate_rps,pipeline_depth,shards,workers,precision",
+                        help="comma-separated row fields forming the match key "
+                             "(a row without a precision field counts as fp32)")
     parser.add_argument("--assert-ratio", action="append", default=None,
                         help="metric:num_selector:den_selector:min_ratio — "
                              "assert a higher-is-better ratio between two "
