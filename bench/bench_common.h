@@ -26,6 +26,7 @@
 #include "src/sim/loadgen.h"
 #include "src/util/json.h"
 #include "src/util/string_util.h"
+#include "src/util/topology.h"
 #include "src/workload/datasets.h"
 
 namespace batchmaker {
@@ -209,6 +210,26 @@ struct BenchRecord {
   std::string kernel;        // dispatched GEMM kernel name, e.g. "avx512_vnni_int8"
 };
 
+// Host topology header for BENCH_*.json files: records where a run was
+// produced so tools/compare_bench.py can gate NUMA-sensitive comparisons
+// (--min-nodes) and refuse to compare numbers from mismatched machines.
+inline Json TopologyJson() {
+  const Topology topo = DiscoverTopology();
+  JsonObject header;
+  header["nodes"] = static_cast<int64_t>(topo.nodes.size());
+  header["cpus"] = static_cast<int64_t>(topo.num_cpus);
+  header["from_sysfs"] = topo.from_sysfs;
+  JsonArray cpus_per_node;
+  for (const NumaNode& node : topo.nodes) {
+    JsonObject entry;
+    entry["id"] = static_cast<int64_t>(node.id);
+    entry["cpus"] = static_cast<int64_t>(node.cpus.size());
+    cpus_per_node.emplace_back(std::move(entry));
+  }
+  header["cpus_per_node"] = Json(std::move(cpus_per_node));
+  return Json(std::move(header));
+}
+
 inline void WriteBenchJson(const std::string& path, const std::string& bench_name,
                            const std::vector<BenchRecord>& records) {
   JsonArray rows;
@@ -229,6 +250,7 @@ inline void WriteBenchJson(const std::string& path, const std::string& bench_nam
   }
   JsonObject doc;
   doc["bench"] = bench_name;
+  doc["topology"] = TopologyJson();
   doc["results"] = Json(std::move(rows));
   std::ofstream out(path);
   out << Json(std::move(doc)).Dump(2) << "\n";

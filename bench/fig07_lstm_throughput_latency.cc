@@ -81,6 +81,7 @@ void WriteFig07Json(const std::string& path, const std::vector<Fig07Row>& rows) 
   }
   JsonObject doc;
   doc["bench"] = "fig07_lstm_throughput_latency";
+  doc["topology"] = bench::TopologyJson();
   doc["results"] = Json(std::move(out));
   std::ofstream file(path);
   file << Json(std::move(doc)).Dump(2) << "\n";

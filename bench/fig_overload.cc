@@ -72,6 +72,7 @@ void WriteOverloadJson(const std::string& path, const std::vector<OverloadRow>& 
   }
   JsonObject doc;
   doc["bench"] = "fig_overload";
+  doc["topology"] = bench::TopologyJson();
   doc["results"] = Json(std::move(out));
   std::ofstream file(path);
   file << Json(std::move(doc)).Dump(2) << "\n";
@@ -239,6 +240,7 @@ void WriteSlackJson(const std::string& path, const std::vector<SlackRow>& rows) 
   }
   JsonObject doc;
   doc["bench"] = "fig_overload_slack";
+  doc["topology"] = bench::TopologyJson();
   doc["results"] = Json(std::move(out));
   std::ofstream file(path);
   file << Json(std::move(doc)).Dump(2) << "\n";

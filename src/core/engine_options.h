@@ -20,10 +20,12 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/core/scheduler.h"
 #include "src/tensor/gemm.h"
+#include "src/util/topology.h"
 
 namespace batchmaker {
 
@@ -78,6 +80,18 @@ struct EngineOptions {
   // Kernel selection within the precision is a separate, automatic axis
   // (cpuid dispatch; see GemmKernelName).
   Precision precision = Precision::kF32;
+  // NUMA-aware placement (DESIGN.md "NUMA-aware placement"; Server only —
+  // the simulator has no threads to place). kNone (default) skips topology
+  // discovery entirely and is bitwise-identical to the pre-NUMA server.
+  // kPin pins each worker's stager/exec pair (and its intra-task pool) to
+  // one node and aligns shard boundaries with node boundaries; kPinReplicate
+  // additionally materializes node-local replicas of the pre-packed weight
+  // panels. Pinning is best-effort: a node excluded by taskset/cgroups
+  // leaves its workers unpinned but fully functional.
+  NumaPolicy numa_policy = NumaPolicy::kNone;
+  // Test seam: alternate sysfs root for topology discovery (fake trees in
+  // tests/testdata). Empty = the real "/sys".
+  std::string numa_sysfs_root;
 };
 
 // Per-request submission parameters, accepted uniformly by

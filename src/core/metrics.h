@@ -43,6 +43,22 @@ struct ShardCounters {
   std::atomic<int64_t> batch_delay_micros{0};
 };
 
+// Per-NUMA-node activity counters (numa_policy != none, DESIGN.md
+// "NUMA-aware placement"). Indexed by node *index* in the discovered
+// topology. Written by manager/worker threads of that node; readers may
+// sum at any time.
+struct NodeCounters {
+  // Requests stolen across a node boundary into this node — the only
+  // deliberately cross-node traffic under the pin policies (shard
+  // boundaries align with node boundaries, so same-node steals don't
+  // count here).
+  std::atomic<int64_t> cross_node_steals{0};
+  // Estimated bytes this node's stagers gathered from producer outputs
+  // last scattered on another node (an upper-bound estimate: rows whose
+  // producing task ran remotely, priced at the gathered row size).
+  std::atomic<int64_t> remote_gather_bytes{0};
+};
+
 class MetricsCollector {
  public:
   // Thread-safe: with a sharded manager, several shard threads record
@@ -74,6 +90,10 @@ class MetricsCollector {
       shard->steals_out.store(0, std::memory_order_relaxed);
       shard->delayed_batches.store(0, std::memory_order_relaxed);
       shard->batch_delay_micros.store(0, std::memory_order_relaxed);
+    }
+    for (auto& node : node_counters_) {
+      node->cross_node_steals.store(0, std::memory_order_relaxed);
+      node->remote_gather_bytes.store(0, std::memory_order_relaxed);
     }
   }
 
@@ -114,6 +134,37 @@ class MetricsCollector {
     int64_t total = 0;
     for (const auto& shard : shard_counters_) {
       total += shard->batch_delay_micros.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // ---- Per-node counters (NUMA-aware placement) ----
+
+  // Sizes the per-node counter table; called once by the Server before any
+  // thread records (only when numa_policy != none). Empty with the policy
+  // off — the counting call sites are themselves policy-gated.
+  void InitNodes(int num_nodes) {
+    node_counters_.clear();
+    for (int i = 0; i < num_nodes; ++i) {
+      node_counters_.push_back(std::make_unique<NodeCounters>());
+    }
+  }
+  int NumNodes() const { return static_cast<int>(node_counters_.size()); }
+  NodeCounters& node(int i) { return *node_counters_[static_cast<size_t>(i)]; }
+  const NodeCounters& node(int i) const {
+    return *node_counters_[static_cast<size_t>(i)];
+  }
+  int64_t TotalCrossNodeSteals() const {
+    int64_t total = 0;
+    for (const auto& node : node_counters_) {
+      total += node->cross_node_steals.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  int64_t TotalRemoteGatherBytes() const {
+    int64_t total = 0;
+    for (const auto& node : node_counters_) {
+      total += node->remote_gather_bytes.load(std::memory_order_relaxed);
     }
     return total;
   }
@@ -161,6 +212,7 @@ class MetricsCollector {
   // unique_ptr keeps the atomics at stable addresses (vectors of atomics
   // are not movable).
   std::vector<std::unique_ptr<ShardCounters>> shard_counters_;
+  std::vector<std::unique_ptr<NodeCounters>> node_counters_;
   std::atomic<size_t> dropped_{0};
   std::atomic<size_t> rejected_{0};
   std::atomic<size_t> failed_{0};

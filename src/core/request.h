@@ -136,6 +136,14 @@ struct RequestState {
   std::atomic<double> exec_start_micros{-1.0};
   double completion_micros = -1.0;
 
+  // NUMA node index of the worker that last scattered one of this request's
+  // node outputs; -1 = never scattered or placement off. Written (relaxed)
+  // by exec threads after scatter, read by stagers to estimate cross-node
+  // gather traffic (MetricsCollector::NodeCounters::remote_gather_bytes).
+  // Only maintained when numa_policy != none; purely diagnostic — the
+  // estimate never influences scheduling.
+  std::atomic<int> last_scatter_node{-1};
+
   double ExecStartMicros() const {
     return exec_start_micros.load(std::memory_order_relaxed);
   }

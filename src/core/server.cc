@@ -11,6 +11,7 @@
 #include "src/tensor/arena.h"
 #include "src/util/logging.h"
 #include "src/util/thread_pool.h"
+#include "src/util/topology.h"
 
 namespace batchmaker {
 
@@ -193,13 +194,44 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
     pipelines_.push_back(std::make_unique<WorkerPipeline>());
   }
 
+  // NUMA-aware placement (DESIGN.md): discover the topology, assign each
+  // worker a node, and align shard boundaries with node boundaries so the
+  // stealing protocol is the only deliberately cross-node traffic. With the
+  // policy off, nothing is discovered and the proportional boundaries below
+  // are computed exactly as before.
+  numa_on_ = options_.numa_policy != NumaPolicy::kNone;
+  numa_replicate_ = options_.numa_policy == NumaPolicy::kPinReplicate;
+  worker_node_.assign(static_cast<size_t>(num_workers), -1);
+  worker_pinned_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    worker_pinned_[static_cast<size_t>(i)].store(false, std::memory_order_relaxed);
+  }
+  std::vector<int> shard_bounds(static_cast<size_t>(num_shards_) + 1, 0);
+  for (int s = 0; s <= num_shards_; ++s) {
+    shard_bounds[static_cast<size_t>(s)] = s * num_workers / num_shards_;
+  }
+  if (numa_on_) {
+    topology_ = DiscoverTopology(options_.numa_sysfs_root.empty()
+                                     ? "/sys"
+                                     : options_.numa_sysfs_root);
+    worker_node_ = AssignWorkerNodes(num_workers,
+                                     static_cast<int>(topology_.nodes.size()));
+    shard_bounds = PartitionWorkersByNode(num_workers, num_shards_, worker_node_);
+    metrics_.InitNodes(static_cast<int>(topology_.nodes.size()));
+  }
+
   for (int s = 0; s < num_shards_; ++s) {
     auto shard = std::make_unique<Shard>();
     Shard* sh = shard.get();
     sh->id = s;
-    sh->worker_begin = s * num_workers / num_shards_;
-    sh->worker_end = (s + 1) * num_workers / num_shards_;
+    sh->worker_begin = shard_bounds[static_cast<size_t>(s)];
+    sh->worker_end = shard_bounds[static_cast<size_t>(s) + 1];
     BM_CHECK_LT(sh->worker_begin, sh->worker_end);
+    // A shard's workers share one node whenever shards don't outnumber
+    // nodes (the boundary snapping above); its manager pins there too.
+    shard_node_.push_back(
+        numa_on_ ? worker_node_[static_cast<size_t>(sh->worker_begin)] : -1);
     for (int w = sh->worker_begin; w < sh->worker_end; ++w) {
       shard_of_worker_[static_cast<size_t>(w)] = s;
     }
@@ -353,6 +385,14 @@ void Server::Start() {
   for (auto& shard : shards_) {
     Shard* sh = shard.get();
     sh->thread = std::thread([this, sh] {
+      SetCurrentThreadName("manager/" + std::to_string(sh->id));
+      if (numa_on_ && shard_node_[static_cast<size_t>(sh->id)] >= 0) {
+        // Keep the manager on its workers' node: refill messages and the
+        // request map stay node-local. Best-effort, like every pin.
+        PinCurrentThreadToCpus(
+            topology_.nodes[static_cast<size_t>(shard_node_[static_cast<size_t>(sh->id)])]
+                .cpus);
+      }
       TraceRecorder::SetThreadShard(sh->id);
       ManagerLoop(*sh);
     });
@@ -368,6 +408,26 @@ void Server::Start() {
       ExecLoop(i);
     });
   }
+}
+
+int Server::WorkerNode(int worker) const {
+  BM_CHECK_GE(worker, 0);
+  BM_CHECK_LT(static_cast<size_t>(worker), worker_node_.size());
+  return worker_node_[static_cast<size_t>(worker)];
+}
+
+bool Server::WorkerPinnedOk(int worker) const {
+  BM_CHECK_GE(worker, 0);
+  BM_CHECK_LT(worker, options_.num_workers);
+  return worker_pinned_[static_cast<size_t>(worker)].load(std::memory_order_relaxed);
+}
+
+int Server::NumPinnedWorkers() const {
+  int pinned = 0;
+  for (int w = 0; w < options_.num_workers; ++w) {
+    pinned += WorkerPinnedOk(w) ? 1 : 0;
+  }
+  return pinned;
 }
 
 double Server::NowMicros() const {
@@ -876,6 +936,17 @@ void Server::HandleMigrate(Shard& shard, MigrateMsg msg) {
   shard.stealable.insert({state->priority, id});
   steals_.fetch_add(1);
   metrics_.shard(shard.id).steals_in.fetch_add(1, std::memory_order_relaxed);
+  if (numa_on_) {
+    // With node-aligned shard boundaries, a steal between shards on
+    // different nodes is the only deliberately cross-node traffic; count it
+    // separately so the locality bench can report it.
+    const int to_node = shard_node_[static_cast<size_t>(shard.id)];
+    const int from_node = shard_node_[static_cast<size_t>(from_shard)];
+    if (to_node >= 0 && from_node >= 0 && to_node != from_node) {
+      metrics_.node(to_node).cross_node_steals.fetch_add(1,
+                                                         std::memory_order_relaxed);
+    }
+  }
   trace_.ShardSteal(id, from_shard, shard.id);
   const auto tomb_it = shard.pending_cancels.find(id);
   if (tomb_it != shard.pending_cancels.end()) {
@@ -992,7 +1063,16 @@ void Server::TryRefillWorkers(Shard& shard) {
 }
 
 void Server::StageLoop(int worker) {
+  SetCurrentThreadName("worker/" + std::to_string(worker) + "-stager");
   WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(worker)];
+  const int my_node = numa_on_ ? worker_node_[static_cast<size_t>(worker)] : -1;
+  if (my_node >= 0) {
+    PinCurrentThreadToCpus(topology_.nodes[static_cast<size_t>(my_node)].cpus);
+    // First-touch the double-buffered staging arenas from the pinned owner:
+    // their steady-state pages land on this node, so gathers write locally.
+    pipe.staging[0].Prefault(size_t{1} << 20);
+    pipe.staging[1].Prefault(size_t{1} << 20);
+  }
   auto& queue = *task_queues_[static_cast<size_t>(worker)];
   int64_t next_seq = 0;
   while (auto wt = queue.Pop()) {
@@ -1097,6 +1177,34 @@ void Server::StageLoop(int worker) {
                             st.poisoned.empty() ? nullptr : &st.poisoned);
     trace_.GatherEnd(wt->task.id, wt->task.type, worker, wt->task.BatchSize());
 
+    if (my_node >= 0) {
+      // Estimated cross-node gather traffic: rows whose producing request
+      // last scattered on another node, priced at the task's mean row
+      // bytes. An upper bound (the row may have been node-local anyway
+      // after a steal) and purely diagnostic.
+      int64_t gathered_bytes = 0;
+      for (const Tensor& t : st.gathered.inputs) {
+        gathered_bytes +=
+            t.NumElements() * static_cast<int64_t>(DTypeSize(t.dtype()));
+      }
+      int64_t remote_rows = 0;
+      for (size_t i = 0; i < batch; ++i) {
+        if (!st.poisoned.empty() && st.poisoned[i] != 0) {
+          continue;
+        }
+        const int producer_node =
+            wt->states[i]->last_scatter_node.load(std::memory_order_relaxed);
+        if (producer_node >= 0 && producer_node != my_node) {
+          ++remote_rows;
+        }
+      }
+      if (remote_rows > 0) {
+        metrics_.node(my_node).remote_gather_bytes.fetch_add(
+            gathered_bytes * remote_rows / static_cast<int64_t>(batch),
+            std::memory_order_relaxed);
+      }
+    }
+
     {
       std::lock_guard<std::mutex> lock(pipe.mu);
       for (size_t i = 0; i < batch; ++i) {
@@ -1125,13 +1233,48 @@ void Server::StageLoop(int worker) {
 }
 
 void Server::ExecLoop(int worker) {
+  SetCurrentThreadName("worker/" + std::to_string(worker) + "-exec");
+  // Pin before constructing the pool: spawned pool threads inherit this
+  // thread's affinity mask, so one pin covers the whole intra-task pool.
+  const int my_node = numa_on_ ? worker_node_[static_cast<size_t>(worker)] : -1;
+  if (my_node >= 0) {
+    const bool pinned =
+        PinCurrentThreadToCpus(topology_.nodes[static_cast<size_t>(my_node)].cpus);
+    worker_pinned_[static_cast<size_t>(worker)].store(pinned,
+                                                      std::memory_order_relaxed);
+    trace_.WorkerPinned(worker, my_node, pinned);
+  }
   // Each worker owns its slice of cores (the intra-task pool) and a
   // scratch arena for cell intermediates, recycled per task. Gather
   // buffers live in the pipeline's staging arenas instead, so a task's
   // inputs survive while the previous task executes here.
-  ThreadPool pool(options_.threads_per_worker);
+  ThreadPool pool(options_.threads_per_worker,
+                  "pool/" + std::to_string(worker) + "-");
   TensorArena exec_arena;
-  const ExecContext ctx{&pool, &exec_arena, options_.precision};
+  if (my_node >= 0) {
+    // First-touch the scratch arena from its pinned owner so the cell
+    // intermediates' steady-state pages live on this node.
+    exec_arena.Prefault(size_t{1} << 20);
+  }
+  // pin+replicate: hold a node-local replica of every cell's packed weight
+  // panels for the lifetime of this worker (materialized here, on the
+  // pinned thread, so first-touch places the panels on this node), and
+  // point the exec context at it. Released on exit; the last worker of a
+  // node frees its replica.
+  std::vector<const CellExecutor*> replicated;
+  const int replica_node = numa_replicate_ ? my_node : -1;
+  if (replica_node >= 0) {
+    replicated.reserve(static_cast<size_t>(registry_->NumTypes()));
+    for (CellTypeId t = 0; t < registry_->NumTypes(); ++t) {
+      const CellExecutor& executor = registry_->executor(t);
+      const Precision effective = executor.precision() != Precision::kF32
+                                      ? executor.precision()
+                                      : options_.precision;
+      executor.AcquireNodeReplica(replica_node, effective);
+      replicated.push_back(&executor);
+    }
+  }
+  const ExecContext ctx{&pool, &exec_arena, options_.precision, replica_node};
   WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(worker)];
   // Completions go to the inbox of the shard that owns this worker.
   auto& inbox = shards_[static_cast<size_t>(shard_of_worker_[static_cast<size_t>(worker)])]
@@ -1242,6 +1385,16 @@ void Server::ExecLoop(int worker) {
 
     assembler_.ScatterOutputs(st.wt.task, st.wt.states, outputs, &ctx,
                               st.poisoned.empty() ? nullptr : &st.poisoned);
+    if (my_node >= 0) {
+      // Remember where these requests' outputs now live; stagers use it to
+      // estimate cross-node gather traffic (diagnostic only).
+      for (size_t i = 0; i < st.wt.states.size(); ++i) {
+        if (st.poisoned.empty() || st.poisoned[i] == 0) {
+          st.wt.states[i]->last_scatter_node.store(my_node,
+                                                   std::memory_order_relaxed);
+        }
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(pipe.mu);
       for (size_t i = 0; i < st.wt.task.entries.size(); ++i) {
@@ -1274,6 +1427,10 @@ void Server::ExecLoop(int worker) {
     }
     msg.task = std::move(st.wt.task);
     inbox.Push(ManagerMsg{std::move(msg)});
+  }
+
+  for (const CellExecutor* executor : replicated) {
+    executor->ReleaseNodeReplica(replica_node);
   }
 }
 

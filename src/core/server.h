@@ -229,6 +229,30 @@ class Server {
     return online_cost_model_.get();
   }
 
+  // ---- NUMA placement introspection (DESIGN.md "NUMA-aware placement") ----
+
+  // The topology placement was computed from. Meaningful only when
+  // numa_policy != none (empty otherwise).
+  const Topology& topology() const { return topology_; }
+  // Nodes placement spreads over: topology size under a pin policy, 1
+  // otherwise.
+  int NumaNodes() const {
+    return numa_on_ ? static_cast<int>(topology_.nodes.size()) : 1;
+  }
+  // Node *index* (into topology().nodes) worker `worker` was assigned;
+  // -1 with numa_policy = none.
+  int WorkerNode(int worker) const;
+  // Whether worker `worker`'s exec-thread affinity mask actually took
+  // (false until Start, when unpinnable — cpus excluded by taskset — or
+  // with numa_policy = none). Thread-safe at any time.
+  bool WorkerPinnedOk(int worker) const;
+  int NumPinnedWorkers() const;
+  // Requests stolen across a node boundary / estimated bytes gathered from
+  // remote producers (sums of the per-node counters; 0 with the policy
+  // off). Thread-safe at any time.
+  int64_t CrossNodeSteals() const { return metrics_.TotalCrossNodeSteals(); }
+  int64_t RemoteGatherBytes() const { return metrics_.TotalRemoteGatherBytes(); }
+
  private:
   struct ArrivalMsg {
     RequestId id;
@@ -338,6 +362,18 @@ class Server {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<int> shard_of_worker_;
+
+  // ---- NUMA placement state (constructor-computed, then read-only) ----
+  // Both flags derive from options_.numa_policy; every placement-related
+  // branch below gates on them so the kNone path stays byte-for-byte
+  // identical to the pre-NUMA server.
+  bool numa_on_ = false;         // policy != kNone
+  bool numa_replicate_ = false;  // policy == kPinReplicate
+  Topology topology_;            // discovered only when numa_on_
+  std::vector<int> worker_node_;  // worker -> node index; -1 when off
+  std::vector<int> shard_node_;   // shard -> node of its workers; -1 when off
+  // Pin outcome per worker's exec thread, written once at thread start.
+  std::unique_ptr<std::atomic<bool>[]> worker_pinned_;
 
   MetricsCollector metrics_;
   FaultInjector fault_injector_;

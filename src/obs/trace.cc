@@ -26,6 +26,7 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kBatchDelayed: return "batch_delayed";
     case TraceEventKind::kCostModelRefit: return "cost_model_refit";
     case TraceEventKind::kGemmKernel: return "gemm_kernel";
+    case TraceEventKind::kWorkerPinned: return "worker_pinned";
   }
   return "unknown";
 }
@@ -251,6 +252,15 @@ void TraceRecorder::GemmKernelInfo(int precision) {
   }
   Record(TraceEvent{.kind = TraceEventKind::kGemmKernel, .ts_micros = NowMicros(),
                     .value = precision});
+}
+
+void TraceRecorder::WorkerPinned(int worker, int numa_node, bool pinned) {
+  if (!enabled()) {
+    return;
+  }
+  Record(TraceEvent{.kind = TraceEventKind::kWorkerPinned, .worker = worker,
+                    .ts_micros = NowMicros(), .id = pinned ? 1u : 0u,
+                    .value = numa_node});
 }
 
 int64_t TraceRecorder::Count(TraceEventKind kind) const {

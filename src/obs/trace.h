@@ -57,8 +57,9 @@ enum class TraceEventKind : uint8_t {
   kBatchDelayed,        // type, worker, value = batch size, aux = delay micros
   kCostModelRefit,      // type, id = observations, value = fitted anchors
   kGemmKernel,          // value = Precision enum value; once per engine start
+  kWorkerPinned,        // worker; value = NUMA node index, id = 1 if pinned
 };
-inline constexpr int kNumTraceEventKinds = 19;
+inline constexpr int kNumTraceEventKinds = 20;
 
 // Name for logs/export, e.g. "request_arrival".
 const char* TraceEventKindName(TraceEventKind kind);
@@ -157,6 +158,11 @@ class TraceRecorder {
   // resolves it to the precision/kernel names at export time, so a silent
   // fallback-to-scalar dispatch is diagnosable from the artifact alone.
   void GemmKernelInfo(int precision);
+  // NUMA placement metadata, recorded once per worker at thread start
+  // (numa_policy != none): which node index the worker was assigned and
+  // whether the affinity mask actually took (false = the node's cpus were
+  // excluded by taskset/cgroups and the worker runs unpinned).
+  void WorkerPinned(int worker, int numa_node, bool pinned);
 
   // Tags the calling thread with a manager-shard id: every event recorded
   // from this thread carries it in TraceEvent::shard (unless the event set

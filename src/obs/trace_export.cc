@@ -127,6 +127,22 @@ Json ChromeTraceJson(const TraceRecorder& recorder, const TraceTypeNamer& namer)
         out.push_back(Json(std::move(e)));
         break;
       }
+      case TraceEventKind::kWorkerPinned: {
+        // Worker-start placement metadata: the NUMA node index this worker
+        // was assigned and whether the affinity mask actually took.
+        JsonObject e;
+        e["ph"] = "i";
+        e["s"] = "g";
+        e["name"] = "worker_pinned";
+        e["cat"] = "meta";
+        e["pid"] = kWorkerPid;
+        e["tid"] = ev.worker < 0 ? 0 : ev.worker;
+        e["ts"] = ev.ts_micros;
+        e["args"] = JsonObject{{"numa_node", ev.value},
+                               {"pinned", ev.id != 0 ? "true" : "false"}};
+        out.push_back(Json(std::move(e)));
+        break;
+      }
       case TraceEventKind::kRequestArrival: {
         JsonObject e;
         e["ph"] = "b";

@@ -1,6 +1,7 @@
 #include "src/tensor/arena.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/util/logging.h"
 
@@ -44,6 +45,12 @@ void* TensorArena::Allocate(size_t bytes) {
 void TensorArena::Reset() {
   current_chunk_ = 0;
   offset_ = 0;
+}
+
+void TensorArena::Prefault(size_t bytes) {
+  void* storage = Allocate(std::max(bytes, size_t{1}));
+  std::memset(storage, 0, std::max(bytes, size_t{1}));
+  Reset();
 }
 
 ArenaScope::ArenaScope(TensorArena* arena) : prev_(tls_arena) { tls_arena = arena; }

@@ -42,6 +42,13 @@ class TensorArena {
   // workload stops allocating after the first few tasks.
   void Reset();
 
+  // Faults at least `bytes` of chunk storage in by allocating and zeroing
+  // it on the calling thread, then recycling it with Reset(). Under the
+  // kernel's first-touch policy this places the arena's steady-state pages
+  // on the calling thread's NUMA node — the server's pinned worker threads
+  // call it once at startup (DESIGN.md "NUMA-aware placement").
+  void Prefault(size_t bytes);
+
   // Diagnostics.
   size_t TotalReservedBytes() const { return total_reserved_; }
   int64_t NumAllocations() const { return num_allocations_; }

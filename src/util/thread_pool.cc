@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/util/logging.h"
+#include "src/util/topology.h"
 
 namespace batchmaker {
 
@@ -12,12 +13,18 @@ namespace {
 thread_local const ThreadPool* tls_running_pool = nullptr;
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+ThreadPool::ThreadPool(int num_threads, const std::string& name_prefix)
+    : num_threads_(num_threads) {
   BM_CHECK_GT(num_threads, 0);
   errors_.resize(static_cast<size_t>(num_threads_));
   threads_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int t = 1; t < num_threads_; ++t) {
-    threads_.emplace_back([this, t] { WorkerLoop(t); });
+    threads_.emplace_back([this, t, name_prefix] {
+      if (!name_prefix.empty()) {
+        SetCurrentThreadName(name_prefix + std::to_string(t));
+      }
+      WorkerLoop(t);
+    });
   }
 }
 

@@ -22,6 +22,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -30,7 +31,11 @@ namespace batchmaker {
 class ThreadPool {
  public:
   // Spawns num_threads - 1 workers (the caller is the remaining thread).
-  explicit ThreadPool(int num_threads);
+  // A non-empty name_prefix names worker t "<prefix>t" (e.g. "pool/3-1")
+  // via pthread_setname_np so perf/traces attribute samples to roles.
+  // Spawned threads inherit the constructing thread's cpu affinity mask,
+  // so a caller pinned to a NUMA node gets a node-local pool for free.
+  explicit ThreadPool(int num_threads, const std::string& name_prefix = "");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -75,9 +75,9 @@ if [[ "$run_tsan" == 1 ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
     --target server_test obs_test thread_pool_test determinism_test \
-    robustness_test sharding_test api_conformance_test
+    robustness_test sharding_test api_conformance_test numa_placement_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|sharding_test|api_conformance_test'
+    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|sharding_test|api_conformance_test|numa_placement_test'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -89,9 +89,10 @@ if [[ "$run_asan" == 1 ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
   cmake --build build-asan -j "$(nproc)" \
     --target server_test obs_test thread_pool_test determinism_test \
-    robustness_test cancellation_test sharding_test api_conformance_test
+    robustness_test cancellation_test sharding_test api_conformance_test \
+    numa_placement_test
   ctest --test-dir build-asan --output-on-failure \
-    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|cancellation_test|sharding_test|api_conformance_test'
+    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|cancellation_test|sharding_test|api_conformance_test|numa_placement_test'
 fi
 
 if [[ "$run_perf" == 1 ]]; then
@@ -122,6 +123,20 @@ if [[ "$run_perf" == 1 ]]; then
     --assert-ratio goodput_sla_rps:slack=1,load=2:slack=0,load=2:1.0 \
     --assert-ratio served_rate:slack=1,load=2:slack=0,load=2:0.95 \
     --min-cores 2
+
+  echo "==> perf-smoke: NUMA placement A/B vs committed baseline"
+  # Rows match by policy alone (worker/shard counts scale with the host's
+  # topology). The pin+replicate-vs-none ratio gate is skipped loudly below
+  # --min-nodes 2, where all three policies coincide by construction.
+  cmake --build build-check -j "$(nproc)" --target abl_locality
+  (cd build-check && ./bench/abl_locality --numa-only --smoke --out BENCH_numa.json)
+  python3 tools/compare_bench.py \
+    bench/baselines/BENCH_numa_baseline.json \
+    build-check/BENCH_numa.json \
+    --keys policy \
+    --metric p50_ms:1.0 \
+    --assert-ratio "tasks_per_sec:policy=pin+replicate:policy=none:1.2" \
+    --min-nodes 2
 fi
 
 echo "==> all checks passed"

@@ -21,7 +21,11 @@ at least 1.5x that of the row matching shards=1,workers=4". Each
 selector must match exactly one current row. Because scaling ratios are
 meaningless on a host with fewer cores than the configuration needs,
 --min-cores N skips (loudly) every --assert-ratio check when
-os.cpu_count() < N; the metric thresholds still run.
+os.cpu_count() < N; the metric thresholds still run. Similarly,
+--min-nodes N skips (loudly) every --assert-ratio check when the current
+run's "topology" header (written by bench_common.h) reports fewer NUMA
+nodes — the NUMA placement speedup gate only means something on a
+multi-socket host. A run without a topology header counts as 1 node.
 
 The CI perf-smoke job runs:
 
@@ -66,7 +70,7 @@ def load_rows(path, keys):
         if key in rows:
             sys.exit(f"error: {path}: duplicate row for {dict(zip(keys, key))}")
         rows[key] = row
-    return doc["bench"], rows
+    return doc["bench"], rows, doc
 
 
 def parse_metrics(specs, default_threshold):
@@ -159,7 +163,7 @@ def select_row(rows, selector, spec_label):
     return matches[0]
 
 
-def check_ratios(ratios, cur, min_cores):
+def check_ratios(ratios, cur, min_cores, min_nodes=0, cur_nodes=1):
     cores = os.cpu_count() or 1
     if min_cores and cores < min_cores:
         for metric, num_sel, den_sel, min_ratio, _ in ratios:
@@ -168,6 +172,14 @@ def check_ratios(ratios, cur, min_cores):
                   f"below --min-cores {min_cores}. The scaling gate only "
                   "means something with enough cores to scale onto; run it "
                   "on a larger machine.")
+        return False
+    if min_nodes and cur_nodes < min_nodes:
+        for metric, num_sel, den_sel, min_ratio, _ in ratios:
+            print(f"SKIPPED: --assert-ratio {metric} >= {min_ratio}x "
+                  f"({num_sel} vs {den_sel}): the current run reports "
+                  f"{cur_nodes} NUMA node(s) in its topology header, below "
+                  f"--min-nodes {min_nodes}. NUMA placement gates only mean "
+                  "something on a multi-socket host; run it on one.")
         return False
     failed = False
     for metric, num_sel, den_sel, min_ratio, require_kernel in ratios:
@@ -218,12 +230,16 @@ def main():
     parser.add_argument("--min-cores", type=int, default=0,
                         help="skip --assert-ratio checks (loudly) when "
                              "os.cpu_count() is below this")
+    parser.add_argument("--min-nodes", type=int, default=0,
+                        help="skip --assert-ratio checks (loudly) when the "
+                             "current run's topology header reports fewer "
+                             "NUMA nodes than this")
     args = parser.parse_args()
 
     metrics = parse_metrics(args.metric or ["p50_ms"], args.threshold)
     keys = [k for k in args.keys.split(",") if k]
-    base_name, base = load_rows(args.baseline, keys)
-    cur_name, cur = load_rows(args.current, keys)
+    base_name, base, _ = load_rows(args.baseline, keys)
+    cur_name, cur, cur_doc = load_rows(args.current, keys)
     if base_name != cur_name:
         sys.exit(f"error: bench name mismatch: baseline={base_name!r} "
                  f"current={cur_name!r}")
@@ -254,7 +270,9 @@ def main():
                   f"({delta:+7.1%})")
 
     if args.assert_ratio:
-        failed |= check_ratios(parse_ratios(args.assert_ratio), cur, args.min_cores)
+        cur_nodes = cur_doc.get("topology", {}).get("nodes", 1)
+        failed |= check_ratios(parse_ratios(args.assert_ratio), cur,
+                               args.min_cores, args.min_nodes, cur_nodes)
 
     if failed:
         print("regression detected", file=sys.stderr)
