@@ -44,6 +44,37 @@ struct AdmissionOptions {
   double queue_timeout_micros = 0.0;
 };
 
+// Worker failure domains (DESIGN.md "Worker failure domains"; Server
+// only). When `health_watchdog` is on, stager and exec threads stamp
+// per-worker heartbeats and a watchdog thread classifies each worker as
+// healthy / slow / hung / dead, quarantines flagged workers (their
+// in-flight tasks are requeued through the fault-recovery machinery, so
+// no request is lost — only delayed), respawns dead exec threads, and
+// re-admits recovered workers with exponential probe backoff. Off by
+// default: the disabled path takes no clock reads and no extra atomic
+// stores, and is bitwise-identical to the pre-watchdog server.
+struct HealthOptions {
+  bool health_watchdog = false;
+  // Watchdog sampling period.
+  double check_interval_micros = 1000.0;
+  // A busy worker is *hung* when its in-flight task has been executing
+  // longer than hang_multiplier x the OnlineCostModel prediction for that
+  // (cell type, batch size) — detection latency scales with actual work
+  // size — but never less than min_hang_micros (absorbs scheduling jitter
+  // on tiny cells).
+  double hang_multiplier = 16.0;
+  double min_hang_micros = 20000.0;
+  // Advisory only: a busy worker past slow_multiplier x the prediction
+  // (but under the hang threshold) is reported kSlow and counted in
+  // metrics; it keeps serving.
+  double slow_multiplier = 4.0;
+  // Quarantined workers are probed for re-admission with exponential
+  // backoff: first probe after probe_backoff_micros, doubling up to
+  // probe_backoff_max_micros.
+  double probe_backoff_micros = 2000.0;
+  double probe_backoff_max_micros = 500000.0;
+};
+
 // Common engine-configuration core. ServerOptions and SimEngineOptions
 // derive from this, so experiment harnesses can configure either engine
 // through one code path.
@@ -92,6 +123,9 @@ struct EngineOptions {
   // Test seam: alternate sysfs root for topology discovery (fake trees in
   // tests/testdata). Empty = the real "/sys".
   std::string numa_sysfs_root;
+  // Worker failure domains (Server only; the simulator's virtual workers
+  // cannot hang). See HealthOptions above.
+  HealthOptions health;
 };
 
 // Per-request submission parameters, accepted uniformly by

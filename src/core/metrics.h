@@ -59,6 +59,23 @@ struct NodeCounters {
   std::atomic<int64_t> remote_gather_bytes{0};
 };
 
+// Per-worker health counters (health_watchdog, DESIGN.md "Worker failure
+// domains"). Indexed by global worker id. Written by the watchdog and the
+// owning shard's manager thread; readers may sum at any time.
+struct WorkerHealthCounters {
+  // Times this worker was quarantined (hung or dead).
+  std::atomic<int64_t> quarantines{0};
+  // Tasks reclaimed from this worker's stream and requeued through the
+  // fault-recovery machinery (no request lost, only delayed).
+  std::atomic<int64_t> requeued_tasks{0};
+  // Dead exec threads respawned for this worker.
+  std::atomic<int64_t> respawns{0};
+  // Quarantined workers re-admitted to scheduling.
+  std::atomic<int64_t> readmissions{0};
+  // Watchdog ticks that classified this worker as slow (advisory).
+  std::atomic<int64_t> slow_ticks{0};
+};
+
 class MetricsCollector {
  public:
   // Thread-safe: with a sharded manager, several shard threads record
@@ -94,6 +111,13 @@ class MetricsCollector {
     for (auto& node : node_counters_) {
       node->cross_node_steals.store(0, std::memory_order_relaxed);
       node->remote_gather_bytes.store(0, std::memory_order_relaxed);
+    }
+    for (auto& worker : worker_counters_) {
+      worker->quarantines.store(0, std::memory_order_relaxed);
+      worker->requeued_tasks.store(0, std::memory_order_relaxed);
+      worker->respawns.store(0, std::memory_order_relaxed);
+      worker->readmissions.store(0, std::memory_order_relaxed);
+      worker->slow_ticks.store(0, std::memory_order_relaxed);
     }
   }
 
@@ -169,6 +193,46 @@ class MetricsCollector {
     return total;
   }
 
+  // ---- Per-worker health counters (health_watchdog) ----
+
+  // Sizes the per-worker counter table; called once by the Server before
+  // any thread records. The counting sites are health-gated, so the table
+  // stays all-zero with the watchdog off.
+  void InitWorkers(int num_workers) {
+    worker_counters_.clear();
+    for (int i = 0; i < num_workers; ++i) {
+      worker_counters_.push_back(std::make_unique<WorkerHealthCounters>());
+    }
+  }
+  int NumWorkers() const { return static_cast<int>(worker_counters_.size()); }
+  WorkerHealthCounters& worker(int i) {
+    return *worker_counters_[static_cast<size_t>(i)];
+  }
+  const WorkerHealthCounters& worker(int i) const {
+    return *worker_counters_[static_cast<size_t>(i)];
+  }
+  int64_t TotalQuarantines() const {
+    int64_t total = 0;
+    for (const auto& worker : worker_counters_) {
+      total += worker->quarantines.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  int64_t TotalRequeuedTasks() const {
+    int64_t total = 0;
+    for (const auto& worker : worker_counters_) {
+      total += worker->requeued_tasks.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  int64_t TotalRespawns() const {
+    int64_t total = 0;
+    for (const auto& worker : worker_counters_) {
+      total += worker->respawns.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
   // Unsynchronized view of the raw records; only safe once the recording
   // threads have stopped (after Shutdown / Run). Live readers should use
   // the locking accessors below.
@@ -213,6 +277,7 @@ class MetricsCollector {
   // are not movable).
   std::vector<std::unique_ptr<ShardCounters>> shard_counters_;
   std::vector<std::unique_ptr<NodeCounters>> node_counters_;
+  std::vector<std::unique_ptr<WorkerHealthCounters>> worker_counters_;
   std::atomic<size_t> dropped_{0};
   std::atomic<size_t> rejected_{0};
   std::atomic<size_t> failed_{0};

@@ -6,6 +6,7 @@
 #ifndef SRC_CORE_REQUEST_PROCESSOR_H_
 #define SRC_CORE_REQUEST_PROCESSOR_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -102,6 +103,18 @@ class RequestProcessor {
 
   RequestState* FindRequest(RequestId id);
   size_t NumActiveRequests() const { return requests_.size(); }
+  // Ids of every active (non-terminal-finalized) request, in ascending
+  // order. Engines use it to diagnose and fail stuck requests when the
+  // scheduler stalls with work outstanding (see SyncEngine).
+  std::vector<RequestId> ActiveRequestIds() const {
+    std::vector<RequestId> ids;
+    ids.reserve(requests_.size());
+    for (const auto& [id, state] : requests_) {
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
   const CellRegistry& registry() const { return *registry_; }
 
  private:

@@ -495,6 +495,14 @@ void Scheduler::OnTaskFailed(const BatchedTask& task,
   }
 }
 
+void Scheduler::RequeueTask(const BatchedTask& task) {
+  std::vector<int> all(task.entries.size());
+  for (size_t i = 0; i < task.entries.size(); ++i) {
+    all[i] = static_cast<int>(i);
+  }
+  OnTaskFailed(task, all, /*victim_entry=*/-1);
+}
+
 int Scheduler::CancelRequest(RequestId id) {
   RequestState* state = processor_->FindRequest(id);
   if (state == nullptr) {

@@ -109,6 +109,14 @@ class Scheduler {
   void OnTaskFailed(const BatchedTask& task, const std::vector<int>& failed_entries,
                     int victim_entry);
 
+  // Requeues a scheduled-but-never-executed task through the failure
+  // machinery with no victim: every entry is reverted to pending as an
+  // innocent and re-enqueued for execution elsewhere. This is the
+  // quarantine reclaim path (DESIGN.md "Worker failure domains") — a hung
+  // or dead worker's stream is drained back into the scheduler, so its
+  // requests are delayed, never lost.
+  void RequeueTask(const BatchedTask& task);
+
   // Called right before a parked subgraph is re-enqueued, with its
   // in-flight count at zero. The server uses this to purge the subgraph's
   // reverted nodes from the failing worker's poison set — by unpark time no

@@ -28,6 +28,20 @@ uint64_t HazardKey(RequestId request, int node) {
 
 }  // namespace
 
+const char* WorkerHealthName(WorkerHealth health) {
+  switch (health) {
+    case WorkerHealth::kHealthy:
+      return "healthy";
+    case WorkerHealth::kSlow:
+      return "slow";
+    case WorkerHealth::kHung:
+      return "hung";
+    case WorkerHealth::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
 // Shared state of one worker's staging/execution thread pair.
 //
 // The staging thread pops tasks from the worker's FIFO task queue, waits
@@ -91,6 +105,45 @@ struct Server::WorkerPipeline {
   // Total exec-thread time with nothing to execute (see WorkerIdleMicros).
   // Written only by the exec thread; read from any thread.
   std::atomic<double> idle_micros{0.0};
+
+  // ---- Worker failure domains (written only when health_on_) ----------
+  // Progress heartbeat: a monotonically increasing epoch plus a wall
+  // stamp, bumped by the stager and exec threads at gather / execute /
+  // scatter boundaries. The watchdog reads both lock-free.
+  std::atomic<int64_t> hb_epoch{0};
+  std::atomic<double> hb_stamp{0.0};
+  // The task the exec thread is currently inside: stream seq (-1 = idle,
+  // published last with release so the fields below are valid when read
+  // after an acquire load), entry instant, cell type and batch size. The
+  // watchdog prices the expected span with the online cost model and
+  // flags the worker hung when the actual span blows past it.
+  std::atomic<double> busy_since{0.0};
+  std::atomic<int> busy_type{-1};
+  std::atomic<int> busy_batch{0};
+  std::atomic<int64_t> busy_task_seq{-1};
+  // Exec-thread liveness: 0 = not yet running, 1 = alive, 2 = exited. A
+  // chaos thread-exit (or any early return) leaves 2 behind while the
+  // watchdog is still running; normal shutdown exits only after the
+  // watchdog stopped.
+  std::atomic<int> exec_alive{0};
+  // Quarantine flag (under mu): set by the owning shard manager when the
+  // watchdog flags this worker. The stager aborts any task it holds (and
+  // refuses new ones) while this is set, handing them back via RequeueMsg.
+  bool quarantined = false;
+  // In-flight task metadata for dead-worker reclamation: a copy of the
+  // task the exec thread popped (recorded under mu before execution,
+  // cleared once its completion message is pushed). A hung worker's
+  // in-flight task is never reclaimed — it completes when the thread
+  // wakes; a dead worker's never will, so the manager requeues this copy.
+  BatchedTask inflight_task;
+  int64_t inflight_seq = -1;
+  bool inflight_valid = false;
+  // Count of quarantine operations the shard manager has completed on
+  // this pipeline. The watchdog records the value it expects before
+  // sending a QuarantineMsg and probes for re-admission only after the
+  // count reaches it, so a ReadmitMsg can never overtake its
+  // QuarantineMsg through the inbox.
+  std::atomic<int64_t> quarantine_acks{0};
 };
 
 // One manager shard (DESIGN.md "Sharded manager"): a full single-manager
@@ -119,6 +172,11 @@ struct Server::Shard {
   // In-flight task count per owned worker, indexed worker - worker_begin.
   std::vector<int> outstanding;
   int refill_start = 0;  // rotating scan start (local worker offset)
+  // Workers the watchdog quarantined (indexed worker - worker_begin):
+  // excluded from every refill / steal / donate scan until re-admitted.
+  // Touched only by this shard's manager; always all-zero with the
+  // watchdog off.
+  std::vector<uint8_t> quarantined;
 
   // Min-heap of (absolute shed deadline, request). Entries for requests
   // that finished or migrated away are discarded lazily when they surface.
@@ -173,10 +231,13 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
   // Slack-aware batch formation (DESIGN.md): an online cost model —
   // seeded with the static Figure-3 anchors, continuously re-fitted from
   // measured exec spans when calibration is on — feeds every shard
-  // scheduler's delay/launch decision.
+  // scheduler's delay/launch decision. The health watchdog prices its
+  // hang thresholds from the same model, so it is created for either
+  // feature (the scheduler only consults it under slack_on_).
   slack_on_ = options_.batch_policy.slack_batching &&
               options_.batch_policy.max_delay_micros > 0.0;
-  if (slack_on_) {
+  health_on_ = options_.health.health_watchdog;
+  if (slack_on_ || health_on_) {
     online_cost_model_ = std::make_unique<OnlineCostModel>();
     // Key the calibrated curves by precision: exec spans measured at int8
     // must never re-fit the fp32 curve (or vice versa).
@@ -192,6 +253,23 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
   for (int i = 0; i < num_workers; ++i) {
     task_queues_.push_back(std::make_unique<BlockingQueue<WorkerTask>>());
     pipelines_.push_back(std::make_unique<WorkerPipeline>());
+  }
+
+  // Worker failure domains (DESIGN.md): published per-worker health and
+  // the watchdog's private state machine. Allocated regardless of the
+  // flag so HealthReport() is always safe to call; never written with the
+  // watchdog off.
+  metrics_.InitWorkers(num_workers);
+  worker_health_ =
+      std::make_unique<std::atomic<uint8_t>[]>(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    worker_health_[static_cast<size_t>(i)].store(
+        static_cast<uint8_t>(WorkerHealth::kHealthy), std::memory_order_relaxed);
+  }
+  watch_.resize(static_cast<size_t>(num_workers));
+  if (health_on_) {
+    BM_CHECK_GT(options_.health.check_interval_micros, 0.0);
+    BM_CHECK_GT(options_.health.probe_backoff_micros, 0.0);
   }
 
   // NUMA-aware placement (DESIGN.md): discover the topology, assign each
@@ -236,6 +314,7 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
       shard_of_worker_[static_cast<size_t>(w)] = s;
     }
     sh->outstanding.assign(static_cast<size_t>(sh->worker_end - sh->worker_begin), 0);
+    sh->quarantined.assign(static_cast<size_t>(sh->worker_end - sh->worker_begin), 0);
     sh->steal_next = s;
 
     sh->processor = std::make_unique<RequestProcessor>(
@@ -399,14 +478,17 @@ void Server::Start() {
   }
   for (int i = 0; i < options_.num_workers; ++i) {
     const int shard = shard_of_worker_[static_cast<size_t>(i)];
-    worker_threads_.emplace_back([this, i, shard] {
+    stager_threads_.emplace_back([this, i, shard] {
       TraceRecorder::SetThreadShard(shard);
       StageLoop(i);
     });
-    worker_threads_.emplace_back([this, i, shard] {
+    exec_threads_.emplace_back([this, i, shard] {
       TraceRecorder::SetThreadShard(shard);
       ExecLoop(i);
     });
+  }
+  if (health_on_) {
+    watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
@@ -591,6 +673,19 @@ void Server::Shutdown() {
     // counts as unfinished — so no shard inbox holds live request state.)
     drained_cv_.wait(lock, [this] { return unfinished_requests_.load() == 0; });
   }
+  // The watchdog must run through the drain (quarantine recovery is what
+  // completes it under a fault) and stop before the inboxes close, so no
+  // Quarantine/Readmit message can land on a closed queue.
+  if (health_on_) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    if (watchdog_thread_.joinable()) {
+      watchdog_thread_.join();
+    }
+  }
   for (auto& shard : shards_) {
     shard->inbox.Close();
   }
@@ -605,8 +700,15 @@ void Server::Shutdown() {
   for (auto& queue : task_queues_) {
     queue->Close();
   }
-  for (std::thread& t : worker_threads_) {
+  for (std::thread& t : stager_threads_) {
     t.join();
+  }
+  for (std::thread& t : exec_threads_) {
+    // A chaos-killed exec thread the watchdog already joined (and maybe
+    // replaced) leaves a non-joinable slot behind.
+    if (t.joinable()) {
+      t.join();
+    }
   }
   // Fold the schedulers' delayed-launch totals into the per-shard metrics
   // now that their manager threads have stopped (exactly once: a second
@@ -642,6 +744,28 @@ double Server::TotalWorkerIdleMicros() const {
     total += pipe->idle_micros.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+std::vector<WorkerHealthSnapshot> Server::HealthReport() const {
+  std::vector<WorkerHealthSnapshot> out(
+      static_cast<size_t>(options_.num_workers));
+  for (int w = 0; w < options_.num_workers; ++w) {
+    WorkerHealthSnapshot& snap = out[static_cast<size_t>(w)];
+    const WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(w)];
+    snap.worker = w;
+    snap.health = static_cast<WorkerHealth>(
+        worker_health_[static_cast<size_t>(w)].load(std::memory_order_relaxed));
+    snap.quarantined = snap.health == WorkerHealth::kHung ||
+                       snap.health == WorkerHealth::kDead;
+    snap.heartbeat_epoch = pipe.hb_epoch.load(std::memory_order_relaxed);
+    snap.heartbeat_micros = pipe.hb_stamp.load(std::memory_order_relaxed);
+    snap.busy_task_seq = pipe.busy_task_seq.load(std::memory_order_relaxed);
+    const WorkerHealthCounters& counters = metrics_.worker(w);
+    snap.quarantines = counters.quarantines.load(std::memory_order_relaxed);
+    snap.requeued_tasks = counters.requeued_tasks.load(std::memory_order_relaxed);
+    snap.respawns = counters.respawns.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void Server::ManagerLoop(Shard& shard) {
@@ -729,6 +853,12 @@ void Server::HandleMsg(Shard& shard, ManagerMsg msg) {
     HandleStealRequest(shard, std::get<StealRequestMsg>(msg));
   } else if (std::holds_alternative<MigrateMsg>(msg)) {
     HandleMigrate(shard, std::move(std::get<MigrateMsg>(msg)));
+  } else if (std::holds_alternative<QuarantineMsg>(msg)) {
+    HandleQuarantine(shard, std::get<QuarantineMsg>(msg));
+  } else if (std::holds_alternative<ReadmitMsg>(msg)) {
+    HandleReadmit(shard, std::get<ReadmitMsg>(msg));
+  } else if (std::holds_alternative<RequeueMsg>(msg)) {
+    HandleRequeue(shard, std::move(std::get<RequeueMsg>(msg)));
   } else {
     HandleStealDeny(shard, std::get<StealDenyMsg>(msg));
   }
@@ -982,7 +1112,11 @@ void Server::MaybeInitiateSteal(Shard& shard) {
   // that the refill pass just failed to feed (no compatible ready work).
   bool starved = false;
   for (int w = shard.worker_begin; w < shard.worker_end && !starved; ++w) {
-    starved = shard.outstanding[static_cast<size_t>(w - shard.worker_begin)] == 0 &&
+    const size_t local = static_cast<size_t>(w - shard.worker_begin);
+    if (health_on_ && shard.quarantined[local] != 0) {
+      continue;  // a quarantined worker is empty by design, not starved
+    }
+    starved = shard.outstanding[local] == 0 &&
               !shard.scheduler->HasCompatibleReadyWork(w);
   }
   if (!starved) {
@@ -1001,8 +1135,13 @@ void Server::TryDonate(Shard& shard) {
   }
   // Donate only surplus: every owned worker already at the watermark means
   // local scheduling cannot absorb a stealable request any time soon.
-  for (int count : shard.outstanding) {
-    if (count < options_.pipeline_depth) {
+  // Quarantined workers don't count — their streams are deliberately empty
+  // and must not make the shard look under-committed forever.
+  for (size_t local = 0; local < shard.outstanding.size(); ++local) {
+    if (health_on_ && shard.quarantined[local] != 0) {
+      continue;
+    }
+    if (shard.outstanding[local] < options_.pipeline_depth) {
       return;
     }
   }
@@ -1018,6 +1157,10 @@ void Server::TryDonate(Shard& shard) {
 }
 
 void Server::TrySchedule(Shard& shard, int worker) {
+  if (health_on_ &&
+      shard.quarantined[static_cast<size_t>(worker - shard.worker_begin)] != 0) {
+    return;  // the stream stops refilling until the watchdog re-admits
+  }
   // The clock read only feeds the slack policy; skip it (and pass the
   // ignored 0) on the greedy path.
   std::vector<BatchedTask> tasks =
@@ -1053,12 +1196,301 @@ void Server::TryRefillWorkers(Shard& shard) {
   shard.refill_start = (shard.refill_start + 1) % n;
   for (int i = 0; i < n; ++i) {
     const int local = (start + i) % n;
+    if (health_on_ && shard.quarantined[static_cast<size_t>(local)] != 0) {
+      continue;
+    }
     if (shard.outstanding[static_cast<size_t>(local)] < options_.pipeline_depth) {
       TrySchedule(shard, shard.worker_begin + local);
       if (!shard.scheduler->HasReadyWork()) {
         break;
       }
     }
+  }
+}
+
+void Server::HandleQuarantine(Shard& shard, const QuarantineMsg& msg) {
+  const int worker = msg.worker;
+  BM_CHECK_GE(worker, shard.worker_begin);
+  BM_CHECK_LT(worker, shard.worker_end);
+  const size_t local = static_cast<size_t>(worker - shard.worker_begin);
+  shard.quarantined[local] = 1;
+  WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(worker)];
+
+  // Reclaim the undone stream. Every task this worker was handed is in
+  // exactly one place — the task queue, the stager's hands, `staged`, or
+  // the exec thread — and each resolves exactly once: queued and staged
+  // tasks are requeued here, a task the stager holds comes back via
+  // RequeueMsg (it sees the flag at its next lock acquisition), and the
+  // exec thread's in-flight task either completes on wake (hung) or is
+  // requeued from the pipeline's copy (dead).
+  std::vector<BatchedTask> reclaimed;
+  {
+    std::lock_guard<std::mutex> lock(pipe.mu);
+    pipe.quarantined = true;
+    int64_t max_seq = pipe.executed_seq;
+    bool reset_parity[2] = {false, false};
+    for (WorkerPipeline::StagedTask& st : pipe.staged) {
+      max_seq = std::max(max_seq, st.seq);
+      reset_parity[st.seq & 1] = true;
+      // Retire the spliced task's hazard keys: clean entries sit in
+      // unscattered, poisoned/skipped ones in failed_produced, and either
+      // would mis-block or mis-poison a later stream after re-admission.
+      for (const TaskEntry& entry : st.wt.task.entries) {
+        const uint64_t key = HazardKey(entry.request, entry.node);
+        pipe.unscattered.erase(key);
+        pipe.failed_produced.erase(key);
+      }
+      reclaimed.push_back(std::move(st.wt.task));
+    }
+    pipe.staged.clear();  // drops the gathered views into the arenas
+    if (msg.dead) {
+      if (pipe.inflight_valid) {
+        max_seq = std::max(max_seq, pipe.inflight_seq);
+        for (const TaskEntry& entry : pipe.inflight_task.entries) {
+          const uint64_t key = HazardKey(entry.request, entry.node);
+          pipe.unscattered.erase(key);
+          pipe.failed_produced.erase(key);
+        }
+        reclaimed.push_back(std::move(pipe.inflight_task));
+        pipe.inflight_valid = false;
+        pipe.inflight_seq = -1;
+      }
+      // No thread is inside either arena (the exec thread was joined
+      // before this message was sent): reset both so the respawned
+      // thread's stream restarts clean.
+      reset_parity[0] = reset_parity[1] = true;
+      // The dead thread left its busy marker set; clear it so the
+      // watchdog's idle probe can pass once the replacement runs.
+      pipe.busy_task_seq.store(-1, std::memory_order_release);
+    } else if (pipe.inflight_valid) {
+      // Hung: the exec thread still owns its task's arena — leave it; it
+      // is reset on wake like any other completed task's.
+      reset_parity[pipe.inflight_seq & 1] = false;
+    }
+    for (int p = 0; p < 2; ++p) {
+      if (reset_parity[p]) {
+        pipe.staging[p].Reset();
+      }
+    }
+    // Spliced seqs will never execute; publishing them as "executed" keeps
+    // the stager's arena-reuse wait from deadlocking on a hole.
+    pipe.executed_seq = max_seq;
+  }
+  // Ack strictly after the reclaim above is published: the watchdog only
+  // probes for re-admission once the counter advances, so a ReadmitMsg can
+  // never overtake this quarantine through the inbox.
+  pipe.quarantine_acks.fetch_add(1);
+  pipe.cv.notify_all();
+
+  std::deque<WorkerTask> queued = task_queues_[static_cast<size_t>(worker)]->DrainAll();
+  for (const BatchedTask& task : reclaimed) {
+    RequeueReclaimed(shard, worker, task);
+  }
+  for (const WorkerTask& wt : queued) {
+    RequeueReclaimed(shard, worker, wt.task);
+  }
+  metrics_.worker(worker).quarantines.fetch_add(1, std::memory_order_relaxed);
+  trace_.WorkerQuarantine(worker, msg.dead,
+                          static_cast<int>(reclaimed.size() + queued.size()));
+
+  // A shard with every worker quarantined cannot run the reclaimed work;
+  // hand never-scheduled requests to healthy peers rather than sitting on
+  // them for the whole recovery.
+  bool any_healthy = false;
+  for (uint8_t q : shard.quarantined) {
+    any_healthy |= q == 0;
+  }
+  if (!any_healthy) {
+    DonateAllStealable(shard);
+  }
+}
+
+void Server::HandleReadmit(Shard& shard, const ReadmitMsg& msg) {
+  const int worker = msg.worker;
+  BM_CHECK_GE(worker, shard.worker_begin);
+  BM_CHECK_LT(worker, shard.worker_end);
+  const size_t local = static_cast<size_t>(worker - shard.worker_begin);
+  if (shard.quarantined[local] == 0) {
+    return;  // never quarantined here: stale or duplicate message
+  }
+  shard.quarantined[local] = 0;
+  WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(worker)];
+  {
+    std::lock_guard<std::mutex> lock(pipe.mu);
+    pipe.quarantined = false;
+  }
+  metrics_.worker(worker).readmissions.fetch_add(1, std::memory_order_relaxed);
+  TrySchedule(shard, worker);
+}
+
+void Server::HandleRequeue(Shard& shard, RequeueMsg msg) {
+  RequeueReclaimed(shard, msg.task.worker, msg.task);
+}
+
+void Server::RequeueReclaimed(Shard& shard, int worker, const BatchedTask& task) {
+  const size_t local = static_cast<size_t>(worker - shard.worker_begin);
+  shard.outstanding[local]--;
+  BM_CHECK_GE(shard.outstanding[local], 0);
+  metrics_.worker(worker).requeued_tasks.fetch_add(1, std::memory_order_relaxed);
+  shard.scheduler->RequeueTask(task);
+}
+
+void Server::DonateAllStealable(Shard& shard) {
+  if (num_shards_ <= 1) {
+    return;
+  }
+  // Same-node peers first, so the forced migration respects numa_policy's
+  // node boundaries whenever a same-node shard exists.
+  std::vector<int> peers;
+  const int my_node = numa_on_ ? shard_node_[static_cast<size_t>(shard.id)] : -1;
+  for (int s = 0; s < num_shards_; ++s) {
+    if (s != shard.id && numa_on_ &&
+        shard_node_[static_cast<size_t>(s)] == my_node) {
+      peers.push_back(s);
+    }
+  }
+  for (int s = 0; s < num_shards_; ++s) {
+    if (s != shard.id &&
+        !(numa_on_ && shard_node_[static_cast<size_t>(s)] == my_node)) {
+      peers.push_back(s);
+    }
+  }
+  size_t next = 0;
+  for (;;) {
+    RequestState* state = PopStealable(shard);
+    if (state == nullptr) {
+      return;
+    }
+    MigrateOut(shard, state, peers[next % peers.size()]);
+    ++next;
+  }
+}
+
+void Server::WatchdogLoop() {
+  SetCurrentThreadName("watchdog");
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  const auto interval =
+      std::chrono::duration<double, std::micro>(options_.health.check_interval_micros);
+  // wait_for returns true only when watchdog_stop_ is set; each timeout is
+  // one sampling pass over all workers.
+  while (!watchdog_cv_.wait_for(lock, interval, [this] { return watchdog_stop_; })) {
+    const double now = NowMicros();
+    for (int w = 0; w < options_.num_workers; ++w) {
+      WatchdogCheckWorker(w, now);
+    }
+  }
+}
+
+void Server::WatchdogCheckWorker(int worker, double now_micros) {
+  WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(worker)];
+  WorkerWatch& watch = watch_[static_cast<size_t>(worker)];
+  std::atomic<uint8_t>& health = worker_health_[static_cast<size_t>(worker)];
+  const HealthOptions& opts = options_.health;
+  const int owner_shard = shard_of_worker_[static_cast<size_t>(worker)];
+
+  const auto begin_quarantine = [&](bool dead) {
+    watch.quarantined = true;
+    watch.respawned = false;
+    watch.quarantined_at = now_micros;
+    watch.acks_wanted = pipe.quarantine_acks.load() + 1;
+    watch.backoff = opts.probe_backoff_micros;
+    watch.next_probe = now_micros + watch.backoff;
+    health.store(static_cast<uint8_t>(dead ? WorkerHealth::kDead : WorkerHealth::kHung),
+                 std::memory_order_relaxed);
+    shards_[static_cast<size_t>(owner_shard)]->inbox.Push(
+        ManagerMsg{QuarantineMsg{worker, dead}});
+  };
+
+  if (watch.quarantined) {
+    if (pipe.quarantine_acks.load() < watch.acks_wanted) {
+      return;  // the shard manager has not processed the quarantine yet
+    }
+    // A dead worker's exec thread was joined before the quarantine was
+    // requested; replace it once the manager's reclaim completed (the
+    // replacement then only ever sees the reset pipeline).
+    if (!watch.respawned &&
+        health.load(std::memory_order_relaxed) ==
+            static_cast<uint8_t>(WorkerHealth::kDead)) {
+      exec_threads_[static_cast<size_t>(worker)] =
+          std::thread([this, worker, owner_shard] {
+            TraceRecorder::SetThreadShard(owner_shard);
+            ExecLoop(worker);
+          });
+      watch.respawned = true;
+      metrics_.worker(worker).respawns.fetch_add(1, std::memory_order_relaxed);
+      trace_.WorkerRespawn(worker);
+    }
+    if (now_micros < watch.next_probe) {
+      return;
+    }
+    // Re-admission probe: the exec thread must be alive and idle. Idle
+    // means it holds no task, so both staging arenas are reset and the
+    // re-admitted stream restarts clean.
+    if (pipe.exec_alive.load() == 1 &&
+        pipe.busy_task_seq.load(std::memory_order_acquire) == -1) {
+      watch.quarantined = false;
+      watch.respawned = false;
+      watch.backoff = 0.0;
+      health.store(static_cast<uint8_t>(WorkerHealth::kHealthy),
+                   std::memory_order_relaxed);
+      trace_.WorkerReadmit(worker, watch.quarantined_at);
+      shards_[static_cast<size_t>(owner_shard)]->inbox.Push(
+          ManagerMsg{ReadmitMsg{worker}});
+      return;
+    }
+    // Still stuck: back off exponentially, bounded.
+    watch.backoff = std::min(std::max(watch.backoff * 2.0, opts.probe_backoff_micros),
+                             opts.probe_backoff_max_micros);
+    watch.next_probe = now_micros + watch.backoff;
+    return;
+  }
+
+  const int alive = pipe.exec_alive.load();
+  if (alive == 0) {
+    return;  // exec thread not yet running; nothing to judge
+  }
+  if (alive == 2) {
+    // The exec thread exited outside shutdown: dead. Join the corpse so
+    // its slot can be respawned, then ask the owning shard to quarantine
+    // and reclaim (including the task the thread died inside).
+    if (exec_threads_[static_cast<size_t>(worker)].joinable()) {
+      exec_threads_[static_cast<size_t>(worker)].join();
+    }
+    begin_quarantine(/*dead=*/true);
+    return;
+  }
+  const int64_t busy_seq = pipe.busy_task_seq.load(std::memory_order_acquire);
+  if (busy_seq < 0) {
+    // Idle is healthy by definition (the stream may simply be empty).
+    if (health.load(std::memory_order_relaxed) ==
+        static_cast<uint8_t>(WorkerHealth::kSlow)) {
+      health.store(static_cast<uint8_t>(WorkerHealth::kHealthy),
+                   std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Busy: compare the in-flight span against the cost model's expectation
+  // for this (type, batch). The model self-calibrates from measured spans,
+  // so the thresholds track the machine, not a hardcoded constant.
+  const double span = now_micros - pipe.busy_since.load(std::memory_order_relaxed);
+  const double predicted = online_cost_model_->TaskMicros(
+      static_cast<CellTypeId>(pipe.busy_type.load(std::memory_order_relaxed)),
+      std::max(1, pipe.busy_batch.load(std::memory_order_relaxed)));
+  const double hang_at =
+      std::max(opts.min_hang_micros, opts.hang_multiplier * predicted);
+  if (span >= hang_at) {
+    begin_quarantine(/*dead=*/false);
+    return;
+  }
+  if (opts.slow_multiplier > 0.0 && predicted > 0.0 &&
+      span >= opts.slow_multiplier * predicted) {
+    health.store(static_cast<uint8_t>(WorkerHealth::kSlow),
+                 std::memory_order_relaxed);
+    metrics_.worker(worker).slow_ticks.fetch_add(1, std::memory_order_relaxed);
+  } else if (health.load(std::memory_order_relaxed) ==
+             static_cast<uint8_t>(WorkerHealth::kSlow)) {
+    health.store(static_cast<uint8_t>(WorkerHealth::kHealthy),
+                 std::memory_order_relaxed);
   }
 }
 
@@ -1074,10 +1506,33 @@ void Server::StageLoop(int worker) {
     pipe.staging[1].Prefault(size_t{1} << 20);
   }
   auto& queue = *task_queues_[static_cast<size_t>(worker)];
+  // Tasks a quarantined stream refuses go back to the owning shard.
+  auto& inbox = shards_[static_cast<size_t>(shard_of_worker_[static_cast<size_t>(worker)])]
+                    ->inbox;
+  // Stream seqs are consumed only when a task is *published* to `staged`:
+  // a quarantine-aborted task is handed back without a seq, so the exec
+  // thread's executed_seq never has to step over a hole.
   int64_t next_seq = 0;
   while (auto wt = queue.Pop()) {
-    const int64_t seq = next_seq++;
+    const int64_t seq = next_seq;
     const size_t batch = wt->task.entries.size();
+
+    if (health_on_) {
+      // A task popped after (or racing with) a quarantine goes straight
+      // back: the manager's queue drain and this check together cover
+      // every task the stager could be holding.
+      bool reclaim;
+      {
+        std::lock_guard<std::mutex> lock(pipe.mu);
+        reclaim = pipe.quarantined;
+      }
+      if (reclaim) {
+        inbox.Push(ManagerMsg{RequeueMsg{std::move(wt->task)}});
+        continue;
+      }
+      pipe.hb_epoch.fetch_add(1, std::memory_order_relaxed);
+      pipe.hb_stamp.store(NowMicros(), std::memory_order_relaxed);
+    }
 
     WorkerPipeline::StagedTask st;
     st.seq = seq;
@@ -1088,13 +1543,23 @@ void Server::StageLoop(int worker) {
     if (fault_injector_.ShouldFail(wt->task.id)) {
       st.skip = true;
       st.victim = fault_injector_.VictimEntry(wt->task.id, static_cast<int>(batch));
+      bool reclaim = false;
       {
         std::lock_guard<std::mutex> lock(pipe.mu);
-        for (const TaskEntry& entry : wt->task.entries) {
-          pipe.failed_produced.insert(HazardKey(entry.request, entry.node));
+        if (health_on_ && pipe.quarantined) {
+          reclaim = true;
+        } else {
+          for (const TaskEntry& entry : wt->task.entries) {
+            pipe.failed_produced.insert(HazardKey(entry.request, entry.node));
+          }
+          st.wt = std::move(*wt);
+          pipe.staged.push_back(std::move(st));
+          ++next_seq;
         }
-        st.wt = std::move(*wt);
-        pipe.staged.push_back(std::move(st));
+      }
+      if (reclaim) {
+        inbox.Push(ManagerMsg{RequeueMsg{std::move(wt->task)}});
+        continue;
       }
       pipe.cv.notify_all();
       continue;
@@ -1120,6 +1585,9 @@ void Server::StageLoop(int worker) {
     {
       std::unique_lock<std::mutex> lock(pipe.mu);
       pipe.cv.wait(lock, [&] {
+        if (health_on_ && pipe.quarantined) {
+          return true;  // abort: the manager reclaimed this stream
+        }
         if (pipe.executed_seq < seq - 2) {
           return false;  // staging[seq % 2] still holds task seq-2's buffers
         }
@@ -1130,6 +1598,11 @@ void Server::StageLoop(int worker) {
         }
         return true;
       });
+      if (health_on_ && pipe.quarantined) {
+        lock.unlock();
+        inbox.Push(ManagerMsg{RequeueMsg{std::move(wt->task)}});
+        continue;
+      }
       if (!pipe.failed_produced.empty()) {
         st.poisoned.assign(batch, 0);
         for (size_t i = 0; i < batch; ++i) {
@@ -1155,13 +1628,23 @@ void Server::StageLoop(int worker) {
       // gather or execute. Blame stays with the original fault.
       st.skip = true;
       st.poisoned.clear();
+      bool reclaim = false;
       {
         std::lock_guard<std::mutex> lock(pipe.mu);
-        for (const TaskEntry& entry : wt->task.entries) {
-          pipe.failed_produced.insert(HazardKey(entry.request, entry.node));
+        if (health_on_ && pipe.quarantined) {
+          reclaim = true;
+        } else {
+          for (const TaskEntry& entry : wt->task.entries) {
+            pipe.failed_produced.insert(HazardKey(entry.request, entry.node));
+          }
+          st.wt = std::move(*wt);
+          pipe.staged.push_back(std::move(st));
+          ++next_seq;
         }
-        st.wt = std::move(*wt);
-        pipe.staged.push_back(std::move(st));
+      }
+      if (reclaim) {
+        inbox.Push(ManagerMsg{RequeueMsg{std::move(wt->task)}});
+        continue;
       }
       pipe.cv.notify_all();
       continue;
@@ -1176,6 +1659,10 @@ void Server::StageLoop(int worker) {
     assembler_.GatherInputs(wt->task, wt->states, &st.gathered, &stage_ctx,
                             st.poisoned.empty() ? nullptr : &st.poisoned);
     trace_.GatherEnd(wt->task.id, wt->task.type, worker, wt->task.BatchSize());
+    if (health_on_) {
+      pipe.hb_epoch.fetch_add(1, std::memory_order_relaxed);
+      pipe.hb_stamp.store(NowMicros(), std::memory_order_relaxed);
+    }
 
     if (my_node >= 0) {
       // Estimated cross-node gather traffic: rows whose producing request
@@ -1205,23 +1692,39 @@ void Server::StageLoop(int worker) {
       }
     }
 
+    bool reclaim = false;
     {
       std::lock_guard<std::mutex> lock(pipe.mu);
-      for (size_t i = 0; i < batch; ++i) {
-        const TaskEntry& entry = wt->task.entries[i];
-        const uint64_t key = HazardKey(entry.request, entry.node);
-        if (!st.poisoned.empty() && st.poisoned[i] != 0) {
-          pipe.failed_produced.insert(key);  // propagate the cascade
-        } else {
-          // Self-clean: a node re-staged here after a failed attempt (the
-          // revert machinery re-scheduled it to this worker) supersedes its
-          // stale poison key.
-          pipe.failed_produced.erase(key);
-          pipe.unscattered.insert(key);
+      if (health_on_ && pipe.quarantined) {
+        // Quarantined between the hazard wait and this publish: the rows
+        // just gathered will never execute. This thread still owns the
+        // arena (the task was never published), so recycle it and hand the
+        // task back without consuming the seq.
+        st.gathered.inputs.clear();
+        pipe.staging[seq & 1].Reset();
+        reclaim = true;
+      } else {
+        for (size_t i = 0; i < batch; ++i) {
+          const TaskEntry& entry = wt->task.entries[i];
+          const uint64_t key = HazardKey(entry.request, entry.node);
+          if (!st.poisoned.empty() && st.poisoned[i] != 0) {
+            pipe.failed_produced.insert(key);  // propagate the cascade
+          } else {
+            // Self-clean: a node re-staged here after a failed attempt (the
+            // revert machinery re-scheduled it to this worker) supersedes its
+            // stale poison key.
+            pipe.failed_produced.erase(key);
+            pipe.unscattered.insert(key);
+          }
         }
+        st.wt = std::move(*wt);
+        pipe.staged.push_back(std::move(st));
+        ++next_seq;
       }
-      st.wt = std::move(*wt);
-      pipe.staged.push_back(std::move(st));
+    }
+    if (reclaim) {
+      inbox.Push(ManagerMsg{RequeueMsg{std::move(wt->task)}});
+      continue;
     }
     pipe.cv.notify_all();
   }
@@ -1280,6 +1783,10 @@ void Server::ExecLoop(int worker) {
   auto& inbox = shards_[static_cast<size_t>(shard_of_worker_[static_cast<size_t>(worker)])]
                     ->inbox;
   double idle_accum = 0.0;
+  const bool chaos_on = fault_injector_.worker_chaos_enabled();
+  if (health_on_) {
+    pipe.exec_alive.store(1);
+  }
 
   for (;;) {
     WorkerPipeline::StagedTask st;
@@ -1306,15 +1813,73 @@ void Server::ExecLoop(int worker) {
 
     const int batch = st.wt.task.BatchSize();
 
+    if (health_on_) {
+      // Heartbeat + busy marker: record what this thread is about to be
+      // inside so the watchdog can price the expected span. The in-flight
+      // copy (under mu) is the manager's handle for reclaiming the task if
+      // this thread dies inside it.
+      const double now = NowMicros();
+      pipe.hb_epoch.fetch_add(1, std::memory_order_relaxed);
+      pipe.hb_stamp.store(now, std::memory_order_relaxed);
+      pipe.busy_since.store(now, std::memory_order_relaxed);
+      pipe.busy_type.store(static_cast<int>(st.wt.task.type),
+                           std::memory_order_relaxed);
+      pipe.busy_batch.store(batch, std::memory_order_relaxed);
+      pipe.busy_task_seq.store(st.seq, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(pipe.mu);
+        pipe.inflight_task = st.wt.task;
+        pipe.inflight_seq = st.seq;
+        pipe.inflight_valid = true;
+      }
+    }
+    double slowdown = 1.0;
+    if (chaos_on) {
+      // Deterministic worker chaos (watchdog drills), keyed on
+      // (worker, stream seq): hang before executing, die before
+      // executing, or stretch the exec span below.
+      const WorkerChaos chaos = fault_injector_.ChaosAt(worker, st.seq);
+      slowdown = chaos.slowdown_factor;
+      if (chaos.hang_micros > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::micro>(chaos.hang_micros));
+      }
+      if (chaos.exit_thread) {
+        // Crash drill: exit without executing, scattering or reporting.
+        // inflight_valid stays set — the watchdog-initiated quarantine
+        // reclaims the task from the pipeline's copy. Replica refs are
+        // released like a normal exit so the respawned thread can
+        // re-acquire them.
+        for (const CellExecutor* executor : replicated) {
+          executor->ReleaseNodeReplica(replica_node);
+        }
+        if (health_on_) {
+          pipe.exec_alive.store(2);
+        }
+        return;
+      }
+    }
+
     if (st.skip) {
       // Injected fault or pure cascade: nothing was gathered and nothing
       // executes. Advance the stream (the staging arena was never touched;
       // its keys are already in failed_produced) and report the failure.
+      // The max keeps a quarantine's splice — which may have published a
+      // higher executed_seq already — from moving backwards.
       {
         std::lock_guard<std::mutex> lock(pipe.mu);
-        pipe.executed_seq = st.seq;
+        pipe.executed_seq = std::max(pipe.executed_seq, st.seq);
+        if (health_on_) {
+          pipe.inflight_valid = false;
+          pipe.inflight_seq = -1;
+        }
       }
       pipe.cv.notify_all();
+      if (health_on_) {
+        pipe.hb_epoch.fetch_add(1, std::memory_order_relaxed);
+        pipe.hb_stamp.store(NowMicros(), std::memory_order_relaxed);
+        pipe.busy_task_seq.store(-1, std::memory_order_release);
+      }
       trace_.TaskFailed(st.wt.task.id, st.wt.task.type, worker, batch);
       if (st.victim >= 0) {
         tasks_failed_.fetch_add(1);  // cascades count the original fault only
@@ -1350,6 +1915,13 @@ void Server::ExecLoop(int worker) {
       // nothing. Treated exactly like an injected fault with no victim.
       exec_threw = true;
     }
+    if (slowdown > 1.0) {
+      // Degraded-worker drill: stretch the measured span before the
+      // post-execute heartbeat so both the watchdog's slow classifier and
+      // the cost model's calibration observe the inflated span.
+      std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+          (slowdown - 1.0) * (NowMicros() - exec_start)));
+    }
     // The gather buffers are dead: drop the arena-backed tensors, then
     // recycle both arenas. Resetting staging[seq % 2] before publishing
     // executed_seq (below, under mu) is what makes it safe for the stager
@@ -1367,9 +1939,18 @@ void Server::ExecLoop(int worker) {
           pipe.unscattered.erase(key);
           pipe.failed_produced.insert(key);
         }
-        pipe.executed_seq = st.seq;
+        pipe.executed_seq = std::max(pipe.executed_seq, st.seq);
+        if (health_on_) {
+          pipe.inflight_valid = false;
+          pipe.inflight_seq = -1;
+        }
       }
       pipe.cv.notify_all();
+      if (health_on_) {
+        pipe.hb_epoch.fetch_add(1, std::memory_order_relaxed);
+        pipe.hb_stamp.store(NowMicros(), std::memory_order_relaxed);
+        pipe.busy_task_seq.store(-1, std::memory_order_release);
+      }
       trace_.TaskFailed(st.wt.task.id, st.wt.task.type, worker, batch);
       tasks_failed_.fetch_add(1);
       CompletionMsg msg;
@@ -1405,9 +1986,18 @@ void Server::ExecLoop(int worker) {
         // Poisoned keys were never in unscattered; they stay poisoned in
         // failed_produced until purged by unpark or finalization.
       }
-      pipe.executed_seq = st.seq;
+      pipe.executed_seq = std::max(pipe.executed_seq, st.seq);
+      if (health_on_) {
+        pipe.inflight_valid = false;
+        pipe.inflight_seq = -1;
+      }
     }
     pipe.cv.notify_all();
+    if (health_on_) {
+      pipe.hb_epoch.fetch_add(1, std::memory_order_relaxed);
+      pipe.hb_stamp.store(NowMicros(), std::memory_order_relaxed);
+      pipe.busy_task_seq.store(-1, std::memory_order_release);
+    }
     trace_.ExecEnd(st.wt.task.id, st.wt.task.type, worker, batch);
     tasks_executed_.fetch_add(1);
     if (online_cost_model_ != nullptr && options_.batch_policy.calibrate) {
@@ -1431,6 +2021,9 @@ void Server::ExecLoop(int worker) {
 
   for (const CellExecutor* executor : replicated) {
     executor->ReleaseNodeReplica(replica_node);
+  }
+  if (health_on_) {
+    pipe.exec_alive.store(2);
   }
 }
 

@@ -122,6 +122,37 @@ struct ServerOptions : EngineOptions {
 // live in src/core/engine_options.h with the rest of the uniform
 // submission surface.
 
+// Per-worker health classification (HealthOptions::health_watchdog; see
+// DESIGN.md "Worker failure domains"). kSlow is advisory — the worker
+// keeps serving; kHung and kDead are quarantined states — the worker's
+// stream stops refilling and its in-flight tasks are requeued elsewhere
+// until a recovery probe re-admits it.
+enum class WorkerHealth : uint8_t {
+  kHealthy = 0,
+  kSlow,   // in-flight span exceeded slow_multiplier x predicted cost
+  kHung,   // quarantined: exec thread alive but past the hang threshold
+  kDead,   // quarantined: exec thread exited (respawned, awaiting re-admit)
+};
+const char* WorkerHealthName(WorkerHealth health);
+
+// One row of Server::HealthReport().
+struct WorkerHealthSnapshot {
+  int worker = -1;
+  WorkerHealth health = WorkerHealth::kHealthy;
+  bool quarantined = false;
+  // Monotonic count of exec-thread progress events (heartbeats).
+  int64_t heartbeat_epoch = 0;
+  // When the exec thread last made progress (micros since Start; 0 before
+  // the first heartbeat).
+  double heartbeat_micros = 0.0;
+  // Stream seq of the task the exec thread is currently inside, -1 idle.
+  int64_t busy_task_seq = -1;
+  // Lifetime counters (mirrors of metrics().worker(i)).
+  int64_t quarantines = 0;
+  int64_t requeued_tasks = 0;
+  int64_t respawns = 0;
+};
+
 class Server {
  public:
   // See the namespace-level ResponseFn; kept as a member alias for source
@@ -223,11 +254,25 @@ class Server {
   // whose deadline lies ahead. Only safe to read after Shutdown.
   size_t PendingDeadlines() const;
 
-  // The online-calibrated cost model feeding slack-aware batch formation;
-  // null unless EngineOptions::batch_policy.slack_batching is set.
+  // The online-calibrated cost model feeding slack-aware batch formation
+  // and the health watchdog's hang thresholds; null unless
+  // batch_policy.slack_batching or health.health_watchdog is set. (The
+  // scheduler consults it only under slack_batching, so enabling the
+  // watchdog alone changes no scheduling decision.)
   const OnlineCostModel* online_cost_model() const {
     return online_cost_model_.get();
   }
+
+  // ---- Worker failure domains (DESIGN.md "Worker failure domains") ----
+
+  // Per-worker state-machine snapshot: health classification, heartbeat
+  // progress, and lifetime quarantine/requeue/respawn counters. Thread-safe
+  // at any time; all-healthy zeros when the watchdog is off.
+  std::vector<WorkerHealthSnapshot> HealthReport() const;
+  // Lifetime totals across workers (0 with the watchdog off).
+  int64_t Quarantines() const { return metrics_.TotalQuarantines(); }
+  int64_t RequeuedTasks() const { return metrics_.TotalRequeuedTasks(); }
+  int64_t Respawns() const { return metrics_.TotalRespawns(); }
 
   // ---- NUMA placement introspection (DESIGN.md "NUMA-aware placement") ----
 
@@ -300,8 +345,26 @@ class Server {
   struct StealDenyMsg {
     int victim;
   };
+  // ---- Worker failure domains (DESIGN.md "Worker failure domains") ----
+  // The watchdog never touches shard state directly: it asks the owning
+  // shard to quarantine a flagged worker (reclaiming and requeueing its
+  // undone stream)...
+  struct QuarantineMsg {
+    int worker;
+    bool dead;  // exec thread exited (vs hung: alive but stalled)
+  };
+  // ...and later to re-admit it once a recovery probe passes.
+  struct ReadmitMsg {
+    int worker;
+  };
+  // A staging thread hands back a task it popped but will not stage
+  // because its worker was quarantined mid-flight.
+  struct RequeueMsg {
+    BatchedTask task;
+  };
   using ManagerMsg = std::variant<ArrivalMsg, CompletionMsg, CancelMsg,
-                                  StealRequestMsg, MigrateMsg, StealDenyMsg>;
+                                  StealRequestMsg, MigrateMsg, StealDenyMsg,
+                                  QuarantineMsg, ReadmitMsg, RequeueMsg>;
 
   // A task plus the request states it touches, resolved by the manager so
   // workers never read the request map.
@@ -327,6 +390,24 @@ class Server {
   void HandleStealRequest(Shard& shard, const StealRequestMsg& msg);
   void HandleMigrate(Shard& shard, MigrateMsg msg);
   void HandleStealDeny(Shard& shard, const StealDenyMsg& msg);
+  // ---- Worker failure domains (shard manager thread only) ----
+  // Pulls `msg.worker` from scheduling and reclaims its undone stream:
+  // queued tasks, staged-but-unexecuted tasks, and (dead only) the task
+  // the exec thread died inside, all requeued via Scheduler::RequeueTask.
+  void HandleQuarantine(Shard& shard, const QuarantineMsg& msg);
+  void HandleReadmit(Shard& shard, const ReadmitMsg& msg);
+  void HandleRequeue(Shard& shard, RequeueMsg msg);
+  // Requeues one reclaimed task (outstanding accounting + RequeueTask).
+  void RequeueReclaimed(Shard& shard, int worker, const BatchedTask& task);
+  // When every worker of `shard` is quarantined, pushes all stealable
+  // requests to healthy peer shards (same-NUMA-node peers first).
+  void DonateAllStealable(Shard& shard);
+  // Watchdog thread: samples worker heartbeats every
+  // health.check_interval_micros, classifies, quarantines, respawns dead
+  // exec threads, and probes for re-admission with exponential backoff.
+  void WatchdogLoop();
+  // One watchdog pass over one worker (split out for clarity).
+  void WatchdogCheckWorker(int worker, double now_micros);
   // Pops the lowest-priority, oldest stealable (= never-scheduled, still
   // kOk) request of `shard`, or null. Lazily discards stale candidates.
   RequestState* PopStealable(Shard& shard);
@@ -382,15 +463,44 @@ class Server {
   // computation the policy adds, so the off path stays byte-for-byte
   // identical to the greedy server.
   bool slack_on_ = false;
-  // Online-calibrated cost model (created only when slack_on_): workers
-  // feed it measured exec spans; shard schedulers query it for the
-  // delay/launch decision.
+  // Online-calibrated cost model (created when slack_on_ or health_on_):
+  // workers feed it measured exec spans; shard schedulers query it for the
+  // delay/launch decision (slack only) and the watchdog for hang
+  // thresholds (health only).
   std::unique_ptr<OnlineCostModel> online_cost_model_;
+
+  // ---- Worker failure-domain state (DESIGN.md "Worker failure domains") ----
+  // Derived from options_.health.health_watchdog; gates every heartbeat
+  // store, clock read and quarantine branch so the off path stays
+  // byte-for-byte identical to the pre-watchdog server.
+  bool health_on_ = false;
+  // Published classification per worker (WorkerHealth), written by the
+  // watchdog, read by HealthReport from any thread.
+  std::unique_ptr<std::atomic<uint8_t>[]> worker_health_;
+  // Watchdog-private per-worker state machine (only the watchdog thread
+  // touches it).
+  struct WorkerWatch {
+    bool quarantined = false;
+    double quarantined_at = 0.0;   // micros, for time-to-recovery traces
+    double next_probe = 0.0;       // earliest next re-admission probe
+    double backoff = 0.0;          // current probe backoff (micros)
+    int64_t acks_wanted = 0;       // pipeline quarantine_acks value to wait for
+    bool respawned = false;        // dead exec thread already replaced
+  };
+  std::vector<WorkerWatch> watch_;
+  std::thread watchdog_thread_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 
   std::vector<std::unique_ptr<BlockingQueue<WorkerTask>>> task_queues_;
   std::vector<std::unique_ptr<WorkerPipeline>> pipelines_;
 
-  std::vector<std::thread> worker_threads_;  // one staging + one exec thread per worker
+  std::vector<std::thread> stager_threads_;  // one staging thread per worker
+  // One exec thread per worker, kept separate so the watchdog can join a
+  // dead one and respawn it in place. Written by Start, then only by the
+  // watchdog thread until it stops; Shutdown joins after the watchdog.
+  std::vector<std::thread> exec_threads_;
   std::atomic<RequestId> next_request_id_{1};
   std::atomic<int64_t> tasks_executed_{0};
   std::atomic<int64_t> tasks_failed_{0};

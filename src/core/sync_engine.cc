@@ -1,6 +1,8 @@
 #include "src/core/sync_engine.h"
 
+#include <sstream>
 #include <utility>
+#include <vector>
 
 #include "src/util/logging.h"
 
@@ -43,6 +45,12 @@ SyncEngine::SyncEngine(const CellRegistry* registry, SchedulerOptions options)
   scheduler_->set_trace(&trace_);
 }
 
+void SyncEngine::set_batch_policy(const BatchPolicyOptions& policy,
+                                  const CostModel* cost_model) {
+  scheduler_->set_cost_model(cost_model);
+  scheduler_->set_batch_policy(policy);
+}
+
 double SyncEngine::NowMicros() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now() - start_time_)
@@ -75,8 +83,9 @@ void SyncEngine::RunToCompletion() {
   for (;;) {
     std::vector<BatchedTask> tasks = scheduler_->Schedule(/*worker=*/0);
     if (tasks.empty()) {
-      BM_CHECK_EQ(processor_->NumActiveRequests(), 0u)
-          << "scheduler stalled with active requests";
+      if (processor_->NumActiveRequests() > 0) {
+        FailStalledRequests();
+      }
       return;
     }
     for (BatchedTask& task : tasks) {
@@ -108,6 +117,49 @@ void SyncEngine::RunToCompletion() {
       }
     }
   }
+}
+
+void SyncEngine::FailStalledRequests() {
+  // The scheduler produced no work while requests are still active — a
+  // partitioner/scheduler invariant is broken, or a configuration combines
+  // badly with the synchronous clock (e.g. slack_batching defers forever at
+  // now=0, since virtual "now" never advances here). Aborting the process
+  // (the old behaviour) took every healthy co-resident request down with
+  // it; instead, fail each stuck request with a diagnostic of the nodes
+  // that never became ready and let the caller observe kFailed.
+  const std::vector<RequestId> stuck = processor_->ActiveRequestIds();
+  for (const RequestId id : stuck) {
+    RequestState* state = processor_->FindRequest(id);
+    if (state == nullptr) {
+      continue;  // finalized by a prior iteration's cancellation
+    }
+    std::ostringstream pending;
+    std::ostringstream ready;
+    int num_pending = 0;
+    int num_ready = 0;
+    for (size_t n = 0; n < state->nodes.size(); ++n) {
+      const NodeStage stage = state->nodes[n].stage;
+      if (stage == NodeStage::kPending) {
+        if (num_pending++ < 8) {
+          pending << (num_pending > 1 ? " " : "") << n;
+        }
+      } else if (stage == NodeStage::kReady || stage == NodeStage::kScheduled) {
+        if (num_ready++ < 8) {
+          ready << (num_ready > 1 ? " " : "") << n;
+        }
+      }
+    }
+    BM_LOG(Warning) << "scheduler stalled: request " << id << " has "
+                    << num_pending << " node(s) that never became ready ["
+                    << pending.str() << (num_pending > 8 ? " ..." : "") << "] and "
+                    << num_ready << " ready-but-unscheduled node(s) ["
+                    << ready.str() << (num_ready > 8 ? " ..." : "")
+                    << "]; failing the request";
+    state->MarkTerminal(RequestStatus::kFailed);
+    scheduler_->CancelRequest(id);
+  }
+  BM_CHECK_EQ(processor_->NumActiveRequests(), 0u)
+      << "scheduler stalled and cancellation could not finalize all requests";
 }
 
 Response SyncEngine::TakeResponse(RequestId id) {

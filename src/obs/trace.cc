@@ -27,6 +27,9 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kCostModelRefit: return "cost_model_refit";
     case TraceEventKind::kGemmKernel: return "gemm_kernel";
     case TraceEventKind::kWorkerPinned: return "worker_pinned";
+    case TraceEventKind::kWorkerQuarantine: return "worker_quarantine";
+    case TraceEventKind::kWorkerReadmit: return "worker_readmit";
+    case TraceEventKind::kWorkerRespawn: return "worker_respawn";
   }
   return "unknown";
 }
@@ -261,6 +264,31 @@ void TraceRecorder::WorkerPinned(int worker, int numa_node, bool pinned) {
   Record(TraceEvent{.kind = TraceEventKind::kWorkerPinned, .worker = worker,
                     .ts_micros = NowMicros(), .id = pinned ? 1u : 0u,
                     .value = numa_node});
+}
+
+void TraceRecorder::WorkerQuarantine(int worker, bool dead, int tasks_requeued) {
+  if (!enabled()) {
+    return;
+  }
+  Record(TraceEvent{.kind = TraceEventKind::kWorkerQuarantine, .worker = worker,
+                    .ts_micros = NowMicros(), .id = dead ? 1u : 0u,
+                    .value = tasks_requeued});
+}
+
+void TraceRecorder::WorkerReadmit(int worker, double since_micros) {
+  if (!enabled()) {
+    return;
+  }
+  Record(TraceEvent{.kind = TraceEventKind::kWorkerReadmit, .worker = worker,
+                    .ts_micros = NowMicros(), .aux_micros = since_micros});
+}
+
+void TraceRecorder::WorkerRespawn(int worker) {
+  if (!enabled()) {
+    return;
+  }
+  Record(TraceEvent{.kind = TraceEventKind::kWorkerRespawn, .worker = worker,
+                    .ts_micros = NowMicros()});
 }
 
 int64_t TraceRecorder::Count(TraceEventKind kind) const {

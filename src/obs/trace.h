@@ -58,8 +58,11 @@ enum class TraceEventKind : uint8_t {
   kCostModelRefit,      // type, id = observations, value = fitted anchors
   kGemmKernel,          // value = Precision enum value; once per engine start
   kWorkerPinned,        // worker; value = NUMA node index, id = 1 if pinned
+  kWorkerQuarantine,    // worker; value = tasks requeued, id = 1 if dead
+  kWorkerReadmit,       // worker; aux_micros = quarantine-entry timestamp
+  kWorkerRespawn,       // worker (dead exec thread replaced)
 };
-inline constexpr int kNumTraceEventKinds = 20;
+inline constexpr int kNumTraceEventKinds = 23;
 
 // Name for logs/export, e.g. "request_arrival".
 const char* TraceEventKindName(TraceEventKind kind);
@@ -163,6 +166,16 @@ class TraceRecorder {
   // whether the affinity mask actually took (false = the node's cpus were
   // excluded by taskset/cgroups and the worker runs unpinned).
   void WorkerPinned(int worker, int numa_node, bool pinned);
+  // Worker failure domains (DESIGN.md): the watchdog quarantined a worker
+  // (`dead` = its exec thread exited, vs hung) and its shard requeued
+  // `tasks_requeued` in-flight tasks...
+  void WorkerQuarantine(int worker, bool dead, int tasks_requeued);
+  // ...the worker passed a recovery probe and re-admitted to scheduling
+  // (`since_micros` = when it was quarantined, so time-to-recovery is
+  // derivable from the trace alone)...
+  void WorkerReadmit(int worker, double since_micros);
+  // ...and a dead exec thread was respawned.
+  void WorkerRespawn(int worker);
 
   // Tags the calling thread with a manager-shard id: every event recorded
   // from this thread carries it in TraceEvent::shard (unless the event set

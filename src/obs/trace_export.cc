@@ -143,6 +143,49 @@ Json ChromeTraceJson(const TraceRecorder& recorder, const TraceTypeNamer& namer)
         out.push_back(Json(std::move(e)));
         break;
       }
+      case TraceEventKind::kWorkerQuarantine: {
+        // Failure-domain events: a worker pulled from (and later
+        // re-admitted to) scheduling by the health watchdog.
+        JsonObject e;
+        e["ph"] = "i";
+        e["s"] = "g";
+        e["name"] = "worker_quarantine";
+        e["cat"] = "health";
+        e["pid"] = kWorkerPid;
+        e["tid"] = ev.worker < 0 ? 0 : ev.worker;
+        e["ts"] = ev.ts_micros;
+        e["args"] = JsonObject{{"dead", ev.id != 0 ? "true" : "false"},
+                               {"tasks_requeued", ev.value}};
+        out.push_back(Json(std::move(e)));
+        break;
+      }
+      case TraceEventKind::kWorkerReadmit: {
+        JsonObject e;
+        e["ph"] = "i";
+        e["s"] = "g";
+        e["name"] = "worker_readmit";
+        e["cat"] = "health";
+        e["pid"] = kWorkerPid;
+        e["tid"] = ev.worker < 0 ? 0 : ev.worker;
+        e["ts"] = ev.ts_micros;
+        e["args"] = JsonObject{{"quarantined_micros",
+                                ev.aux_micros >= 0.0 ? ev.ts_micros - ev.aux_micros
+                                                     : -1.0}};
+        out.push_back(Json(std::move(e)));
+        break;
+      }
+      case TraceEventKind::kWorkerRespawn: {
+        JsonObject e;
+        e["ph"] = "i";
+        e["s"] = "g";
+        e["name"] = "worker_respawn";
+        e["cat"] = "health";
+        e["pid"] = kWorkerPid;
+        e["tid"] = ev.worker < 0 ? 0 : ev.worker;
+        e["ts"] = ev.ts_micros;
+        out.push_back(Json(std::move(e)));
+        break;
+      }
       case TraceEventKind::kRequestArrival: {
         JsonObject e;
         e["ph"] = "b";

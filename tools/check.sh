@@ -3,13 +3,18 @@
 # run the full ctest suite, then rebuild the concurrency-sensitive tests
 # under ThreadSanitizer and run them. Mirrors .github/workflows/ci.yml.
 #
-# Usage: tools/check.sh [--no-tsan] [--asan] [--perf-smoke]
+# Usage: tools/check.sh [--no-tsan] [--asan] [--perf-smoke] [--chaos]
 #   --asan        additionally rebuild the concurrency tests under
 #                 ASan+UBSan and run them (mirrors the ci.yml asan job)
 #   --perf-smoke  additionally run the fig07 + overload perf-smoke points
 #                 and compare p50/p99 against
 #                 bench/baselines/BENCH_fig07_baseline.json
 #                 (mirrors the ci.yml perf-smoke job)
+#   --chaos       additionally run the fig_chaos worker-failure drill
+#                 (zero lost requests, recovery within budget) and compare
+#                 recovery time against
+#                 bench/baselines/BENCH_chaos_baseline.json
+#                 (mirrors the ci.yml chaos job)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,11 +22,13 @@ cd "$(dirname "$0")/.."
 run_tsan=1
 run_asan=0
 run_perf=0
+run_chaos=0
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
     --asan) run_asan=1 ;;
     --perf-smoke) run_perf=1 ;;
+    --chaos) run_chaos=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -75,9 +82,10 @@ if [[ "$run_tsan" == 1 ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
     --target server_test obs_test thread_pool_test determinism_test \
-    robustness_test sharding_test api_conformance_test numa_placement_test
+    robustness_test sharding_test api_conformance_test numa_placement_test \
+    watchdog_test util_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|sharding_test|api_conformance_test|numa_placement_test'
+    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|sharding_test|api_conformance_test|numa_placement_test|watchdog_test|util_test'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -90,9 +98,9 @@ if [[ "$run_asan" == 1 ]]; then
   cmake --build build-asan -j "$(nproc)" \
     --target server_test obs_test thread_pool_test determinism_test \
     robustness_test cancellation_test sharding_test api_conformance_test \
-    numa_placement_test
+    numa_placement_test watchdog_test util_test
   ctest --test-dir build-asan --output-on-failure \
-    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|cancellation_test|sharding_test|api_conformance_test|numa_placement_test'
+    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|cancellation_test|sharding_test|api_conformance_test|numa_placement_test|watchdog_test|util_test'
 fi
 
 if [[ "$run_perf" == 1 ]]; then
@@ -137,6 +145,24 @@ if [[ "$run_perf" == 1 ]]; then
     --metric p50_ms:1.0 \
     --assert-ratio "tasks_per_sec:policy=pin+replicate:policy=none:1.2" \
     --min-nodes 2
+fi
+
+if [[ "$run_chaos" == 1 ]]; then
+  echo "==> chaos: worker hang/kill drill, watchdog quarantine + recovery"
+  # fig_chaos gates zero lost requests, drill firing, and recovery within
+  # the budget internally (non-zero exit on any violation); compare_bench
+  # then tracks recovery-time and p99-blip regressions against the
+  # committed baseline (hang + exit rows only — the control row has no
+  # recovery to compare). The exit-mode recovery is probe-timing-dominated
+  # (single-digit ms), hence the wide recovery threshold.
+  cmake --build build-check -j "$(nproc)" --target fig_chaos
+  (cd build-check && ./bench/fig_chaos --smoke --recovery-budget-ms 2000 \
+      --out BENCH_chaos.json)
+  python3 tools/compare_bench.py \
+    bench/baselines/BENCH_chaos_baseline.json \
+    build-check/BENCH_chaos.json \
+    --keys mode \
+    --metric recovery_ms:9.0 --metric p99_ms:1.5
 fi
 
 echo "==> all checks passed"
