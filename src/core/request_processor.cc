@@ -373,14 +373,16 @@ void RequestProcessor::CancelScheduledNode(RequestState* state, int node_id) {
   BM_CHECK_GE(state->remaining_nodes, 0);
 }
 
-void RequestProcessor::RevertScheduledNode(Subgraph* sg, int node_id) {
+void RequestProcessor::RevertScheduledNode(Subgraph* sg, int node_id, bool charge_retry) {
   BM_CHECK(sg != nullptr);
   BM_CHECK(sg->parked) << "revert requires the subgraph to be parked";
   RequestState* state = sg->owner;
   NodeState& node = state->nodes[static_cast<size_t>(node_id)];
   BM_CHECK(node.stage == NodeStage::kScheduled);
   node.stage = NodeStage::kPending;
-  node.retries++;
+  if (charge_retry) {
+    node.retries++;
+  }
   sg->unscheduled++;
 
   // Return the schedule-time credit to same-subgraph successors. A kReady

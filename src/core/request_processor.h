@@ -63,12 +63,13 @@ class RequestProcessor {
 
   // Reverts one scheduled node of a *parked* subgraph back to kPending
   // after its task failed (inverse of MarkScheduled): restores
-  // sg->unscheduled, bumps the node's retry count, returns the
-  // schedule-time dependency credit to same-subgraph successors and
-  // demotes any kReady successor back to kPending. The caller must park
-  // the subgraph first — reverting a queued subgraph would corrupt the
-  // scheduler's ready-node accounting.
-  void RevertScheduledNode(Subgraph* sg, int node_id);
+  // sg->unscheduled, bumps the node's retry count (unless `charge_retry`
+  // is false — quarantine reclaims of never-executed work don't consume
+  // the budget), returns the schedule-time dependency credit to
+  // same-subgraph successors and demotes any kReady successor back to
+  // kPending. The caller must park the subgraph first — reverting a
+  // queued subgraph would corrupt the scheduler's ready-node accounting.
+  void RevertScheduledNode(Subgraph* sg, int node_id, bool charge_retry = true);
 
   // Early termination support (e.g. the decoder emitted <eos>): cancels all
   // nodes of `sg` that are not yet scheduled or completed. Already

@@ -397,6 +397,11 @@ void Scheduler::UnparkSubgraph(Subgraph* sg) {
 
 void Scheduler::OnTaskFailed(const BatchedTask& task,
                              const std::vector<int>& failed_entries, int victim_entry) {
+  FailTask(task, failed_entries, victim_entry, /*charge_retries=*/true);
+}
+
+void Scheduler::FailTask(const BatchedTask& task, const std::vector<int>& failed_entries,
+                         int victim_entry, bool charge_retries) {
   TypeState& ts = types_[static_cast<size_t>(task.type)];
   BM_CHECK_GT(ts.running_tasks, 0);
   ts.running_tasks--;
@@ -428,13 +433,18 @@ void Scheduler::OnTaskFailed(const BatchedTask& task,
     BM_CHECK(victim != nullptr);
     victim->MarkTerminal(RequestStatus::kFailed);
   }
-  for (int i : failed_entries) {
-    const TaskEntry& entry = task.entries[static_cast<size_t>(i)];
-    RequestState* state = processor_->FindRequest(entry.request);
-    BM_CHECK(state != nullptr);
-    if (state->status == RequestStatus::kOk &&
-        state->nodes[static_cast<size_t>(entry.node)].retries >= options_.max_node_retries) {
-      state->MarkTerminal(RequestStatus::kFailed);
+  // Victimless quarantine reclaims (charge_retries false) neither consume
+  // nor judge the retry budget: the entry never executed, so repeated
+  // reclaims from flapping workers must only delay it, never fail it.
+  if (charge_retries) {
+    for (int i : failed_entries) {
+      const TaskEntry& entry = task.entries[static_cast<size_t>(i)];
+      RequestState* state = processor_->FindRequest(entry.request);
+      BM_CHECK(state != nullptr);
+      if (state->status == RequestStatus::kOk &&
+          state->nodes[static_cast<size_t>(entry.node)].retries >= options_.max_node_retries) {
+        state->MarkTerminal(RequestStatus::kFailed);
+      }
     }
   }
 
@@ -467,7 +477,7 @@ void Scheduler::OnTaskFailed(const BatchedTask& task,
       if (!sg->parked) {
         ParkSubgraph(sg);
       }
-      processor_->RevertScheduledNode(sg, entry.node);
+      processor_->RevertScheduledNode(sg, entry.node, charge_retries);
     }
   }
   processor_->MarkCompletedEntries(task, clean);
@@ -500,7 +510,7 @@ void Scheduler::RequeueTask(const BatchedTask& task) {
   for (size_t i = 0; i < task.entries.size(); ++i) {
     all[i] = static_cast<int>(i);
   }
-  OnTaskFailed(task, all, /*victim_entry=*/-1);
+  FailTask(task, all, /*victim_entry=*/-1, /*charge_retries=*/false);
 }
 
 int Scheduler::CancelRequest(RequestId id) {

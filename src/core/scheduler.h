@@ -114,7 +114,10 @@ class Scheduler {
   // innocent and re-enqueued for execution elsewhere. This is the
   // quarantine reclaim path (DESIGN.md "Worker failure domains") — a hung
   // or dead worker's stream is drained back into the scheduler, so its
-  // requests are delayed, never lost.
+  // requests are delayed, never lost. Unlike OnTaskFailed, a reclaim does
+  // not charge the per-node retry budget: the entry never executed, so any
+  // number of reclaims (e.g. from flapping workers) can never escalate a
+  // request to kFailed.
   void RequeueTask(const BatchedTask& task);
 
   // Called right before a parked subgraph is re-enqueued, with its
@@ -189,6 +192,12 @@ class Scheduler {
   int64_t TotalMigrations() const { return total_migrations_; }
 
  private:
+  // Shared body of OnTaskFailed / RequeueTask. `charge_retries` is false
+  // only for victimless quarantine reclaims, which skip both the retry
+  // increment and the max_node_retries escalation.
+  void FailTask(const BatchedTask& task, const std::vector<int>& failed_entries,
+                int victim_entry, bool charge_retries);
+
   struct TypeState {
     // FIFO of released subgraphs; each subgraph holds its own iterator so
     // removal on full scheduling is O(1).

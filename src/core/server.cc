@@ -1,10 +1,12 @@
 #include "src/core/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <future>
 #include <limits>
 #include <set>
+#include <sstream>
 #include <unordered_set>
 #include <utility>
 
@@ -671,7 +673,27 @@ void Server::Shutdown() {
     // completion callback signals when it hits zero. (With zero unfinished
     // requests no migration is in flight either — a migrating request
     // counts as unfinished — so no shard inbox holds live request state.)
-    drained_cv_.wait(lock, [this] { return unfinished_requests_.load() == 0; });
+    // The wait is unbounded by design — abandoning a live-but-hung exec
+    // thread is unsound (on wake it would scatter into freed request
+    // state) — but it must not be *silent*: a worker hung past every
+    // recovery path (DESIGN.md "Worker failure domains") would wedge this
+    // drain forever, so warn periodically with the stuck workers named.
+    const auto warn_every = std::chrono::seconds(5);
+    const auto pred = [this] { return unfinished_requests_.load() == 0; };
+    while (!drained_cv_.wait_for(lock, warn_every, pred)) {
+      std::ostringstream stuck;
+      if (health_on_) {
+        for (const WorkerHealthSnapshot& row : HealthReport()) {
+          if (row.health != WorkerHealth::kHealthy) {
+            stuck << "; worker " << row.worker << " "
+                  << WorkerHealthName(row.health) << " (busy seq "
+                  << row.busy_task_seq << ")";
+          }
+        }
+      }
+      BM_LOG(Warning) << "Shutdown drain stalled: " << unfinished_requests_.load()
+                      << " unfinished request(s)" << stuck.str();
+    }
   }
   // The watchdog must run through the drain (quarantine recovery is what
   // completes it under a fault) and stop before the inboxes close, so no
@@ -1246,6 +1268,9 @@ void Server::HandleQuarantine(Shard& shard, const QuarantineMsg& msg) {
     if (msg.dead) {
       if (pipe.inflight_valid) {
         max_seq = std::max(max_seq, pipe.inflight_seq);
+        // The dead thread owned this parity (it was joined before the
+        // message was sent), so resetting it here is single-threaded.
+        reset_parity[pipe.inflight_seq & 1] = true;
         for (const TaskEntry& entry : pipe.inflight_task.entries) {
           const uint64_t key = HazardKey(entry.request, entry.node);
           pipe.unscattered.erase(key);
@@ -1255,10 +1280,6 @@ void Server::HandleQuarantine(Shard& shard, const QuarantineMsg& msg) {
         pipe.inflight_valid = false;
         pipe.inflight_seq = -1;
       }
-      // No thread is inside either arena (the exec thread was joined
-      // before this message was sent): reset both so the respawned
-      // thread's stream restarts clean.
-      reset_parity[0] = reset_parity[1] = true;
       // The dead thread left its busy marker set; clear it so the
       // watchdog's idle probe can pass once the replacement runs.
       pipe.busy_task_seq.store(-1, std::memory_order_release);
@@ -1267,6 +1288,13 @@ void Server::HandleQuarantine(Shard& shard, const QuarantineMsg& msg) {
       // is reset on wake like any other completed task's.
       reset_parity[pipe.inflight_seq & 1] = false;
     }
+    // Reset exactly the parities of the tasks reclaimed above — never
+    // both unconditionally. The stager may be running a gather right now
+    // without holding mu (it only checks `quarantined` before the hazard
+    // wait and at publish); the seq it owns is gated by executed_seq to
+    // at most one past every seq reclaimed here, so it is the *opposite*
+    // parity of any reclaimed task, and the stager's own quarantine-abort
+    // publish Reset()s that arena before handing its task back.
     for (int p = 0; p < 2; ++p) {
       if (reset_parity[p]) {
         pipe.staging[p].Reset();
@@ -1424,8 +1452,9 @@ void Server::WatchdogCheckWorker(int worker, double now_micros) {
       return;
     }
     // Re-admission probe: the exec thread must be alive and idle. Idle
-    // means it holds no task, so both staging arenas are reset and the
-    // re-admitted stream restarts clean.
+    // means it holds no task, so every arena parity has been reset by its
+    // last owner (quarantine splice, stager abort, or a completed
+    // execution) and the re-admitted stream restarts clean.
     if (pipe.exec_alive.load() == 1 &&
         pipe.busy_task_seq.load(std::memory_order_acquire) == -1) {
       watch.quarantined = false;

@@ -6,6 +6,7 @@
 
 #include <limits>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/core/request_processor.h"
@@ -474,6 +475,78 @@ TEST(SchedulerTest, TreeLstmWholeRequestBatchesLeaves) {
   // 16 leaves in one task, then internal levels 8, 4, 2, 1.
   EXPECT_EQ(sizes, (std::vector<int>{16, 8, 4, 2, 1}));
   EXPECT_EQ(h.completed().size(), 1u);
+}
+
+// ---------- Quarantine requeues vs the retry budget ----------
+
+// Wiring that captures the terminal status alongside the id, which the
+// shared harness discards.
+struct StatusHarness {
+  explicit StatusHarness(const CellRegistry* registry, SchedulerOptions options = {}) {
+    processor = std::make_unique<RequestProcessor>(
+        registry, [this](Subgraph* sg) { scheduler->EnqueueSubgraph(sg); },
+        [this](RequestState* state) {
+          finalized.emplace_back(state->id, state->status);
+        });
+    scheduler = std::make_unique<Scheduler>(registry, processor.get(), options);
+  }
+
+  std::unique_ptr<RequestProcessor> processor;
+  std::unique_ptr<Scheduler> scheduler;
+  std::vector<std::pair<RequestId, RequestStatus>> finalized;
+};
+
+TEST(SchedulerTest, QuarantineRequeueNeverExhaustsRetryBudget) {
+  TinyLstmFixture fix;
+  SchedulerOptions options;
+  options.max_node_retries = 3;
+  StatusHarness h(&fix.registry, options);
+  h.processor->AddRequest(1, fix.model.Unfold(2), 0.0);
+  // Reclaim far more times than the retry budget allows for real failures:
+  // a quarantine requeue is victimless (the task never executed), so it
+  // must never escalate the request to kFailed — "delayed, never lost".
+  for (int round = 0; round < 4 * options.max_node_retries; ++round) {
+    const std::vector<BatchedTask> tasks = h.scheduler->Schedule(0);
+    ASSERT_FALSE(tasks.empty()) << "round " << round;
+    for (const BatchedTask& t : tasks) {
+      h.scheduler->RequeueTask(t);
+    }
+  }
+  for (;;) {
+    const std::vector<BatchedTask> tasks = h.scheduler->Schedule(0);
+    if (tasks.empty()) {
+      break;
+    }
+    for (const BatchedTask& t : tasks) {
+      h.scheduler->OnTaskCompleted(t);
+    }
+  }
+  ASSERT_EQ(h.finalized.size(), 1u);
+  EXPECT_EQ(h.finalized[0].first, 1u);
+  EXPECT_EQ(h.finalized[0].second, RequestStatus::kOk);
+}
+
+TEST(SchedulerTest, RepeatedExecutionFailuresStillExhaustRetryBudget) {
+  TinyLstmFixture fix;
+  SchedulerOptions options;
+  options.max_node_retries = 3;
+  StatusHarness h(&fix.registry, options);
+  h.processor->AddRequest(1, fix.model.Unfold(1), 0.0);
+  // Real victimless execution failures keep charging the budget; the
+  // request escalates to kFailed instead of retrying forever.
+  for (int round = 0; round < 100 && h.finalized.empty(); ++round) {
+    const std::vector<BatchedTask> tasks = h.scheduler->Schedule(0);
+    ASSERT_FALSE(tasks.empty()) << "round " << round;
+    for (const BatchedTask& t : tasks) {
+      std::vector<int> all(t.entries.size());
+      for (size_t i = 0; i < t.entries.size(); ++i) {
+        all[i] = static_cast<int>(i);
+      }
+      h.scheduler->OnTaskFailed(t, all, /*victim_entry=*/-1);
+    }
+  }
+  ASSERT_EQ(h.finalized.size(), 1u);
+  EXPECT_EQ(h.finalized[0].second, RequestStatus::kFailed);
 }
 
 // ---------- SLA-aware batch formation (DESIGN.md) ----------
