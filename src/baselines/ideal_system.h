@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/device/sim_backend.h"
 #include "src/runtime/cost_model.h"
 #include "src/runtime/event_queue.h"
 #include "src/runtime/sim_worker.h"
@@ -60,6 +61,7 @@ class IdealFixedGraphSystem : public ServingSystem {
   std::string name_;
   EventQueue events_;
   CostModel unused_cost_model_;
+  SimBackend backend_{&unused_cost_model_};  // tasks carry explicit costs
   std::unique_ptr<SimWorkerPool> pool_;
   MetricsCollector metrics_;
 

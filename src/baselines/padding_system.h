@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/device/sim_backend.h"
 #include "src/runtime/cost_model.h"
 #include "src/runtime/event_queue.h"
 #include "src/runtime/sim_worker.h"
@@ -79,7 +80,8 @@ class PaddingSystem : public ServingSystem {
   PaddingSystemOptions options_;
   std::string name_;
   EventQueue events_;
-  CostModel unused_cost_model_;  // pool requires one; tasks carry explicit costs
+  CostModel unused_cost_model_;  // tasks carry explicit costs
+  SimBackend backend_{&unused_cost_model_};
   std::unique_ptr<SimWorkerPool> pool_;
   MetricsCollector metrics_;
 

@@ -20,19 +20,11 @@
 #include <vector>
 
 #include "src/core/request_processor.h"
+#include "src/device/device_backend.h"  // GatheredBatch
 #include "src/graph/cell_registry.h"
 #include "src/runtime/task.h"
 
 namespace batchmaker {
-
-// The gathered per-slot input batches of one task, produced by
-// GatherInputs and consumed by ExecuteGathered. When gathered under an
-// ExecContext with an arena, the tensors are arena-backed: they must be
-// destroyed (clear()) before that arena is Reset, and must outlive the
-// ExecuteGathered call that reads them.
-struct GatheredBatch {
-  std::vector<Tensor> inputs;  // one [batch, ...] tensor per cell input slot
-};
 
 class BatchAssembler {
  public:

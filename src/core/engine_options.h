@@ -12,8 +12,8 @@
 //     admission),
 //   * SubmitOptions is the one per-request parameter block accepted by
 //     Server::Submit, SimEngine::SubmitAt and SyncEngine::Submit.
-// The old field names and positional overloads remain as documented
-// aliases for one release; see the README migration table.
+// The pre-unification field names and positional overloads, deprecated
+// for one release, are now removed; see the README migration table.
 
 #ifndef SRC_CORE_ENGINE_OPTIONS_H_
 #define SRC_CORE_ENGINE_OPTIONS_H_
@@ -79,7 +79,21 @@ struct HealthOptions {
 // derive from this, so experiment harnesses can configure either engine
 // through one code path.
 struct EngineOptions {
+  // Execution device, resolved through DeviceRegistry (DESIGN.md "Device
+  // backend API"). Empty selects the engine's native default: "cpu"
+  // (real compute) on the Server, "sim" (virtual-time cost model) on
+  // SimEngine. "null" completes every task with zero outputs after
+  // null_latency_micros — a compute-free harness for scheduler and
+  // pipeline studies. "opencl" exists behind -DCB_WITH_OPENCL=ON (stub).
+  std::string backend;
+  // NullBackend only: fixed per-task completion latency, microseconds.
+  double null_latency_micros = 0.0;
   int num_workers = 1;
+  // Width of each worker's intra-task thread pool (backends with
+  // caps().supports_intra_task_pool): GEMM output blocks and gather /
+  // scatter rows of one task fan across this many threads. Total
+  // exec-side threads ~= num_workers * threads_per_worker.
+  int threads_per_worker = 1;
   // Manager shards (see DESIGN.md "Sharded manager"): scheduler state is
   // partitioned into this many independent manager loops, each owning a
   // contiguous slice of the workers. Arrivals are routed by request id;

@@ -10,9 +10,8 @@
 #include <unordered_set>
 #include <utility>
 
-#include "src/tensor/arena.h"
+#include "src/device/device_registry.h"
 #include "src/util/logging.h"
-#include "src/util/thread_pool.h"
 #include "src/util/topology.h"
 
 namespace batchmaker {
@@ -103,7 +102,9 @@ struct Server::WorkerPipeline {
   std::deque<StagedTask> staged;
   int64_t executed_seq = -1;  // highest seq executed + scattered
   bool stage_done = false;    // staging thread exited; drain and stop
-  TensorArena staging[2];
+  // Device staging buffers (backend_->CreateArena()); the CPU backend's
+  // wrap TensorArenas, compute-free backends hand out no-op arenas.
+  std::unique_ptr<DeviceArena> staging[2];
   // Total exec-thread time with nothing to execute (see WorkerIdleMicros).
   // Written only by the exec thread; read from any thread.
   std::atomic<double> idle_micros{0.0};
@@ -215,8 +216,7 @@ struct Server::Shard {
 Server::Server(const CellRegistry* registry, ServerOptions options)
     : registry_(registry),
       options_(options),
-      admission_(options.EffectiveAdmission()),
-      assembler_(registry),
+      admission_(options.admission),
       trace_([this] { return NowMicros(); }),
       fault_injector_(options_.fault) {
   BM_CHECK(registry != nullptr);
@@ -225,6 +225,44 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
   BM_CHECK_GT(options_.pipeline_depth, 0);
   BM_CHECK_GT(options_.num_shards, 0);
   num_shards_ = std::min(options_.num_shards, options_.num_workers);
+
+  // Resolve the execution device (DESIGN.md "Device backend API"). The
+  // Server drives any registered backend through the DeviceBackend seam;
+  // empty selects the real-compute CPU backend, the pre-refactor
+  // behaviour.
+  DeviceConfig device_config;
+  device_config.registry = registry;
+  device_config.precision = options_.precision;
+  device_config.null_latency_micros = options_.null_latency_micros;
+  const std::string backend_name =
+      options_.backend.empty() ? "cpu" : options_.backend;
+  backend_ = DeviceRegistry::Instance().Create(backend_name, device_config);
+  BM_CHECK(backend_ != nullptr)
+      << "unknown or unavailable device backend '" << backend_name << "'";
+  caps_ = backend_->caps();
+  BM_CHECK(!caps_.virtual_time)
+      << "backend '" << backend_name
+      << "' models virtual time; drive it through SimEngine, not Server";
+  BM_CHECK(caps_.supported_precisions[static_cast<int>(options_.precision)])
+      << "backend '" << backend_name << "' does not support the requested "
+      << "GEMM precision";
+  if (caps_.max_pipeline_depth > 0 &&
+      options_.pipeline_depth > caps_.max_pipeline_depth) {
+    BM_LOG(Warning) << "backend '" << backend_name << "' caps pipeline depth "
+                    << "at " << caps_.max_pipeline_depth << "; clamping from "
+                    << options_.pipeline_depth;
+    options_.pipeline_depth = caps_.max_pipeline_depth;
+  }
+  if (options_.numa_policy != NumaPolicy::kNone && !caps_.supports_numa_pinning) {
+    BM_LOG(Warning) << "backend '" << backend_name << "' does not support "
+                    << "NUMA pinning; degrading numa_policy to none";
+    options_.numa_policy = NumaPolicy::kNone;
+  }
+  if (options_.health.health_watchdog && !caps_.supports_watchdog) {
+    BM_LOG(Warning) << "backend '" << backend_name << "' execution makes no "
+                    << "heartbeat-visible progress; disabling health watchdog";
+    options_.health.health_watchdog = false;
+  }
   if (options_.enable_tracing) {
     trace_.Enable();
   }
@@ -254,7 +292,10 @@ Server::Server(const CellRegistry* registry, ServerOptions options)
   shard_of_worker_.assign(static_cast<size_t>(num_workers), 0);
   for (int i = 0; i < num_workers; ++i) {
     task_queues_.push_back(std::make_unique<BlockingQueue<WorkerTask>>());
-    pipelines_.push_back(std::make_unique<WorkerPipeline>());
+    auto pipe = std::make_unique<WorkerPipeline>();
+    pipe->staging[0] = backend_->CreateArena();
+    pipe->staging[1] = backend_->CreateArena();
+    pipelines_.push_back(std::move(pipe));
   }
 
   // Worker failure domains (DESIGN.md): published per-worker health and
@@ -457,7 +498,8 @@ void Server::Start() {
   // Low-precision serving: quantize + pack every registered cell's weights
   // up front so the first batch doesn't pay the (one-time) quantization
   // cost, and record which kernel the dispatcher resolved the precision to.
-  if (options_.precision != Precision::kF32) {
+  // Only real-compute backends read the packs.
+  if (caps_.real_compute && options_.precision != Precision::kF32) {
     for (CellTypeId t = 0; t < registry_->NumTypes(); ++t) {
       registry_->executor(t).EnsurePacked(options_.precision);
     }
@@ -614,15 +656,6 @@ RequestId Server::Submit(CellGraph graph, std::vector<Tensor> externals,
   return id;
 }
 
-RequestId Server::Submit(CellGraph graph, std::vector<Tensor> externals,
-                         std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
-                         TerminationFn terminate, double deadline_micros) {
-  SubmitOptions opts;
-  opts.deadline_micros = deadline_micros;
-  return Submit(std::move(graph), std::move(externals), std::move(outputs_wanted),
-                std::move(on_response), opts, std::move(terminate));
-}
-
 Response Server::SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
                                std::vector<ValueRef> outputs_wanted, SubmitOptions opts) {
   std::promise<Response> promise;
@@ -635,15 +668,6 @@ Response Server::SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
   // Every submission — accepted or rejected — gets exactly one callback,
   // so the future always resolves.
   return future.get();
-}
-
-Response Server::SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
-                               std::vector<ValueRef> outputs_wanted,
-                               double deadline_micros) {
-  SubmitOptions opts;
-  opts.deadline_micros = deadline_micros;
-  return SubmitAndWait(std::move(graph), std::move(externals), std::move(outputs_wanted),
-                       opts);
 }
 
 void Server::Cancel(RequestId id) {
@@ -1297,7 +1321,7 @@ void Server::HandleQuarantine(Shard& shard, const QuarantineMsg& msg) {
     // publish Reset()s that arena before handing its task back.
     for (int p = 0; p < 2; ++p) {
       if (reset_parity[p]) {
-        pipe.staging[p].Reset();
+        pipe.staging[p]->Reset();
       }
     }
     // Spliced seqs will never execute; publishing them as "executed" keeps
@@ -1531,8 +1555,8 @@ void Server::StageLoop(int worker) {
     PinCurrentThreadToCpus(topology_.nodes[static_cast<size_t>(my_node)].cpus);
     // First-touch the double-buffered staging arenas from the pinned owner:
     // their steady-state pages land on this node, so gathers write locally.
-    pipe.staging[0].Prefault(size_t{1} << 20);
-    pipe.staging[1].Prefault(size_t{1} << 20);
+    pipe.staging[0]->Prefault(size_t{1} << 20);
+    pipe.staging[1]->Prefault(size_t{1} << 20);
   }
   auto& queue = *task_queues_[static_cast<size_t>(worker)];
   // Tasks a quarantined stream refuses go back to the owning shard.
@@ -1680,13 +1704,13 @@ void Server::StageLoop(int worker) {
     }
 
     trace_.GatherBegin(wt->task.id, wt->task.type, worker, wt->task.BatchSize());
-    // No pool: the execution thread owns the worker's intra-task pool, and
-    // the pool admits one submitter at a time. Staging gathers serially —
-    // it is off the critical path whenever it overlaps an execution.
-    const ExecContext stage_ctx{/*pool=*/nullptr, &pipe.staging[seq & 1],
-                                options_.precision};
-    assembler_.GatherInputs(wt->task, wt->states, &st.gathered, &stage_ctx,
-                            st.poisoned.empty() ? nullptr : &st.poisoned);
+    // Compute-free backends stage nothing; the hazard bookkeeping above and
+    // below still ran, so stream-order invariants hold for every backend.
+    if (caps_.requires_gather) {
+      backend_->Gather(wt->task, wt->states, &st.gathered,
+                       pipe.staging[seq & 1].get(),
+                       st.poisoned.empty() ? nullptr : &st.poisoned);
+    }
     trace_.GatherEnd(wt->task.id, wt->task.type, worker, wt->task.BatchSize());
     if (health_on_) {
       pipe.hb_epoch.fetch_add(1, std::memory_order_relaxed);
@@ -1730,7 +1754,7 @@ void Server::StageLoop(int worker) {
         // arena (the task was never published), so recycle it and hand the
         // task back without consuming the seq.
         st.gathered.inputs.clear();
-        pipe.staging[seq & 1].Reset();
+        pipe.staging[seq & 1]->Reset();
         reclaim = true;
       } else {
         for (size_t i = 0; i < batch; ++i) {
@@ -1776,37 +1800,22 @@ void Server::ExecLoop(int worker) {
                                                       std::memory_order_relaxed);
     trace_.WorkerPinned(worker, my_node, pinned);
   }
-  // Each worker owns its slice of cores (the intra-task pool) and a
-  // scratch arena for cell intermediates, recycled per task. Gather
-  // buffers live in the pipeline's staging arenas instead, so a task's
-  // inputs survive while the previous task executes here.
-  ThreadPool pool(options_.threads_per_worker,
-                  "pool/" + std::to_string(worker) + "-");
-  TensorArena exec_arena;
-  if (my_node >= 0) {
-    // First-touch the scratch arena from its pinned owner so the cell
-    // intermediates' steady-state pages live on this node.
-    exec_arena.Prefault(size_t{1} << 20);
-  }
-  // pin+replicate: hold a node-local replica of every cell's packed weight
-  // panels for the lifetime of this worker (materialized here, on the
-  // pinned thread, so first-touch places the panels on this node), and
-  // point the exec context at it. Released on exit; the last worker of a
-  // node frees its replica.
-  std::vector<const CellExecutor*> replicated;
-  const int replica_node = numa_replicate_ ? my_node : -1;
-  if (replica_node >= 0) {
-    replicated.reserve(static_cast<size_t>(registry_->NumTypes()));
-    for (CellTypeId t = 0; t < registry_->NumTypes(); ++t) {
-      const CellExecutor& executor = registry_->executor(t);
-      const Precision effective = executor.precision() != Precision::kF32
-                                      ? executor.precision()
-                                      : options_.precision;
-      executor.AcquireNodeReplica(replica_node, effective);
-      replicated.push_back(&executor);
-    }
-  }
-  const ExecContext ctx{&pool, &exec_arena, options_.precision, replica_node};
+  // This worker's execution resources — intra-task pool, scratch arena,
+  // NUMA weight replicas — now live inside its device queue, constructed
+  // here on the pinned thread so backend allocations inherit the affinity
+  // and first-touch placement. Gather buffers live in the pipeline's
+  // staging arenas instead, so a task's inputs survive while the previous
+  // task executes here. Destroying the queue (normal exit, chaos exit)
+  // releases the replicas, so a respawned thread re-acquires them by
+  // re-creating it.
+  DeviceQueueOptions qopts;
+  qopts.worker = worker;
+  qopts.threads = options_.threads_per_worker;
+  qopts.thread_name_prefix = "pool/" + std::to_string(worker) + "-";
+  qopts.numa_node = my_node;
+  qopts.replicate_weights = numa_replicate_ && my_node >= 0;
+  std::unique_ptr<DeviceQueue> queue = backend_->CreateQueue(qopts);
+  BM_CHECK(queue != nullptr);
   WorkerPipeline& pipe = *pipelines_[static_cast<size_t>(worker)];
   // Completions go to the inbox of the shard that owns this worker.
   auto& inbox = shards_[static_cast<size_t>(shard_of_worker_[static_cast<size_t>(worker)])]
@@ -1876,12 +1885,10 @@ void Server::ExecLoop(int worker) {
       if (chaos.exit_thread) {
         // Crash drill: exit without executing, scattering or reporting.
         // inflight_valid stays set — the watchdog-initiated quarantine
-        // reclaims the task from the pipeline's copy. Replica refs are
-        // released like a normal exit so the respawned thread can
-        // re-acquire them.
-        for (const CellExecutor* executor : replicated) {
-          executor->ReleaseNodeReplica(replica_node);
-        }
+        // reclaims the task from the pipeline's copy. The queue is torn
+        // down like a normal exit (releasing any weight replicas) so the
+        // respawned thread can re-create it.
+        queue.reset();
         if (health_on_) {
           pipe.exec_alive.store(2);
         }
@@ -1935,15 +1942,15 @@ void Server::ExecLoop(int worker) {
       }
     }
     trace_.ExecBegin(exec_start, st.wt.task.id, st.wt.task.type, worker, batch);
-    std::vector<Tensor> outputs;
-    bool exec_threw = false;
-    try {
-      outputs = assembler_.ExecuteGathered(st.wt.task, st.gathered, &ctx);
-    } catch (const std::exception&) {
-      // A real (non-injected) execution failure: the whole task produced
-      // nothing. Treated exactly like an injected fault with no victim.
-      exec_threw = true;
-    }
+    // Submit to the device stream and fence on completion. The CPU backend
+    // executes inline (the event returns signalled); async backends overlap
+    // device work with the next task's gather. A failed event means the
+    // whole task produced nothing — treated exactly like an injected fault
+    // with no victim.
+    DeviceEventPtr done = queue->Submit(st.wt.task, st.gathered);
+    done->Wait();
+    const bool exec_threw = done->failed();
+    std::vector<Tensor> outputs = done->TakeOutputs();
     if (slowdown > 1.0) {
       // Degraded-worker drill: stretch the measured span before the
       // post-execute heartbeat so both the watchdog's slow classifier and
@@ -1952,13 +1959,13 @@ void Server::ExecLoop(int worker) {
           (slowdown - 1.0) * (NowMicros() - exec_start)));
     }
     // The gather buffers are dead: drop the arena-backed tensors, then
-    // recycle both arenas. Resetting staging[seq % 2] before publishing
+    // recycle the staging arena (the backend recycled its own scratch
+    // inside Submit). Resetting staging[seq % 2] before publishing
     // executed_seq (below, under mu) is what makes it safe for the stager
     // to reuse — its wait on executed_seq orders the reset before any new
     // gather into that arena.
     st.gathered.inputs.clear();
-    exec_arena.Reset();
-    pipe.staging[st.seq & 1].Reset();
+    pipe.staging[st.seq & 1]->Reset();
 
     if (exec_threw) {
       {
@@ -1993,8 +2000,8 @@ void Server::ExecLoop(int worker) {
       continue;
     }
 
-    assembler_.ScatterOutputs(st.wt.task, st.wt.states, outputs, &ctx,
-                              st.poisoned.empty() ? nullptr : &st.poisoned);
+    queue->Scatter(st.wt.task, st.wt.states, outputs,
+                   st.poisoned.empty() ? nullptr : &st.poisoned);
     if (my_node >= 0) {
       // Remember where these requests' outputs now live; stagers use it to
       // estimate cross-node gather traffic (diagnostic only).
@@ -2048,9 +2055,7 @@ void Server::ExecLoop(int worker) {
     inbox.Push(ManagerMsg{std::move(msg)});
   }
 
-  for (const CellExecutor* executor : replicated) {
-    executor->ReleaseNodeReplica(replica_node);
-  }
+  queue.reset();
   if (health_on_) {
     pipe.exec_alive.store(2);
   }

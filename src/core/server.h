@@ -79,6 +79,7 @@
 #include "src/core/metrics.h"
 #include "src/core/request_processor.h"
 #include "src/core/scheduler.h"
+#include "src/device/device_backend.h"
 #include "src/graph/cell_registry.h"
 #include "src/obs/trace.h"
 #include "src/runtime/online_cost_model.h"
@@ -86,36 +87,12 @@
 
 namespace batchmaker {
 
-// Server configuration. The common engine core (workers, shards,
-// pipeline_depth, scheduler, tracing, admission) lives in EngineOptions;
-// see src/core/engine_options.h.
+// Server configuration. The common engine core (device backend, workers,
+// threads_per_worker, shards, pipeline_depth, scheduler, tracing,
+// admission) lives in EngineOptions; see src/core/engine_options.h.
 struct ServerOptions : EngineOptions {
-  // Size of each worker's intra-task ThreadPool: GEMM output blocks and
-  // gather/scatter rows fan out across this many threads while a task
-  // executes. With W workers each owning T threads, the server uses up to
-  // W*T cores; results are bitwise-independent of T (see DESIGN.md "CPU
-  // backend execution pipeline").
-  int threads_per_worker = 1;
   // Deterministic execution-fault injection (tests, failure drills).
   FaultInjectorOptions fault;
-
-  // Deprecated aliases, kept one release (see README migration table):
-  // prefer admission.max_queued_requests / admission.queue_timeout_micros.
-  // A non-zero value here wins only when the admission field is unset.
-  size_t max_queued_requests = 0;
-  double queue_timeout_micros = 0.0;
-
-  // Admission options with the deprecated aliases folded in.
-  AdmissionOptions EffectiveAdmission() const {
-    AdmissionOptions a = admission;
-    if (a.max_queued_requests == 0) {
-      a.max_queued_requests = max_queued_requests;
-    }
-    if (a.queue_timeout_micros == 0.0) {
-      a.queue_timeout_micros = queue_timeout_micros;
-    }
-    return a;
-  }
 };
 
 // Response and ResponseFn — the engines' shared terminal-answer types —
@@ -192,23 +169,12 @@ class Server {
                    std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
                    SubmitOptions opts = {}, TerminationFn terminate = nullptr);
 
-  // Deprecated positional overload (one release; see README migration
-  // table): terminate + deadline as trailing arguments.
-  RequestId Submit(CellGraph graph, std::vector<Tensor> externals,
-                   std::vector<ValueRef> outputs_wanted, ResponseFn on_response,
-                   TerminationFn terminate, double deadline_micros = 0.0);
-
   // Convenience: submit and block until the terminal response arrives.
   // Response::status says how the request ended; outputs are only
   // meaningful for kOk (and may legitimately be empty there, e.g. when
   // every wanted output was cancelled by early termination).
   Response SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
                          std::vector<ValueRef> outputs_wanted, SubmitOptions opts = {});
-
-  // Deprecated positional overload (one release): deadline as a trailing
-  // double.
-  Response SubmitAndWait(CellGraph graph, std::vector<Tensor> externals,
-                         std::vector<ValueRef> outputs_wanted, double deadline_micros);
 
   // Asynchronously cancels an in-flight request: its callback fires with
   // kCancelled once in-flight tasks drain (or kOk if completion won the
@@ -253,6 +219,12 @@ class Server {
   // whenever they surface), so after a drain this counts only requests
   // whose deadline lies ahead. Only safe to read after Shutdown.
   size_t PendingDeadlines() const;
+
+  // The execution device this server was constructed with (see
+  // EngineOptions::backend) and its capability flags. Never null once the
+  // constructor returns.
+  const DeviceBackend* device() const { return backend_.get(); }
+  const DeviceCaps& device_caps() const { return caps_; }
 
   // The online-calibrated cost model feeding slack-aware batch formation
   // and the health watchdog's hang thresholds; null unless
@@ -438,7 +410,11 @@ class Server {
   ServerOptions options_;
   AdmissionOptions admission_;
   int num_shards_ = 1;
-  BatchAssembler assembler_;
+  // The execution device (EngineOptions::backend via DeviceRegistry).
+  // Owns gather/execute/scatter; the Server owns scheduling, hazards and
+  // the stream protocol. caps_ is a copy taken at construction.
+  std::unique_ptr<DeviceBackend> backend_;
+  DeviceCaps caps_;
   TraceRecorder trace_;
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/device/device_registry.h"
 #include "src/util/logging.h"
 
 namespace batchmaker {
@@ -12,10 +13,25 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
     : registry_(registry),
       cost_model_(cost_model),
       pipeline_depth_(options.pipeline_depth),
-      queue_timeout_micros_(options.EffectiveAdmission().queue_timeout_micros),
+      queue_timeout_micros_(options.admission.queue_timeout_micros),
       trace_([this] { return events_.Now(); }) {
   BM_CHECK(registry != nullptr);
   BM_CHECK(cost_model != nullptr);
+  // Resolve the virtual-time device (DESIGN.md "Device backend API"):
+  // empty selects "sim", the CostModel-pricing backend. Any registered
+  // backend works as long as it models virtual time.
+  DeviceConfig device_config;
+  device_config.registry = registry;
+  device_config.precision = options.precision;
+  device_config.cost_model = cost_model;
+  const std::string backend_name =
+      options.backend.empty() ? "sim" : options.backend;
+  backend_ = DeviceRegistry::Instance().Create(backend_name, device_config);
+  BM_CHECK(backend_ != nullptr)
+      << "unknown or unavailable device backend '" << backend_name << "'";
+  BM_CHECK(backend_->caps().virtual_time)
+      << "backend '" << backend_name
+      << "' executes real compute; drive it through Server, not SimEngine";
   BM_CHECK_GT(pipeline_depth_, 0);
   BM_CHECK_GT(options.num_workers, 0);
   BM_CHECK_GT(options.num_shards, 0);
@@ -76,7 +92,8 @@ SimEngine::SimEngine(const CellRegistry* registry, const CostModel* cost_model,
                                   static_cast<uint64_t>(num_shards_));
     shards_.push_back(std::move(shard));
   }
-  pool_ = std::make_unique<SimWorkerPool>(options.num_workers, &events_, cost_model);
+  pool_ = std::make_unique<SimWorkerPool>(options.num_workers, &events_,
+                                          backend_.get());
 
   pool_->set_on_task_start([this](const BatchedTask& task) {
     // A task's entries all belong to the shard that owns its worker: tasks
@@ -166,13 +183,6 @@ RequestId SimEngine::SubmitAt(double at_micros, CellGraph graph, SubmitOptions o
     }
   });
   return id;
-}
-
-RequestId SimEngine::SubmitAt(double at_micros, CellGraph graph,
-                              int terminate_after_node) {
-  SubmitOptions opts;
-  opts.terminate_after_node = terminate_after_node;
-  return SubmitAt(at_micros, std::move(graph), opts);
 }
 
 void SimEngine::Run(double deadline_micros) {

@@ -29,6 +29,7 @@
 #include "src/core/metrics.h"
 #include "src/core/request_processor.h"
 #include "src/core/scheduler.h"
+#include "src/device/device_backend.h"
 #include "src/graph/cell_registry.h"
 #include "src/obs/trace.h"
 #include "src/runtime/cost_model.h"
@@ -48,20 +49,6 @@ struct SimEngineOptions : EngineOptions {
   // figures stay byte-identical. Depth >= 2 models a runtime that
   // pipelines task submission and exposes that trade-off in virtual time.
   SimEngineOptions() { pipeline_depth = 1; }
-
-  // Deprecated alias, kept one release (see README migration table):
-  // prefer admission.queue_timeout_micros. A non-zero value here wins only
-  // when the admission field is unset. (admission.max_queued_requests is
-  // ignored — the simulator has no admission queue.)
-  double queue_timeout_micros = 0.0;
-
-  AdmissionOptions EffectiveAdmission() const {
-    AdmissionOptions a = admission;
-    if (a.queue_timeout_micros == 0.0) {
-      a.queue_timeout_micros = queue_timeout_micros;
-    }
-    return a;
-  }
 };
 
 class SimEngine {
@@ -75,10 +62,6 @@ class SimEngine {
   // the sim has no token values, so early termination is declared up front
   // via SubmitOptions::terminate_after_node.
   RequestId SubmitAt(double at_micros, CellGraph graph, SubmitOptions opts = {});
-
-  // Deprecated positional overload (one release; see README migration
-  // table): terminate_after_node as a trailing int.
-  RequestId SubmitAt(double at_micros, CellGraph graph, int terminate_after_node);
 
   // Runs the simulation until all events are processed, or until virtual
   // time reaches `deadline_micros`.
@@ -102,6 +85,10 @@ class SimEngine {
   // EngineOptions::enable_tracing or trace().Enable().
   const TraceRecorder& trace() const { return trace_; }
   TraceRecorder& trace() { return trace_; }
+
+  // The virtual-time device backend pricing task durations (see
+  // EngineOptions::backend; default "sim" wraps the engine's CostModel).
+  const DeviceBackend* device() const { return backend_.get(); }
 
  private:
   // One manager shard: processor + scheduler + steal candidates for a
@@ -140,6 +127,9 @@ class SimEngine {
 
   const CellRegistry* registry_;
   const CostModel* cost_model_;
+  // Virtual-time device (caps().virtual_time); SimWorkerPool prices every
+  // task duration and migration penalty through it.
+  std::unique_ptr<DeviceBackend> backend_;
   int pipeline_depth_ = 1;
   int num_shards_ = 1;
   // Slack-aware batch formation on (batch_policy.slack_batching with a

@@ -170,8 +170,4 @@ Response SyncEngine::TakeResponse(RequestId id) {
   return out;
 }
 
-std::vector<Tensor> SyncEngine::TakeOutputs(RequestId id) {
-  return TakeResponse(id).outputs;
-}
-
 }  // namespace batchmaker

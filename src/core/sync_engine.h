@@ -50,10 +50,6 @@ class SyncEngine {
   // state — run RunToCompletion() first.
   Response TakeResponse(RequestId id);
 
-  // Deprecated alias (one release; see README migration table): the
-  // outputs of TakeResponse, dropping the status.
-  std::vector<Tensor> TakeOutputs(RequestId id);
-
   // Tasks executed so far (to observe batching behaviour in tests).
   int64_t TasksExecuted() const { return tasks_executed_; }
   // Batch size of every executed task, in execution order.

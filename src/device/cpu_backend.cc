@@ -1,0 +1,140 @@
+#include "src/device/cpu_backend.h"
+
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "src/graph/executor.h"
+#include "src/util/logging.h"
+#include "src/util/thread_pool.h"
+
+namespace batchmaker {
+
+namespace {
+
+// A TensorArena-backed staging buffer (gathers write through host()).
+class CpuArena : public DeviceArena {
+ public:
+  TensorArena* host() override { return &arena_; }
+  void Reset() override { arena_.Reset(); }
+  void Prefault(size_t bytes) override { arena_.Prefault(bytes); }
+
+ private:
+  TensorArena arena_;
+};
+
+// One worker's execution resources, constructed on the pinned execution
+// thread (the spawned pool threads inherit its affinity mask, and the
+// scratch arena / weight replicas are first-touched node-locally). The
+// destructor releases the replicas, so a quarantine respawn re-acquires
+// them by simply re-creating the queue.
+class CpuQueue : public DeviceQueue {
+ public:
+  CpuQueue(const BatchAssembler* assembler, const CellRegistry* registry,
+           Precision precision, const DeviceQueueOptions& options)
+      : assembler_(assembler),
+        registry_(registry),
+        pool_(options.threads, options.thread_name_prefix),
+        replica_node_(options.replicate_weights ? options.numa_node : -1),
+        ctx_{&pool_, &exec_arena_, precision, replica_node_} {
+    if (options.numa_node >= 0) {
+      // First-touch the scratch arena from its pinned owner so the cell
+      // intermediates' steady-state pages live on this node.
+      exec_arena_.Prefault(size_t{1} << 20);
+    }
+    if (replica_node_ >= 0) {
+      // pin+replicate: hold a node-local replica of every cell's packed
+      // weight panels for the lifetime of this queue.
+      replicated_.reserve(static_cast<size_t>(registry_->NumTypes()));
+      for (CellTypeId t = 0; t < registry_->NumTypes(); ++t) {
+        const CellExecutor& executor = registry_->executor(t);
+        const Precision effective = executor.precision() != Precision::kF32
+                                        ? executor.precision()
+                                        : precision;
+        executor.AcquireNodeReplica(replica_node_, effective);
+        replicated_.push_back(&executor);
+      }
+    }
+  }
+
+  ~CpuQueue() override {
+    for (const CellExecutor* executor : replicated_) {
+      executor->ReleaseNodeReplica(replica_node_);
+    }
+  }
+
+  DeviceEventPtr Submit(const BatchedTask& task,
+                        const GatheredBatch& gathered) override {
+    auto event = std::make_shared<DeviceEvent>();
+    try {
+      std::vector<Tensor> outputs =
+          assembler_->ExecuteGathered(task, gathered, &ctx_);
+      // The cell intermediates are dead (outputs own their storage);
+      // recycle the scratch arena before the next task.
+      exec_arena_.Reset();
+      event->Complete(std::move(outputs));
+    } catch (const std::exception&) {
+      // A real (non-injected) execution failure: the whole task produced
+      // nothing. The engine's failure path re-queues the victims.
+      exec_arena_.Reset();
+      event->Fail();
+    }
+    return event;
+  }
+
+  void Scatter(const BatchedTask& task, const std::vector<RequestState*>& states,
+               const std::vector<Tensor>& outputs,
+               const std::vector<uint8_t>* poisoned) override {
+    assembler_->ScatterOutputs(task, states, outputs, &ctx_, poisoned);
+  }
+
+ private:
+  const BatchAssembler* assembler_;
+  const CellRegistry* registry_;
+  ThreadPool pool_;
+  TensorArena exec_arena_;
+  const int replica_node_;
+  std::vector<const CellExecutor*> replicated_;
+  const ExecContext ctx_;
+};
+
+}  // namespace
+
+CpuBackend::CpuBackend(const CellRegistry* registry, Precision precision)
+    : registry_(registry), precision_(precision), assembler_(registry) {
+  BM_CHECK(registry != nullptr);
+  caps_.real_compute = true;
+  caps_.requires_gather = true;
+  caps_.max_pipeline_depth = 0;  // unbounded
+  caps_.supports_numa_pinning = true;
+  caps_.supports_intra_task_pool = true;
+  caps_.supports_watchdog = true;
+  for (bool& p : caps_.supported_precisions) {
+    p = true;  // runtime cpuid dispatch picks the kernel tier
+  }
+}
+
+std::unique_ptr<DeviceArena> CpuBackend::CreateArena() {
+  return std::make_unique<CpuArena>();
+}
+
+std::unique_ptr<DeviceQueue> CpuBackend::CreateQueue(
+    const DeviceQueueOptions& options) {
+  BM_CHECK_GT(options.threads, 0);
+  return std::make_unique<CpuQueue>(&assembler_, registry_, precision_, options);
+}
+
+void CpuBackend::Gather(const BatchedTask& task,
+                        const std::vector<RequestState*>& states,
+                        GatheredBatch* out, DeviceArena* staging,
+                        const std::vector<uint8_t>* poisoned) const {
+  // No pool: the execution thread owns the worker's intra-task pool, and
+  // the pool admits one submitter at a time. Staging gathers serially —
+  // it is off the critical path whenever it overlaps an execution.
+  const ExecContext stage_ctx{/*pool=*/nullptr,
+                              staging != nullptr ? staging->host() : nullptr,
+                              precision_};
+  assembler_.GatherInputs(task, states, out, &stage_ctx, poisoned);
+}
+
+}  // namespace batchmaker

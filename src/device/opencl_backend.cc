@@ -1,0 +1,34 @@
+#include "src/device/opencl_backend.h"
+
+#include <dlfcn.h>
+
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+bool OpenClIcdPresent() {
+  // Probe via dlopen instead of linking the CL headers: the build needs no
+  // OpenCL SDK, and the probe answers the only question the stub asks.
+  void* handle = dlopen("libOpenCL.so.1", RTLD_LAZY | RTLD_LOCAL);
+  if (handle == nullptr) {
+    handle = dlopen("libOpenCL.so", RTLD_LAZY | RTLD_LOCAL);
+  }
+  if (handle == nullptr) {
+    return false;
+  }
+  dlclose(handle);
+  return true;
+}
+
+std::unique_ptr<DeviceBackend> CreateOpenClBackend(const DeviceConfig&) {
+  if (OpenClIcdPresent()) {
+    BM_LOG(Warning) << "opencl backend: ICD loader found but the backend is "
+                       "a stub; reporting device unavailable";
+  } else {
+    BM_LOG(Warning) << "opencl backend: no OpenCL ICD loader (libOpenCL.so) "
+                       "on this host; reporting device unavailable";
+  }
+  return nullptr;
+}
+
+}  // namespace batchmaker

@@ -1,0 +1,41 @@
+// OpenCL backend stub, compiled only under -DCB_WITH_OPENCL=ON.
+//
+// This is deliberately a *stub*: it registers "opencl" with the
+// DeviceRegistry and probes at creation time for a loadable ICD
+// (libOpenCL.so), but always reports the device unavailable (Create
+// returns null), so builds with the flag ON still run everywhere —
+// including CI runners without a GPU or ICD loader.
+//
+// The contract a real implementation would fill in, mapped onto the
+// DeviceBackend interface:
+//   * DeviceArena  -> a pool of pinned (CL_MEM_ALLOC_HOST_PTR) host
+//     buffers; host() exposes the mapped pointer region so GatherInputs
+//     writes batched rows straight into DMA-able memory.
+//   * DeviceQueue  -> one in-order cl_command_queue per worker; Submit is
+//     clEnqueueWriteBuffer(rows) + kernel launches + clEnqueueReadBuffer
+//     (outputs), all async.
+//   * DeviceEvent  -> the final transfer's cl_event, bridged to
+//     DeviceEvent::Complete from a clSetEventCallback.
+//   * caps(): real_compute + requires_gather, max_pipeline_depth bounded
+//     by queued-transfer memory, no intra-task host pool, no NUMA pinning.
+
+#ifndef SRC_DEVICE_OPENCL_BACKEND_H_
+#define SRC_DEVICE_OPENCL_BACKEND_H_
+
+#include <memory>
+
+#include "src/device/device_backend.h"
+
+namespace batchmaker {
+
+// Probes for an OpenCL ICD loader; returns true if one could be dlopened.
+// Does not initialize any device.
+bool OpenClIcdPresent();
+
+// Factory entry point used by DeviceRegistry. Currently always returns
+// null (device unavailable), logging whether an ICD was found.
+std::unique_ptr<DeviceBackend> CreateOpenClBackend(const DeviceConfig& config);
+
+}  // namespace batchmaker
+
+#endif  // SRC_DEVICE_OPENCL_BACKEND_H_

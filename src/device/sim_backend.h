@@ -1,0 +1,58 @@
+// SimBackend: the virtual-time device. It executes nothing — it *prices*
+// each batched task through a CostModel so SimWorkerPool can schedule the
+// completion event at the right virtual instant. Header-only so the
+// runtime layer's tests and the graph-batching baselines can wrap a
+// CostModel without linking the core engines.
+
+#ifndef SRC_DEVICE_SIM_BACKEND_H_
+#define SRC_DEVICE_SIM_BACKEND_H_
+
+#include <memory>
+
+#include "src/device/device_backend.h"
+#include "src/runtime/cost_model.h"
+#include "src/util/logging.h"
+
+namespace batchmaker {
+
+class SimBackend : public DeviceBackend {
+ public:
+  explicit SimBackend(const CostModel* cost_model) : cost_model_(cost_model) {
+    BM_CHECK(cost_model != nullptr);
+    caps_.virtual_time = true;
+    // Virtual workers have no threads to pin, pool, or watch; any GEMM
+    // precision is "supported" because nothing is executed.
+    for (bool& p : caps_.supported_precisions) {
+      p = true;
+    }
+  }
+
+  const char* name() const override { return "sim"; }
+  const DeviceCaps& caps() const override { return caps_; }
+
+  // Virtual-time backends have no real submission queues: SimWorkerPool
+  // models the per-worker FIFO streams itself and only asks this backend
+  // for durations.
+  std::unique_ptr<DeviceQueue> CreateQueue(const DeviceQueueOptions&) override {
+    BM_CHECK(false) << "SimBackend has no real submission queues; "
+                       "drive it through SimEngine/SimWorkerPool";
+    return nullptr;
+  }
+
+  double EstimateTaskMicros(CellTypeId type, int batch) const override {
+    return cost_model_->TaskMicros(type, batch);
+  }
+  double EstimateMigrationPenaltyMicros() const override {
+    return cost_model_->MigrationPenaltyMicros();
+  }
+
+  const CostModel* cost_model() const { return cost_model_; }
+
+ private:
+  const CostModel* cost_model_;
+  DeviceCaps caps_;
+};
+
+}  // namespace batchmaker
+
+#endif  // SRC_DEVICE_SIM_BACKEND_H_

@@ -3,8 +3,9 @@
 // Each worker models one GPU with a FIFO stream (paper §5: kernels pushed
 // to the same stream execute in submission order, which is what makes
 // pipelined task submission and subgraph pinning correct). Submitting to a
-// busy worker queues the task; tasks run back to back with durations from
-// the CostModel (or the task's explicit cost). Two callbacks drive the
+// busy worker queues the task; tasks run back to back with durations priced
+// through a virtual-time DeviceBackend (or the task's explicit cost). Two
+// callbacks drive the
 // serving engine:
 //   * on_task_done  — fired at each task's completion time;
 //   * on_idle       — fired when a worker's stream drains (the paper's
@@ -18,7 +19,7 @@
 #include <functional>
 #include <vector>
 
-#include "src/runtime/cost_model.h"
+#include "src/device/device_backend.h"
 #include "src/runtime/event_queue.h"
 #include "src/runtime/task.h"
 
@@ -30,7 +31,9 @@ class SimWorkerPool {
   using TaskDoneFn = std::function<void(const BatchedTask&)>;
   using IdleFn = std::function<void(int worker)>;
 
-  SimWorkerPool(int num_workers, EventQueue* events, const CostModel* cost_model);
+  // `device` must model virtual time (caps().virtual_time) and outlive the
+  // pool; every task duration and migration penalty is priced through it.
+  SimWorkerPool(int num_workers, EventQueue* events, const DeviceBackend* device);
 
   // Fired when a task begins executing (used for queueing-time metrics).
   void set_on_task_start(TaskStartFn fn) { on_task_start_ = std::move(fn); }
@@ -70,7 +73,7 @@ class SimWorkerPool {
   void OnTaskFinished(int worker);
 
   EventQueue* events_;
-  const CostModel* cost_model_;
+  const DeviceBackend* device_;
   TaskStartFn on_task_start_;
   TaskDoneFn on_task_done_;
   IdleFn on_idle_;

@@ -3,9 +3,12 @@
 // SimEngine and SyncEngine through *identical* calling code. The tests
 // below funnel every engine through one adapter struct, so a signature
 // drift in any engine breaks compilation here before it breaks users.
-// The deprecated aliases (old option field names, positional overloads,
-// SyncEngine::TakeOutputs) are exercised deliberately — they must keep
-// working for one release (see the README migration table).
+// The same discipline covers device selection: EngineOptions::backend
+// resolves through DeviceRegistry, and one submission function drives
+// Server x {cpu, null} and SimEngine x {sim} without engine- or
+// backend-specific call shapes. (The pre-unification aliases — old option
+// field names, positional overloads, SyncEngine::TakeOutputs — are
+// removed; see the README migration table.)
 
 #include <gtest/gtest.h>
 
@@ -297,90 +300,71 @@ TEST(ApiConformanceTest, NumShardsClampsToNumWorkers) {
   EXPECT_EQ(sim.num_shards(), 2);
 }
 
-// ---- Deprecated aliases (one release; README migration table) ----
+// ---- Device-backend matrix (EngineOptions::backend + DeviceRegistry) ----
 
-TEST(ApiConformanceTest, DeprecatedOptionFieldsFoldIntoAdmission) {
-  // Old loose fields win only while the admission block is unset.
-  ServerOptions old_style;
-  old_style.max_queued_requests = 7;
-  old_style.queue_timeout_micros = 123.0;
-  const AdmissionOptions folded = old_style.EffectiveAdmission();
-  EXPECT_EQ(folded.max_queued_requests, 7u);
-  EXPECT_DOUBLE_EQ(folded.queue_timeout_micros, 123.0);
-
-  // The new admission block takes precedence over the old fields.
-  ServerOptions both;
-  both.max_queued_requests = 7;
-  both.queue_timeout_micros = 123.0;
-  both.admission.max_queued_requests = 9;
-  both.admission.queue_timeout_micros = 456.0;
-  const AdmissionOptions kept = both.EffectiveAdmission();
-  EXPECT_EQ(kept.max_queued_requests, 9u);
-  EXPECT_DOUBLE_EQ(kept.queue_timeout_micros, 456.0);
-
-  SimEngineOptions sim_old;
-  sim_old.queue_timeout_micros = 321.0;
-  EXPECT_DOUBLE_EQ(sim_old.EffectiveAdmission().queue_timeout_micros, 321.0);
-  sim_old.admission.queue_timeout_micros = 654.0;
-  EXPECT_DOUBLE_EQ(sim_old.EffectiveAdmission().queue_timeout_micros, 654.0);
-}
-
-TEST(ApiConformanceTest, DeprecatedPositionalOverloadsStillResolve) {
+TEST(ApiConformanceTest, BackendSelectionDrivesEnginesThroughOneCodePath) {
+  // Identical submission code per engine; only EngineOptions::backend
+  // varies. The cpu backend must stay bitwise-identical to the SyncEngine
+  // reference, the null backend must complete the same requests with
+  // zero-filled outputs of the right shapes, and the sim backend must
+  // complete them in virtual time.
   constexpr int64_t kHidden = 4;
-  Rng data_rng(64);
-  std::vector<Tensor> xs;
-  for (int t = 0; t < 3; ++t) {
-    xs.push_back(Tensor::RandomUniform(Shape{1, kHidden}, 1.0f, &data_rng));
-  }
+  constexpr int kRequests = 6;
+  const auto requests = MakeChainRequests(kRequests, kHidden, /*seed=*/65);
+  const auto opts_for = [](int) { return SubmitOptions{}; };
 
-  // Server: old Submit(..., TerminationFn, deadline) and old
-  // SubmitAndWait(..., deadline) shapes.
-  TinyLstmFixture srv_fix;
-  Server server(&srv_fix.registry);
-  server.Start();
-  std::promise<Response> promise;
-  std::future<Response> future = promise.get_future();
-  server.Submit(srv_fix.model.Unfold(3), MakeChainExternals(xs, kHidden),
-                {ValueRef::Output(2, 0)},
-                [&promise](RequestId, RequestStatus status, std::vector<Tensor> out) {
-                  promise.set_value(Response{status, std::move(out)});
-                },
-                /*terminate=*/nullptr, /*deadline_micros=*/0.0);
-  const Response via_old = future.get();
-  const Response via_wait = server.SubmitAndWait(
-      srv_fix.model.Unfold(3), MakeChainExternals(xs, kHidden), {ValueRef::Output(2, 0)},
-      /*deadline_micros=*/0.0);
-  server.Shutdown();
-  ASSERT_TRUE(via_old.ok());
-  ASSERT_TRUE(via_wait.ok());
-  EXPECT_TRUE(via_old.outputs[0].ElementsEqual(via_wait.outputs[0]));
-
-  // SyncEngine: deprecated TakeOutputs equals TakeResponse().outputs.
   TinyLstmFixture sync_fix;
   SyncEngine sync(&sync_fix.registry);
-  const RequestId a = sync.Submit(sync_fix.model.Unfold(3),
-                                  MakeChainExternals(xs, kHidden),
-                                  {ValueRef::Output(2, 0)});
-  const RequestId b = sync.Submit(sync_fix.model.Unfold(3),
-                                  MakeChainExternals(xs, kHidden),
-                                  {ValueRef::Output(2, 0)});
-  sync.RunToCompletion();
-  const std::vector<Tensor> old_outputs = sync.TakeOutputs(a);
-  const Response new_response = sync.TakeResponse(b);
-  ASSERT_EQ(old_outputs.size(), 1u);
-  ASSERT_TRUE(new_response.ok());
-  EXPECT_TRUE(old_outputs[0].ElementsEqual(new_response.outputs[0]));
-  EXPECT_TRUE(old_outputs[0].ElementsEqual(via_old.outputs[0]));
+  const auto sync_responses = DriveEngine(AdaptSyncEngine(&sync), sync_fix.model,
+                                          requests, kHidden, opts_for);
 
-  // SimEngine: deprecated SubmitAt(at, graph, terminate_after_node) keeps
-  // the early-termination semantics of the SubmitOptions form.
+  for (const char* backend : {"cpu", "null"}) {
+    SCOPED_TRACE(backend);
+    TinyLstmFixture fix;
+    ServerOptions options;
+    options.backend = backend;
+    options.num_workers = 2;
+    options.num_shards = 2;
+    Server server(&fix.registry, options);
+    EXPECT_STREQ(server.device()->name(), backend);
+    server.Start();
+    const auto responses = DriveEngine(AdaptServer(&server), fix.model, requests,
+                                       kHidden, opts_for);
+    server.Shutdown();
+    ASSERT_EQ(responses.size(), static_cast<size_t>(kRequests));
+    for (int i = 0; i < kRequests; ++i) {
+      const size_t idx = static_cast<size_t>(i);
+      ASSERT_TRUE(responses[idx].ok()) << "request " << i;
+      ASSERT_EQ(responses[idx].outputs.size(), 1u);
+      const Tensor& out = responses[idx].outputs[0];
+      const Tensor& ref = sync_responses[idx].outputs[0];
+      ASSERT_EQ(out.shape(), ref.shape());
+      if (std::string(backend) == "cpu") {
+        EXPECT_TRUE(out.ElementsEqual(ref))
+            << "request " << i << ": cpu backend differs from sync reference";
+      } else {
+        // The null device executes nothing: every output element is zero.
+        for (int64_t r = 0; r < out.shape().Dim(0); ++r) {
+          for (int64_t c = 0; c < out.shape().Dim(1); ++c) {
+            ASSERT_EQ(out.At(r, c), 0.0f)
+                << "request " << i << " element (" << r << "," << c << ")";
+          }
+        }
+      }
+    }
+  }
+
   TinyLstmFixture sim_fix;
   const CostModel cost = UnitCostModel(sim_fix.registry);
-  SimEngine sim(&sim_fix.registry, &cost);
-  sim.SubmitAt(0.0, sim_fix.model.Unfold(10), /*terminate_after_node=*/1);
-  sim.Run();
-  ASSERT_EQ(sim.metrics().NumCompleted(), 1u);
-  EXPECT_LT(sim.TotalTasksFormed(), 10);
+  SimEngineOptions sim_options;
+  sim_options.backend = "sim";
+  SimEngine sim(&sim_fix.registry, &cost, sim_options);
+  EXPECT_STREQ(sim.device()->name(), "sim");
+  const auto sim_responses = DriveEngine(AdaptSimEngine(&sim), sim_fix.model,
+                                         requests, kHidden, opts_for);
+  for (const Response& r : sim_responses) {
+    EXPECT_TRUE(r.ok());
+  }
 }
 
 }  // namespace

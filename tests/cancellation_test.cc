@@ -297,6 +297,7 @@ TEST(CancelServerTest, DecoderStopsAtPredicate) {
                 [&promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                   promise.set_value(std::move(outputs));
                 },
+                SubmitOptions{},
                 [src_len](const RequestState&, int completed_node) {
                   return completed_node >= src_len + 2;
                 });
@@ -345,6 +346,7 @@ TEST(CancelServerTest, ContentBasedEosStopsDecoding) {
                 [&promise](RequestId, RequestStatus, std::vector<Tensor> outputs) {
                   promise.set_value(std::move(outputs));
                 },
+                SubmitOptions{},
                 [src_len, eos](const RequestState& state, int completed_node) {
                   if (completed_node < src_len) {
                     return false;  // still encoding

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "src/device/sim_backend.h"
 #include "src/runtime/cost_model.h"
 #include "src/runtime/event_queue.h"
 #include "src/runtime/sim_worker.h"
@@ -208,10 +209,11 @@ class SimWorkerPoolTest : public ::testing::Test {
 
   EventQueue events_;
   CostModel model_;
+  SimBackend backend_{&model_};
 };
 
 TEST_F(SimWorkerPoolTest, ExecutesSubmittedTask) {
-  SimWorkerPool pool(1, &events_, &model_);
+  SimWorkerPool pool(1, &events_, &backend_);
   std::vector<uint64_t> done;
   pool.set_on_task_done([&](const BatchedTask& t) { done.push_back(t.id); });
   pool.Submit(0, MakeTask(7));
@@ -221,7 +223,7 @@ TEST_F(SimWorkerPoolTest, ExecutesSubmittedTask) {
 }
 
 TEST_F(SimWorkerPoolTest, StreamIsFifoAndSequential) {
-  SimWorkerPool pool(1, &events_, &model_);
+  SimWorkerPool pool(1, &events_, &backend_);
   std::vector<std::pair<uint64_t, double>> done;
   pool.set_on_task_done([&](const BatchedTask& t) { done.emplace_back(t.id, events_.Now()); });
   pool.Submit(0, MakeTask(1));
@@ -236,7 +238,7 @@ TEST_F(SimWorkerPoolTest, StreamIsFifoAndSequential) {
 }
 
 TEST_F(SimWorkerPoolTest, IdleFiresWhenStreamDrains) {
-  SimWorkerPool pool(1, &events_, &model_);
+  SimWorkerPool pool(1, &events_, &backend_);
   int idle_count = 0;
   pool.set_on_idle([&](int worker) {
     EXPECT_EQ(worker, 0);
@@ -249,7 +251,7 @@ TEST_F(SimWorkerPoolTest, IdleFiresWhenStreamDrains) {
 }
 
 TEST_F(SimWorkerPoolTest, TaskStartFiresBeforeDone) {
-  SimWorkerPool pool(1, &events_, &model_);
+  SimWorkerPool pool(1, &events_, &backend_);
   std::vector<std::string> log;
   pool.set_on_task_start([&](const BatchedTask&) { log.push_back("start@" + std::to_string(events_.Now())); });
   pool.set_on_task_done([&](const BatchedTask&) { log.push_back("done@" + std::to_string(events_.Now())); });
@@ -262,7 +264,7 @@ TEST_F(SimWorkerPoolTest, TaskStartFiresBeforeDone) {
 }
 
 TEST_F(SimWorkerPoolTest, WorkersRunInParallel) {
-  SimWorkerPool pool(2, &events_, &model_);
+  SimWorkerPool pool(2, &events_, &backend_);
   std::vector<double> done_times;
   pool.set_on_task_done([&](const BatchedTask&) { done_times.push_back(events_.Now()); });
   pool.Submit(0, MakeTask(1));
@@ -274,7 +276,7 @@ TEST_F(SimWorkerPoolTest, WorkersRunInParallel) {
 }
 
 TEST_F(SimWorkerPoolTest, ExplicitCostOverridesModel) {
-  SimWorkerPool pool(1, &events_, &model_);
+  SimWorkerPool pool(1, &events_, &backend_);
   BatchedTask task = MakeTask(1);
   task.explicit_cost_micros = 42.0;
   pool.Submit(0, std::move(task));
@@ -283,7 +285,7 @@ TEST_F(SimWorkerPoolTest, ExplicitCostOverridesModel) {
 }
 
 TEST_F(SimWorkerPoolTest, SubmitFromDoneCallbackContinuesStream) {
-  SimWorkerPool pool(1, &events_, &model_);
+  SimWorkerPool pool(1, &events_, &backend_);
   int completions = 0;
   pool.set_on_task_done([&](const BatchedTask& t) {
     ++completions;
@@ -298,7 +300,7 @@ TEST_F(SimWorkerPoolTest, SubmitFromDoneCallbackContinuesStream) {
 }
 
 TEST_F(SimWorkerPoolTest, AccountingCounters) {
-  SimWorkerPool pool(1, &events_, &model_);
+  SimWorkerPool pool(1, &events_, &backend_);
   pool.Submit(0, MakeTask(1, /*batch=*/4));
   pool.Submit(0, MakeTask(2, /*batch=*/2));
   events_.RunAll();
@@ -308,7 +310,7 @@ TEST_F(SimWorkerPoolTest, AccountingCounters) {
 }
 
 TEST_F(SimWorkerPoolTest, FindIdleWorker) {
-  SimWorkerPool pool(2, &events_, &model_);
+  SimWorkerPool pool(2, &events_, &backend_);
   EXPECT_EQ(pool.FindIdleWorker(), 0);
   pool.Submit(0, MakeTask(1));
   EXPECT_EQ(pool.FindIdleWorker(), 1);
@@ -319,7 +321,7 @@ TEST_F(SimWorkerPoolTest, FindIdleWorker) {
 }
 
 TEST_F(SimWorkerPoolTest, QueueDepthTracksStream) {
-  SimWorkerPool pool(1, &events_, &model_);
+  SimWorkerPool pool(1, &events_, &backend_);
   EXPECT_EQ(pool.QueueDepth(0), 0);
   pool.Submit(0, MakeTask(1));
   pool.Submit(0, MakeTask(2));

@@ -279,9 +279,12 @@ TEST(WatchdogTest, DeadExecThreadRespawnedRequestsRecoverBitwise) {
 
   const ChainRun run = SubmitAndAwaitAll(&server, fix.model, requests, kHidden);
   EXPECT_GE(server.Quarantines(), 1);
-  EXPECT_GE(server.Respawns(), 1);
   EXPECT_GE(server.RequeuedTasks(), 1);  // the in-flight task was reclaimed
+  // Readmission implies the replacement exec thread is already up, so the
+  // respawn counter is only checked afterwards (the respawn can land after
+  // the requests themselves drain through the surviving worker).
   AwaitReadmission(server, /*worker=*/0);
+  EXPECT_GE(server.Respawns(), 1);
   server.Shutdown();
 
   ExpectAllOkBitwise(run, reference);

@@ -33,21 +33,23 @@ for arg in "$@"; do
   esac
 done
 
-echo "==> api: no deprecated submission surface outside the conformance test"
-# The old API (SyncEngine::TakeOutputs, loose ServerOptions admission
-# fields, positional deadline/terminate arguments) lives for one release
-# behind aliases, but nothing in-tree may use it except
-# tests/api_conformance_test.cc, which covers the aliases deliberately.
-deprecated=$(grep -rn --include='*.cc' --include='*.cpp' \
-    -e 'TakeOutputs(' \
+echo "==> api: removed pre-unification submission surface stays gone"
+# The old API (SyncEngine::TakeOutputs, EffectiveAdmission, loose
+# ServerOptions admission fields, positional deadline/terminate arguments)
+# was deprecated for one release and is now removed. Nothing in-tree —
+# sources and headers, including the conformance test — may mention it.
+# DeviceEvent::TakeOutputs() is the (different) live API; the removed
+# SyncEngine member was a dot-call, hence the '\.TakeOutputs(' pattern.
+deprecated=$(grep -rn --include='*.cc' --include='*.cpp' --include='*.h' \
+    -e '\.TakeOutputs(' \
+    -e 'EffectiveAdmission(' \
     -e '\.queue_timeout_micros *=' \
     -e '\.max_queued_requests *=' \
     -e '/\*terminate=\*/' \
-    examples bench tests \
-    | grep -v 'admission\.' \
-    | grep -v 'tests/api_conformance_test.cc' || true)
+    src examples bench tests tools \
+    | grep -v 'admission\.' || true)
 if [[ -n "$deprecated" ]]; then
-  echo "deprecated API usage found (migrate to SubmitOptions / EngineOptions.admission):" >&2
+  echo "removed API usage found (migrate to SubmitOptions / EngineOptions.admission):" >&2
   echo "$deprecated" >&2
   exit 1
 fi
@@ -83,9 +85,9 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake --build build-tsan -j "$(nproc)" \
     --target server_test obs_test thread_pool_test determinism_test \
     robustness_test sharding_test api_conformance_test numa_placement_test \
-    watchdog_test util_test
+    watchdog_test util_test device_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|sharding_test|api_conformance_test|numa_placement_test|watchdog_test|util_test'
+    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|sharding_test|api_conformance_test|numa_placement_test|watchdog_test|util_test|device_test'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -98,9 +100,9 @@ if [[ "$run_asan" == 1 ]]; then
   cmake --build build-asan -j "$(nproc)" \
     --target server_test obs_test thread_pool_test determinism_test \
     robustness_test cancellation_test sharding_test api_conformance_test \
-    numa_placement_test watchdog_test util_test
+    numa_placement_test watchdog_test util_test device_test
   ctest --test-dir build-asan --output-on-failure \
-    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|cancellation_test|sharding_test|api_conformance_test|numa_placement_test|watchdog_test|util_test'
+    -R 'server_test|obs_test|thread_pool_test|determinism_test|robustness_test|cancellation_test|sharding_test|api_conformance_test|numa_placement_test|watchdog_test|util_test|device_test'
 fi
 
 if [[ "$run_perf" == 1 ]]; then
@@ -144,7 +146,7 @@ if [[ "$run_perf" == 1 ]]; then
     --keys policy \
     --metric p50_ms:1.0 \
     --assert-ratio "tasks_per_sec:policy=pin+replicate:policy=none:1.2" \
-    --min-nodes 2
+    --min-cores 2 --min-nodes 2
 fi
 
 if [[ "$run_chaos" == 1 ]]; then
@@ -162,7 +164,8 @@ if [[ "$run_chaos" == 1 ]]; then
     bench/baselines/BENCH_chaos_baseline.json \
     build-check/BENCH_chaos.json \
     --keys mode \
-    --metric recovery_ms:9.0 --metric p99_ms:1.5
+    --metric recovery_ms:9.0 --metric p99_ms:1.5 \
+    --min-cores 2
 fi
 
 echo "==> all checks passed"

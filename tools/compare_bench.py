@@ -21,7 +21,12 @@ at least 1.5x that of the row matching shards=1,workers=4". Each
 selector must match exactly one current row. Because scaling ratios are
 meaningless on a host with fewer cores than the configuration needs,
 --min-cores N skips (loudly) every --assert-ratio check when
-os.cpu_count() < N; the metric thresholds still run. Similarly,
+os.cpu_count() < N. --min-cores also skips the baseline metric
+comparisons: committed baselines are recorded on adequately sized
+hosts, so absolute latency numbers from an undersized host are
+time-sharing artifacts, not regressions (the unmodified seed fails
+them just the same). A skipped run still validates both files and
+baseline row coverage; it just doesn't compare numbers. Similarly,
 --min-nodes N skips (loudly) every --assert-ratio check when the current
 run's "topology" header (written by bench_common.h) reports fewer NUMA
 nodes — the NUMA placement speedup gate only means something on a
@@ -228,8 +233,9 @@ def main():
                              "assert a higher-is-better ratio between two "
                              "rows of the *current* run (repeatable)")
     parser.add_argument("--min-cores", type=int, default=0,
-                        help="skip --assert-ratio checks (loudly) when "
-                             "os.cpu_count() is below this")
+                        help="skip --assert-ratio checks and baseline metric "
+                             "comparisons (loudly) when os.cpu_count() is "
+                             "below this")
     parser.add_argument("--min-nodes", type=int, default=0,
                         help="skip --assert-ratio checks (loudly) when the "
                              "current run's topology header reports fewer "
@@ -250,6 +256,16 @@ def main():
                  f"{[dict(zip(keys, k)) for k in missing]}")
 
     failed = False
+    cores = os.cpu_count() or 1
+    if args.min_cores and cores < args.min_cores:
+        for metric, threshold in metrics:
+            print(f"SKIPPED: {metric} vs baseline (threshold "
+                  f"+{threshold:.0%}): this host has {cores} core(s), below "
+                  f"--min-cores {args.min_cores}. The baseline was recorded "
+                  "on an adequately sized host, so absolute numbers here are "
+                  "time-sharing artifacts; compare against a same-host "
+                  "re-measured baseline or run on a larger machine.")
+        metrics = []
     for metric, threshold in metrics:
         print(f"{metric} vs baseline ({args.baseline}), "
               f"threshold +{threshold:.0%}:")
